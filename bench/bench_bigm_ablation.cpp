@@ -1,0 +1,87 @@
+// Experiment E6 (EXPERIMENTS.md): the big-M ablation. The paper prescribes
+// the theoretical bound M = n·(ma)^(2m+1) of [22] — about 10^221 even for
+// the 20-tuple running example, far outside machine floats. DART solves with
+// a practical data-driven M and verifies post hoc. This bench sweeps the
+// magnitude of M and reports solve cost and correctness: too small an M is
+// caught by the adaptive retry; a huge M degrades LP conditioning and
+// weakens the relaxation (delta ~ |y|/M), inflating branch-and-bound work.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "repair/engine.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E6 — big-M ablation (3-year budget, 3 injected errors, 5 trials per\n"
+      "row). fixed_M = 0 means the data-driven default (multiplier 4).\n\n");
+  TablePrinter table({"fixed_M", "solve_ms", "bb_nodes", "lp_iters",
+                      "bigm_retries", "card_ok"});
+  const int kTrials = 5;
+  struct Config {
+    double fixed_m;
+    const char* label;
+  };
+  const Config configs[] = {
+      {0, "data-driven"}, {500, "5e2"},     {5e3, "5e3"},
+      {5e4, "5e4"},       {5e6, "5e6"},
+  };
+  // Reference cardinalities from the default config.
+  std::vector<size_t> reference;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    bench::Scenario scenario =
+        bench::MakeBudgetScenario(600 + trial, /*years=*/3, /*num_errors=*/3);
+    repair::RepairEngine engine;
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    reference.push_back(outcome->repair.cardinality());
+  }
+
+  for (const Config& config : configs) {
+    double solve_ms = 0;
+    int64_t nodes = 0, lp_iterations = 0;
+    int retries = 0;
+    int card_ok = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      bench::Scenario scenario = bench::MakeBudgetScenario(
+          600 + trial, /*years=*/3, /*num_errors=*/3);
+      repair::RepairEngineOptions options;
+      options.translator.big_m.fixed_value = config.fixed_m;
+      repair::RepairEngine engine(options);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto outcome =
+          engine.ComputeRepair(scenario.acquired, scenario.constraints);
+      const auto t1 = std::chrono::steady_clock::now();
+      DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+      solve_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      nodes += outcome->stats.nodes;
+      lp_iterations += outcome->stats.lp_iterations;
+      retries += outcome->stats.bigm_retries;
+      if (outcome->repair.cardinality() ==
+          reference[static_cast<size_t>(trial)]) {
+        ++card_ok;
+      }
+    }
+    char ms_buf[32], ok_buf[32];
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.1f", solve_ms / kTrials);
+    std::snprintf(ok_buf, sizeof(ok_buf), "%d/%d", card_ok, kTrials);
+    table.AddRow({config.label, ms_buf,
+                  std::to_string(nodes / kTrials),
+                  std::to_string(lp_iterations / kTrials),
+                  std::to_string(retries), ok_buf});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: every M yields the same optimal cardinality (card_ok) —\n"
+      "the adaptive retry makes correctness independent of the initial\n"
+      "guess — but cost is not flat: a needlessly large M weakens the LP\n"
+      "relaxation (each delta can sit at |y|/M ~ 0) and inflates node and\n"
+      "iteration counts, which is why DART does not solve with anything\n"
+      "close to the paper's theoretical bound.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Experiment E10 (EXPERIMENTS.md): reliability analysis (CQA extension).
+// For increasing error counts on a fixed 2-year budget, compute per-cell
+// consistent value intervals under the card-minimal semantics and report:
+// how many cells are reliable, how many of the *corrected* cells are
+// reliably corrected (the repair can be auto-accepted), and the cost in
+// MILP solves. This quantifies when DART could skip the operator entirely.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "repair/cqa.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E10 — reliability of acquired values under card-minimal CQA\n"
+      "(2-year budget, 20 measure cells, 10 trials per row)\n\n");
+  TablePrinter table({"errors", "reliable_cells", "touched_cells",
+                      "auto_acceptable", "milp_solves", "time_ms"});
+  const int kTrials = 10;
+  for (size_t errors : {1, 2, 3, 4, 6}) {
+    double reliable = 0, touched = 0;
+    int auto_ok = 0;
+    int64_t solves = 0;
+    double ms = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      bench::Scenario scenario = bench::MakeBudgetScenario(
+          2200 + trial * 37 + errors, /*years=*/2, errors);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto result = repair::ComputeConsistentIntervals(scenario.acquired,
+                                                       scenario.constraints);
+      const auto t1 = std::chrono::steady_clock::now();
+      DART_CHECK_MSG(result.ok(), result.status().ToString());
+      ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      solves += result->milp_solves;
+      bool all_touched_reliable = true;
+      for (const repair::CellInterval& interval : result->intervals) {
+        if (interval.reliable()) reliable += 1;
+        if (interval.touched()) {
+          touched += 1;
+          if (!interval.reliable()) all_touched_reliable = false;
+        }
+      }
+      if (all_touched_reliable) ++auto_ok;
+    }
+    char rel_buf[32], touch_buf[32], auto_buf[32], ms_buf[32];
+    std::snprintf(rel_buf, sizeof(rel_buf), "%.1f/20", reliable / kTrials);
+    std::snprintf(touch_buf, sizeof(touch_buf), "%.1f", touched / kTrials);
+    std::snprintf(auto_buf, sizeof(auto_buf), "%d/%d", auto_ok, kTrials);
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.0f", ms / kTrials);
+    table.AddRow({std::to_string(errors), rel_buf, touch_buf, auto_buf,
+                  std::to_string(solves / kTrials), ms_buf});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: with a single error the card-minimal repair is usually\n"
+      "unique (auto_acceptable high) — DART could commit it without human\n"
+      "review; ambiguity grows with the error count, and the unreliable\n"
+      "cells are exactly the ones the Validation Interface should surface\n"
+      "first.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E9 (EXPERIMENTS.md): whole-pipeline throughput and the
+// human-intervention headline number. Part 1 (google-benchmark): documents
+// per second through acquire→extract→generate→detect→repair for clean and
+// noisy documents. Part 2 (table): over a corpus of noisy documents, the
+// fraction of acquired values a human must still look at with DART
+// (supervised loop examinations) vs without DART (every value, since any
+// cell could be wrong) — the effort reduction the paper's introduction
+// promises.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/dart.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+namespace {
+
+core::DartPipeline MakePipeline(const rel::Database& reference) {
+  core::AcquisitionMetadata metadata;
+  auto catalog = ocr::CashBudgetFixture::BuildCatalog(reference);
+  auto mapping = ocr::CashBudgetFixture::BuildMapping(reference);
+  DART_CHECK(catalog.ok() && mapping.ok());
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ocr::CashBudgetFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ocr::CashBudgetFixture::ConstraintProgram();
+  auto pipeline = core::DartPipeline::Create(std::move(metadata));
+  DART_CHECK_MSG(pipeline.ok(), pipeline.status().ToString());
+  return std::move(pipeline).value();
+}
+
+void BM_ProcessCleanDocument(benchmark::State& state) {
+  Rng rng(1);
+  ocr::CashBudgetOptions options;
+  options.num_years = static_cast<int>(state.range(0));
+  auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+  DART_CHECK(truth.ok());
+  core::DartPipeline pipeline = MakePipeline(*truth);
+  const std::string html = ocr::CashBudgetFixture::RenderHtml(*truth);
+  for (auto _ : state) {
+    auto outcome = pipeline.Process(html);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->violations.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ProcessCleanDocument)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProcessNoisyDocument(benchmark::State& state) {
+  Rng rng(2);
+  ocr::CashBudgetOptions options;
+  options.num_years = static_cast<int>(state.range(0));
+  auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+  DART_CHECK(truth.ok());
+  core::DartPipeline pipeline = MakePipeline(*truth);
+  ocr::NoiseModel noise({0.08, 0.10, 1, 1}, &rng);
+  const std::string html = ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+  for (auto _ : state) {
+    auto outcome = pipeline.Process(html);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.repair.cardinality());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ProcessNoisyDocument)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void HumanEffortTable() {
+  std::printf(
+      "\nE9 — human intervention with vs without DART (3-year budgets,\n"
+      "30 measure cells/document, 15 documents per row):\n\n");
+  TablePrinter table({"numeric_noise", "checked_with_dart",
+                      "checked_without", "effort_saved", "recovered_docs"});
+  for (double noise_prob : {0.05, 0.10, 0.20}) {
+    size_t examined = 0, total_cells = 0;
+    int recovered = 0;
+    const int kDocs = 15;
+    for (int doc = 0; doc < kDocs; ++doc) {
+      Rng rng(4000 + doc);
+      ocr::CashBudgetOptions options;
+      options.num_years = 3;
+      auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+      DART_CHECK(truth.ok());
+      core::DartPipeline pipeline = MakePipeline(*truth);
+      ocr::NoiseModel noise({noise_prob, 0.10, 1, 1}, &rng);
+      const std::string html =
+          ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+      validation::SimulatedOperator op(&*truth);
+      auto session = pipeline.ProcessSupervised(html, op);
+      DART_CHECK_MSG(session.ok(), session.status().ToString());
+      examined += session->examined_updates;
+      total_cells += truth->MeasureCells().size();
+      auto differences = session->repaired.CountDifferences(*truth);
+      if (differences.ok() && *differences == 0) ++recovered;
+    }
+    char noise_buf[16], with_buf[32], without_buf[32], saved_buf[16],
+        rec_buf[16];
+    std::snprintf(noise_buf, sizeof(noise_buf), "%.2f", noise_prob);
+    std::snprintf(with_buf, sizeof(with_buf), "%zu values", examined);
+    std::snprintf(without_buf, sizeof(without_buf), "%zu values", total_cells);
+    std::snprintf(saved_buf, sizeof(saved_buf), "%.0f%%",
+                  100.0 * (1.0 - static_cast<double>(examined) /
+                                     static_cast<double>(total_cells)));
+    std::snprintf(rec_buf, sizeof(rec_buf), "%d/%d", recovered, kDocs);
+    table.AddRow({noise_buf, with_buf, without_buf, saved_buf, rec_buf});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  HumanEffortTable();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment E13 (EXPERIMENTS.md): error position in a multi-level totals
+// hierarchy. The expense fixture chains three aggregation levels (line →
+// category → month → grand); an error higher in the chain violates more
+// ground constraints, which *localizes* it better: this bench corrupts one
+// cell per level and reports violations triggered, repair cardinality, and
+// whether the unsupervised card-minimal repair restores the exact source
+// value — quantifying the paper's intuition that redundancy (more
+// constraints) makes repairs more reliable.
+
+#include <cmath>
+#include <cstdio>
+
+#include "constraints/eval.h"
+#include "constraints/parser.h"
+#include "ocr/expense.h"
+#include "repair/engine.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E13 — error position vs repair quality in a 3-level hierarchy\n"
+      "(expense reports: 3 months x 3 categories x 3 items, 15 trials per\n"
+      "row; one corrupted cell of the given level per trial)\n\n");
+  TablePrinter table({"level", "avg_violations", "avg_card",
+                      "exact_restore", "avg_ms"});
+  const int kTrials = 15;
+  for (const char* level : {"line", "cat", "month", "grand"}) {
+    double violations_sum = 0, cardinality_sum = 0, ms_sum = 0;
+    int exact = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(7100 + trial);
+      auto truth = ocr::ExpenseFixture::Random({}, &rng);
+      DART_CHECK(truth.ok());
+      rel::Database corrupted = truth->Clone();
+      // Pick a random cell of the requested level.
+      const rel::Relation* relation = corrupted.FindRelation("Expense");
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < relation->size(); ++i) {
+        if (relation->At(i, 3) == rel::Value(std::string(level))) {
+          candidates.push_back(i);
+        }
+      }
+      DART_CHECK(!candidates.empty());
+      const size_t row = candidates[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1))];
+      const rel::CellRef cell{"Expense", row, 4};
+      const double original = corrupted.ValueAt(cell)->AsReal();
+      DART_CHECK(corrupted
+                     .UpdateCell(cell, rel::Value(original + 77.5))
+                     .ok());
+
+      cons::ConstraintSet constraints;
+      Status status = cons::ParseConstraintProgram(
+          corrupted.Schema(), ocr::ExpenseFixture::ConstraintProgram(),
+          &constraints);
+      DART_CHECK_MSG(status.ok(), status.ToString());
+      cons::ConsistencyChecker checker(&constraints);
+      auto violations = checker.Check(corrupted);
+      DART_CHECK(violations.ok());
+      violations_sum += static_cast<double>(violations->size());
+
+      repair::RepairEngine engine;
+      auto outcome = engine.ComputeRepair(corrupted, constraints);
+      DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+      cardinality_sum += static_cast<double>(outcome->repair.cardinality());
+      ms_sum += (outcome->stats.translate_seconds +
+                 outcome->stats.solve_seconds) *
+                1000.0;
+      auto repaired = outcome->repair.Applied(corrupted);
+      DART_CHECK(repaired.ok());
+      auto restored = repaired->ValueAt(cell);
+      if (restored.ok() &&
+          std::fabs(restored->AsReal() - original) < 1e-6) {
+        ++exact;
+      }
+    }
+    char vio_buf[16], card_buf[16], exact_buf[16], ms_buf[16];
+    std::snprintf(vio_buf, sizeof(vio_buf), "%.1f", violations_sum / kTrials);
+    std::snprintf(card_buf, sizeof(card_buf), "%.2f",
+                  cardinality_sum / kTrials);
+    std::snprintf(exact_buf, sizeof(exact_buf), "%d/%d", exact, kTrials);
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.1f", ms_sum / kTrials);
+    table.AddRow({level, vio_buf, card_buf, exact_buf, ms_buf});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: a corrupted intermediate total (cat/month) violates\n"
+      "constraints on BOTH sides and is therefore pinned down uniquely —\n"
+      "exact restoration is near-certain. Leaf lines and the grand total\n"
+      "sit at the chain's ends, each covered by a single constraint, so\n"
+      "compensating one-change explanations exist and exact restoration is\n"
+      "not guaranteed without the operator. Redundancy helps repair.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment E3 (EXPERIMENTS.md): is card-minimality the right semantics for
+// acquisition errors? Sweep the number of injected digit-confusion errors on
+// a fixed 3-year budget and measure, over repeated trials:
+//   - exact-recovery rate: repaired database == source document;
+//   - cell recovery: fraction of corrupted cells restored to their true value;
+//   - false touches: cells changed by the repair although they were correct;
+//   - cardinality vs injected error count (minimality can "explain" several
+//     errors with fewer changes).
+// The paper's premise — the fewest-changes repair is the most likely fix —
+// predicts high recovery at low error counts that degrades as compensating
+// explanations appear.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "repair/engine.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E3 — repair accuracy vs number of injected errors\n"
+      "(3-year budget, 30 measure cells, 20 trials per row; card-minimal\n"
+      "repair, no operator supervision)\n\n");
+  TablePrinter table({"errors", "exact_recovery", "cell_recovery",
+                      "false_touches", "avg_card", "avg_injected"});
+  const int kTrials = 20;
+  for (size_t errors : {1, 2, 3, 4, 6, 8, 10}) {
+    int exact = 0;
+    double recovered_sum = 0;
+    double false_touch_sum = 0;
+    double cardinality_sum = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      bench::Scenario scenario = bench::MakeBudgetScenario(
+          /*seed=*/9000 + trial * 131 + errors, /*years=*/3, errors);
+      repair::RepairEngine engine;
+      auto outcome =
+          engine.ComputeRepair(scenario.acquired, scenario.constraints);
+      DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+      auto repaired = outcome->repair.Applied(scenario.acquired);
+      DART_CHECK(repaired.ok());
+      auto differences = repaired->CountDifferences(scenario.truth);
+      DART_CHECK(differences.ok());
+      if (*differences == 0) ++exact;
+
+      std::set<rel::CellRef> corrupted;
+      for (const ocr::InjectedError& error : scenario.errors) {
+        corrupted.insert(error.cell);
+      }
+      size_t restored = 0, false_touches = 0;
+      std::set<rel::CellRef> touched;
+      for (const repair::AtomicUpdate& update : outcome->repair.updates()) {
+        touched.insert(update.cell);
+        if (corrupted.count(update.cell) == 0) {
+          ++false_touches;
+        }
+      }
+      for (const ocr::InjectedError& error : scenario.errors) {
+        auto value = repaired->ValueAt(error.cell);
+        if (value.ok() && *value == error.true_value) ++restored;
+      }
+      recovered_sum += static_cast<double>(restored) /
+                       static_cast<double>(corrupted.size());
+      false_touch_sum += static_cast<double>(false_touches);
+      cardinality_sum += static_cast<double>(outcome->repair.cardinality());
+    }
+    char exact_buf[32], rec_buf[32], false_buf[32], card_buf[32];
+    std::snprintf(exact_buf, sizeof(exact_buf), "%.0f%%",
+                  100.0 * exact / kTrials);
+    std::snprintf(rec_buf, sizeof(rec_buf), "%.0f%%",
+                  100.0 * recovered_sum / kTrials);
+    std::snprintf(false_buf, sizeof(false_buf), "%.2f",
+                  false_touch_sum / kTrials);
+    std::snprintf(card_buf, sizeof(card_buf), "%.2f",
+                  cardinality_sum / kTrials);
+    table.AddRow({std::to_string(errors), exact_buf, rec_buf, false_buf,
+                  card_buf, std::to_string(errors)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: with few errors the card-minimal repair *is* the true\n"
+      "correction (the paper's premise); as errors accumulate, cheaper\n"
+      "compensating explanations appear and exact recovery degrades — this\n"
+      "is precisely the gap the supervised validation loop (E4) closes.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E2 (EXPERIMENTS.md): repair-computation cost vs the number of
+// acquisition errors, at fixed database size (a 4-year budget, 40 measure
+// cells). More errors mean more violated ground constraints and a deeper
+// branch-and-bound search; this sweep shows how steeply.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "constraints/eval.h"
+#include "repair/engine.h"
+
+namespace {
+
+void BM_RepairVsErrors(benchmark::State& state) {
+  const size_t errors = static_cast<size_t>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/123, /*years=*/4, errors);
+  dart::repair::RepairEngine engine;
+  int64_t nodes = 0;
+  size_t cardinality = 0;
+  for (auto _ : state) {
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.cardinality());
+    nodes = outcome->stats.nodes;
+    cardinality = outcome->repair.cardinality();
+  }
+  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["repair_card"] = static_cast<double>(cardinality);
+  state.counters["injected"] = static_cast<double>(errors);
+}
+
+BENCHMARK(BM_RepairVsErrors)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The consistency check alone — the cost of *detecting* that no repair is
+// needed (the common case in production acquisition streams).
+void BM_ConsistencyCheck(benchmark::State& state) {
+  const int years = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/9, years, /*num_errors=*/0);
+  dart::cons::ConsistencyChecker checker(&scenario.constraints);
+  for (auto _ : state) {
+    auto consistent = checker.IsConsistent(scenario.acquired);
+    DART_CHECK(consistent.ok());
+    benchmark::DoNotOptimize(*consistent);
+  }
+}
+
+BENCHMARK(BM_ConsistencyCheck)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment E1 (EXPERIMENTS.md): repair-computation cost vs database size.
+// The paper reports no numbers ("a more extensive experimental evaluation
+// will be accomplished on larger data sets"); this bench provides exactly
+// that sweep: cash budgets of 1..12 years (10 tuples and 4 ground equalities
+// per year), 2 injected digit errors, time to compute a card-minimal repair.
+// Counters: N (z/y/delta triples), ground rows, B&B nodes, LP iterations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "repair/engine.h"
+
+namespace {
+
+void BM_RepairVsYears(benchmark::State& state) {
+  const int years = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/42, years, /*num_errors=*/2);
+  dart::repair::RepairEngine engine;
+  int64_t nodes = 0, lp_iterations = 0;
+  size_t cells = 0, rows = 0, cardinality = 0;
+  for (auto _ : state) {
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.cardinality());
+    nodes = outcome->stats.nodes;
+    lp_iterations = outcome->stats.lp_iterations;
+    cells = outcome->stats.num_cells;
+    rows = outcome->stats.num_ground_rows;
+    cardinality = outcome->repair.cardinality();
+  }
+  state.counters["N_cells"] = static_cast<double>(cells);
+  state.counters["ground_rows"] = static_cast<double>(rows);
+  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["lp_iters"] = static_cast<double>(lp_iterations);
+  state.counters["repair_card"] = static_cast<double>(cardinality);
+}
+
+BENCHMARK(BM_RepairVsYears)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+// Same sweep but growing the *width* of each year (more detail lines per
+// section) instead of the number of years: distinguishes "more ground
+// constraints" from "bigger ground constraints".
+void BM_RepairVsDetails(benchmark::State& state) {
+  const int details = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario = dart::bench::MakeBudgetScenario(
+      /*seed=*/43, /*years=*/2, /*num_errors=*/2, details, details);
+  dart::repair::RepairEngine engine;
+  size_t cells = 0;
+  for (auto _ : state) {
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.cardinality());
+    cells = outcome->stats.num_cells;
+  }
+  state.counters["N_cells"] = static_cast<double>(cells);
+}
+
+BENCHMARK(BM_RepairVsDetails)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Translation alone (grounding + model building), isolating it from the
+// solver.
+void BM_TranslateVsYears(benchmark::State& state) {
+  const int years = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/44, years, /*num_errors=*/2);
+  for (auto _ : state) {
+    auto translation =
+        dart::repair::TranslateToMilp(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(translation.ok(), translation.status().ToString());
+    benchmark::DoNotOptimize(translation->model.num_variables());
+  }
+}
+
+BENCHMARK(BM_TranslateVsYears)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment E8 (EXPERIMENTS.md): t-norm ablation for row matching. The
+// paper leaves the combiner open ("a suitable t-norm"); this sweep compares
+// the three classical t-norms under increasing string noise, measuring how
+// many rows still match and how many extracted tuples are fully correct.
+// Minimum is tolerant (one weak cell decides), product compounds doubt, and
+// Łukasiewicz collapses quickly — visible in where each curve falls off.
+
+#include <cstdio>
+
+#include "core/dart.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E8 — t-norm ablation (2-year budget, 20 rows/document, 10 documents\n"
+      "per cell; min_row_score = 0.5 throughout)\n\n");
+  TablePrinter table({"tnorm", "char_noise", "matched_rows", "tuples_correct"});
+  const int kTrials = 10;
+  for (wrap::TNorm tnorm : {wrap::TNorm::kMinimum, wrap::TNorm::kProduct,
+                            wrap::TNorm::kLukasiewicz}) {
+    for (double noise_prob : {0.0, 0.15, 0.35, 0.60, 0.90}) {
+      size_t matched = 0, total_rows = 0;
+      size_t correct = 0, total_tuples = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(8800 + trial);
+        ocr::CashBudgetOptions options;
+        options.num_years = 2;
+        auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+        DART_CHECK(truth.ok());
+
+        core::AcquisitionMetadata metadata;
+        auto catalog = ocr::CashBudgetFixture::BuildCatalog(*truth);
+        auto mapping = ocr::CashBudgetFixture::BuildMapping(*truth);
+        DART_CHECK(catalog.ok() && mapping.ok());
+        metadata.catalog = std::move(catalog).value();
+        metadata.patterns = ocr::CashBudgetFixture::BuildPatterns();
+        metadata.mappings = {std::move(mapping).value()};
+        metadata.constraint_program =
+            ocr::CashBudgetFixture::ConstraintProgram();
+        metadata.matcher.tnorm = tnorm;
+        auto pipeline = core::DartPipeline::Create(std::move(metadata));
+        DART_CHECK_MSG(pipeline.ok(), pipeline.status().ToString());
+
+        ocr::NoiseModel noise({0.0, noise_prob, 1, 4}, &rng);
+        const std::string html =
+            ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+        auto acquisition = pipeline->Acquire(html);
+        DART_CHECK_MSG(acquisition.ok(), acquisition.status().ToString());
+        matched += acquisition->extraction.matched_rows;
+        total_rows += acquisition->extraction.rows;
+        const rel::Relation* got =
+            acquisition->database.FindRelation("CashBudget");
+        const rel::Relation* want = truth->FindRelation("CashBudget");
+        const size_t n = std::min(got->size(), want->size());
+        for (size_t row = 0; row < n; ++row) {
+          bool same = true;
+          for (size_t attr = 0; attr < want->schema().arity(); ++attr) {
+            if (!(got->At(row, attr) == want->At(row, attr))) same = false;
+          }
+          if (same) ++correct;
+        }
+        total_tuples += want->size();
+      }
+      char noise_buf[16], matched_buf[16], correct_buf[16];
+      std::snprintf(noise_buf, sizeof(noise_buf), "%.2f", noise_prob);
+      std::snprintf(matched_buf, sizeof(matched_buf), "%.1f%%",
+                    100.0 * matched / total_rows);
+      std::snprintf(correct_buf, sizeof(correct_buf), "%.1f%%",
+                    100.0 * correct / total_tuples);
+      table.AddRow({wrap::TNormName(tnorm), noise_buf, matched_buf,
+                    correct_buf});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: at zero noise every t-norm is equivalent (all cell scores\n"
+      "are 1). Under noise the minimum t-norm keeps rows whose weakest cell\n"
+      "is still plausible, while product/Łukasiewicz discard rows with\n"
+      "several mildly-noisy cells — stricter, at the price of recall.\n");
+  return 0;
+}

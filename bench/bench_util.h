@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "constraints/ast.h"
+#include "constraints/parser.h"
+#include "ocr/cash_budget.h"
+#include "ocr/noise.h"
+#include "relational/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+/// \file bench_util.h
+/// Shared fixture plumbing for the benchmark harness (see EXPERIMENTS.md for
+/// the experiment ↔ binary index).
+
+namespace dart::bench {
+
+/// A noisy acquisition scenario with ground truth.
+struct Scenario {
+  rel::Database truth;
+  rel::Database acquired;
+  cons::ConstraintSet constraints;
+  std::vector<ocr::InjectedError> errors;
+};
+
+/// Builds a cash-budget scenario: `years` years, paper-shaped sections,
+/// `num_errors` digit-confusion errors injected into measure cells.
+inline Scenario MakeBudgetScenario(uint64_t seed, int years, size_t num_errors,
+                                   int receipt_details = 2,
+                                   int disbursement_details = 3) {
+  Rng rng(seed);
+  ocr::CashBudgetOptions options;
+  options.num_years = years;
+  options.receipt_details = receipt_details;
+  options.disbursement_details = disbursement_details;
+  auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+  DART_CHECK_MSG(truth.ok(), truth.status().ToString());
+  Scenario scenario{std::move(truth).value(), {}, {}, {}};
+  scenario.acquired = scenario.truth.Clone();
+  auto injected =
+      ocr::InjectMeasureErrors(&scenario.acquired, num_errors, &rng);
+  DART_CHECK_MSG(injected.ok(), injected.status().ToString());
+  scenario.errors = std::move(injected).value();
+  Status parsed = cons::ParseConstraintProgram(
+      scenario.acquired.Schema(), ocr::CashBudgetFixture::ConstraintProgram(),
+      &scenario.constraints);
+  DART_CHECK_MSG(parsed.ok(), parsed.ToString());
+  return scenario;
+}
+
+}  // namespace dart::bench

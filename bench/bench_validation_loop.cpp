@@ -1,0 +1,70 @@
+// Experiment E4 (EXPERIMENTS.md): operator effort in the supervised loop of
+// Sec. 6.3. The paper claims "the correct repair of wrongly acquired data in
+// a few iterations in most cases"; this sweep quantifies it: for increasing
+// error counts and several examination batch sizes, report the number of
+// repair iterations, the values the operator actually examined (the human
+// effort), and the effort saved vs verifying every acquired value by hand.
+// The ground truth is always recovered (the operator is a truth oracle), so
+// the interesting output is the cost, not the accuracy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/table_printer.h"
+#include "validation/session.h"
+
+using namespace dart;
+
+int main() {
+  std::printf(
+      "E4 — supervised validation loop effort (4-year budget, 40 measure\n"
+      "cells, 10 trials per row; batch = updates examined before re-solving,\n"
+      "0 = examine the whole proposal)\n\n");
+  TablePrinter table({"errors", "batch", "avg_iters", "avg_examined",
+                      "avg_rejected", "effort_saved", "recovered"});
+  const int kTrials = 10;
+  for (size_t errors : {1, 2, 4, 6, 8}) {
+    for (size_t batch : {0, 1, 3}) {
+      double iters = 0, examined = 0, rejected = 0;
+      int recovered = 0;
+      size_t total_cells = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        bench::Scenario scenario = bench::MakeBudgetScenario(
+            /*seed=*/7000 + trial * 977 + errors * 13 + batch, /*years=*/4,
+            errors);
+        total_cells = scenario.truth.MeasureCells().size();
+        validation::SimulatedOperator op(&scenario.truth);
+        validation::SessionOptions options;
+        options.examine_batch = batch;
+        auto result = validation::RunValidationSession(
+            scenario.acquired, scenario.constraints, op, options);
+        DART_CHECK_MSG(result.ok(), result.status().ToString());
+        DART_CHECK(result->converged);
+        iters += static_cast<double>(result->iterations);
+        examined += static_cast<double>(result->examined_updates);
+        rejected += static_cast<double>(result->rejected_updates);
+        auto differences = result->repaired.CountDifferences(scenario.truth);
+        if (differences.ok() && *differences == 0) ++recovered;
+      }
+      char iters_buf[32], exam_buf[32], rej_buf[32], saved_buf[32],
+          rec_buf[32];
+      std::snprintf(iters_buf, sizeof(iters_buf), "%.1f", iters / kTrials);
+      std::snprintf(exam_buf, sizeof(exam_buf), "%.1f", examined / kTrials);
+      std::snprintf(rej_buf, sizeof(rej_buf), "%.1f", rejected / kTrials);
+      std::snprintf(saved_buf, sizeof(saved_buf), "%.0f%%",
+                    100.0 * (1.0 - examined / kTrials /
+                                       static_cast<double>(total_cells)));
+      std::snprintf(rec_buf, sizeof(rec_buf), "%d/%d", recovered, kTrials);
+      table.AddRow({std::to_string(errors), std::to_string(batch), iters_buf,
+                    exam_buf, rej_buf, saved_buf, rec_buf});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: examined updates track the number of true errors, not the\n"
+      "database size — the effort saved vs full manual verification is the\n"
+      "system's raison d'être. Small batches trade a few extra re-solves\n"
+      "for earlier feedback; the display-ordering heuristic keeps that\n"
+      "trade cheap.\n");
+  return 0;
+}

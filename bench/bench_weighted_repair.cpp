@@ -1,0 +1,88 @@
+// Experiment E11 (EXPERIMENTS.md): confidence-weighted repair ablation.
+// When OCR turns digits into letter lookalikes ("1O0"), the wrapper still
+// extracts a number — but at sub-100% confidence. Feeding those scores into
+// the repair objective (min Σ wᵢδᵢ) biases ambiguous optima toward the cells
+// that were actually misread. This bench compares plain card-minimal against
+// confidence-weighted repair on the same noisy documents, measuring how
+// often the unsupervised repair reproduces the source document exactly.
+
+#include <cstdio>
+
+#include "core/dart.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+namespace {
+
+core::DartPipeline MakePipeline(const rel::Database& reference,
+                                bool weighted) {
+  core::AcquisitionMetadata metadata;
+  auto catalog = ocr::CashBudgetFixture::BuildCatalog(reference);
+  auto mapping = ocr::CashBudgetFixture::BuildMapping(reference);
+  DART_CHECK(catalog.ok() && mapping.ok());
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ocr::CashBudgetFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ocr::CashBudgetFixture::ConstraintProgram();
+  core::PipelineOptions options;
+  options.use_confidence_weights = weighted;
+  auto pipeline = core::DartPipeline::Create(std::move(metadata), options);
+  DART_CHECK_MSG(pipeline.ok(), pipeline.status().ToString());
+  return std::move(pipeline).value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11 — card-minimal vs confidence-weighted repair (3-year budgets,\n"
+      "numeric noise with 70%% digit->letter lookalikes, 25 documents per\n"
+      "row; 'exact' = unsupervised repaired DB equals the source document)\n\n");
+  TablePrinter table({"numeric_noise", "exact_uniform", "exact_weighted",
+                      "violating_docs"});
+  const int kDocs = 25;
+  for (double noise_prob : {0.08, 0.15, 0.25}) {
+    int exact_uniform = 0, exact_weighted = 0, violating = 0;
+    for (int doc = 0; doc < kDocs; ++doc) {
+      Rng rng(6200 + doc);
+      ocr::CashBudgetOptions options;
+      options.num_years = 3;
+      auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+      DART_CHECK(truth.ok());
+      ocr::NoiseOptions noise_options;
+      noise_options.number_error_prob = noise_prob;
+      noise_options.digit_to_letter_prob = 0.7;
+      ocr::NoiseModel noise(noise_options, &rng);
+      const std::string html =
+          ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+
+      core::DartPipeline uniform = MakePipeline(*truth, false);
+      core::DartPipeline weighted = MakePipeline(*truth, true);
+      auto uniform_outcome = uniform.Process(html);
+      auto weighted_outcome = weighted.Process(html);
+      DART_CHECK_MSG(uniform_outcome.ok(),
+                     uniform_outcome.status().ToString());
+      DART_CHECK_MSG(weighted_outcome.ok(),
+                     weighted_outcome.status().ToString());
+      if (!uniform_outcome->violations.empty()) ++violating;
+      auto du = uniform_outcome->repaired.CountDifferences(*truth);
+      auto dw = weighted_outcome->repaired.CountDifferences(*truth);
+      if (du.ok() && *du == 0) ++exact_uniform;
+      if (dw.ok() && *dw == 0) ++exact_weighted;
+    }
+    char noise_buf[16], uni_buf[16], wei_buf[16], vio_buf[16];
+    std::snprintf(noise_buf, sizeof(noise_buf), "%.2f", noise_prob);
+    std::snprintf(uni_buf, sizeof(uni_buf), "%d/%d", exact_uniform, kDocs);
+    std::snprintf(wei_buf, sizeof(wei_buf), "%d/%d", exact_weighted, kDocs);
+    std::snprintf(vio_buf, sizeof(vio_buf), "%d/%d", violating, kDocs);
+    table.AddRow({noise_buf, uni_buf, wei_buf, vio_buf});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: both semantics agree when the card-minimal optimum is\n"
+      "unique; where several minimum-change explanations exist, the\n"
+      "extraction confidences break the tie toward the truly misread cells,\n"
+      "so the weighted column should dominate the uniform one.\n");
+  return 0;
+}

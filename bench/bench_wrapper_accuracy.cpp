@@ -1,0 +1,93 @@
+// Experiment E5 (EXPERIMENTS.md): extraction quality of the wrapping module
+// under string noise. Render 2-year cash budgets through the OCR model with
+// increasing per-string corruption probability, extract with the Fig. 7(a)
+// row pattern, and measure: rows matched, lexical cells the msi() binding
+// repaired, and how many extracted rows ended up byte-identical to the
+// source (i.e. the string repair succeeded).
+
+#include <cstdio>
+
+#include "core/dart.h"
+#include "util/table_printer.h"
+
+using namespace dart;
+
+namespace {
+
+core::DartPipeline MakePipeline(const rel::Database& reference) {
+  core::AcquisitionMetadata metadata;
+  auto catalog = ocr::CashBudgetFixture::BuildCatalog(reference);
+  auto mapping = ocr::CashBudgetFixture::BuildMapping(reference);
+  DART_CHECK(catalog.ok() && mapping.ok());
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ocr::CashBudgetFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ocr::CashBudgetFixture::ConstraintProgram();
+  auto pipeline = core::DartPipeline::Create(std::move(metadata));
+  DART_CHECK_MSG(pipeline.ok(), pipeline.status().ToString());
+  return std::move(pipeline).value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E5 — wrapper extraction quality vs string noise (2-year budget,\n"
+      "20 rows/document, 10 documents per row; numbers left clean so that\n"
+      "only the lexical pipeline is measured)\n\n");
+  TablePrinter table({"char_noise", "matched_rows", "msi_repairs",
+                      "rows_recovered", "tuples_correct"});
+  const int kTrials = 10;
+  for (double noise_prob : {0.0, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0}) {
+    size_t matched = 0, repaired = 0, total_rows = 0;
+    size_t correct_tuples = 0, total_tuples = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(5000 + trial);
+      ocr::CashBudgetOptions options;
+      options.num_years = 2;
+      auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+      DART_CHECK(truth.ok());
+      core::DartPipeline pipeline = MakePipeline(*truth);
+      ocr::NoiseModel noise({0.0, noise_prob, 1, 4}, &rng);
+      const std::string html =
+          ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+      auto acquisition = pipeline.Acquire(html);
+      DART_CHECK_MSG(acquisition.ok(), acquisition.status().ToString());
+      matched += acquisition->extraction.matched_rows;
+      repaired += acquisition->extraction.repaired_cells;
+      total_rows += acquisition->extraction.rows;
+      // Tuple-level accuracy: extracted rows identical to the source data.
+      const rel::Relation* got =
+          acquisition->database.FindRelation("CashBudget");
+      const rel::Relation* want = truth->FindRelation("CashBudget");
+      const size_t n = std::min(got->size(), want->size());
+      for (size_t row = 0; row < n; ++row) {
+        bool same = true;
+        for (size_t attr = 0; attr < want->schema().arity(); ++attr) {
+          if (!(got->At(row, attr) == want->At(row, attr))) same = false;
+        }
+        if (same) ++correct_tuples;
+      }
+      total_tuples += want->size();
+    }
+    char noise_buf[32], matched_buf[32], repair_buf[32], rec_buf[32],
+        correct_buf[32];
+    std::snprintf(noise_buf, sizeof(noise_buf), "%.2f", noise_prob);
+    std::snprintf(matched_buf, sizeof(matched_buf), "%.1f%%",
+                  100.0 * matched / total_rows);
+    std::snprintf(repair_buf, sizeof(repair_buf), "%.1f",
+                  static_cast<double>(repaired) / kTrials);
+    std::snprintf(rec_buf, sizeof(rec_buf), "%zu/%zu", matched, total_rows);
+    std::snprintf(correct_buf, sizeof(correct_buf), "%.1f%%",
+                  100.0 * correct_tuples / total_tuples);
+    table.AddRow({noise_buf, matched_buf, repair_buf, rec_buf, correct_buf});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the domain-constrained msi() binding absorbs moderate\n"
+      "character noise entirely (tuples_correct stays near 100%% long after\n"
+      "raw strings stopped being exact); at extreme noise, cell scores drop\n"
+      "under the matcher floor and rows stop matching rather than binding\n"
+      "wrongly — the fail-safe the operator wants.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Product-catalog acquisition — the paper's "web sites publishing product
+// catalogs" scenario. Demonstrates that DART's metadata-driven design ports
+// to a second domain without code changes: a different relation scheme, a
+// two-level totals hierarchy (item → category total → grand total), its own
+// row pattern, and its own constraint program.
+//
+//   $ ./product_catalog [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dart.h"
+
+using namespace dart;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  Rng rng(seed);
+
+  ocr::CatalogOptions options;
+  options.num_categories = 4;
+  options.items_per_category = 4;
+  auto truth = ocr::CatalogFixture::Random(options, &rng);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Catalog ground truth:\n%s\n",
+              truth->FindRelation("Catalog")->ToString().c_str());
+
+  core::AcquisitionMetadata metadata;
+  auto catalog = ocr::CatalogFixture::BuildCatalog(*truth);
+  auto mapping = ocr::CatalogFixture::BuildMapping(*truth);
+  if (!catalog.ok() || !mapping.ok()) {
+    std::fprintf(stderr, "metadata construction failed\n");
+    return 1;
+  }
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ocr::CatalogFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ocr::CatalogFixture::ConstraintProgram();
+  auto pipeline = core::DartPipeline::Create(std::move(metadata));
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  // Corrupt a couple of amounts and one item name, then publish as HTML.
+  rel::Database scanned = truth->Clone();
+  auto injected = ocr::InjectMeasureErrors(&scanned, 2, &rng);
+  if (!injected.ok()) {
+    std::fprintf(stderr, "%s\n", injected.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Injected acquisition errors:\n");
+  for (const ocr::InjectedError& error : *injected) {
+    std::printf("  %s: %s became %s\n", error.cell.ToString().c_str(),
+                error.true_value.ToString().c_str(),
+                error.corrupted_value.ToString().c_str());
+  }
+  ocr::NoiseModel string_noise({0.0, 0.2, 1, 1}, &rng);
+  const std::string html =
+      ocr::CatalogFixture::RenderHtml(scanned, &string_noise);
+  std::printf("(plus %zu corrupted lexical items in the rendered HTML)\n\n",
+              string_noise.strings_corrupted());
+
+  auto outcome = pipeline->Process(html);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Extraction repaired %zu lexical cells via msi().\n",
+              outcome->acquisition.extraction.repaired_cells);
+  std::printf("Violated ground constraints after acquisition: %zu\n",
+              outcome->violations.size());
+  for (const cons::Violation& violation : outcome->violations) {
+    std::printf("  %s\n", violation.ToString().c_str());
+  }
+  std::printf("\nSuggested card-minimal repair (%zu updates):\n%s\n",
+              outcome->repair.repair.cardinality(),
+              outcome->repair.repair.ToString().c_str());
+
+  auto differences = outcome->repaired.CountDifferences(*truth);
+  std::printf("Repaired catalog differs from ground truth in %zu cells.\n",
+              differences.ok() ? *differences : size_t{999});
+  std::printf(
+      "(A nonzero residual is possible without operator supervision: the\n"
+      " card-minimal semantics picks *a* minimum-change explanation, which\n"
+      " the validation loop would then confirm or refine — see the\n"
+      " balance_sheets and interactive_repair examples.)\n");
+  return 0;
+}

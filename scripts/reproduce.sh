@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every
+# experiment of EXPERIMENTS.md, leaving test_output.txt and bench_output.txt
+# in the repository root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "Done: test_output.txt, bench_output.txt"

@@ -1,0 +1,209 @@
+#include "acquire/layout.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dart::acquire {
+
+namespace {
+
+struct Band {
+  double top = 0;
+  double bottom = 0;
+  double center() const { return (top + bottom) / 2; }
+  double height() const { return bottom - top; }
+};
+
+/// Column cluster: member boxes, the shared left edge, and the half-open
+/// window [window_start, window_end) this column owns on the x axis.
+struct Column {
+  std::vector<size_t> boxes;
+  double left = 0;
+  double window_start = 0;
+  double window_end = 0;  ///< +inf for the rightmost column.
+};
+
+/// Clusters boxes into columns by LEFT EDGE (within tolerance). Interval
+/// overlap is deliberately not used: a colspan header overlaps several
+/// columns and would otherwise merge them. Columns partition the x axis
+/// into windows at the cluster left edges.
+std::vector<Column> ClusterColumns(const std::vector<TextBox>& boxes,
+                                   double edge_tolerance) {
+  std::vector<size_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return boxes[a].x < boxes[b].x;
+  });
+  std::vector<Column> columns;
+  for (size_t index : order) {
+    if (columns.empty() ||
+        boxes[index].x - columns.back().left > edge_tolerance) {
+      columns.push_back(Column{{}, boxes[index].x, boxes[index].x, 0});
+    }
+    columns.back().boxes.push_back(index);
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].window_end = c + 1 < columns.size()
+                                ? columns[c + 1].window_start
+                                : std::numeric_limits<double>::infinity();
+  }
+  return columns;
+}
+
+/// Row bands from the spine column (most boxes; leftmost on ties).
+std::vector<Band> BandsFromSpine(const std::vector<TextBox>& boxes,
+                                 const std::vector<Column>& columns) {
+  const Column* spine = nullptr;
+  for (const Column& column : columns) {
+    if (spine == nullptr || column.boxes.size() > spine->boxes.size()) {
+      spine = &column;
+    }
+  }
+  DART_CHECK(spine != nullptr);
+  std::vector<Band> bands;
+  for (size_t index : spine->boxes) {
+    bands.push_back(Band{boxes[index].y, boxes[index].bottom()});
+  }
+  std::sort(bands.begin(), bands.end(),
+            [](const Band& a, const Band& b) { return a.top < b.top; });
+  // Merge overlapping bands (wrapped lines inside one logical row).
+  std::vector<Band> merged;
+  for (const Band& band : bands) {
+    if (!merged.empty() && band.top <= merged.back().bottom) {
+      merged.back().bottom = std::max(merged.back().bottom, band.bottom);
+    } else {
+      merged.push_back(band);
+    }
+  }
+  return merged;
+}
+
+double MedianBandHeight(const std::vector<Band>& bands) {
+  std::vector<double> heights;
+  heights.reserve(bands.size());
+  for (const Band& band : bands) heights.push_back(band.height());
+  std::sort(heights.begin(), heights.end());
+  return heights.empty() ? 1.0 : heights[heights.size() / 2];
+}
+
+}  // namespace
+
+Result<std::vector<wrap::HtmlTable>> ReconstructTables(
+    const Page& page, const LayoutOptions& options) {
+  std::vector<wrap::HtmlTable> tables;
+  if (page.boxes.empty()) return tables;
+  const std::vector<TextBox>& boxes = page.boxes;
+
+  const std::vector<Column> columns =
+      ClusterColumns(boxes, options.column_edge_tolerance);
+  std::vector<Band> bands = BandsFromSpine(boxes, columns);
+  if (bands.empty()) {
+    return Status::InvalidArgument("page has boxes but no row bands");
+  }
+
+  // Split bands into tables at large vertical gaps.
+  const double gap_limit = options.table_gap_factor * MedianBandHeight(bands);
+  std::vector<std::pair<size_t, size_t>> table_ranges;  // [first, last] bands
+  size_t start = 0;
+  for (size_t b = 1; b <= bands.size(); ++b) {
+    if (b == bands.size() || bands[b].top - bands[b - 1].bottom > gap_limit) {
+      table_ranges.emplace_back(start, b - 1);
+      start = b;
+    }
+  }
+
+  // Column index (and span) of a box: the column windows its x-extent
+  // meaningfully intersects.
+  auto column_range = [&](const TextBox& box) {
+    size_t first = columns.size(), last = 0;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const double overlap = std::min(box.right(), columns[c].window_end) -
+                             std::max(box.x, columns[c].window_start);
+      if (overlap >= options.column_overlap_tolerance) {
+        first = std::min(first, c);
+        last = std::max(last, c);
+      }
+    }
+    if (first > last) first = last = 0;
+    return std::pair<size_t, size_t>(first, last);
+  };
+
+  for (const auto& [first_band, last_band] : table_ranges) {
+    // Bands covered by each box of this table.
+    struct Placed {
+      size_t box = 0;
+      size_t row = 0;      ///< first band index (relative to the table).
+      size_t rowspan = 1;
+      size_t col = 0;
+      size_t colspan = 1;
+    };
+    std::vector<Placed> placed;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      const TextBox& box = boxes[i];
+      size_t first_cover = bands.size(), last_cover = 0;
+      for (size_t b = first_band; b <= last_band; ++b) {
+        const double center = bands[b].center();
+        if (center >= box.y - options.row_cover_tolerance &&
+            center <= box.bottom() + options.row_cover_tolerance) {
+          first_cover = std::min(first_cover, b);
+          last_cover = std::max(last_cover, b);
+        }
+      }
+      if (first_cover > last_cover) continue;  // box belongs to another table
+      const auto [col_first, col_last] = column_range(box);
+      placed.push_back(Placed{i, first_cover - first_band,
+                              last_cover - first_cover + 1, col_first,
+                              col_last - col_first + 1});
+    }
+    // Deterministic order: by (row, column, x).
+    std::sort(placed.begin(), placed.end(),
+              [&](const Placed& a, const Placed& b) {
+                if (a.row != b.row) return a.row < b.row;
+                if (a.col != b.col) return a.col < b.col;
+                return boxes[a.box].x < boxes[b.box].x;
+              });
+    wrap::HtmlTable table;
+    table.rows.resize(last_band - first_band + 1);
+    for (const Placed& item : placed) {
+      wrap::HtmlCell cell;
+      cell.text = boxes[item.box].text;
+      cell.rowspan = static_cast<int>(item.rowspan);
+      cell.colspan = static_cast<int>(item.colspan);
+      table.rows[item.row].push_back(std::move(cell));
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+Result<std::string> ConvertToHtml(const PositionalDocument& document,
+                                  const LayoutOptions& options) {
+  std::string html = "<html><body>\n";
+  for (const Page& page : document.pages) {
+    DART_ASSIGN_OR_RETURN(std::vector<wrap::HtmlTable> tables,
+                          ReconstructTables(page, options));
+    for (const wrap::HtmlTable& table : tables) {
+      html += "<table>\n";
+      for (const auto& row : table.rows) {
+        html += "  <tr>";
+        for (const wrap::HtmlCell& cell : row) {
+          html += "<td";
+          if (cell.rowspan > 1) {
+            html += " rowspan=\"" + std::to_string(cell.rowspan) + "\"";
+          }
+          if (cell.colspan > 1) {
+            html += " colspan=\"" + std::to_string(cell.colspan) + "\"";
+          }
+          html += ">" + wrap::EscapeHtml(cell.text) + "</td>";
+        }
+        html += "</tr>\n";
+      }
+      html += "</table>\n";
+    }
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+}  // namespace dart::acquire

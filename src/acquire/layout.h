@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acquire/positional.h"
+#include "wrapper/html_parser.h"
+#include "util/status.h"
+
+/// \file layout.h
+/// Geometric table reconstruction: positional documents (OCR / PDF text
+/// boxes) → HTML tables with rowspan/colspan, i.e. the format-conversion
+/// step of the acquisition module (Sec. 6.1). The algorithm:
+///
+///   1. *Column clustering*: boxes whose x-intervals overlap (transitively)
+///      form a column; columns are ordered left to right.
+///   2. *Row banding*: the most populated column is the row "spine"; its
+///      boxes' y-intervals (merged when overlapping) are the row bands.
+///   3. *Table splitting*: a vertical gap larger than `table_gap_factor` ×
+///      the median band height starts a new table.
+///   4. *Cell assignment*: every box occupies the bands its y-interval
+///      covers (rowspan) and the columns its x-interval covers (colspan);
+///      the paper's multi-row Year cell falls out naturally as a rowspan
+///      over all bands of its table.
+///
+/// The output feeds the existing wrapper unchanged, so documents can enter
+/// DART either as HTML or as .pos scans.
+
+namespace dart::acquire {
+
+struct LayoutOptions {
+  /// Boxes whose LEFT edges lie within this distance share a column. Left
+  /// edges (not interval overlap) define columns so that a wide spanning
+  /// cell cannot glue two columns together — it becomes a colspan instead.
+  double column_edge_tolerance = 5.0;
+  /// Minimum x-overlap with a column's window for the box to be considered
+  /// as covering that column (colspan detection).
+  double column_overlap_tolerance = 0.5;
+  /// A box covers a row band when the band's vertical center lies within
+  /// the box's y-extent expanded by this tolerance.
+  double row_cover_tolerance = 1.0;
+  /// Gap (in multiples of the median row-band height) that separates two
+  /// tables stacked on one page.
+  double table_gap_factor = 2.0;
+};
+
+/// Reconstructs the tables of one page, top to bottom.
+Result<std::vector<wrap::HtmlTable>> ReconstructTables(
+    const Page& page, const LayoutOptions& options = {});
+
+/// Converts a whole positional document to an HTML document containing one
+/// <table> per reconstructed table, in page order — the acquisition
+/// module's "format converter" output.
+Result<std::string> ConvertToHtml(const PositionalDocument& document,
+                                  const LayoutOptions& options = {});
+
+}  // namespace dart::acquire

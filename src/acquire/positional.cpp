@@ -1,0 +1,90 @@
+#include "acquire/positional.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace dart::acquire {
+
+std::string WritePositional(const PositionalDocument& document) {
+  std::string out;
+  char buf[160];
+  for (const Page& page : document.pages) {
+    out += "page\n";
+    for (const TextBox& box : page.boxes) {
+      DART_CHECK_MSG(box.text.find('\n') == std::string::npos,
+                     "box text may not contain newlines");
+      std::snprintf(buf, sizeof(buf), "box %.3f %.3f %.3f %.3f ", box.x,
+                    box.y, box.width, box.height);
+      out += buf;
+      out += box.text;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<double> ParseNumber(std::string_view token, int line) {
+  double value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("bad number '" + std::string(token) +
+                              "' at line " + std::to_string(line));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<PositionalDocument> ReadPositional(const std::string& text) {
+  PositionalDocument document;
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "page") {
+      document.pages.emplace_back();
+      continue;
+    }
+    if (StartsWith(trimmed, "box ")) {
+      if (document.pages.empty()) {
+        return Status::ParseError("'box' before any 'page' at line " +
+                                  std::to_string(line_number));
+      }
+      // box x y w h text...
+      std::string_view rest = trimmed.substr(4);
+      TextBox box;
+      double* fields[4] = {&box.x, &box.y, &box.width, &box.height};
+      for (double* field : fields) {
+        rest = TrimView(rest);
+        size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          return Status::ParseError("truncated box record at line " +
+                                    std::to_string(line_number));
+        }
+        DART_ASSIGN_OR_RETURN(*field,
+                              ParseNumber(rest.substr(0, space), line_number));
+        rest = rest.substr(space + 1);
+      }
+      box.text = Trim(rest);
+      document.pages.back().boxes.push_back(std::move(box));
+      continue;
+    }
+    return Status::ParseError("unrecognized line " +
+                              std::to_string(line_number) + ": '" +
+                              std::string(trimmed) + "'");
+  }
+  return document;
+}
+
+}  // namespace dart::acquire

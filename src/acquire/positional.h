@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file positional.h
+/// The acquisition module's input substrate (paper Sec. 6.1). The paper's
+/// DART feeds scanned paper documents through an OCR tool and converts the
+/// result (and PDF/MSWord/RTF inputs) to HTML before extraction. No scanner
+/// or proprietary converter exists in this reproduction, so we model the
+/// *common denominator of all those formats*: a positional document — pages
+/// of text boxes with coordinates — which is exactly what OCR engines and
+/// PDF text extractors emit. A serialized text format (.pos) stands in for
+/// the binary inputs, and acquire/layout.h reconstructs tables from the
+/// geometry.
+
+namespace dart::acquire {
+
+/// One recognized text box (an OCR "word group" / PDF text run).
+struct TextBox {
+  double x = 0;       ///< left edge.
+  double y = 0;       ///< top edge (y grows downward, like page space).
+  double width = 0;
+  double height = 0;
+  std::string text;
+
+  double right() const { return x + width; }
+  double bottom() const { return y + height; }
+};
+
+/// One page of boxes.
+struct Page {
+  std::vector<TextBox> boxes;
+};
+
+/// A positional document.
+struct PositionalDocument {
+  std::vector<Page> pages;
+
+  size_t TotalBoxes() const {
+    size_t total = 0;
+    for (const Page& page : pages) total += page.boxes.size();
+    return total;
+  }
+};
+
+/// Serializes to the .pos text format:
+///   page
+///   box <x> <y> <width> <height> <text until end of line>
+/// Numbers use a fixed decimal rendering; text is written verbatim (it may
+/// not contain newlines).
+std::string WritePositional(const PositionalDocument& document);
+
+/// Parses the .pos format; unknown lines and malformed records fail with
+/// ParseError naming the line. Boxes with newline-free text only.
+Result<PositionalDocument> ReadPositional(const std::string& text);
+
+}  // namespace dart::acquire

@@ -1,0 +1,346 @@
+#include "constraints/ast.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace dart::cons {
+
+namespace {
+
+class ConstExpr : public AttributeExpr {
+ public:
+  explicit ConstExpr(double value) : value_(value) {}
+  Status Linearize(const rel::RelationSchema&, LinearForm* out,
+                   double scale) const override {
+    out->constant += scale * value_;
+    return Status::Ok();
+  }
+  std::string ToString() const override { return FormatDouble(value_); }
+
+ private:
+  double value_;
+};
+
+class AttrExpr : public AttributeExpr {
+ public:
+  explicit AttrExpr(std::string attribute) : attribute_(std::move(attribute)) {}
+  Status Linearize(const rel::RelationSchema& schema, LinearForm* out,
+                   double scale) const override {
+    auto idx = schema.AttributeIndex(attribute_);
+    if (!idx) {
+      return Status::NotFound("attribute '" + attribute_ + "' not in " +
+                              schema.ToString());
+    }
+    if (!rel::IsNumericDomain(schema.attribute(*idx).domain)) {
+      return Status::InvalidArgument(
+          "attribute expression references non-numeric attribute '" +
+          attribute_ + "'");
+    }
+    out->coefficients[*idx] += scale;
+    return Status::Ok();
+  }
+  std::string ToString() const override { return attribute_; }
+
+ private:
+  std::string attribute_;
+};
+
+class BinaryExpr : public AttributeExpr {
+ public:
+  BinaryExpr(AttributeExprPtr lhs, char op, AttributeExprPtr rhs)
+      : lhs_(std::move(lhs)), op_(op), rhs_(std::move(rhs)) {
+    DART_CHECK_MSG(op_ == '+' || op_ == '-',
+                   "attribute expressions allow only + and - (paper Sec. 3.1)");
+  }
+  Status Linearize(const rel::RelationSchema& schema, LinearForm* out,
+                   double scale) const override {
+    DART_RETURN_IF_ERROR(lhs_->Linearize(schema, out, scale));
+    return rhs_->Linearize(schema, out, op_ == '+' ? scale : -scale);
+  }
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + op_ + " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  AttributeExprPtr lhs_;
+  char op_;
+  AttributeExprPtr rhs_;
+};
+
+class ScaleExpr : public AttributeExpr {
+ public:
+  ScaleExpr(double factor, AttributeExprPtr child)
+      : factor_(factor), child_(std::move(child)) {}
+  Status Linearize(const rel::RelationSchema& schema, LinearForm* out,
+                   double scale) const override {
+    return child_->Linearize(schema, out, scale * factor_);
+  }
+  std::string ToString() const override {
+    return FormatDouble(factor_) + "*(" + child_->ToString() + ")";
+  }
+
+ private:
+  double factor_;
+  AttributeExprPtr child_;
+};
+
+}  // namespace
+
+AttributeExprPtr MakeConstExpr(double value) {
+  return std::make_shared<ConstExpr>(value);
+}
+AttributeExprPtr MakeAttrExpr(std::string attribute) {
+  return std::make_shared<AttrExpr>(std::move(attribute));
+}
+AttributeExprPtr MakeBinaryExpr(AttributeExprPtr lhs, char op,
+                                AttributeExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(std::move(lhs), op, std::move(rhs));
+}
+AttributeExprPtr MakeScaleExpr(double factor, AttributeExprPtr child) {
+  return std::make_shared<ScaleExpr>(factor, std::move(child));
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return constant.is_string() ? "'" + constant.AsString() + "'"
+                                  : constant.ToString();
+    case Kind::kAttribute:
+      return name;
+    case Kind::kParameter:
+      return "$" + name;
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const rel::Value& lhs, CompareOp op, const rel::Value& rhs) {
+  const bool comparable =
+      (lhs.is_numeric() && rhs.is_numeric()) ||
+      (lhs.is_string() && rhs.is_string());
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return comparable && !(lhs == rhs);
+    case CompareOp::kLt: return comparable && lhs < rhs;
+    case CompareOp::kLe: return comparable && (lhs < rhs || lhs == rhs);
+    case CompareOp::kGt: return comparable && rhs < lhs;
+    case CompareOp::kGe: return comparable && (rhs < lhs || lhs == rhs);
+  }
+  return false;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+}
+
+std::string AggregationFunction::ToString() const {
+  std::string out = name + "(" + Join(parameters, ", ") + ") := sum(" +
+                    (expr ? expr->ToString() : "?") + ") from " + relation;
+  if (!where.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += where[i].ToString();
+    }
+  }
+  return out;
+}
+
+std::string TermArg::ToString() const {
+  if (kind == Kind::kVariable) return variable;
+  return constant.is_string() ? "'" + constant.AsString() + "'"
+                              : constant.ToString();
+}
+
+std::string Atom::ToString() const {
+  std::string out = relation + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string AggregateTerm::ToString() const {
+  std::string out;
+  if (coefficient != 1) out += FormatDouble(coefficient) + "*";
+  out += function + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string AggregateConstraint::ToString() const {
+  std::string out = name + ": ";
+  for (size_t i = 0; i < premise.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += premise[i].ToString();
+  }
+  out += " => ";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0 && terms[i].coefficient >= 0) out += " + ";
+    if (i > 0 && terms[i].coefficient < 0) out += " ";
+    out += terms[i].ToString();
+  }
+  out += " ";
+  out += CompareOpName(op);
+  out += " " + FormatDouble(rhs);
+  return out;
+}
+
+Status ConstraintSet::AddFunction(const rel::DatabaseSchema& schema,
+                                  AggregationFunction function) {
+  if (function.name.empty()) {
+    return Status::InvalidArgument("aggregation function needs a name");
+  }
+  if (FindFunction(function.name) != nullptr) {
+    return Status::AlreadyExists("aggregation function '" + function.name +
+                                 "' already defined");
+  }
+  const rel::RelationSchema* rel_schema =
+      schema.FindRelation(function.relation);
+  if (rel_schema == nullptr) {
+    return Status::NotFound("aggregation function '" + function.name +
+                            "' aggregates over unknown relation '" +
+                            function.relation + "'");
+  }
+  if (!function.expr) {
+    return Status::InvalidArgument("aggregation function '" + function.name +
+                                   "' has no summed expression");
+  }
+  LinearForm form;
+  DART_RETURN_IF_ERROR(function.expr->Linearize(*rel_schema, &form, 1.0));
+  std::set<std::string> params(function.parameters.begin(),
+                               function.parameters.end());
+  if (params.size() != function.parameters.size()) {
+    return Status::InvalidArgument("duplicate parameter in function '" +
+                                   function.name + "'");
+  }
+  for (const Comparison& cmp : function.where) {
+    for (const Operand* operand : {&cmp.lhs, &cmp.rhs}) {
+      if (operand->kind == Operand::Kind::kAttribute &&
+          !rel_schema->AttributeIndex(operand->name)) {
+        return Status::NotFound("WHERE clause of '" + function.name +
+                                "' references unknown attribute '" +
+                                operand->name + "'");
+      }
+      if (operand->kind == Operand::Kind::kParameter &&
+          params.count(operand->name) == 0) {
+        return Status::NotFound("WHERE clause of '" + function.name +
+                                "' references undeclared parameter '" +
+                                operand->name + "'");
+      }
+    }
+  }
+  functions_.push_back(std::move(function));
+  return Status::Ok();
+}
+
+Status ConstraintSet::AddConstraint(const rel::DatabaseSchema& schema,
+                                    AggregateConstraint constraint) {
+  if (constraint.premise.empty()) {
+    return Status::InvalidArgument("constraint '" + constraint.name +
+                                   "' has an empty premise φ");
+  }
+  if (constraint.op == CompareOp::kNe || constraint.op == CompareOp::kLt ||
+      constraint.op == CompareOp::kGt) {
+    return Status::InvalidArgument(
+        "constraint '" + constraint.name +
+        "' must use <=, >= or = (Def. 1 allows only closed comparisons)");
+  }
+  for (const Atom& atom : constraint.premise) {
+    const rel::RelationSchema* rel_schema = schema.FindRelation(atom.relation);
+    if (rel_schema == nullptr) {
+      return Status::NotFound("constraint '" + constraint.name +
+                              "' references unknown relation '" +
+                              atom.relation + "'");
+    }
+    if (atom.args.size() != rel_schema->arity()) {
+      return Status::InvalidArgument(
+          "atom " + atom.ToString() + " has arity " +
+          std::to_string(atom.args.size()) + ", expected " +
+          std::to_string(rel_schema->arity()));
+    }
+  }
+  std::set<std::string> premise_vars;
+  for (const std::string& v : VariablesOf(constraint.premise)) {
+    premise_vars.insert(v);
+  }
+  if (constraint.terms.empty()) {
+    return Status::InvalidArgument("constraint '" + constraint.name +
+                                   "' has no aggregation terms");
+  }
+  for (const AggregateTerm& term : constraint.terms) {
+    const AggregationFunction* fn = FindFunction(term.function);
+    if (fn == nullptr) {
+      return Status::NotFound("constraint '" + constraint.name +
+                              "' uses undefined aggregation function '" +
+                              term.function + "'");
+    }
+    if (term.args.size() != fn->parameters.size()) {
+      return Status::InvalidArgument(
+          "call " + term.ToString() + " passes " +
+          std::to_string(term.args.size()) + " args; '" + term.function +
+          "' declares " + std::to_string(fn->parameters.size()));
+    }
+    for (const TermArg& arg : term.args) {
+      if (arg.kind == TermArg::Kind::kVariable &&
+          premise_vars.count(arg.variable) == 0) {
+        return Status::InvalidArgument(
+            "variable '" + arg.variable + "' used in " + term.ToString() +
+            " does not occur in the premise of constraint '" +
+            constraint.name + "' (Def. 1 requires Xᵢ ⊆ {x₁..xₖ})");
+      }
+    }
+  }
+  constraints_.push_back(std::move(constraint));
+  return Status::Ok();
+}
+
+const AggregationFunction* ConstraintSet::FindFunction(
+    const std::string& name) const {
+  for (const AggregationFunction& fn : functions_) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+std::string ConstraintSet::ToString() const {
+  std::string out;
+  for (const AggregationFunction& fn : functions_) {
+    out += "agg " + fn.ToString() + ";\n";
+  }
+  for (const AggregateConstraint& c : constraints_) {
+    out += "constraint " + c.ToString() + ";\n";
+  }
+  return out;
+}
+
+std::vector<std::string> VariablesOf(const std::vector<Atom>& atoms) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    for (const TermArg& arg : atom.args) {
+      if (arg.kind == TermArg::Kind::kVariable && seen.insert(arg.variable).second) {
+        out.push_back(arg.variable);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dart::cons

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+/// \file ast.h
+/// Abstract syntax of the paper's constraint language (Sec. 3.1):
+///
+///   attribute expressions  e  ::= const | A | e + e | e - e | c × (e)
+///   aggregation functions  χ(x1..xk) = SELECT sum(e) FROM R WHERE α(x1..xk)
+///   aggregate constraints  ∀x̄ ( φ(x̄) ⇒ Σ cᵢ·χᵢ(Xᵢ) ⋈ K ),  ⋈ ∈ {≤, =, ≥}
+///
+/// Equalities are first-class (the paper treats them as sugar for a pair of
+/// inequalities; we split them only at MILP-translation time).
+
+namespace dart::cons {
+
+// ---------------------------------------------------------------------------
+// Attribute expressions
+// ---------------------------------------------------------------------------
+
+/// A linear view of an attribute expression over one tuple:
+/// value(t) = constant + Σ_j coefficients[j] * t[attr_j].
+/// Linearization is what both evaluation and the MILP translation consume.
+struct LinearForm {
+  double constant = 0;
+  /// attribute index (within the owning relation) → coefficient.
+  std::map<size_t, double> coefficients;
+};
+
+/// Attribute expression AST node.
+class AttributeExpr {
+ public:
+  virtual ~AttributeExpr() = default;
+
+  /// Produces the linear form of the expression against `schema`.
+  /// Fails if the expression names a missing or non-numeric attribute.
+  virtual Status Linearize(const rel::RelationSchema& schema,
+                           LinearForm* out, double scale) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using AttributeExprPtr = std::shared_ptr<const AttributeExpr>;
+
+/// Numeric literal.
+AttributeExprPtr MakeConstExpr(double value);
+/// Attribute reference by name.
+AttributeExprPtr MakeAttrExpr(std::string attribute);
+/// lhs + rhs  /  lhs - rhs.
+AttributeExprPtr MakeBinaryExpr(AttributeExprPtr lhs, char op,
+                                AttributeExprPtr rhs);
+/// c × (child).
+AttributeExprPtr MakeScaleExpr(double factor, AttributeExprPtr child);
+
+// ---------------------------------------------------------------------------
+// WHERE clauses
+// ---------------------------------------------------------------------------
+
+/// One side of a comparison in a WHERE clause α.
+struct Operand {
+  enum class Kind { kConstant, kAttribute, kParameter };
+  Kind kind = Kind::kConstant;
+  rel::Value constant;  ///< kConstant payload.
+  std::string name;     ///< attribute or parameter name otherwise.
+
+  static Operand Const(rel::Value v) {
+    return Operand{Kind::kConstant, std::move(v), {}};
+  }
+  static Operand Attr(std::string name) {
+    return Operand{Kind::kAttribute, {}, std::move(name)};
+  }
+  static Operand Param(std::string name) {
+    return Operand{Kind::kParameter, {}, std::move(name)};
+  }
+
+  std::string ToString() const;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// Evaluates `lhs op rhs` on two concrete values. String operands support
+/// only =/!=; mixed string/number comparisons are always false.
+bool EvalCompare(const rel::Value& lhs, CompareOp op, const rel::Value& rhs);
+
+/// One conjunct of α: lhs ⋈ rhs.
+struct Comparison {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation functions
+// ---------------------------------------------------------------------------
+
+/// χ(params) = SELECT sum(expr) FROM relation WHERE where₁ AND … AND whereₘ.
+struct AggregationFunction {
+  std::string name;
+  std::vector<std::string> parameters;
+  std::string relation;
+  AttributeExprPtr expr;           ///< the summed attribute expression e.
+  std::vector<Comparison> where;   ///< conjunction α.
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Constraints
+// ---------------------------------------------------------------------------
+
+/// One argument of a relational atom or an aggregation-function call: either
+/// a variable or a constant.
+struct TermArg {
+  enum class Kind { kVariable, kConstant };
+  Kind kind = Kind::kVariable;
+  std::string variable;
+  rel::Value constant;
+
+  static TermArg Var(std::string name) {
+    return TermArg{Kind::kVariable, std::move(name), {}};
+  }
+  static TermArg Const(rel::Value v) {
+    return TermArg{Kind::kConstant, {}, std::move(v)};
+  }
+
+  std::string ToString() const;
+};
+
+/// A relational atom R(a₁, …, aₙ) in the premise φ.
+struct Atom {
+  std::string relation;
+  std::vector<TermArg> args;
+
+  std::string ToString() const;
+};
+
+/// One summand cᵢ·χᵢ(Xᵢ) of the constraint body.
+struct AggregateTerm {
+  double coefficient = 1;
+  std::string function;        ///< name of the AggregationFunction.
+  std::vector<TermArg> args;   ///< Xᵢ — variables of φ and constants.
+
+  std::string ToString() const;
+};
+
+/// ∀x̄ ( φ ⇒ Σ cᵢ·χᵢ(Xᵢ) ⋈ K ).
+struct AggregateConstraint {
+  std::string name;
+  std::vector<Atom> premise;          ///< φ, a conjunction of atoms.
+  std::vector<AggregateTerm> terms;   ///< left-hand side.
+  CompareOp op = CompareOp::kLe;      ///< ≤, =, or ≥ (≠, <, > not allowed).
+  double rhs = 0;                     ///< K.
+
+  std::string ToString() const;
+};
+
+/// A validated set of aggregation functions and aggregate constraints over a
+/// database scheme.
+class ConstraintSet {
+ public:
+  /// Registers an aggregation function after validating it against `schema`:
+  /// the relation exists, WHERE attributes exist, WHERE parameters are
+  /// declared, and the summed expression linearizes.
+  Status AddFunction(const rel::DatabaseSchema& schema,
+                     AggregationFunction function);
+
+  /// Registers a constraint after validating atoms (relation/arity), term
+  /// function references (existence/arity), term argument variables (must
+  /// occur in φ), and the comparison operator (≤/=/≥ only).
+  Status AddConstraint(const rel::DatabaseSchema& schema,
+                       AggregateConstraint constraint);
+
+  const AggregationFunction* FindFunction(const std::string& name) const;
+  const std::vector<AggregationFunction>& functions() const {
+    return functions_;
+  }
+  const std::vector<AggregateConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AggregationFunction> functions_;
+  std::vector<AggregateConstraint> constraints_;
+};
+
+/// Distinct variables of an atom list, in first-occurrence order.
+std::vector<std::string> VariablesOf(const std::vector<Atom>& atoms);
+
+}  // namespace dart::cons

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "constraints/ast.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+/// \file parser.h
+/// Textual DSL for aggregation functions and aggregate constraints. This is
+/// the concrete syntax the *acquisition designer* writes into the constraint
+/// metadata (paper Sec. 2/6). The running example reads:
+///
+///   # chi_1 of Example 2
+///   agg chi1(x, y, z) := sum(Value) from CashBudget
+///       where Section = x and Year = y and Type = z;
+///
+///   agg chi2(x, y) := sum(Value) from CashBudget
+///       where Year = x and Subsection = y;
+///
+///   # Constraint 1 of Example 3 ('_' is the anonymous-variable wildcard)
+///   constraint c1: CashBudget(y, x, _, _, _)
+///       => chi1(x, y, 'det') - chi1(x, y, 'aggr') = 0;
+///
+/// Grammar (informal):
+///   program    := (agg | constraint)* ;  '#' starts a line comment
+///   agg        := 'agg' NAME '(' params ')' ':=' 'sum' '(' expr ')'
+///                 'from' NAME ['where' cmp ('and' cmp)*] ';'
+///   cmp        := operand ('='|'!='|'<='|'>='|'<'|'>') operand
+///   operand    := 'STRING' | NUMBER | NAME   (NAME resolves to a declared
+///                 parameter first, then to an attribute of the relation)
+///   constraint := 'constraint' NAME ':' atom (',' atom)* '=>' body ';'
+///   atom       := NAME '(' (NAME|'_'|'STRING'|NUMBER) , ... ')'
+///   body       := [±][coef '*'] call (('+'|'-') [coef '*'] call | ± NUMBER)*
+///                 ('<='|'>='|'=') NUMBER
+///   call       := NAME '(' (NAME|'STRING'|NUMBER) , ... ')'
+/// Constant summands on the left are folded into K.
+
+namespace dart::cons {
+
+/// Parses `text` and registers everything into `out`, validating against
+/// `schema`. On error, returns a ParseError naming the line.
+Status ParseConstraintProgram(const rel::DatabaseSchema& schema,
+                              const std::string& text, ConstraintSet* out);
+
+}  // namespace dart::cons

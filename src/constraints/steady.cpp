@@ -1,0 +1,147 @@
+#include "constraints/steady.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dart::cons {
+
+namespace {
+
+/// All (relation, attribute) pairs that variable `var` corresponds to in the
+/// premise φ (Sec. 4: "the attribute A_j corresponds to the variable x_j").
+std::vector<AttrRef> CorrespondingAttributes(
+    const rel::DatabaseSchema& schema, const std::vector<Atom>& premise,
+    const std::string& var) {
+  std::vector<AttrRef> out;
+  for (const Atom& atom : premise) {
+    const rel::RelationSchema* rel_schema = schema.FindRelation(atom.relation);
+    if (rel_schema == nullptr) continue;  // validated earlier
+    for (size_t i = 0; i < atom.args.size() && i < rel_schema->arity(); ++i) {
+      if (atom.args[i].kind == TermArg::Kind::kVariable &&
+          atom.args[i].variable == var) {
+        out.push_back(AttrRef{atom.relation, rel_schema->attribute(i).name});
+      }
+    }
+  }
+  return out;
+}
+
+void SortUnique(std::vector<AttrRef>* refs) {
+  std::sort(refs->begin(), refs->end());
+  refs->erase(std::unique(refs->begin(), refs->end()), refs->end());
+}
+
+bool IsMeasure(const rel::DatabaseSchema& schema, const AttrRef& ref) {
+  const rel::RelationSchema* rel_schema = schema.FindRelation(ref.relation);
+  if (rel_schema == nullptr) return false;
+  auto idx = rel_schema->AttributeIndex(ref.attribute);
+  return idx && rel_schema->attribute(*idx).is_measure;
+}
+
+std::string RefsToString(const std::vector<AttrRef>& refs) {
+  std::string out = "{";
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += refs[i].ToString();
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string SteadinessReport::ToString() const {
+  return "A(κ)=" + RefsToString(a_set) + " J(κ)=" + RefsToString(j_set) +
+         (steady() ? " — steady" : " — NOT steady, offending " +
+                                       RefsToString(offending));
+}
+
+Result<SteadinessReport> AnalyzeSteadiness(
+    const rel::DatabaseSchema& schema, const ConstraintSet& constraints,
+    const AggregateConstraint& constraint) {
+  SteadinessReport report;
+
+  // --- A(κ) = ∪ W(χᵢ) over the constraint's aggregation-function calls.
+  for (const AggregateTerm& term : constraint.terms) {
+    const AggregationFunction* fn = constraints.FindFunction(term.function);
+    if (fn == nullptr) {
+      return Status::NotFound("constraint '" + constraint.name +
+                              "' references undefined function '" +
+                              term.function + "'");
+    }
+    for (const Comparison& cmp : fn->where) {
+      for (const Operand* operand : {&cmp.lhs, &cmp.rhs}) {
+        if (operand->kind == Operand::Kind::kAttribute) {
+          // Attribute of R_χ appearing in the WHERE clause.
+          report.a_set.push_back(AttrRef{fn->relation, operand->name});
+        } else if (operand->kind == Operand::Kind::kParameter) {
+          // Parameter appearing in the WHERE clause: follow the call-site
+          // argument; if it is a variable of φ, add the φ-attributes that
+          // variable corresponds to.
+          for (size_t p = 0; p < fn->parameters.size(); ++p) {
+            if (fn->parameters[p] != operand->name) continue;
+            if (p >= term.args.size()) break;  // arity validated earlier
+            const TermArg& arg = term.args[p];
+            if (arg.kind == TermArg::Kind::kVariable) {
+              auto refs = CorrespondingAttributes(schema, constraint.premise,
+                                                  arg.variable);
+              report.a_set.insert(report.a_set.end(), refs.begin(),
+                                  refs.end());
+            }
+          }
+        }
+      }
+    }
+  }
+  SortUnique(&report.a_set);
+
+  // --- J(κ): attributes corresponding to variables shared by two atom
+  // occurrences (or used twice within one atom — an implicit self-join).
+  std::map<std::string, size_t> occurrence_count;
+  for (const Atom& atom : constraint.premise) {
+    for (const TermArg& arg : atom.args) {
+      if (arg.kind == TermArg::Kind::kVariable) {
+        ++occurrence_count[arg.variable];
+      }
+    }
+  }
+  for (const auto& [var, count] : occurrence_count) {
+    if (count < 2) continue;
+    auto refs = CorrespondingAttributes(schema, constraint.premise, var);
+    report.j_set.insert(report.j_set.end(), refs.begin(), refs.end());
+  }
+  SortUnique(&report.j_set);
+
+  // --- Offenders: (A ∪ J) ∩ M_D.
+  for (const std::vector<AttrRef>* set : {&report.a_set, &report.j_set}) {
+    for (const AttrRef& ref : *set) {
+      if (IsMeasure(schema, ref)) report.offending.push_back(ref);
+    }
+  }
+  SortUnique(&report.offending);
+  return report;
+}
+
+Result<bool> IsSteady(const rel::DatabaseSchema& schema,
+                      const ConstraintSet& constraints,
+                      const AggregateConstraint& constraint) {
+  DART_ASSIGN_OR_RETURN(SteadinessReport report,
+                        AnalyzeSteadiness(schema, constraints, constraint));
+  return report.steady();
+}
+
+Status RequireAllSteady(const rel::DatabaseSchema& schema,
+                        const ConstraintSet& constraints) {
+  for (const AggregateConstraint& constraint : constraints.constraints()) {
+    DART_ASSIGN_OR_RETURN(SteadinessReport report,
+                          AnalyzeSteadiness(schema, constraints, constraint));
+    if (!report.steady()) {
+      return Status::InvalidArgument(
+          "constraint '" + constraint.name +
+          "' is not steady (Def. 6): " + report.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dart::cons

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "constraints/ast.h"
+#include "relational/schema.h"
+#include "util/status.h"
+
+/// \file steady.h
+/// Steadiness analysis (paper Sec. 4, Def. 6). A constraint κ is *steady*
+/// when (A(κ) ∪ J(κ)) ∩ M_D = ∅, where
+///   - W(χᵢ) is the union of the attributes appearing in χᵢ's WHERE clause
+///     and the attributes corresponding (through φ) to variables appearing in
+///     that WHERE clause;
+///   - A(κ) = ∪ᵢ W(χᵢ);
+///   - J(κ) contains the attributes corresponding to variables shared by two
+///     atoms of φ (join variables).
+/// Steadiness guarantees that the tuple sets T_χᵢ of every ground aggregation
+/// function can be computed from non-measure attributes alone and are hence
+/// invariant under repairs — the property the MILP translation relies on.
+
+namespace dart::cons {
+
+/// A (relation, attribute) pair.
+struct AttrRef {
+  std::string relation;
+  std::string attribute;
+
+  bool operator==(const AttrRef& other) const {
+    return relation == other.relation && attribute == other.attribute;
+  }
+  bool operator<(const AttrRef& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return attribute < other.attribute;
+  }
+  std::string ToString() const { return relation + "." + attribute; }
+};
+
+/// The outcome of analyzing one constraint.
+struct SteadinessReport {
+  std::vector<AttrRef> a_set;      ///< A(κ), sorted.
+  std::vector<AttrRef> j_set;      ///< J(κ), sorted.
+  std::vector<AttrRef> offending;  ///< (A ∪ J) ∩ M_D; empty ⇔ steady.
+
+  bool steady() const { return offending.empty(); }
+
+  std::string ToString() const;
+};
+
+/// Computes A(κ), J(κ) and their intersection with M_D for `constraint`.
+/// `constraints` supplies the aggregation-function definitions referenced by
+/// the constraint's terms.
+Result<SteadinessReport> AnalyzeSteadiness(
+    const rel::DatabaseSchema& schema, const ConstraintSet& constraints,
+    const AggregateConstraint& constraint);
+
+/// Convenience predicate over AnalyzeSteadiness.
+Result<bool> IsSteady(const rel::DatabaseSchema& schema,
+                      const ConstraintSet& constraints,
+                      const AggregateConstraint& constraint);
+
+/// Checks every constraint in the set; returns OK iff all are steady, and an
+/// InvalidArgument status naming the first offender otherwise.
+Status RequireAllSteady(const rel::DatabaseSchema& schema,
+                        const ConstraintSet& constraints);
+
+}  // namespace dart::cons

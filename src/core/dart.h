@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file dart.h
+/// Umbrella header: the complete public API of the DART library.
+///
+/// Layering (bottom-up):
+///   util        — Status/Result, strings, RNG, table printing
+///   relational  — schemas, relations, database instances, CSV
+///   constraints — aggregate constraints, grounding, steadiness (Def. 6)
+///   milp        — LP simplex + branch-and-bound MILP solver
+///   repair      — S*(AC) translation and the card-minimal repair engine
+///   textrepair  — Levenshtein, BK-tree, dictionary corrections
+///   wrapper     — HTML tables, domains/hierarchies, row-pattern matching
+///   dbgen       — row pattern instances → database instances
+///   ocr         — synthetic corpora + OCR noise model (simulation substrate)
+///   validation  — simulated operator and the supervised repair loop
+///   core        — the assembled DartPipeline facade
+
+#include "acquire/layout.h"
+#include "acquire/positional.h"
+#include "constraints/ast.h"
+#include "constraints/eval.h"
+#include "constraints/parser.h"
+#include "constraints/steady.h"
+#include "core/metadata_io.h"
+#include "core/pipeline.h"
+#include "dbgen/generator.h"
+#include "dbgen/metadata.h"
+#include "milp/branch_and_bound.h"
+#include "milp/exhaustive.h"
+#include "milp/model.h"
+#include "milp/presolve.h"
+#include "milp/simplex.h"
+#include "ocr/cash_budget.h"
+#include "ocr/catalog.h"
+#include "ocr/expense.h"
+#include "ocr/noise.h"
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "repair/engine.h"
+#include "repair/repair.h"
+#include "repair/translator.h"
+#include "textrepair/bktree.h"
+#include "textrepair/dictionary.h"
+#include "textrepair/levenshtein.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "validation/display.h"
+#include "validation/operator.h"
+#include "validation/session.h"
+#include "wrapper/domains.h"
+#include "wrapper/html_parser.h"
+#include "wrapper/matcher.h"
+#include "wrapper/row_pattern.h"
+#include "wrapper/table_grid.h"
+#include "wrapper/wrapper.h"

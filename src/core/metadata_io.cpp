@@ -1,0 +1,497 @@
+#include "core/metadata_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace dart::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer (shared shape with the constraint DSL lexer, different alphabet).
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kName, kNumber, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '\n') { ++line; ++pos; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++pos; continue; }
+    if (c == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    if (c == '\'') {
+      const int start_line = line;
+      ++pos;
+      std::string payload;
+      while (pos < text.size() && text[pos] != '\'') {
+        if (text[pos] == '\n') ++line;
+        payload += text[pos++];
+      }
+      if (pos == text.size()) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(start_line));
+      }
+      ++pos;
+      out.push_back(Token{TokKind::kString, std::move(payload), start_line});
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_' || text[pos] == '-')) {
+        ++pos;
+      }
+      out.push_back(Token{TokKind::kName, text.substr(start, pos - start),
+                          line});
+      continue;
+    }
+    if (text.compare(pos, 2, "->") == 0) {
+      out.push_back(Token{TokKind::kPunct, "->", line});
+      pos += 2;
+      continue;
+    }
+    static const std::string kPunct = ":,;()";
+    if (kPunct.find(c) != std::string::npos) {
+      out.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+      ++pos;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at line " + std::to_string(line));
+  }
+  out.push_back(Token{TokKind::kEnd, "", line});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class MetadataParser {
+ public:
+  MetadataParser(std::vector<Token> tokens, AcquisitionMetadata* out)
+      : tokens_(std::move(tokens)), out_(out) {}
+
+  Status Run() {
+    while (Peek().kind != TokKind::kEnd) {
+      if (MatchKeyword("domain")) {
+        DART_RETURN_IF_ERROR(ParseDomain());
+      } else if (MatchKeyword("specialize")) {
+        DART_RETURN_IF_ERROR(ParseSpecialize());
+      } else if (MatchKeyword("pattern")) {
+        DART_RETURN_IF_ERROR(ParsePattern());
+      } else if (MatchKeyword("relation")) {
+        DART_RETURN_IF_ERROR(ParseRelation());
+      } else if (MatchKeyword("tables")) {
+        DART_RETURN_IF_ERROR(ParseTables());
+      } else {
+        return Error(
+            "expected 'domain', 'specialize', 'pattern', 'relation' or "
+            "'tables'");
+      }
+    }
+    // Hierarchy edges are applied after all domains exist.
+    for (const auto& [child, parent] : pending_specializations_) {
+      DART_RETURN_IF_ERROR(out_->catalog.AddSpecialization(child, parent));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  bool MatchKeyword(const std::string& word) {
+    if (Peek().kind == TokKind::kName && EqualsIgnoreCase(Peek().text, word)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchPunct(const std::string& text) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == text) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " +
+                              std::to_string(Peek().line) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Status ExpectPunct(const std::string& text) {
+    if (!MatchPunct(text)) return Error("expected '" + text + "'");
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectName(const std::string& what) {
+    if (Peek().kind != TokKind::kName) return Error("expected " + what);
+    return Advance().text;
+  }
+
+  Result<std::string> ExpectString(const std::string& what) {
+    if (Peek().kind != TokKind::kString) {
+      return Error("expected quoted " + what);
+    }
+    return Advance().text;
+  }
+
+  // domain NAME: 'item', 'item', ...;
+  Status ParseDomain() {
+    DART_ASSIGN_OR_RETURN(std::string name, ExpectName("domain name"));
+    DART_RETURN_IF_ERROR(ExpectPunct(":"));
+    std::vector<std::string> items;
+    do {
+      DART_ASSIGN_OR_RETURN(std::string item, ExpectString("lexical item"));
+      items.push_back(std::move(item));
+    } while (MatchPunct(","));
+    DART_RETURN_IF_ERROR(ExpectPunct(";"));
+    return out_->catalog.AddDomain(name, items);
+  }
+
+  // specialize 'child' -> 'parent';
+  Status ParseSpecialize() {
+    DART_ASSIGN_OR_RETURN(std::string child, ExpectString("child item"));
+    DART_RETURN_IF_ERROR(ExpectPunct("->"));
+    DART_ASSIGN_OR_RETURN(std::string parent, ExpectString("parent item"));
+    DART_RETURN_IF_ERROR(ExpectPunct(";"));
+    pending_specializations_.emplace_back(std::move(child), std::move(parent));
+    return Status::Ok();
+  }
+
+  // pattern NAME: cell (, cell)* ;
+  // cell := (integer|real|string) HEADLINE
+  //       | domain NAME as HEADLINE [specializes HEADLINE]
+  Status ParsePattern() {
+    wrap::RowPattern pattern;
+    DART_ASSIGN_OR_RETURN(pattern.name, ExpectName("pattern name"));
+    DART_RETURN_IF_ERROR(ExpectPunct(":"));
+    std::map<std::string, size_t> headline_index;
+    do {
+      wrap::PatternCell cell;
+      if (MatchKeyword("integer")) {
+        cell.kind = wrap::CellContentKind::kInteger;
+      } else if (MatchKeyword("real")) {
+        cell.kind = wrap::CellContentKind::kReal;
+      } else if (MatchKeyword("string")) {
+        cell.kind = wrap::CellContentKind::kString;
+      } else if (MatchKeyword("domain")) {
+        cell.kind = wrap::CellContentKind::kDomain;
+        DART_ASSIGN_OR_RETURN(cell.domain, ExpectName("domain name"));
+        if (!MatchKeyword("as")) return Error("expected 'as'");
+      } else {
+        return Error("expected cell kind (integer/real/string/domain)");
+      }
+      DART_ASSIGN_OR_RETURN(cell.headline, ExpectName("headline"));
+      if (MatchKeyword("specializes")) {
+        DART_ASSIGN_OR_RETURN(std::string target,
+                              ExpectName("generalization headline"));
+        auto it = headline_index.find(target);
+        if (it == headline_index.end()) {
+          return Error("'specializes " + target +
+                       "' must reference an earlier cell's headline");
+        }
+        cell.specialization_of = it->second;
+      }
+      headline_index[cell.headline] = pattern.cells.size();
+      pattern.cells.push_back(std::move(cell));
+    } while (MatchPunct(","));
+    DART_RETURN_IF_ERROR(ExpectPunct(";"));
+    out_->patterns.push_back(std::move(pattern));
+    return Status::Ok();
+  }
+
+  Result<rel::Domain> ParseDomainKeyword() {
+    if (MatchKeyword("int")) return rel::Domain::kInt;
+    if (MatchKeyword("real")) return rel::Domain::kReal;
+    if (MatchKeyword("string")) return rel::Domain::kString;
+    return Error("expected attribute domain (int/real/string)");
+  }
+
+  // relation NAME(attr: [measure] dom, ...): source (, source)*
+  //   [for patterns NAME (, NAME)*];
+  Status ParseRelation() {
+    named_sources_.clear();  // defensive: an earlier error may have bailed
+    DART_ASSIGN_OR_RETURN(std::string name, ExpectName("relation name"));
+    DART_RETURN_IF_ERROR(ExpectPunct("("));
+    std::vector<rel::AttributeDef> attributes;
+    do {
+      rel::AttributeDef attr;
+      DART_ASSIGN_OR_RETURN(attr.name, ExpectName("attribute name"));
+      DART_RETURN_IF_ERROR(ExpectPunct(":"));
+      attr.is_measure = MatchKeyword("measure");
+      DART_ASSIGN_OR_RETURN(attr.domain, ParseDomainKeyword());
+      attributes.push_back(std::move(attr));
+    } while (MatchPunct(","));
+    DART_RETURN_IF_ERROR(ExpectPunct(")"));
+    DART_RETURN_IF_ERROR(ExpectPunct(":"));
+
+    dbgen::RelationMapping mapping;
+    DART_ASSIGN_OR_RETURN(mapping.schema,
+                          rel::RelationSchema::Create(name, attributes));
+
+    // Sources, positionally named by attribute.
+    std::set<std::string> seen_attrs;
+    while (true) {
+      DART_ASSIGN_OR_RETURN(std::string attr, ExpectName("attribute name"));
+      auto attr_index = mapping.schema.AttributeIndex(attr);
+      if (!attr_index) {
+        return Error("unknown attribute '" + attr + "' in sources");
+      }
+      if (!seen_attrs.insert(attr).second) {
+        return Error("duplicate source for attribute '" + attr + "'");
+      }
+      dbgen::AttributeSource source;
+      if (MatchKeyword("from")) {
+        source.kind = dbgen::AttributeSource::Kind::kHeadline;
+        DART_ASSIGN_OR_RETURN(source.headline, ExpectName("headline"));
+      } else if (MatchKeyword("constant")) {
+        source.kind = dbgen::AttributeSource::Kind::kConstant;
+        DART_ASSIGN_OR_RETURN(source.constant_text,
+                              ExpectString("constant value"));
+      } else if (MatchKeyword("classify")) {
+        source.kind = dbgen::AttributeSource::Kind::kClassification;
+        dbgen::ClassificationInfo info;
+        DART_ASSIGN_OR_RETURN(info.source_headline,
+                              ExpectName("source headline"));
+        DART_RETURN_IF_ERROR(ExpectPunct("("));
+        while (Peek().kind == TokKind::kString) {
+          DART_ASSIGN_OR_RETURN(std::string item, ExpectString("item"));
+          DART_RETURN_IF_ERROR(ExpectPunct("->"));
+          DART_ASSIGN_OR_RETURN(std::string klass, ExpectString("class"));
+          info.classes[ToLower(item)] = klass;
+          MatchPunct(",");
+        }
+        if (MatchKeyword("default")) {
+          DART_ASSIGN_OR_RETURN(info.default_class,
+                                ExpectString("default class"));
+        }
+        DART_RETURN_IF_ERROR(ExpectPunct(")"));
+        source.classification_index = mapping.classifications.size();
+        mapping.classifications.push_back(std::move(info));
+      } else {
+        return Error("expected 'from', 'constant' or 'classify'");
+      }
+      // Sources are listed per attribute but stored positionally; stash by
+      // name first.
+      named_sources_[attr] = std::move(source);
+      if (MatchPunct(",")) continue;
+      break;
+    }
+    if (MatchKeyword("for")) {
+      if (!MatchKeyword("patterns") && !MatchKeyword("pattern")) {
+        return Error("expected 'patterns'");
+      }
+      do {
+        DART_ASSIGN_OR_RETURN(std::string pattern,
+                              ExpectName("pattern name"));
+        mapping.pattern_names.insert(std::move(pattern));
+      } while (MatchPunct(","));
+    }
+    DART_RETURN_IF_ERROR(ExpectPunct(";"));
+
+    mapping.sources.resize(mapping.schema.arity());
+    for (size_t i = 0; i < mapping.schema.arity(); ++i) {
+      const std::string& attr = mapping.schema.attribute(i).name;
+      auto it = named_sources_.find(attr);
+      if (it == named_sources_.end()) {
+        return Status::ParseError("relation '" + name +
+                                  "' gives no source for attribute '" + attr +
+                                  "'");
+      }
+      mapping.sources[i] = std::move(it->second);
+    }
+    named_sources_.clear();
+    out_->mappings.push_back(std::move(mapping));
+    return Status::Ok();
+  }
+
+  // tables 0, 2, 5;   — table localization (document-order indices).
+  Status ParseTables() {
+    do {
+      DART_ASSIGN_OR_RETURN(std::string index_text,
+                            ExpectName("table index"));
+      if (!IsIntegerLiteral(index_text)) {
+        return Error("table index must be a non-negative integer");
+      }
+      const long index = std::strtol(index_text.c_str(), nullptr, 10);
+      if (index < 0) return Error("table index must be non-negative");
+      out_->table_positions.insert(static_cast<size_t>(index));
+    } while (MatchPunct(","));
+    return ExpectPunct(";");
+  }
+
+  std::vector<Token> tokens_;
+  AcquisitionMetadata* out_;
+  size_t index_ = 0;
+  std::vector<std::pair<std::string, std::string>> pending_specializations_;
+  std::map<std::string, dbgen::AttributeSource> named_sources_;
+};
+
+}  // namespace
+
+Result<AcquisitionMetadata> ParseMetadata(const std::string& text) {
+  // Split off the constraints block (verbatim constraint-DSL text).
+  std::string head, constraints;
+  bool in_constraints = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + pos, end - pos);
+    const std::string trimmed = Trim(line);
+    if (!in_constraints && EqualsIgnoreCase(trimmed, "constraints:")) {
+      in_constraints = true;
+    } else if (in_constraints && EqualsIgnoreCase(trimmed, "end constraints")) {
+      in_constraints = false;
+    } else if (in_constraints) {
+      constraints.append(line);
+      constraints += '\n';
+    } else {
+      head.append(line);
+      head += '\n';
+    }
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  if (in_constraints) {
+    return Status::ParseError("missing 'end constraints'");
+  }
+
+  AcquisitionMetadata metadata;
+  metadata.constraint_program = std::move(constraints);
+  DART_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(head));
+  MetadataParser parser(std::move(tokens), &metadata);
+  DART_RETURN_IF_ERROR(parser.Run());
+  return metadata;
+}
+
+std::string SerializeMetadata(const AcquisitionMetadata& metadata) {
+  std::string out;
+  for (const std::string& domain : metadata.catalog.DomainNames()) {
+    out += "domain " + domain + ":";
+    const std::vector<std::string>* items = metadata.catalog.ItemsOf(domain);
+    for (size_t i = 0; i < items->size(); ++i) {
+      out += i == 0 ? " " : ", ";
+      out += "'" + (*items)[i] + "'";
+    }
+    out += ";\n";
+  }
+  for (const auto& [child, parent] : metadata.catalog.Specializations()) {
+    out += "specialize '" + child + "' -> '" + parent + "';\n";
+  }
+  if (!metadata.table_positions.empty()) {
+    out += "tables ";
+    bool first = true;
+    for (size_t index : metadata.table_positions) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(index);
+    }
+    out += ";\n";
+  }
+  for (const wrap::RowPattern& pattern : metadata.patterns) {
+    out += "\npattern " + pattern.name + ":\n";
+    for (size_t i = 0; i < pattern.cells.size(); ++i) {
+      const wrap::PatternCell& cell = pattern.cells[i];
+      out += "  ";
+      switch (cell.kind) {
+        case wrap::CellContentKind::kInteger: out += "integer "; break;
+        case wrap::CellContentKind::kReal: out += "real "; break;
+        case wrap::CellContentKind::kString: out += "string "; break;
+        case wrap::CellContentKind::kDomain:
+          out += "domain " + cell.domain + " as ";
+          break;
+      }
+      out += cell.headline;
+      if (cell.specialization_of) {
+        out += " specializes " +
+               pattern.cells[*cell.specialization_of].headline;
+      }
+      out += i + 1 < pattern.cells.size() ? ",\n" : ";\n";
+    }
+  }
+  for (const dbgen::RelationMapping& mapping : metadata.mappings) {
+    out += "\nrelation " + mapping.schema.name() + "(";
+    for (size_t i = 0; i < mapping.schema.arity(); ++i) {
+      const rel::AttributeDef& attr = mapping.schema.attribute(i);
+      if (i > 0) out += ", ";
+      out += attr.name + ": ";
+      if (attr.is_measure) out += "measure ";
+      out += ToLower(rel::DomainName(attr.domain));
+    }
+    out += "):\n";
+    for (size_t i = 0; i < mapping.sources.size(); ++i) {
+      const dbgen::AttributeSource& source = mapping.sources[i];
+      out += "  " + mapping.schema.attribute(i).name + " ";
+      switch (source.kind) {
+        case dbgen::AttributeSource::Kind::kHeadline:
+          out += "from " + source.headline;
+          break;
+        case dbgen::AttributeSource::Kind::kConstant:
+          out += "constant '" + source.constant_text + "'";
+          break;
+        case dbgen::AttributeSource::Kind::kClassification: {
+          const dbgen::ClassificationInfo& info =
+              mapping.classifications[source.classification_index];
+          out += "classify " + info.source_headline + " (";
+          bool first = true;
+          for (const auto& [item, klass] : info.classes) {
+            if (!first) out += ", ";
+            first = false;
+            out += "'" + item + "' -> '" + klass + "'";
+          }
+          if (!info.default_class.empty()) {
+            out += first ? "default '" : " default '";
+            out += info.default_class + "'";
+          }
+          out += ")";
+          break;
+        }
+      }
+      out += i + 1 < mapping.sources.size() ? ",\n" : "\n";
+    }
+    if (!mapping.pattern_names.empty()) {
+      out += "  for patterns ";
+      bool first = true;
+      for (const std::string& pattern : mapping.pattern_names) {
+        if (!first) out += ", ";
+        first = false;
+        out += pattern;
+      }
+      out += ";\n";
+    } else {
+      out += "  ;\n";
+    }
+  }
+  out += "\nconstraints:\n" + metadata.constraint_program;
+  if (!metadata.constraint_program.empty() &&
+      metadata.constraint_program.back() != '\n') {
+    out += '\n';
+  }
+  out += "end constraints\n";
+  return out;
+}
+
+}  // namespace dart::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "util/status.h"
+
+/// \file metadata_io.h
+/// Textual persistence for acquisition metadata. In the paper (Sec. 2, 6)
+/// the *acquisition designer* authors metadata describing the structure and
+/// semantics of the input documents: domain descriptions, hierarchical
+/// relationships, row patterns, database-generation rules (incl.
+/// classification information) and the aggregate constraints. This module
+/// defines a single readable file format for the whole bundle, so a DART
+/// deployment is the library plus one metadata file per document class.
+///
+/// Format (line comments with '#'):
+///
+///   domain Section: 'Receipts', 'Disbursements', 'Balance';
+///   domain Subsection: 'beginning cash', 'cash sales';
+///   specialize 'beginning cash' -> 'Receipts';
+///
+///   pattern cash-budget-row:
+///     integer Year,
+///     domain Section as Section,
+///     domain Subsection as Subsection specializes Section,
+///     integer Value;
+///
+///   relation CashBudget(Year: int, Section: string, Subsection: string,
+///                       Type: string, Value: measure int):
+///     Year from Year,
+///     Section from Section,
+///     Subsection from Subsection,
+///     Type classify Subsection ('beginning cash' -> 'drv' default 'det'),
+///     Value from Value
+///     for patterns cash-budget-row;
+///
+///   constraints:
+///     agg chi2(x, y) := sum(Value) from CashBudget
+///         where Year = x and Subsection = y;
+///     constraint c3: CashBudget(x, _, _, _, _)
+///         => chi2(x, 'ending cash balance') - chi2(x, 'beginning cash')
+///            - chi2(x, 'net cash inflow') = 0;
+///   end constraints
+///
+/// Pattern cells: `integer H` | `real H` | `string H` | `domain D as H`,
+/// each optionally followed by `specializes H2` (H2 = the headline of an
+/// earlier domain cell). Attribute sources: `A from H` | `A constant 'v'` |
+/// `A classify H (item -> class, ... [default class])`.
+
+namespace dart::core {
+
+/// Parses a metadata file into an AcquisitionMetadata bundle. Validation
+/// against itself only (pattern/mapping cross-references); full validation
+/// happens in DartPipeline::Create.
+Result<AcquisitionMetadata> ParseMetadata(const std::string& text);
+
+/// Serializes a bundle back to the file format (modulo formatting, a
+/// fixed point of Parse ∘ Serialize).
+std::string SerializeMetadata(const AcquisitionMetadata& metadata);
+
+}  // namespace dart::core

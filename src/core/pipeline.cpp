@@ -1,0 +1,123 @@
+#include "core/pipeline.h"
+
+#include "constraints/parser.h"
+#include "constraints/steady.h"
+
+namespace dart::core {
+
+DartPipeline::DartPipeline(std::unique_ptr<AcquisitionMetadata> metadata,
+                           PipelineOptions options,
+                           cons::ConstraintSet constraints)
+    : metadata_(std::move(metadata)),
+      options_(options),
+      constraints_(std::move(constraints)),
+      wrapper_(&metadata_->catalog, metadata_->patterns, metadata_->matcher,
+               metadata_->table_positions),
+      generator_(metadata_->mappings, metadata_->patterns) {}
+
+Result<DartPipeline> DartPipeline::Create(AcquisitionMetadata metadata,
+                                          PipelineOptions options) {
+  // Scheme declared by the mappings.
+  rel::DatabaseSchema schema;
+  if (metadata.mappings.empty()) {
+    return Status::InvalidArgument("metadata declares no relation mappings");
+  }
+  for (const dbgen::RelationMapping& mapping : metadata.mappings) {
+    DART_RETURN_IF_ERROR(dbgen::ValidateRelationMapping(mapping));
+    DART_RETURN_IF_ERROR(schema.AddRelation(mapping.schema));
+  }
+  for (const wrap::RowPattern& pattern : metadata.patterns) {
+    DART_RETURN_IF_ERROR(wrap::ValidateRowPattern(metadata.catalog, pattern));
+  }
+  // Constraint program, then the steadiness gate of Def. 6 — DART accepts
+  // only constraint sets it can translate to MILP.
+  cons::ConstraintSet constraints;
+  DART_RETURN_IF_ERROR(cons::ParseConstraintProgram(
+      schema, metadata.constraint_program, &constraints));
+  DART_RETURN_IF_ERROR(cons::RequireAllSteady(schema, constraints));
+
+  DartPipeline pipeline(
+      std::make_unique<AcquisitionMetadata>(std::move(metadata)), options,
+      std::move(constraints));
+  DART_RETURN_IF_ERROR(pipeline.wrapper_.matcher().status());
+  DART_RETURN_IF_ERROR(pipeline.generator_.status());
+  return pipeline;
+}
+
+Result<AcquisitionOutcome> DartPipeline::Acquire(
+    const std::string& html) const {
+  DART_ASSIGN_OR_RETURN(wrap::ExtractionResult extraction,
+                        wrapper_.ExtractFromHtml(html));
+  DART_ASSIGN_OR_RETURN(dbgen::GenerationReport report,
+                        generator_.Generate(extraction.MatchedInstances()));
+  AcquisitionOutcome outcome;
+  outcome.database = std::move(report.database);
+  outcome.extraction = extraction.stats;
+  outcome.skipped_rows = report.skipped_rows;
+  outcome.warnings = std::move(report.warnings);
+  outcome.confidences = std::move(report.confidences);
+  return outcome;
+}
+
+repair::RepairEngineOptions DartPipeline::EngineOptionsFor(
+    const std::vector<dbgen::CellConfidence>& confidences) const {
+  repair::RepairEngineOptions engine_options = options_.engine;
+  if (options_.use_confidence_weights) {
+    for (const dbgen::CellConfidence& confidence : confidences) {
+      if (confidence.score >= 1.0) continue;  // default weight 1
+      engine_options.translator.weights.push_back(repair::CellWeight{
+          confidence.cell,
+          std::max(options_.min_confidence_weight, confidence.score)});
+    }
+  }
+  return engine_options;
+}
+
+Result<AcquisitionOutcome> DartPipeline::AcquirePositional(
+    const acquire::PositionalDocument& document) const {
+  DART_ASSIGN_OR_RETURN(std::string html, acquire::ConvertToHtml(document));
+  return Acquire(html);
+}
+
+Result<ProcessOutcome> DartPipeline::ProcessPositional(
+    const acquire::PositionalDocument& document) const {
+  DART_ASSIGN_OR_RETURN(std::string html, acquire::ConvertToHtml(document));
+  return Process(html);
+}
+
+Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
+  ProcessOutcome outcome;
+  DART_ASSIGN_OR_RETURN(outcome.acquisition, Acquire(html));
+
+  cons::ConsistencyChecker checker(&constraints_);
+  DART_ASSIGN_OR_RETURN(outcome.violations,
+                        checker.Check(outcome.acquisition.database));
+
+  repair::RepairEngine engine(
+      EngineOptionsFor(outcome.acquisition.confidences));
+  DART_ASSIGN_OR_RETURN(
+      outcome.repair,
+      engine.ComputeRepair(outcome.acquisition.database, constraints_));
+  DART_ASSIGN_OR_RETURN(
+      outcome.repaired,
+      outcome.repair.repair.Applied(outcome.acquisition.database));
+  return outcome;
+}
+
+Result<repair::RepairOutcome> DartPipeline::Repair(
+    const rel::Database& db,
+    const std::vector<repair::FixedValue>& pins) const {
+  repair::RepairEngine engine(options_.engine);
+  return engine.ComputeRepair(db, constraints_, pins);
+}
+
+Result<validation::SessionResult> DartPipeline::ProcessSupervised(
+    const std::string& html, const validation::SimulatedOperator& op,
+    validation::SessionOptions session_options) const {
+  DART_ASSIGN_OR_RETURN(AcquisitionOutcome acquisition, Acquire(html));
+  session_options.engine = EngineOptionsFor(acquisition.confidences);
+  return validation::RunValidationSession(acquisition.database, constraints_,
+                                          op, session_options);
+}
+
+}  // namespace dart::core

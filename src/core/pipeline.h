@@ -1,0 +1,134 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "acquire/layout.h"
+#include "acquire/positional.h"
+#include "constraints/ast.h"
+#include "constraints/eval.h"
+#include "dbgen/generator.h"
+#include "relational/database.h"
+#include "repair/engine.h"
+#include "validation/session.h"
+#include "wrapper/wrapper.h"
+#include "util/status.h"
+
+/// \file pipeline.h
+/// The DART system facade, mirroring the two macro-modules of Fig. 2:
+///
+///   document ──► [Acquisition & extraction module] ──► database instance D
+///                 (HTML wrapper + database generator)
+///   D, AC     ──► [Repairing module] ──► card-minimal repair ρ, ρ(D)
+///                 (steadiness check + MILP translation + solver)
+///
+/// plus the supervised validation loop of Sec. 6.3 on top.
+
+namespace dart::core {
+
+/// Everything the *acquisition designer* provides (Sec. 2): domain
+/// descriptions and hierarchy, row patterns, database-generation mappings
+/// with classification information, and the aggregate-constraint program.
+struct AcquisitionMetadata {
+  wrap::DomainCatalog catalog;
+  std::vector<wrap::RowPattern> patterns;
+  std::vector<dbgen::RelationMapping> mappings;
+  /// Constraint DSL text (see constraints/parser.h).
+  std::string constraint_program;
+  wrap::MatcherOptions matcher;
+  /// Table localization: document-order indices of the tables to extract;
+  /// empty = all tables (Sec. 6.2).
+  std::set<size_t> table_positions;
+};
+
+struct PipelineOptions {
+  repair::RepairEngineOptions engine;
+  /// Weight-minimal extension: use the wrapper's cell matching scores as
+  /// per-cell change weights in the repair objective (min Σ wᵢδᵢ), so that
+  /// low-confidence extractions are the preferred cells to change. Off by
+  /// default — the paper's semantics is plain card-minimal.
+  bool use_confidence_weights = false;
+  /// Floor applied to confidence weights (a 0-weight cell would be free to
+  /// change, erasing the minimality signal entirely).
+  double min_confidence_weight = 0.05;
+};
+
+/// Output of the acquisition & extraction module.
+struct AcquisitionOutcome {
+  rel::Database database;
+  wrap::ExtractionStats extraction;
+  size_t skipped_rows = 0;
+  std::vector<std::string> warnings;
+  /// Extraction confidence per measure value (wrapper matching scores).
+  std::vector<dbgen::CellConfidence> confidences;
+};
+
+/// Output of one unsupervised pass (acquire + detect + repair).
+struct ProcessOutcome {
+  AcquisitionOutcome acquisition;
+  /// Violations detected in the acquired data (empty = consistent).
+  std::vector<cons::Violation> violations;
+  /// The suggested card-minimal repair (empty when consistent).
+  repair::RepairOutcome repair;
+  /// The acquired database with the suggested repair applied.
+  rel::Database repaired;
+};
+
+/// The assembled DART system.
+class DartPipeline {
+ public:
+  /// Validates the metadata end-to-end: patterns against the catalog,
+  /// mappings, and the constraint program against the declared schemes
+  /// (including the steadiness requirement of Def. 6).
+  static Result<DartPipeline> Create(AcquisitionMetadata metadata,
+                                     PipelineOptions options = {});
+
+  /// Module 1: document in, database instance out.
+  Result<AcquisitionOutcome> Acquire(const std::string& html) const;
+
+  /// Module 1 from scanner/PDF output: geometric table reconstruction
+  /// (acquire::ConvertToHtml) followed by the ordinary HTML path.
+  Result<AcquisitionOutcome> AcquirePositional(
+      const acquire::PositionalDocument& document) const;
+
+  /// Module 2 applied after module 1: document in, suggested repair out.
+  Result<ProcessOutcome> Process(const std::string& html) const;
+
+  /// Process() for positional (scanned) input.
+  Result<ProcessOutcome> ProcessPositional(
+      const acquire::PositionalDocument& document) const;
+
+  /// Repair an already-acquired database (module 2 alone).
+  Result<repair::RepairOutcome> Repair(
+      const rel::Database& db,
+      const std::vector<repair::FixedValue>& pins = {}) const;
+
+  /// The full supervised loop: acquire, then iterate repair + operator
+  /// validation until a repair is accepted.
+  Result<validation::SessionResult> ProcessSupervised(
+      const std::string& html, const validation::SimulatedOperator& op,
+      validation::SessionOptions session_options = {}) const;
+
+  const cons::ConstraintSet& constraints() const { return constraints_; }
+  const AcquisitionMetadata& metadata() const { return *metadata_; }
+
+ private:
+  DartPipeline(std::unique_ptr<AcquisitionMetadata> metadata,
+               PipelineOptions options, cons::ConstraintSet constraints);
+
+  /// Engine options with confidence weights folded in (when enabled).
+  repair::RepairEngineOptions EngineOptionsFor(
+      const std::vector<dbgen::CellConfidence>& confidences) const;
+
+  /// Heap-held so the wrapper's pointer into the catalog stays valid when
+  /// the pipeline itself is moved.
+  std::unique_ptr<AcquisitionMetadata> metadata_;
+  PipelineOptions options_;
+  cons::ConstraintSet constraints_;
+  wrap::Wrapper wrapper_;
+  dbgen::DatabaseGenerator generator_;
+};
+
+}  // namespace dart::core

@@ -1,0 +1,136 @@
+#include "dbgen/generator.h"
+
+#include "util/strings.h"
+
+namespace dart::dbgen {
+
+DatabaseGenerator::DatabaseGenerator(std::vector<RelationMapping> mappings,
+                                     std::vector<wrap::RowPattern> patterns)
+    : mappings_(std::move(mappings)), patterns_(std::move(patterns)) {
+  for (const RelationMapping& mapping : mappings_) {
+    status_ = ValidateRelationMapping(mapping);
+    if (!status_.ok()) return;
+  }
+  if (mappings_.empty()) {
+    status_ = Status::InvalidArgument("generator needs at least one mapping");
+  }
+}
+
+int DatabaseGenerator::HeadlineIndex(const std::string& pattern_name,
+                                     const std::string& headline) const {
+  for (const wrap::RowPattern& pattern : patterns_) {
+    if (pattern.name != pattern_name) continue;
+    for (size_t i = 0; i < pattern.cells.size(); ++i) {
+      if (pattern.cells[i].headline == headline) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  return -1;
+}
+
+Result<GenerationReport> DatabaseGenerator::Generate(
+    const std::vector<const wrap::RowPatternInstance*>& instances) const {
+  DART_RETURN_IF_ERROR(status_);
+  GenerationReport report;
+  for (const RelationMapping& mapping : mappings_) {
+    DART_RETURN_IF_ERROR(report.database.AddRelation(mapping.schema));
+  }
+
+  for (const wrap::RowPatternInstance* instance : instances) {
+    DART_CHECK(instance != nullptr);
+    for (const RelationMapping& mapping : mappings_) {
+      if (!mapping.pattern_names.empty() &&
+          mapping.pattern_names.count(instance->pattern_name) == 0) {
+        continue;
+      }
+      rel::Tuple tuple;
+      tuple.reserve(mapping.schema.arity());
+      bool skip = false;
+      std::string warning;
+      // (attribute index, wrapper score) for measure values read from cells.
+      std::vector<std::pair<size_t, double>> measure_scores;
+      for (size_t a = 0; a < mapping.schema.arity() && !skip; ++a) {
+        const AttributeSource& source = mapping.sources[a];
+        const rel::AttributeDef& attr = mapping.schema.attribute(a);
+        std::string text;
+        switch (source.kind) {
+          case AttributeSource::Kind::kHeadline: {
+            const int cell = HeadlineIndex(instance->pattern_name,
+                                           source.headline);
+            if (cell < 0 ||
+                static_cast<size_t>(cell) >= instance->cells.size()) {
+              skip = true;
+              warning = "pattern '" + instance->pattern_name +
+                        "' has no headline '" + source.headline + "'";
+              break;
+            }
+            text = instance->cells[cell].item;
+            if (attr.is_measure) {
+              measure_scores.emplace_back(a, instance->cells[cell].score);
+            }
+            break;
+          }
+          case AttributeSource::Kind::kClassification: {
+            const ClassificationInfo& info =
+                mapping.classifications[source.classification_index];
+            const int cell =
+                HeadlineIndex(instance->pattern_name, info.source_headline);
+            if (cell < 0 ||
+                static_cast<size_t>(cell) >= instance->cells.size()) {
+              skip = true;
+              warning = "classification source headline '" +
+                        info.source_headline + "' missing from pattern '" +
+                        instance->pattern_name + "'";
+              break;
+            }
+            const std::string key = ToLower(instance->cells[cell].item);
+            auto it = info.classes.find(key);
+            if (it != info.classes.end()) {
+              text = it->second;
+            } else if (!info.default_class.empty()) {
+              text = info.default_class;
+            } else {
+              skip = true;
+              warning = "no class for item '" + instance->cells[cell].item +
+                        "' (attribute '" + attr.name + "')";
+            }
+            break;
+          }
+          case AttributeSource::Kind::kConstant:
+            text = source.constant_text;
+            break;
+        }
+        if (skip) break;
+        Result<rel::Value> value = rel::Value::Parse(text, attr.domain);
+        if (!value.ok()) {
+          skip = true;
+          warning = "value '" + text + "' unparsable for attribute '" +
+                    attr.name + "': " + value.status().message();
+          break;
+        }
+        tuple.push_back(std::move(value).value());
+      }
+      if (skip) {
+        ++report.skipped_rows;
+        report.warnings.push_back(std::move(warning));
+        continue;
+      }
+      rel::Relation* relation =
+          report.database.FindRelation(mapping.schema.name());
+      Result<size_t> inserted = relation->Insert(std::move(tuple));
+      if (!inserted.ok()) {
+        ++report.skipped_rows;
+        report.warnings.push_back(inserted.status().message());
+        continue;
+      }
+      ++report.inserted_tuples;
+      for (const auto& [attr, score] : measure_scores) {
+        report.confidences.push_back(CellConfidence{
+            rel::CellRef{mapping.schema.name(), *inserted, attr}, score});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dart::dbgen

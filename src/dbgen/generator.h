@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbgen/metadata.h"
+#include "relational/database.h"
+#include "wrapper/matcher.h"
+#include "wrapper/row_pattern.h"
+#include "util/status.h"
+
+/// \file generator.h
+/// The Database Generator sub-module (Sec. 6.2): turns the wrapper's row
+/// pattern instances into a database instance conforming to the scheme
+/// declared in the extraction metadata.
+
+namespace dart::dbgen {
+
+/// Extraction confidence of one generated measure value: the matching score
+/// of the wrapper cell it was read from. Downstream, the repairing module
+/// can use these as change weights (a 60%-confidence value is a more
+/// plausible acquisition error than a 100% one).
+struct CellConfidence {
+  rel::CellRef cell;
+  double score = 1.0;
+};
+
+/// Result of generation: the instance plus per-row diagnostics.
+struct GenerationReport {
+  rel::Database database;
+  size_t inserted_tuples = 0;
+  size_t skipped_rows = 0;
+  std::vector<std::string> warnings;
+  /// One entry per measure value whose source is a pattern cell.
+  std::vector<CellConfidence> confidences;
+};
+
+/// Builds database instances from row pattern instances.
+class DatabaseGenerator {
+ public:
+  /// `patterns` must be the same pattern set the wrapper matched with — the
+  /// generator needs them to resolve headlines to cell positions.
+  DatabaseGenerator(std::vector<RelationMapping> mappings,
+                    std::vector<wrap::RowPattern> patterns);
+
+  /// Constructor-time validation outcome.
+  const Status& status() const { return status_; }
+
+  /// Converts each instance into a tuple of every applicable mapping.
+  /// Rows whose values fail to parse (or lack a class) are skipped with a
+  /// warning — acquisition noise must not abort the whole document.
+  Result<GenerationReport> Generate(
+      const std::vector<const wrap::RowPatternInstance*>& instances) const;
+
+ private:
+  /// Cell index bound to `headline` in `pattern`, or -1.
+  int HeadlineIndex(const std::string& pattern_name,
+                    const std::string& headline) const;
+
+  std::vector<RelationMapping> mappings_;
+  std::vector<wrap::RowPattern> patterns_;
+  Status status_;
+};
+
+}  // namespace dart::dbgen

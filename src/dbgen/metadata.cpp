@@ -1,0 +1,42 @@
+#include "dbgen/metadata.h"
+
+namespace dart::dbgen {
+
+Status ValidateRelationMapping(const RelationMapping& mapping) {
+  if (mapping.sources.size() != mapping.schema.arity()) {
+    return Status::InvalidArgument(
+        "mapping for relation '" + mapping.schema.name() + "' declares " +
+        std::to_string(mapping.sources.size()) + " sources for " +
+        std::to_string(mapping.schema.arity()) + " attributes");
+  }
+  for (size_t i = 0; i < mapping.sources.size(); ++i) {
+    const AttributeSource& source = mapping.sources[i];
+    const std::string& attr = mapping.schema.attribute(i).name;
+    switch (source.kind) {
+      case AttributeSource::Kind::kHeadline:
+        if (source.headline.empty()) {
+          return Status::InvalidArgument("attribute '" + attr +
+                                         "' has an empty source headline");
+        }
+        break;
+      case AttributeSource::Kind::kClassification:
+        if (source.classification_index >= mapping.classifications.size()) {
+          return Status::InvalidArgument(
+              "attribute '" + attr +
+              "' references a missing classification entry");
+        }
+        if (mapping.classifications[source.classification_index]
+                .source_headline.empty()) {
+          return Status::InvalidArgument(
+              "classification for attribute '" + attr +
+              "' has an empty source headline");
+        }
+        break;
+      case AttributeSource::Kind::kConstant:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dart::dbgen

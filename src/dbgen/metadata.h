@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/status.h"
+
+/// \file metadata.h
+/// Database-generation metadata (Sec. 6.2, "Database generator"): the
+/// acquisition designer's declaration of the target relational scheme, the
+/// correspondence between relation attributes and row-pattern headlines, and
+/// the *classification information* that derives attributes such as Type
+/// ('det' / 'aggr' / 'drv') from the lexical item matched in another cell.
+
+namespace dart::dbgen {
+
+/// Derives one attribute value from the item bound in a headline cell.
+/// E.g. Type is implied by Subsection: "cash sales" → 'det',
+/// "total cash receipts" → 'aggr', "beginning cash" → 'drv'.
+struct ClassificationInfo {
+  /// Headline whose bound item selects the class.
+  std::string source_headline;
+  /// lower-cased lexical item → class label.
+  std::map<std::string, std::string> classes;
+  /// Label used when the item has no class; empty = record a warning and
+  /// skip the row.
+  std::string default_class;
+};
+
+/// How one attribute of the target relation is filled.
+struct AttributeSource {
+  enum class Kind {
+    kHeadline,        ///< copy/parse the item bound to `headline`.
+    kClassification,  ///< evaluate `classifications[classification_index]`.
+    kConstant,        ///< always `constant_text` (parsed per the domain).
+  };
+  Kind kind = Kind::kHeadline;
+  std::string headline;
+  size_t classification_index = 0;
+  std::string constant_text;
+};
+
+/// Target relation + per-attribute sources.
+struct RelationMapping {
+  rel::RelationSchema schema;
+  /// Parallel to schema.attributes().
+  std::vector<AttributeSource> sources;
+  std::vector<ClassificationInfo> classifications;
+  /// Pattern names this mapping consumes; empty = every pattern.
+  std::set<std::string> pattern_names;
+};
+
+/// Validates internal consistency (arity of sources, classification indices,
+/// non-empty headlines).
+Status ValidateRelationMapping(const RelationMapping& mapping);
+
+}  // namespace dart::dbgen

@@ -1,0 +1,245 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <queue>
+
+namespace dart::milp {
+
+const char* MilpStatusName(MilpResult::SolveStatus status) {
+  switch (status) {
+    case MilpResult::SolveStatus::kOptimal: return "optimal";
+    case MilpResult::SolveStatus::kInfeasible: return "infeasible";
+    case MilpResult::SolveStatus::kNodeLimit: return "node-limit";
+    case MilpResult::SolveStatus::kUnbounded: return "unbounded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  /// Parent LP bound in minimize-space; used as the best-first priority.
+  double parent_bound = -std::numeric_limits<double>::infinity();
+  int depth = 0;
+};
+
+struct NodeCompare {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->parent_bound > b->parent_bound;  // min-heap on bound
+  }
+};
+
+/// Picks the branching variable among fractional integer variables; -1 if
+/// the point is integral.
+int PickBranchVariable(const Model& model, const std::vector<double>& point,
+                       double int_tol, BranchRule rule) {
+  int chosen = -1;
+  double best_score = -1;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    if (model.variable(i).type == VarType::kContinuous) continue;
+    const double value = point[i];
+    const double fraction = value - std::floor(value);
+    const double dist = std::min(fraction, 1.0 - fraction);
+    if (dist <= int_tol) continue;
+    if (rule == BranchRule::kFirstFractional) return i;
+    if (dist > best_score) {
+      best_score = dist;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
+  MilpResult result;
+  const int n = model.num_variables();
+  const double sense_factor =
+      model.objective_sense() == ObjectiveSense::kMinimize ? 1.0 : -1.0;
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Incumbent bookkeeping in minimize-space (key = sense_factor * objective).
+  double incumbent_key = kInf;
+
+  // Returns true iff the snapped candidate is feasible (whether or not it
+  // improves the incumbent).
+  auto try_incumbent = [&](const std::vector<double>& candidate) {
+    // Snap integer variables and verify feasibility exactly.
+    std::vector<double> snapped = candidate;
+    for (int i = 0; i < n; ++i) {
+      if (model.variable(i).type != VarType::kContinuous) {
+        snapped[i] = std::round(snapped[i]);
+      }
+    }
+    if (!IsFeasiblePoint(model, snapped, 1e-6)) return false;
+    const double objective =
+        model.objective_constant() + EvalTerms(model.objective_terms(), snapped);
+    const double key = sense_factor * objective;
+    if (key < incumbent_key - 1e-9) {
+      incumbent_key = key;
+      result.objective = objective;
+      result.point = std::move(snapped);
+      result.has_incumbent = true;
+    }
+    return true;
+  };
+
+  // Warm start: seed the incumbent before any node is explored, so the
+  // very first bound comparisons can already prune.
+  if (options.initial_point.size() == static_cast<size_t>(n)) {
+    try_incumbent(options.initial_point);
+  }
+
+  auto root = std::make_shared<Node>();
+  root->lower.resize(n);
+  root->upper.resize(n);
+  for (int i = 0; i < n; ++i) {
+    root->lower[i] = model.variable(i).lower;
+    root->upper[i] = model.variable(i).upper;
+  }
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeCompare>
+      best_first;
+  std::deque<std::shared_ptr<Node>> depth_first;
+  auto push = [&](std::shared_ptr<Node> node) {
+    if (options.node_order == NodeOrder::kBestFirst) {
+      best_first.push(std::move(node));
+    } else {
+      depth_first.push_back(std::move(node));
+    }
+  };
+  auto empty = [&] {
+    return options.node_order == NodeOrder::kBestFirst ? best_first.empty()
+                                                       : depth_first.empty();
+  };
+  auto pop = [&] {
+    std::shared_ptr<Node> node;
+    if (options.node_order == NodeOrder::kBestFirst) {
+      node = best_first.top();
+      best_first.pop();
+    } else {
+      node = depth_first.back();
+      depth_first.pop_back();
+    }
+    return node;
+  };
+
+  push(root);
+  double best_open_bound = -kInf;  // tightest bound among unexplored nodes
+  bool hit_node_limit = false;
+  bool any_feasible_lp = false;
+
+  // A node bound can be pruned against the incumbent; with an integral
+  // objective we can round bounds up (minimize-space).
+  auto prunable = [&](double bound_key) {
+    double effective = bound_key;
+    if (options.objective_is_integral) {
+      effective = std::ceil(bound_key - 1e-6);
+    }
+    return effective >= incumbent_key - 1e-9;
+  };
+
+  while (!empty()) {
+    if (options.max_nodes > 0 && result.nodes >= options.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    std::shared_ptr<Node> node = pop();
+    if (prunable(node->parent_bound)) continue;
+
+    ++result.nodes;
+    LpResult lp = SolveLpRelaxation(model, options.lp, &node->lower,
+                                    &node->upper);
+    result.lp_iterations += lp.iterations;
+    if (lp.status == LpResult::SolveStatus::kInfeasible) continue;
+    if (lp.status == LpResult::SolveStatus::kUnbounded) {
+      result.status = MilpResult::SolveStatus::kUnbounded;
+      return result;
+    }
+    if (lp.status == LpResult::SolveStatus::kIterationLimit) {
+      // Treat as unexplorable; conservatively keep going. This cannot cut off
+      // the optimum silently because we report node-limit status below only
+      // when max_nodes is hit; an iteration-limited LP is recorded as a
+      // node-limit style early stop.
+      hit_node_limit = true;
+      continue;
+    }
+    any_feasible_lp = true;
+    const double bound_key = sense_factor * lp.objective;
+    if (prunable(bound_key)) continue;
+
+    int branch_var = PickBranchVariable(model, lp.point, options.int_tol,
+                                        options.branch_rule);
+    if (branch_var < 0) {
+      if (try_incumbent(lp.point)) continue;  // LP optimum is integral
+      // Near-integral but unsnappable: big-M rows make a δ of ~|y|/M pass
+      // the integrality tolerance while rounding it to 0 is infeasible.
+      // Branch on the least-integral variable anyway (tolerance 0); only a
+      // genuinely all-integral infeasible point may be abandoned.
+      branch_var =
+          PickBranchVariable(model, lp.point, 0.0, options.branch_rule);
+      if (branch_var < 0) continue;
+    } else if (options.rounding_heuristic) {
+      try_incumbent(lp.point);
+    }
+
+    const double value = lp.point[branch_var];
+    // Down child: x <= floor(value).
+    {
+      auto child = std::make_shared<Node>(*node);
+      child->upper[branch_var] = std::floor(value);
+      child->parent_bound = bound_key;
+      child->depth = node->depth + 1;
+      if (child->lower[branch_var] <= child->upper[branch_var] + 1e-9) {
+        push(std::move(child));
+      }
+    }
+    // Up child: x >= ceil(value).
+    {
+      auto child = std::make_shared<Node>(*node);
+      child->lower[branch_var] = std::ceil(value);
+      child->parent_bound = bound_key;
+      child->depth = node->depth + 1;
+      if (child->lower[branch_var] <= child->upper[branch_var] + 1e-9) {
+        push(std::move(child));
+      }
+    }
+  }
+
+  // Best bound among open nodes (for gap reporting on early stop).
+  best_open_bound = incumbent_key;
+  if (hit_node_limit) {
+    double open = kInf;
+    while (!best_first.empty()) {
+      open = std::min(open, best_first.top()->parent_bound);
+      best_first.pop();
+    }
+    for (const auto& node : depth_first) {
+      open = std::min(open, node->parent_bound);
+    }
+    best_open_bound = std::min(incumbent_key, open);
+  }
+  result.best_bound = sense_factor * best_open_bound;
+
+  if (hit_node_limit) {
+    result.status = MilpResult::SolveStatus::kNodeLimit;
+  } else if (result.has_incumbent) {
+    result.status = MilpResult::SolveStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = any_feasible_lp ? MilpResult::SolveStatus::kInfeasible
+                                    : MilpResult::SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace dart::milp

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+/// \file branch_and_bound.h
+/// Branch-and-bound MILP solver on top of the simplex LP relaxation. This is
+/// DART's stand-in for the commercial LINDO API the paper used (Sec. 6.3);
+/// any exact solver returns the same optimal objective, which is what the
+/// card-minimal repair semantics needs.
+
+namespace dart::milp {
+
+/// Branching-variable selection rule (ablated in bench_solver_ablation).
+enum class BranchRule {
+  kMostFractional,  ///< fractional part closest to 1/2.
+  kFirstFractional, ///< lowest variable index.
+};
+
+/// Node exploration order (ablated in bench_solver_ablation).
+enum class NodeOrder {
+  kBestFirst,   ///< lowest parent bound first (best-bound search).
+  kDepthFirst,  ///< LIFO dive.
+};
+
+struct MilpOptions {
+  LpOptions lp;
+  /// Hard cap on explored nodes (0 = unlimited).
+  int64_t max_nodes = 0;
+  /// Integrality tolerance.
+  double int_tol = 1e-6;
+  /// When the objective provably takes integer values on integral points
+  /// (true for S*(AC): it is a sum of binaries), bounds are rounded up,
+  /// which substantially tightens pruning.
+  bool objective_is_integral = false;
+  /// Attempt a cheap round-to-nearest incumbent at every node.
+  bool rounding_heuristic = true;
+  BranchRule branch_rule = BranchRule::kMostFractional;
+  NodeOrder node_order = NodeOrder::kBestFirst;
+  /// Optional warm start: a point to try as the initial incumbent (snapped
+  /// and feasibility-checked; silently ignored when the size is wrong or the
+  /// point infeasible). Typical source: the previous validation-loop
+  /// iteration's accepted solution.
+  std::vector<double> initial_point;
+};
+
+struct MilpResult {
+  enum class SolveStatus {
+    kOptimal,
+    kInfeasible,
+    kNodeLimit,   ///< stopped early; `point` holds the incumbent if any.
+    kUnbounded,
+  };
+
+  SolveStatus status = SolveStatus::kInfeasible;
+  /// Objective of the incumbent, in the model's sense.
+  double objective = 0;
+  std::vector<double> point;
+  /// True iff `point` holds a feasible integral solution.
+  bool has_incumbent = false;
+  /// Best proven bound on the optimum (equal to `objective` when optimal).
+  double best_bound = 0;
+
+  // Statistics.
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+};
+
+const char* MilpStatusName(MilpResult::SolveStatus status);
+
+/// Solves `model` to proven optimality (or until the node limit).
+MilpResult SolveMilp(const Model& model, const MilpOptions& options = {});
+
+}  // namespace dart::milp

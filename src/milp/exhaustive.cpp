@@ -1,0 +1,66 @@
+#include "milp/exhaustive.h"
+
+#include <limits>
+
+namespace dart::milp {
+
+MilpResult SolveByBinaryEnumeration(const Model& model,
+                                    const ExhaustiveOptions& options) {
+  std::vector<int> binaries;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    if (model.variable(i).type == VarType::kBinary) binaries.push_back(i);
+  }
+  DART_CHECK_MSG(static_cast<int>(binaries.size()) <= options.max_binaries,
+                 "too many binaries for exhaustive enumeration");
+
+  const double sense_factor =
+      model.objective_sense() == ObjectiveSense::kMinimize ? 1.0 : -1.0;
+
+  MilpResult best;
+  best.status = MilpResult::SolveStatus::kInfeasible;
+  double best_key = std::numeric_limits<double>::infinity();
+
+  const uint64_t combos = uint64_t{1} << binaries.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    // Rebuild the model with binaries pinned to this assignment. The
+    // residual has no binary variables, so SolveMilp only has to enforce the
+    // integrality of any general-integer variables.
+    Model rebuilt;
+    for (int i = 0; i < model.num_variables(); ++i) {
+      const Variable& v = model.variable(i);
+      double lo = v.lower, hi = v.upper;
+      VarType type = v.type;
+      for (size_t b = 0; b < binaries.size(); ++b) {
+        if (binaries[b] == i) {
+          const double value = (mask >> b) & 1 ? 1.0 : 0.0;
+          lo = hi = value;
+          type = VarType::kContinuous;
+          break;
+        }
+      }
+      rebuilt.AddVariable(v.name, type, lo, hi);
+    }
+    for (const Row& row : model.rows()) {
+      rebuilt.AddRow(row.name, row.terms, row.sense, row.rhs);
+    }
+    rebuilt.SetObjective(model.objective_terms(), model.objective_constant(),
+                         model.objective_sense());
+
+    MilpResult sub = SolveMilp(rebuilt, options.residual);
+    best.nodes += sub.nodes;
+    best.lp_iterations += sub.lp_iterations;
+    if (sub.status != MilpResult::SolveStatus::kOptimal) continue;
+    const double key = sense_factor * sub.objective;
+    if (key < best_key - 1e-9) {
+      best_key = key;
+      best.objective = sub.objective;
+      best.point = sub.point;
+      best.has_incumbent = true;
+      best.status = MilpResult::SolveStatus::kOptimal;
+      best.best_bound = sub.objective;
+    }
+  }
+  return best;
+}
+
+}  // namespace dart::milp

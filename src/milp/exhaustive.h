@@ -1,0 +1,27 @@
+#pragma once
+
+#include "milp/branch_and_bound.h"
+#include "milp/model.h"
+
+/// \file exhaustive.h
+/// A brute-force reference solver used ONLY to cross-check branch-and-bound
+/// in tests and the solver-ablation bench: it enumerates every assignment of
+/// the binary variables (2^k combinations) and solves the residual problem —
+/// which has no binaries left — with the ordinary solver. Because the
+/// combinatorial search over binaries is replaced by exhaustive enumeration,
+/// agreement between the two solvers validates the branching logic.
+
+namespace dart::milp {
+
+struct ExhaustiveOptions {
+  /// Refuse instances with more binaries than this (2^k explosion guard).
+  int max_binaries = 22;
+  MilpOptions residual;  ///< options for the per-assignment residual solve.
+};
+
+/// Solves `model` by binary enumeration. Fails (kInfeasible with nodes == -1
+/// is never used; instead a DART_CHECK) — callers must respect max_binaries.
+MilpResult SolveByBinaryEnumeration(const Model& model,
+                                    const ExhaustiveOptions& options = {});
+
+}  // namespace dart::milp

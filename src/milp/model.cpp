@@ -1,0 +1,207 @@
+#include "milp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace dart::milp {
+
+const char* VarTypeName(VarType type) {
+  switch (type) {
+    case VarType::kContinuous: return "continuous";
+    case VarType::kInteger: return "integer";
+    case VarType::kBinary: return "binary";
+  }
+  return "unknown";
+}
+
+const char* RowSenseName(RowSense sense) {
+  switch (sense) {
+    case RowSense::kLe: return "<=";
+    case RowSense::kGe: return ">=";
+    case RowSense::kEq: return "=";
+  }
+  return "?";
+}
+
+int Model::AddVariable(std::string name, VarType type, double lower,
+                       double upper) {
+  if (type == VarType::kBinary) {
+    lower = 0;
+    upper = 1;
+  }
+  DART_CHECK_MSG(std::isfinite(lower) && std::isfinite(upper),
+                 "DART MILP models require finite variable bounds");
+  DART_CHECK_MSG(lower <= upper, "variable bounds must satisfy lower <= upper");
+  variables_.push_back(Variable{std::move(name), type, lower, upper});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::AddRow(std::string name, std::vector<LinearTerm> terms,
+                   RowSense sense, double rhs) {
+  // Merge duplicate variable indices so downstream solvers can assume each
+  // variable appears at most once per row.
+  std::map<int, double> merged;
+  for (const LinearTerm& term : terms) {
+    DART_CHECK_MSG(term.variable >= 0 && term.variable < num_variables(),
+                   "row references unknown variable");
+    merged[term.variable] += term.coefficient;
+  }
+  std::vector<LinearTerm> clean;
+  clean.reserve(merged.size());
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0) clean.push_back(LinearTerm{var, coeff});
+  }
+  rows_.push_back(Row{std::move(name), std::move(clean), sense, rhs});
+}
+
+void Model::SetObjective(std::vector<LinearTerm> terms, double constant,
+                         ObjectiveSense sense) {
+  std::map<int, double> merged;
+  for (const LinearTerm& term : terms) {
+    DART_CHECK_MSG(term.variable >= 0 && term.variable < num_variables(),
+                   "objective references unknown variable");
+    merged[term.variable] += term.coefficient;
+  }
+  objective_terms_.clear();
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0) objective_terms_.push_back(LinearTerm{var, coeff});
+  }
+  objective_constant_ = constant;
+  objective_sense_ = sense;
+}
+
+const Variable& Model::variable(int index) const {
+  DART_CHECK(index >= 0 && index < num_variables());
+  return variables_[index];
+}
+
+bool Model::HasIntegrality() const {
+  return std::any_of(variables_.begin(), variables_.end(),
+                     [](const Variable& v) {
+                       return v.type != VarType::kContinuous;
+                     });
+}
+
+Status Model::Validate() const {
+  for (int i = 0; i < num_variables(); ++i) {
+    const Variable& v = variables_[i];
+    if (!std::isfinite(v.lower) || !std::isfinite(v.upper)) {
+      return Status::InvalidArgument("variable '" + v.name +
+                                     "' has non-finite bounds");
+    }
+    if (v.lower > v.upper) {
+      return Status::InvalidArgument("variable '" + v.name +
+                                     "' has lower > upper");
+    }
+  }
+  for (const Row& row : rows_) {
+    if (!std::isfinite(row.rhs)) {
+      return Status::InvalidArgument("row '" + row.name +
+                                     "' has non-finite rhs");
+    }
+    for (const LinearTerm& term : row.terms) {
+      if (term.variable < 0 || term.variable >= num_variables()) {
+        return Status::InvalidArgument("row '" + row.name +
+                                       "' references unknown variable");
+      }
+      if (!std::isfinite(term.coefficient)) {
+        return Status::InvalidArgument("row '" + row.name +
+                                       "' has non-finite coefficient");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+std::string TermsToString(const std::vector<LinearTerm>& terms,
+                          const std::vector<Variable>& variables) {
+  std::string out;
+  bool first = true;
+  for (const LinearTerm& term : terms) {
+    double c = term.coefficient;
+    if (first) {
+      if (c < 0) out += "- ";
+      first = false;
+    } else {
+      out += c < 0 ? " - " : " + ";
+    }
+    double abs_c = std::fabs(c);
+    if (abs_c != 1) out += FormatDouble(abs_c) + " ";
+    out += variables[term.variable].name;
+  }
+  if (first) out = "0";
+  return out;
+}
+}  // namespace
+
+std::string Model::ToLpString() const {
+  std::string out =
+      objective_sense_ == ObjectiveSense::kMinimize ? "Minimize\n" : "Maximize\n";
+  out += " obj: " + TermsToString(objective_terms_, variables_);
+  if (objective_constant_ != 0) {
+    out += (objective_constant_ > 0 ? " + " : " - ") +
+           FormatDouble(std::fabs(objective_constant_));
+  }
+  out += "\nSubject To\n";
+  for (const Row& row : rows_) {
+    out += " " + row.name + ": " + TermsToString(row.terms, variables_) + " " +
+           RowSenseName(row.sense) + " " + FormatDouble(row.rhs) + "\n";
+  }
+  out += "Bounds\n";
+  for (const Variable& v : variables_) {
+    out += " " + FormatDouble(v.lower) + " <= " + v.name +
+           " <= " + FormatDouble(v.upper) + "\n";
+  }
+  std::string generals, binaries;
+  for (const Variable& v : variables_) {
+    if (v.type == VarType::kInteger) generals += " " + v.name + "\n";
+    if (v.type == VarType::kBinary) binaries += " " + v.name + "\n";
+  }
+  if (!generals.empty()) out += "General\n" + generals;
+  if (!binaries.empty()) out += "Binary\n" + binaries;
+  out += "End\n";
+  return out;
+}
+
+double EvalTerms(const std::vector<LinearTerm>& terms,
+                 const std::vector<double>& point) {
+  double total = 0;
+  for (const LinearTerm& term : terms) {
+    total += term.coefficient * point[term.variable];
+  }
+  return total;
+}
+
+bool IsFeasiblePoint(const Model& model, const std::vector<double>& point,
+                     double tol) {
+  if (point.size() != static_cast<size_t>(model.num_variables())) return false;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    const Variable& v = model.variable(i);
+    if (point[i] < v.lower - tol || point[i] > v.upper + tol) return false;
+    if (v.type != VarType::kContinuous &&
+        std::fabs(point[i] - std::round(point[i])) > tol) {
+      return false;
+    }
+  }
+  for (const Row& row : model.rows()) {
+    double lhs = EvalTerms(row.terms, point);
+    switch (row.sense) {
+      case RowSense::kLe:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case RowSense::kGe:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case RowSense::kEq:
+        if (std::fabs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dart::milp

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file model.h
+/// Mixed-integer linear program representation. The repair translator builds
+/// a Model for S*(AC) (paper Sec. 5); the solvers in simplex.h /
+/// branch_and_bound.h consume it.
+///
+/// Every variable carries finite bounds. This is not a toy restriction: the
+/// paper's own theory (the M-bounded-repair argument via [22]) shows that an
+/// optimal repair exists within [-M, M], so DART models are always boxed.
+
+namespace dart::milp {
+
+enum class VarType {
+  kContinuous,  ///< x ∈ R within its bounds.
+  kInteger,     ///< x ∈ Z within its bounds.
+  kBinary,      ///< x ∈ {0, 1}.
+};
+
+const char* VarTypeName(VarType type);
+
+/// One decision variable.
+struct Variable {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lower = 0;
+  double upper = 0;
+};
+
+enum class RowSense { kLe, kGe, kEq };
+
+const char* RowSenseName(RowSense sense);  ///< "<=", ">=", "="
+
+/// One coefficient of a row or the objective.
+struct LinearTerm {
+  int variable = 0;
+  double coefficient = 0;
+};
+
+/// One linear row: Σ terms ⋈ rhs.
+struct Row {
+  std::string name;
+  std::vector<LinearTerm> terms;
+  RowSense sense = RowSense::kLe;
+  double rhs = 0;
+};
+
+enum class ObjectiveSense { kMinimize, kMaximize };
+
+/// A complete MILP instance.
+class Model {
+ public:
+  /// Adds a variable; bounds must be finite with lower <= upper. For binary
+  /// variables the bounds are forced to [0, 1]. Returns the variable index.
+  int AddVariable(std::string name, VarType type, double lower, double upper);
+
+  /// Adds a row. Variable indices must be valid; duplicate indices in one row
+  /// are merged.
+  void AddRow(std::string name, std::vector<LinearTerm> terms, RowSense sense,
+              double rhs);
+
+  /// Sets the objective Σ terms + constant, to be minimized or maximized.
+  void SetObjective(std::vector<LinearTerm> terms, double constant,
+                    ObjectiveSense sense);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Variable& variable(int index) const;
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<LinearTerm>& objective_terms() const {
+    return objective_terms_;
+  }
+  double objective_constant() const { return objective_constant_; }
+  ObjectiveSense objective_sense() const { return objective_sense_; }
+
+  /// True iff the model has at least one integer/binary variable.
+  bool HasIntegrality() const;
+
+  /// Structural validation (indices in range, finite bounds, lb <= ub).
+  Status Validate() const;
+
+  /// CPLEX-LP-like rendering, for debugging and golden tests.
+  std::string ToLpString() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Row> rows_;
+  std::vector<LinearTerm> objective_terms_;
+  double objective_constant_ = 0;
+  ObjectiveSense objective_sense_ = ObjectiveSense::kMinimize;
+};
+
+/// Evaluates Σ terms over a point.
+double EvalTerms(const std::vector<LinearTerm>& terms,
+                 const std::vector<double>& point);
+
+/// True iff `point` satisfies every row and bound of `model` within `tol`,
+/// including integrality of integer/binary variables.
+bool IsFeasiblePoint(const Model& model, const std::vector<double>& point,
+                     double tol = 1e-6);
+
+}  // namespace dart::milp

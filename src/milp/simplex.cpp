@@ -1,0 +1,355 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dart::milp {
+
+const char* LpStatusName(LpResult::SolveStatus status) {
+  switch (status) {
+    case LpResult::SolveStatus::kOptimal: return "optimal";
+    case LpResult::SolveStatus::kInfeasible: return "infeasible";
+    case LpResult::SolveStatus::kUnbounded: return "unbounded";
+    case LpResult::SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dense standard-form tableau: min c'x, Ax = b, x >= 0, with a known basic
+/// feasible solution maintained through pivots.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols), a_(rows, std::vector<double>(cols, 0.0)),
+        b_(rows, 0.0), basis_(rows, -1) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& At(int r, int c) { return a_[r][c]; }
+  double At(int r, int c) const { return a_[r][c]; }
+  double& Rhs(int r) { return b_[r]; }
+  double Rhs(int r) const { return b_[r]; }
+  int& Basis(int r) { return basis_[r]; }
+  int Basis(int r) const { return basis_[r]; }
+
+  /// Gauss-Jordan pivot on (pivot_row, pivot_col); updates the basis.
+  void Pivot(int pivot_row, int pivot_col) {
+    const double pivot = a_[pivot_row][pivot_col];
+    const double inv = 1.0 / pivot;
+    for (int c = 0; c < cols_; ++c) a_[pivot_row][c] *= inv;
+    b_[pivot_row] *= inv;
+    a_[pivot_row][pivot_col] = 1.0;  // kill roundoff on the pivot itself
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = a_[r][pivot_col];
+      if (factor == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) a_[r][c] -= factor * a_[pivot_row][c];
+      b_[r] -= factor * b_[pivot_row];
+      a_[r][pivot_col] = 0.0;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  /// Removes a (redundant, all-zero) row.
+  void DropRow(int row) {
+    a_.erase(a_.begin() + row);
+    b_.erase(b_.begin() + row);
+    basis_.erase(basis_.begin() + row);
+    --rows_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<int> basis_;
+};
+
+enum class IterOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+/// Runs simplex iterations for objective `cost` (size = cols). `allowed[c]`
+/// gates which columns may enter (used to lock out artificials in phase 2).
+/// Dantzig rule with a permanent switch to Bland's rule after `stall_limit`
+/// non-improving iterations.
+IterOutcome Iterate(Tableau* tableau, const std::vector<double>& cost,
+                    const std::vector<bool>& allowed, double tol,
+                    int max_iterations, int* iterations_used) {
+  const int rows = tableau->rows();
+  const int cols = tableau->cols();
+
+  // Reduced costs and objective maintained incrementally through pivots.
+  std::vector<double> reduced(cost);
+  double objective = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int bc = tableau->Basis(r);
+    const double cb = cost[bc];
+    if (cb == 0.0) continue;
+    objective += cb * tableau->Rhs(r);
+    for (int c = 0; c < cols; ++c) reduced[c] -= cb * tableau->At(r, c);
+  }
+
+  bool bland = false;
+  int stall = 0;
+  const int stall_limit = 64;
+  double last_objective = objective;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // --- Entering column.
+    int entering = -1;
+    if (bland) {
+      for (int c = 0; c < cols; ++c) {
+        if (allowed[c] && reduced[c] < -tol) { entering = c; break; }
+      }
+    } else {
+      double best = -tol;
+      for (int c = 0; c < cols; ++c) {
+        if (allowed[c] && reduced[c] < best) {
+          best = reduced[c];
+          entering = c;
+        }
+      }
+    }
+    if (entering < 0) {
+      *iterations_used += iter;
+      return IterOutcome::kOptimal;
+    }
+
+    // --- Leaving row: minimum ratio test; Bland tie-break on basis index.
+    int leaving = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < rows; ++r) {
+      const double coeff = tableau->At(r, entering);
+      if (coeff <= tol) continue;
+      const double ratio = tableau->Rhs(r) / coeff;
+      if (ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol && leaving >= 0 &&
+           tableau->Basis(r) < tableau->Basis(leaving))) {
+        best_ratio = ratio;
+        leaving = r;
+      }
+    }
+    if (leaving < 0) {
+      *iterations_used += iter;
+      return IterOutcome::kUnbounded;
+    }
+
+    tableau->Pivot(leaving, entering);
+
+    // Update reduced costs & objective by the same pivot.
+    const double factor = reduced[entering];
+    if (factor != 0.0) {
+      for (int c = 0; c < cols; ++c) {
+        reduced[c] -= factor * tableau->At(leaving, c);
+      }
+      objective -= factor * tableau->Rhs(leaving);
+      reduced[entering] = 0.0;
+    }
+
+    // Stall detection → permanent Bland (termination guarantee).
+    if (objective < last_objective - tol) {
+      last_objective = objective;
+      stall = 0;
+    } else if (!bland && ++stall >= stall_limit) {
+      bland = true;
+    }
+  }
+  *iterations_used += max_iterations;
+  return IterOutcome::kIterationLimit;
+}
+
+}  // namespace
+
+LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,
+                           const std::vector<double>* lower_override,
+                           const std::vector<double>* upper_override) {
+  const double tol = options.tol;
+  const int n = model.num_variables();
+  LpResult result;
+
+  // Effective bounds.
+  std::vector<double> lower(n), upper(n);
+  for (int i = 0; i < n; ++i) {
+    lower[i] = lower_override ? (*lower_override)[i] : model.variable(i).lower;
+    upper[i] = upper_override ? (*upper_override)[i] : model.variable(i).upper;
+    if (lower[i] > upper[i] + 1e-9) {
+      result.status = LpResult::SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  // Shifted problem: x = lower + x', 0 <= x' <= range.
+  std::vector<double> range(n);
+  std::vector<int> ub_rows;  // variables needing an explicit upper-bound row
+  for (int i = 0; i < n; ++i) {
+    range[i] = upper[i] - lower[i];
+    if (range[i] > tol) ub_rows.push_back(i);
+    // range ~ 0: variable fixed at its lower bound; x' pinned to 0 by
+    // nonnegativity plus an upper-bound row would be redundant.
+  }
+
+  const int m_model = model.num_rows();
+  const int m = m_model + static_cast<int>(ub_rows.size());
+
+  // Column layout: [0, n) original, then one slack per row (<=/>= rows and
+  // all upper-bound rows), then artificials as needed.
+  struct RowSpec {
+    std::vector<LinearTerm> terms;  // over original variables
+    RowSense sense;
+    double rhs;
+  };
+  std::vector<RowSpec> specs;
+  specs.reserve(m);
+  for (const Row& row : model.rows()) {
+    RowSpec spec{row.terms, row.sense, row.rhs};
+    // Shift constants: rhs' = rhs - Σ a_i * lower_i.
+    for (const LinearTerm& term : row.terms) {
+      spec.rhs -= term.coefficient * lower[term.variable];
+    }
+    // Drop fixed (range 0) variables from the row: their shifted value is 0.
+    specs.push_back(std::move(spec));
+  }
+  for (int var : ub_rows) {
+    specs.push_back(RowSpec{{LinearTerm{var, 1.0}}, RowSense::kLe, range[var]});
+  }
+
+  // Normalize rhs >= 0.
+  for (RowSpec& spec : specs) {
+    if (spec.rhs < 0) {
+      spec.rhs = -spec.rhs;
+      for (LinearTerm& term : spec.terms) term.coefficient = -term.coefficient;
+      if (spec.sense == RowSense::kLe) spec.sense = RowSense::kGe;
+      else if (spec.sense == RowSense::kGe) spec.sense = RowSense::kLe;
+    }
+  }
+
+  // Count auxiliary columns.
+  int num_slack = 0, num_artificial = 0;
+  for (const RowSpec& spec : specs) {
+    if (spec.sense != RowSense::kEq) ++num_slack;
+    if (spec.sense != RowSense::kLe) ++num_artificial;
+  }
+  const int cols = n + num_slack + num_artificial;
+  const int artificial_begin = n + num_slack;
+
+  Tableau tableau(m, cols);
+  {
+    int slack_next = n;
+    int artificial_next = artificial_begin;
+    for (int r = 0; r < m; ++r) {
+      const RowSpec& spec = specs[r];
+      for (const LinearTerm& term : spec.terms) {
+        if (range[term.variable] <= tol) continue;  // fixed at shift origin
+        tableau.At(r, term.variable) += term.coefficient;
+      }
+      tableau.Rhs(r) = spec.rhs;
+      switch (spec.sense) {
+        case RowSense::kLe:
+          tableau.At(r, slack_next) = 1.0;
+          tableau.Basis(r) = slack_next++;
+          break;
+        case RowSense::kGe:
+          tableau.At(r, slack_next) = -1.0;
+          ++slack_next;
+          tableau.At(r, artificial_next) = 1.0;
+          tableau.Basis(r) = artificial_next++;
+          break;
+        case RowSense::kEq:
+          tableau.At(r, artificial_next) = 1.0;
+          tableau.Basis(r) = artificial_next++;
+          break;
+      }
+    }
+  }
+
+  const int max_iterations =
+      options.max_iterations > 0 ? options.max_iterations
+                                 : 200 * (m + cols) + 20000;
+  int iterations = 0;
+
+  // --- Phase 1: drive artificials to zero.
+  if (num_artificial > 0) {
+    std::vector<double> phase1_cost(cols, 0.0);
+    for (int c = artificial_begin; c < cols; ++c) phase1_cost[c] = 1.0;
+    std::vector<bool> allowed(cols, true);
+    IterOutcome outcome =
+        Iterate(&tableau, phase1_cost, allowed, tol, max_iterations,
+                &iterations);
+    result.iterations = iterations;
+    if (outcome == IterOutcome::kIterationLimit) {
+      result.status = LpResult::SolveStatus::kIterationLimit;
+      return result;
+    }
+    double infeasibility = 0;
+    for (int r = 0; r < tableau.rows(); ++r) {
+      if (tableau.Basis(r) >= artificial_begin) {
+        infeasibility += tableau.Rhs(r);
+      }
+    }
+    if (infeasibility > 1e-7) {
+      result.status = LpResult::SolveStatus::kInfeasible;
+      return result;
+    }
+    // Pivot remaining (zero-level) artificials out of the basis, or drop
+    // redundant rows, so phase 2 cannot push an artificial positive.
+    for (int r = tableau.rows() - 1; r >= 0; --r) {
+      if (tableau.Basis(r) < artificial_begin) continue;
+      int pivot_col = -1;
+      for (int c = 0; c < artificial_begin; ++c) {
+        if (std::fabs(tableau.At(r, c)) > 1e-7) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        tableau.Pivot(r, pivot_col);
+      } else {
+        tableau.DropRow(r);  // 0 = 0: redundant constraint
+      }
+    }
+  }
+
+  // --- Phase 2: the real objective (converted to minimization).
+  const double sense_factor =
+      model.objective_sense() == ObjectiveSense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> cost(cols, 0.0);
+  for (const LinearTerm& term : model.objective_terms()) {
+    if (range[term.variable] <= tol) continue;  // fixed vars: constant cost
+    cost[term.variable] = sense_factor * term.coefficient;
+  }
+  std::vector<bool> allowed(cols, true);
+  for (int c = artificial_begin; c < cols; ++c) allowed[c] = false;
+
+  IterOutcome outcome =
+      Iterate(&tableau, cost, allowed, tol, max_iterations, &iterations);
+  result.iterations = iterations;
+  if (outcome == IterOutcome::kIterationLimit) {
+    result.status = LpResult::SolveStatus::kIterationLimit;
+    return result;
+  }
+  if (outcome == IterOutcome::kUnbounded) {
+    result.status = LpResult::SolveStatus::kUnbounded;
+    return result;
+  }
+
+  // --- Extract the point in original coordinates.
+  result.point.assign(n, 0.0);
+  for (int r = 0; r < tableau.rows(); ++r) {
+    const int bc = tableau.Basis(r);
+    if (bc < n) result.point[bc] = tableau.Rhs(r);
+  }
+  for (int i = 0; i < n; ++i) {
+    result.point[i] += lower[i];
+    // Clamp roundoff into the box.
+    result.point[i] = std::clamp(result.point[i], lower[i], upper[i]);
+  }
+  result.objective = model.objective_constant() +
+                     EvalTerms(model.objective_terms(), result.point);
+  result.status = LpResult::SolveStatus::kOptimal;
+  return result;
+}
+
+}  // namespace dart::milp

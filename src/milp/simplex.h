@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+
+/// \file simplex.h
+/// A dense two-phase primal simplex solver for the LP relaxations of DART's
+/// repair MILPs.
+///
+/// Scope: every variable must carry finite bounds (guaranteed by Model).
+/// Variables are shifted to their lower bound and upper bounds become
+/// explicit rows, so the core works on the textbook standard form
+/// min c'x, Ax = b, x >= 0. Entering-variable selection is Dantzig's rule
+/// with an automatic permanent switch to Bland's rule when the objective
+/// stalls, which guarantees termination on degenerate instances.
+
+namespace dart::milp {
+
+/// Outcome of an LP solve.
+struct LpResult {
+  enum class SolveStatus {
+    kOptimal,
+    kInfeasible,
+    kUnbounded,        ///< cannot occur for boxed models; kept for safety.
+    kIterationLimit,
+  };
+
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value in the model's own sense (includes the constant term).
+  double objective = 0;
+  /// Values of the model's variables (size = num_variables) when optimal.
+  std::vector<double> point;
+  int iterations = 0;
+};
+
+const char* LpStatusName(LpResult::SolveStatus status);
+
+struct LpOptions {
+  /// 0 = automatic (scales with model size).
+  int max_iterations = 0;
+  /// Pivot tolerance.
+  double tol = 1e-9;
+};
+
+/// Solves the LP relaxation of `model` (all integrality dropped).
+///
+/// `lower_override` / `upper_override`, when non-null, replace the per
+/// variable bounds — this is how branch-and-bound tightens bounds per node
+/// without copying the model. A variable whose (overridden) lower exceeds its
+/// upper makes the LP trivially infeasible.
+LpResult SolveLpRelaxation(const Model& model, const LpOptions& options = {},
+                           const std::vector<double>* lower_override = nullptr,
+                           const std::vector<double>* upper_override = nullptr);
+
+}  // namespace dart::milp

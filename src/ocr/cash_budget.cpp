@@ -1,0 +1,396 @@
+#include "ocr/cash_budget.h"
+
+#include <map>
+
+#include "util/strings.h"
+#include "wrapper/html_parser.h"
+
+namespace dart::ocr {
+
+namespace {
+
+constexpr const char* kReceipts = "Receipts";
+constexpr const char* kDisbursements = "Disbursements";
+constexpr const char* kBalance = "Balance";
+
+constexpr const char* kBeginningCash = "beginning cash";
+constexpr const char* kTotalReceipts = "total cash receipts";
+constexpr const char* kTotalDisbursements = "total disbursements";
+constexpr const char* kNetCashInflow = "net cash inflow";
+constexpr const char* kEndingCash = "ending cash balance";
+
+Status InsertRow(rel::Relation* relation, int year, const std::string& section,
+                 const std::string& subsection, const std::string& type,
+                 int64_t value) {
+  DART_ASSIGN_OR_RETURN(
+      size_t row,
+      relation->Insert({rel::Value(int64_t{year}), rel::Value(section),
+                        rel::Value(subsection), rel::Value(type),
+                        rel::Value(value)}));
+  (void)row;
+  return Status::Ok();
+}
+
+}  // namespace
+
+rel::RelationSchema CashBudgetFixture::Schema() {
+  Result<rel::RelationSchema> schema = rel::RelationSchema::Create(
+      "CashBudget",
+      {{"Year", rel::Domain::kInt, false},
+       {"Section", rel::Domain::kString, false},
+       {"Subsection", rel::Domain::kString, false},
+       {"Type", rel::Domain::kString, false},
+       {"Value", rel::Domain::kInt, true}});
+  DART_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<rel::Database> CashBudgetFixture::PaperExample(
+    bool with_acquisition_error) {
+  rel::Database db;
+  DART_RETURN_IF_ERROR(db.AddRelation(Schema()));
+  rel::Relation* r = db.FindRelation("CashBudget");
+
+  // Year 2003 (Fig. 3; the acquired value of total cash receipts is 250 when
+  // the symbol-recognition error occurred, 220 in the source document).
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kReceipts, kBeginningCash, "drv", 20));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kReceipts, "cash sales", "det", 100));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kReceipts, "receivables", "det", 120));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kReceipts, kTotalReceipts, "aggr",
+                                 with_acquisition_error ? 250 : 220));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2003, kDisbursements, "payment of accounts", "det", 120));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2003, kDisbursements, "capital expenditure", "det", 0));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2003, kDisbursements, "long-term financing", "det", 40));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2003, kDisbursements, kTotalDisbursements, "aggr", 160));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kBalance, kNetCashInflow, "drv", 60));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2003, kBalance, kEndingCash, "drv", 80));
+
+  // Year 2004.
+  DART_RETURN_IF_ERROR(InsertRow(r, 2004, kReceipts, kBeginningCash, "drv", 80));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2004, kReceipts, "cash sales", "det", 100));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2004, kReceipts, "receivables", "det", 100));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2004, kReceipts, kTotalReceipts, "aggr", 200));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2004, kDisbursements, "payment of accounts", "det", 130));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2004, kDisbursements, "capital expenditure", "det", 40));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2004, kDisbursements, "long-term financing", "det", 20));
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, 2004, kDisbursements, kTotalDisbursements, "aggr", 190));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2004, kBalance, kNetCashInflow, "drv", 10));
+  DART_RETURN_IF_ERROR(InsertRow(r, 2004, kBalance, kEndingCash, "drv", 90));
+  return db;
+}
+
+std::vector<std::string> CashBudgetFixture::ReceiptDetailNames(int count) {
+  static const char* kPaperNames[] = {"cash sales", "receivables"};
+  std::vector<std::string> out;
+  for (int i = 0; i < count; ++i) {
+    if (i < 2) out.emplace_back(kPaperNames[i]);
+    else out.push_back("receipt item " + std::to_string(i + 1));
+  }
+  return out;
+}
+
+std::vector<std::string> CashBudgetFixture::DisbursementDetailNames(int count) {
+  static const char* kPaperNames[] = {"payment of accounts",
+                                      "capital expenditure",
+                                      "long-term financing"};
+  std::vector<std::string> out;
+  for (int i = 0; i < count; ++i) {
+    if (i < 3) out.emplace_back(kPaperNames[i]);
+    else out.push_back("disbursement item " + std::to_string(i + 1));
+  }
+  return out;
+}
+
+Result<rel::Database> CashBudgetFixture::Random(
+    const CashBudgetOptions& options, Rng* rng) {
+  if (options.num_years < 1 || options.receipt_details < 1 ||
+      options.disbursement_details < 1) {
+    return Status::InvalidArgument(
+        "cash-budget generator needs >= 1 year and >= 1 detail per section");
+  }
+  rel::Database db;
+  DART_RETURN_IF_ERROR(db.AddRelation(Schema()));
+  rel::Relation* r = db.FindRelation("CashBudget");
+
+  const std::vector<std::string> receipts =
+      ReceiptDetailNames(options.receipt_details);
+  const std::vector<std::string> disbursements =
+      DisbursementDetailNames(options.disbursement_details);
+
+  int64_t beginning = rng->UniformInt(0, options.max_detail_value);
+  for (int y = 0; y < options.num_years; ++y) {
+    const int year = options.start_year + y;
+    DART_RETURN_IF_ERROR(
+        InsertRow(r, year, kReceipts, kBeginningCash, "drv", beginning));
+    int64_t total_receipts = 0;
+    for (const std::string& name : receipts) {
+      const int64_t value =
+          rng->UniformInt(options.min_detail_value, options.max_detail_value);
+      total_receipts += value;
+      DART_RETURN_IF_ERROR(InsertRow(r, year, kReceipts, name, "det", value));
+    }
+    DART_RETURN_IF_ERROR(InsertRow(r, year, kReceipts, kTotalReceipts, "aggr",
+                                   total_receipts));
+    int64_t total_disbursements = 0;
+    for (const std::string& name : disbursements) {
+      const int64_t value =
+          rng->UniformInt(options.min_detail_value, options.max_detail_value);
+      total_disbursements += value;
+      DART_RETURN_IF_ERROR(
+          InsertRow(r, year, kDisbursements, name, "det", value));
+    }
+    DART_RETURN_IF_ERROR(InsertRow(r, year, kDisbursements,
+                                   kTotalDisbursements, "aggr",
+                                   total_disbursements));
+    const int64_t net = total_receipts - total_disbursements;
+    const int64_t ending = beginning + net;
+    DART_RETURN_IF_ERROR(
+        InsertRow(r, year, kBalance, kNetCashInflow, "drv", net));
+    DART_RETURN_IF_ERROR(InsertRow(r, year, kBalance, kEndingCash, "drv",
+                                   ending));
+    beginning = ending;  // the next year opens with this year's close
+  }
+  return db;
+}
+
+std::string CashBudgetFixture::ConstraintProgram() {
+  return R"(# Aggregation functions of Example 2.
+agg chi1(x, y, z) := sum(Value) from CashBudget
+    where Section = x and Year = y and Type = z;
+agg chi2(x, y) := sum(Value) from CashBudget
+    where Year = x and Subsection = y;
+
+# Constraint 1 (Example 3): per section and year, detail items sum to the
+# aggregate item.
+constraint c1: CashBudget(y, x, _, _, _)
+    => chi1(x, y, 'det') - chi1(x, y, 'aggr') = 0;
+
+# Constraint 2 (Example 4): net cash inflow = receipts - disbursements.
+constraint c2: CashBudget(x, _, _, _, _)
+    => chi2(x, 'net cash inflow') - chi2(x, 'total cash receipts')
+       + chi2(x, 'total disbursements') = 0;
+
+# Constraint 3 (Example 4): ending balance = beginning cash + net inflow.
+constraint c3: CashBudget(x, _, _, _, _)
+    => chi2(x, 'ending cash balance') - chi2(x, 'beginning cash')
+       - chi2(x, 'net cash inflow') = 0;
+)";
+}
+
+std::string CashBudgetFixture::RenderHtml(const rel::Database& db,
+                                          NoiseModel* noise) {
+  const rel::Relation* relation = db.FindRelation("CashBudget");
+  DART_CHECK_MSG(relation != nullptr, "database lacks CashBudget");
+
+  auto text_of = [&](const std::string& s) {
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptText(s) : s);
+  };
+  auto value_of = [&](const rel::Value& v) {
+    const std::string s = v.ToString();
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptNumber(s) : s);
+  };
+
+  // Group row indices by year (insertion order preserved inside a year).
+  std::map<int64_t, std::vector<size_t>> by_year;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    by_year[relation->At(i, 0).AsInt()].push_back(i);
+  }
+
+  std::string html = "<html><body>\n";
+  for (const auto& [year, rows] : by_year) {
+    // Count the rows of each section run for rowspans.
+    std::vector<std::pair<std::string, size_t>> section_runs;
+    for (size_t i : rows) {
+      const std::string& section = relation->At(i, 1).AsString();
+      if (section_runs.empty() || section_runs.back().first != section) {
+        section_runs.emplace_back(section, 0);
+      }
+      ++section_runs.back().second;
+    }
+    html += "<table>\n";
+    size_t run_index = 0, run_used = 0;
+    bool first_row = true;
+    for (size_t i : rows) {
+      html += "  <tr>";
+      if (first_row) {
+        // The Year key is rendered noise-free: the repair framework can only
+        // fix measure attributes (Def. 2), so the simulation — like the
+        // paper's scenario — assumes structural keys are acquired correctly.
+        html += "<td rowspan=\"" + std::to_string(rows.size()) + "\">" +
+                wrap::EscapeHtml(relation->At(i, 0).ToString()) + "</td>";
+        first_row = false;
+      }
+      if (run_used == 0) {
+        html += "<td rowspan=\"" +
+                std::to_string(section_runs[run_index].second) + "\">" +
+                text_of(section_runs[run_index].first) + "</td>";
+      }
+      ++run_used;
+      if (run_used == section_runs[run_index].second) {
+        run_used = 0;
+        ++run_index;
+      }
+      html += "<td>" + text_of(relation->At(i, 2).AsString()) + "</td>";
+      html += "<td>" + value_of(relation->At(i, 4)) + "</td>";
+      html += "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+acquire::PositionalDocument CashBudgetFixture::RenderPositional(
+    const rel::Database& db, NoiseModel* noise) {
+  const rel::Relation* relation = db.FindRelation("CashBudget");
+  DART_CHECK_MSG(relation != nullptr, "database lacks CashBudget");
+
+  auto text_of = [&](const std::string& s) {
+    return noise ? noise->MaybeCorruptText(s) : s;
+  };
+  auto value_of = [&](const rel::Value& v) {
+    const std::string s = v.ToString();
+    return noise ? noise->MaybeCorruptNumber(s) : s;
+  };
+
+  // Page geometry: four columns, one line of 14 units per row, 20 units of
+  // leading, 60 units of whitespace between the per-year tables.
+  constexpr double kYearX = 10, kSectionX = 90, kSubsectionX = 230,
+                   kValueX = 420;
+  constexpr double kRowHeight = 20, kBoxHeight = 14, kTableGap = 60;
+  constexpr double kCharWidth = 7;
+
+  std::map<int64_t, std::vector<size_t>> by_year;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    by_year[relation->At(i, 0).AsInt()].push_back(i);
+  }
+
+  acquire::PositionalDocument document;
+  document.pages.emplace_back();
+  acquire::Page& page = document.pages.back();
+  double y = 10;
+  for (const auto& [year, rows] : by_year) {
+    const double table_top = y;
+    const double table_height =
+        static_cast<double>(rows.size()) * kRowHeight - (kRowHeight - kBoxHeight);
+    // The Year box spans the whole table (the multi-row cell of Fig. 1).
+    // Keys are rendered noise-free, matching RenderHtml.
+    const std::string year_text = relation->At(rows[0], 0).ToString();
+    page.boxes.push_back(acquire::TextBox{
+        kYearX, table_top, year_text.size() * kCharWidth, table_height,
+        year_text});
+    // Section boxes span their runs.
+    size_t run_start = 0;
+    while (run_start < rows.size()) {
+      const std::string& section =
+          relation->At(rows[run_start], 1).AsString();
+      size_t run_end = run_start;
+      while (run_end + 1 < rows.size() &&
+             relation->At(rows[run_end + 1], 1).AsString() == section) {
+        ++run_end;
+      }
+      const double run_top =
+          table_top + static_cast<double>(run_start) * kRowHeight;
+      const double run_height =
+          static_cast<double>(run_end - run_start + 1) * kRowHeight -
+          (kRowHeight - kBoxHeight);
+      const std::string section_text = text_of(section);
+      page.boxes.push_back(acquire::TextBox{
+          kSectionX, run_top, section_text.size() * kCharWidth, run_height,
+          section_text});
+      run_start = run_end + 1;
+    }
+    // Subsection + value boxes, one line each (the row "spine").
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const double row_top = table_top + static_cast<double>(r) * kRowHeight;
+      const std::string subsection =
+          text_of(relation->At(rows[r], 2).AsString());
+      page.boxes.push_back(acquire::TextBox{
+          kSubsectionX, row_top, subsection.size() * kCharWidth, kBoxHeight,
+          subsection});
+      const std::string value = value_of(relation->At(rows[r], 4));
+      page.boxes.push_back(acquire::TextBox{
+          kValueX, row_top, value.size() * kCharWidth, kBoxHeight, value});
+    }
+    y = table_top + static_cast<double>(rows.size()) * kRowHeight + kTableGap;
+  }
+  return document;
+}
+
+Result<wrap::DomainCatalog> CashBudgetFixture::BuildCatalog(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("CashBudget");
+  if (relation == nullptr) {
+    return Status::NotFound("database lacks CashBudget");
+  }
+  // Collect subsections per section, in first-appearance order.
+  std::vector<std::string> sections = {kReceipts, kDisbursements, kBalance};
+  std::vector<std::string> subsections;
+  std::vector<std::pair<std::string, std::string>> hierarchy;
+  std::map<std::string, bool> seen;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    const std::string& section = relation->At(i, 1).AsString();
+    const std::string& subsection = relation->At(i, 2).AsString();
+    if (!seen[subsection]) {
+      seen[subsection] = true;
+      subsections.push_back(subsection);
+      hierarchy.emplace_back(subsection, section);
+    }
+  }
+  wrap::DomainCatalog catalog;
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Section", sections));
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Subsection", subsections));
+  for (const auto& [child, parent] : hierarchy) {
+    DART_RETURN_IF_ERROR(catalog.AddSpecialization(child, parent));
+  }
+  return catalog;
+}
+
+std::vector<wrap::RowPattern> CashBudgetFixture::BuildPatterns() {
+  wrap::RowPattern pattern;
+  pattern.name = "cash-budget-row";
+  pattern.cells.push_back(wrap::IntegerCell("Year"));
+  pattern.cells.push_back(wrap::DomainCell("Section", "Section"));
+  pattern.cells.push_back(
+      wrap::DomainCellSpecializing("Subsection", "Subsection", 1));
+  pattern.cells.push_back(wrap::IntegerCell("Value"));
+  return {pattern};
+}
+
+Result<dbgen::RelationMapping> CashBudgetFixture::BuildMapping(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("CashBudget");
+  if (relation == nullptr) {
+    return Status::NotFound("database lacks CashBudget");
+  }
+  dbgen::RelationMapping mapping;
+  mapping.schema = Schema();
+  dbgen::ClassificationInfo classification;
+  classification.source_headline = "Subsection";
+  for (size_t i = 0; i < relation->size(); ++i) {
+    classification.classes[ToLower(relation->At(i, 2).AsString())] =
+        relation->At(i, 3).AsString();
+  }
+  mapping.classifications.push_back(std::move(classification));
+  using Kind = dbgen::AttributeSource::Kind;
+  mapping.sources = {
+      {Kind::kHeadline, "Year", 0, ""},
+      {Kind::kHeadline, "Section", 0, ""},
+      {Kind::kHeadline, "Subsection", 0, ""},
+      {Kind::kClassification, "", 0, ""},
+      {Kind::kHeadline, "Value", 0, ""},
+  };
+  mapping.pattern_names = {"cash-budget-row"};
+  return mapping;
+}
+
+}  // namespace dart::ocr

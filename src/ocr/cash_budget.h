@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acquire/positional.h"
+#include "dbgen/metadata.h"
+#include "ocr/noise.h"
+#include "relational/database.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "wrapper/domains.h"
+#include "wrapper/row_pattern.h"
+
+/// \file cash_budget.h
+/// The paper's running example as a reusable, scalable fixture: cash-budget
+/// documents (Fig. 1), the CashBudget relation (Fig. 3), the constraints of
+/// Examples 3/4, the domain descriptions and hierarchy of Fig. 6, the row
+/// pattern of Fig. 7(a), and the classification metadata of Sec. 6.2 — plus
+/// a generator for arbitrarily large consistent corpora (the "larger data
+/// sets" the paper defers to future evaluation).
+
+namespace dart::ocr {
+
+struct CashBudgetOptions {
+  int start_year = 2003;
+  int num_years = 2;
+  /// Number of detail items in the Receipts section (>= 1). The first two
+  /// are the paper's "cash sales" and "receivables".
+  int receipt_details = 2;
+  /// Detail items in Disbursements (>= 1); the paper's three come first.
+  int disbursement_details = 3;
+  int64_t min_detail_value = 0;
+  int64_t max_detail_value = 200;
+};
+
+/// Fixture for cash-budget corpora.
+class CashBudgetFixture {
+ public:
+  /// CashBudget(Year:Int, Section:String, Subsection:String, Type:String,
+  /// Value:Int*), Value being the only measure attribute (paper Sec. 3).
+  static rel::RelationSchema Schema();
+
+  /// The exact instance of Fig. 3. `with_acquisition_error` reproduces the
+  /// symbol-recognition error (total cash receipts 2003 = 250 instead of
+  /// 220); otherwise the consistent original of Fig. 1.
+  static Result<rel::Database> PaperExample(bool with_acquisition_error);
+
+  /// A random consistent instance: detail values uniform, aggregates and
+  /// derived items computed, each year's beginning cash chained from the
+  /// previous year's ending balance.
+  static Result<rel::Database> Random(const CashBudgetOptions& options,
+                                      Rng* rng);
+
+  /// The constraint DSL program for constraints 1–3 (independent of the
+  /// number of detail items).
+  static std::string ConstraintProgram();
+
+  /// Detail subsection names (paper names first, then synthetic ones).
+  static std::vector<std::string> ReceiptDetailNames(int count);
+  static std::vector<std::string> DisbursementDetailNames(int count);
+
+  /// Renders the database as the Fig. 1 document: one table per year, Year
+  /// spanning all rows, Section cells spanning their rows. With `noise`,
+  /// every subsection string and value token passes through the OCR model.
+  static std::string RenderHtml(const rel::Database& db,
+                                NoiseModel* noise = nullptr);
+
+  /// Renders the same document as *scanner output*: a positional document
+  /// (text boxes with page coordinates), the Year and Section boxes
+  /// vertically spanning their rows — input for acquire::ConvertToHtml.
+  static acquire::PositionalDocument RenderPositional(
+      const rel::Database& db, NoiseModel* noise = nullptr);
+
+  /// Domain descriptions + hierarchy (Fig. 6) covering every subsection
+  /// present in `db`.
+  static Result<wrap::DomainCatalog> BuildCatalog(const rel::Database& db);
+
+  /// The row pattern of Fig. 7(a): Integer Year | Section | Subsection
+  /// (specialization of the Section cell) | Integer Value.
+  static std::vector<wrap::RowPattern> BuildPatterns();
+
+  /// Relation mapping with the Type classification implied by Subsection.
+  static Result<dbgen::RelationMapping> BuildMapping(const rel::Database& db);
+};
+
+}  // namespace dart::ocr

@@ -1,0 +1,207 @@
+#include "ocr/catalog.h"
+
+#include <map>
+
+#include "util/strings.h"
+#include "wrapper/html_parser.h"
+
+namespace dart::ocr {
+
+namespace {
+
+constexpr const char* kTotalItem = "TOTAL";
+constexpr const char* kGrandCategory = "ALL";
+constexpr const char* kGrandItem = "GRAND TOTAL";
+
+const char* kCategoryNames[] = {
+    "office supplies", "electronics", "furniture", "software",
+    "maintenance",     "logistics",   "catering",  "printing",
+};
+
+const char* kItemNames[] = {
+    "paper reams",  "toner",       "staplers",  "monitors", "keyboards",
+    "desk chairs",  "cabinets",    "licenses",  "repairs",  "shipping",
+    "coffee",       "flyers",      "notebooks", "cables",   "lamps",
+    "desks",        "antivirus",   "cleaning",  "fuel",     "banners",
+};
+
+Status InsertRow(rel::Relation* relation, const std::string& category,
+                 const std::string& item, const std::string& level,
+                 int64_t amount) {
+  DART_ASSIGN_OR_RETURN(
+      size_t row,
+      relation->Insert({rel::Value(category), rel::Value(item),
+                        rel::Value(level), rel::Value(amount)}));
+  (void)row;
+  return Status::Ok();
+}
+
+std::string CategoryName(int index) {
+  const int pool = static_cast<int>(std::size(kCategoryNames));
+  if (index < pool) return kCategoryNames[index];
+  return "category " + std::to_string(index + 1);
+}
+
+std::string ItemName(int category, int index, int items_per_category) {
+  const int flat = category * items_per_category + index;
+  const int pool = static_cast<int>(std::size(kItemNames));
+  if (flat < pool) return kItemNames[flat];
+  return "item " + std::to_string(category + 1) + "-" +
+         std::to_string(index + 1);
+}
+
+}  // namespace
+
+rel::RelationSchema CatalogFixture::Schema() {
+  Result<rel::RelationSchema> schema = rel::RelationSchema::Create(
+      "Catalog", {{"Category", rel::Domain::kString, false},
+                  {"Item", rel::Domain::kString, false},
+                  {"Level", rel::Domain::kString, false},
+                  {"Amount", rel::Domain::kInt, true}});
+  DART_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<rel::Database> CatalogFixture::Random(const CatalogOptions& options,
+                                             Rng* rng) {
+  if (options.num_categories < 1 || options.items_per_category < 1) {
+    return Status::InvalidArgument(
+        "catalog generator needs >= 1 category and >= 1 item per category");
+  }
+  rel::Database db;
+  DART_RETURN_IF_ERROR(db.AddRelation(Schema()));
+  rel::Relation* r = db.FindRelation("Catalog");
+  int64_t grand_total = 0;
+  for (int c = 0; c < options.num_categories; ++c) {
+    const std::string category = CategoryName(c);
+    int64_t category_total = 0;
+    for (int i = 0; i < options.items_per_category; ++i) {
+      const int64_t amount =
+          rng->UniformInt(options.min_amount, options.max_amount);
+      category_total += amount;
+      DART_RETURN_IF_ERROR(
+          InsertRow(r, category, ItemName(c, i, options.items_per_category),
+                    "item", amount));
+    }
+    DART_RETURN_IF_ERROR(InsertRow(r, category, kTotalItem, "cat",
+                                   category_total));
+    grand_total += category_total;
+  }
+  DART_RETURN_IF_ERROR(
+      InsertRow(r, kGrandCategory, kGrandItem, "grand", grand_total));
+  return db;
+}
+
+std::string CatalogFixture::ConstraintProgram() {
+  return R"(agg bycat(c, l) := sum(Amount) from Catalog
+    where Category = c and Level = l;
+agg bylevel(l) := sum(Amount) from Catalog where Level = l;
+
+# Per category: item amounts sum to the category total.
+constraint cat_total: Catalog(c, _, _, _)
+    => bycat(c, 'item') - bycat(c, 'cat') = 0;
+
+# Globally: category totals sum to the grand total.
+constraint grand_total: Catalog(_, _, _, _)
+    => bylevel('cat') - bylevel('grand') = 0;
+)";
+}
+
+std::string CatalogFixture::RenderHtml(const rel::Database& db,
+                                       NoiseModel* noise) {
+  const rel::Relation* relation = db.FindRelation("Catalog");
+  DART_CHECK_MSG(relation != nullptr, "database lacks Catalog");
+  auto text_of = [&](const std::string& s) {
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptText(s) : s);
+  };
+  auto value_of = [&](const rel::Value& v) {
+    const std::string s = v.ToString();
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptNumber(s) : s);
+  };
+
+  // Category runs (insertion order keeps a category contiguous).
+  std::vector<std::pair<std::string, std::vector<size_t>>> runs;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    const std::string& category = relation->At(i, 0).AsString();
+    if (runs.empty() || runs.back().first != category) {
+      runs.emplace_back(category, std::vector<size_t>{});
+    }
+    runs.back().second.push_back(i);
+  }
+
+  std::string html = "<html><body>\n<table>\n";
+  for (const auto& [category, rows] : runs) {
+    bool first = true;
+    for (size_t i : rows) {
+      html += "  <tr>";
+      if (first) {
+        html += "<td rowspan=\"" + std::to_string(rows.size()) + "\">" +
+                text_of(category) + "</td>";
+        first = false;
+      }
+      html += "<td>" + text_of(relation->At(i, 1).AsString()) + "</td>";
+      html += "<td>" + value_of(relation->At(i, 3)) + "</td>";
+      html += "</tr>\n";
+    }
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+Result<wrap::DomainCatalog> CatalogFixture::BuildCatalog(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("Catalog");
+  if (relation == nullptr) return Status::NotFound("database lacks Catalog");
+  std::vector<std::string> categories, items;
+  std::map<std::string, bool> seen_cat, seen_item;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    const std::string& category = relation->At(i, 0).AsString();
+    const std::string& item = relation->At(i, 1).AsString();
+    if (!seen_cat[category]) {
+      seen_cat[category] = true;
+      categories.push_back(category);
+    }
+    if (!seen_item[item]) {
+      seen_item[item] = true;
+      items.push_back(item);
+    }
+  }
+  wrap::DomainCatalog catalog;
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Category", categories));
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Item", items));
+  return catalog;
+}
+
+std::vector<wrap::RowPattern> CatalogFixture::BuildPatterns() {
+  wrap::RowPattern pattern;
+  pattern.name = "catalog-row";
+  pattern.cells.push_back(wrap::DomainCell("Category", "Category"));
+  pattern.cells.push_back(wrap::DomainCell("Item", "Item"));
+  pattern.cells.push_back(wrap::IntegerCell("Amount"));
+  return {pattern};
+}
+
+Result<dbgen::RelationMapping> CatalogFixture::BuildMapping(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("Catalog");
+  if (relation == nullptr) return Status::NotFound("database lacks Catalog");
+  dbgen::RelationMapping mapping;
+  mapping.schema = Schema();
+  dbgen::ClassificationInfo classification;
+  classification.source_headline = "Item";
+  classification.classes[ToLower(kTotalItem)] = "cat";
+  classification.classes[ToLower(kGrandItem)] = "grand";
+  classification.default_class = "item";
+  mapping.classifications.push_back(std::move(classification));
+  using Kind = dbgen::AttributeSource::Kind;
+  mapping.sources = {
+      {Kind::kHeadline, "Category", 0, ""},
+      {Kind::kHeadline, "Item", 0, ""},
+      {Kind::kClassification, "", 0, ""},
+      {Kind::kHeadline, "Amount", 0, ""},
+  };
+  mapping.pattern_names = {"catalog-row"};
+  return mapping;
+}
+
+}  // namespace dart::ocr

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbgen/metadata.h"
+#include "ocr/noise.h"
+#include "relational/database.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "wrapper/domains.h"
+#include "wrapper/row_pattern.h"
+
+/// \file catalog.h
+/// The paper's second motivating domain ("tabular data often occur in many
+/// different application contexts, such as web sites publishing product
+/// catalogs", Sec. 1): a product-catalog fixture with a two-level totals
+/// hierarchy — per-category item amounts summing to a category total, and
+/// category totals summing to a grand total.
+
+namespace dart::ocr {
+
+struct CatalogOptions {
+  int num_categories = 3;
+  int items_per_category = 4;
+  int64_t min_amount = 1;
+  int64_t max_amount = 500;
+};
+
+/// Fixture for product-catalog corpora.
+class CatalogFixture {
+ public:
+  /// Catalog(Category:String, Item:String, Level:String, Amount:Int*) with
+  /// Level in {'item', 'cat', 'grand'}.
+  static rel::RelationSchema Schema();
+
+  /// A random consistent instance (category totals and the grand total are
+  /// computed from the items).
+  static Result<rel::Database> Random(const CatalogOptions& options, Rng* rng);
+
+  /// Two-level steady constraints:
+  ///   c1 (per category): Σ Amount[Level='item'] = Σ Amount[Level='cat']
+  ///   c2 (global):       Σ Amount[Level='cat']  = Σ Amount[Level='grand']
+  static std::string ConstraintProgram();
+
+  /// One table: Category spans its item rows plus the TOTAL row; the last
+  /// row is ALL | GRAND TOTAL | amount.
+  static std::string RenderHtml(const rel::Database& db,
+                                NoiseModel* noise = nullptr);
+
+  static Result<wrap::DomainCatalog> BuildCatalog(const rel::Database& db);
+  static std::vector<wrap::RowPattern> BuildPatterns();
+  static Result<dbgen::RelationMapping> BuildMapping(const rel::Database& db);
+};
+
+}  // namespace dart::ocr

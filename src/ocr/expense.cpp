@@ -1,0 +1,255 @@
+#include "ocr/expense.h"
+
+#include <map>
+
+#include "util/strings.h"
+#include "wrapper/html_parser.h"
+
+namespace dart::ocr {
+
+namespace {
+
+constexpr const char* kCatTotal = "TOTAL";
+constexpr const char* kMonthTotal = "MONTH TOTAL";
+constexpr const char* kGrandTotal = "GRAND TOTAL";
+constexpr const char* kAll = "ALL";
+
+const char* kMonthNames[] = {"January", "February", "March",     "April",
+                             "May",     "June",     "July",      "August",
+                             "September", "October", "November", "December"};
+
+const char* kCategoryNames[] = {"travel",    "lodging",  "meals",
+                                "supplies",  "training", "telecom",
+                                "transport", "services"};
+
+const char* kItemNames[] = {
+    "airfare",    "taxi",      "hotel",     "breakfast", "client dinner",
+    "paper",      "workshop",  "mobile",    "parking",   "consulting",
+    "rail",       "apartment", "lunch",     "cartridges", "conference",
+    "landline",   "tolls",     "translation", "car rental", "course fee",
+};
+
+std::string MonthName(int index) {
+  if (index < 12) return kMonthNames[index];
+  return "month " + std::to_string(index + 1);
+}
+
+std::string CategoryName(int index) {
+  const int pool = static_cast<int>(std::size(kCategoryNames));
+  if (index < pool) return kCategoryNames[index];
+  return "category " + std::to_string(index + 1);
+}
+
+std::string ItemName(int flat) {
+  const int pool = static_cast<int>(std::size(kItemNames));
+  if (flat < pool) return kItemNames[flat];
+  return "expense item " + std::to_string(flat + 1);
+}
+
+Status InsertRow(rel::Relation* relation, const std::string& month,
+                 const std::string& category, const std::string& item,
+                 const std::string& level, int64_t cents) {
+  DART_ASSIGN_OR_RETURN(
+      size_t row,
+      relation->Insert({rel::Value(month), rel::Value(category),
+                        rel::Value(item), rel::Value(level),
+                        rel::Value(static_cast<double>(cents) / 100.0)}));
+  (void)row;
+  return Status::Ok();
+}
+
+}  // namespace
+
+rel::RelationSchema ExpenseFixture::Schema() {
+  Result<rel::RelationSchema> schema = rel::RelationSchema::Create(
+      "Expense", {{"Month", rel::Domain::kString, false},
+                  {"Category", rel::Domain::kString, false},
+                  {"Item", rel::Domain::kString, false},
+                  {"Level", rel::Domain::kString, false},
+                  {"Amount", rel::Domain::kReal, true}});
+  DART_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+Result<rel::Database> ExpenseFixture::Random(const ExpenseOptions& options,
+                                             Rng* rng) {
+  if (options.num_months < 1 || options.categories_per_month < 1 ||
+      options.items_per_category < 1) {
+    return Status::InvalidArgument(
+        "expense generator needs >= 1 month/category/item");
+  }
+  rel::Database db;
+  DART_RETURN_IF_ERROR(db.AddRelation(Schema()));
+  rel::Relation* relation = db.FindRelation("Expense");
+  int64_t grand_cents = 0;
+  int item_counter = 0;
+  for (int m = 0; m < options.num_months; ++m) {
+    const std::string month = MonthName(m);
+    int64_t month_cents = 0;
+    for (int c = 0; c < options.categories_per_month; ++c) {
+      const std::string category = CategoryName(c);
+      int64_t category_cents = 0;
+      for (int i = 0; i < options.items_per_category; ++i) {
+        const int64_t cents =
+            rng->UniformInt(options.min_cents, options.max_cents);
+        category_cents += cents;
+        DART_RETURN_IF_ERROR(InsertRow(relation, month, category,
+                                       ItemName(item_counter++), "line",
+                                       cents));
+      }
+      DART_RETURN_IF_ERROR(
+          InsertRow(relation, month, category, kCatTotal, "cat",
+                    category_cents));
+      month_cents += category_cents;
+    }
+    DART_RETURN_IF_ERROR(
+        InsertRow(relation, month, kAll, kMonthTotal, "month", month_cents));
+    grand_cents += month_cents;
+    item_counter = 0;  // item names repeat per month (like real reports)
+  }
+  DART_RETURN_IF_ERROR(
+      InsertRow(relation, kAll, kAll, kGrandTotal, "grand", grand_cents));
+  return db;
+}
+
+std::string ExpenseFixture::ConstraintProgram() {
+  return R"(agg bymc(m, c, l) := sum(Amount) from Expense
+    where Month = m and Category = c and Level = l;
+agg bym(m, l) := sum(Amount) from Expense where Month = m and Level = l;
+agg byl(l) := sum(Amount) from Expense where Level = l;
+
+# Level 1: line items sum to the category total.
+constraint cat_sum: Expense(m, c, _, _, _)
+    => bymc(m, c, 'line') - bymc(m, c, 'cat') = 0;
+
+# Level 2: category totals sum to the month total.
+constraint month_sum: Expense(m, _, _, _, _)
+    => bym(m, 'cat') - bym(m, 'month') = 0;
+
+# Level 3: month totals sum to the grand total.
+constraint grand_sum: Expense(_, _, _, _, _)
+    => byl('month') - byl('grand') = 0;
+)";
+}
+
+std::string ExpenseFixture::RenderHtml(const rel::Database& db,
+                                       NoiseModel* noise) {
+  const rel::Relation* relation = db.FindRelation("Expense");
+  DART_CHECK_MSG(relation != nullptr, "database lacks Expense");
+  auto text_of = [&](const std::string& s) {
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptText(s) : s);
+  };
+  auto value_of = [&](const rel::Value& v) {
+    const std::string s = v.ToString();
+    return wrap::EscapeHtml(noise ? noise->MaybeCorruptNumber(s) : s);
+  };
+
+  // Month runs, then category runs inside each month (insertion order).
+  struct Run {
+    std::string key;
+    std::vector<size_t> rows;
+  };
+  std::vector<Run> months;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    const std::string& month = relation->At(i, 0).AsString();
+    if (months.empty() || months.back().key != month) {
+      months.push_back(Run{month, {}});
+    }
+    months.back().rows.push_back(i);
+  }
+
+  std::string html = "<html><body>\n<table>\n";
+  for (const Run& month : months) {
+    std::vector<Run> categories;
+    for (size_t i : month.rows) {
+      const std::string& category = relation->At(i, 1).AsString();
+      if (categories.empty() || categories.back().key != category) {
+        categories.push_back(Run{category, {}});
+      }
+      categories.back().rows.push_back(i);
+    }
+    bool first_in_month = true;
+    for (const Run& category : categories) {
+      bool first_in_category = true;
+      for (size_t i : category.rows) {
+        html += "  <tr>";
+        if (first_in_month) {
+          html += "<td rowspan=\"" + std::to_string(month.rows.size()) +
+                  "\">" + text_of(month.key) + "</td>";
+          first_in_month = false;
+        }
+        if (first_in_category) {
+          html += "<td rowspan=\"" + std::to_string(category.rows.size()) +
+                  "\">" + text_of(category.key) + "</td>";
+          first_in_category = false;
+        }
+        html += "<td>" + text_of(relation->At(i, 2).AsString()) + "</td>";
+        html += "<td>" + value_of(relation->At(i, 4)) + "</td>";
+        html += "</tr>\n";
+      }
+    }
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+Result<wrap::DomainCatalog> ExpenseFixture::BuildCatalog(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("Expense");
+  if (relation == nullptr) return Status::NotFound("database lacks Expense");
+  std::vector<std::string> months, categories, items;
+  std::map<std::string, bool> seen_m, seen_c, seen_i;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    const std::string& month = relation->At(i, 0).AsString();
+    const std::string& category = relation->At(i, 1).AsString();
+    const std::string& item = relation->At(i, 2).AsString();
+    if (!seen_m[month]) { seen_m[month] = true; months.push_back(month); }
+    if (!seen_c[category]) {
+      seen_c[category] = true;
+      categories.push_back(category);
+    }
+    if (!seen_i[item]) { seen_i[item] = true; items.push_back(item); }
+  }
+  wrap::DomainCatalog catalog;
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Month", months));
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Category", categories));
+  DART_RETURN_IF_ERROR(catalog.AddDomain("Item", items));
+  return catalog;
+}
+
+std::vector<wrap::RowPattern> ExpenseFixture::BuildPatterns() {
+  wrap::RowPattern pattern;
+  pattern.name = "expense-row";
+  pattern.cells.push_back(wrap::DomainCell("Month", "Month"));
+  pattern.cells.push_back(wrap::DomainCell("Category", "Category"));
+  pattern.cells.push_back(wrap::DomainCell("Item", "Item"));
+  pattern.cells.push_back(wrap::RealCell("Amount"));
+  return {pattern};
+}
+
+Result<dbgen::RelationMapping> ExpenseFixture::BuildMapping(
+    const rel::Database& db) {
+  const rel::Relation* relation = db.FindRelation("Expense");
+  if (relation == nullptr) return Status::NotFound("database lacks Expense");
+  dbgen::RelationMapping mapping;
+  mapping.schema = Schema();
+  dbgen::ClassificationInfo classification;
+  classification.source_headline = "Item";
+  classification.classes[ToLower(kCatTotal)] = "cat";
+  classification.classes[ToLower(kMonthTotal)] = "month";
+  classification.classes[ToLower(kGrandTotal)] = "grand";
+  classification.default_class = "line";
+  mapping.classifications.push_back(std::move(classification));
+  using Kind = dbgen::AttributeSource::Kind;
+  mapping.sources = {
+      {Kind::kHeadline, "Month", 0, ""},
+      {Kind::kHeadline, "Category", 0, ""},
+      {Kind::kHeadline, "Item", 0, ""},
+      {Kind::kClassification, "", 0, ""},
+      {Kind::kHeadline, "Amount", 0, ""},
+  };
+  mapping.pattern_names = {"expense-row"};
+  return mapping;
+}
+
+}  // namespace dart::ocr

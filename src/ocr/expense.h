@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbgen/metadata.h"
+#include "ocr/noise.h"
+#include "relational/database.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "wrapper/domains.h"
+#include "wrapper/row_pattern.h"
+
+/// \file expense.h
+/// A third acquisition domain: monthly expense reports with real-valued
+/// (cents) amounts and a THREE-level totals hierarchy —
+///
+///   line items  →  category total  →  month total  →  grand total
+///
+/// It exercises the R-domain path of Sec. 5 (the translation becomes a true
+/// MILP rather than an ILP: z, y continuous, δ binary) on corpus-scale
+/// instances, and gives the benchmarks a deeper constraint chain than the
+/// cash-budget and catalog fixtures.
+
+namespace dart::ocr {
+
+struct ExpenseOptions {
+  int num_months = 3;
+  int categories_per_month = 3;
+  int items_per_category = 3;
+  /// Amounts are whole cents in [min_cents, max_cents] rendered as reals.
+  int64_t min_cents = 100;      // 1.00
+  int64_t max_cents = 50000;    // 500.00
+};
+
+/// Fixture for expense-report corpora.
+class ExpenseFixture {
+ public:
+  /// Expense(Month:String, Category:String, Item:String, Level:String,
+  /// Amount:Real*), Level in {'line', 'cat', 'month', 'grand'}.
+  static rel::RelationSchema Schema();
+
+  /// A random consistent instance (all three total levels computed).
+  static Result<rel::Database> Random(const ExpenseOptions& options, Rng* rng);
+
+  /// The three-level steady constraint program.
+  static std::string ConstraintProgram();
+
+  /// One table: Month spans its block, Category spans its lines + TOTAL
+  /// row; the last row is ALL | ALL | GRAND TOTAL | amount.
+  static std::string RenderHtml(const rel::Database& db,
+                                NoiseModel* noise = nullptr);
+
+  static Result<wrap::DomainCatalog> BuildCatalog(const rel::Database& db);
+  static std::vector<wrap::RowPattern> BuildPatterns();
+  static Result<dbgen::RelationMapping> BuildMapping(const rel::Database& db);
+};
+
+}  // namespace dart::ocr

@@ -1,0 +1,177 @@
+#include "ocr/noise.h"
+
+#include <algorithm>
+
+namespace dart::ocr {
+
+namespace {
+
+/// Common OCR digit confusions (what a worn glyph or low-resolution scan is
+/// typically misread as). The paper's own example (220 → 250) is a 2→5.
+const char* DigitConfusions(char digit) {
+  switch (digit) {
+    case '0': return "86";
+    case '1': return "74";
+    case '2': return "57";
+    case '3': return "85";
+    case '4': return "91";
+    case '5': return "62";
+    case '6': return "58";
+    case '7': return "12";
+    case '8': return "30";
+    case '9': return "47";
+  }
+  return "";
+}
+
+/// Letter lookalikes a worn digit glyph can be read as.
+char DigitToLetter(char digit) {
+  switch (digit) {
+    case '0': return 'O';
+    case '1': return 'l';
+    case '2': return 'Z';
+    case '3': return 'E';
+    case '4': return 'A';
+    case '5': return 'S';
+    case '6': return 'b';
+    case '7': return 'T';
+    case '8': return 'B';
+    case '9': return 'g';
+  }
+  return digit;
+}
+
+/// OCR letter confusions (visually similar glyphs).
+char LetterConfusion(char c, Rng* rng) {
+  switch (c) {
+    case 'a': return 'e';
+    case 'e': return rng->Bernoulli(0.5) ? 'c' : 'a';
+    case 'c': return 'e';
+    case 'i': return 'l';
+    case 'l': return rng->Bernoulli(0.5) ? 'i' : '1';
+    case 'o': return '0';
+    case 'u': return 'v';
+    case 'v': return 'u';
+    case 'n': return 'm';
+    case 'm': return 'n';
+    case 'h': return 'b';
+    case 'b': return 'h';
+    case 's': return '5';
+    case 'g': return 'q';
+    case 'q': return 'g';
+    case 't': return 'f';
+    case 'f': return 't';
+    default: return c == 'z' ? '2' : static_cast<char>(c == ' ' ? ' ' : c + 1);
+  }
+}
+
+}  // namespace
+
+NoiseModel::NoiseModel(NoiseOptions options, Rng* rng)
+    : options_(options), rng_(rng) {
+  DART_CHECK(rng_ != nullptr);
+}
+
+std::string NoiseModel::MaybeCorruptNumber(const std::string& token) {
+  if (!rng_->Bernoulli(options_.number_error_prob)) return token;
+  return CorruptNumber(token);
+}
+
+std::string NoiseModel::CorruptNumber(const std::string& token) {
+  // Positions holding digits.
+  std::vector<size_t> digit_positions;
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (token[i] >= '0' && token[i] <= '9') digit_positions.push_back(i);
+  }
+  if (digit_positions.empty()) return token;
+  std::string out = token;
+  const int errors = static_cast<int>(
+      rng_->UniformInt(1, std::max(1, options_.max_digit_errors)));
+  for (int e = 0; e < errors; ++e) {
+    const size_t pos = digit_positions[static_cast<size_t>(
+        rng_->UniformInt(0, static_cast<int64_t>(digit_positions.size()) - 1))];
+    if (out[pos] >= '0' && out[pos] <= '9' &&
+        rng_->Bernoulli(options_.digit_to_letter_prob)) {
+      out[pos] = DigitToLetter(out[pos]);
+      continue;
+    }
+    const char* confusions = DigitConfusions(out[pos]);
+    if (*confusions == '\0') continue;
+    const size_t pick = static_cast<size_t>(rng_->UniformInt(
+        0, static_cast<int64_t>(std::string(confusions).size()) - 1));
+    out[pos] = confusions[pick];
+  }
+  if (out == token && !digit_positions.empty()) {
+    // Ensure the corruption is visible (a "corrupted" value equal to the
+    // original would silently weaken error-rate accounting).
+    const size_t pos = digit_positions[0];
+    out[pos] = DigitConfusions(out[pos])[0];
+  }
+  // Avoid turning "0" into a leading-zero artifact like "8" vs "08" — the
+  // substitution keeps length, so nothing to do; but strip the case where a
+  // leading digit became such that the token is identical.
+  ++numbers_corrupted_;
+  return out;
+}
+
+std::string NoiseModel::MaybeCorruptText(const std::string& token) {
+  if (!rng_->Bernoulli(options_.string_error_prob)) return token;
+  return CorruptText(token);
+}
+
+std::string NoiseModel::CorruptText(const std::string& token) {
+  if (token.empty()) return token;
+  std::string out = token;
+  const int errors = static_cast<int>(
+      rng_->UniformInt(1, std::max(1, options_.max_char_errors)));
+  for (int e = 0; e < errors && !out.empty(); ++e) {
+    const size_t pos = static_cast<size_t>(
+        rng_->UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+    switch (rng_->UniformInt(0, 2)) {
+      case 0:  // visually-confused substitution
+        out[pos] = LetterConfusion(out[pos], rng_);
+        break;
+      case 1:  // dropped character ("beginning" → "bgnning")
+        if (out.size() > 1) out.erase(pos, 1);
+        break;
+      default:  // neighbour transposition
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  if (out == token) {
+    if (out.size() > 1) out.erase(0, 1);
+    else out[0] = LetterConfusion(out[0], rng_);
+  }
+  ++strings_corrupted_;
+  return out;
+}
+
+Result<std::vector<InjectedError>> InjectMeasureErrors(rel::Database* db,
+                                                       size_t count,
+                                                       Rng* rng) {
+  std::vector<rel::CellRef> cells = db->MeasureCells();
+  if (cells.size() < count) {
+    return Status::InvalidArgument(
+        "database has only " + std::to_string(cells.size()) +
+        " measure cells; cannot inject " + std::to_string(count) + " errors");
+  }
+  NoiseModel model(NoiseOptions{1.0, 0.0, 1, 0}, rng);
+  std::vector<InjectedError> out;
+  for (size_t index : rng->SampleIndices(cells.size(), count)) {
+    const rel::CellRef& cell = cells[index];
+    DART_ASSIGN_OR_RETURN(rel::Value original, db->ValueAt(cell));
+    const std::string corrupted_text =
+        model.CorruptNumber(original.ToString());
+    const rel::Relation* relation = db->FindRelation(cell.relation);
+    const rel::Domain domain =
+        relation->schema().attribute(cell.attribute).domain;
+    DART_ASSIGN_OR_RETURN(rel::Value corrupted,
+                          rel::Value::Parse(corrupted_text, domain));
+    DART_RETURN_IF_ERROR(db->UpdateCell(cell, corrupted));
+    out.push_back(InjectedError{cell, original, corrupted});
+  }
+  return out;
+}
+
+}  // namespace dart::ocr

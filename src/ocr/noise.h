@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/random.h"
+#include "util/status.h"
+
+/// \file noise.h
+/// The OCR error model. The paper's repairing framework assumes data
+/// inconsistency is caused by symbol-recognition errors in the acquisition
+/// phase (numeric example: 220 read as 250; string example: "beginning cash"
+/// read as "bgnning cesh"). DART has no scanner in this reproduction, so this
+/// module *synthesizes* that error class: digit-confusion substitutions on
+/// numbers, and substitution/deletion/transposition noise on strings, both
+/// driven by confusion tables modelled on common OCR failure modes.
+
+namespace dart::ocr {
+
+struct NoiseOptions {
+  /// Probability that a numeric token is corrupted at all.
+  double number_error_prob = 0.0;
+  /// Probability that a string token is corrupted at all.
+  double string_error_prob = 0.0;
+  /// Digit substitutions per corrupted number (at least 1).
+  int max_digit_errors = 1;
+  /// Character edits per corrupted string (at least 1).
+  int max_char_errors = 2;
+  /// Probability that a corrupted digit becomes a *letter lookalike*
+  /// (0→'O', 1→'l', 5→'S', …) instead of another digit. Letter-contaminated
+  /// numerals no longer parse cleanly, so the wrapper extracts them with a
+  /// sub-100% matching score — the signal the confidence-weighted repair
+  /// extension exploits.
+  double digit_to_letter_prob = 0.0;
+};
+
+/// Deterministic (seeded) OCR noise injector.
+class NoiseModel {
+ public:
+  NoiseModel(NoiseOptions options, Rng* rng);
+
+  /// Possibly corrupts a decimal integer/real token; guaranteed different
+  /// from the input when a corruption fires (and still digits-only).
+  std::string MaybeCorruptNumber(const std::string& token);
+
+  /// Always corrupts (used when the caller already decided to corrupt).
+  std::string CorruptNumber(const std::string& token);
+
+  /// Possibly corrupts free text with OCR-style character confusions,
+  /// deletions and neighbour transpositions.
+  std::string MaybeCorruptText(const std::string& token);
+  std::string CorruptText(const std::string& token);
+
+  size_t numbers_corrupted() const { return numbers_corrupted_; }
+  size_t strings_corrupted() const { return strings_corrupted_; }
+
+ private:
+  NoiseOptions options_;
+  Rng* rng_;
+  size_t numbers_corrupted_ = 0;
+  size_t strings_corrupted_ = 0;
+};
+
+/// Ground-truth record of one injected database error.
+struct InjectedError {
+  rel::CellRef cell;
+  rel::Value true_value;
+  rel::Value corrupted_value;
+};
+
+/// Corrupts exactly `count` distinct numeric measure cells of `db` in place
+/// (digit-confusion on the decimal rendering). Returns the ground truth.
+/// Fails if the database has fewer than `count` measure cells.
+Result<std::vector<InjectedError>> InjectMeasureErrors(rel::Database* db,
+                                                       size_t count, Rng* rng);
+
+}  // namespace dart::ocr

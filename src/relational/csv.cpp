@@ -1,0 +1,132 @@
+#include "relational/csv.h"
+
+#include "util/strings.h"
+
+namespace dart::rel {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV record respecting quotes. `pos` is advanced past the
+/// record's trailing newline.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else if (c == '\n' || c == '\r') {
+        // Consume \r\n or \n.
+        if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        ++i;
+        break;
+      } else {
+        current += c;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Relation& relation) {
+  std::string out;
+  const RelationSchema& schema = relation.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(schema.attribute(i).name);
+  }
+  out += '\n';
+  for (const Tuple& t : relation.rows()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(t[i].ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Relation> ReadCsv(const RelationSchema& schema,
+                         const std::string& text) {
+  size_t pos = 0;
+  DART_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        ParseRecord(text, &pos));
+  if (header.size() != schema.arity()) {
+    return Status::ParseError("CSV header arity " +
+                              std::to_string(header.size()) +
+                              " does not match " + schema.ToString());
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (Trim(header[i]) != schema.attribute(i).name) {
+      return Status::ParseError("CSV header field '" + header[i] +
+                                "' does not match attribute '" +
+                                schema.attribute(i).name + "'");
+    }
+  }
+  Relation relation(schema);
+  size_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    DART_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          ParseRecord(text, &pos));
+    if (fields.size() == 1 && Trim(fields[0]).empty()) continue;  // blank line
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError("CSV record at line " + std::to_string(line) +
+                                " has " + std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(schema.arity()));
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      DART_ASSIGN_OR_RETURN(
+          Value v, Value::Parse(fields[i], schema.attribute(i).domain));
+      tuple.push_back(std::move(v));
+    }
+    DART_ASSIGN_OR_RETURN(size_t row, relation.Insert(std::move(tuple)));
+    (void)row;
+  }
+  return relation;
+}
+
+}  // namespace dart::rel

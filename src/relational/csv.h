@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+/// \file csv.h
+/// Minimal CSV round-tripping for relation instances — used to persist
+/// acquired databases and to feed hand-written fixtures into tests. Quoting
+/// follows RFC 4180 (fields containing comma/quote/newline are quoted,
+/// embedded quotes doubled).
+
+namespace dart::rel {
+
+/// Serializes the relation with a header row of attribute names.
+std::string WriteCsv(const Relation& relation);
+
+/// Parses CSV text into an instance of `schema`. The header row must list
+/// exactly the schema's attribute names in order; each field is parsed
+/// against the attribute's domain.
+Result<Relation> ReadCsv(const RelationSchema& schema, const std::string& text);
+
+}  // namespace dart::rel

@@ -1,0 +1,99 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "util/table_printer.h"
+
+namespace dart::rel {
+
+Result<size_t> Relation::Insert(Tuple tuple) {
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match " +
+        schema_.ToString());
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!tuple[i].ConformsTo(schema_.attribute(i).domain)) {
+      return Status::InvalidArgument(
+          "value '" + tuple[i].ToString() + "' does not conform to domain " +
+          std::string(DomainName(schema_.attribute(i).domain)) +
+          " of attribute '" + schema_.attribute(i).name + "'");
+    }
+  }
+  rows_.push_back(std::move(tuple));
+  return rows_.size() - 1;
+}
+
+const Tuple& Relation::row(size_t index) const {
+  DART_CHECK(index < rows_.size());
+  return rows_[index];
+}
+
+const Value& Relation::At(size_t row_index, size_t attr_index) const {
+  DART_CHECK(row_index < rows_.size());
+  DART_CHECK(attr_index < schema_.arity());
+  return rows_[row_index][attr_index];
+}
+
+Result<Value> Relation::At(size_t row_index,
+                           const std::string& attr_name) const {
+  auto idx = schema_.AttributeIndex(attr_name);
+  if (!idx) {
+    return Status::NotFound("attribute '" + attr_name + "' not in " +
+                            schema_.ToString());
+  }
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row_index) +
+                              " out of range for relation '" + name() + "'");
+  }
+  return rows_[row_index][*idx];
+}
+
+Status Relation::UpdateValue(size_t row_index, size_t attr_index, Value value,
+                             bool allow_non_measure) {
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row_index) +
+                              " out of range for relation '" + name() + "'");
+  }
+  if (attr_index >= schema_.arity()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  const AttributeDef& attr = schema_.attribute(attr_index);
+  if (!allow_non_measure && !attr.is_measure) {
+    return Status::FailedPrecondition(
+        "attribute '" + attr.name +
+        "' is not a measure attribute; repairs may only update M_D "
+        "(paper Def. 2)");
+  }
+  if (!value.ConformsTo(attr.domain)) {
+    return Status::InvalidArgument("value '" + value.ToString() +
+                                   "' does not conform to domain of '" +
+                                   attr.name + "'");
+  }
+  rows_[row_index][attr_index] = std::move(value);
+  return Status::Ok();
+}
+
+std::vector<size_t> Relation::SelectIndexes(
+    const std::function<bool(const Tuple&)>& pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (pred(rows_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::vector<std::string> header;
+  for (const AttributeDef& attr : schema_.attributes()) header.push_back(attr.name);
+  TablePrinter printer(header);
+  for (const Tuple& t : rows_) {
+    std::vector<std::string> row;
+    row.reserve(t.size());
+    for (const Value& v : t) row.push_back(v.ToString());
+    printer.AddRow(std::move(row));
+  }
+  return schema_.ToString() + "\n" + printer.ToString();
+}
+
+}  // namespace dart::rel

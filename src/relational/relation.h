@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/status.h"
+
+/// \file relation.h
+/// Relation instances: a scheme plus a vector of tuples. Tuples are
+/// identified by their stable row index — DART repairs never insert or delete
+/// tuples (Sec. 3.2: atomic updates at attribute level are the only repair
+/// primitive), so row indices are stable identifiers throughout a session.
+
+namespace dart::rel {
+
+/// A tuple is a flat vector of values, positionally matching the scheme.
+using Tuple = std::vector<Value>;
+
+/// A relation instance.
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a tuple after validating arity and per-attribute domains.
+  /// Returns the new row index.
+  Result<size_t> Insert(Tuple tuple);
+
+  const Tuple& row(size_t index) const;
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Value of attribute `attr_index` of row `row_index`.
+  const Value& At(size_t row_index, size_t attr_index) const;
+
+  /// Value by attribute name; fails if the attribute does not exist.
+  Result<Value> At(size_t row_index, const std::string& attr_name) const;
+
+  /// In-place attribute update (the repair primitive). Validates that the
+  /// attribute exists, the value conforms to its domain, and — unless
+  /// `allow_non_measure` — that the attribute is a measure attribute.
+  Status UpdateValue(size_t row_index, size_t attr_index, Value value,
+                     bool allow_non_measure = false);
+
+  /// Row indices for which `pred` holds.
+  std::vector<size_t> SelectIndexes(
+      const std::function<bool(const Tuple&)>& pred) const;
+
+  /// Multi-line rendering with a header, used by examples.
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace dart::rel

@@ -1,0 +1,95 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+namespace dart::rel {
+
+Result<RelationSchema> RelationSchema::Create(
+    std::string relation_name, std::vector<AttributeDef> attributes) {
+  if (relation_name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("relation '" + relation_name +
+                                   "' must have at least one attribute");
+  }
+  std::unordered_set<std::string> seen;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + attr.name +
+                                     "' in relation '" + relation_name + "'");
+    }
+    if (attr.is_measure && !IsNumericDomain(attr.domain)) {
+      return Status::InvalidArgument(
+          "measure attribute '" + attr.name +
+          "' must have a numerical domain (paper Sec. 3: M_D contains only "
+          "numerical attributes)");
+    }
+  }
+  RelationSchema schema;
+  schema.name_ = std::move(relation_name);
+  schema.attributes_ = std::move(attributes);
+  for (size_t i = 0; i < schema.attributes_.size(); ++i) {
+    if (schema.attributes_[i].is_measure) schema.measure_indexes_.push_back(i);
+  }
+  return schema;
+}
+
+const AttributeDef& RelationSchema::attribute(size_t index) const {
+  DART_CHECK(index < attributes_.size());
+  return attributes_[index];
+}
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += DomainName(attributes_[i].domain);
+    if (attributes_[i].is_measure) out += "*";
+  }
+  out += ")";
+  return out;
+}
+
+Status DatabaseSchema::AddRelation(RelationSchema schema) {
+  if (FindRelation(schema.name()) != nullptr) {
+    return Status::AlreadyExists("relation '" + schema.name() +
+                                 "' already defined");
+  }
+  relations_.push_back(std::move(schema));
+  return Status::Ok();
+}
+
+const RelationSchema* DatabaseSchema::FindRelation(
+    const std::string& name) const {
+  for (const RelationSchema& r : relations_) {
+    if (r.name() == name) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>>
+DatabaseSchema::MeasureAttributes() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const RelationSchema& r : relations_) {
+    for (size_t idx : r.measure_indexes()) {
+      out.emplace_back(r.name(), r.attribute(idx).name);
+    }
+  }
+  return out;
+}
+
+}  // namespace dart::rel

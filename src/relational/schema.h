@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+/// \file schema.h
+/// Relational schemes R(A1:Δ1, ..., An:Δn) and database schemes D with the
+/// designated measure-attribute set M_D (Sec. 3 of the paper). Measure
+/// attributes are the numerical attributes a repair is allowed to update.
+
+namespace dart::rel {
+
+/// One attribute A:Δ, plus the DART-specific "measure" designation.
+struct AttributeDef {
+  std::string name;
+  Domain domain = Domain::kString;
+  /// True iff the attribute belongs to M_D. Only numerical attributes may be
+  /// measures; RelationSchema::Create enforces this.
+  bool is_measure = false;
+};
+
+/// The scheme of a single relation.
+class RelationSchema {
+ public:
+  /// Validates and builds a scheme: non-empty relation name, at least one
+  /// attribute, unique attribute names, measures only on numeric domains.
+  static Result<RelationSchema> Create(std::string relation_name,
+                                       std::vector<AttributeDef> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  const AttributeDef& attribute(size_t index) const;
+
+  /// Position of the attribute named `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+  /// Indices of attributes in M_R = M_D ∩ attributes(R).
+  const std::vector<size_t>& measure_indexes() const { return measure_indexes_; }
+
+  /// "CashBudget(Year:Int, Section:String, ..., Value:Int*)" — measures are
+  /// starred.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<size_t> measure_indexes_;
+};
+
+/// A database scheme: a named collection of relation schemes.
+class DatabaseSchema {
+ public:
+  DatabaseSchema() = default;
+
+  /// Adds a relation scheme; fails if the name is already taken.
+  Status AddRelation(RelationSchema schema);
+
+  const RelationSchema* FindRelation(const std::string& name) const;
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+  /// All (relation, attribute) pairs in M_D.
+  std::vector<std::pair<std::string, std::string>> MeasureAttributes() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+};
+
+}  // namespace dart::rel

@@ -1,0 +1,94 @@
+#include "relational/value.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace dart::rel {
+
+const char* DomainName(Domain d) {
+  switch (d) {
+    case Domain::kInt: return "Int";
+    case Domain::kReal: return "Real";
+    case Domain::kString: return "String";
+  }
+  return "Unknown";
+}
+
+int64_t Value::AsInt() const {
+  DART_CHECK_MSG(is_int(), "Value::AsInt on non-int value");
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsReal() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+  DART_CHECK_MSG(is_real(), "Value::AsReal on non-numeric value");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  DART_CHECK_MSG(is_string(), "Value::AsString on non-string value");
+  return std::get<std::string>(data_);
+}
+
+bool Value::ConformsTo(Domain d) const {
+  switch (d) {
+    case Domain::kInt: return is_int();
+    case Domain::kReal: return is_numeric();
+    case Domain::kString: return is_string();
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) return AsReal() == other.AsReal();
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  auto rank = [](const Value& v) { return v.is_null() ? 0 : v.is_numeric() ? 1 : 2; };
+  if (rank(*this) != rank(other)) return rank(*this) < rank(other);
+  if (is_numeric()) return AsReal() < other.AsReal();
+  if (is_string()) return AsString() < other.AsString();
+  return false;  // both null
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(std::get<int64_t>(data_));
+  if (is_real()) return FormatDouble(std::get<double>(data_));
+  return std::get<std::string>(data_);
+}
+
+Result<Value> Value::Parse(const std::string& text, Domain d) {
+  std::string t = Trim(text);
+  switch (d) {
+    case Domain::kInt: {
+      if (!IsIntegerLiteral(t)) {
+        return Status::ParseError("not an integer literal: '" + text + "'");
+      }
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        return Status::ParseError("integer out of range: '" + text + "'");
+      }
+      return Value(v);
+    }
+    case Domain::kReal: {
+      if (!IsNumericLiteral(t)) {
+        return Status::ParseError("not a numeric literal: '" + text + "'");
+      }
+      double v = 0;
+      std::from_chars(t.data(), t.data() + t.size(), v);
+      return Value(v);
+    }
+    case Domain::kString:
+      return Value(std::string(text));
+  }
+  return Status::Internal("unknown domain");
+}
+
+}  // namespace dart::rel

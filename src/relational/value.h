@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+/// \file value.h
+/// Typed attribute values. The paper's data model (Sec. 3) has three domains:
+/// Z (integers), R (reals) and S (strings); Z and R are the *numerical*
+/// domains, and numerical attributes designated as measure attributes are the
+/// only ones a repair may update.
+
+namespace dart::rel {
+
+/// Attribute domain, mirroring Δ ∈ {Z, R, S} of the paper.
+enum class Domain : uint8_t {
+  kInt,     ///< Z — integers.
+  kReal,    ///< R — reals.
+  kString,  ///< S — strings.
+};
+
+/// "Int", "Real" or "String".
+const char* DomainName(Domain d);
+
+/// True for Z and R (the paper's "numerical domains").
+inline bool IsNumericDomain(Domain d) { return d != Domain::kString; }
+
+/// A single attribute value: null, integer, real or string.
+///
+/// Null only appears transiently (freshly allocated tuples, failed cell
+/// extraction); consistent databases contain no nulls.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  /// True for int or real payloads.
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  int64_t AsInt() const;
+  /// Numeric payload widened to double. Requires is_numeric().
+  double AsReal() const;
+  const std::string& AsString() const;
+
+  /// True iff this value is storable in an attribute of domain `d`
+  /// (an int payload is also valid for a Real attribute; nulls never are).
+  bool ConformsTo(Domain d) const;
+
+  /// Exact equality: ints and reals compare numerically (Value(2) ==
+  /// Value(2.0)), strings compare byte-wise, null equals only null.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order used for sorting/printing: null < numerics < strings.
+  bool operator<(const Value& other) const;
+
+  /// Render for display/CSV: "null", "42", "3.5", or the raw string.
+  std::string ToString() const;
+
+  /// Parses `text` as a value of domain `d` ("12" → int 12, etc.).
+  static Result<Value> Parse(const std::string& text, Domain d);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace dart::rel

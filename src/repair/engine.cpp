@@ -1,0 +1,223 @@
+#include "repair/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "constraints/eval.h"
+#include "milp/exhaustive.h"
+#include "milp/presolve.h"
+
+namespace dart::repair {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Extracts the repair encoded by a MILP solution: every zᵢ whose value
+/// differs from vᵢ becomes an atomic update. Integer-domain values are
+/// snapped to the nearest integer.
+Result<Repair> ExtractRepair(const rel::Database& db,
+                             const Translation& translation,
+                             const std::vector<double>& point) {
+  std::vector<AtomicUpdate> updates;
+  for (size_t i = 0; i < translation.cells.size(); ++i) {
+    const double z = point[translation.z_vars[i]];
+    const double v = translation.current_values[i];
+    if (std::fabs(z - v) <= 1e-6 * std::max(1.0, std::fabs(v))) continue;
+    DART_ASSIGN_OR_RETURN(rel::Value old_value,
+                          db.ValueAt(translation.cells[i]));
+    const rel::Relation* relation =
+        db.FindRelation(translation.cells[i].relation);
+    const rel::Domain domain =
+        relation->schema().attribute(translation.cells[i].attribute).domain;
+    if (domain == rel::Domain::kInt) {
+      updates.push_back(AtomicUpdate{
+          translation.cells[i], old_value,
+          rel::Value(static_cast<int64_t>(std::llround(z)))});
+    } else {
+      // Continuous values carry simplex roundoff (…999997); snap to a
+      // 6-decimal grid — acquired documents hold finite-precision decimals,
+      // and the post-solve consistency check (1e-6 tolerance) still guards
+      // the result.
+      const double snapped = std::round(z * 1e6) / 1e6;
+      updates.push_back(
+          AtomicUpdate{translation.cells[i], old_value, rel::Value(snapped)});
+    }
+  }
+  return Repair(std::move(updates));
+}
+
+}  // namespace
+
+Result<RepairOutcome> RepairEngine::ComputeRepair(
+    const rel::Database& db, const cons::ConstraintSet& constraints,
+    const std::vector<FixedValue>& fixed_values,
+    const Repair* warm_start) const {
+  RepairOutcome outcome;
+
+  // Fast path: already consistent and nothing pinned.
+  if (fixed_values.empty()) {
+    cons::ConsistencyChecker checker(&constraints);
+    DART_ASSIGN_OR_RETURN(bool consistent, checker.IsConsistent(db));
+    if (consistent) {
+      outcome.already_consistent = true;
+      return outcome;
+    }
+  }
+
+  TranslatorOptions translator_options = options_.translator;
+  milp::MilpOptions milp_options = options_.milp;
+  // The card-minimal objective Σδᵢ is integral on every integral point; let
+  // the solver round its bounds for pruning. Confidence weights break that
+  // property unless they all happen to be integers.
+  bool integral_objective = true;
+  for (const CellWeight& weight : translator_options.weights) {
+    if (weight.weight != std::floor(weight.weight)) integral_objective = false;
+  }
+  milp_options.objective_is_integral = integral_objective;
+
+  for (int attempt = 0; attempt <= options_.max_bigm_retries; ++attempt) {
+    const auto t0 = std::chrono::steady_clock::now();
+    DART_ASSIGN_OR_RETURN(
+        Translation translation,
+        TranslateToMilp(db, constraints, translator_options, fixed_values));
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Seed the incumbent from a previous iteration's repair, if any: the
+    // solver snaps and feasibility-checks the point, so a hint contradicted
+    // by new pins is simply discarded.
+    milp_options.initial_point.clear();
+    if (warm_start != nullptr) {
+      std::vector<double> point(
+          static_cast<size_t>(translation.model.num_variables()), 0.0);
+      std::map<rel::CellRef, double> hinted;
+      for (const AtomicUpdate& update : warm_start->updates()) {
+        if (update.new_value.is_numeric()) {
+          hinted[update.cell] = update.new_value.AsReal();
+        }
+      }
+      for (size_t i = 0; i < translation.cells.size(); ++i) {
+        auto it = hinted.find(translation.cells[i]);
+        const double z =
+            it != hinted.end() ? it->second : translation.current_values[i];
+        const double y = z - translation.current_values[i];
+        point[static_cast<size_t>(translation.z_vars[i])] = z;
+        point[static_cast<size_t>(translation.y_vars[i])] = y;
+        point[static_cast<size_t>(translation.delta_vars[i])] =
+            std::fabs(y) > 1e-9 ? 1.0 : 0.0;
+      }
+      milp_options.initial_point = std::move(point);
+    }
+
+    milp::MilpResult solved =
+        options_.use_exhaustive_solver
+            ? milp::SolveByBinaryEnumeration(
+                  translation.model,
+                  milp::ExhaustiveOptions{22, milp_options})
+        : options_.use_presolve
+            ? milp::SolveMilpWithPresolve(translation.model, milp_options)
+            : milp::SolveMilp(translation.model, milp_options);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    outcome.stats.num_cells = translation.cells.size();
+    outcome.stats.num_ground_rows = translation.ground_rows.size();
+    outcome.stats.practical_m = translation.practical_m;
+    outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
+    outcome.stats.nodes += solved.nodes;
+    outcome.stats.lp_iterations += solved.lp_iterations;
+    outcome.stats.bigm_retries = attempt;
+    outcome.stats.translate_seconds += Seconds(t0, t1);
+    outcome.stats.solve_seconds += Seconds(t1, t2);
+
+    const bool grow_m_and_retry = [&] {
+      if (solved.status == milp::MilpResult::SolveStatus::kInfeasible) {
+        // Possibly a too-tight z box rather than true non-existence.
+        return true;
+      }
+      if (solved.status != milp::MilpResult::SolveStatus::kOptimal) {
+        return false;
+      }
+      // An optimal y pressing against its Mᵢ box suggests the unboxed
+      // optimum might lie outside; enlarge and re-solve to be safe.
+      for (size_t i = 0; i < translation.cells.size(); ++i) {
+        const double y = solved.point[translation.y_vars[i]];
+        if (std::fabs(y) >= 0.999 * translation.big_m[i]) return true;
+      }
+      return false;
+    }();
+
+    if (grow_m_and_retry && attempt < options_.max_bigm_retries) {
+      const double base = translator_options.big_m.fixed_value > 0
+                              ? translator_options.big_m.fixed_value
+                              : translation.practical_m;
+      translator_options.big_m.fixed_value = base * 100.0;
+      continue;
+    }
+
+    switch (solved.status) {
+      case milp::MilpResult::SolveStatus::kInfeasible:
+        return Status::Infeasible(
+            "no repair exists for the database w.r.t. the given constraints" +
+            std::string(fixed_values.empty() ? "" : " and operator pins"));
+      case milp::MilpResult::SolveStatus::kNodeLimit:
+        return Status::FailedPrecondition(
+            "MILP node limit reached before proving optimality");
+      case milp::MilpResult::SolveStatus::kUnbounded:
+        return Status::Internal("repair MILP reported unbounded");
+      case milp::MilpResult::SolveStatus::kOptimal:
+        break;
+    }
+
+    DART_ASSIGN_OR_RETURN(Repair repair,
+                          ExtractRepair(db, translation, solved.point));
+    // Under the card-minimal objective (no weights), the cardinality must
+    // equal the MILP optimum (Sec. 5: the objective value is the number of
+    // atomic updates of a card-minimal repair).
+    if (translator_options.weights.empty() &&
+        static_cast<double>(repair.cardinality()) > solved.objective + 0.5) {
+      return Status::Internal(
+          "extracted repair cardinality exceeds the MILP optimum");
+    }
+    if (options_.verify_result) {
+      DART_ASSIGN_OR_RETURN(rel::Database repaired, repair.Applied(db));
+      cons::ConsistencyChecker checker(&constraints);
+      DART_ASSIGN_OR_RETURN(bool consistent, checker.IsConsistent(repaired));
+      if (!consistent) {
+        return Status::Internal(
+            "solver returned a repair that does not satisfy AC — numerical "
+            "failure in the MILP layer");
+      }
+      for (const FixedValue& pin : fixed_values) {
+        DART_ASSIGN_OR_RETURN(rel::Value v, repaired.ValueAt(pin.cell));
+        if (std::fabs(v.AsReal() - pin.value) > 1e-6) {
+          return Status::Internal("operator pin not honored by the repair");
+        }
+      }
+    }
+    OrderUpdatesForDisplay(translation, &repair);
+    outcome.repair = std::move(repair);
+    return outcome;
+  }
+  return Status::Internal("unreachable: big-M retry loop exhausted");
+}
+
+void OrderUpdatesForDisplay(const Translation& translation, Repair* repair) {
+  auto occurrences = [&](const rel::CellRef& cell) {
+    const int index = translation.CellIndex(cell);
+    return index >= 0 ? translation.occurrence_counts[index] : 0;
+  };
+  std::stable_sort(repair->updates().begin(), repair->updates().end(),
+                   [&](const AtomicUpdate& a, const AtomicUpdate& b) {
+                     const int oa = occurrences(a.cell);
+                     const int ob = occurrences(b.cell);
+                     if (oa != ob) return oa > ob;
+                     return a.cell < b.cell;
+                   });
+}
+
+}  // namespace dart::repair

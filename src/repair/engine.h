@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+
+#include "constraints/ast.h"
+#include "milp/branch_and_bound.h"
+#include "repair/repair.h"
+#include "repair/translator.h"
+#include "util/status.h"
+
+/// \file engine.h
+/// The repairing module (paper Sec. 6.3): computes a card-minimal repair for
+/// a database w.r.t. a set of steady aggregate constraints by building
+/// S*(AC) and solving it, with adaptive big-M enlargement and post-solve
+/// verification.
+
+namespace dart::repair {
+
+struct RepairEngineOptions {
+  TranslatorOptions translator;
+  milp::MilpOptions milp;
+  /// How many times the engine may enlarge M (×100 each time) when the model
+  /// is infeasible or the optimum presses against the M box — both are
+  /// symptoms of a too-small practical M.
+  int max_bigm_retries = 3;
+  /// Re-check ρ(D) ⊨ AC after solving (cheap; catches solver bugs).
+  bool verify_result = true;
+  /// Use the exhaustive binary-enumeration baseline instead of
+  /// branch-and-bound (tests / solver ablation only; exponential!).
+  bool use_exhaustive_solver = false;
+  /// Run MILP presolve before branch-and-bound. Operator value pins are
+  /// singleton rows that presolve chases through the y-definition and big-M
+  /// rows, shrinking heavily-validated instances dramatically.
+  bool use_presolve = true;
+};
+
+struct RepairStats {
+  size_t num_cells = 0;       ///< N — number of z/y/δ triples.
+  size_t num_ground_rows = 0; ///< rows of A (ground constraint instances).
+  double practical_m = 0;
+  double theoretical_m_log10 = 0;
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+  int bigm_retries = 0;
+  double translate_seconds = 0;
+  double solve_seconds = 0;
+};
+
+struct RepairOutcome {
+  Repair repair;
+  RepairStats stats;
+  /// True when the input already satisfied AC (and no pins were given) — the
+  /// repair is empty and no MILP was solved.
+  bool already_consistent = false;
+};
+
+/// Computes card-minimal repairs.
+class RepairEngine {
+ public:
+  explicit RepairEngine(RepairEngineOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Computes a card-minimal repair of `db` w.r.t. `constraints`, honoring
+  /// the operator's value pins. Returns:
+  ///   - an empty repair when the database is already consistent;
+  ///   - Status::Infeasible when no repair exists (e.g. a violated ground
+  ///     constraint contains no measure value, or the pins contradict AC).
+  ///
+  /// `warm_start`, when given, seeds the branch-and-bound incumbent with
+  /// that repair's assignment (useful across validation-loop iterations; it
+  /// is verified and silently dropped if the new pins contradict it).
+  Result<RepairOutcome> ComputeRepair(
+      const rel::Database& db, const cons::ConstraintSet& constraints,
+      const std::vector<FixedValue>& fixed_values = {},
+      const Repair* warm_start = nullptr) const;
+
+  const RepairEngineOptions& options() const { return options_; }
+
+ private:
+  RepairEngineOptions options_;
+};
+
+/// Sorts updates for display per the Validation Interface heuristic
+/// (Sec. 6.3): updates whose cell occurs in more ground constraints first;
+/// ties broken by cell order for determinism.
+void OrderUpdatesForDisplay(const Translation& translation, Repair* repair);
+
+}  // namespace dart::repair

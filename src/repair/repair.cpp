@@ -1,0 +1,43 @@
+#include "repair/repair.h"
+
+#include <set>
+
+namespace dart::repair {
+
+bool Repair::IsConsistentUpdate() const {
+  std::set<rel::CellRef> seen;
+  for (const AtomicUpdate& update : updates_) {
+    if (!seen.insert(update.cell).second) return false;
+  }
+  return true;
+}
+
+Status Repair::ApplyTo(rel::Database* db) const {
+  if (!IsConsistentUpdate()) {
+    return Status::FailedPrecondition(
+        "repair is not a consistent database update (Def. 3): two updates "
+        "target the same cell");
+  }
+  for (const AtomicUpdate& update : updates_) {
+    DART_RETURN_IF_ERROR(db->UpdateCell(update.cell, update.new_value));
+  }
+  return Status::Ok();
+}
+
+Result<rel::Database> Repair::Applied(const rel::Database& db) const {
+  rel::Database copy = db.Clone();
+  DART_RETURN_IF_ERROR(ApplyTo(&copy));
+  return copy;
+}
+
+std::string Repair::ToString() const {
+  if (updates_.empty()) return "(empty repair)";
+  std::string out;
+  for (const AtomicUpdate& update : updates_) {
+    out += update.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dart::repair

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/status.h"
+
+/// \file repair.h
+/// Repairs as first-class values (paper Sec. 3.2): a repair is a consistent
+/// set of atomic updates ⟨t, A, v'⟩ on measure attributes; its cardinality
+/// |λ(ρ)| is the number of updated ⟨tuple, attribute⟩ pairs, and a repair is
+/// card-minimal when no repair with smaller cardinality exists.
+
+namespace dart::repair {
+
+/// One atomic update u = ⟨t, A, v'⟩. `old_value` is recorded so a repair can
+/// be displayed ("250 → 220") and inverted.
+struct AtomicUpdate {
+  rel::CellRef cell;
+  rel::Value old_value;
+  rel::Value new_value;
+
+  std::string ToString() const {
+    return cell.ToString() + ": " + old_value.ToString() + " -> " +
+           new_value.ToString();
+  }
+};
+
+/// A consistent database update (Def. 3): no two updates touch the same
+/// ⟨tuple, attribute⟩ pair.
+class Repair {
+ public:
+  Repair() = default;
+  explicit Repair(std::vector<AtomicUpdate> updates)
+      : updates_(std::move(updates)) {}
+
+  const std::vector<AtomicUpdate>& updates() const { return updates_; }
+  std::vector<AtomicUpdate>& updates() { return updates_; }
+
+  /// |λ(ρ)|.
+  size_t cardinality() const { return updates_.size(); }
+  bool empty() const { return updates_.empty(); }
+
+  /// Def. 3: true iff all λ(u) are pairwise distinct.
+  bool IsConsistentUpdate() const;
+
+  /// Applies every update to `db` (ρ(D)). Fails without partial effects if
+  /// the repair is not a consistent update; individual update failures
+  /// (dangling cells, non-measure attributes) abort mid-way with an error.
+  Status ApplyTo(rel::Database* db) const;
+
+  /// Returns ρ(D) as a fresh instance, leaving `db` untouched.
+  Result<rel::Database> Applied(const rel::Database& db) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AtomicUpdate> updates_;
+};
+
+}  // namespace dart::repair

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/ast.h"
+#include "milp/model.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+/// \file translator.h
+/// The paper's Section 5 construction: translating the card-minimal-repair
+/// problem for a database D w.r.t. a set of *steady* aggregate constraints AC
+/// into the MILP instance S*(AC):
+///
+///   min Σ δᵢ
+///   s.t.  A·Z ⋈ B            (one row per ground constraint — S(AC))
+///         yᵢ = zᵢ − vᵢ        (S'(AC))
+///         yᵢ − Mᵢδᵢ ≤ 0
+///        −yᵢ − Mᵢδᵢ ≤ 0       (S''(AC))
+///         zᵢ, yᵢ ∈ Z or R,  δᵢ ∈ {0,1}
+///
+/// Steadiness is what makes step one possible: T_χ of every ground
+/// aggregation function is computable from the current (non-measure) data and
+/// is invariant under any repair, so Σ over T_χ is a fixed linear form in Z.
+
+namespace dart::repair {
+
+/// How the big-M constant is chosen. The theoretical bound of [22]
+/// (n·(ma)^(2m+1)) astronomically overflows doubles for any real instance, so
+/// DART solves with a practical data-driven M and *verifies* afterwards that
+/// no |yᵢ| touched its Mᵢ (RepairEngine then enlarges M and re-solves if one
+/// did). bench_bigm_ablation quantifies the effect of the magnitude of M.
+struct BigMPolicy {
+  /// M = multiplier · (max(|vᵢ|, |K_j|, coefficient magnitudes, 1)).
+  double multiplier = 4.0;
+  /// Explicit override; > 0 wins over the data-driven formula.
+  double fixed_value = 0;
+};
+
+/// Per-cell change weight for the confidence-weighted objective extension:
+/// min Σ wᵢ·δᵢ instead of min Σ δᵢ. Weights naturally come from the
+/// wrapper's cell matching scores — a value extracted at 60% confidence is
+/// a more plausible acquisition error than one extracted at 100%, so
+/// changing it should cost less. With no weights (all 1) this degenerates
+/// to the paper's card-minimal semantics.
+struct CellWeight {
+  rel::CellRef cell;
+  double weight = 1.0;  ///< must be > 0.
+};
+
+struct TranslatorOptions {
+  BigMPolicy big_m;
+  /// Create z/y/δ variables only for measure cells that occur in at least
+  /// one ground constraint (cells outside every constraint can never be
+  /// updated by a card-minimal repair). Off ⇒ one variable triple per
+  /// measure cell, matching the paper's Example 10 where N = 20.
+  bool restrict_to_involved = false;
+  /// Optional extra lower bound 0 on every z (e.g. catalogs of prices).
+  bool require_nonnegative = false;
+  /// Confidence weights; cells not listed get weight 1. Non-empty weights
+  /// change the semantics from card-minimal to weight-minimal repairs.
+  std::vector<CellWeight> weights;
+};
+
+/// Operator-supplied value pin: "the actual source value of this cell is v"
+/// (paper Sec. 6.3, Validation Interface). Translated as the row z = v.
+struct FixedValue {
+  rel::CellRef cell;
+  double value = 0;
+};
+
+/// The product of the translation.
+struct Translation {
+  milp::Model model;
+
+  /// Cell ↔ variable bookkeeping: cells[i] is the database item of zᵢ.
+  std::vector<rel::CellRef> cells;
+  std::vector<double> current_values;  ///< vᵢ.
+  std::vector<int> z_vars;             ///< model index of zᵢ.
+  std::vector<int> y_vars;             ///< model index of yᵢ.
+  std::vector<int> delta_vars;         ///< model index of δᵢ.
+  std::vector<double> big_m;           ///< Mᵢ per variable.
+
+  /// Number of ground-constraint rows each cell occurs in — the Validation
+  /// Interface's display-ordering key (Sec. 6.3).
+  std::vector<int> occurrence_counts;
+
+  /// Ground constraint rows of S(AC) in human-readable form, for debugging
+  /// and the paper-artifact bench (Fig. 4).
+  std::vector<std::string> ground_rows;
+
+  /// The practical M the model was built with.
+  double practical_m = 0;
+  /// log10 of the theoretical bound n·(ma)^(2m+1) of [22] (the bound itself
+  /// does not fit in a double).
+  double theoretical_m_log10 = 0;
+
+  /// Index of the z variable for `cell`, or -1.
+  int CellIndex(const rel::CellRef& cell) const;
+};
+
+/// Builds S*(AC) for `db` and `constraints`.
+///
+/// Fails with InvalidArgument if any constraint is not steady, and with
+/// Infeasible if a ground constraint involves no measure cell and is
+/// violated (no update can ever fix a constant row).
+Result<Translation> TranslateToMilp(
+    const rel::Database& db, const cons::ConstraintSet& constraints,
+    const TranslatorOptions& options = {},
+    const std::vector<FixedValue>& fixed_values = {});
+
+}  // namespace dart::repair

@@ -1,0 +1,84 @@
+#include "textrepair/bktree.h"
+
+#include <algorithm>
+
+#include "textrepair/levenshtein.h"
+
+namespace dart::text {
+
+void BkTree::Insert(const std::string& word) {
+  if (nodes_.empty()) {
+    nodes_.push_back(Node{word, {}});
+    return;
+  }
+  size_t index = 0;
+  while (true) {
+    const size_t distance = Levenshtein(word, nodes_[index].word);
+    if (distance == 0) return;  // duplicate
+    auto it = nodes_[index].children.find(distance);
+    if (it == nodes_[index].children.end()) {
+      nodes_.push_back(Node{word, {}});
+      nodes_[index].children[distance] = nodes_.size() - 1;
+      return;
+    }
+    index = it->second;
+  }
+}
+
+std::vector<std::pair<std::string, size_t>> BkTree::RadiusSearch(
+    const std::string& query, size_t radius) const {
+  std::vector<std::pair<std::string, size_t>> out;
+  if (nodes_.empty()) return out;
+  std::vector<size_t> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    // The exact distance is needed for correct triangle-inequality pruning
+    // below (a banded distance capped at radius+1 would under-prune).
+    const size_t distance = Levenshtein(query, node.word);
+    if (distance <= radius) out.emplace_back(node.word, distance);
+    // Triangle inequality: children at edge distance d can contain matches
+    // only if |d - distance| <= radius.
+    const size_t lo = distance > radius ? distance - radius : 0;
+    const size_t hi = distance + radius;
+    for (auto it = node.children.lower_bound(lo);
+         it != node.children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  return out;
+}
+
+std::optional<std::pair<std::string, size_t>> BkTree::Nearest(
+    const std::string& query, size_t max_distance) const {
+  if (nodes_.empty()) return std::nullopt;
+  std::optional<std::pair<std::string, size_t>> best;
+  std::vector<size_t> stack = {0};
+  // Clamp so `distance + radius` below cannot overflow size_t.
+  size_t radius = std::min<size_t>(max_distance, size_t{1} << 30);
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    const size_t distance = Levenshtein(query, node.word);
+    if (distance <= radius &&
+        (!best || distance < best->second ||
+         (distance == best->second && node.word < best->first))) {
+      best = {node.word, distance};
+      radius = distance;  // shrink the search ball
+    }
+    const size_t lo = distance > radius ? distance - radius : 0;
+    const size_t hi = distance + radius;
+    for (auto it = node.children.lower_bound(lo);
+         it != node.children.end() && it->first <= hi; ++it) {
+      stack.push_back(it->second);
+    }
+  }
+  return best;
+}
+
+}  // namespace dart::text

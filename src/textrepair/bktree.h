@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file bktree.h
+/// Burkhard–Keller tree over Levenshtein distance: sub-linear nearest-word
+/// queries into a dictionary. Used by the Dictionary to find the most
+/// similar lexical item (the wrapper's msi(·,·) operation).
+
+namespace dart::text {
+
+/// A BK-tree of strings under Levenshtein distance.
+class BkTree {
+ public:
+  BkTree() = default;
+
+  /// Inserts a word (duplicates are ignored).
+  void Insert(const std::string& word);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// All words within distance <= `radius` of `query`, with distances,
+  /// sorted by (distance, word).
+  std::vector<std::pair<std::string, size_t>> RadiusSearch(
+      const std::string& query, size_t radius) const;
+
+  /// The nearest word (smallest distance, lexicographic tie-break) and its
+  /// distance, or nullopt for an empty tree. `max_distance` caps the search
+  /// (nullopt if nothing lies within it).
+  std::optional<std::pair<std::string, size_t>> Nearest(
+      const std::string& query,
+      size_t max_distance = std::string::npos) const;
+
+ private:
+  struct Node {
+    std::string word;
+    /// distance → child node index.
+    std::map<size_t, size_t> children;
+  };
+  std::vector<Node> nodes_;  // nodes_[0] is the root when non-empty.
+};
+
+}  // namespace dart::text

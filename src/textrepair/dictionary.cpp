@@ -1,0 +1,68 @@
+#include "textrepair/dictionary.h"
+
+#include <algorithm>
+
+#include "textrepair/levenshtein.h"
+#include "util/strings.h"
+
+namespace dart::text {
+
+void Dictionary::AddTerm(const std::string& term) {
+  const std::string lower = ToLower(term);
+  if (std::find(lowered_.begin(), lowered_.end(), lower) != lowered_.end()) {
+    return;
+  }
+  canonical_.push_back(term);
+  lowered_.push_back(lower);
+  tree_.Insert(lower);
+}
+
+void Dictionary::AddTerms(const std::vector<std::string>& terms) {
+  for (const std::string& term : terms) AddTerm(term);
+}
+
+bool Dictionary::Contains(const std::string& term) const {
+  const std::string lower = ToLower(term);
+  return std::find(lowered_.begin(), lowered_.end(), lower) != lowered_.end();
+}
+
+std::optional<std::string> Dictionary::CanonicalOf(
+    const std::string& lower) const {
+  for (size_t i = 0; i < lowered_.size(); ++i) {
+    if (lowered_[i] == lower) return canonical_[i];
+  }
+  return std::nullopt;
+}
+
+std::optional<Correction> Dictionary::Correct(const std::string& term,
+                                              double min_similarity) const {
+  if (canonical_.empty()) return std::nullopt;
+  const std::string lower = ToLower(term);
+  auto nearest = tree_.Nearest(lower);
+  if (!nearest) return std::nullopt;
+  const auto& [match, distance] = *nearest;
+  const size_t longest = std::max(lower.size(), match.size());
+  const double similarity =
+      longest == 0 ? 1.0 : 1.0 - static_cast<double>(distance) / longest;
+  if (similarity < min_similarity) return std::nullopt;
+  auto canonical = CanonicalOf(match);
+  DART_CHECK(canonical.has_value());
+  return Correction{*canonical, distance, similarity};
+}
+
+std::vector<Correction> Dictionary::Suggestions(const std::string& term,
+                                                size_t radius) const {
+  std::vector<Correction> out;
+  const std::string lower = ToLower(term);
+  for (const auto& [match, distance] : tree_.RadiusSearch(lower, radius)) {
+    const size_t longest = std::max(lower.size(), match.size());
+    const double similarity =
+        longest == 0 ? 1.0 : 1.0 - static_cast<double>(distance) / longest;
+    auto canonical = CanonicalOf(match);
+    DART_CHECK(canonical.has_value());
+    out.push_back(Correction{*canonical, distance, similarity});
+  }
+  return out;
+}
+
+}  // namespace dart::text

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "textrepair/bktree.h"
+#include "util/status.h"
+
+/// \file dictionary.h
+/// The scenario dictionary of Sec. 2: "a dictionary of the terms used in the
+/// specific scenario which the input documents refer to is exploited to
+/// provide spelling error corrections on non-numerical strings."
+///
+/// Lookup is case-insensitive; matches are scored with the normalized
+/// Levenshtein similarity also used by the wrapper's cell matcher.
+
+namespace dart::text {
+
+/// A correction suggestion.
+struct Correction {
+  std::string term;       ///< canonical dictionary spelling.
+  size_t distance = 0;    ///< edit distance from the query.
+  double similarity = 0;  ///< normalized similarity in [0, 1].
+};
+
+/// A set of known terms with fuzzy lookup.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Adds a term (kept verbatim for display; indexed lower-cased).
+  void AddTerm(const std::string& term);
+  void AddTerms(const std::vector<std::string>& terms);
+
+  size_t size() const { return canonical_.size(); }
+
+  /// True iff `term` is in the dictionary (case-insensitive).
+  bool Contains(const std::string& term) const;
+
+  /// The most similar term, provided its similarity reaches
+  /// `min_similarity`; nullopt otherwise. Exact (case-insensitive) matches
+  /// return similarity 1 and the canonical spelling.
+  std::optional<Correction> Correct(const std::string& term,
+                                    double min_similarity = 0.0) const;
+
+  /// All terms within edit distance `radius`, ordered best-first.
+  std::vector<Correction> Suggestions(const std::string& term,
+                                      size_t radius) const;
+
+  const std::vector<std::string>& terms() const { return canonical_; }
+
+ private:
+  /// Canonical spelling for an indexed (lower-cased) key.
+  std::optional<std::string> CanonicalOf(const std::string& lower) const;
+
+  std::vector<std::string> canonical_;
+  std::vector<std::string> lowered_;  ///< parallel to canonical_.
+  BkTree tree_;                       ///< over lowered spellings.
+};
+
+}  // namespace dart::text

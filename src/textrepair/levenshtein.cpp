@@ -1,0 +1,89 @@
+#include "textrepair/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace dart::text {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size(), m = b.size();
+  std::vector<size_t> prev(n + 1), cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+size_t DamerauLevenshtein(std::string_view a, std::string_view b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows (we need i-2 for the transposition case).
+  std::vector<std::vector<size_t>> d(3, std::vector<size_t>(m + 1, 0));
+  for (size_t j = 0; j <= m; ++j) d[0][j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    auto& row = d[i % 3];
+    const auto& prev = d[(i - 1) % 3];
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({prev[j] + 1, row[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        row[j] = std::min(row[j], d[(i - 2) % 3][j - 2] + 1);
+      }
+    }
+  }
+  return d[n % 3][m];
+}
+
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size(), m = b.size();
+  if (m - n > bound) return bound + 1;
+  const size_t kBig = bound + 1;
+  std::vector<size_t> prev(n + 1, kBig), cur(n + 1, kBig);
+  for (size_t i = 0; i <= std::min(n, bound); ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    // Band: |i - j| <= bound.
+    const size_t lo = j > bound ? j - bound : 0;
+    const size_t hi = std::min(n, j + bound);
+    if (lo > hi) return bound + 1;
+    cur.assign(n + 1, kBig);
+    if (lo == 0) cur[0] = j <= bound ? j : kBig;
+    size_t row_min = cur[0];
+    for (size_t i = std::max<size_t>(lo, 1); i <= hi; ++i) {
+      const size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t best = sub;
+      if (prev[i] + 1 < best) best = prev[i] + 1;
+      if (cur[i - 1] + 1 < best) best = cur[i - 1] + 1;
+      cur[i] = std::min(best, kBig);
+      row_min = std::min(row_min, cur[i]);
+    }
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double Similarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  const size_t distance = Levenshtein(a, b);
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+double SimilarityIgnoreCase(std::string_view a, std::string_view b) {
+  return Similarity(ToLower(a), ToLower(b));
+}
+
+}  // namespace dart::text

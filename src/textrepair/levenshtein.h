@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file levenshtein.h
+/// Edit distances used by the wrapper's cell matching (Sec. 6.2: matching
+/// scores between table cells and row-pattern cells) and by the dictionary
+/// based repair of non-numerical strings (Sec. 2: "a dictionary of the terms
+/// used in the specific scenario … is exploited to provide spelling error
+/// corrections").
+
+namespace dart::text {
+
+/// Classic Levenshtein distance (insert / delete / substitute, unit costs).
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Damerau–Levenshtein with adjacent transpositions (OSA variant) — OCR and
+/// typing errors frequently swap neighbours.
+size_t DamerauLevenshtein(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: the exact distance if it is <= `bound`, otherwise any
+/// value > `bound`. O(bound · min(|a|,|b|)) — the BK-tree hot path.
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t bound);
+
+/// Normalized similarity in [0, 1]: 1 − distance / max(|a|, |b|), with two
+/// empty strings scoring 1. This is the wrapper's cell matching score
+/// ("90%" in the paper's Fig. 7(b)).
+double Similarity(std::string_view a, std::string_view b);
+
+/// Case-insensitive similarity (lexical items are matched case-blind).
+double SimilarityIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace dart::text

@@ -1,0 +1,47 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace dart {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DART_CHECK_MSG(lo <= hi, "UniformInt requires lo <= hi");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  DART_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  DART_CHECK_MSG(total > 0, "WeightedIndex requires positive total weight");
+  double r = UniformReal(0.0, total);
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  DART_CHECK(k <= n);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  Shuffle(&all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace dart

@@ -1,0 +1,42 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dart {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kInfeasible: return "Infeasible";
+    case StatusCode::kParseError: return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "DART_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dart

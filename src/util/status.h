@@ -1,0 +1,174 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Lightweight error propagation primitives used across all DART modules.
+///
+/// DART is a library, so recoverable failures (malformed constraint text, a
+/// document that does not match any row pattern, an infeasible repair
+/// instance) are reported through Status / Result<T> instead of exceptions.
+/// Programming errors (violated preconditions) abort via DART_CHECK.
+
+namespace dart {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< A named entity (relation, attribute, ...) is absent.
+  kAlreadyExists,     ///< Attempt to redefine a named entity.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kOutOfRange,        ///< Index or numeric value outside the valid range.
+  kUnimplemented,     ///< Feature intentionally not supported.
+  kInternal,          ///< Invariant violation inside DART itself.
+  kInfeasible,        ///< An optimization / repair instance has no solution.
+  kParseError,        ///< Text (constraint DSL, HTML, CSV) failed to parse.
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Thrown only by Result<T>::value() on a misuse (accessing the payload of a
+/// failed result); normal control flow never relies on it.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed without a value: " +
+                         status.ToString()) {}
+};
+
+/// The result of an operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a payload (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) throw BadResultAccess(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw BadResultAccess(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw BadResultAccess(status_);
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Aborts with a diagnostic when `cond` is false. For programmer errors only.
+#define DART_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::dart::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                 \
+  } while (0)
+
+#define DART_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dart::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DART_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dart::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates an expression yielding Result<T>; on success binds the payload
+/// to `lhs`, on failure returns the Status.
+#define DART_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto DART_CONCAT_(_res, __LINE__) = (rexpr);  \
+  if (!DART_CONCAT_(_res, __LINE__).ok())       \
+    return DART_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(DART_CONCAT_(_res, __LINE__)).value()
+
+#define DART_CONCAT_IMPL_(a, b) a##b
+#define DART_CONCAT_(a, b) DART_CONCAT_IMPL_(a, b)
+
+}  // namespace dart

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// Small string helpers shared by the constraint DSL parser, the HTML
+/// tokenizer, CSV I/O and the text-repair module.
+
+namespace dart {
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing (the lexical items and HTML tags DART handles are
+/// ASCII; locale-dependent case mapping is deliberately avoided).
+std::string ToLower(std::string_view s);
+
+/// Splits on a single character; does not trim the pieces, keeps empties.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on a single character, trims each piece, drops empty pieces.
+std::vector<std::string> SplitTrimmed(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff `s` is a valid integer literal (optional sign, digits).
+bool IsIntegerLiteral(std::string_view s);
+
+/// True iff `s` parses as a (finite) decimal number, e.g. "-12.5".
+bool IsNumericLiteral(std::string_view s);
+
+/// Formats a double without trailing zeros ("3", "3.5", "0.25").
+std::string FormatDouble(double v);
+
+}  // namespace dart

@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dart {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < header_.size() && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) line += " | ";
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+}  // namespace dart

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// Column-aligned plain-text tables. Used by the benchmark harness and the
+/// examples to print result tables in the shape a paper would report them.
+
+namespace dart {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a printer with a fixed header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table, e.g.
+  ///   years | tuples | time_ms
+  ///   ------+--------+--------
+  ///   1     | 10     | 0.42
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dart

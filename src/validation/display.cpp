@@ -1,0 +1,86 @@
+#include "validation/display.h"
+
+#include <map>
+
+#include "util/table_printer.h"
+
+namespace dart::validation {
+
+Result<std::string> RenderRepairForOperator(const rel::Database& db,
+                                            const repair::Repair& repair,
+                                            const DisplayOptions& options) {
+  if (repair.empty()) {
+    return std::string("No updates suggested: the acquired data satisfies "
+                       "every constraint.\n");
+  }
+  std::string out;
+  int position = 1;
+  for (const repair::AtomicUpdate& update : repair.updates()) {
+    const rel::Relation* relation = db.FindRelation(update.cell.relation);
+    if (relation == nullptr) {
+      return Status::NotFound("repair references unknown relation '" +
+                              update.cell.relation + "'");
+    }
+    if (update.cell.row >= relation->size() ||
+        update.cell.attribute >= relation->schema().arity()) {
+      return Status::OutOfRange("repair references dangling cell " +
+                                update.cell.ToString());
+    }
+    if (options.show_positions) {
+      out += "#" + std::to_string(position++) + "  ";
+    }
+    // The tuple in context, with the updated attribute elided to "...".
+    out += update.cell.relation + "(";
+    const rel::Tuple& tuple = relation->row(update.cell.row);
+    for (size_t a = 0; a < tuple.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += a == update.cell.attribute ? "..." : tuple[a].ToString();
+    }
+    out += ")\n    ";
+    out += relation->schema().attribute(update.cell.attribute).name;
+    out += ": " + update.old_value.ToString() + "  ->  " +
+           update.new_value.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::string> RenderRelationWithRepair(const rel::Database& db,
+                                             const std::string& relation_name,
+                                             const repair::Repair& repair) {
+  const rel::Relation* relation = db.FindRelation(relation_name);
+  if (relation == nullptr) {
+    return Status::NotFound("relation '" + relation_name + "' not found");
+  }
+  // (row, attribute) → update.
+  std::map<std::pair<size_t, size_t>, const repair::AtomicUpdate*> updates;
+  for (const repair::AtomicUpdate& update : repair.updates()) {
+    if (update.cell.relation != relation_name) continue;
+    if (update.cell.row >= relation->size() ||
+        update.cell.attribute >= relation->schema().arity()) {
+      return Status::OutOfRange("repair references dangling cell " +
+                                update.cell.ToString());
+    }
+    updates[{update.cell.row, update.cell.attribute}] = &update;
+  }
+  std::vector<std::string> header;
+  for (const rel::AttributeDef& attr : relation->schema().attributes()) {
+    header.push_back(attr.name);
+  }
+  TablePrinter printer(header);
+  for (size_t row = 0; row < relation->size(); ++row) {
+    std::vector<std::string> cells;
+    for (size_t attr = 0; attr < relation->schema().arity(); ++attr) {
+      auto it = updates.find({row, attr});
+      if (it == updates.end()) {
+        cells.push_back(relation->At(row, attr).ToString());
+      } else {
+        cells.push_back(it->second->old_value.ToString() + " -> " +
+                        it->second->new_value.ToString() + " *");
+      }
+    }
+    printer.AddRow(std::move(cells));
+  }
+  return printer.ToString();
+}
+
+}  // namespace dart::validation

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "relational/database.h"
+#include "repair/engine.h"
+#include "repair/repair.h"
+#include "util/status.h"
+
+/// \file display.h
+/// Rendering for the Validation Interface (Sec. 6.3): what the operator
+/// actually sees. "When a document is processed, the Validation Interface
+/// displays the repair computed by the Repairing module by showing the
+/// suggested set of value updates" — in display order (most-constrained
+/// cells first) and *in context*: the whole tuple is shown so the operator
+/// can find the value in the source document without hunting.
+
+namespace dart::validation {
+
+struct DisplayOptions {
+  /// Prefix markers for update lines.
+  bool show_positions = true;
+  /// Also render untouched rows of relations containing updates (context).
+  bool show_context_rows = false;
+};
+
+/// Renders a suggested repair as the operator-facing update list:
+///
+///   #1  CashBudget(2003, Receipts, total cash receipts, aggr, ...)
+///       Value: 250  ->  220        [in 2 constraints]
+///
+/// Updates appear in the repair's order (the engine already sorts them by
+/// the Sec. 6.3 heuristic); `outcome.stats` supplies the constraint counts
+/// when available.
+Result<std::string> RenderRepairForOperator(
+    const rel::Database& db, const repair::Repair& repair,
+    const DisplayOptions& options = {});
+
+/// Renders a full relation with updated cells marked inline:
+///
+///   Year | Subsection          | Value
+///   2003 | total cash receipts | 250 -> 220 *
+///
+/// Context view for `show_context_rows`-style screens and the examples.
+Result<std::string> RenderRelationWithRepair(const rel::Database& db,
+                                             const std::string& relation_name,
+                                             const repair::Repair& repair);
+
+}  // namespace dart::validation

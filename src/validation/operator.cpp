@@ -1,0 +1,23 @@
+#include "validation/operator.h"
+
+#include <cmath>
+
+namespace dart::validation {
+
+Result<Verdict> SimulatedOperator::Examine(
+    const repair::AtomicUpdate& update) const {
+  DART_ASSIGN_OR_RETURN(rel::Value source, truth_->ValueAt(update.cell));
+  if (!source.is_numeric() || !update.new_value.is_numeric()) {
+    return Status::InvalidArgument(
+        "operator examines only numeric measure updates");
+  }
+  Verdict verdict;
+  verdict.actual_value = source.AsReal();
+  // 1e-6 matches the repair engine's decimal snapping of continuous values:
+  // a human comparing printed figures cannot distinguish closer than that.
+  verdict.accepted =
+      std::fabs(update.new_value.AsReal() - verdict.actual_value) <= 1e-6;
+  return verdict;
+}
+
+}  // namespace dart::validation

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "relational/database.h"
+#include "repair/repair.h"
+#include "util/status.h"
+
+/// \file operator.h
+/// The human operator of the Validation Interface (Sec. 6.3), simulated.
+/// The operator's entire role in DART is to compare a suggested updated
+/// value with the corresponding source value in the input document; an
+/// oracle holding the ground-truth database reproduces that behaviour
+/// exactly and deterministically, and makes "operator effort" measurable.
+
+namespace dart::validation {
+
+/// The outcome of the operator examining one suggested update.
+struct Verdict {
+  bool accepted = false;
+  /// The actual source value the operator reads off the document (only
+  /// meaningful on rejection; paper: "the operator can specify the actual
+  /// source value v corresponding to the database item d").
+  double actual_value = 0;
+};
+
+/// An oracle operator backed by the ground-truth database.
+class SimulatedOperator {
+ public:
+  /// `truth` must outlive the operator and have the same shape as the
+  /// acquired database (same relations, same row order).
+  explicit SimulatedOperator(const rel::Database* truth) : truth_(truth) {
+    DART_CHECK(truth_ != nullptr);
+  }
+
+  /// Compares the update's new value against the source document.
+  Result<Verdict> Examine(const repair::AtomicUpdate& update) const;
+
+  const rel::Database& truth() const { return *truth_; }
+
+ private:
+  const rel::Database* truth_;
+};
+
+}  // namespace dart::validation

@@ -1,0 +1,80 @@
+#include "validation/session.h"
+
+#include <map>
+
+namespace dart::validation {
+
+Result<SessionResult> RunValidationSession(
+    const rel::Database& acquired, const cons::ConstraintSet& constraints,
+    const SimulatedOperator& op, const SessionOptions& options) {
+  repair::RepairEngine engine(options.engine);
+  SessionResult result;
+  // Cell → validated value. Covers both accepted suggestions and the actual
+  // source values supplied on rejection; the operator is never asked about
+  // these cells again ("the operator is not requested to validate values
+  // which had been already validated in a previous iteration").
+  std::map<rel::CellRef, double> validated;
+  // The previous iteration's repair warm-starts the next solve (a rejected
+  // update makes the hint infeasible against the new pin, and it is then
+  // simply discarded by the solver).
+  repair::Repair previous_repair;
+
+  for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
+    ++result.iterations;
+    std::vector<repair::FixedValue> pins;
+    pins.reserve(validated.size());
+    for (const auto& [cell, value] : validated) {
+      pins.push_back(repair::FixedValue{cell, value});
+    }
+    DART_ASSIGN_OR_RETURN(
+        repair::RepairOutcome outcome,
+        engine.ComputeRepair(acquired, constraints, pins,
+                             iteration == 0 ? nullptr : &previous_repair));
+    result.total_nodes += outcome.stats.nodes;
+    result.total_lp_iterations += outcome.stats.lp_iterations;
+
+    if (outcome.already_consistent || outcome.repair.empty()) {
+      result.repaired = acquired.Clone();
+      result.converged = true;
+      return result;
+    }
+    previous_repair = outcome.repair;
+
+    bool rejection_seen = false;
+    bool ran_out_of_batch = false;
+    size_t examined_this_round = 0;
+    for (const repair::AtomicUpdate& update : outcome.repair.updates()) {
+      if (validated.count(update.cell) > 0) continue;  // validated earlier
+      if (options.examine_batch > 0 &&
+          examined_this_round >= options.examine_batch) {
+        ran_out_of_batch = true;
+        break;
+      }
+      DART_ASSIGN_OR_RETURN(Verdict verdict, op.Examine(update));
+      ++result.examined_updates;
+      ++examined_this_round;
+      if (verdict.accepted) {
+        ++result.accepted_updates;
+        validated[update.cell] = update.new_value.AsReal();
+      } else {
+        ++result.rejected_updates;
+        rejection_seen = true;
+        validated[update.cell] = verdict.actual_value;
+      }
+    }
+
+    if (!rejection_seen && !ran_out_of_batch) {
+      // Every update is validated (now or earlier): the repair is accepted.
+      DART_ASSIGN_OR_RETURN(rel::Database repaired,
+                            outcome.repair.Applied(acquired));
+      result.repaired = std::move(repaired);
+      result.converged = true;
+      return result;
+    }
+  }
+  return Status::FailedPrecondition(
+      "validation session did not converge within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace dart::validation

@@ -1,0 +1,130 @@
+#include "wrapper/domains.h"
+
+#include <deque>
+
+#include "textrepair/levenshtein.h"
+#include "util/strings.h"
+
+namespace dart::wrap {
+
+Status DomainCatalog::AddDomain(const std::string& name,
+                                const std::vector<std::string>& items) {
+  if (name.empty()) return Status::InvalidArgument("domain name is empty");
+  if (domains_.count(name) > 0) {
+    return Status::AlreadyExists("domain '" + name + "' already defined");
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("domain '" + name + "' has no items");
+  }
+  std::vector<std::string> canonical_items;
+  std::set<std::string> seen;
+  for (const std::string& item : items) {
+    const std::string lower = ToLower(item);
+    if (!seen.insert(lower).second) continue;
+    canonical_items.push_back(item);
+    canonical_.emplace(lower, item);  // keeps first spelling on collision
+  }
+  domains_.emplace(name, std::move(canonical_items));
+  return Status::Ok();
+}
+
+std::string DomainCatalog::Canonical(const std::string& item) const {
+  auto it = canonical_.find(ToLower(item));
+  return it == canonical_.end() ? item : it->second;
+}
+
+Status DomainCatalog::AddSpecialization(const std::string& child,
+                                        const std::string& parent) {
+  const std::string child_key = ToLower(child);
+  const std::string parent_key = ToLower(parent);
+  if (canonical_.count(child_key) == 0) {
+    return Status::NotFound("lexical item '" + child +
+                            "' does not belong to any domain");
+  }
+  if (canonical_.count(parent_key) == 0) {
+    return Status::NotFound("lexical item '" + parent +
+                            "' does not belong to any domain");
+  }
+  if (child_key == parent_key || IsSpecializationOf(parent, child)) {
+    return Status::InvalidArgument(
+        "specialization '" + child + "' -> '" + parent +
+        "' would create a cycle in the hierarchy");
+  }
+  parents_[child_key].insert(parent_key);
+  return Status::Ok();
+}
+
+bool DomainCatalog::HasDomain(const std::string& name) const {
+  return domains_.count(name) > 0;
+}
+
+const std::vector<std::string>* DomainCatalog::ItemsOf(
+    const std::string& domain) const {
+  auto it = domains_.find(domain);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DomainCatalog::DomainNames() const {
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& [name, items] : domains_) out.push_back(name);
+  return out;
+}
+
+bool DomainCatalog::IsSpecializationOf(const std::string& child,
+                                       const std::string& parent) const {
+  const std::string target = ToLower(parent);
+  std::deque<std::string> frontier = {ToLower(child)};
+  std::set<std::string> visited;
+  while (!frontier.empty()) {
+    std::string current = std::move(frontier.front());
+    frontier.pop_front();
+    if (current == target) return true;
+    if (!visited.insert(current).second) continue;
+    auto it = parents_.find(current);
+    if (it == parents_.end()) continue;
+    for (const std::string& up : it->second) frontier.push_back(up);
+  }
+  return false;
+}
+
+std::optional<ItemMatch> DomainCatalog::BestMatch(
+    const std::string& domain, const std::string& text,
+    const std::string* required_generalization) const {
+  const std::vector<std::string>* items = ItemsOf(domain);
+  if (items == nullptr) return std::nullopt;
+  const std::string query = ToLower(Trim(text));
+  std::optional<ItemMatch> best;
+  for (const std::string& item : *items) {
+    if (required_generalization != nullptr &&
+        !IsSpecializationOf(item, *required_generalization)) {
+      continue;
+    }
+    const std::string lower = ToLower(item);
+    const double similarity = text::Similarity(query, lower);
+    if (!best || similarity > best->similarity ||
+        (similarity == best->similarity && item < best->item)) {
+      best = ItemMatch{item, similarity, lower == query};
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<std::string, std::string>>
+DomainCatalog::Specializations() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [child, parents] : parents_) {
+    for (const std::string& parent : parents) {
+      out.emplace_back(Canonical(child), Canonical(parent));
+    }
+  }
+  return out;  // parents_ is an ordered map, so the result is sorted
+}
+
+text::Dictionary DomainCatalog::AllItemsDictionary() const {
+  text::Dictionary dictionary;
+  for (const auto& [name, items] : domains_) dictionary.AddTerms(items);
+  return dictionary;
+}
+
+}  // namespace dart::wrap

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file html_parser.h
+/// A minimal HTML table extractor: the acquisition module's pivot format
+/// (Sec. 6.1 — every input document is converted to HTML before extraction).
+/// It recognizes <table>, <tr>, <td>/<th> with rowspan/colspan attributes,
+/// decodes the common entities, tolerates omitted </tr>/</td> end tags, and
+/// skips <script>/<style> content. Nested tables are returned as separate
+/// tables (their text does not leak into the enclosing cell).
+
+namespace dart::wrap {
+
+/// One source cell as written in the markup.
+struct HtmlCell {
+  std::string text;
+  int rowspan = 1;
+  int colspan = 1;
+  bool header = false;  ///< true for <th>.
+};
+
+/// One <table>, row-major, spans not yet expanded.
+struct HtmlTable {
+  std::vector<std::vector<HtmlCell>> rows;
+};
+
+/// Extracts every table from `html`, in document order (a nested table
+/// precedes the point where its parent closes).
+Result<std::vector<HtmlTable>> ParseHtmlTables(const std::string& html);
+
+/// Decodes &amp; &lt; &gt; &quot; &#39; &apos; &nbsp; and numeric character
+/// references (ASCII range); unknown entities are kept verbatim.
+std::string DecodeEntities(const std::string& text);
+
+/// Escapes the five XML-special characters (used by the HTML renderer).
+std::string EscapeHtml(const std::string& text);
+
+}  // namespace dart::wrap

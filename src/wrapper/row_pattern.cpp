@@ -1,0 +1,97 @@
+#include "wrapper/row_pattern.h"
+
+#include <set>
+
+namespace dart::wrap {
+
+const char* CellContentKindName(CellContentKind kind) {
+  switch (kind) {
+    case CellContentKind::kDomain: return "Domain";
+    case CellContentKind::kInteger: return "Integer";
+    case CellContentKind::kReal: return "Real";
+    case CellContentKind::kString: return "String";
+  }
+  return "Unknown";
+}
+
+Status ValidateRowPattern(const DomainCatalog& catalog,
+                          const RowPattern& pattern) {
+  if (pattern.name.empty()) {
+    return Status::InvalidArgument("row pattern needs a name");
+  }
+  if (pattern.cells.empty()) {
+    return Status::InvalidArgument("row pattern '" + pattern.name +
+                                   "' has no cells");
+  }
+  std::set<std::string> headlines;
+  for (size_t i = 0; i < pattern.cells.size(); ++i) {
+    const PatternCell& cell = pattern.cells[i];
+    if (cell.headline.empty()) {
+      return Status::InvalidArgument("cell " + std::to_string(i) +
+                                     " of pattern '" + pattern.name +
+                                     "' has an empty headline");
+    }
+    if (!headlines.insert(cell.headline).second) {
+      return Status::InvalidArgument("duplicate headline '" + cell.headline +
+                                     "' in pattern '" + pattern.name + "'");
+    }
+    if (cell.kind == CellContentKind::kDomain && !catalog.HasDomain(cell.domain)) {
+      return Status::NotFound("pattern '" + pattern.name +
+                              "' references unknown domain '" + cell.domain +
+                              "'");
+    }
+    if (cell.specialization_of) {
+      const size_t target = *cell.specialization_of;
+      if (target >= i) {
+        return Status::InvalidArgument(
+            "hierarchy edge of cell " + std::to_string(i) + " in pattern '" +
+            pattern.name + "' must reference an earlier cell");
+      }
+      if (pattern.cells[target].kind != CellContentKind::kDomain ||
+          cell.kind != CellContentKind::kDomain) {
+        return Status::InvalidArgument(
+            "hierarchy edges connect two domain cells (pattern '" +
+            pattern.name + "')");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+PatternCell DomainCell(std::string domain, std::string headline) {
+  PatternCell cell;
+  cell.kind = CellContentKind::kDomain;
+  cell.domain = std::move(domain);
+  cell.headline = std::move(headline);
+  return cell;
+}
+
+PatternCell DomainCellSpecializing(std::string domain, std::string headline,
+                                   size_t generalization_cell) {
+  PatternCell cell = DomainCell(std::move(domain), std::move(headline));
+  cell.specialization_of = generalization_cell;
+  return cell;
+}
+
+PatternCell IntegerCell(std::string headline) {
+  PatternCell cell;
+  cell.kind = CellContentKind::kInteger;
+  cell.headline = std::move(headline);
+  return cell;
+}
+
+PatternCell RealCell(std::string headline) {
+  PatternCell cell;
+  cell.kind = CellContentKind::kReal;
+  cell.headline = std::move(headline);
+  return cell;
+}
+
+PatternCell StringCell(std::string headline) {
+  PatternCell cell;
+  cell.kind = CellContentKind::kString;
+  cell.headline = std::move(headline);
+  return cell;
+}
+
+}  // namespace dart::wrap

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wrapper/domains.h"
+#include "util/status.h"
+
+/// \file row_pattern.h
+/// Row patterns (Sec. 6.2, Fig. 7a): the structure and content of the table
+/// rows to extract. A pattern is an ordered list of cells; each cell expects
+/// either a lexical item of a named domain or a value of a *standard domain*
+/// (Integer / Real / String). Each cell carries a headline — the attribute
+/// name the Database Generator maps it to. A cell may additionally carry a
+/// hierarchy edge: its item must be a specialization of the item matched in
+/// another cell (Fig. 7a's arrow from Subsection to Section).
+
+namespace dart::wrap {
+
+/// What content a pattern cell expects.
+enum class CellContentKind {
+  kDomain,   ///< a lexical item of `domain`.
+  kInteger,  ///< standard domain Integer.
+  kReal,     ///< standard domain Real.
+  kString,   ///< standard domain String (free text).
+};
+
+const char* CellContentKindName(CellContentKind kind);
+
+/// One cell of a row pattern.
+struct PatternCell {
+  CellContentKind kind = CellContentKind::kString;
+  /// Domain name; meaningful only for kDomain.
+  std::string domain;
+  /// Semantic label from the pattern's headline ("Year", "Value", ...).
+  std::string headline;
+  /// When set: the item matched here must be a specialization of the item
+  /// matched in the referenced (earlier) cell of the same pattern.
+  std::optional<size_t> specialization_of;
+};
+
+/// A row pattern.
+struct RowPattern {
+  std::string name;
+  std::vector<PatternCell> cells;
+};
+
+/// Validates a pattern against the catalog: at least one cell, kDomain cells
+/// name existing domains, headlines non-empty and unique, hierarchy edges
+/// point to earlier kDomain cells.
+Status ValidateRowPattern(const DomainCatalog& catalog,
+                          const RowPattern& pattern);
+
+// Convenience builders used by metadata code and tests.
+PatternCell DomainCell(std::string domain, std::string headline);
+PatternCell DomainCellSpecializing(std::string domain, std::string headline,
+                                   size_t generalization_cell);
+PatternCell IntegerCell(std::string headline);
+PatternCell RealCell(std::string headline);
+PatternCell StringCell(std::string headline);
+
+}  // namespace dart::wrap

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wrapper/html_parser.h"
+#include "util/status.h"
+
+/// \file table_grid.h
+/// Span-normalized view of an HTML table. DART's documents use "variable"
+/// structures — cells spanning multiple rows and columns with no fixed scheme
+/// (paper, Main contributions #1; e.g. the Year cell of Fig. 1 spans all ten
+/// rows of a budget). The grid expands every rowspan/colspan so the matcher
+/// can treat the table as a rectangular matrix: each grid position knows the
+/// text of its *origin* cell, which is how a multi-row value is "associated
+/// to all the document rows which are adjacent to the multi-row cell"
+/// (Example 13).
+
+namespace dart::wrap {
+
+/// One grid position after span expansion.
+struct GridCell {
+  std::string text;       ///< text of the origin cell.
+  bool origin = false;    ///< true at the span's top-left position.
+  size_t origin_row = 0;  ///< grid coordinates of the origin.
+  size_t origin_col = 0;
+  bool header = false;
+  bool occupied = false;  ///< false for positions no source cell covers.
+};
+
+/// A rectangular, span-expanded table.
+class TableGrid {
+ public:
+  /// Expands `table`. Overlapping spans are resolved first-come (the later
+  /// cell is shifted right, the usual browser behaviour); rows are padded to
+  /// the widest row.
+  static Result<TableGrid> FromTable(const HtmlTable& table);
+
+  size_t num_rows() const { return cells_.size(); }
+  size_t num_cols() const { return cells_.empty() ? 0 : cells_[0].size(); }
+
+  const GridCell& At(size_t row, size_t col) const;
+
+  /// The texts of one row, span-filled (the paper's "document row").
+  std::vector<std::string> RowTexts(size_t row) const;
+
+  /// True iff every cell of the row originates in this row and spans it
+  /// entirely — useful to skip decorative banner rows.
+  bool RowIsAtomic(size_t row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<GridCell>> cells_;
+};
+
+}  // namespace dart::wrap

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wrapper/matcher.h"
+#include "util/status.h"
+
+/// \file wrapper.h
+/// The wrapping sub-module facade (Sec. 6.2): HTML document in, row pattern
+/// instances out. One ExtractedRow per document row of every table, with the
+/// best-matching pattern instance (or none, for header/banner rows).
+
+namespace dart::wrap {
+
+/// One document row and its match outcome.
+struct ExtractedRow {
+  size_t table_index = 0;
+  size_t row_index = 0;
+  std::vector<std::string> texts;  ///< span-filled document row.
+  std::optional<RowPatternInstance> instance;
+};
+
+/// Aggregate extraction statistics.
+struct ExtractionStats {
+  size_t tables = 0;
+  size_t rows = 0;
+  size_t matched_rows = 0;
+  size_t repaired_cells = 0;  ///< msi string repairs performed.
+};
+
+/// The result of wrapping one document.
+struct ExtractionResult {
+  std::vector<ExtractedRow> rows;
+  ExtractionStats stats;
+
+  /// Only the rows that matched some pattern.
+  std::vector<const RowPatternInstance*> MatchedInstances() const;
+};
+
+/// HTML-table wrapper: parses documents and matches their rows against the
+/// configured row patterns.
+class Wrapper {
+ public:
+  /// The catalog must outlive the wrapper. `table_positions` implements the
+  /// extraction metadata's table localization (Sec. 6.2: "tables whose
+  /// position inside the document is specified inside the extraction
+  /// metadata"): only the tables at the listed document-order indices are
+  /// wrapped; empty = every table.
+  Wrapper(const DomainCatalog* catalog, std::vector<RowPattern> patterns,
+          MatcherOptions options = {},
+          std::set<size_t> table_positions = {})
+      : matcher_(catalog, std::move(patterns), options),
+        table_positions_(std::move(table_positions)) {}
+
+  const RowMatcher& matcher() const { return matcher_; }
+
+  /// Extracts row pattern instances from the selected tables of `html`.
+  Result<ExtractionResult> ExtractFromHtml(const std::string& html) const;
+
+ private:
+  RowMatcher matcher_;
+  std::set<size_t> table_positions_;
+};
+
+}  // namespace dart::wrap

@@ -1,0 +1,167 @@
+// Tests for the acquisition substrate: the .pos positional format
+// round-trips, the layout analyzer reconstructs tables (including multi-row
+// cells and stacked tables), and a scanned cash budget flows through the
+// complete pipeline identically to the HTML path.
+
+#include <gtest/gtest.h>
+
+#include "acquire/layout.h"
+#include "acquire/positional.h"
+#include "core/pipeline.h"
+#include "ocr/cash_budget.h"
+#include "wrapper/table_grid.h"
+
+namespace dart::acquire {
+namespace {
+
+TextBox Box(double x, double y, double w, double h, std::string text) {
+  return TextBox{x, y, w, h, std::move(text)};
+}
+
+TEST(PositionalFormatTest, RoundTrip) {
+  PositionalDocument document;
+  document.pages.emplace_back();
+  document.pages[0].boxes.push_back(Box(1.5, 2, 30, 10, "hello world"));
+  document.pages[0].boxes.push_back(Box(40, 2, 20, 10, "42"));
+  document.pages.emplace_back();
+  document.pages[1].boxes.push_back(Box(0, 0, 5, 5, "p2"));
+
+  auto parsed = ReadPositional(WritePositional(document));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->pages.size(), 2u);
+  ASSERT_EQ(parsed->pages[0].boxes.size(), 2u);
+  EXPECT_EQ(parsed->pages[0].boxes[0].text, "hello world");
+  EXPECT_DOUBLE_EQ(parsed->pages[0].boxes[0].x, 1.5);
+  EXPECT_EQ(parsed->pages[1].boxes[0].text, "p2");
+}
+
+TEST(PositionalFormatTest, ParseErrors) {
+  EXPECT_FALSE(ReadPositional("box 1 2 3 4 text\n").ok());  // box before page
+  EXPECT_FALSE(ReadPositional("page\nbox 1 2 3 oops\n").ok());
+  EXPECT_FALSE(ReadPositional("page\nwhatisthis\n").ok());
+  // Comments and blank lines are fine.
+  auto ok = ReadPositional("# comment\n\npage\nbox 1 2 3 4 x\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->TotalBoxes(), 1u);
+}
+
+TEST(LayoutTest, SimpleGridReconstruction) {
+  Page page;
+  // 2×2 grid.
+  page.boxes = {Box(0, 0, 10, 10, "a"), Box(50, 0, 10, 10, "b"),
+                Box(0, 20, 10, 10, "c"), Box(50, 20, 10, 10, "d")};
+  auto tables = ReconstructTables(page);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_EQ(tables->size(), 1u);
+  const wrap::HtmlTable& table = (*tables)[0];
+  ASSERT_EQ(table.rows.size(), 2u);
+  ASSERT_EQ(table.rows[0].size(), 2u);
+  EXPECT_EQ(table.rows[0][0].text, "a");
+  EXPECT_EQ(table.rows[1][1].text, "d");
+}
+
+TEST(LayoutTest, VerticalSpanBecomesRowspan) {
+  Page page;
+  // Left box spans both rows.
+  page.boxes = {Box(0, 0, 10, 30, "tall"), Box(50, 0, 10, 10, "r1"),
+                Box(50, 20, 10, 10, "r2")};
+  auto tables = ReconstructTables(page);
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 1u);
+  const wrap::HtmlTable& table = (*tables)[0];
+  ASSERT_EQ(table.rows.size(), 2u);
+  ASSERT_EQ(table.rows[0].size(), 2u);
+  EXPECT_EQ(table.rows[0][0].text, "tall");
+  EXPECT_EQ(table.rows[0][0].rowspan, 2);
+  EXPECT_EQ(table.rows[1].size(), 1u);  // spanned position not re-emitted
+}
+
+TEST(LayoutTest, HorizontalSpanBecomesColspan) {
+  Page page;
+  page.boxes = {Box(0, 0, 70, 10, "wide header"), Box(0, 20, 10, 10, "a"),
+                Box(60, 20, 10, 10, "b")};
+  auto tables = ReconstructTables(page);
+  ASSERT_TRUE(tables.ok());
+  const wrap::HtmlTable& table = (*tables)[0];
+  EXPECT_EQ(table.rows[0][0].colspan, 2);
+}
+
+TEST(LayoutTest, LargeGapSplitsTables) {
+  Page page;
+  page.boxes = {Box(0, 0, 10, 10, "t1a"), Box(50, 0, 10, 10, "t1b"),
+                Box(0, 200, 10, 10, "t2a"), Box(50, 200, 10, 10, "t2b")};
+  auto tables = ReconstructTables(page);
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 2u);
+  EXPECT_EQ((*tables)[0].rows[0][0].text, "t1a");
+  EXPECT_EQ((*tables)[1].rows[0][0].text, "t2a");
+}
+
+TEST(LayoutTest, EmptyPageYieldsNoTables) {
+  auto tables = ReconstructTables(Page{});
+  ASSERT_TRUE(tables.ok());
+  EXPECT_TRUE(tables->empty());
+}
+
+TEST(LayoutTest, ScannedBudgetMatchesHtmlRendering) {
+  // The positional rendering of the Fig. 1 document must reconstruct into
+  // the same grid content as the direct HTML rendering.
+  auto db = ocr::CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(db.ok());
+  PositionalDocument scan = ocr::CashBudgetFixture::RenderPositional(*db);
+  EXPECT_EQ(scan.pages.size(), 1u);
+  auto html = ConvertToHtml(scan);
+  ASSERT_TRUE(html.ok()) << html.status().ToString();
+  auto tables = wrap::ParseHtmlTables(*html);
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 2u);  // one table per year
+  auto grid = wrap::TableGrid::FromTable((*tables)[0]);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_rows(), 10u);
+  EXPECT_EQ(grid->num_cols(), 4u);
+  EXPECT_EQ(grid->At(0, 0).text, "2003");
+  EXPECT_EQ(grid->At(9, 0).text, "2003");            // rowspan filled
+  EXPECT_EQ(grid->At(3, 2).text, "total cash receipts");
+  EXPECT_EQ(grid->At(3, 3).text, "250");
+}
+
+TEST(LayoutTest, EndToEndPipelineFromScan) {
+  auto truth = ocr::CashBudgetFixture::PaperExample(false);
+  auto acquired = ocr::CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(truth.ok() && acquired.ok());
+  core::AcquisitionMetadata metadata;
+  auto catalog = ocr::CashBudgetFixture::BuildCatalog(*truth);
+  auto mapping = ocr::CashBudgetFixture::BuildMapping(*truth);
+  ASSERT_TRUE(catalog.ok() && mapping.ok());
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ocr::CashBudgetFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ocr::CashBudgetFixture::ConstraintProgram();
+  auto pipeline = core::DartPipeline::Create(std::move(metadata));
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  PositionalDocument scan =
+      ocr::CashBudgetFixture::RenderPositional(*acquired);
+  auto outcome = pipeline->ProcessPositional(scan);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(*outcome->acquisition.database.CountDifferences(*acquired), 0u);
+  ASSERT_EQ(outcome->repair.repair.cardinality(), 1u);
+  EXPECT_EQ(outcome->repair.repair.updates()[0].new_value, rel::Value(220));
+}
+
+TEST(LayoutTest, NoisyScanSurvivesReconstruction) {
+  Rng rng(777);
+  auto db = ocr::CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(db.ok());
+  ocr::NoiseModel noise({0.2, 0.2, 1, 2}, &rng);
+  PositionalDocument scan =
+      ocr::CashBudgetFixture::RenderPositional(*db, &noise);
+  auto html = ConvertToHtml(scan);
+  ASSERT_TRUE(html.ok());
+  auto tables = wrap::ParseHtmlTables(*html);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->size(), 2u);  // noise changes text, never geometry count
+}
+
+}  // namespace
+}  // namespace dart::acquire

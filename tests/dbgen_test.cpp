@@ -1,0 +1,178 @@
+// Tests for the database generator: headline copying, the classification
+// information deriving Type from Subsection (Sec. 6.2), constants, lenient
+// skipping of unparsable rows, and mapping validation.
+
+#include <gtest/gtest.h>
+
+#include "dbgen/generator.h"
+#include "dbgen/metadata.h"
+#include "ocr/cash_budget.h"
+#include "ocr/catalog.h"
+#include "util/random.h"
+#include "wrapper/matcher.h"
+
+namespace dart::dbgen {
+namespace {
+
+wrap::RowPatternInstance MakeInstance(const std::string& pattern,
+                                      std::vector<std::string> items) {
+  wrap::RowPatternInstance instance;
+  instance.pattern_name = pattern;
+  instance.score = 1.0;
+  for (std::string& item : items) {
+    wrap::CellMatch cell;
+    cell.item = std::move(item);
+    cell.score = 1.0;
+    instance.cells.push_back(std::move(cell));
+  }
+  return instance;
+}
+
+class CashBudgetGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = ocr::CashBudgetFixture::PaperExample(false);
+    ASSERT_TRUE(db.ok());
+    auto mapping = ocr::CashBudgetFixture::BuildMapping(*db);
+    ASSERT_TRUE(mapping.ok());
+    mapping_ = std::move(mapping).value();
+    patterns_ = ocr::CashBudgetFixture::BuildPatterns();
+  }
+
+  RelationMapping mapping_;
+  std::vector<wrap::RowPattern> patterns_;
+};
+
+TEST_F(CashBudgetGeneratorTest, ClassificationDerivesType) {
+  DatabaseGenerator generator({mapping_}, patterns_);
+  ASSERT_TRUE(generator.status().ok());
+  auto aggregate = MakeInstance(
+      "cash-budget-row", {"2003", "Receipts", "total cash receipts", "250"});
+  auto detail = MakeInstance("cash-budget-row",
+                             {"2003", "Receipts", "cash sales", "100"});
+  auto derived = MakeInstance("cash-budget-row",
+                              {"2003", "Balance", "net cash inflow", "60"});
+  auto report = generator.Generate({&aggregate, &detail, &derived});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->inserted_tuples, 3u);
+  EXPECT_EQ(report->skipped_rows, 0u);
+  const rel::Relation* relation = report->database.FindRelation("CashBudget");
+  ASSERT_NE(relation, nullptr);
+  EXPECT_EQ(relation->At(0, 3), rel::Value("aggr"));
+  EXPECT_EQ(relation->At(1, 3), rel::Value("det"));
+  EXPECT_EQ(relation->At(2, 3), rel::Value("drv"));
+  EXPECT_EQ(relation->At(0, 4), rel::Value(250));
+}
+
+TEST_F(CashBudgetGeneratorTest, ClassificationIsCaseInsensitive) {
+  DatabaseGenerator generator({mapping_}, patterns_);
+  auto instance = MakeInstance(
+      "cash-budget-row", {"2003", "Receipts", "Total Cash Receipts", "250"});
+  auto report = generator.Generate({&instance});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->inserted_tuples, 1u);
+  EXPECT_EQ(report->database.FindRelation("CashBudget")->At(0, 3),
+            rel::Value("aggr"));
+}
+
+TEST_F(CashBudgetGeneratorTest, UnknownItemWithoutDefaultSkips) {
+  DatabaseGenerator generator({mapping_}, patterns_);
+  auto instance = MakeInstance("cash-budget-row",
+                               {"2003", "Receipts", "mystery line", "5"});
+  auto report = generator.Generate({&instance});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->inserted_tuples, 0u);
+  EXPECT_EQ(report->skipped_rows, 1u);
+  ASSERT_EQ(report->warnings.size(), 1u);
+  EXPECT_NE(report->warnings[0].find("mystery line"), std::string::npos);
+}
+
+TEST_F(CashBudgetGeneratorTest, UnparsableValueSkips) {
+  DatabaseGenerator generator({mapping_}, patterns_);
+  auto instance = MakeInstance("cash-budget-row",
+                               {"2003", "Receipts", "cash sales", "1O0"});
+  auto report = generator.Generate({&instance});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->inserted_tuples, 0u);
+  EXPECT_EQ(report->skipped_rows, 1u);
+}
+
+TEST_F(CashBudgetGeneratorTest, ForeignPatternIgnored) {
+  DatabaseGenerator generator({mapping_}, patterns_);
+  auto instance =
+      MakeInstance("some-other-pattern", {"2003", "Receipts", "x", "1"});
+  auto report = generator.Generate({&instance});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->inserted_tuples, 0u);
+  EXPECT_EQ(report->skipped_rows, 0u);  // not an error: just out of scope
+}
+
+TEST(MappingValidationTest, SourceArityMustMatch) {
+  RelationMapping mapping;
+  mapping.schema = ocr::CashBudgetFixture::Schema();
+  mapping.sources = {};  // wrong arity
+  EXPECT_FALSE(ValidateRelationMapping(mapping).ok());
+}
+
+TEST(MappingValidationTest, ClassificationIndexChecked) {
+  RelationMapping mapping;
+  auto schema = rel::RelationSchema::Create(
+      "R", {{"A", rel::Domain::kString, false}});
+  ASSERT_TRUE(schema.ok());
+  mapping.schema = *schema;
+  mapping.sources = {{AttributeSource::Kind::kClassification, "", 3, ""}};
+  EXPECT_FALSE(ValidateRelationMapping(mapping).ok());
+}
+
+TEST(MappingValidationTest, EmptyHeadlineRejected) {
+  RelationMapping mapping;
+  auto schema = rel::RelationSchema::Create(
+      "R", {{"A", rel::Domain::kString, false}});
+  ASSERT_TRUE(schema.ok());
+  mapping.schema = *schema;
+  mapping.sources = {{AttributeSource::Kind::kHeadline, "", 0, ""}};
+  EXPECT_FALSE(ValidateRelationMapping(mapping).ok());
+}
+
+TEST(ConstantSourceTest, ConstantFillsAttribute) {
+  auto schema = rel::RelationSchema::Create(
+      "R", {{"Tag", rel::Domain::kString, false},
+            {"N", rel::Domain::kInt, true}});
+  ASSERT_TRUE(schema.ok());
+  RelationMapping mapping;
+  mapping.schema = *schema;
+  mapping.sources = {{AttributeSource::Kind::kConstant, "", 0, "fixed"},
+                     {AttributeSource::Kind::kHeadline, "N", 0, ""}};
+  wrap::RowPattern pattern;
+  pattern.name = "p";
+  pattern.cells = {wrap::IntegerCell("N")};
+  DatabaseGenerator generator({mapping}, {pattern});
+  ASSERT_TRUE(generator.status().ok()) << generator.status().ToString();
+  auto instance = MakeInstance("p", {"7"});
+  auto report = generator.Generate({&instance});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->inserted_tuples, 1u);
+  EXPECT_EQ(report->database.FindRelation("R")->At(0, 0), rel::Value("fixed"));
+  EXPECT_EQ(report->database.FindRelation("R")->At(0, 1), rel::Value(7));
+}
+
+TEST(CatalogMappingTest, DefaultClassCoversUnknownItems) {
+  Rng rng(3);
+  auto db = ocr::CatalogFixture::Random({}, &rng);
+  ASSERT_TRUE(db.ok());
+  auto mapping = ocr::CatalogFixture::BuildMapping(*db);
+  ASSERT_TRUE(mapping.ok());
+  DatabaseGenerator generator({*mapping}, ocr::CatalogFixture::BuildPatterns());
+  ASSERT_TRUE(generator.status().ok());
+  auto item = MakeInstance("catalog-row", {"electronics", "unheard of", "12"});
+  auto total = MakeInstance("catalog-row", {"electronics", "TOTAL", "12"});
+  auto report = generator.Generate({&item, &total});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->inserted_tuples, 2u);
+  const rel::Relation* relation = report->database.FindRelation("Catalog");
+  EXPECT_EQ(relation->At(0, 2), rel::Value("item"));  // default class
+  EXPECT_EQ(relation->At(1, 2), rel::Value("cat"));
+}
+
+}  // namespace
+}  // namespace dart::dbgen

@@ -1,0 +1,97 @@
+// Tests for the Validation Interface rendering: updates shown in context,
+// display order preserved, inline relation marking, and error handling for
+// dangling references.
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "ocr/cash_budget.h"
+#include "repair/engine.h"
+#include "validation/display.h"
+
+namespace dart::validation {
+namespace {
+
+using ocr::CashBudgetFixture;
+
+class DisplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = CashBudgetFixture::PaperExample(true);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    cons::ConstraintSet constraints;
+    ASSERT_TRUE(cons::ParseConstraintProgram(
+                    db_.Schema(), CashBudgetFixture::ConstraintProgram(),
+                    &constraints)
+                    .ok());
+    repair::RepairEngine engine;
+    auto outcome = engine.ComputeRepair(db_, constraints);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    repair_ = outcome->repair;
+  }
+
+  rel::Database db_;
+  repair::Repair repair_;
+};
+
+TEST_F(DisplayTest, UpdateShownInTupleContext) {
+  auto rendered = RenderRepairForOperator(db_, repair_);
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  // The operator sees the whole tuple with the updated value elided, then
+  // the old -> new line.
+  EXPECT_NE(rendered->find("#1"), std::string::npos);
+  EXPECT_NE(rendered->find("CashBudget(2003, Receipts, total cash receipts, "
+                           "aggr, ...)"),
+            std::string::npos);
+  EXPECT_NE(rendered->find("Value: 250  ->  220"), std::string::npos);
+}
+
+TEST_F(DisplayTest, EmptyRepairSaysSo) {
+  auto rendered = RenderRepairForOperator(db_, repair::Repair{});
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_NE(rendered->find("No updates suggested"), std::string::npos);
+}
+
+TEST_F(DisplayTest, PositionsCanBeHidden) {
+  DisplayOptions options;
+  options.show_positions = false;
+  auto rendered = RenderRepairForOperator(db_, repair_, options);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_EQ(rendered->find("#1"), std::string::npos);
+}
+
+TEST_F(DisplayTest, RelationViewMarksUpdatedCells) {
+  auto rendered = RenderRelationWithRepair(db_, "CashBudget", repair_);
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  EXPECT_NE(rendered->find("250 -> 220 *"), std::string::npos);
+  // Untouched values are rendered plainly.
+  EXPECT_NE(rendered->find("receivables"), std::string::npos);
+}
+
+TEST_F(DisplayTest, DanglingReferencesReported) {
+  repair::Repair dangling(
+      {{rel::CellRef{"Missing", 0, 0}, rel::Value(1), rel::Value(2)}});
+  EXPECT_FALSE(RenderRepairForOperator(db_, dangling).ok());
+  repair::Repair out_of_range(
+      {{rel::CellRef{"CashBudget", 999, 4}, rel::Value(1), rel::Value(2)}});
+  EXPECT_FALSE(RenderRepairForOperator(db_, out_of_range).ok());
+  EXPECT_FALSE(RenderRelationWithRepair(db_, "Missing", repair_).ok());
+  EXPECT_FALSE(RenderRelationWithRepair(db_, "CashBudget", out_of_range).ok());
+}
+
+TEST_F(DisplayTest, MultiUpdateOrderPreserved) {
+  repair::Repair two(
+      {{rel::CellRef{"CashBudget", 7, 4}, rel::Value(160), rel::Value(190)},
+       {rel::CellRef{"CashBudget", 1, 4}, rel::Value(100), rel::Value(130)}});
+  auto rendered = RenderRepairForOperator(db_, two);
+  ASSERT_TRUE(rendered.ok());
+  const size_t first = rendered->find("total disbursements");
+  const size_t second = rendered->find("cash sales");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);  // repair order == display order
+}
+
+}  // namespace
+}  // namespace dart::validation

@@ -1,0 +1,166 @@
+// Tests for the expense-report fixture: consistency by construction across
+// the three-level hierarchy, real-valued repair end to end, and the deeper
+// error-propagation chains the third level introduces.
+
+#include <gtest/gtest.h>
+
+#include "constraints/eval.h"
+#include "constraints/parser.h"
+#include "core/pipeline.h"
+#include "ocr/expense.h"
+#include "ocr/noise.h"
+#include "repair/engine.h"
+
+namespace dart::ocr {
+namespace {
+
+cons::ConstraintSet ParseProgram(const rel::Database& db) {
+  cons::ConstraintSet constraints;
+  Status status = cons::ParseConstraintProgram(
+      db.Schema(), ExpenseFixture::ConstraintProgram(), &constraints);
+  DART_CHECK_MSG(status.ok(), status.ToString());
+  return constraints;
+}
+
+class ExpenseShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpenseShapeTest, GeneratedReportsAreConsistent) {
+  Rng rng(60000 + GetParam());
+  ExpenseOptions options;
+  options.num_months = 1 + GetParam() % 4;
+  options.categories_per_month = 1 + GetParam() % 3;
+  options.items_per_category = 1 + (GetParam() / 2) % 4;
+  auto db = ExpenseFixture::Random(options, &rng);
+  ASSERT_TRUE(db.ok());
+  cons::ConstraintSet constraints = ParseProgram(*db);
+  cons::ConsistencyChecker checker(&constraints);
+  auto consistent = checker.IsConsistent(*db);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_TRUE(*consistent);
+  // months × (cats × (items + 1) + 1) + 1 grand row.
+  const size_t expected =
+      static_cast<size_t>(options.num_months) *
+          (static_cast<size_t>(options.categories_per_month) *
+               (options.items_per_category + 1) +
+           1) +
+      1;
+  EXPECT_EQ(db->FindRelation("Expense")->size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExpenseShapeTest, ::testing::Range(0, 8));
+
+TEST(ExpenseTest, SingleLineErrorRepairsMinimally) {
+  Rng rng(61);
+  auto truth = ExpenseFixture::Random({}, &rng);
+  ASSERT_TRUE(truth.ok());
+  rel::Database corrupted = truth->Clone();
+  // Corrupt one line item (+10.00): breaks its category sum only; a
+  // single-change repair exists (restore it or compensate within the
+  // category).
+  auto value = corrupted.ValueAt({"Expense", 0, 4});
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(corrupted
+                  .UpdateCell({"Expense", 0, 4},
+                              rel::Value(value->AsReal() + 10.0))
+                  .ok());
+  cons::ConstraintSet constraints = ParseProgram(corrupted);
+  repair::RepairEngine engine;
+  auto outcome = engine.ComputeRepair(corrupted, constraints);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->repair.cardinality(), 1u);
+  auto repaired = outcome->repair.Applied(corrupted);
+  ASSERT_TRUE(repaired.ok());
+  cons::ConsistencyChecker checker(&constraints);
+  EXPECT_TRUE(*checker.IsConsistent(*repaired));
+}
+
+TEST(ExpenseTest, CategoryTotalErrorPropagatesThreeLevels) {
+  Rng rng(62);
+  auto truth = ExpenseFixture::Random({}, &rng);
+  ASSERT_TRUE(truth.ok());
+  rel::Database corrupted = truth->Clone();
+  // Corrupting a CATEGORY TOTAL breaks level 1 (its items) and level 2 (the
+  // month sum): the unique single-change repair restores it. Category total
+  // of month 1, category 1 sits right after its items.
+  const rel::Relation* relation = corrupted.FindRelation("Expense");
+  size_t cat_total_row = 0;
+  for (size_t i = 0; i < relation->size(); ++i) {
+    if (relation->At(i, 3) == rel::Value("cat")) {
+      cat_total_row = i;
+      break;
+    }
+  }
+  auto value = corrupted.ValueAt({"Expense", cat_total_row, 4});
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(corrupted
+                  .UpdateCell({"Expense", cat_total_row, 4},
+                              rel::Value(value->AsReal() + 25.0))
+                  .ok());
+  cons::ConstraintSet constraints = ParseProgram(corrupted);
+  cons::ConsistencyChecker checker(&constraints);
+  auto violations = checker.Check(corrupted);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_EQ(violations->size(), 2u);  // cat_sum + month_sum
+  repair::RepairEngine engine;
+  auto outcome = engine.ComputeRepair(corrupted, constraints);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->repair.cardinality(), 1u);
+  EXPECT_EQ(outcome->repair.updates()[0].cell,
+            (rel::CellRef{"Expense", cat_total_row, 4}));
+  EXPECT_NEAR(outcome->repair.updates()[0].new_value.AsReal(),
+              value->AsReal(), 1e-6);
+}
+
+TEST(ExpenseTest, EndToEndPipelineWithRealAmounts) {
+  Rng rng(63);
+  ExpenseOptions options;
+  options.num_months = 2;
+  auto truth = ExpenseFixture::Random(options, &rng);
+  ASSERT_TRUE(truth.ok());
+  core::AcquisitionMetadata metadata;
+  auto catalog = ExpenseFixture::BuildCatalog(*truth);
+  auto mapping = ExpenseFixture::BuildMapping(*truth);
+  ASSERT_TRUE(catalog.ok() && mapping.ok());
+  metadata.catalog = std::move(catalog).value();
+  metadata.patterns = ExpenseFixture::BuildPatterns();
+  metadata.mappings = {std::move(mapping).value()};
+  metadata.constraint_program = ExpenseFixture::ConstraintProgram();
+  auto pipeline = core::DartPipeline::Create(std::move(metadata));
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  auto outcome = pipeline->Process(ExpenseFixture::RenderHtml(*truth));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->violations.empty());
+  EXPECT_EQ(*outcome->acquisition.database.CountDifferences(*truth), 0u);
+
+  // Now with one numeric corruption in the rendered document.
+  rel::Database corrupted = truth->Clone();
+  auto injected = InjectMeasureErrors(&corrupted, 1, &rng);
+  ASSERT_TRUE(injected.ok());
+  auto noisy_outcome =
+      pipeline->Process(ExpenseFixture::RenderHtml(corrupted));
+  ASSERT_TRUE(noisy_outcome.ok()) << noisy_outcome.status().ToString();
+  EXPECT_FALSE(noisy_outcome->violations.empty());
+  EXPECT_GE(noisy_outcome->repair.repair.cardinality(), 1u);
+  cons::ConsistencyChecker checker(&pipeline->constraints());
+  EXPECT_TRUE(*checker.IsConsistent(noisy_outcome->repaired));
+}
+
+TEST(ExpenseTest, SupervisedLoopRecoversRealValues) {
+  Rng rng(64);
+  auto truth = ExpenseFixture::Random({}, &rng);
+  ASSERT_TRUE(truth.ok());
+  rel::Database corrupted = truth->Clone();
+  auto injected = InjectMeasureErrors(&corrupted, 3, &rng);
+  ASSERT_TRUE(injected.ok());
+  cons::ConstraintSet constraints = ParseProgram(corrupted);
+  validation::SimulatedOperator op(&*truth);
+  auto session =
+      validation::RunValidationSession(corrupted, constraints, op);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(session->converged);
+  EXPECT_EQ(*session->repaired.CountDifferences(*truth), 0u);
+}
+
+}  // namespace
+}  // namespace dart::ocr

@@ -1,0 +1,356 @@
+// Tests for the MILP substrate: the two-phase simplex on hand-checked LPs,
+// branch-and-bound on small integer programs, and agreement between
+// branch-and-bound and the exhaustive binary-enumeration baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/branch_and_bound.h"
+#include "milp/exhaustive.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/random.h"
+
+namespace dart::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(ModelTest, AddVariableAndRows) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kInteger, -5, 5);
+  EXPECT_EQ(model.num_variables(), 2);
+  model.AddRow("r1", {{x, 1.0}, {y, 2.0}}, RowSense::kLe, 8);
+  EXPECT_EQ(model.num_rows(), 1);
+  EXPECT_TRUE(model.HasIntegrality());
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(ModelTest, DuplicateTermsAreMerged) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  model.AddRow("r", {{x, 1.0}, {x, 2.0}}, RowSense::kLe, 8);
+  ASSERT_EQ(model.rows()[0].terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.rows()[0].terms[0].coefficient, 3.0);
+}
+
+TEST(ModelTest, BinaryBoundsForced) {
+  Model model;
+  int d = model.AddVariable("d", VarType::kBinary, -4, 9);
+  EXPECT_DOUBLE_EQ(model.variable(d).lower, 0);
+  EXPECT_DOUBLE_EQ(model.variable(d).upper, 1);
+}
+
+TEST(ModelTest, ZeroCoefficientsDropped) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 1);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 1);
+  model.AddRow("r", {{x, 1.0}, {y, 0.0}}, RowSense::kLe, 1);
+  EXPECT_EQ(model.rows()[0].terms.size(), 1u);
+}
+
+TEST(ModelTest, FeasibilityPredicate) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kInteger, 0, 10);
+  model.AddRow("r", {{x, 1.0}}, RowSense::kLe, 5);
+  EXPECT_TRUE(IsFeasiblePoint(model, {3.0}));
+  EXPECT_FALSE(IsFeasiblePoint(model, {6.0}));   // violates row
+  EXPECT_FALSE(IsFeasiblePoint(model, {2.5}));   // fractional integer
+  EXPECT_FALSE(IsFeasiblePoint(model, {-1.0}));  // below bound
+}
+
+TEST(ModelTest, LpStringMentionsEverything) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int d = model.AddVariable("d", VarType::kBinary, 0, 1);
+  model.AddRow("cap", {{x, 1.0}, {d, -4.0}}, RowSense::kLe, 0);
+  model.SetObjective({{d, 1.0}}, 0, ObjectiveSense::kMinimize);
+  const std::string lp = model.ToLpString();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("cap"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+}
+
+// --- LP relaxation -------------------------------------------------------
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, 0 <= x,y <= 10.
+  // Optimum: x=4, y=0, obj=12.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  model.AddRow("r1", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 4);
+  model.AddRow("r2", {{x, 1.0}, {y, 3.0}}, RowSense::kLe, 6);
+  model.SetObjective({{x, 3.0}, {y, 2.0}}, 0, ObjectiveSense::kMaximize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 12.0, kTol);
+  EXPECT_NEAR(result.point[x], 4.0, kTol);
+  EXPECT_NEAR(result.point[y], 0.0, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + y = 3, x - y = 1 → x=2, y=1, obj=3.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, -10, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, -10, 10);
+  model.AddRow("sum", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 3);
+  model.AddRow("diff", {{x, 1.0}, {y, -1.0}}, RowSense::kEq, 1);
+  model.SetObjective({{x, 1.0}, {y, 1.0}}, 0, ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.point[x], 2.0, kTol);
+  EXPECT_NEAR(result.point[y], 1.0, kTol);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x s.t. x >= -7 within box [-10, 10] → x = -7... but the row is the
+  // binding constraint, not the box.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, -10, 10);
+  model.AddRow("floor", {{x, 1.0}}, RowSense::kGe, -7);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.point[x], -7.0, kTol);
+}
+
+TEST(SimplexTest, BoxOptimum) {
+  // With no rows at all, minimization lands on the lower bound.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, -3, 8);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.point[x], -3.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleRows) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  model.AddRow("low", {{x, 1.0}}, RowSense::kGe, 6);
+  model.AddRow("high", {{x, 1.0}}, RowSense::kLe, 5);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  EXPECT_EQ(SolveLpRelaxation(model).status,
+            LpResult::SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, InfeasibleBoundsOverride) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  std::vector<double> lower = {7}, upper = {3};
+  EXPECT_EQ(SolveLpRelaxation(model, {}, &lower, &upper).status,
+            LpResult::SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, FixedVariable) {
+  // x fixed at 4 by equal bounds participates as a constant.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 4, 4);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  model.AddRow("r", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 9);
+  model.SetObjective({{y, 1.0}}, 0, ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.point[x], 4.0, kTol);
+  EXPECT_NEAR(result.point[y], 5.0, kTol);
+}
+
+TEST(SimplexTest, RedundantEqualitiesAreDropped) {
+  // Two identical equalities: phase 1 must drop the redundant row rather
+  // than declare infeasibility.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  model.AddRow("a", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 5);
+  model.AddRow("b", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 5);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.point[x], 0.0, kTol);
+  EXPECT_NEAR(result.point[y], 5.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateInstanceTerminates) {
+  // A classic degenerate LP; the Bland fallback must terminate it.
+  Model model;
+  int x1 = model.AddVariable("x1", VarType::kContinuous, 0, 100);
+  int x2 = model.AddVariable("x2", VarType::kContinuous, 0, 100);
+  int x3 = model.AddVariable("x3", VarType::kContinuous, 0, 100);
+  model.AddRow("r1", {{x1, 0.5}, {x2, -5.5}, {x3, -2.5}}, RowSense::kLe, 0);
+  model.AddRow("r2", {{x1, 0.5}, {x2, -1.5}, {x3, -0.5}}, RowSense::kLe, 0);
+  model.AddRow("r3", {{x1, 1.0}}, RowSense::kLe, 1);
+  model.SetObjective({{x1, -10.0}, {x2, 57.0}, {x3, 9.0}}, 0,
+                     ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  // x1 = 1 is worth -10 but forces 1.5·x2 + 0.5·x3 >= 0.5 through r2; the
+  // cheapest cover is x3 = 1 (cost 9), so the optimum is -1.
+  EXPECT_NEAR(result.objective, -1.0, 1e-4);
+}
+
+// --- Branch and bound ----------------------------------------------------
+
+TEST(BranchAndBoundTest, PureLpPassesThrough) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 4);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMaximize);
+  MilpResult result = SolveMilp(model);
+  ASSERT_EQ(result.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 4.0, kTol);
+}
+
+TEST(BranchAndBoundTest, KnapsackSmall) {
+  // max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d <= 14, binaries.
+  // Optimum: a=0 b=1 c=1 d=1 → 21.
+  Model model;
+  int a = model.AddVariable("a", VarType::kBinary, 0, 1);
+  int b = model.AddVariable("b", VarType::kBinary, 0, 1);
+  int c = model.AddVariable("c", VarType::kBinary, 0, 1);
+  int d = model.AddVariable("d", VarType::kBinary, 0, 1);
+  model.AddRow("cap", {{a, 5.0}, {b, 7.0}, {c, 4.0}, {d, 3.0}}, RowSense::kLe,
+               14);
+  model.SetObjective({{a, 8.0}, {b, 11.0}, {c, 6.0}, {d, 4.0}}, 0,
+                     ObjectiveSense::kMaximize);
+  MilpResult result = SolveMilp(model);
+  ASSERT_EQ(result.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 21.0, kTol);
+  EXPECT_NEAR(result.point[a], 0.0, kTol);
+  EXPECT_NEAR(result.point[b], 1.0, kTol);
+}
+
+TEST(BranchAndBoundTest, IntegerRounding) {
+  // max x + y, 2x + 3y <= 12, x,y integer in [0, 5].
+  // LP gives fractional corner; ILP optimum is 5 (e.g. x=3, y=2 or x=5,y=0
+  // -> 2*5=10 <= 12 so x=5,y=0 gives 5; x=3,y=2 gives 5 too).
+  Model model;
+  int x = model.AddVariable("x", VarType::kInteger, 0, 5);
+  int y = model.AddVariable("y", VarType::kInteger, 0, 5);
+  model.AddRow("cap", {{x, 2.0}, {y, 3.0}}, RowSense::kLe, 12);
+  model.SetObjective({{x, 1.0}, {y, 1.0}}, 0, ObjectiveSense::kMaximize);
+  MilpResult result = SolveMilp(model);
+  ASSERT_EQ(result.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 5.0, kTol);
+}
+
+TEST(BranchAndBoundTest, IntegerInfeasible) {
+  // 2x = 3 with x integer: LP feasible (x=1.5) but no integer solution.
+  Model model;
+  int x = model.AddVariable("x", VarType::kInteger, 0, 10);
+  model.AddRow("odd", {{x, 2.0}}, RowSense::kEq, 3);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  EXPECT_EQ(SolveMilp(model).status, MilpResult::SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, BigMIndicatorPattern) {
+  // The S*(AC) pattern in miniature: z must move from v=5 to satisfy z = 9;
+  // the indicator delta must flip to 1, objective (min delta) = 1.
+  Model model;
+  int z = model.AddVariable("z", VarType::kInteger, -100, 100);
+  int y = model.AddVariable("y", VarType::kInteger, -105, 105);
+  int d = model.AddVariable("d", VarType::kBinary, 0, 1);
+  model.AddRow("def_y", {{y, 1.0}, {z, -1.0}}, RowSense::kEq, -5);  // y=z-5
+  model.AddRow("pos", {{y, 1.0}, {d, -105.0}}, RowSense::kLe, 0);
+  model.AddRow("neg", {{y, -1.0}, {d, -105.0}}, RowSense::kLe, 0);
+  model.AddRow("target", {{z, 1.0}}, RowSense::kEq, 9);
+  model.SetObjective({{d, 1.0}}, 0, ObjectiveSense::kMinimize);
+  MilpResult result = SolveMilp(model);
+  ASSERT_EQ(result.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 1.0, kTol);
+  EXPECT_NEAR(result.point[z], 9.0, kTol);
+  EXPECT_NEAR(result.point[y], 4.0, kTol);
+}
+
+TEST(BranchAndBoundTest, DepthFirstMatchesBestFirst) {
+  Model model;
+  int x = model.AddVariable("x", VarType::kInteger, 0, 7);
+  int y = model.AddVariable("y", VarType::kInteger, 0, 7);
+  model.AddRow("r1", {{x, 3.0}, {y, 5.0}}, RowSense::kLe, 22);
+  model.AddRow("r2", {{x, 4.0}, {y, 2.0}}, RowSense::kLe, 19);
+  model.SetObjective({{x, 5.0}, {y, 4.0}}, 0, ObjectiveSense::kMaximize);
+  MilpOptions depth;
+  depth.node_order = NodeOrder::kDepthFirst;
+  MilpResult best_first = SolveMilp(model);
+  MilpResult depth_first = SolveMilp(model, depth);
+  ASSERT_EQ(best_first.status, MilpResult::SolveStatus::kOptimal);
+  ASSERT_EQ(depth_first.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(best_first.objective, depth_first.objective, kTol);
+}
+
+TEST(BranchAndBoundTest, NodeLimitReported) {
+  Model model;
+  // A 12-binary equality-packing instance that needs some branching.
+  std::vector<int> vars;
+  std::vector<LinearTerm> row, obj;
+  for (int i = 0; i < 12; ++i) {
+    int v = model.AddVariable("b" + std::to_string(i), VarType::kBinary, 0, 1);
+    vars.push_back(v);
+    row.push_back({v, static_cast<double>(2 * i + 3)});
+    obj.push_back({v, 1.0});
+  }
+  model.AddRow("pack", row, RowSense::kEq, 41);
+  model.SetObjective(obj, 0, ObjectiveSense::kMinimize);
+  MilpOptions options;
+  options.max_nodes = 1;
+  options.rounding_heuristic = false;
+  MilpResult result = SolveMilp(model, options);
+  EXPECT_EQ(result.status, MilpResult::SolveStatus::kNodeLimit);
+}
+
+// --- Exhaustive baseline agreement (randomized property test) ------------
+
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, BranchAndBoundMatchesExhaustive) {
+  Rng rng(1234 + GetParam());
+  // Random model: 6 binaries, 2 continuous, 4 random <= rows, random
+  // objective. Both solvers must agree on optimal objective (or both report
+  // infeasible).
+  Model model;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) {
+    vars.push_back(
+        model.AddVariable("b" + std::to_string(i), VarType::kBinary, 0, 1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    vars.push_back(model.AddVariable("x" + std::to_string(i),
+                                     VarType::kContinuous, -5, 5));
+  }
+  for (int r = 0; r < 4; ++r) {
+    std::vector<LinearTerm> terms;
+    for (int v : vars) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({v, static_cast<double>(rng.UniformInt(-4, 4))});
+      }
+    }
+    if (terms.empty()) continue;
+    model.AddRow("r" + std::to_string(r), terms,
+                 rng.Bernoulli(0.3) ? RowSense::kGe : RowSense::kLe,
+                 static_cast<double>(rng.UniformInt(-6, 10)));
+  }
+  std::vector<LinearTerm> objective;
+  for (int v : vars) {
+    objective.push_back({v, static_cast<double>(rng.UniformInt(-5, 5))});
+  }
+  model.SetObjective(objective, 0, ObjectiveSense::kMinimize);
+
+  MilpResult bb = SolveMilp(model);
+  MilpResult ex = SolveByBinaryEnumeration(model);
+  ASSERT_EQ(bb.status == MilpResult::SolveStatus::kOptimal,
+            ex.status == MilpResult::SolveStatus::kOptimal);
+  if (bb.status == MilpResult::SolveStatus::kOptimal) {
+    EXPECT_NEAR(bb.objective, ex.objective, 1e-5)
+        << "disagreement on seed " << GetParam();
+    EXPECT_TRUE(IsFeasiblePoint(model, bb.point, 1e-5));
+    EXPECT_TRUE(IsFeasiblePoint(model, ex.point, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, SolverAgreementTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dart::milp

@@ -1,0 +1,196 @@
+// Tests for the simulation substrate: the cash-budget and catalog fixtures
+// are consistent by construction, the renderer emits parseable documents,
+// and the OCR noise model corrupts deterministically and visibly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "constraints/eval.h"
+#include "constraints/parser.h"
+#include "ocr/cash_budget.h"
+#include "ocr/catalog.h"
+#include "ocr/noise.h"
+#include "wrapper/html_parser.h"
+
+namespace dart::ocr {
+namespace {
+
+cons::ConstraintSet ParseProgram(const rel::Database& db,
+                                 const std::string& program) {
+  cons::ConstraintSet constraints;
+  Status status =
+      cons::ParseConstraintProgram(db.Schema(), program, &constraints);
+  DART_CHECK_MSG(status.ok(), status.ToString());
+  return constraints;
+}
+
+TEST(CashBudgetFixtureTest, PaperExampleMatchesFigure3) {
+  auto db = CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(db.ok());
+  const rel::Relation* relation = db->FindRelation("CashBudget");
+  ASSERT_NE(relation, nullptr);
+  ASSERT_EQ(relation->size(), 20u);
+  // Spot-check tuples against Fig. 3.
+  EXPECT_EQ(relation->At(0, 2), rel::Value("beginning cash"));
+  EXPECT_EQ(relation->At(0, 4), rel::Value(20));
+  EXPECT_EQ(relation->At(3, 4), rel::Value(250));  // the acquisition error
+  EXPECT_EQ(relation->At(13, 4), rel::Value(200));
+  EXPECT_EQ(relation->At(19, 4), rel::Value(90));
+  // The clean variant has 220.
+  auto clean = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->FindRelation("CashBudget")->At(3, 4), rel::Value(220));
+}
+
+class RandomBudgetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBudgetTest, GeneratedBudgetsAreConsistent) {
+  Rng rng(42 + GetParam());
+  CashBudgetOptions options;
+  options.num_years = 1 + GetParam() % 4;
+  options.receipt_details = 1 + GetParam() % 5;
+  options.disbursement_details = 1 + (GetParam() / 2) % 4;
+  auto db = CashBudgetFixture::Random(options, &rng);
+  ASSERT_TRUE(db.ok());
+  cons::ConstraintSet constraints =
+      ParseProgram(*db, CashBudgetFixture::ConstraintProgram());
+  cons::ConsistencyChecker checker(&constraints);
+  auto consistent = checker.IsConsistent(*db);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_TRUE(*consistent);
+  // Row count: years × (receipts + disbursements + 5).
+  const size_t expected =
+      static_cast<size_t>(options.num_years) *
+      (options.receipt_details + options.disbursement_details + 5);
+  EXPECT_EQ(db->FindRelation("CashBudget")->size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomBudgetTest, ::testing::Range(0, 10));
+
+TEST(CashBudgetFixtureTest, YearsChainThroughEndingBalance) {
+  Rng rng(5);
+  CashBudgetOptions options;
+  options.num_years = 3;
+  auto db = CashBudgetFixture::Random(options, &rng);
+  ASSERT_TRUE(db.ok());
+  const rel::Relation* relation = db->FindRelation("CashBudget");
+  const size_t per_year = relation->size() / 3;
+  for (size_t year = 1; year < 3; ++year) {
+    const rel::Value prev_ending =
+        relation->At(year * per_year - 1, 4);               // ending balance
+    const rel::Value this_beginning = relation->At(year * per_year, 4);
+    EXPECT_EQ(prev_ending, this_beginning);
+  }
+}
+
+TEST(CashBudgetFixtureTest, RenderedHtmlRoundTripsStructure) {
+  auto db = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(db.ok());
+  const std::string html = CashBudgetFixture::RenderHtml(*db);
+  auto tables = wrap::ParseHtmlTables(html);
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 2u);
+  // First row of year table carries Year + Section + Subsection + Value;
+  // later rows omit the spanned cells.
+  EXPECT_EQ((*tables)[0].rows.size(), 10u);
+  EXPECT_EQ((*tables)[0].rows[0].size(), 4u);
+  EXPECT_EQ((*tables)[0].rows[1].size(), 2u);
+  EXPECT_EQ((*tables)[0].rows[0][0].text, "2003");
+  EXPECT_EQ((*tables)[0].rows[0][0].rowspan, 10);
+}
+
+TEST(CatalogFixtureTest, GeneratedCatalogsAreConsistent) {
+  Rng rng(17);
+  CatalogOptions options;
+  options.num_categories = 4;
+  options.items_per_category = 3;
+  auto db = CatalogFixture::Random(options, &rng);
+  ASSERT_TRUE(db.ok());
+  cons::ConstraintSet constraints =
+      ParseProgram(*db, CatalogFixture::ConstraintProgram());
+  cons::ConsistencyChecker checker(&constraints);
+  EXPECT_TRUE(*checker.IsConsistent(*db));
+  // 4 × (3 items + 1 total) + 1 grand total.
+  EXPECT_EQ(db->FindRelation("Catalog")->size(), 17u);
+}
+
+TEST(NoiseModelTest, DeterministicUnderSeed) {
+  Rng rng1(9), rng2(9);
+  NoiseModel a({1.0, 1.0, 2, 2}, &rng1);
+  NoiseModel b({1.0, 1.0, 2, 2}, &rng2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.CorruptNumber("12345"), b.CorruptNumber("12345"));
+    EXPECT_EQ(a.CorruptText("beginning cash"), b.CorruptText("beginning cash"));
+  }
+}
+
+TEST(NoiseModelTest, CorruptionIsVisibleAndDigitsOnly) {
+  Rng rng(31);
+  NoiseModel model({1.0, 0.0, 1, 1}, &rng);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out = model.CorruptNumber("220");
+    EXPECT_NE(out, "220");
+    EXPECT_EQ(out.size(), 3u);  // substitutions keep length
+    for (char c : out) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+  EXPECT_EQ(model.numbers_corrupted(), 100u);
+}
+
+TEST(NoiseModelTest, ZeroProbabilityNeverFires) {
+  Rng rng(1);
+  NoiseModel model({0.0, 0.0, 1, 1}, &rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(model.MaybeCorruptNumber("42"), "42");
+    EXPECT_EQ(model.MaybeCorruptText("hello"), "hello");
+  }
+  EXPECT_EQ(model.numbers_corrupted(), 0u);
+  EXPECT_EQ(model.strings_corrupted(), 0u);
+}
+
+TEST(NoiseModelTest, TextCorruptionAlwaysDiffers) {
+  Rng rng(8);
+  NoiseModel model({0.0, 1.0, 1, 2}, &rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(model.CorruptText("beginning cash"), "beginning cash");
+  }
+}
+
+TEST(InjectMeasureErrorsTest, InjectsDistinctCellsWithGroundTruth) {
+  Rng rng(21);
+  auto truth = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(truth.ok());
+  rel::Database noisy = truth->Clone();
+  auto injected = InjectMeasureErrors(&noisy, 5, &rng);
+  ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+  ASSERT_EQ(injected->size(), 5u);
+  std::set<rel::CellRef> cells;
+  for (const InjectedError& error : *injected) {
+    EXPECT_TRUE(cells.insert(error.cell).second) << "duplicate cell";
+    EXPECT_NE(error.true_value, error.corrupted_value);
+    EXPECT_EQ(*noisy.ValueAt(error.cell), error.corrupted_value);
+    EXPECT_EQ(*truth->ValueAt(error.cell), error.true_value);
+  }
+  EXPECT_EQ(*truth->CountDifferences(noisy), 5u);
+}
+
+TEST(InjectMeasureErrorsTest, RefusesMoreErrorsThanCells) {
+  Rng rng(2);
+  auto db = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(InjectMeasureErrors(&*db, 21, &rng).ok());
+}
+
+TEST(NoisyRenderTest, NoiseSurfacesInHtml) {
+  Rng rng(55);
+  auto db = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(db.ok());
+  NoiseModel noise({1.0, 1.0, 1, 2}, &rng);
+  const std::string noisy = CashBudgetFixture::RenderHtml(*db, &noise);
+  const std::string clean = CashBudgetFixture::RenderHtml(*db);
+  EXPECT_NE(noisy, clean);
+  EXPECT_GT(noise.numbers_corrupted() + noise.strings_corrupted(), 0u);
+}
+
+}  // namespace
+}  // namespace dart::ocr

@@ -1,0 +1,161 @@
+// Cross-module property tests. The central one: for any generated corpus
+// with any injected errors, the *ground truth assignment* is always a
+// feasible point of the translated MILP S*(AC) with objective equal to the
+// number of injected errors — so the solver's optimum can never exceed it,
+// and a card-minimal repair always exists for our noise model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "constraints/parser.h"
+#include "milp/model.h"
+#include "ocr/cash_budget.h"
+#include "ocr/catalog.h"
+#include "ocr/noise.h"
+#include "relational/csv.h"
+#include "repair/translator.h"
+#include "util/random.h"
+#include "wrapper/html_parser.h"
+
+namespace dart {
+namespace {
+
+cons::ConstraintSet ParseProgram(const rel::Database& db,
+                                 const std::string& program) {
+  cons::ConstraintSet constraints;
+  Status status =
+      cons::ParseConstraintProgram(db.Schema(), program, &constraints);
+  DART_CHECK_MSG(status.ok(), status.ToString());
+  return constraints;
+}
+
+class TruthFeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TruthFeasibilityTest, GroundTruthIsFeasibleWithErrorCountObjective) {
+  const auto [seed, errors] = GetParam();
+  Rng rng(31000 + seed);
+  ocr::CashBudgetOptions options;
+  options.num_years = 2;
+  auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+  ASSERT_TRUE(truth.ok());
+  rel::Database acquired = truth->Clone();
+  auto injected = ocr::InjectMeasureErrors(&acquired, errors, &rng);
+  ASSERT_TRUE(injected.ok());
+  cons::ConstraintSet constraints =
+      ParseProgram(acquired, ocr::CashBudgetFixture::ConstraintProgram());
+
+  auto translation = repair::TranslateToMilp(acquired, constraints);
+  ASSERT_TRUE(translation.ok()) << translation.status().ToString();
+
+  // Assemble the truth point: z = true value, y = z − v, δ = [y ≠ 0].
+  std::vector<double> point(
+      static_cast<size_t>(translation->model.num_variables()), 0.0);
+  double objective = 0;
+  for (size_t i = 0; i < translation->cells.size(); ++i) {
+    auto true_value = truth->ValueAt(translation->cells[i]);
+    ASSERT_TRUE(true_value.ok());
+    const double z = true_value->AsReal();
+    const double y = z - translation->current_values[i];
+    const double delta = std::fabs(y) > 1e-9 ? 1.0 : 0.0;
+    point[static_cast<size_t>(translation->z_vars[i])] = z;
+    point[static_cast<size_t>(translation->y_vars[i])] = y;
+    point[static_cast<size_t>(translation->delta_vars[i])] = delta;
+    objective += delta;
+  }
+  EXPECT_TRUE(milp::IsFeasiblePoint(translation->model, point, 1e-6))
+      << "truth assignment infeasible for seed " << seed;
+  EXPECT_DOUBLE_EQ(objective, static_cast<double>(errors));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TruthFeasibilityTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Values(1, 3, 5)));
+
+TEST(TruthFeasibilityTest, HoldsForCatalogDomainToo) {
+  Rng rng(555);
+  auto truth = ocr::CatalogFixture::Random({}, &rng);
+  ASSERT_TRUE(truth.ok());
+  rel::Database acquired = truth->Clone();
+  auto injected = ocr::InjectMeasureErrors(&acquired, 3, &rng);
+  ASSERT_TRUE(injected.ok());
+  cons::ConstraintSet constraints =
+      ParseProgram(acquired, ocr::CatalogFixture::ConstraintProgram());
+  auto translation = repair::TranslateToMilp(acquired, constraints);
+  ASSERT_TRUE(translation.ok());
+  std::vector<double> point(
+      static_cast<size_t>(translation->model.num_variables()), 0.0);
+  for (size_t i = 0; i < translation->cells.size(); ++i) {
+    const double z = truth->ValueAt(translation->cells[i])->AsReal();
+    const double y = z - translation->current_values[i];
+    point[static_cast<size_t>(translation->z_vars[i])] = z;
+    point[static_cast<size_t>(translation->y_vars[i])] = y;
+    point[static_cast<size_t>(translation->delta_vars[i])] =
+        std::fabs(y) > 1e-9 ? 1.0 : 0.0;
+  }
+  EXPECT_TRUE(milp::IsFeasiblePoint(translation->model, point, 1e-6));
+}
+
+class CsvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzzTest, RandomRelationsRoundTrip) {
+  Rng rng(47000 + GetParam());
+  auto schema = rel::RelationSchema::Create(
+      "Fuzz", {{"S", rel::Domain::kString, false},
+               {"I", rel::Domain::kInt, true},
+               {"R", rel::Domain::kReal, true}});
+  ASSERT_TRUE(schema.ok());
+  rel::Relation relation(*schema);
+  const char kAlphabet[] = "ab,\"'\n x-";
+  const int rows = static_cast<int>(rng.UniformInt(0, 20));
+  for (int r = 0; r < rows; ++r) {
+    std::string s;
+    const int length = static_cast<int>(rng.UniformInt(0, 12));
+    for (int c = 0; c < length; ++c) {
+      s += kAlphabet[rng.UniformInt(0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)];
+    }
+    const int64_t i = rng.UniformInt(-1000000, 1000000);
+    const double real = rng.UniformReal(-100, 100);
+    ASSERT_TRUE(relation
+                    .Insert({rel::Value(s), rel::Value(i),
+                             rel::Value(std::round(real * 64) / 64)})
+                    .ok());
+  }
+  auto parsed = rel::ReadCsv(*schema, rel::WriteCsv(relation));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), relation.size());
+  for (size_t r = 0; r < relation.size(); ++r) {
+    EXPECT_EQ(parsed->At(r, 0), relation.At(r, 0));
+    EXPECT_EQ(parsed->At(r, 1), relation.At(r, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Range(0, 10));
+
+class HtmlRoundTripFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HtmlRoundTripFuzzTest, RenderedBudgetsAlwaysParseBack) {
+  Rng rng(52000 + GetParam());
+  ocr::CashBudgetOptions options;
+  options.num_years = 1 + static_cast<int>(rng.UniformInt(0, 3));
+  options.receipt_details = 1 + static_cast<int>(rng.UniformInt(0, 4));
+  options.disbursement_details = 1 + static_cast<int>(rng.UniformInt(0, 4));
+  auto db = ocr::CashBudgetFixture::Random(options, &rng);
+  ASSERT_TRUE(db.ok());
+  ocr::NoiseModel noise({0.3, 0.3, 2, 3}, &rng);
+  const std::string html = ocr::CashBudgetFixture::RenderHtml(*db, &noise);
+  auto tables = wrap::ParseHtmlTables(html);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->size(), static_cast<size_t>(options.num_years));
+  const size_t rows_per_year = static_cast<size_t>(
+      options.receipt_details + options.disbursement_details + 5);
+  for (const wrap::HtmlTable& table : *tables) {
+    EXPECT_EQ(table.rows.size(), rows_per_year);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlRoundTripFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dart

@@ -1,0 +1,160 @@
+// Tests for the steadiness analysis (P3 of DESIGN.md): the running example's
+// constraints are steady with the A(κ)/J(κ) sets the paper computes, and the
+// constraint of Example 9 is correctly rejected.
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "constraints/steady.h"
+#include "ocr/cash_budget.h"
+
+namespace dart::cons {
+namespace {
+
+using ocr::CashBudgetFixture;
+
+TEST(SteadyTest, RunningExampleConstraintsAreSteady) {
+  auto db = CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(db.ok());
+  const rel::DatabaseSchema schema = db->Schema();
+  ConstraintSet constraints;
+  ASSERT_TRUE(ParseConstraintProgram(
+                  schema, CashBudgetFixture::ConstraintProgram(), &constraints)
+                  .ok());
+  ASSERT_EQ(constraints.constraints().size(), 3u);
+  for (const AggregateConstraint& constraint : constraints.constraints()) {
+    auto report = AnalyzeSteadiness(schema, constraints, constraint);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->steady()) << constraint.name << ": "
+                                  << report->ToString();
+  }
+  EXPECT_TRUE(RequireAllSteady(schema, constraints).ok());
+}
+
+TEST(SteadyTest, Constraint1SetsMatchPaper) {
+  // "A(Constraint 1) = {Year, Section, Type} and J(Constraint 1) = ∅."
+  auto db = CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(db.ok());
+  const rel::DatabaseSchema schema = db->Schema();
+  ConstraintSet constraints;
+  ASSERT_TRUE(ParseConstraintProgram(
+                  schema, CashBudgetFixture::ConstraintProgram(), &constraints)
+                  .ok());
+  auto report =
+      AnalyzeSteadiness(schema, constraints, constraints.constraints()[0]);
+  ASSERT_TRUE(report.ok());
+  std::vector<AttrRef> expected = {{"CashBudget", "Section"},
+                                   {"CashBudget", "Type"},
+                                   {"CashBudget", "Year"}};
+  EXPECT_EQ(report->a_set, expected);
+  EXPECT_TRUE(report->j_set.empty());
+}
+
+// The schema of Example 9: R1(A1, A2, A3), R2(A4, A5, A6), M_D = {A2, A4}.
+rel::DatabaseSchema Example9Schema() {
+  rel::DatabaseSchema schema;
+  auto r1 = rel::RelationSchema::Create(
+      "R1", {{"A1", rel::Domain::kString, false},
+             {"A2", rel::Domain::kInt, true},
+             {"A3", rel::Domain::kString, false}});
+  auto r2 = rel::RelationSchema::Create(
+      "R2", {{"A4", rel::Domain::kInt, true},
+             {"A5", rel::Domain::kString, false},
+             {"A6", rel::Domain::kInt, false}});
+  DART_CHECK(r1.ok() && r2.ok());
+  DART_CHECK(schema.AddRelation(*r1).ok());
+  DART_CHECK(schema.AddRelation(*r2).ok());
+  return schema;
+}
+
+TEST(SteadyTest, Example9ConstraintIsNotSteady) {
+  const rel::DatabaseSchema schema = Example9Schema();
+  ConstraintSet constraints;
+  // κ: R1(x1,x2,x3), R2(x3,x4,x5) ⟹ χ(x2) ≤ K, χ(x) = sum(A6) from R2
+  // where A5 = x. The paper computes A(κ) = {A5, A2} and J(κ) = {A3, A4};
+  // A2 and A4 are measures, so κ is not steady.
+  Status status = ParseConstraintProgram(schema, R"(
+agg chi(x) := sum(A6) from R2 where A5 = x;
+constraint k: R1(x1, x2, x3), R2(x3, x4, x5) => chi(x2) <= 100;
+)", &constraints);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto report =
+      AnalyzeSteadiness(schema, constraints, constraints.constraints()[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->steady());
+  // A(κ) = {R2.A5, R1.A2} (A5 appears in the WHERE clause; x2 appears in the
+  // WHERE via the parameter and corresponds to R1.A2).
+  std::vector<AttrRef> expected_a = {{"R1", "A2"}, {"R2", "A5"}};
+  EXPECT_EQ(report->a_set, expected_a);
+  // J(κ) = {R1.A3, R2.A4} (x3 is shared between the atoms).
+  std::vector<AttrRef> expected_j = {{"R1", "A3"}, {"R2", "A4"}};
+  EXPECT_EQ(report->j_set, expected_j);
+  // Offenders: the measures A2 and A4.
+  std::vector<AttrRef> expected_offending = {{"R1", "A2"}, {"R2", "A4"}};
+  EXPECT_EQ(report->offending, expected_offending);
+  EXPECT_FALSE(RequireAllSteady(schema, constraints).ok());
+}
+
+TEST(SteadyTest, JoinOnNonMeasureIsSteady) {
+  // Same shape as Example 9 but joining through non-measure attributes and
+  // aggregating with a non-measure WHERE: steady.
+  const rel::DatabaseSchema schema = Example9Schema();
+  ConstraintSet constraints;
+  Status status = ParseConstraintProgram(schema, R"(
+agg chi(x) := sum(A4) from R2 where A5 = x;
+constraint k: R1(x1, _, x3), R2(_, x3, _) => chi(x3) <= 100;
+)", &constraints);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto report =
+      AnalyzeSteadiness(schema, constraints, constraints.constraints()[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->steady()) << report->ToString();
+}
+
+TEST(SteadyTest, SelfJoinVariableEntersJSet) {
+  // The same variable twice within one atom is an implicit self-join; if it
+  // touches a measure position the constraint is not steady.
+  rel::DatabaseSchema schema;
+  auto r = rel::RelationSchema::Create(
+      "R", {{"A", rel::Domain::kInt, true},
+            {"B", rel::Domain::kInt, true},
+            {"C", rel::Domain::kString, false}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(schema.AddRelation(*r).ok());
+  ConstraintSet constraints;
+  Status status = ParseConstraintProgram(schema, R"(
+agg s(x) := sum(B) from R where C = x;
+constraint k: R(v, v, c) => s(c) <= 10;
+)", &constraints);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto report =
+      AnalyzeSteadiness(schema, constraints, constraints.constraints()[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->steady());  // v corresponds to measures A and B
+}
+
+TEST(SteadyTest, ConstantArgumentsNeverOffend) {
+  // Aggregation calls with only constant arguments contribute only WHERE
+  // attributes to A(κ).
+  rel::DatabaseSchema schema;
+  auto r = rel::RelationSchema::Create(
+      "R", {{"K", rel::Domain::kString, false},
+            {"V", rel::Domain::kInt, true}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(schema.AddRelation(*r).ok());
+  ConstraintSet constraints;
+  Status status = ParseConstraintProgram(schema, R"(
+agg s(x) := sum(V) from R where K = x;
+constraint k: R(_, _) => s('total') <= 100;
+)", &constraints);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto report =
+      AnalyzeSteadiness(schema, constraints, constraints.constraints()[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->steady());
+  std::vector<AttrRef> expected = {{"R", "K"}};
+  EXPECT_EQ(report->a_set, expected);
+}
+
+}  // namespace
+}  // namespace dart::cons

@@ -1,0 +1,214 @@
+// Tests for the text-repair substrate: edit distances, the BK-tree index,
+// and the scenario dictionary — including the paper's "bgnning cesh" →
+// "beginning cash" correction (Example 13).
+
+#include <gtest/gtest.h>
+
+#include "textrepair/bktree.h"
+#include "textrepair/dictionary.h"
+#include "textrepair/levenshtein.h"
+#include "util/random.h"
+
+namespace dart::text {
+namespace {
+
+TEST(LevenshteinTest, BaseCases) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+}
+
+TEST(LevenshteinTest, ClassicExamples) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("beginning cash", "bgnning cesh"), 3u);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(DamerauTest, TranspositionCostsOne) {
+  EXPECT_EQ(Levenshtein("ab", "ba"), 2u);
+  EXPECT_EQ(DamerauLevenshtein("ab", "ba"), 1u);
+  EXPECT_EQ(DamerauLevenshtein("receipts", "reciepts"), 1u);
+}
+
+TEST(BoundedLevenshteinTest, ExactWithinBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 5), 3u);
+}
+
+TEST(BoundedLevenshteinTest, ExceedsBound) {
+  EXPECT_GT(BoundedLevenshtein("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedLevenshtein("aaaa", "bbbbbbbb", 3), 3u);
+}
+
+class BoundedAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedAgreementTest, MatchesExactWhenWithinBound) {
+  Rng rng(GetParam());
+  auto random_word = [&](size_t length) {
+    std::string word;
+    for (size_t i = 0; i < length; ++i) {
+      word += static_cast<char>('a' + rng.UniformInt(0, 5));
+    }
+    return word;
+  };
+  for (int i = 0; i < 50; ++i) {
+    std::string a = random_word(static_cast<size_t>(rng.UniformInt(0, 12)));
+    std::string b = random_word(static_cast<size_t>(rng.UniformInt(0, 12)));
+    const size_t exact = Levenshtein(a, b);
+    for (size_t bound : {size_t{0}, size_t{2}, size_t{5}, size_t{20}}) {
+      const size_t banded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(banded, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(banded, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedAgreementTest, ::testing::Range(0, 5));
+
+TEST(SimilarityTest, NormalizedRange) {
+  EXPECT_DOUBLE_EQ(Similarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(Similarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(Similarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(Similarity("beginning cash", "bgnning cesh"),
+              1.0 - 3.0 / 14.0, 1e-12);
+}
+
+TEST(SimilarityTest, CaseInsensitiveVariant) {
+  EXPECT_DOUBLE_EQ(SimilarityIgnoreCase("Receipts", "RECEIPTS"), 1.0);
+  EXPECT_LT(Similarity("Receipts", "RECEIPTS"), 1.0);
+}
+
+TEST(BkTreeTest, InsertAndRadiusSearch) {
+  BkTree tree;
+  for (const char* word :
+       {"book", "books", "cake", "boo", "cape", "cart", "boon", "cook"}) {
+    tree.Insert(word);
+  }
+  EXPECT_EQ(tree.size(), 8u);
+  auto hits = tree.RadiusSearch("book", 1);
+  // book(0), books(1), boo(1), boon(1), cook(1).
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].first, "book");
+  EXPECT_EQ(hits[0].second, 0u);
+  for (const auto& [word, distance] : hits) EXPECT_LE(distance, 1u);
+}
+
+TEST(BkTreeTest, DuplicatesIgnored) {
+  BkTree tree;
+  tree.Insert("same");
+  tree.Insert("same");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BkTreeTest, NearestFindsClosest) {
+  BkTree tree;
+  for (const char* word : {"receipts", "disbursements", "balance"}) {
+    tree.Insert(word);
+  }
+  auto nearest = tree.Nearest("reciepts");
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->first, "receipts");
+  EXPECT_EQ(nearest->second, 2u);
+}
+
+TEST(BkTreeTest, NearestRespectsMaxDistance) {
+  BkTree tree;
+  tree.Insert("abcdefgh");
+  EXPECT_FALSE(tree.Nearest("zzz", 2).has_value());
+  EXPECT_TRUE(tree.Nearest("abcdefgx", 2).has_value());
+}
+
+TEST(BkTreeTest, EmptyTree) {
+  BkTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.Nearest("x").has_value());
+  EXPECT_TRUE(tree.RadiusSearch("x", 3).empty());
+}
+
+TEST(BkTreeTest, NearestAgreesWithLinearScan) {
+  Rng rng(77);
+  std::vector<std::string> words;
+  BkTree tree;
+  for (int i = 0; i < 200; ++i) {
+    std::string word;
+    const int length = static_cast<int>(rng.UniformInt(3, 9));
+    for (int c = 0; c < length; ++c) {
+      word += static_cast<char>('a' + rng.UniformInt(0, 7));
+    }
+    words.push_back(word);
+    tree.Insert(word);
+  }
+  for (int q = 0; q < 30; ++q) {
+    std::string query;
+    const int length = static_cast<int>(rng.UniformInt(3, 9));
+    for (int c = 0; c < length; ++c) {
+      query += static_cast<char>('a' + rng.UniformInt(0, 7));
+    }
+    auto nearest = tree.Nearest(query);
+    ASSERT_TRUE(nearest.has_value());
+    size_t best = std::string::npos;
+    for (const std::string& word : words) {
+      best = std::min(best, Levenshtein(query, word));
+    }
+    EXPECT_EQ(nearest->second, best) << "query " << query;
+  }
+}
+
+TEST(DictionaryTest, PaperExample13Correction) {
+  Dictionary dictionary;
+  dictionary.AddTerms({"beginning cash", "cash sales", "receivables",
+                       "total cash receipts", "payment of accounts",
+                       "capital expenditure", "long-term financing",
+                       "total disbursements", "net cash inflow",
+                       "ending cash balance"});
+  auto correction = dictionary.Correct("bgnning cesh");
+  ASSERT_TRUE(correction.has_value());
+  EXPECT_EQ(correction->term, "beginning cash");
+  EXPECT_EQ(correction->distance, 3u);
+  EXPECT_GT(correction->similarity, 0.75);
+}
+
+TEST(DictionaryTest, CaseInsensitiveExactMatch) {
+  Dictionary dictionary;
+  dictionary.AddTerm("Receipts");
+  EXPECT_TRUE(dictionary.Contains("receipts"));
+  EXPECT_TRUE(dictionary.Contains("RECEIPTS"));
+  auto correction = dictionary.Correct("receipts");
+  ASSERT_TRUE(correction.has_value());
+  EXPECT_EQ(correction->term, "Receipts");  // canonical spelling returned
+  EXPECT_DOUBLE_EQ(correction->similarity, 1.0);
+}
+
+TEST(DictionaryTest, MinSimilarityThreshold) {
+  Dictionary dictionary;
+  dictionary.AddTerm("balance");
+  EXPECT_FALSE(dictionary.Correct("zzzzzzz", 0.5).has_value());
+  EXPECT_TRUE(dictionary.Correct("balanse", 0.5).has_value());
+}
+
+TEST(DictionaryTest, SuggestionsOrderedBestFirst) {
+  Dictionary dictionary;
+  dictionary.AddTerms({"cart", "card", "care", "cataract"});
+  auto suggestions = dictionary.Suggestions("carp", 2);
+  ASSERT_GE(suggestions.size(), 3u);
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_LE(suggestions[i - 1].distance, suggestions[i].distance);
+  }
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  Dictionary dictionary;
+  EXPECT_EQ(dictionary.size(), 0u);
+  EXPECT_FALSE(dictionary.Correct("x").has_value());
+}
+
+}  // namespace
+}  // namespace dart::text
