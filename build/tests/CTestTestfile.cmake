@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/steady_test[1]_include.cmake")
+include("/root/repo/build/tests/milp_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/textrepair_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_test[1]_include.cmake")
+include("/root/repo/build/tests/dbgen_test[1]_include.cmake")
+include("/root/repo/build/tests/ocr_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/cqa_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_repair_test[1]_include.cmake")
+include("/root/repo/build/tests/acquire_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_io_test[1]_include.cmake")
+include("/root/repo/build/tests/presolve_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/real_domain_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_relation_test[1]_include.cmake")
+include("/root/repo/build/tests/display_test[1]_include.cmake")
+include("/root/repo/build/tests/warmstart_test[1]_include.cmake")
+include("/root/repo/build/tests/expense_test[1]_include.cmake")
