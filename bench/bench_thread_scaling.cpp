@@ -1,0 +1,92 @@
+// Experiment E14 (EXPERIMENTS.md): repair solve time vs solver thread count.
+// The same 12-year cash-budget instance as E1's largest point, solved with
+// the work-stealing branch-and-bound at 1/2/4/8 threads. Counters expose the
+// scheduler internals: per-run B&B nodes, work-steal transfers, and the wall
+// time spent inside the MILP search itself (excluding translation/presolve).
+// Expect near-linear scaling until the open-node frontier is smaller than the
+// worker count (frontier starvation); on this instance the frontier is narrow
+// early on, so speedup saturates well below thread count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "milp/branch_and_bound.h"
+#include "repair/engine.h"
+#include "repair/translator.h"
+
+namespace {
+
+// End-to-end repair with an N-thread MILP solver.
+void BM_RepairVsThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/42, /*years=*/12,
+                                      /*num_errors=*/2);
+  dart::repair::RepairEngineOptions options;
+  options.milp.num_threads = threads;
+  dart::repair::RepairEngine engine(options);
+  int64_t nodes = 0, steals = 0;
+  double milp_wall = 0;
+  size_t cardinality = 0;
+  for (auto _ : state) {
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.cardinality());
+    nodes = outcome->stats.nodes;
+    steals = outcome->stats.milp_steals;
+    milp_wall = outcome->stats.milp_wall_seconds;
+    cardinality = outcome->repair.cardinality();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["milp_wall_s"] = milp_wall;
+  state.counters["repair_card"] = static_cast<double>(cardinality);
+}
+
+BENCHMARK(BM_RepairVsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The raw MILP solve alone (translation hoisted out of the loop): the purest
+// view of scheduler scaling, with no engine overhead in the numerator.
+void BM_MilpSolveVsThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/42, /*years=*/12,
+                                      /*num_errors=*/2);
+  auto translation =
+      dart::repair::TranslateToMilp(scenario.acquired, scenario.constraints);
+  DART_CHECK_MSG(translation.ok(), translation.status().ToString());
+  dart::milp::MilpOptions options;
+  options.objective_is_integral = true;
+  options.num_threads = threads;
+  int64_t nodes = 0, steals = 0;
+  for (auto _ : state) {
+    dart::milp::MilpResult solved =
+        dart::milp::SolveMilp(translation->model, options);
+    DART_CHECK_MSG(solved.status == dart::milp::MilpResult::SolveStatus::kOptimal,
+                   "thread-scaling bench instance must solve to optimality");
+    benchmark::DoNotOptimize(solved.objective);
+    nodes = solved.nodes;
+    steals = solved.steals;
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["steals"] = static_cast<double>(steals);
+}
+
+BENCHMARK(BM_MilpSolveVsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

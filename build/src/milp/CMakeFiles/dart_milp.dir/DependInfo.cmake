@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/milp/exhaustive.cpp" "src/milp/CMakeFiles/dart_milp.dir/exhaustive.cpp.o" "gcc" "src/milp/CMakeFiles/dart_milp.dir/exhaustive.cpp.o.d"
   "/root/repo/src/milp/model.cpp" "src/milp/CMakeFiles/dart_milp.dir/model.cpp.o" "gcc" "src/milp/CMakeFiles/dart_milp.dir/model.cpp.o.d"
   "/root/repo/src/milp/presolve.cpp" "src/milp/CMakeFiles/dart_milp.dir/presolve.cpp.o" "gcc" "src/milp/CMakeFiles/dart_milp.dir/presolve.cpp.o.d"
+  "/root/repo/src/milp/scheduler.cpp" "src/milp/CMakeFiles/dart_milp.dir/scheduler.cpp.o" "gcc" "src/milp/CMakeFiles/dart_milp.dir/scheduler.cpp.o.d"
   "/root/repo/src/milp/simplex.cpp" "src/milp/CMakeFiles/dart_milp.dir/simplex.cpp.o" "gcc" "src/milp/CMakeFiles/dart_milp.dir/simplex.cpp.o.d"
   )
 

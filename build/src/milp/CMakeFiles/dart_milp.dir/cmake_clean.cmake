@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dart_milp.dir/model.cpp.o.d"
   "CMakeFiles/dart_milp.dir/presolve.cpp.o"
   "CMakeFiles/dart_milp.dir/presolve.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/scheduler.cpp.o"
+  "CMakeFiles/dart_milp.dir/scheduler.cpp.o.d"
   "CMakeFiles/dart_milp.dir/simplex.cpp.o"
   "CMakeFiles/dart_milp.dir/simplex.cpp.o.d"
   "libdart_milp.a"

@@ -28,3 +28,4 @@ include("/root/repo/build/tests/cross_relation_test[1]_include.cmake")
 include("/root/repo/build/tests/display_test[1]_include.cmake")
 include("/root/repo/build/tests/warmstart_test[1]_include.cmake")
 include("/root/repo/build/tests/expense_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_milp_test[1]_include.cmake")

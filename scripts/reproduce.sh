@@ -18,4 +18,16 @@ for b in build/bench/*; do
   echo | tee -a bench_output.txt
 done
 
-echo "Done: test_output.txt, bench_output.txt"
+# Machine-readable pass: each google-benchmark binary again with JSON output,
+# one BENCH_<name>.json per binary at the repo root (diffable against the
+# checked-in BENCH_bench_repair_scaling.seed.json baseline).
+GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
+bench_end_to_end bench_presolve_ablation bench_thread_scaling"
+for name in $GBENCHES; do
+  b="build/bench/$name"
+  [ -x "$b" ] || continue
+  echo "===== $name (json) ====="
+  "$b" --benchmark_format=json > "BENCH_${name}.json"
+done
+
+echo "Done: test_output.txt, bench_output.txt, BENCH_*.json"

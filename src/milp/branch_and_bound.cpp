@@ -1,11 +1,13 @@
 #include "milp/branch_and_bound.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <memory>
-#include <queue>
+
+#include "milp/branching.h"
+#include "milp/scheduler.h"
 
 namespace dart::milp {
 
@@ -15,8 +17,15 @@ const char* MilpStatusName(MilpResult::SolveStatus status) {
     case MilpResult::SolveStatus::kInfeasible: return "infeasible";
     case MilpResult::SolveStatus::kNodeLimit: return "node-limit";
     case MilpResult::SolveStatus::kUnbounded: return "unbounded";
+    case MilpResult::SolveStatus::kLpRelaxationInfeasible:
+      return "lp-relaxation-infeasible";
   }
   return "unknown";
+}
+
+bool IsInfeasibleStatus(MilpResult::SolveStatus status) {
+  return status == MilpResult::SolveStatus::kInfeasible ||
+         status == MilpResult::SolveStatus::kLpRelaxationInfeasible;
 }
 
 namespace {
@@ -30,37 +39,23 @@ struct Node {
 };
 
 struct NodeCompare {
-  bool operator()(const std::shared_ptr<Node>& a,
-                  const std::shared_ptr<Node>& b) const {
-    return a->parent_bound > b->parent_bound;  // min-heap on bound
+  bool operator()(const Node& a, const Node& b) const {
+    return a.parent_bound > b.parent_bound;  // min-heap on bound
   }
 };
 
-/// Picks the branching variable among fractional integer variables; -1 if
-/// the point is integral.
-int PickBranchVariable(const Model& model, const std::vector<double>& point,
-                       double int_tol, BranchRule rule) {
-  int chosen = -1;
-  double best_score = -1;
-  for (int i = 0; i < model.num_variables(); ++i) {
-    if (model.variable(i).type == VarType::kContinuous) continue;
-    const double value = point[i];
-    const double fraction = value - std::floor(value);
-    const double dist = std::min(fraction, 1.0 - fraction);
-    if (dist <= int_tol) continue;
-    if (rule == BranchRule::kFirstFractional) return i;
-    if (dist > best_score) {
-      best_score = dist;
-      chosen = i;
-    }
-  }
-  return chosen;
-}
-
-}  // namespace
-
-MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
+MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
+  const auto t_begin = std::chrono::steady_clock::now();
   MilpResult result;
+  auto finish = [&]() -> MilpResult& {
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+    result.per_thread_nodes = {result.nodes};
+    return result;
+  };
+
   const int n = model.num_variables();
   const double sense_factor =
       model.objective_sense() == ObjectiveSense::kMinimize ? 1.0 : -1.0;
@@ -70,10 +65,11 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
   double incumbent_key = kInf;
 
   // Returns true iff the snapped candidate is feasible (whether or not it
-  // improves the incumbent).
+  // improves the incumbent). `snapped` scratch is reused across calls.
+  std::vector<double> snapped;
   auto try_incumbent = [&](const std::vector<double>& candidate) {
     // Snap integer variables and verify feasibility exactly.
-    std::vector<double> snapped = candidate;
+    snapped = candidate;
     for (int i = 0; i < n; ++i) {
       if (model.variable(i).type != VarType::kContinuous) {
         snapped[i] = std::round(snapped[i]);
@@ -86,7 +82,7 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
     if (key < incumbent_key - 1e-9) {
       incumbent_key = key;
       result.objective = objective;
-      result.point = std::move(snapped);
+      result.point = snapped;
       result.has_incumbent = true;
     }
     return true;
@@ -98,21 +94,25 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
     try_incumbent(options.initial_point);
   }
 
-  auto root = std::make_shared<Node>();
-  root->lower.resize(n);
-  root->upper.resize(n);
-  for (int i = 0; i < n; ++i) {
-    root->lower[i] = model.variable(i).lower;
-    root->upper[i] = model.variable(i).upper;
-  }
+  // The standard form is extracted once; every node solve only patches
+  // bounds and reuses the scratch tableau (see simplex.h).
+  StandardForm form(model);
+  LpScratch scratch;
+  LpResult lp;
 
-  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
-                      NodeCompare>
-      best_first;
-  std::deque<std::shared_ptr<Node>> depth_first;
-  auto push = [&](std::shared_ptr<Node> node) {
+  Node root;
+  root.lower = form.var_lower;
+  root.upper = form.var_upper;
+
+  // Best-first: a binary heap over a plain vector (same algorithm as
+  // std::priority_queue, but pop can move the node out instead of copying).
+  std::vector<Node> best_first;
+  std::deque<Node> depth_first;
+  const NodeCompare compare;
+  auto push = [&](Node node) {
     if (options.node_order == NodeOrder::kBestFirst) {
-      best_first.push(std::move(node));
+      best_first.push_back(std::move(node));
+      std::push_heap(best_first.begin(), best_first.end(), compare);
     } else {
       depth_first.push_back(std::move(node));
     }
@@ -122,30 +122,26 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
                                                        : depth_first.empty();
   };
   auto pop = [&] {
-    std::shared_ptr<Node> node;
+    Node node;
     if (options.node_order == NodeOrder::kBestFirst) {
-      node = best_first.top();
-      best_first.pop();
+      std::pop_heap(best_first.begin(), best_first.end(), compare);
+      node = std::move(best_first.back());
+      best_first.pop_back();
     } else {
-      node = depth_first.back();
+      node = std::move(depth_first.back());
       depth_first.pop_back();
     }
     return node;
   };
 
-  push(root);
+  push(std::move(root));
   double best_open_bound = -kInf;  // tightest bound among unexplored nodes
   bool hit_node_limit = false;
   bool any_feasible_lp = false;
 
-  // A node bound can be pruned against the incumbent; with an integral
-  // objective we can round bounds up (minimize-space).
   auto prunable = [&](double bound_key) {
-    double effective = bound_key;
-    if (options.objective_is_integral) {
-      effective = std::ceil(bound_key - 1e-6);
-    }
-    return effective >= incumbent_key - 1e-9;
+    return internal::BoundPrunable(bound_key, incumbent_key,
+                                   options.objective_is_integral);
   };
 
   while (!empty()) {
@@ -153,17 +149,16 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
       hit_node_limit = true;
       break;
     }
-    std::shared_ptr<Node> node = pop();
-    if (prunable(node->parent_bound)) continue;
+    Node node = pop();
+    if (prunable(node.parent_bound)) continue;
 
     ++result.nodes;
-    LpResult lp = SolveLpRelaxation(model, options.lp, &node->lower,
-                                    &node->upper);
+    SolveLpCached(form, options.lp, node.lower, node.upper, &scratch, &lp);
     result.lp_iterations += lp.iterations;
     if (lp.status == LpResult::SolveStatus::kInfeasible) continue;
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
       result.status = MilpResult::SolveStatus::kUnbounded;
-      return result;
+      return finish();
     }
     if (lp.status == LpResult::SolveStatus::kIterationLimit) {
       // Treat as unexplorable; conservatively keep going. This cannot cut off
@@ -177,39 +172,46 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
     const double bound_key = sense_factor * lp.objective;
     if (prunable(bound_key)) continue;
 
-    int branch_var = PickBranchVariable(model, lp.point, options.int_tol,
-                                        options.branch_rule);
+    int branch_var = internal::PickBranchVariable(model, lp.point,
+                                                  options.int_tol,
+                                                  options.branch_rule);
     if (branch_var < 0) {
       if (try_incumbent(lp.point)) continue;  // LP optimum is integral
       // Near-integral but unsnappable: big-M rows make a δ of ~|y|/M pass
       // the integrality tolerance while rounding it to 0 is infeasible.
       // Branch on the least-integral variable anyway (tolerance 0); only a
       // genuinely all-integral infeasible point may be abandoned.
-      branch_var =
-          PickBranchVariable(model, lp.point, 0.0, options.branch_rule);
+      branch_var = internal::PickBranchVariable(model, lp.point, 0.0,
+                                                options.branch_rule);
       if (branch_var < 0) continue;
     } else if (options.rounding_heuristic) {
       try_incumbent(lp.point);
     }
 
     const double value = lp.point[branch_var];
-    // Down child: x <= floor(value).
+    // Down child: x <= floor(value). Copies the parent's bounds; the up
+    // child below then steals them, so each expansion copies the two bound
+    // vectors once instead of twice.
     {
-      auto child = std::make_shared<Node>(*node);
-      child->upper[branch_var] = std::floor(value);
-      child->parent_bound = bound_key;
-      child->depth = node->depth + 1;
-      if (child->lower[branch_var] <= child->upper[branch_var] + 1e-9) {
+      Node child;
+      child.lower = node.lower;
+      child.upper = node.upper;
+      child.upper[branch_var] = std::floor(value);
+      child.parent_bound = bound_key;
+      child.depth = node.depth + 1;
+      if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         push(std::move(child));
       }
     }
     // Up child: x >= ceil(value).
     {
-      auto child = std::make_shared<Node>(*node);
-      child->lower[branch_var] = std::ceil(value);
-      child->parent_bound = bound_key;
-      child->depth = node->depth + 1;
-      if (child->lower[branch_var] <= child->upper[branch_var] + 1e-9) {
+      Node child;
+      child.lower = std::move(node.lower);
+      child.upper = std::move(node.upper);
+      child.lower[branch_var] = std::ceil(value);
+      child.parent_bound = bound_key;
+      child.depth = node.depth + 1;
+      if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         push(std::move(child));
       }
     }
@@ -219,12 +221,11 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
   best_open_bound = incumbent_key;
   if (hit_node_limit) {
     double open = kInf;
-    while (!best_first.empty()) {
-      open = std::min(open, best_first.top()->parent_bound);
-      best_first.pop();
+    for (const Node& node : best_first) {
+      open = std::min(open, node.parent_bound);
     }
-    for (const auto& node : depth_first) {
-      open = std::min(open, node->parent_bound);
+    for (const Node& node : depth_first) {
+      open = std::min(open, node.parent_bound);
     }
     best_open_bound = std::min(incumbent_key, open);
   }
@@ -236,10 +237,23 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
     result.status = MilpResult::SolveStatus::kOptimal;
     result.best_bound = result.objective;
   } else {
-    result.status = any_feasible_lp ? MilpResult::SolveStatus::kInfeasible
-                                    : MilpResult::SolveStatus::kInfeasible;
+    // No integral point anywhere. Distinguish "integer infeasible" (some LP
+    // relaxation was feasible) from "even the continuous relaxation is
+    // infeasible" (no node had a feasible LP).
+    result.status = any_feasible_lp
+                        ? MilpResult::SolveStatus::kInfeasible
+                        : MilpResult::SolveStatus::kLpRelaxationInfeasible;
   }
-  return result;
+  return finish();
+}
+
+}  // namespace
+
+MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
+  if (options.num_threads > 1) {
+    return SolveMilpParallel(model, options);
+  }
+  return SolveMilpSerial(model, options);
 }
 
 }  // namespace dart::milp

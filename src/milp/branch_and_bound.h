@@ -11,6 +11,10 @@
 /// DART's stand-in for the commercial LINDO API the paper used (Sec. 6.3);
 /// any exact solver returns the same optimal objective, which is what the
 /// card-minimal repair semantics needs.
+///
+/// The search runs serially by default; MilpOptions::num_threads > 1 switches
+/// to the work-stealing parallel scheduler (scheduler.h). num_threads == 1
+/// reproduces the serial algorithm exactly (same pivots, same node count).
 
 namespace dart::milp {
 
@@ -40,6 +44,13 @@ struct MilpOptions {
   bool rounding_heuristic = true;
   BranchRule branch_rule = BranchRule::kMostFractional;
   NodeOrder node_order = NodeOrder::kBestFirst;
+  /// Worker threads for the branch-and-bound search (values < 1 are treated
+  /// as 1). 1 runs the serial algorithm; > 1 runs the work-stealing parallel
+  /// scheduler, which explores per-worker depth-first with steal-from-top
+  /// (node_order applies to the serial path only). The optimal objective is
+  /// identical in all configurations; node counts may differ run-to-run for
+  /// > 1 because incumbents are discovered in nondeterministic order.
+  int num_threads = 1;
   /// Optional warm start: a point to try as the initial incumbent (snapped
   /// and feasibility-checked; silently ignored when the size is wrong or the
   /// point infeasible). Typical source: the previous validation-loop
@@ -50,9 +61,12 @@ struct MilpOptions {
 struct MilpResult {
   enum class SolveStatus {
     kOptimal,
-    kInfeasible,
-    kNodeLimit,   ///< stopped early; `point` holds the incumbent if any.
+    kInfeasible,   ///< LP relaxations were feasible but no integral point is.
+    kNodeLimit,    ///< stopped early; `point` holds the incumbent if any.
     kUnbounded,
+    /// Not even the continuous relaxation has a feasible point (every node's
+    /// LP was infeasible) — a strictly stronger certificate than kInfeasible.
+    kLpRelaxationInfeasible,
   };
 
   SolveStatus status = SolveStatus::kInfeasible;
@@ -67,9 +81,20 @@ struct MilpResult {
   // Statistics.
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  /// Wall-clock seconds spent inside the solve (search only, not model
+  /// construction).
+  double wall_seconds = 0;
+  /// Nodes explored by each worker (size 1 for the serial path).
+  std::vector<int64_t> per_thread_nodes;
+  /// Work-stealing transfers between workers (0 for the serial path).
+  int64_t steals = 0;
 };
 
 const char* MilpStatusName(MilpResult::SolveStatus status);
+
+/// True for both infeasibility flavours (kInfeasible and
+/// kLpRelaxationInfeasible).
+bool IsInfeasibleStatus(MilpResult::SolveStatus status);
 
 /// Solves `model` to proven optimality (or until the node limit).
 MilpResult SolveMilp(const Model& model, const MilpOptions& options = {});

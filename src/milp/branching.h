@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "milp/branch_and_bound.h"
+#include "milp/model.h"
+
+/// \file branching.h
+/// Branching helpers shared by the serial (branch_and_bound.cpp) and parallel
+/// (scheduler.cpp) searches. Internal to src/milp.
+
+namespace dart::milp::internal {
+
+/// Picks the branching variable among fractional integer variables; -1 if
+/// the point is integral.
+inline int PickBranchVariable(const Model& model,
+                              const std::vector<double>& point, double int_tol,
+                              BranchRule rule) {
+  int chosen = -1;
+  double best_score = -1;
+  for (int i = 0; i < model.num_variables(); ++i) {
+    if (model.variable(i).type == VarType::kContinuous) continue;
+    const double value = point[i];
+    const double fraction = value - std::floor(value);
+    const double dist = std::min(fraction, 1.0 - fraction);
+    if (dist <= int_tol) continue;
+    if (rule == BranchRule::kFirstFractional) return i;
+    if (dist > best_score) {
+      best_score = dist;
+      chosen = i;
+    }
+  }
+  return chosen;
+}
+
+/// A node bound can be pruned against the incumbent; with an integral
+/// objective we can round bounds up (minimize-space).
+inline bool BoundPrunable(double bound_key, double incumbent_key,
+                          bool objective_is_integral) {
+  double effective = bound_key;
+  if (objective_is_integral) {
+    effective = std::ceil(bound_key - 1e-6);
+  }
+  return effective >= incumbent_key - 1e-9;
+}
+
+}  // namespace dart::milp::internal

@@ -1,0 +1,366 @@
+#include "milp/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "milp/branching.h"
+#include "milp/simplex.h"
+
+namespace dart::milp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound = -kInf;
+  int depth = 0;
+};
+
+/// One worker's node store. The owner treats it as a LIFO stack (bottom);
+/// thieves take from the top. A plain mutex is enough: nodes are coarse
+/// (each one is a full LP solve), so the lock is uncontended in practice.
+class WorkerDeque {
+ public:
+  void PushBottom(Node&& node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    deque_.push_back(std::move(node));
+  }
+
+  bool PopBottom(Node* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deque_.empty()) return false;
+    *out = std::move(deque_.back());
+    deque_.pop_back();
+    return true;
+  }
+
+  bool StealTop(Node* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deque_.empty()) return false;
+    *out = std::move(deque_.front());
+    deque_.pop_front();
+    return true;
+  }
+
+  /// Post-join inspection (no concurrent access remains).
+  const std::deque<Node>& Drain() const { return deque_; }
+
+ private:
+  std::mutex mu_;
+  std::deque<Node> deque_;
+};
+
+/// State shared by all workers.
+struct SharedState {
+  // Incumbent. `incumbent_key` (minimize-space) is the lock-free mirror read
+  // by the prune test; the mutex guards the full update.
+  std::atomic<double> incumbent_key{kInf};
+  std::mutex incumbent_mu;
+  double incumbent_objective = 0;        // guarded by incumbent_mu
+  std::vector<double> incumbent_point;   // guarded by incumbent_mu
+  bool has_incumbent = false;            // guarded by incumbent_mu
+
+  /// Nodes that exist anywhere: queued in a deque or being expanded. A
+  /// worker holding a node keeps the count positive until the node (and its
+  /// pushed children) are accounted, so count == 0 means the tree is done.
+  std::atomic<int64_t> open_nodes{0};
+  std::atomic<int64_t> nodes_explored{0};
+  std::atomic<int64_t> lp_iterations{0};
+  std::atomic<int64_t> steals{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> unbounded{false};
+  std::atomic<bool> hit_node_limit{false};
+  std::atomic<bool> any_feasible_lp{false};
+};
+
+/// Snap-and-verify incumbent candidate; returns true iff the snapped point
+/// is feasible. Improving candidates are installed under the mutex.
+bool TryIncumbent(const Model& model, double sense_factor,
+                  const std::vector<double>& candidate, SharedState* shared,
+                  std::vector<double>* snapped_buf) {
+  *snapped_buf = candidate;
+  std::vector<double>& snapped = *snapped_buf;
+  const int n = model.num_variables();
+  for (int i = 0; i < n; ++i) {
+    if (model.variable(i).type != VarType::kContinuous) {
+      snapped[i] = std::round(snapped[i]);
+    }
+  }
+  if (!IsFeasiblePoint(model, snapped, 1e-6)) return false;
+  const double objective =
+      model.objective_constant() + EvalTerms(model.objective_terms(), snapped);
+  const double key = sense_factor * objective;
+  if (key < shared->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
+    std::lock_guard<std::mutex> lock(shared->incumbent_mu);
+    // Re-check under the lock: another worker may have improved it first.
+    if (key < shared->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
+      shared->incumbent_objective = objective;
+      shared->incumbent_point = snapped;
+      shared->has_incumbent = true;
+      shared->incumbent_key.store(key, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
+struct WorkerContext {
+  const Model* model = nullptr;
+  const StandardForm* form = nullptr;
+  const MilpOptions* options = nullptr;
+  SharedState* shared = nullptr;
+  std::vector<WorkerDeque>* deques = nullptr;
+  int id = 0;
+  int64_t nodes = 0;  // written by this worker only, read after join
+};
+
+void WorkerMain(WorkerContext* ctx) {
+  const Model& model = *ctx->model;
+  const MilpOptions& options = *ctx->options;
+  SharedState* shared = ctx->shared;
+  std::vector<WorkerDeque>& deques = *ctx->deques;
+  const int num_workers = static_cast<int>(deques.size());
+  const double sense_factor = ctx->form->sense_factor;
+
+  LpScratch scratch;
+  LpResult lp;
+  std::vector<double> snapped;
+  int idle_spins = 0;
+
+  auto prunable = [&](double bound_key) {
+    return internal::BoundPrunable(
+        bound_key, shared->incumbent_key.load(std::memory_order_relaxed),
+        options.objective_is_integral);
+  };
+
+  Node node;
+  while (!shared->abort.load(std::memory_order_relaxed)) {
+    bool got = deques[ctx->id].PopBottom(&node);
+    if (!got) {
+      for (int k = 1; k < num_workers && !got; ++k) {
+        got = deques[(ctx->id + k) % num_workers].StealTop(&node);
+      }
+      if (got) shared->steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!got) {
+      if (shared->open_nodes.load(std::memory_order_acquire) == 0) break;
+      if (++idle_spins > 64) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    idle_spins = 0;
+
+    if (prunable(node.parent_bound)) {
+      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    if (options.max_nodes > 0 &&
+        shared->nodes_explored.load(std::memory_order_relaxed) >=
+            options.max_nodes) {
+      // Push the node back so its bound still counts in the gap report, then
+      // stop the whole search.
+      deques[ctx->id].PushBottom(std::move(node));
+      shared->hit_node_limit.store(true, std::memory_order_relaxed);
+      shared->abort.store(true, std::memory_order_relaxed);
+      break;
+    }
+
+    ++ctx->nodes;
+    shared->nodes_explored.fetch_add(1, std::memory_order_relaxed);
+    SolveLpCached(*ctx->form, options.lp, node.lower, node.upper, &scratch,
+                  &lp);
+    shared->lp_iterations.fetch_add(lp.iterations,
+                                    std::memory_order_relaxed);
+
+    if (lp.status == LpResult::SolveStatus::kInfeasible) {
+      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (lp.status == LpResult::SolveStatus::kUnbounded) {
+      shared->unbounded.store(true, std::memory_order_relaxed);
+      shared->abort.store(true, std::memory_order_relaxed);
+      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      break;
+    }
+    if (lp.status == LpResult::SolveStatus::kIterationLimit) {
+      // Same conservative treatment as the serial solver: record an early
+      // stop, skip the node.
+      shared->hit_node_limit.store(true, std::memory_order_relaxed);
+      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    shared->any_feasible_lp.store(true, std::memory_order_relaxed);
+    const double bound_key = sense_factor * lp.objective;
+    if (prunable(bound_key)) {
+      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    int branch_var = internal::PickBranchVariable(model, lp.point,
+                                                  options.int_tol,
+                                                  options.branch_rule);
+    if (branch_var < 0) {
+      if (TryIncumbent(model, sense_factor, lp.point, shared, &snapped)) {
+        shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+        continue;  // LP optimum is integral
+      }
+      // Near-integral but unsnappable (see the serial solver): branch on the
+      // least-integral variable with tolerance 0.
+      branch_var = internal::PickBranchVariable(model, lp.point, 0.0,
+                                                options.branch_rule);
+      if (branch_var < 0) {
+        shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+    } else if (options.rounding_heuristic) {
+      TryIncumbent(model, sense_factor, lp.point, shared, &snapped);
+    }
+
+    const double value = lp.point[branch_var];
+    // Down child copies the parent's bounds, up child steals them. Children
+    // go to the owner's bottom: the worker dives depth-first while idle
+    // workers steal the shallower sibling from the top.
+    {
+      Node child;
+      child.lower = node.lower;
+      child.upper = node.upper;
+      child.upper[branch_var] = std::floor(value);
+      child.parent_bound = bound_key;
+      child.depth = node.depth + 1;
+      if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
+        shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
+        deques[ctx->id].PushBottom(std::move(child));
+      }
+    }
+    {
+      Node child;
+      child.lower = std::move(node.lower);
+      child.upper = std::move(node.upper);
+      child.lower[branch_var] = std::ceil(value);
+      child.parent_bound = bound_key;
+      child.depth = node.depth + 1;
+      if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
+        shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
+        deques[ctx->id].PushBottom(std::move(child));
+      }
+    }
+    shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
+  if (options.num_threads <= 1) {
+    MilpOptions serial = options;
+    serial.num_threads = 1;
+    return SolveMilp(model, serial);
+  }
+  const auto t_begin = std::chrono::steady_clock::now();
+  const int num_threads = options.num_threads;
+  const int n = model.num_variables();
+  MilpResult result;
+
+  StandardForm form(model);
+  SharedState shared;
+
+  // Warm start before the workers exist (no synchronization needed).
+  if (options.initial_point.size() == static_cast<size_t>(n)) {
+    std::vector<double> snapped;
+    TryIncumbent(model, form.sense_factor, options.initial_point, &shared,
+                 &snapped);
+  }
+
+  std::vector<WorkerDeque> deques(num_threads);
+  {
+    Node root;
+    root.lower = form.var_lower;
+    root.upper = form.var_upper;
+    shared.open_nodes.store(1, std::memory_order_relaxed);
+    deques[0].PushBottom(std::move(root));
+  }
+
+  std::vector<WorkerContext> contexts(num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int id = 0; id < num_threads; ++id) {
+    WorkerContext& ctx = contexts[id];
+    ctx.model = &model;
+    ctx.form = &form;
+    ctx.options = &options;
+    ctx.shared = &shared;
+    ctx.deques = &deques;
+    ctx.id = id;
+    threads.emplace_back(WorkerMain, &ctx);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Gather statistics and the incumbent (exclusive access after join).
+  result.per_thread_nodes.resize(num_threads);
+  for (int id = 0; id < num_threads; ++id) {
+    result.per_thread_nodes[id] = contexts[id].nodes;
+    result.nodes += contexts[id].nodes;
+  }
+  result.lp_iterations = shared.lp_iterations.load();
+  result.steals = shared.steals.load();
+
+  if (shared.unbounded.load()) {
+    result.status = MilpResult::SolveStatus::kUnbounded;
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+    return result;
+  }
+
+  const double incumbent_key = shared.incumbent_key.load();
+  if (shared.has_incumbent) {
+    result.objective = shared.incumbent_objective;
+    result.point = std::move(shared.incumbent_point);
+    result.has_incumbent = true;
+  }
+
+  const bool hit_node_limit = shared.hit_node_limit.load();
+  double best_open_bound = incumbent_key;
+  if (hit_node_limit) {
+    double open = kInf;
+    for (const WorkerDeque& deque : deques) {
+      for (const Node& node : deque.Drain()) {
+        open = std::min(open, node.parent_bound);
+      }
+    }
+    best_open_bound = std::min(incumbent_key, open);
+  }
+  result.best_bound = form.sense_factor * best_open_bound;
+
+  if (hit_node_limit) {
+    result.status = MilpResult::SolveStatus::kNodeLimit;
+  } else if (result.has_incumbent) {
+    result.status = MilpResult::SolveStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = shared.any_feasible_lp.load()
+                        ? MilpResult::SolveStatus::kInfeasible
+                        : MilpResult::SolveStatus::kLpRelaxationInfeasible;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+  return result;
+}
+
+}  // namespace dart::milp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "milp/branch_and_bound.h"
+
+/// \file scheduler.h
+/// Work-stealing parallel branch-and-bound (MilpOptions::num_threads > 1).
+///
+/// Architecture (see DESIGN.md, "Parallel solver architecture"):
+///   - one worker thread per requested thread, each with a mutex-protected
+///     node deque: the owner pushes/pops at the bottom (LIFO dive, which
+///     keeps the subtree hot in its own LpScratch), thieves steal from the
+///     top (the oldest, closest-to-root node — the largest stolen subtree);
+///   - a shared incumbent guarded by a mutex for writes, mirrored into an
+///     atomic `incumbent_key` so the per-node prune test is a lock-free load;
+///   - termination via an atomic count of open nodes (queued + in flight):
+///     a worker that finds no work anywhere exits once the count is zero;
+///   - each worker owns an LpScratch, so node LP solves share the read-only
+///     StandardForm but never a mutable buffer.
+///
+/// The parallel search proves the same optimum as the serial one (pruning
+/// only ever uses feasibility-verified incumbents), but node counts vary
+/// run-to-run because incumbents are found in nondeterministic order.
+
+namespace dart::milp {
+
+/// Solves `model` with `options.num_threads` workers. Callers normally go
+/// through SolveMilp, which dispatches here when num_threads > 1.
+MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options);
+
+}  // namespace dart::milp

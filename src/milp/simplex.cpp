@@ -16,57 +16,79 @@ const char* LpStatusName(LpResult::SolveStatus status) {
   return "unknown";
 }
 
+StandardForm::StandardForm(const Model& model)
+    : n(model.num_variables()),
+      m_model(model.num_rows()),
+      objective_terms(model.objective_terms()),
+      objective_constant(model.objective_constant()),
+      sense_factor(model.objective_sense() == ObjectiveSense::kMinimize
+                       ? 1.0
+                       : -1.0) {
+  row_ptr.reserve(static_cast<size_t>(m_model) + 1);
+  row_ptr.push_back(0);
+  row_sense.reserve(m_model);
+  row_rhs.reserve(m_model);
+  for (const Row& row : model.rows()) {
+    for (const LinearTerm& term : row.terms) {
+      term_var.push_back(term.variable);
+      term_coef.push_back(term.coefficient);
+    }
+    row_ptr.push_back(static_cast<int>(term_var.size()));
+    row_sense.push_back(row.sense);
+    row_rhs.push_back(row.rhs);
+  }
+  var_lower.resize(n);
+  var_upper.resize(n);
+  for (int i = 0; i < n; ++i) {
+    var_lower[i] = model.variable(i).lower;
+    var_upper[i] = model.variable(i).upper;
+  }
+}
+
 namespace {
 
-/// Dense standard-form tableau: min c'x, Ax = b, x >= 0, with a known basic
-/// feasible solution maintained through pivots.
-class Tableau {
- public:
-  Tableau(int rows, int cols)
-      : rows_(rows), cols_(cols), a_(rows, std::vector<double>(cols, 0.0)),
-        b_(rows, 0.0), basis_(rows, -1) {}
+/// Dense standard-form tableau over one contiguous row-major buffer (plus
+/// rhs/basis arrays) owned by an LpScratch: min c'x, Ax = b, x >= 0, with a
+/// known basic feasible solution maintained through pivots. Pivots stream
+/// through the buffer row by row, so the update loop is prefetch-friendly.
+struct FlatTableau {
+  double* a = nullptr;   // rows × cols, row-major, stride == cols
+  double* b = nullptr;   // rhs per row
+  int* basis = nullptr;  // basic column per row
+  int rows = 0;
+  int cols = 0;
 
-  int rows() const { return rows_; }
-  int cols() const { return cols_; }
-  double& At(int r, int c) { return a_[r][c]; }
-  double At(int r, int c) const { return a_[r][c]; }
-  double& Rhs(int r) { return b_[r]; }
-  double Rhs(int r) const { return b_[r]; }
-  int& Basis(int r) { return basis_[r]; }
-  int Basis(int r) const { return basis_[r]; }
+  double At(int r, int c) const { return a[static_cast<size_t>(r) * cols + c]; }
+  double* Row(int r) { return a + static_cast<size_t>(r) * cols; }
+  const double* Row(int r) const { return a + static_cast<size_t>(r) * cols; }
 
   /// Gauss-Jordan pivot on (pivot_row, pivot_col); updates the basis.
   void Pivot(int pivot_row, int pivot_col) {
-    const double pivot = a_[pivot_row][pivot_col];
+    double* prow = Row(pivot_row);
+    const double pivot = prow[pivot_col];
     const double inv = 1.0 / pivot;
-    for (int c = 0; c < cols_; ++c) a_[pivot_row][c] *= inv;
-    b_[pivot_row] *= inv;
-    a_[pivot_row][pivot_col] = 1.0;  // kill roundoff on the pivot itself
-    for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols; ++c) prow[c] *= inv;
+    b[pivot_row] *= inv;
+    prow[pivot_col] = 1.0;  // kill roundoff on the pivot itself
+    for (int r = 0; r < rows; ++r) {
       if (r == pivot_row) continue;
-      const double factor = a_[r][pivot_col];
+      double* row = Row(r);
+      const double factor = row[pivot_col];
       if (factor == 0.0) continue;
-      for (int c = 0; c < cols_; ++c) a_[r][c] -= factor * a_[pivot_row][c];
-      b_[r] -= factor * b_[pivot_row];
-      a_[r][pivot_col] = 0.0;
+      for (int c = 0; c < cols; ++c) row[c] -= factor * prow[c];
+      b[r] -= factor * b[pivot_row];
+      row[pivot_col] = 0.0;
     }
-    basis_[pivot_row] = pivot_col;
+    basis[pivot_row] = pivot_col;
   }
 
-  /// Removes a (redundant, all-zero) row.
+  /// Removes a (redundant, all-zero) row, preserving the order of the rest.
   void DropRow(int row) {
-    a_.erase(a_.begin() + row);
-    b_.erase(b_.begin() + row);
-    basis_.erase(basis_.begin() + row);
-    --rows_;
+    std::copy(Row(row + 1), Row(rows), Row(row));
+    std::copy(b + row + 1, b + rows, b + row);
+    std::copy(basis + row + 1, basis + rows, basis + row);
+    --rows;
   }
-
- private:
-  int rows_;
-  int cols_;
-  std::vector<std::vector<double>> a_;
-  std::vector<double> b_;
-  std::vector<int> basis_;
 };
 
 enum class IterOutcome { kOptimal, kUnbounded, kIterationLimit };
@@ -74,22 +96,23 @@ enum class IterOutcome { kOptimal, kUnbounded, kIterationLimit };
 /// Runs simplex iterations for objective `cost` (size = cols). `allowed[c]`
 /// gates which columns may enter (used to lock out artificials in phase 2).
 /// Dantzig rule with a permanent switch to Bland's rule after `stall_limit`
-/// non-improving iterations.
-IterOutcome Iterate(Tableau* tableau, const std::vector<double>& cost,
-                    const std::vector<bool>& allowed, double tol,
+/// non-improving iterations. `reduced` is caller-owned scratch (size = cols).
+IterOutcome Iterate(FlatTableau* tableau, const double* cost,
+                    const char* allowed, double* reduced, double tol,
                     int max_iterations, int* iterations_used) {
-  const int rows = tableau->rows();
-  const int cols = tableau->cols();
+  const int rows = tableau->rows;
+  const int cols = tableau->cols;
 
   // Reduced costs and objective maintained incrementally through pivots.
-  std::vector<double> reduced(cost);
+  std::copy(cost, cost + cols, reduced);
   double objective = 0;
   for (int r = 0; r < rows; ++r) {
-    const int bc = tableau->Basis(r);
+    const int bc = tableau->basis[r];
     const double cb = cost[bc];
     if (cb == 0.0) continue;
-    objective += cb * tableau->Rhs(r);
-    for (int c = 0; c < cols; ++c) reduced[c] -= cb * tableau->At(r, c);
+    objective += cb * tableau->b[r];
+    const double* row = tableau->Row(r);
+    for (int c = 0; c < cols; ++c) reduced[c] -= cb * row[c];
   }
 
   bool bland = false;
@@ -124,10 +147,10 @@ IterOutcome Iterate(Tableau* tableau, const std::vector<double>& cost,
     for (int r = 0; r < rows; ++r) {
       const double coeff = tableau->At(r, entering);
       if (coeff <= tol) continue;
-      const double ratio = tableau->Rhs(r) / coeff;
+      const double ratio = tableau->b[r] / coeff;
       if (ratio < best_ratio - tol ||
           (ratio < best_ratio + tol && leaving >= 0 &&
-           tableau->Basis(r) < tableau->Basis(leaving))) {
+           tableau->basis[r] < tableau->basis[leaving])) {
         best_ratio = ratio;
         leaving = r;
       }
@@ -142,10 +165,11 @@ IterOutcome Iterate(Tableau* tableau, const std::vector<double>& cost,
     // Update reduced costs & objective by the same pivot.
     const double factor = reduced[entering];
     if (factor != 0.0) {
+      const double* row = tableau->Row(leaving);
       for (int c = 0; c < cols; ++c) {
-        reduced[c] -= factor * tableau->At(leaving, c);
+        reduced[c] -= factor * row[c];
       }
-      objective -= factor * tableau->Rhs(leaving);
+      objective -= factor * tableau->b[leaving];
       reduced[entering] = 0.0;
     }
 
@@ -163,103 +187,113 @@ IterOutcome Iterate(Tableau* tableau, const std::vector<double>& cost,
 
 }  // namespace
 
-LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,
-                           const std::vector<double>* lower_override,
-                           const std::vector<double>* upper_override) {
+void SolveLpCached(const StandardForm& form, const LpOptions& options,
+                   const std::vector<double>& lower,
+                   const std::vector<double>& upper, LpScratch* scratch,
+                   LpResult* result) {
   const double tol = options.tol;
-  const int n = model.num_variables();
-  LpResult result;
+  const int n = form.n;
+  result->status = LpResult::SolveStatus::kIterationLimit;
+  result->objective = 0;
+  result->iterations = 0;
+  result->point.clear();
 
-  // Effective bounds.
-  std::vector<double> lower(n), upper(n);
+  // Bounds sanity and the shifted problem: x = lower + x', 0 <= x' <= range.
   for (int i = 0; i < n; ++i) {
-    lower[i] = lower_override ? (*lower_override)[i] : model.variable(i).lower;
-    upper[i] = upper_override ? (*upper_override)[i] : model.variable(i).upper;
     if (lower[i] > upper[i] + 1e-9) {
-      result.status = LpResult::SolveStatus::kInfeasible;
-      return result;
+      result->status = LpResult::SolveStatus::kInfeasible;
+      return;
     }
   }
-
-  // Shifted problem: x = lower + x', 0 <= x' <= range.
-  std::vector<double> range(n);
-  std::vector<int> ub_rows;  // variables needing an explicit upper-bound row
+  scratch->range.resize(n);
+  scratch->ub_vars.clear();
   for (int i = 0; i < n; ++i) {
-    range[i] = upper[i] - lower[i];
-    if (range[i] > tol) ub_rows.push_back(i);
+    scratch->range[i] = upper[i] - lower[i];
+    if (scratch->range[i] > tol) scratch->ub_vars.push_back(i);
     // range ~ 0: variable fixed at its lower bound; x' pinned to 0 by
     // nonnegativity plus an upper-bound row would be redundant.
   }
+  const double* range = scratch->range.data();
 
-  const int m_model = model.num_rows();
-  const int m = m_model + static_cast<int>(ub_rows.size());
+  const int m_model = form.m_model;
+  const int m = m_model + static_cast<int>(scratch->ub_vars.size());
 
-  // Column layout: [0, n) original, then one slack per row (<=/>= rows and
-  // all upper-bound rows), then artificials as needed.
-  struct RowSpec {
-    std::vector<LinearTerm> terms;  // over original variables
-    RowSense sense;
+  // Row layout: model rows first (shifted rhs), then one upper-bound row per
+  // unfixed variable. rhs is normalized to >= 0 by flipping the row's sign
+  // (recorded in spec_flip, applied when filling the tableau).
+  scratch->spec_rhs.resize(m);
+  scratch->spec_flip.resize(m);
+  scratch->spec_sense.resize(m);
+  for (int r = 0; r < m; ++r) {
     double rhs;
-  };
-  std::vector<RowSpec> specs;
-  specs.reserve(m);
-  for (const Row& row : model.rows()) {
-    RowSpec spec{row.terms, row.sense, row.rhs};
-    // Shift constants: rhs' = rhs - Σ a_i * lower_i.
-    for (const LinearTerm& term : row.terms) {
-      spec.rhs -= term.coefficient * lower[term.variable];
+    RowSense sense;
+    if (r < m_model) {
+      rhs = form.row_rhs[r];
+      // Shift constants: rhs' = rhs - Σ a_i * lower_i.
+      for (int k = form.row_ptr[r]; k < form.row_ptr[r + 1]; ++k) {
+        rhs -= form.term_coef[k] * lower[form.term_var[k]];
+      }
+      sense = form.row_sense[r];
+    } else {
+      rhs = range[scratch->ub_vars[r - m_model]];
+      sense = RowSense::kLe;
     }
-    // Drop fixed (range 0) variables from the row: their shifted value is 0.
-    specs.push_back(std::move(spec));
-  }
-  for (int var : ub_rows) {
-    specs.push_back(RowSpec{{LinearTerm{var, 1.0}}, RowSense::kLe, range[var]});
-  }
-
-  // Normalize rhs >= 0.
-  for (RowSpec& spec : specs) {
-    if (spec.rhs < 0) {
-      spec.rhs = -spec.rhs;
-      for (LinearTerm& term : spec.terms) term.coefficient = -term.coefficient;
-      if (spec.sense == RowSense::kLe) spec.sense = RowSense::kGe;
-      else if (spec.sense == RowSense::kGe) spec.sense = RowSense::kLe;
+    double flip = 1.0;
+    if (rhs < 0) {
+      rhs = -rhs;
+      flip = -1.0;
+      if (sense == RowSense::kLe) sense = RowSense::kGe;
+      else if (sense == RowSense::kGe) sense = RowSense::kLe;
     }
+    scratch->spec_rhs[r] = rhs;
+    scratch->spec_flip[r] = flip;
+    scratch->spec_sense[r] = sense;
   }
 
   // Count auxiliary columns.
   int num_slack = 0, num_artificial = 0;
-  for (const RowSpec& spec : specs) {
-    if (spec.sense != RowSense::kEq) ++num_slack;
-    if (spec.sense != RowSense::kLe) ++num_artificial;
+  for (int r = 0; r < m; ++r) {
+    if (scratch->spec_sense[r] != RowSense::kEq) ++num_slack;
+    if (scratch->spec_sense[r] != RowSense::kLe) ++num_artificial;
   }
   const int cols = n + num_slack + num_artificial;
   const int artificial_begin = n + num_slack;
 
-  Tableau tableau(m, cols);
+  scratch->tableau.assign(static_cast<size_t>(m) * cols, 0.0);
+  scratch->rhs.resize(m);
+  scratch->basis.resize(m);
+  FlatTableau tableau{scratch->tableau.data(), scratch->rhs.data(),
+                      scratch->basis.data(), m, cols};
   {
     int slack_next = n;
     int artificial_next = artificial_begin;
     for (int r = 0; r < m; ++r) {
-      const RowSpec& spec = specs[r];
-      for (const LinearTerm& term : spec.terms) {
-        if (range[term.variable] <= tol) continue;  // fixed at shift origin
-        tableau.At(r, term.variable) += term.coefficient;
+      double* row = tableau.Row(r);
+      const double flip = scratch->spec_flip[r];
+      if (r < m_model) {
+        for (int k = form.row_ptr[r]; k < form.row_ptr[r + 1]; ++k) {
+          const int var = form.term_var[k];
+          if (range[var] <= tol) continue;  // fixed at shift origin
+          row[var] += flip * form.term_coef[k];
+        }
+      } else {
+        row[scratch->ub_vars[r - m_model]] += flip * 1.0;
       }
-      tableau.Rhs(r) = spec.rhs;
-      switch (spec.sense) {
+      tableau.b[r] = scratch->spec_rhs[r];
+      switch (scratch->spec_sense[r]) {
         case RowSense::kLe:
-          tableau.At(r, slack_next) = 1.0;
-          tableau.Basis(r) = slack_next++;
+          row[slack_next] = 1.0;
+          tableau.basis[r] = slack_next++;
           break;
         case RowSense::kGe:
-          tableau.At(r, slack_next) = -1.0;
+          row[slack_next] = -1.0;
           ++slack_next;
-          tableau.At(r, artificial_next) = 1.0;
-          tableau.Basis(r) = artificial_next++;
+          row[artificial_next] = 1.0;
+          tableau.basis[r] = artificial_next++;
           break;
         case RowSense::kEq:
-          tableau.At(r, artificial_next) = 1.0;
-          tableau.Basis(r) = artificial_next++;
+          row[artificial_next] = 1.0;
+          tableau.basis[r] = artificial_next++;
           break;
       }
     }
@@ -269,37 +303,39 @@ LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,
       options.max_iterations > 0 ? options.max_iterations
                                  : 200 * (m + cols) + 20000;
   int iterations = 0;
+  scratch->reduced.resize(cols);
 
   // --- Phase 1: drive artificials to zero.
   if (num_artificial > 0) {
-    std::vector<double> phase1_cost(cols, 0.0);
-    for (int c = artificial_begin; c < cols; ++c) phase1_cost[c] = 1.0;
-    std::vector<bool> allowed(cols, true);
+    scratch->cost.assign(cols, 0.0);
+    for (int c = artificial_begin; c < cols; ++c) scratch->cost[c] = 1.0;
+    scratch->allowed.assign(cols, 1);
     IterOutcome outcome =
-        Iterate(&tableau, phase1_cost, allowed, tol, max_iterations,
-                &iterations);
-    result.iterations = iterations;
+        Iterate(&tableau, scratch->cost.data(), scratch->allowed.data(),
+                scratch->reduced.data(), tol, max_iterations, &iterations);
+    result->iterations = iterations;
     if (outcome == IterOutcome::kIterationLimit) {
-      result.status = LpResult::SolveStatus::kIterationLimit;
-      return result;
+      result->status = LpResult::SolveStatus::kIterationLimit;
+      return;
     }
     double infeasibility = 0;
-    for (int r = 0; r < tableau.rows(); ++r) {
-      if (tableau.Basis(r) >= artificial_begin) {
-        infeasibility += tableau.Rhs(r);
+    for (int r = 0; r < tableau.rows; ++r) {
+      if (tableau.basis[r] >= artificial_begin) {
+        infeasibility += tableau.b[r];
       }
     }
     if (infeasibility > 1e-7) {
-      result.status = LpResult::SolveStatus::kInfeasible;
-      return result;
+      result->status = LpResult::SolveStatus::kInfeasible;
+      return;
     }
     // Pivot remaining (zero-level) artificials out of the basis, or drop
     // redundant rows, so phase 2 cannot push an artificial positive.
-    for (int r = tableau.rows() - 1; r >= 0; --r) {
-      if (tableau.Basis(r) < artificial_begin) continue;
+    for (int r = tableau.rows - 1; r >= 0; --r) {
+      if (tableau.basis[r] < artificial_begin) continue;
       int pivot_col = -1;
+      const double* row = tableau.Row(r);
       for (int c = 0; c < artificial_begin; ++c) {
-        if (std::fabs(tableau.At(r, c)) > 1e-7) {
+        if (std::fabs(row[c]) > 1e-7) {
           pivot_col = c;
           break;
         }
@@ -313,42 +349,54 @@ LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,
   }
 
   // --- Phase 2: the real objective (converted to minimization).
-  const double sense_factor =
-      model.objective_sense() == ObjectiveSense::kMinimize ? 1.0 : -1.0;
-  std::vector<double> cost(cols, 0.0);
-  for (const LinearTerm& term : model.objective_terms()) {
+  scratch->cost.assign(cols, 0.0);
+  for (const LinearTerm& term : form.objective_terms) {
     if (range[term.variable] <= tol) continue;  // fixed vars: constant cost
-    cost[term.variable] = sense_factor * term.coefficient;
+    scratch->cost[term.variable] = form.sense_factor * term.coefficient;
   }
-  std::vector<bool> allowed(cols, true);
-  for (int c = artificial_begin; c < cols; ++c) allowed[c] = false;
+  scratch->allowed.assign(cols, 1);
+  for (int c = artificial_begin; c < cols; ++c) scratch->allowed[c] = 0;
 
   IterOutcome outcome =
-      Iterate(&tableau, cost, allowed, tol, max_iterations, &iterations);
-  result.iterations = iterations;
+      Iterate(&tableau, scratch->cost.data(), scratch->allowed.data(),
+              scratch->reduced.data(), tol, max_iterations, &iterations);
+  result->iterations = iterations;
   if (outcome == IterOutcome::kIterationLimit) {
-    result.status = LpResult::SolveStatus::kIterationLimit;
-    return result;
+    result->status = LpResult::SolveStatus::kIterationLimit;
+    return;
   }
   if (outcome == IterOutcome::kUnbounded) {
-    result.status = LpResult::SolveStatus::kUnbounded;
-    return result;
+    result->status = LpResult::SolveStatus::kUnbounded;
+    return;
   }
 
   // --- Extract the point in original coordinates.
-  result.point.assign(n, 0.0);
-  for (int r = 0; r < tableau.rows(); ++r) {
-    const int bc = tableau.Basis(r);
-    if (bc < n) result.point[bc] = tableau.Rhs(r);
+  result->point.assign(n, 0.0);
+  for (int r = 0; r < tableau.rows; ++r) {
+    const int bc = tableau.basis[r];
+    if (bc < n) result->point[bc] = tableau.b[r];
   }
   for (int i = 0; i < n; ++i) {
-    result.point[i] += lower[i];
+    result->point[i] += lower[i];
     // Clamp roundoff into the box.
-    result.point[i] = std::clamp(result.point[i], lower[i], upper[i]);
+    result->point[i] = std::clamp(result->point[i], lower[i], upper[i]);
   }
-  result.objective = model.objective_constant() +
-                     EvalTerms(model.objective_terms(), result.point);
-  result.status = LpResult::SolveStatus::kOptimal;
+  result->objective =
+      form.objective_constant + EvalTerms(form.objective_terms, result->point);
+  result->status = LpResult::SolveStatus::kOptimal;
+}
+
+LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,
+                           const std::vector<double>* lower_override,
+                           const std::vector<double>* upper_override) {
+  StandardForm form(model);
+  LpScratch scratch;
+  LpResult result;
+  const std::vector<double>& lower =
+      lower_override ? *lower_override : form.var_lower;
+  const std::vector<double>& upper =
+      upper_override ? *upper_override : form.var_upper;
+  SolveLpCached(form, options, lower, upper, &scratch, &result);
   return result;
 }
 

@@ -14,6 +14,17 @@
 /// min c'x, Ax = b, x >= 0. Entering-variable selection is Dantzig's rule
 /// with an automatic permanent switch to Bland's rule when the objective
 /// stalls, which guarantees termination on degenerate instances.
+///
+/// The hot path is organised around two ideas (both introduced for the
+/// branch-and-bound search, which solves thousands of LPs differing only in
+/// variable bounds):
+///   - StandardForm: the bound-independent part of the setup (row data in CSR
+///     layout, objective, sense factor) extracted from the Model once and
+///     shared read-only across node solves and worker threads.
+///   - LpScratch: all per-solve working memory — the flat row-major tableau,
+///     rhs, basis, cost and reduced-cost vectors — owned by the caller (one
+///     per thread) and reused, so a node solve allocates nothing once the
+///     buffers have grown to the instance size.
 
 namespace dart::milp {
 
@@ -43,12 +54,64 @@ struct LpOptions {
   double tol = 1e-9;
 };
 
+/// Bound-independent standard-form skeleton of a Model. Built once (at the
+/// branch-and-bound root); a node solve combines it with that node's bounds.
+/// Read-only after construction, so it is safe to share across threads.
+struct StandardForm {
+  explicit StandardForm(const Model& model);
+
+  int n = 0;        ///< number of model variables.
+  int m_model = 0;  ///< number of model rows (before upper-bound rows).
+
+  // Model rows in CSR layout, preserving row and term order exactly.
+  std::vector<int> row_ptr;  ///< size m_model + 1.
+  std::vector<int> term_var;
+  std::vector<double> term_coef;
+  std::vector<RowSense> row_sense;
+  std::vector<double> row_rhs;
+
+  // Objective (term order preserved) and default bounds.
+  std::vector<LinearTerm> objective_terms;
+  double objective_constant = 0;
+  double sense_factor = 1.0;  ///< +1 minimize, -1 maximize.
+  std::vector<double> var_lower;  ///< model (root) bounds.
+  std::vector<double> var_upper;
+};
+
+/// Reusable per-thread working memory for SolveLpCached. Default-constructed
+/// empty; every buffer grows on first use and is then reused allocation-free.
+struct LpScratch {
+  std::vector<double> range;     // per-variable upper - lower
+  std::vector<int> ub_vars;      // variables needing an upper-bound row
+  std::vector<double> spec_rhs;  // shifted, sign-normalized rhs per row
+  std::vector<double> spec_flip; // ±1 sign applied during normalization
+  std::vector<RowSense> spec_sense;  // effective sense after normalization
+  std::vector<double> tableau;   // flat row-major m × cols buffer
+  std::vector<double> rhs;       // basic solution values per row
+  std::vector<int> basis;        // basic column per row
+  std::vector<double> cost;      // phase objective over all columns
+  std::vector<double> reduced;   // reduced costs (maintained incrementally)
+  std::vector<char> allowed;     // columns permitted to enter the basis
+};
+
+/// Solves the LP relaxation described by `form` under the given variable
+/// bounds, reusing `scratch` buffers and writing into `*result` (which is
+/// fully reset first). Produces bit-identical pivots — and therefore results —
+/// to SolveLpRelaxation on the same model and bounds.
+void SolveLpCached(const StandardForm& form, const LpOptions& options,
+                   const std::vector<double>& lower,
+                   const std::vector<double>& upper, LpScratch* scratch,
+                   LpResult* result);
+
 /// Solves the LP relaxation of `model` (all integrality dropped).
 ///
 /// `lower_override` / `upper_override`, when non-null, replace the per
 /// variable bounds — this is how branch-and-bound tightens bounds per node
 /// without copying the model. A variable whose (overridden) lower exceeds its
 /// upper makes the LP trivially infeasible.
+///
+/// One-shot convenience over SolveLpCached: builds a StandardForm and scratch
+/// for the single call.
 LpResult SolveLpRelaxation(const Model& model, const LpOptions& options = {},
                            const std::vector<double>* lower_override = nullptr,
                            const std::vector<double>* upper_override = nullptr);

@@ -35,7 +35,7 @@ Result<size_t> OptimalCardinality(const milp::Model& model,
   milp::MilpResult base = milp::SolveMilp(model, base_options);
   ++*solves;
   *nodes += base.nodes;
-  if (base.status == milp::MilpResult::SolveStatus::kInfeasible) {
+  if (milp::IsInfeasibleStatus(base.status)) {
     return Status::Infeasible("no repair exists; CQA is undefined");
   }
   if (base.status != milp::MilpResult::SolveStatus::kOptimal) {

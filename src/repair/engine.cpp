@@ -133,9 +133,12 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     outcome.stats.bigm_retries = attempt;
     outcome.stats.translate_seconds += Seconds(t0, t1);
     outcome.stats.solve_seconds += Seconds(t1, t2);
+    outcome.stats.milp_wall_seconds += solved.wall_seconds;
+    outcome.stats.milp_steals += solved.steals;
+    outcome.stats.per_thread_nodes = solved.per_thread_nodes;
 
     const bool grow_m_and_retry = [&] {
-      if (solved.status == milp::MilpResult::SolveStatus::kInfeasible) {
+      if (milp::IsInfeasibleStatus(solved.status)) {
         // Possibly a too-tight z box rather than true non-existence.
         return true;
       }
@@ -161,6 +164,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
 
     switch (solved.status) {
       case milp::MilpResult::SolveStatus::kInfeasible:
+      case milp::MilpResult::SolveStatus::kLpRelaxationInfeasible:
         return Status::Infeasible(
             "no repair exists for the database w.r.t. the given constraints" +
             std::string(fixed_values.empty() ? "" : " and operator pins"));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "constraints/ast.h"
 #include "milp/branch_and_bound.h"
@@ -44,6 +45,14 @@ struct RepairStats {
   int bigm_retries = 0;
   double translate_seconds = 0;
   double solve_seconds = 0;
+  /// Wall-clock seconds inside the MILP search itself (excludes translation
+  /// and presolve; accumulated over big-M retries).
+  double milp_wall_seconds = 0;
+  /// Work-stealing transfers between solver workers (0 when serial).
+  int64_t milp_steals = 0;
+  /// Nodes explored by each solver worker in the final MILP solve (size 1
+  /// when serial).
+  std::vector<int64_t> per_thread_nodes;
 };
 
 struct RepairOutcome {
