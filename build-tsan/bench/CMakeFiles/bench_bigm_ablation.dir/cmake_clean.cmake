@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bigm_ablation.dir/bench_bigm_ablation.cpp.o"
+  "CMakeFiles/bench_bigm_ablation.dir/bench_bigm_ablation.cpp.o.d"
+  "bench_bigm_ablation"
+  "bench_bigm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bigm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

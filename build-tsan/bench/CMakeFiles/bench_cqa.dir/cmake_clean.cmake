@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cqa.dir/bench_cqa.cpp.o"
+  "CMakeFiles/bench_cqa.dir/bench_cqa.cpp.o.d"
+  "bench_cqa"
+  "bench_cqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

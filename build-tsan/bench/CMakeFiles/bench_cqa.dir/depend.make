@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cqa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hierarchy_depth.dir/bench_hierarchy_depth.cpp.o"
+  "CMakeFiles/bench_hierarchy_depth.dir/bench_hierarchy_depth.cpp.o.d"
+  "bench_hierarchy_depth"
+  "bench_hierarchy_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hierarchy_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

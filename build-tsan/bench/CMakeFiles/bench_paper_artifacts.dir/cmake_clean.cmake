@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_artifacts.dir/bench_paper_artifacts.cpp.o"
+  "CMakeFiles/bench_paper_artifacts.dir/bench_paper_artifacts.cpp.o.d"
+  "bench_paper_artifacts"
+  "bench_paper_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_accuracy.dir/bench_repair_accuracy.cpp.o"
+  "CMakeFiles/bench_repair_accuracy.dir/bench_repair_accuracy.cpp.o.d"
+  "bench_repair_accuracy"
+  "bench_repair_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_errors.dir/bench_repair_errors.cpp.o"
+  "CMakeFiles/bench_repair_errors.dir/bench_repair_errors.cpp.o.d"
+  "bench_repair_errors"
+  "bench_repair_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_scaling.dir/bench_repair_scaling.cpp.o"
+  "CMakeFiles/bench_repair_scaling.dir/bench_repair_scaling.cpp.o.d"
+  "bench_repair_scaling"
+  "bench_repair_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tnorm_ablation.dir/bench_tnorm_ablation.cpp.o"
+  "CMakeFiles/bench_tnorm_ablation.dir/bench_tnorm_ablation.cpp.o.d"
+  "bench_tnorm_ablation"
+  "bench_tnorm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tnorm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_loop.dir/bench_validation_loop.cpp.o"
+  "CMakeFiles/bench_validation_loop.dir/bench_validation_loop.cpp.o.d"
+  "bench_validation_loop"
+  "bench_validation_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weighted_repair.dir/bench_weighted_repair.cpp.o"
+  "CMakeFiles/bench_weighted_repair.dir/bench_weighted_repair.cpp.o.d"
+  "bench_weighted_repair"
+  "bench_weighted_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

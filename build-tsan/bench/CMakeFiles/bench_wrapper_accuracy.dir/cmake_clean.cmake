@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrapper_accuracy.dir/bench_wrapper_accuracy.cpp.o"
+  "CMakeFiles/bench_wrapper_accuracy.dir/bench_wrapper_accuracy.cpp.o.d"
+  "bench_wrapper_accuracy"
+  "bench_wrapper_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrapper_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_sheets.dir/balance_sheets.cpp.o"
+  "CMakeFiles/balance_sheets.dir/balance_sheets.cpp.o.d"
+  "balance_sheets"
+  "balance_sheets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_sheets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

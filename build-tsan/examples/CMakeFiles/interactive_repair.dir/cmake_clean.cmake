@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_repair.dir/interactive_repair.cpp.o"
+  "CMakeFiles/interactive_repair.dir/interactive_repair.cpp.o.d"
+  "interactive_repair"
+  "interactive_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability.dir/reliability.cpp.o"
+  "CMakeFiles/reliability.dir/reliability.cpp.o.d"
+  "reliability"
+  "reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanned_document.dir/scanned_document.cpp.o"
+  "CMakeFiles/scanned_document.dir/scanned_document.cpp.o.d"
+  "scanned_document"
+  "scanned_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanned_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scanned_document.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for scanned_document.
+# This may be replaced when dependencies are built.

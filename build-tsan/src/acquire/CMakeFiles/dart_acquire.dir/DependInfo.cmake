@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acquire/layout.cpp" "src/acquire/CMakeFiles/dart_acquire.dir/layout.cpp.o" "gcc" "src/acquire/CMakeFiles/dart_acquire.dir/layout.cpp.o.d"
+  "/root/repo/src/acquire/positional.cpp" "src/acquire/CMakeFiles/dart_acquire.dir/positional.cpp.o" "gcc" "src/acquire/CMakeFiles/dart_acquire.dir/positional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/wrapper/CMakeFiles/dart_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/textrepair/CMakeFiles/dart_textrepair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

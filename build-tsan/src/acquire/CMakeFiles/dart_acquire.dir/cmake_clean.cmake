@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_acquire.dir/layout.cpp.o"
+  "CMakeFiles/dart_acquire.dir/layout.cpp.o.d"
+  "CMakeFiles/dart_acquire.dir/positional.cpp.o"
+  "CMakeFiles/dart_acquire.dir/positional.cpp.o.d"
+  "libdart_acquire.a"
+  "libdart_acquire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_acquire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

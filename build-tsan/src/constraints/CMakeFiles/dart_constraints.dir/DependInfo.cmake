@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/ast.cpp" "src/constraints/CMakeFiles/dart_constraints.dir/ast.cpp.o" "gcc" "src/constraints/CMakeFiles/dart_constraints.dir/ast.cpp.o.d"
+  "/root/repo/src/constraints/eval.cpp" "src/constraints/CMakeFiles/dart_constraints.dir/eval.cpp.o" "gcc" "src/constraints/CMakeFiles/dart_constraints.dir/eval.cpp.o.d"
+  "/root/repo/src/constraints/parser.cpp" "src/constraints/CMakeFiles/dart_constraints.dir/parser.cpp.o" "gcc" "src/constraints/CMakeFiles/dart_constraints.dir/parser.cpp.o.d"
+  "/root/repo/src/constraints/steady.cpp" "src/constraints/CMakeFiles/dart_constraints.dir/steady.cpp.o" "gcc" "src/constraints/CMakeFiles/dart_constraints.dir/steady.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/relational/CMakeFiles/dart_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

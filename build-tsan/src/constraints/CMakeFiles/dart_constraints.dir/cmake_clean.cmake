@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_constraints.dir/ast.cpp.o"
+  "CMakeFiles/dart_constraints.dir/ast.cpp.o.d"
+  "CMakeFiles/dart_constraints.dir/eval.cpp.o"
+  "CMakeFiles/dart_constraints.dir/eval.cpp.o.d"
+  "CMakeFiles/dart_constraints.dir/parser.cpp.o"
+  "CMakeFiles/dart_constraints.dir/parser.cpp.o.d"
+  "CMakeFiles/dart_constraints.dir/steady.cpp.o"
+  "CMakeFiles/dart_constraints.dir/steady.cpp.o.d"
+  "libdart_constraints.a"
+  "libdart_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

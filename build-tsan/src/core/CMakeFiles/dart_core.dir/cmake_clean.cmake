@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_core.dir/metadata_io.cpp.o"
+  "CMakeFiles/dart_core.dir/metadata_io.cpp.o.d"
+  "CMakeFiles/dart_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dart_core.dir/pipeline.cpp.o.d"
+  "libdart_core.a"
+  "libdart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

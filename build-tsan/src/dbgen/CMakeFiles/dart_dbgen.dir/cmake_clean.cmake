@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_dbgen.dir/generator.cpp.o"
+  "CMakeFiles/dart_dbgen.dir/generator.cpp.o.d"
+  "CMakeFiles/dart_dbgen.dir/metadata.cpp.o"
+  "CMakeFiles/dart_dbgen.dir/metadata.cpp.o.d"
+  "libdart_dbgen.a"
+  "libdart_dbgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_dbgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/dart_milp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/exhaustive.cpp.o"
+  "CMakeFiles/dart_milp.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/model.cpp.o"
+  "CMakeFiles/dart_milp.dir/model.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/presolve.cpp.o"
+  "CMakeFiles/dart_milp.dir/presolve.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/scheduler.cpp.o"
+  "CMakeFiles/dart_milp.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dart_milp.dir/simplex.cpp.o"
+  "CMakeFiles/dart_milp.dir/simplex.cpp.o.d"
+  "libdart_milp.a"
+  "libdart_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_ocr.dir/cash_budget.cpp.o"
+  "CMakeFiles/dart_ocr.dir/cash_budget.cpp.o.d"
+  "CMakeFiles/dart_ocr.dir/catalog.cpp.o"
+  "CMakeFiles/dart_ocr.dir/catalog.cpp.o.d"
+  "CMakeFiles/dart_ocr.dir/expense.cpp.o"
+  "CMakeFiles/dart_ocr.dir/expense.cpp.o.d"
+  "CMakeFiles/dart_ocr.dir/noise.cpp.o"
+  "CMakeFiles/dart_ocr.dir/noise.cpp.o.d"
+  "libdart_ocr.a"
+  "libdart_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/csv.cpp" "src/relational/CMakeFiles/dart_relational.dir/csv.cpp.o" "gcc" "src/relational/CMakeFiles/dart_relational.dir/csv.cpp.o.d"
+  "/root/repo/src/relational/database.cpp" "src/relational/CMakeFiles/dart_relational.dir/database.cpp.o" "gcc" "src/relational/CMakeFiles/dart_relational.dir/database.cpp.o.d"
+  "/root/repo/src/relational/relation.cpp" "src/relational/CMakeFiles/dart_relational.dir/relation.cpp.o" "gcc" "src/relational/CMakeFiles/dart_relational.dir/relation.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/relational/CMakeFiles/dart_relational.dir/schema.cpp.o" "gcc" "src/relational/CMakeFiles/dart_relational.dir/schema.cpp.o.d"
+  "/root/repo/src/relational/value.cpp" "src/relational/CMakeFiles/dart_relational.dir/value.cpp.o" "gcc" "src/relational/CMakeFiles/dart_relational.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

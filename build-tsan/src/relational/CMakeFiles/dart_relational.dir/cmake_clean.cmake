@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_relational.dir/csv.cpp.o"
+  "CMakeFiles/dart_relational.dir/csv.cpp.o.d"
+  "CMakeFiles/dart_relational.dir/database.cpp.o"
+  "CMakeFiles/dart_relational.dir/database.cpp.o.d"
+  "CMakeFiles/dart_relational.dir/relation.cpp.o"
+  "CMakeFiles/dart_relational.dir/relation.cpp.o.d"
+  "CMakeFiles/dart_relational.dir/schema.cpp.o"
+  "CMakeFiles/dart_relational.dir/schema.cpp.o.d"
+  "CMakeFiles/dart_relational.dir/value.cpp.o"
+  "CMakeFiles/dart_relational.dir/value.cpp.o.d"
+  "libdart_relational.a"
+  "libdart_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

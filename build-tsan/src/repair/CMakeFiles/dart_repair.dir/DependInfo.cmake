@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/cqa.cpp" "src/repair/CMakeFiles/dart_repair.dir/cqa.cpp.o" "gcc" "src/repair/CMakeFiles/dart_repair.dir/cqa.cpp.o.d"
+  "/root/repo/src/repair/engine.cpp" "src/repair/CMakeFiles/dart_repair.dir/engine.cpp.o" "gcc" "src/repair/CMakeFiles/dart_repair.dir/engine.cpp.o.d"
+  "/root/repo/src/repair/repair.cpp" "src/repair/CMakeFiles/dart_repair.dir/repair.cpp.o" "gcc" "src/repair/CMakeFiles/dart_repair.dir/repair.cpp.o.d"
+  "/root/repo/src/repair/translator.cpp" "src/repair/CMakeFiles/dart_repair.dir/translator.cpp.o" "gcc" "src/repair/CMakeFiles/dart_repair.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/constraints/CMakeFiles/dart_constraints.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/milp/CMakeFiles/dart_milp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/dart_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_repair.dir/cqa.cpp.o"
+  "CMakeFiles/dart_repair.dir/cqa.cpp.o.d"
+  "CMakeFiles/dart_repair.dir/engine.cpp.o"
+  "CMakeFiles/dart_repair.dir/engine.cpp.o.d"
+  "CMakeFiles/dart_repair.dir/repair.cpp.o"
+  "CMakeFiles/dart_repair.dir/repair.cpp.o.d"
+  "CMakeFiles/dart_repair.dir/translator.cpp.o"
+  "CMakeFiles/dart_repair.dir/translator.cpp.o.d"
+  "libdart_repair.a"
+  "libdart_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

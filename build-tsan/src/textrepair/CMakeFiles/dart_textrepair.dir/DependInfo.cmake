@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textrepair/bktree.cpp" "src/textrepair/CMakeFiles/dart_textrepair.dir/bktree.cpp.o" "gcc" "src/textrepair/CMakeFiles/dart_textrepair.dir/bktree.cpp.o.d"
+  "/root/repo/src/textrepair/dictionary.cpp" "src/textrepair/CMakeFiles/dart_textrepair.dir/dictionary.cpp.o" "gcc" "src/textrepair/CMakeFiles/dart_textrepair.dir/dictionary.cpp.o.d"
+  "/root/repo/src/textrepair/levenshtein.cpp" "src/textrepair/CMakeFiles/dart_textrepair.dir/levenshtein.cpp.o" "gcc" "src/textrepair/CMakeFiles/dart_textrepair.dir/levenshtein.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

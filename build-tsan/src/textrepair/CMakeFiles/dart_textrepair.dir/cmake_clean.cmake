@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_textrepair.dir/bktree.cpp.o"
+  "CMakeFiles/dart_textrepair.dir/bktree.cpp.o.d"
+  "CMakeFiles/dart_textrepair.dir/dictionary.cpp.o"
+  "CMakeFiles/dart_textrepair.dir/dictionary.cpp.o.d"
+  "CMakeFiles/dart_textrepair.dir/levenshtein.cpp.o"
+  "CMakeFiles/dart_textrepair.dir/levenshtein.cpp.o.d"
+  "libdart_textrepair.a"
+  "libdart_textrepair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_textrepair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

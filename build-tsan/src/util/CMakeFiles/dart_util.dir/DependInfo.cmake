@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/dart_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/dart_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/dart_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/dart_util.dir/status.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/dart_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/dart_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/util/CMakeFiles/dart_util.dir/table_printer.cpp.o" "gcc" "src/util/CMakeFiles/dart_util.dir/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

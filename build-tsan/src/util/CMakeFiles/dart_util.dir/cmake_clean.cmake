@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_util.dir/random.cpp.o"
+  "CMakeFiles/dart_util.dir/random.cpp.o.d"
+  "CMakeFiles/dart_util.dir/status.cpp.o"
+  "CMakeFiles/dart_util.dir/status.cpp.o.d"
+  "CMakeFiles/dart_util.dir/strings.cpp.o"
+  "CMakeFiles/dart_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dart_util.dir/table_printer.cpp.o"
+  "CMakeFiles/dart_util.dir/table_printer.cpp.o.d"
+  "libdart_util.a"
+  "libdart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/display.cpp" "src/validation/CMakeFiles/dart_validation.dir/display.cpp.o" "gcc" "src/validation/CMakeFiles/dart_validation.dir/display.cpp.o.d"
+  "/root/repo/src/validation/operator.cpp" "src/validation/CMakeFiles/dart_validation.dir/operator.cpp.o" "gcc" "src/validation/CMakeFiles/dart_validation.dir/operator.cpp.o.d"
+  "/root/repo/src/validation/session.cpp" "src/validation/CMakeFiles/dart_validation.dir/session.cpp.o" "gcc" "src/validation/CMakeFiles/dart_validation.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/repair/CMakeFiles/dart_repair.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/dart_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/constraints/CMakeFiles/dart_constraints.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/milp/CMakeFiles/dart_milp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_validation.dir/display.cpp.o"
+  "CMakeFiles/dart_validation.dir/display.cpp.o.d"
+  "CMakeFiles/dart_validation.dir/operator.cpp.o"
+  "CMakeFiles/dart_validation.dir/operator.cpp.o.d"
+  "CMakeFiles/dart_validation.dir/session.cpp.o"
+  "CMakeFiles/dart_validation.dir/session.cpp.o.d"
+  "libdart_validation.a"
+  "libdart_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

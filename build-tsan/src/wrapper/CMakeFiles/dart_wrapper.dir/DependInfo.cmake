@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wrapper/domains.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/domains.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/domains.cpp.o.d"
+  "/root/repo/src/wrapper/html_parser.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/html_parser.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/html_parser.cpp.o.d"
+  "/root/repo/src/wrapper/matcher.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/matcher.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/matcher.cpp.o.d"
+  "/root/repo/src/wrapper/row_pattern.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/row_pattern.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/row_pattern.cpp.o.d"
+  "/root/repo/src/wrapper/table_grid.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/table_grid.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/table_grid.cpp.o.d"
+  "/root/repo/src/wrapper/wrapper.cpp" "src/wrapper/CMakeFiles/dart_wrapper.dir/wrapper.cpp.o" "gcc" "src/wrapper/CMakeFiles/dart_wrapper.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/textrepair/CMakeFiles/dart_textrepair.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

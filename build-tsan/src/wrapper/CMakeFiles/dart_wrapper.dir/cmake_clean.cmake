@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_wrapper.dir/domains.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/domains.cpp.o.d"
+  "CMakeFiles/dart_wrapper.dir/html_parser.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/html_parser.cpp.o.d"
+  "CMakeFiles/dart_wrapper.dir/matcher.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/matcher.cpp.o.d"
+  "CMakeFiles/dart_wrapper.dir/row_pattern.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/row_pattern.cpp.o.d"
+  "CMakeFiles/dart_wrapper.dir/table_grid.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/table_grid.cpp.o.d"
+  "CMakeFiles/dart_wrapper.dir/wrapper.cpp.o"
+  "CMakeFiles/dart_wrapper.dir/wrapper.cpp.o.d"
+  "libdart_wrapper.a"
+  "libdart_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

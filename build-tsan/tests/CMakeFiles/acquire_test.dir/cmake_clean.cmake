@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquire_test.dir/acquire_test.cpp.o"
+  "CMakeFiles/acquire_test.dir/acquire_test.cpp.o.d"
+  "acquire_test"
+  "acquire_test.pdb"
+  "acquire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

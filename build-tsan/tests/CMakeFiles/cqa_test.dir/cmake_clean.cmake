@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_test.dir/cqa_test.cpp.o"
+  "CMakeFiles/cqa_test.dir/cqa_test.cpp.o.d"
+  "cqa_test"
+  "cqa_test.pdb"
+  "cqa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_relation_test.dir/cross_relation_test.cpp.o"
+  "CMakeFiles/cross_relation_test.dir/cross_relation_test.cpp.o.d"
+  "cross_relation_test"
+  "cross_relation_test.pdb"
+  "cross_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgen_test.dir/dbgen_test.cpp.o"
+  "CMakeFiles/dbgen_test.dir/dbgen_test.cpp.o.d"
+  "dbgen_test"
+  "dbgen_test.pdb"
+  "dbgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expense_test.dir/expense_test.cpp.o"
+  "CMakeFiles/expense_test.dir/expense_test.cpp.o.d"
+  "expense_test"
+  "expense_test.pdb"
+  "expense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

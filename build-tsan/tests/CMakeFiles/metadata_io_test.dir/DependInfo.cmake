@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metadata_io_test.cpp" "tests/CMakeFiles/metadata_io_test.dir/metadata_io_test.cpp.o" "gcc" "tests/CMakeFiles/metadata_io_test.dir/metadata_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ocr/CMakeFiles/dart_ocr.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dbgen/CMakeFiles/dart_dbgen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/validation/CMakeFiles/dart_validation.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/repair/CMakeFiles/dart_repair.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/constraints/CMakeFiles/dart_constraints.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/dart_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/milp/CMakeFiles/dart_milp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/acquire/CMakeFiles/dart_acquire.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wrapper/CMakeFiles/dart_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/textrepair/CMakeFiles/dart_textrepair.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

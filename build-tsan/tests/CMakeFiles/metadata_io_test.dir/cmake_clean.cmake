@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_io_test.dir/metadata_io_test.cpp.o"
+  "CMakeFiles/metadata_io_test.dir/metadata_io_test.cpp.o.d"
+  "metadata_io_test"
+  "metadata_io_test.pdb"
+  "metadata_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_test.dir/ocr_test.cpp.o"
+  "CMakeFiles/ocr_test.dir/ocr_test.cpp.o.d"
+  "ocr_test"
+  "ocr_test.pdb"
+  "ocr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

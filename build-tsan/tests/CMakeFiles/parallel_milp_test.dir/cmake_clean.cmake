@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_milp_test.dir/parallel_milp_test.cpp.o"
+  "CMakeFiles/parallel_milp_test.dir/parallel_milp_test.cpp.o.d"
+  "parallel_milp_test"
+  "parallel_milp_test.pdb"
+  "parallel_milp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_milp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presolve_test.dir/presolve_test.cpp.o"
+  "CMakeFiles/presolve_test.dir/presolve_test.cpp.o.d"
+  "presolve_test"
+  "presolve_test.pdb"
+  "presolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

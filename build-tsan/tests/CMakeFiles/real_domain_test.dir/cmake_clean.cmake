@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_domain_test.dir/real_domain_test.cpp.o"
+  "CMakeFiles/real_domain_test.dir/real_domain_test.cpp.o.d"
+  "real_domain_test"
+  "real_domain_test.pdb"
+  "real_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steady_test.dir/steady_test.cpp.o"
+  "CMakeFiles/steady_test.dir/steady_test.cpp.o.d"
+  "steady_test"
+  "steady_test.pdb"
+  "steady_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steady_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textrepair_test.dir/textrepair_test.cpp.o"
+  "CMakeFiles/textrepair_test.dir/textrepair_test.cpp.o.d"
+  "textrepair_test"
+  "textrepair_test.pdb"
+  "textrepair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textrepair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

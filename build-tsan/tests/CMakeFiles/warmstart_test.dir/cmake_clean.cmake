@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmstart_test.dir/warmstart_test.cpp.o"
+  "CMakeFiles/warmstart_test.dir/warmstart_test.cpp.o.d"
+  "warmstart_test"
+  "warmstart_test.pdb"
+  "warmstart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmstart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

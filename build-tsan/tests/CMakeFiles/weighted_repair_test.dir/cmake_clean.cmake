@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_repair_test.dir/weighted_repair_test.cpp.o"
+  "CMakeFiles/weighted_repair_test.dir/weighted_repair_test.cpp.o.d"
+  "weighted_repair_test"
+  "weighted_repair_test.pdb"
+  "weighted_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/relational_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/steady_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/milp_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/translator_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/textrepair_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/wrapper_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/dbgen_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ocr_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/validation_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cqa_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/weighted_repair_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/acquire_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/metadata_io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/presolve_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/real_domain_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cross_relation_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/display_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/warmstart_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/expense_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_milp_test[1]_include.cmake")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_thread_scaling.cpp" "bench/CMakeFiles/bench_thread_scaling.dir/bench_thread_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_thread_scaling.dir/bench_thread_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocr/CMakeFiles/dart_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbgen/CMakeFiles/dart_dbgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/dart_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/dart_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dart_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dart_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/dart_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/acquire/CMakeFiles/dart_acquire.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/dart_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/textrepair/CMakeFiles/dart_textrepair.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dart_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
