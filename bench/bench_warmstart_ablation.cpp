@@ -1,0 +1,52 @@
+// Experiment E15 (EXPERIMENTS.md): warm-start ablation. The same
+// card-minimal-repair MILPs solved twice per size — cold (every node LP
+// restarts two-phase from the all-slack basis) vs warm (child nodes re-solve
+// from the parent's optimal basis with dual simplex pivots). Counters expose
+// LP iterations per node and the fraction of node LPs that completed on the
+// warm path, which together explain the wall-time gap.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "repair/engine.h"
+
+namespace {
+
+void BM_RepairWarmVsCold(benchmark::State& state) {
+  const int years = static_cast<int>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  dart::bench::Scenario scenario =
+      dart::bench::MakeBudgetScenario(/*seed=*/42, years, /*num_errors=*/2);
+  dart::repair::RepairEngineOptions options;
+  options.milp.use_warm_start = warm;
+  dart::repair::RepairEngine engine(options);
+  int64_t nodes = 0, lp_iterations = 0, warm_solves = 0;
+  double milp_wall = 0;
+  for (auto _ : state) {
+    auto outcome =
+        engine.ComputeRepair(scenario.acquired, scenario.constraints);
+    DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+    benchmark::DoNotOptimize(outcome->repair.cardinality());
+    nodes = outcome->stats.nodes;
+    lp_iterations = outcome->stats.lp_iterations;
+    warm_solves = outcome->stats.lp_warm_solves;
+    milp_wall = outcome->stats.milp_wall_seconds;
+  }
+  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["lp_iters"] = static_cast<double>(lp_iterations);
+  state.counters["iters_per_node"] =
+      nodes > 0 ? static_cast<double>(lp_iterations) / nodes : 0.0;
+  state.counters["warm_frac"] =
+      nodes > 0 ? static_cast<double>(warm_solves) / nodes : 0.0;
+  state.counters["milp_wall_s"] = milp_wall;
+}
+
+// range(1): 0 = cold two-phase at every node, 1 = warm dual re-solves.
+BENCHMARK(BM_RepairWarmVsCold)
+    ->ArgsProduct({{4, 8, 12}, {0, 1}})
+    ->ArgNames({"years", "warm"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -22,12 +22,19 @@ done
 # one BENCH_<name>.json per binary at the repo root (diffable against the
 # checked-in BENCH_bench_repair_scaling.seed.json baseline).
 GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
-bench_end_to_end bench_presolve_ablation bench_thread_scaling"
+bench_end_to_end bench_presolve_ablation bench_thread_scaling \
+bench_warmstart_ablation"
 for name in $GBENCHES; do
   b="build/bench/$name"
   [ -x "$b" ] || continue
   echo "===== $name (json) ====="
   "$b" --benchmark_format=json > "BENCH_${name}.json"
 done
+
+# Regression gate: the fresh E1 sweep must stay within 1.3x of the committed
+# seed baseline (wall time per benchmark).
+python3 scripts/check_bench_regression.py \
+  BENCH_bench_repair_scaling.json BENCH_bench_repair_scaling.seed.json \
+  --max-ratio 1.3 || exit 1
 
 echo "Done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 
 #include "milp/branching.h"
 #include "milp/scheduler.h"
@@ -36,6 +37,9 @@ struct Node {
   /// Parent LP bound in minimize-space; used as the best-first priority.
   double parent_bound = -std::numeric_limits<double>::infinity();
   int depth = 0;
+  /// Parent node's optimal basis (shared by both siblings); the node's LP
+  /// warm-starts from it with dual pivots. Null at the root / when disabled.
+  std::shared_ptr<const LpBasis> warm;
 };
 
 struct NodeCompare {
@@ -99,6 +103,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   StandardForm form(model);
   LpScratch scratch;
   LpResult lp;
+  LpBasis node_basis;  // reused buffer; moved into a shared snapshot on branch
 
   Node root;
   root.lower = form.var_lower;
@@ -153,8 +158,14 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     if (prunable(node.parent_bound)) continue;
 
     ++result.nodes;
-    SolveLpCached(form, options.lp, node.lower, node.upper, &scratch, &lp);
+    if (options.use_warm_start) {
+      SolveLpWarm(form, options.lp, node.lower, node.upper, node.warm.get(),
+                  &scratch, &lp, &node_basis);
+    } else {
+      SolveLpCached(form, options.lp, node.lower, node.upper, &scratch, &lp);
+    }
     result.lp_iterations += lp.iterations;
+    if (lp.warm_started) ++result.lp_warm_solves;
     if (lp.status == LpResult::SolveStatus::kInfeasible) continue;
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
       result.status = MilpResult::SolveStatus::kUnbounded;
@@ -189,6 +200,13 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     }
 
     const double value = lp.point[branch_var];
+    // Both children warm-start from this node's optimal basis (one shared
+    // snapshot; node_basis is a moved-from husk afterwards and is refilled by
+    // the next optimal solve).
+    std::shared_ptr<const LpBasis> snapshot;
+    if (options.use_warm_start) {
+      snapshot = std::make_shared<const LpBasis>(std::move(node_basis));
+    }
     // Down child: x <= floor(value). Copies the parent's bounds; the up
     // child below then steals them, so each expansion copies the two bound
     // vectors once instead of twice.
@@ -199,6 +217,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
       child.upper[branch_var] = std::floor(value);
       child.parent_bound = bound_key;
       child.depth = node.depth + 1;
+      child.warm = snapshot;
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         push(std::move(child));
       }
@@ -211,6 +230,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
       child.lower[branch_var] = std::ceil(value);
       child.parent_bound = bound_key;
       child.depth = node.depth + 1;
+      child.warm = std::move(snapshot);
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         push(std::move(child));
       }

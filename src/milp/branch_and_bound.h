@@ -51,6 +51,12 @@ struct MilpOptions {
   /// identical in all configurations; node counts may differ run-to-run for
   /// > 1 because incumbents are discovered in nondeterministic order.
   int num_threads = 1;
+  /// Warm-start node LP re-solves from the parent node's optimal basis via
+  /// dual simplex pivots (see SolveLpWarm). A child differs from its parent
+  /// in exactly one variable bound, so the parent basis stays dual-feasible
+  /// and the child typically re-solves in a handful of pivots. Ablation
+  /// switch (bench_warmstart_ablation); off forces cold solves at every node.
+  bool use_warm_start = true;
   /// Optional warm start: a point to try as the initial incumbent (snapped
   /// and feasibility-checked; silently ignored when the size is wrong or the
   /// point infeasible). Typical source: the previous validation-loop
@@ -81,6 +87,9 @@ struct MilpResult {
   // Statistics.
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  /// Node LPs that completed on the warm-start path (parent basis plus dual
+  /// pivots; excludes cold fallbacks). 0 when use_warm_start is false.
+  int64_t lp_warm_solves = 0;
   /// Wall-clock seconds spent inside the solve (search only, not model
   /// construction).
   double wall_seconds = 0;

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,6 +26,9 @@ struct Node {
   std::vector<double> upper;
   double parent_bound = -kInf;
   int depth = 0;
+  /// Parent node's optimal basis for warm-started dual re-solves. Immutable
+  /// once published, so sharing it across stealing workers is safe.
+  std::shared_ptr<const LpBasis> warm;
 };
 
 /// One worker's node store. The owner treats it as a LIFO stack (bottom);
@@ -77,6 +81,7 @@ struct SharedState {
   std::atomic<int64_t> open_nodes{0};
   std::atomic<int64_t> nodes_explored{0};
   std::atomic<int64_t> lp_iterations{0};
+  std::atomic<int64_t> lp_warm_solves{0};
   std::atomic<int64_t> steals{0};
   std::atomic<bool> abort{false};
   std::atomic<bool> unbounded{false};
@@ -134,6 +139,7 @@ void WorkerMain(WorkerContext* ctx) {
 
   LpScratch scratch;
   LpResult lp;
+  LpBasis node_basis;  // reused; moved into a shared snapshot on branch
   std::vector<double> snapped;
   int idle_spins = 0;
 
@@ -181,10 +187,18 @@ void WorkerMain(WorkerContext* ctx) {
 
     ++ctx->nodes;
     shared->nodes_explored.fetch_add(1, std::memory_order_relaxed);
-    SolveLpCached(*ctx->form, options.lp, node.lower, node.upper, &scratch,
-                  &lp);
+    if (options.use_warm_start) {
+      SolveLpWarm(*ctx->form, options.lp, node.lower, node.upper,
+                  node.warm.get(), &scratch, &lp, &node_basis);
+    } else {
+      SolveLpCached(*ctx->form, options.lp, node.lower, node.upper, &scratch,
+                    &lp);
+    }
     shared->lp_iterations.fetch_add(lp.iterations,
                                     std::memory_order_relaxed);
+    if (lp.warm_started) {
+      shared->lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
+    }
 
     if (lp.status == LpResult::SolveStatus::kInfeasible) {
       shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
@@ -231,6 +245,12 @@ void WorkerMain(WorkerContext* ctx) {
     }
 
     const double value = lp.point[branch_var];
+    // Both children share one immutable snapshot of this node's optimal
+    // basis for their warm starts.
+    std::shared_ptr<const LpBasis> snapshot;
+    if (options.use_warm_start) {
+      snapshot = std::make_shared<const LpBasis>(std::move(node_basis));
+    }
     // Down child copies the parent's bounds, up child steals them. Children
     // go to the owner's bottom: the worker dives depth-first while idle
     // workers steal the shallower sibling from the top.
@@ -241,6 +261,7 @@ void WorkerMain(WorkerContext* ctx) {
       child.upper[branch_var] = std::floor(value);
       child.parent_bound = bound_key;
       child.depth = node.depth + 1;
+      child.warm = snapshot;
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         deques[ctx->id].PushBottom(std::move(child));
@@ -253,6 +274,7 @@ void WorkerMain(WorkerContext* ctx) {
       child.lower[branch_var] = std::ceil(value);
       child.parent_bound = bound_key;
       child.depth = node.depth + 1;
+      child.warm = std::move(snapshot);
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         deques[ctx->id].PushBottom(std::move(child));
@@ -316,6 +338,7 @@ MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
     result.nodes += contexts[id].nodes;
   }
   result.lp_iterations = shared.lp_iterations.load();
+  result.lp_warm_solves = shared.lp_warm_solves.load();
   result.steals = shared.steals.load();
 
   if (shared.unbounded.load()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace dart::milp {
@@ -37,6 +38,10 @@ StandardForm::StandardForm(const Model& model)
     row_sense.push_back(row.sense);
     row_rhs.push_back(row.rhs);
   }
+  var_cost.assign(n, 0.0);
+  for (const LinearTerm& term : objective_terms) {
+    var_cost[term.variable] += sense_factor * term.coefficient;
+  }
   var_lower.resize(n);
   var_upper.resize(n);
   for (int i = 0; i < n; ++i) {
@@ -47,343 +52,585 @@ StandardForm::StandardForm(const Model& model)
 
 namespace {
 
-/// Dense standard-form tableau over one contiguous row-major buffer (plus
-/// rhs/basis arrays) owned by an LpScratch: min c'x, Ax = b, x >= 0, with a
-/// known basic feasible solution maintained through pivots. Pivots stream
-/// through the buffer row by row, so the update loop is prefetch-friendly.
-struct FlatTableau {
-  double* a = nullptr;   // rows × cols, row-major, stride == cols
-  double* b = nullptr;   // rhs per row
-  int* basis = nullptr;  // basic column per row
-  int rows = 0;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Feasibility tolerance on basic-variable bound violations (looser than the
+/// pivot tolerance, matching the phase-1 threshold of the former core).
+constexpr double kFeasTol = 1e-7;
+/// Non-improving iterations before the permanent switch to Bland's rule.
+constexpr int kStallLimit = 64;
+
+/// Dense bounded-variable tableau over LpScratch buffers: T = B⁻¹A with one
+/// slack column per row (m rows × (n + m) columns), plus B⁻¹b, the basic
+/// values, the basis, the column statuses/bounds/costs and reduced costs.
+/// Bounds are implicit: nonbasic columns sit at col_lower or col_upper and
+/// never appear as rows.
+struct Work {
+  double* t = nullptr;       // m × cols row-major
+  double* rhs0 = nullptr;    // B⁻¹b (bound-independent)
+  double* xb = nullptr;      // value of the basic variable per row
+  int* basis = nullptr;      // basic column per row
+  signed char* status = nullptr;
+  double* reduced = nullptr;
+  double* cost = nullptr;
+  double* lo = nullptr;
+  double* up = nullptr;
+  int m = 0;
   int cols = 0;
 
-  double At(int r, int c) const { return a[static_cast<size_t>(r) * cols + c]; }
-  double* Row(int r) { return a + static_cast<size_t>(r) * cols; }
-  const double* Row(int r) const { return a + static_cast<size_t>(r) * cols; }
+  double* Row(int r) { return t + static_cast<size_t>(r) * cols; }
+  const double* Row(int r) const {
+    return t + static_cast<size_t>(r) * cols;
+  }
+  double At(int r, int c) const {
+    return t[static_cast<size_t>(r) * cols + c];
+  }
+  /// Value of a nonbasic column (always a finite bound).
+  double NonbasicValue(int c) const {
+    return status[c] == kAtLower ? lo[c] : up[c];
+  }
+  double Room(int c) const { return up[c] - lo[c]; }
 
-  /// Gauss-Jordan pivot on (pivot_row, pivot_col); updates the basis.
+  /// Gauss-Jordan pivot on (pivot_row, pivot_col): re-expresses T and B⁻¹b in
+  /// the new basis. Does NOT touch xb/basis/status — callers update those
+  /// first (the pivot only changes the representation, not the point).
   void Pivot(int pivot_row, int pivot_col) {
     double* prow = Row(pivot_row);
-    const double pivot = prow[pivot_col];
-    const double inv = 1.0 / pivot;
+    const double inv = 1.0 / prow[pivot_col];
     for (int c = 0; c < cols; ++c) prow[c] *= inv;
-    b[pivot_row] *= inv;
+    rhs0[pivot_row] *= inv;
     prow[pivot_col] = 1.0;  // kill roundoff on the pivot itself
-    for (int r = 0; r < rows; ++r) {
+    for (int r = 0; r < m; ++r) {
       if (r == pivot_row) continue;
       double* row = Row(r);
       const double factor = row[pivot_col];
       if (factor == 0.0) continue;
       for (int c = 0; c < cols; ++c) row[c] -= factor * prow[c];
-      b[r] -= factor * b[pivot_row];
+      rhs0[r] -= factor * rhs0[pivot_row];
       row[pivot_col] = 0.0;
     }
     basis[pivot_row] = pivot_col;
   }
 
-  /// Removes a (redundant, all-zero) row, preserving the order of the rest.
-  void DropRow(int row) {
-    std::copy(Row(row + 1), Row(rows), Row(row));
-    std::copy(b + row + 1, b + rows, b + row);
-    std::copy(basis + row + 1, basis + rows, basis + row);
-    --rows;
+  /// Updates reduced costs for the pivot just performed at (pivot_row, col):
+  /// d ← d − d_col · (normalized pivot row).
+  void UpdateReduced(int pivot_row, int pivot_col) {
+    const double dj = reduced[pivot_col];
+    if (dj != 0.0) {
+      const double* prow = Row(pivot_row);
+      for (int c = 0; c < cols; ++c) reduced[c] -= dj * prow[c];
+    }
+    reduced[pivot_col] = 0.0;
   }
 };
 
-enum class IterOutcome { kOptimal, kUnbounded, kIterationLimit };
+void EnsureSizes(LpScratch* scratch, int m, int cols) {
+  scratch->tableau.resize(static_cast<size_t>(m) * cols);
+  scratch->rhs0.resize(m);
+  scratch->xb.resize(m);
+  scratch->basis.resize(m);
+  scratch->status.resize(cols);
+  scratch->reduced.resize(cols);
+  scratch->cost.resize(cols);
+  scratch->col_lower.resize(cols);
+  scratch->col_upper.resize(cols);
+}
 
-/// Runs simplex iterations for objective `cost` (size = cols). `allowed[c]`
-/// gates which columns may enter (used to lock out artificials in phase 2).
-/// Dantzig rule with a permanent switch to Bland's rule after `stall_limit`
-/// non-improving iterations. `reduced` is caller-owned scratch (size = cols).
-IterOutcome Iterate(FlatTableau* tableau, const double* cost,
-                    const char* allowed, double* reduced, double tol,
-                    int max_iterations, int* iterations_used) {
-  const int rows = tableau->rows;
-  const int cols = tableau->cols;
+Work MakeWork(const StandardForm& form, LpScratch* scratch) {
+  Work w;
+  w.m = form.m_model;
+  w.cols = form.n + form.m_model;
+  w.t = scratch->tableau.data();
+  w.rhs0 = scratch->rhs0.data();
+  w.xb = scratch->xb.data();
+  w.basis = scratch->basis.data();
+  w.status = scratch->status.data();
+  w.reduced = scratch->reduced.data();
+  w.cost = scratch->cost.data();
+  w.lo = scratch->col_lower.data();
+  w.up = scratch->col_upper.data();
+  return w;
+}
 
-  // Reduced costs and objective maintained incrementally through pivots.
-  std::copy(cost, cost + cols, reduced);
-  double objective = 0;
-  for (int r = 0; r < rows; ++r) {
-    const int bc = tableau->basis[r];
-    const double cb = cost[bc];
-    if (cb == 0.0) continue;
-    objective += cb * tableau->b[r];
-    const double* row = tableau->Row(r);
-    for (int c = 0; c < cols; ++c) reduced[c] -= cb * row[c];
+/// Per-column bounds and minimize-space costs: structural columns take the
+/// node's bounds; slack columns are [0, ∞) for inequality rows (≥ rows are
+/// sign-flipped into ≤ at fill time) and fixed [0, 0] for equalities.
+void SetBoundsAndCosts(const StandardForm& form,
+                       const std::vector<double>& lower,
+                       const std::vector<double>& upper, Work* w) {
+  const int n = form.n;
+  for (int j = 0; j < n; ++j) {
+    w->lo[j] = lower[j];
+    w->up[j] = upper[j];
+    w->cost[j] = form.var_cost[j];
   }
+  for (int r = 0; r < w->m; ++r) {
+    const int j = n + r;
+    w->lo[j] = 0.0;
+    w->up[j] = form.row_sense[r] == RowSense::kEq ? 0.0 : kInf;
+    w->cost[j] = 0.0;
+  }
+}
 
+/// Fills T = [±A | I] and B⁻¹b = ±b for the all-slack basis, flipping ≥ rows
+/// to ≤ so every inequality slack is simply nonnegative.
+void FillRawTableau(const StandardForm& form, Work* w) {
+  const int n = form.n;
+  std::memset(w->t, 0, sizeof(double) * static_cast<size_t>(w->m) * w->cols);
+  for (int r = 0; r < w->m; ++r) {
+    const double flip = form.row_sense[r] == RowSense::kGe ? -1.0 : 1.0;
+    double* row = w->Row(r);
+    for (int k = form.row_ptr[r]; k < form.row_ptr[r + 1]; ++k) {
+      row[form.term_var[k]] += flip * form.term_coef[k];
+    }
+    row[n + r] = 1.0;
+    w->rhs0[r] = flip * form.row_rhs[r];
+  }
+}
+
+/// Basic values from the current basis factorization, bounds and statuses:
+/// x_B = B⁻¹b − Σ_{j nonbasic} (B⁻¹A)_j · x_j(bound).
+void RecomputeBasicValues(Work* w) {
+  for (int r = 0; r < w->m; ++r) {
+    const double* row = w->Row(r);
+    double acc = w->rhs0[r];
+    for (int c = 0; c < w->cols; ++c) {
+      if (w->status[c] == kBasic) continue;
+      const double value = w->NonbasicValue(c);
+      if (value != 0.0) acc -= row[c] * value;
+    }
+    w->xb[r] = acc;
+  }
+}
+
+/// Reduced costs from scratch: d = c − c_B' B⁻¹A.
+void RecomputeReduced(Work* w) {
+  std::copy(w->cost, w->cost + w->cols, w->reduced);
+  for (int r = 0; r < w->m; ++r) {
+    const double cb = w->cost[w->basis[r]];
+    if (cb == 0.0) continue;
+    const double* row = w->Row(r);
+    for (int c = 0; c < w->cols; ++c) w->reduced[c] -= cb * row[c];
+  }
+  for (int r = 0; r < w->m; ++r) w->reduced[w->basis[r]] = 0.0;
+}
+
+enum class PhaseOutcome { kDone, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Dual simplex: starting from a dual-feasible basis, pivot until every basic
+/// value respects its bounds. A violated row with no eligible entering column
+/// is a Farkas certificate of primal infeasibility. Dantzig-style selection
+/// (most-violated row, min dual ratio with largest-pivot tie-break) with a
+/// permanent switch to Bland's rule (lowest row / lowest column index) when
+/// the dual objective stalls.
+PhaseOutcome DualPhase(Work* w, double tol, int max_iterations,
+                       int* iterations_used) {
   bool bland = false;
   int stall = 0;
-  const int stall_limit = 64;
-  double last_objective = objective;
-
   for (int iter = 0; iter < max_iterations; ++iter) {
-    // --- Entering column.
-    int entering = -1;
-    if (bland) {
-      for (int c = 0; c < cols; ++c) {
-        if (allowed[c] && reduced[c] < -tol) { entering = c; break; }
+    // --- Leaving row: a basic variable outside its bounds.
+    int leaving_row = -1;
+    bool below = false;
+    double worst = kFeasTol;
+    for (int r = 0; r < w->m; ++r) {
+      const int bc = w->basis[r];
+      const double under = w->lo[bc] - w->xb[r];
+      const double over = w->xb[r] - w->up[bc];
+      const double viol = under > over ? under : over;
+      if (viol > worst) {
+        worst = viol;
+        leaving_row = r;
+        below = under > over;
+        if (bland) break;  // lowest row index wins
       }
-    } else {
-      double best = -tol;
-      for (int c = 0; c < cols; ++c) {
-        if (allowed[c] && reduced[c] < best) {
-          best = reduced[c];
-          entering = c;
-        }
+      if (bland && leaving_row >= 0) break;
+    }
+    if (leaving_row < 0) {
+      *iterations_used += iter;
+      return PhaseOutcome::kDone;
+    }
+
+    const int leaving = w->basis[leaving_row];
+    const double target = below ? w->lo[leaving] : w->up[leaving];
+    const double sigma = below ? 1.0 : -1.0;
+    const double* row = w->Row(leaving_row);
+
+    // --- Entering column: dual ratio test over columns that can move the
+    // basic value toward its bound. Fixed columns cannot absorb anything and
+    // are excluded (required for the infeasibility certificate).
+    int entering = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0;
+    for (int c = 0; c < w->cols; ++c) {
+      if (w->status[c] == kBasic) continue;
+      if (w->Room(c) <= tol) continue;
+      const double alpha = row[c];
+      if (std::fabs(alpha) <= tol) continue;
+      const bool eligible = w->status[c] == kAtLower ? sigma * alpha < 0
+                                                     : sigma * alpha > 0;
+      if (!eligible) continue;
+      if (bland) {
+        entering = c;  // lowest column index
+        break;
+      }
+      const double ratio = std::fabs(w->reduced[c]) / std::fabs(alpha);
+      if (ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol &&
+           std::fabs(alpha) > std::fabs(best_alpha))) {
+        best_ratio = ratio;
+        best_alpha = alpha;
+        entering = c;
       }
     }
     if (entering < 0) {
       *iterations_used += iter;
-      return IterOutcome::kOptimal;
+      return PhaseOutcome::kInfeasible;
     }
 
-    // --- Leaving row: minimum ratio test; Bland tie-break on basis index.
-    int leaving = -1;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (int r = 0; r < rows; ++r) {
-      const double coeff = tableau->At(r, entering);
-      if (coeff <= tol) continue;
-      const double ratio = tableau->b[r] / coeff;
-      if (ratio < best_ratio - tol ||
-          (ratio < best_ratio + tol && leaving >= 0 &&
-           tableau->basis[r] < tableau->basis[leaving])) {
-        best_ratio = ratio;
-        leaving = r;
-      }
+    // --- Pivot: drive the leaving variable exactly to its violated bound.
+    const double alpha = row[entering];
+    const double delta = (target - w->xb[leaving_row]) / (-alpha);
+    const double progress = std::fabs(w->reduced[entering] * delta);
+    for (int r = 0; r < w->m; ++r) {
+      if (r == leaving_row) continue;
+      w->xb[r] -= w->At(r, entering) * delta;
     }
-    if (leaving < 0) {
-      *iterations_used += iter;
-      return IterOutcome::kUnbounded;
-    }
+    const double entering_value = w->NonbasicValue(entering) + delta;
+    w->status[leaving] = below ? kAtLower : kAtUpper;
+    w->status[entering] = kBasic;
+    w->xb[leaving_row] = entering_value;
+    w->Pivot(leaving_row, entering);
+    w->UpdateReduced(leaving_row, entering);
 
-    tableau->Pivot(leaving, entering);
-
-    // Update reduced costs & objective by the same pivot.
-    const double factor = reduced[entering];
-    if (factor != 0.0) {
-      const double* row = tableau->Row(leaving);
-      for (int c = 0; c < cols; ++c) {
-        reduced[c] -= factor * row[c];
-      }
-      objective -= factor * tableau->b[leaving];
-      reduced[entering] = 0.0;
-    }
-
-    // Stall detection → permanent Bland (termination guarantee).
-    if (objective < last_objective - tol) {
-      last_objective = objective;
+    if (progress > tol) {
       stall = 0;
-    } else if (!bland && ++stall >= stall_limit) {
+    } else if (!bland && ++stall >= kStallLimit) {
       bland = true;
     }
   }
   *iterations_used += max_iterations;
-  return IterOutcome::kIterationLimit;
+  return PhaseOutcome::kIterationLimit;
 }
 
-}  // namespace
+/// Primal bounded-variable simplex: from a primal-feasible basis, pivot (or
+/// bound-flip) until no nonbasic column can improve the objective. The ratio
+/// test caps the step at the entering column's own range — when that cap
+/// binds, the column flips to its other bound without any basis change.
+PhaseOutcome PrimalPhase(Work* w, double tol, int max_iterations,
+                         int* iterations_used) {
+  bool bland = false;
+  int stall = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // --- Entering column: most negative improvement direction.
+    int entering = -1;
+    double best_score = tol;
+    for (int c = 0; c < w->cols; ++c) {
+      if (w->status[c] == kBasic) continue;
+      if (w->Room(c) <= tol) continue;
+      const double score =
+          w->status[c] == kAtLower ? -w->reduced[c] : w->reduced[c];
+      if (score > best_score) {
+        best_score = score;
+        entering = c;
+        if (bland) break;  // lowest column index
+      }
+      if (bland && entering >= 0) break;
+    }
+    if (entering < 0) {
+      *iterations_used += iter;
+      return PhaseOutcome::kDone;
+    }
+    const double dir = w->status[entering] == kAtLower ? 1.0 : -1.0;
 
-void SolveLpCached(const StandardForm& form, const LpOptions& options,
-                   const std::vector<double>& lower,
-                   const std::vector<double>& upper, LpScratch* scratch,
-                   LpResult* result) {
-  const double tol = options.tol;
+    // --- Ratio test: first basic variable to hit a bound, or the entering
+    // column's own bound flip. Bland tie-break on basis index among rows.
+    const double room = w->Room(entering);
+    double best_t = room;  // may be +inf for a slack column
+    int leaving_row = -1;
+    bool leaving_to_lower = false;
+    for (int r = 0; r < w->m; ++r) {
+      const double a = w->At(r, entering) * dir;
+      const int bc = w->basis[r];
+      double t;
+      bool to_lower;
+      if (a > tol) {
+        if (w->lo[bc] == -kInf) continue;
+        t = (w->xb[r] - w->lo[bc]) / a;
+        to_lower = true;
+      } else if (a < -tol) {
+        if (w->up[bc] == kInf) continue;
+        t = (w->up[bc] - w->xb[r]) / (-a);
+        to_lower = false;
+      } else {
+        continue;
+      }
+      if (t < best_t - tol ||
+          (t < best_t + tol &&
+           (leaving_row < 0 || w->basis[r] < w->basis[leaving_row]))) {
+        best_t = t;
+        leaving_row = r;
+        leaving_to_lower = to_lower;
+      }
+    }
+
+    if (leaving_row < 0) {
+      if (best_t == kInf) {
+        *iterations_used += iter;
+        return PhaseOutcome::kUnbounded;
+      }
+      // --- Bound flip: the entering column crosses its whole range with no
+      // basis change; strictly improving because score > tol and room > tol.
+      for (int r = 0; r < w->m; ++r) {
+        w->xb[r] -= w->At(r, entering) * dir * room;
+      }
+      w->status[entering] =
+          w->status[entering] == kAtLower ? kAtUpper : kAtLower;
+      stall = 0;
+      continue;
+    }
+
+    // --- Pivot.
+    const double delta = dir * best_t;
+    const double progress = std::fabs(w->reduced[entering] * delta);
+    for (int r = 0; r < w->m; ++r) {
+      if (r == leaving_row) continue;
+      w->xb[r] -= w->At(r, entering) * delta;
+    }
+    const double entering_value = w->NonbasicValue(entering) + delta;
+    const int leaving = w->basis[leaving_row];
+    w->status[leaving] = leaving_to_lower ? kAtLower : kAtUpper;
+    w->status[entering] = kBasic;
+    w->xb[leaving_row] = entering_value;
+    w->Pivot(leaving_row, entering);
+    w->UpdateReduced(leaving_row, entering);
+
+    if (progress > tol) {
+      stall = 0;
+    } else if (!bland && ++stall >= kStallLimit) {
+      bland = true;
+    }
+  }
+  *iterations_used += max_iterations;
+  return PhaseOutcome::kIterationLimit;
+}
+
+/// Cold start: all-slack basis, nonbasic structural columns on their
+/// cost-sign bound (zero-cost columns take the bound of smaller magnitude),
+/// which is dual-feasible by construction.
+void ColdStart(const StandardForm& form, const std::vector<double>& lower,
+               const std::vector<double>& upper, Work* w) {
   const int n = form.n;
-  result->status = LpResult::SolveStatus::kIterationLimit;
-  result->objective = 0;
-  result->iterations = 0;
-  result->point.clear();
-
-  // Bounds sanity and the shifted problem: x = lower + x', 0 <= x' <= range.
-  for (int i = 0; i < n; ++i) {
-    if (lower[i] > upper[i] + 1e-9) {
-      result->status = LpResult::SolveStatus::kInfeasible;
-      return;
-    }
-  }
-  scratch->range.resize(n);
-  scratch->ub_vars.clear();
-  for (int i = 0; i < n; ++i) {
-    scratch->range[i] = upper[i] - lower[i];
-    if (scratch->range[i] > tol) scratch->ub_vars.push_back(i);
-    // range ~ 0: variable fixed at its lower bound; x' pinned to 0 by
-    // nonnegativity plus an upper-bound row would be redundant.
-  }
-  const double* range = scratch->range.data();
-
-  const int m_model = form.m_model;
-  const int m = m_model + static_cast<int>(scratch->ub_vars.size());
-
-  // Row layout: model rows first (shifted rhs), then one upper-bound row per
-  // unfixed variable. rhs is normalized to >= 0 by flipping the row's sign
-  // (recorded in spec_flip, applied when filling the tableau).
-  scratch->spec_rhs.resize(m);
-  scratch->spec_flip.resize(m);
-  scratch->spec_sense.resize(m);
-  for (int r = 0; r < m; ++r) {
-    double rhs;
-    RowSense sense;
-    if (r < m_model) {
-      rhs = form.row_rhs[r];
-      // Shift constants: rhs' = rhs - Σ a_i * lower_i.
-      for (int k = form.row_ptr[r]; k < form.row_ptr[r + 1]; ++k) {
-        rhs -= form.term_coef[k] * lower[form.term_var[k]];
-      }
-      sense = form.row_sense[r];
+  SetBoundsAndCosts(form, lower, upper, w);
+  for (int j = 0; j < n; ++j) {
+    if (w->cost[j] > 0) {
+      w->status[j] = kAtLower;
+    } else if (w->cost[j] < 0) {
+      w->status[j] = kAtUpper;
     } else {
-      rhs = range[scratch->ub_vars[r - m_model]];
-      sense = RowSense::kLe;
-    }
-    double flip = 1.0;
-    if (rhs < 0) {
-      rhs = -rhs;
-      flip = -1.0;
-      if (sense == RowSense::kLe) sense = RowSense::kGe;
-      else if (sense == RowSense::kGe) sense = RowSense::kLe;
-    }
-    scratch->spec_rhs[r] = rhs;
-    scratch->spec_flip[r] = flip;
-    scratch->spec_sense[r] = sense;
-  }
-
-  // Count auxiliary columns.
-  int num_slack = 0, num_artificial = 0;
-  for (int r = 0; r < m; ++r) {
-    if (scratch->spec_sense[r] != RowSense::kEq) ++num_slack;
-    if (scratch->spec_sense[r] != RowSense::kLe) ++num_artificial;
-  }
-  const int cols = n + num_slack + num_artificial;
-  const int artificial_begin = n + num_slack;
-
-  scratch->tableau.assign(static_cast<size_t>(m) * cols, 0.0);
-  scratch->rhs.resize(m);
-  scratch->basis.resize(m);
-  FlatTableau tableau{scratch->tableau.data(), scratch->rhs.data(),
-                      scratch->basis.data(), m, cols};
-  {
-    int slack_next = n;
-    int artificial_next = artificial_begin;
-    for (int r = 0; r < m; ++r) {
-      double* row = tableau.Row(r);
-      const double flip = scratch->spec_flip[r];
-      if (r < m_model) {
-        for (int k = form.row_ptr[r]; k < form.row_ptr[r + 1]; ++k) {
-          const int var = form.term_var[k];
-          if (range[var] <= tol) continue;  // fixed at shift origin
-          row[var] += flip * form.term_coef[k];
-        }
-      } else {
-        row[scratch->ub_vars[r - m_model]] += flip * 1.0;
-      }
-      tableau.b[r] = scratch->spec_rhs[r];
-      switch (scratch->spec_sense[r]) {
-        case RowSense::kLe:
-          row[slack_next] = 1.0;
-          tableau.basis[r] = slack_next++;
-          break;
-        case RowSense::kGe:
-          row[slack_next] = -1.0;
-          ++slack_next;
-          row[artificial_next] = 1.0;
-          tableau.basis[r] = artificial_next++;
-          break;
-        case RowSense::kEq:
-          row[artificial_next] = 1.0;
-          tableau.basis[r] = artificial_next++;
-          break;
-      }
+      w->status[j] =
+          std::fabs(w->lo[j]) <= std::fabs(w->up[j]) ? kAtLower : kAtUpper;
     }
   }
+  FillRawTableau(form, w);
+  for (int r = 0; r < w->m; ++r) {
+    w->basis[r] = n + r;
+    w->status[n + r] = kBasic;
+  }
+  std::copy(w->cost, w->cost + w->cols, w->reduced);  // c_B = 0 for slacks
+  RecomputeBasicValues(w);
+}
 
-  const int max_iterations =
-      options.max_iterations > 0 ? options.max_iterations
-                                 : 200 * (m + cols) + 20000;
-  int iterations = 0;
-  scratch->reduced.resize(cols);
+/// Restores a warm basis: reuses the scratch tableau when it still holds this
+/// exact factorization, otherwise refactorizes (m Gauss-Jordan pivots on the
+/// raw tableau). Returns false when the snapshot is unusable (wrong shape,
+/// out-of-range columns, numerically singular) — caller then goes cold.
+bool RestoreWarmBasis(const StandardForm& form, const LpBasis& warm,
+                      const std::vector<double>& lower,
+                      const std::vector<double>& upper, LpScratch* scratch,
+                      Work* w) {
+  if (static_cast<int>(warm.basis.size()) != w->m ||
+      static_cast<int>(warm.status.size()) != w->cols) {
+    return false;
+  }
+  SetBoundsAndCosts(form, lower, upper, w);
+  for (int c = 0; c < w->cols; ++c) {
+    const signed char s = warm.status[c];
+    if (s != kAtLower && s != kAtUpper && s != kBasic) return false;
+    if (s == kAtUpper && w->up[c] == kInf) return false;
+  }
+  for (int r = 0; r < w->m; ++r) {
+    const int j = warm.basis[r];
+    if (j < 0 || j >= w->cols) return false;
+  }
 
-  // --- Phase 1: drive artificials to zero.
-  if (num_artificial > 0) {
-    scratch->cost.assign(cols, 0.0);
-    for (int c = artificial_begin; c < cols; ++c) scratch->cost[c] = 1.0;
-    scratch->allowed.assign(cols, 1);
-    IterOutcome outcome =
-        Iterate(&tableau, scratch->cost.data(), scratch->allowed.data(),
-                scratch->reduced.data(), tol, max_iterations, &iterations);
-    result->iterations = iterations;
-    if (outcome == IterOutcome::kIterationLimit) {
-      result->status = LpResult::SolveStatus::kIterationLimit;
-      return;
-    }
-    double infeasibility = 0;
-    for (int r = 0; r < tableau.rows; ++r) {
-      if (tableau.basis[r] >= artificial_begin) {
-        infeasibility += tableau.b[r];
-      }
-    }
-    if (infeasibility > 1e-7) {
-      result->status = LpResult::SolveStatus::kInfeasible;
-      return;
-    }
-    // Pivot remaining (zero-level) artificials out of the basis, or drop
-    // redundant rows, so phase 2 cannot push an artificial positive.
-    for (int r = tableau.rows - 1; r >= 0; --r) {
-      if (tableau.basis[r] < artificial_begin) continue;
-      int pivot_col = -1;
-      const double* row = tableau.Row(r);
-      for (int c = 0; c < artificial_begin; ++c) {
-        if (std::fabs(row[c]) > 1e-7) {
-          pivot_col = c;
-          break;
+  const bool hot = scratch->tableau_valid && scratch->cached_form == &form &&
+                   std::equal(warm.basis.begin(), warm.basis.end(),
+                              scratch->basis.begin());
+  std::copy(warm.status.begin(), warm.status.end(), w->status);
+  if (!hot) {
+    // Refactorize: raw tableau, then pivot each snapshot column into its row
+    // (rows may be permuted for pivot stability — any row order of the same
+    // basis is an equally valid factorization).
+    FillRawTableau(form, w);
+    std::copy(warm.basis.begin(), warm.basis.end(), w->basis);
+    for (int r = 0; r < w->m; ++r) {
+      // Pivot column basis[r] into row r, searching the not-yet-pivoted rows
+      // [r, m) for the largest magnitude. Only the raw rows are swapped: the
+      // column-to-row assignment of the snapshot is kept as-is.
+      const int j = w->basis[r];
+      int best_row = -1;
+      double best_mag = 1e-8;
+      for (int rr = r; rr < w->m; ++rr) {
+        const double mag = std::fabs(w->At(rr, j));
+        if (mag > best_mag) {
+          best_mag = mag;
+          best_row = rr;
         }
       }
-      if (pivot_col >= 0) {
-        tableau.Pivot(r, pivot_col);
-      } else {
-        tableau.DropRow(r);  // 0 = 0: redundant constraint
+      if (best_row < 0) return false;  // singular snapshot
+      if (best_row != r) {
+        std::swap_ranges(w->Row(r), w->Row(r) + w->cols, w->Row(best_row));
+        std::swap(w->rhs0[r], w->rhs0[best_row]);
       }
+      w->Pivot(r, j);
     }
+    RecomputeReduced(w);
   }
+  for (int r = 0; r < w->m; ++r) w->status[w->basis[r]] = kBasic;
+  RecomputeBasicValues(w);
+  return true;
+}
 
-  // --- Phase 2: the real objective (converted to minimization).
-  scratch->cost.assign(cols, 0.0);
-  for (const LinearTerm& term : form.objective_terms) {
-    if (range[term.variable] <= tol) continue;  // fixed vars: constant cost
-    scratch->cost[term.variable] = form.sense_factor * term.coefficient;
-  }
-  scratch->allowed.assign(cols, 1);
-  for (int c = artificial_begin; c < cols; ++c) scratch->allowed[c] = 0;
-
-  IterOutcome outcome =
-      Iterate(&tableau, scratch->cost.data(), scratch->allowed.data(),
-              scratch->reduced.data(), tol, max_iterations, &iterations);
-  result->iterations = iterations;
-  if (outcome == IterOutcome::kIterationLimit) {
-    result->status = LpResult::SolveStatus::kIterationLimit;
-    return;
-  }
-  if (outcome == IterOutcome::kUnbounded) {
-    result->status = LpResult::SolveStatus::kUnbounded;
-    return;
-  }
-
-  // --- Extract the point in original coordinates.
+void ExtractPoint(const StandardForm& form, const std::vector<double>& lower,
+                  const std::vector<double>& upper, const Work& w,
+                  LpResult* result) {
+  const int n = form.n;
   result->point.assign(n, 0.0);
-  for (int r = 0; r < tableau.rows; ++r) {
-    const int bc = tableau.basis[r];
-    if (bc < n) result->point[bc] = tableau.b[r];
+  for (int j = 0; j < n; ++j) {
+    if (w.status[j] != kBasic) result->point[j] = w.NonbasicValue(j);
+  }
+  for (int r = 0; r < w.m; ++r) {
+    const int bc = w.basis[r];
+    if (bc < n) result->point[bc] = w.xb[r];
   }
   for (int i = 0; i < n; ++i) {
-    result->point[i] += lower[i];
     // Clamp roundoff into the box.
     result->point[i] = std::clamp(result->point[i], lower[i], upper[i]);
   }
   result->objective =
       form.objective_constant + EvalTerms(form.objective_terms, result->point);
   result->status = LpResult::SolveStatus::kOptimal;
+}
+
+}  // namespace
+
+void SolveLpWarm(const StandardForm& form, const LpOptions& options,
+                 const std::vector<double>& lower,
+                 const std::vector<double>& upper, const LpBasis* warm,
+                 LpScratch* scratch, LpResult* result, LpBasis* final_basis) {
+  const double tol = options.tol;
+  const int n = form.n;
+  const int m = form.m_model;
+  const int cols = n + m;
+  result->status = LpResult::SolveStatus::kIterationLimit;
+  result->objective = 0;
+  result->iterations = 0;
+  result->warm_started = false;
+  result->point.clear();
+
+  for (int i = 0; i < n; ++i) {
+    if (lower[i] > upper[i] + 1e-9) {
+      result->status = LpResult::SolveStatus::kInfeasible;
+      return;
+    }
+  }
+
+  EnsureSizes(scratch, m, cols);
+  Work w = MakeWork(form, scratch);
+  const int max_iterations = options.max_iterations > 0
+                                 ? options.max_iterations
+                                 : 200 * (m + cols) + 20000;
+  int iterations = 0;
+
+  // --- Warm attempt: parent basis + dual pivots. Any breakdown (singular
+  // snapshot, iteration limit, spurious unbounded ray) falls through to the
+  // cold path below instead of mis-reporting.
+  if (warm != nullptr &&
+      RestoreWarmBasis(form, *warm, lower, upper, scratch, &w)) {
+    const PhaseOutcome dual = DualPhase(&w, tol, max_iterations, &iterations);
+    if (dual == PhaseOutcome::kInfeasible) {
+      // Trustworthy: the Farkas row is exact reasoning on the refactorized
+      // tableau, same as the cold path would produce.
+      result->status = LpResult::SolveStatus::kInfeasible;
+      result->iterations = iterations;
+      result->warm_started = true;
+      scratch->tableau_valid = true;
+      scratch->cached_form = &form;
+      return;
+    }
+    if (dual == PhaseOutcome::kDone &&
+        PrimalPhase(&w, tol, max_iterations, &iterations) ==
+            PhaseOutcome::kDone) {
+      result->iterations = iterations;
+      result->warm_started = true;
+      ExtractPoint(form, lower, upper, w, result);
+      scratch->tableau_valid = true;
+      scratch->cached_form = &form;
+      if (final_basis != nullptr) {
+        final_basis->basis.assign(scratch->basis.begin(),
+                                  scratch->basis.end());
+        final_basis->status.assign(scratch->status.begin(),
+                                   scratch->status.end());
+      }
+      return;
+    }
+    // Breakdown: restart cold with a fresh full iteration budget.
+  }
+
+  // --- Cold solve: all-slack basis on cost-sign bounds (dual feasible), then
+  // dual phase to primal feasibility, then primal phase to optimality.
+  ColdStart(form, lower, upper, &w);
+  const PhaseOutcome dual = DualPhase(&w, tol, max_iterations, &iterations);
+  result->iterations = iterations;
+  if (dual == PhaseOutcome::kInfeasible) {
+    result->status = LpResult::SolveStatus::kInfeasible;
+    scratch->tableau_valid = true;
+    scratch->cached_form = &form;
+    return;
+  }
+  if (dual == PhaseOutcome::kIterationLimit) {
+    result->status = LpResult::SolveStatus::kIterationLimit;
+    scratch->tableau_valid = false;
+    return;
+  }
+  const PhaseOutcome primal =
+      PrimalPhase(&w, tol, max_iterations, &iterations);
+  result->iterations = iterations;
+  if (primal == PhaseOutcome::kUnbounded) {
+    result->status = LpResult::SolveStatus::kUnbounded;
+    scratch->tableau_valid = false;
+    return;
+  }
+  if (primal == PhaseOutcome::kIterationLimit) {
+    result->status = LpResult::SolveStatus::kIterationLimit;
+    scratch->tableau_valid = false;
+    return;
+  }
+  ExtractPoint(form, lower, upper, w, result);
+  scratch->tableau_valid = true;
+  scratch->cached_form = &form;
+  if (final_basis != nullptr) {
+    final_basis->basis.assign(scratch->basis.begin(), scratch->basis.end());
+    final_basis->status.assign(scratch->status.begin(),
+                               scratch->status.end());
+  }
+}
+
+void SolveLpCached(const StandardForm& form, const LpOptions& options,
+                   const std::vector<double>& lower,
+                   const std::vector<double>& upper, LpScratch* scratch,
+                   LpResult* result) {
+  SolveLpWarm(form, options, lower, upper, /*warm=*/nullptr, scratch, result,
+              /*final_basis=*/nullptr);
 }
 
 LpResult SolveLpRelaxation(const Model& model, const LpOptions& options,

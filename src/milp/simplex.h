@@ -5,26 +5,42 @@
 #include "milp/model.h"
 
 /// \file simplex.h
-/// A dense two-phase primal simplex solver for the LP relaxations of DART's
-/// repair MILPs.
+/// A dense bounded-variable simplex solver for the LP relaxations of DART's
+/// repair MILPs, with a dual simplex phase for warm-started re-solves inside
+/// branch-and-bound.
 ///
-/// Scope: every variable must carry finite bounds (guaranteed by Model).
-/// Variables are shifted to their lower bound and upper bounds become
-/// explicit rows, so the core works on the textbook standard form
-/// min c'x, Ax = b, x >= 0. Entering-variable selection is Dantzig's rule
-/// with an automatic permanent switch to Bland's rule when the objective
-/// stalls, which guarantees termination on degenerate instances.
+/// Scope: every structural variable must carry finite bounds (guaranteed by
+/// Model). Bounds are handled *implicitly*: a nonbasic variable sits at its
+/// lower or its upper bound, the ratio tests include bound-flip steps, and no
+/// upper-bound rows are ever materialized. The working tableau therefore has
+/// only m rows (one per model row) and n + m columns (structural + one slack
+/// per row) — for DART's S*(AC) instances n ≫ m, so this is both a large
+/// constant-factor and an asymptotic improvement over the former standard-form
+/// core, which carried n explicit upper-bound rows.
 ///
-/// The hot path is organised around two ideas (both introduced for the
-/// branch-and-bound search, which solves thousands of LPs differing only in
-/// variable bounds):
-///   - StandardForm: the bound-independent part of the setup (row data in CSR
-///     layout, objective, sense factor) extracted from the Model once and
-///     shared read-only across node solves and worker threads.
-///   - LpScratch: all per-solve working memory — the flat row-major tableau,
-///     rhs, basis, cost and reduced-cost vectors — owned by the caller (one
-///     per thread) and reused, so a node solve allocates nothing once the
-///     buffers have grown to the instance size.
+/// Every solve runs two phases over the same m-row tableau:
+///   - phase D (dual simplex): starting from a dual-feasible basis — the
+///     all-slack basis with nonbasic variables placed on their cost-sign
+///     bound for a cold solve, or a parent node's optimal basis for a warm
+///     one — pivot until the basic values respect their bounds. Primal
+///     infeasibility is detected here (a violated row with no eligible
+///     entering column is a Farkas certificate).
+///   - phase P (primal bounded simplex): certify optimality; normally zero
+///     iterations because phase D preserves dual feasibility, but it mops up
+///     any tolerance-level dual infeasibility left by roundoff.
+/// Both phases use Dantzig-style selection with a permanent switch to
+/// Bland's rule when progress stalls, which guarantees termination on
+/// degenerate instances.
+///
+/// Warm starts (the branch-and-bound hot path): a child node differs from its
+/// parent in exactly one variable bound, which leaves the parent's optimal
+/// basis dual-feasible for the child. SolveLpWarm re-solves from a compact
+/// LpBasis snapshot (basis column per row + a status byte per column) in a
+/// handful of dual pivots instead of a cold restart. When the caller's
+/// LpScratch still holds the parent's factorized tableau (the common case for
+/// a depth-first dive), even the refactorization is skipped. Any breakdown on
+/// the warm path — a singular snapshot, an iteration limit, or a bogus
+/// unbounded ray — falls back to a cold solve rather than mis-reporting.
 
 namespace dart::milp {
 
@@ -43,6 +59,9 @@ struct LpResult {
   /// Values of the model's variables (size = num_variables) when optimal.
   std::vector<double> point;
   int iterations = 0;
+  /// True iff the solve completed on the warm-start path (parent basis plus
+  /// dual pivots, no cold fallback). Always false for SolveLpCached.
+  bool warm_started = false;
 };
 
 const char* LpStatusName(LpResult::SolveStatus status);
@@ -61,7 +80,7 @@ struct StandardForm {
   explicit StandardForm(const Model& model);
 
   int n = 0;        ///< number of model variables.
-  int m_model = 0;  ///< number of model rows (before upper-bound rows).
+  int m_model = 0;  ///< number of model rows (== tableau rows).
 
   // Model rows in CSR layout, preserving row and term order exactly.
   std::vector<int> row_ptr;  ///< size m_model + 1.
@@ -74,34 +93,72 @@ struct StandardForm {
   std::vector<LinearTerm> objective_terms;
   double objective_constant = 0;
   double sense_factor = 1.0;  ///< +1 minimize, -1 maximize.
+  /// Minimize-space cost per structural variable (sense_factor folded in).
+  std::vector<double> var_cost;
   std::vector<double> var_lower;  ///< model (root) bounds.
   std::vector<double> var_upper;
 };
 
-/// Reusable per-thread working memory for SolveLpCached. Default-constructed
-/// empty; every buffer grows on first use and is then reused allocation-free.
+/// Column status in the bounded-variable simplex. Nonbasic columns sit at one
+/// of their bounds; the basis array records which column is basic in each row.
+enum : signed char {
+  kAtLower = 0,
+  kAtUpper = 1,
+  kBasic = 2,
+};
+
+/// Compact basis snapshot for warm-started re-solves: O(m + n) ints/bytes,
+/// cheap enough to ride in a branch-and-bound node payload. The tableau
+/// itself is *not* stored — B⁻¹A depends only on the basis, so a child either
+/// reuses the scratch tableau it inherited (same thread, same basis) or
+/// refactorizes in m pivots.
+struct LpBasis {
+  std::vector<int> basis;           ///< size m: basic column per row.
+  std::vector<signed char> status;  ///< size n + m: kAtLower/kAtUpper/kBasic.
+};
+
+/// Reusable per-thread working memory for SolveLpCached / SolveLpWarm.
+/// Default-constructed empty; every buffer grows on first use and is then
+/// reused allocation-free. Between solves the scratch retains the final
+/// factorized tableau; SolveLpWarm reuses it without refactorizing when the
+/// requested warm basis matches (`tableau_valid` + basis equality).
 struct LpScratch {
-  std::vector<double> range;     // per-variable upper - lower
-  std::vector<int> ub_vars;      // variables needing an upper-bound row
-  std::vector<double> spec_rhs;  // shifted, sign-normalized rhs per row
-  std::vector<double> spec_flip; // ±1 sign applied during normalization
-  std::vector<RowSense> spec_sense;  // effective sense after normalization
-  std::vector<double> tableau;   // flat row-major m × cols buffer
-  std::vector<double> rhs;       // basic solution values per row
-  std::vector<int> basis;        // basic column per row
-  std::vector<double> cost;      // phase objective over all columns
-  std::vector<double> reduced;   // reduced costs (maintained incrementally)
-  std::vector<char> allowed;     // columns permitted to enter the basis
+  std::vector<double> tableau;      ///< m × (n + m) row-major: T = B⁻¹A.
+  std::vector<double> rhs0;         ///< B⁻¹b (bound-independent).
+  std::vector<double> xb;           ///< value of the basic variable per row.
+  std::vector<int> basis;           ///< basic column per row.
+  std::vector<signed char> status;  ///< per-column kAtLower/kAtUpper/kBasic.
+  std::vector<double> reduced;      ///< reduced costs per column.
+  std::vector<double> cost;         ///< minimize-space cost per column.
+  std::vector<double> col_lower;    ///< per-column bounds (structural+slack).
+  std::vector<double> col_upper;
+  /// True when tableau/rhs0/reduced are consistent with `basis` for
+  /// `cached_form`; set after a successful solve, cleared on failure.
+  bool tableau_valid = false;
+  const StandardForm* cached_form = nullptr;
 };
 
 /// Solves the LP relaxation described by `form` under the given variable
-/// bounds, reusing `scratch` buffers and writing into `*result` (which is
-/// fully reset first). Produces bit-identical pivots — and therefore results —
-/// to SolveLpRelaxation on the same model and bounds.
+/// bounds with a cold (all-slack) start, reusing `scratch` buffers and
+/// writing into `*result` (which is fully reset first).
 void SolveLpCached(const StandardForm& form, const LpOptions& options,
                    const std::vector<double>& lower,
                    const std::vector<double>& upper, LpScratch* scratch,
                    LpResult* result);
+
+/// Like SolveLpCached, but warm-starts from `warm` (a parent node's optimal
+/// basis) when non-null: restores the basis (reusing the scratch tableau when
+/// it still matches, refactorizing otherwise) and runs dual pivots to restore
+/// feasibility under the new bounds. Any warm-path breakdown — singular
+/// snapshot, iteration limit, spurious unbounded ray — falls back to a cold
+/// solve, so the result status is always trustworthy.
+///
+/// On kOptimal, `*final_basis` (when non-null) receives a snapshot of the
+/// optimal basis for reuse by child nodes.
+void SolveLpWarm(const StandardForm& form, const LpOptions& options,
+                 const std::vector<double>& lower,
+                 const std::vector<double>& upper, const LpBasis* warm,
+                 LpScratch* scratch, LpResult* result, LpBasis* final_basis);
 
 /// Solves the LP relaxation of `model` (all integrality dropped).
 ///

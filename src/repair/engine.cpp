@@ -130,6 +130,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
     outcome.stats.nodes += solved.nodes;
     outcome.stats.lp_iterations += solved.lp_iterations;
+    outcome.stats.lp_warm_solves += solved.lp_warm_solves;
     outcome.stats.bigm_retries = attempt;
     outcome.stats.translate_seconds += Seconds(t0, t1);
     outcome.stats.solve_seconds += Seconds(t1, t2);

@@ -42,6 +42,8 @@ struct RepairStats {
   double theoretical_m_log10 = 0;
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  /// Node LPs solved on the warm-start path (parent basis + dual pivots).
+  int64_t lp_warm_solves = 0;
   int bigm_retries = 0;
   double translate_seconds = 0;
   double solve_seconds = 0;

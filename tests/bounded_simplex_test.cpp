@@ -1,0 +1,327 @@
+// Tests for the bounded-variable simplex core: bound-flip pivots, the
+// Bland's-rule switch on degenerate instances, dual-feasibility of a parent
+// basis after a single bound tightening (the branch-and-bound warm-start
+// contract), breakdown fallback from a corrupt warm basis, and a randomized
+// property test cross-checking warm-started branch-and-bound against the
+// exhaustive baseline with objective_is_integral pruning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "milp/branch_and_bound.h"
+#include "milp/exhaustive.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/random.h"
+
+namespace dart::milp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// --- Bound-flip pivots -----------------------------------------------------
+
+TEST(BoundedSimplexTest, BoundFlipsReachBoxOptimum) {
+  // max x + y with a slack constraint x + y <= 100 that never binds: the
+  // optimum (3, 3) is reached purely by flipping both columns from their
+  // lower to their upper bound — no basis change, so very few iterations.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 3);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 3);
+  model.AddRow("loose", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 100);
+  model.SetObjective({{x, 1.0}, {y, 1.0}}, 0, ObjectiveSense::kMaximize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 6.0, kTol);
+  EXPECT_NEAR(result.point[x], 3.0, kTol);
+  EXPECT_NEAR(result.point[y], 3.0, kTol);
+  // The cold start already places maximize-profitable columns at their upper
+  // bound, so the whole solve is at most a handful of pivots — nothing like
+  // the old (m+n)-row two-phase restart.
+  EXPECT_LE(result.iterations, 4);
+}
+
+TEST(BoundedSimplexTest, BoundFlipAgainstBindingRow) {
+  // max 2x + y s.t. x + y <= 5, x in [0,4], y in [0,4]. Optimum x=4, y=1:
+  // x enters to its own upper bound (a flip), y then rises until the row
+  // binds. Checks the flip-capped ratio test against a genuine row limit.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 4);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 4);
+  model.AddRow("cap", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 5);
+  model.SetObjective({{x, 2.0}, {y, 1.0}}, 0, ObjectiveSense::kMaximize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 9.0, kTol);
+  EXPECT_NEAR(result.point[x], 4.0, kTol);
+  EXPECT_NEAR(result.point[y], 1.0, kTol);
+}
+
+// --- Degenerate instances / Bland switch -----------------------------------
+
+TEST(BoundedSimplexTest, DegenerateLpTerminatesWithinBudget) {
+  // Beale's classic cycling example (scaled): Dantzig selection alone can
+  // cycle; the stall-triggered permanent Bland switch must terminate it.
+  Model model;
+  int x1 = model.AddVariable("x1", VarType::kContinuous, 0, 1000);
+  int x2 = model.AddVariable("x2", VarType::kContinuous, 0, 1000);
+  int x3 = model.AddVariable("x3", VarType::kContinuous, 0, 1000);
+  int x4 = model.AddVariable("x4", VarType::kContinuous, 0, 1000);
+  model.AddRow("r1", {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+               RowSense::kLe, 0);
+  model.AddRow("r2", {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+               RowSense::kLe, 0);
+  model.AddRow("r3", {{x3, 1.0}}, RowSense::kLe, 1);
+  model.SetObjective({{x1, -0.75}, {x2, 150.0}, {x3, -0.02}, {x4, 6.0}}, 0,
+                     ObjectiveSense::kMinimize);
+  LpResult result = SolveLpRelaxation(model);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  // Optimum -0.05 at x1 = 0.04, x3 = 1 (r2 and r3 binding).
+  EXPECT_NEAR(result.objective, -0.05, 1e-4);
+}
+
+// --- Warm starts -----------------------------------------------------------
+
+TEST(BoundedSimplexTest, WarmResolveAfterBoundTighteningIsCheap) {
+  // Solve once cold, tighten one variable's upper bound below its optimal
+  // value (exactly what a branch-and-bound down-child does), and re-solve
+  // warm: the parent basis is dual-feasible for the child, so the re-solve
+  // must complete on the warm path in a handful of dual pivots and agree
+  // with a fresh cold solve.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  int z = model.AddVariable("z", VarType::kContinuous, 0, 10);
+  model.AddRow("r1", {{x, 1.0}, {y, 1.0}, {z, 1.0}}, RowSense::kLe, 12);
+  model.AddRow("r2", {{x, 2.0}, {y, 1.0}}, RowSense::kLe, 14);
+  model.AddRow("r3", {{y, 1.0}, {z, 2.0}}, RowSense::kLe, 16);
+  model.SetObjective({{x, 3.0}, {y, 2.0}, {z, 2.0}}, 0,
+                     ObjectiveSense::kMaximize);
+
+  StandardForm form(model);
+  LpScratch scratch;
+  LpResult parent;
+  LpBasis parent_basis;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, /*warm=*/nullptr,
+              &scratch, &parent, &parent_basis);
+  ASSERT_EQ(parent.status, LpResult::SolveStatus::kOptimal);
+  ASSERT_GT(parent.point[x], 1.0 + kTol);  // the branch below cuts it off
+
+  std::vector<double> child_upper = form.var_upper;
+  child_upper[x] = 1.0;  // "x <= 1" down-branch
+  LpResult child;
+  SolveLpWarm(form, {}, form.var_lower, child_upper, &parent_basis, &scratch,
+              &child, /*final_basis=*/nullptr);
+  ASSERT_EQ(child.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_TRUE(child.warm_started);
+  EXPECT_LE(child.iterations, 10);
+  EXPECT_LE(child.point[x], 1.0 + kTol);
+
+  LpResult fresh = SolveLpRelaxation(model, {}, &form.var_lower, &child_upper);
+  ASSERT_EQ(fresh.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(child.objective, fresh.objective, kTol);
+}
+
+TEST(BoundedSimplexTest, WarmResolveRefactorizesWhenScratchIsStale) {
+  // A stolen node lands on a worker whose scratch holds some *other* basis:
+  // the warm solve must refactorize the snapshot (it cannot reuse the
+  // tableau) and still complete on the warm path. Reproduced here by solving
+  // a sibling's bounds in between, which overwrites the scratch tableau.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  int z = model.AddVariable("z", VarType::kContinuous, 0, 10);
+  model.AddRow("r1", {{x, 1.0}, {y, 1.0}, {z, 1.0}}, RowSense::kLe, 12);
+  model.AddRow("r2", {{x, 2.0}, {y, 1.0}}, RowSense::kLe, 14);
+  model.AddRow("r3", {{y, 1.0}, {z, 2.0}}, RowSense::kLe, 16);
+  model.SetObjective({{x, 3.0}, {y, 2.0}, {z, 2.0}}, 0,
+                     ObjectiveSense::kMaximize);
+  StandardForm form(model);
+  LpScratch scratch;
+  LpResult parent;
+  LpBasis parent_basis;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, nullptr, &scratch,
+              &parent, &parent_basis);
+  ASSERT_EQ(parent.status, LpResult::SolveStatus::kOptimal);
+
+  // Sibling solve under different bounds: clobbers the scratch tableau.
+  std::vector<double> sibling_upper = form.var_upper;
+  sibling_upper[y] = 0.0;
+  LpResult sibling;
+  SolveLpCached(form, {}, form.var_lower, sibling_upper, &scratch, &sibling);
+  ASSERT_EQ(sibling.status, LpResult::SolveStatus::kOptimal);
+
+  std::vector<double> child_upper = form.var_upper;
+  child_upper[x] = 1.0;
+  LpResult child;
+  SolveLpWarm(form, {}, form.var_lower, child_upper, &parent_basis, &scratch,
+              &child, nullptr);
+  ASSERT_EQ(child.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_TRUE(child.warm_started);  // refactorization, not cold fallback
+  LpResult fresh = SolveLpRelaxation(model, {}, &form.var_lower, &child_upper);
+  EXPECT_NEAR(child.objective, fresh.objective, kTol);
+}
+
+TEST(BoundedSimplexTest, WarmResolveDetectsChildInfeasibility) {
+  // Tightening can also empty the feasible region; the dual phase must then
+  // produce a trustworthy infeasibility certificate on the warm path.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  model.AddRow("floor", {{x, 1.0}}, RowSense::kGe, 6);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMinimize);
+  StandardForm form(model);
+  LpScratch scratch;
+  LpResult parent;
+  LpBasis parent_basis;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, nullptr, &scratch,
+              &parent, &parent_basis);
+  ASSERT_EQ(parent.status, LpResult::SolveStatus::kOptimal);
+
+  std::vector<double> child_upper = {5.0};  // x <= 5 contradicts x >= 6
+  LpResult child;
+  SolveLpWarm(form, {}, form.var_lower, child_upper, &parent_basis, &scratch,
+              &child, nullptr);
+  EXPECT_EQ(child.status, LpResult::SolveStatus::kInfeasible);
+}
+
+// --- Breakdown fallback (regression for kUnbounded mis-reporting) ----------
+
+TEST(BoundedSimplexTest, CorruptWarmBasisFallsBackToColdSolve) {
+  // A structurally nonsensical snapshot (duplicate basic columns → singular
+  // refactorization) must not poison the result: the solver falls back to a
+  // cold solve and still returns the true optimum, with warm_started=false.
+  // This is the regression test for the breakdown path that previously could
+  // surface a spurious kUnbounded.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
+  int y = model.AddVariable("y", VarType::kContinuous, 0, 10);
+  model.AddRow("r1", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 7);
+  model.AddRow("r2", {{x, 1.0}, {y, -1.0}}, RowSense::kGe, -3);
+  model.SetObjective({{x, 1.0}, {y, 2.0}}, 0, ObjectiveSense::kMaximize);
+  StandardForm form(model);
+
+  const int cols = form.n + form.m_model;
+  LpBasis corrupt;
+  corrupt.basis.assign(form.m_model, 0);  // column 0 "basic" in every row
+  corrupt.status.assign(cols, kAtLower);
+  corrupt.status[0] = kBasic;
+
+  LpScratch scratch;
+  LpResult result;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, &corrupt, &scratch,
+              &result, nullptr);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_FALSE(result.warm_started);
+  LpResult reference = SolveLpRelaxation(model);
+  EXPECT_NEAR(result.objective, reference.objective, kTol);
+}
+
+TEST(BoundedSimplexTest, WarmBasisWithWrongShapeFallsBackToColdSolve) {
+  // Size-mismatched snapshots (e.g. from a different model) are rejected
+  // before any numeric work; the solve completes cold and correct.
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 4);
+  model.AddRow("r", {{x, 1.0}}, RowSense::kLe, 3);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMaximize);
+  StandardForm form(model);
+  LpBasis wrong;
+  wrong.basis = {0, 1, 2};  // three rows for a one-row model
+  wrong.status = {kBasic};
+  LpScratch scratch;
+  LpResult result;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, &wrong, &scratch,
+              &result, nullptr);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_FALSE(result.warm_started);
+  EXPECT_NEAR(result.objective, 3.0, kTol);
+}
+
+TEST(BoundedSimplexTest, StatusAtInfiniteUpperBoundIsRejected) {
+  // A snapshot claiming a slack sits at its (infinite) upper bound is
+  // invalid; the solver must detect it and fall back rather than compute
+  // with an infinite "value".
+  Model model;
+  int x = model.AddVariable("x", VarType::kContinuous, 0, 4);
+  model.AddRow("r", {{x, 1.0}}, RowSense::kLe, 3);
+  model.SetObjective({{x, 1.0}}, 0, ObjectiveSense::kMaximize);
+  StandardForm form(model);
+  LpBasis bad;
+  bad.basis = {form.n};               // the slack is basic...
+  bad.status = {kAtUpper, kAtUpper};  // ...but claims x AND slack at upper
+  bad.status[0] = kAtUpper;           // x at upper: fine (finite)
+  bad.basis = {0};                    // x basic, slack nonbasic at +inf: bad
+  bad.status = {kBasic, kAtUpper};
+  LpScratch scratch;
+  LpResult result;
+  SolveLpWarm(form, {}, form.var_lower, form.var_upper, &bad, &scratch,
+              &result, nullptr);
+  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
+  EXPECT_FALSE(result.warm_started);
+  EXPECT_NEAR(result.objective, 3.0, kTol);
+}
+
+// --- Warm-started B&B vs exhaustive (randomized property test) -------------
+
+class WarmStartAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmStartAgreementTest, WarmBranchAndBoundMatchesExhaustive) {
+  Rng rng(52000 + GetParam());
+  // Random pure-binary models with integer coefficients: the objective is
+  // provably integral on integral points, so objective_is_integral pruning
+  // is sound and exercised together with the warm-start path.
+  Model model;
+  std::vector<int> vars;
+  for (int i = 0; i < 8; ++i) {
+    vars.push_back(
+        model.AddVariable("b" + std::to_string(i), VarType::kBinary, 0, 1));
+  }
+  for (int r = 0; r < 5; ++r) {
+    std::vector<LinearTerm> terms;
+    for (int v : vars) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({v, static_cast<double>(rng.UniformInt(-4, 4))});
+      }
+    }
+    if (terms.empty()) continue;
+    RowSense sense = rng.Bernoulli(0.3)
+                         ? RowSense::kGe
+                         : (rng.Bernoulli(0.15) ? RowSense::kEq
+                                                : RowSense::kLe);
+    model.AddRow("r" + std::to_string(r), terms, sense,
+                 static_cast<double>(rng.UniformInt(-6, 10)));
+  }
+  std::vector<LinearTerm> objective;
+  for (int v : vars) {
+    objective.push_back({v, static_cast<double>(rng.UniformInt(-5, 5))});
+  }
+  model.SetObjective(objective, 0, ObjectiveSense::kMinimize);
+
+  MilpResult exhaustive = SolveByBinaryEnumeration(model);
+  for (const bool warm : {true, false}) {
+    MilpOptions options;
+    options.use_warm_start = warm;
+    options.objective_is_integral = true;
+    MilpResult solved = SolveMilp(model, options);
+    ASSERT_EQ(solved.status == MilpResult::SolveStatus::kOptimal,
+              exhaustive.status == MilpResult::SolveStatus::kOptimal)
+        << "warm=" << warm << " seed=" << GetParam();
+    if (solved.status == MilpResult::SolveStatus::kOptimal) {
+      EXPECT_NEAR(solved.objective, exhaustive.objective, 1e-5)
+          << "warm=" << warm << " seed=" << GetParam();
+      EXPECT_TRUE(IsFeasiblePoint(model, solved.point, 1e-5));
+    } else {
+      EXPECT_TRUE(IsInfeasibleStatus(solved.status));
+    }
+    if (!warm) {
+      EXPECT_EQ(solved.lp_warm_solves, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, WarmStartAgreementTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dart::milp

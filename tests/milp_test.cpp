@@ -1,5 +1,5 @@
-// Tests for the MILP substrate: the two-phase simplex on hand-checked LPs,
-// branch-and-bound on small integer programs, and agreement between
+// Tests for the MILP substrate: the bounded-variable simplex on hand-checked
+// LPs, branch-and-bound on small integer programs, and agreement between
 // branch-and-bound and the exhaustive binary-enumeration baseline.
 
 #include <gtest/gtest.h>
@@ -160,8 +160,8 @@ TEST(SimplexTest, FixedVariable) {
 }
 
 TEST(SimplexTest, RedundantEqualitiesAreDropped) {
-  // Two identical equalities: phase 1 must drop the redundant row rather
-  // than declare infeasibility.
+  // Two identical equalities: the redundant row's fixed slack simply stays
+  // basic at zero — the solver must not declare infeasibility.
   Model model;
   int x = model.AddVariable("x", VarType::kContinuous, 0, 10);
   int y = model.AddVariable("y", VarType::kContinuous, 0, 10);

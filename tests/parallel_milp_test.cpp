@@ -1,8 +1,8 @@
 // Tests for the parallel branch-and-bound scheduler and the cached
-// standard-form LP core: thread-count invariance of the optimum (property
-// test against the exhaustive baseline), the bit-for-bit serial regression
-// on the Fig. 4 / Example 11 paper instance, the two infeasibility statuses,
-// and scratch-reuse equivalence of SolveLpCached.
+// bounded-variable LP core: thread-count invariance of the optimum (property
+// test against the exhaustive baseline), the serial regression on the
+// Fig. 4 / Example 11 paper instance, the two infeasibility statuses, and
+// scratch-reuse equivalence of SolveLpCached.
 
 #include <gtest/gtest.h>
 
@@ -143,22 +143,41 @@ class PaperInstanceTest : public ::testing::Test {
   Model model_;
 };
 
-TEST_F(PaperInstanceTest, SerialNodeCountMatchesSeedSolver) {
-  // The seed (pre-refactor) solver explored exactly 3 nodes / 282 LP
-  // iterations on the Fig. 4 / Example 11 instance. The cached-standard-form
-  // LP core must reproduce the seed's pivots bit-for-bit, so num_threads = 1
-  // must land on the same counts.
+TEST_F(PaperInstanceTest, SerialSolveBeatsSeedIterationCount) {
+  // The seed (pre-bounded-variable) solver explored 3 nodes / 282 LP
+  // iterations on the Fig. 4 / Example 11 instance. Correctness is anchored
+  // on the optimal objective (1 — exactly one cell repaired), and the
+  // bounded-variable core with dual warm starts must use strictly fewer LP
+  // iterations than the seed's explicit-upper-bound-row tableau did.
   MilpOptions options;
   options.objective_is_integral = true;
   options.num_threads = 1;
   MilpResult solved = SolveMilp(model_, options);
   ASSERT_EQ(solved.status, MilpResult::SolveStatus::kOptimal);
   EXPECT_NEAR(solved.objective, 1.0, kTol);
-  EXPECT_EQ(solved.nodes, 3);
-  EXPECT_EQ(solved.lp_iterations, 282);
+  EXPECT_GE(solved.nodes, 1);
+  EXPECT_GT(solved.lp_iterations, 0);
+  EXPECT_LT(solved.lp_iterations, 282);
+  // Every non-root node LP must complete on the warm path here.
+  EXPECT_EQ(solved.lp_warm_solves, solved.nodes - 1);
   ASSERT_EQ(solved.per_thread_nodes.size(), 1u);
-  EXPECT_EQ(solved.per_thread_nodes[0], 3);
+  EXPECT_EQ(solved.per_thread_nodes[0], solved.nodes);
   EXPECT_EQ(solved.steals, 0);
+}
+
+TEST_F(PaperInstanceTest, WarmAndColdAgreeOnObjective) {
+  // Ablation invariance: disabling warm starts must not change the optimum
+  // (only the work done to reach it).
+  MilpOptions warm, cold;
+  warm.objective_is_integral = cold.objective_is_integral = true;
+  cold.use_warm_start = false;
+  MilpResult with_warm = SolveMilp(model_, warm);
+  MilpResult with_cold = SolveMilp(model_, cold);
+  ASSERT_EQ(with_warm.status, MilpResult::SolveStatus::kOptimal);
+  ASSERT_EQ(with_cold.status, MilpResult::SolveStatus::kOptimal);
+  EXPECT_NEAR(with_warm.objective, with_cold.objective, kTol);
+  EXPECT_EQ(with_cold.lp_warm_solves, 0);
+  EXPECT_LE(with_warm.lp_iterations, with_cold.lp_iterations);
 }
 
 TEST_F(PaperInstanceTest, ThreadCountsAgreeOnObjective) {
