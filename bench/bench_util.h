@@ -49,4 +49,82 @@ inline Scenario MakeBudgetScenario(uint64_t seed, int years, size_t num_errors,
   return scenario;
 }
 
+inline std::string ReplaceAll(std::string s, const std::string& from,
+                              const std::string& to) {
+  size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+/// Copies `source` into `out` under the relation name `name`.
+inline void AppendRelationRenamed(const rel::Relation& source,
+                                  const std::string& name,
+                                  rel::Database* out) {
+  auto schema = rel::RelationSchema::Create(
+      name, source.schema().attributes());
+  DART_CHECK_MSG(schema.ok(), schema.status().ToString());
+  Status added = out->AddRelation(std::move(schema).value());
+  DART_CHECK_MSG(added.ok(), added.ToString());
+  rel::Relation* copy = out->FindRelation(name);
+  for (const rel::Tuple& tuple : source.rows()) {
+    auto inserted = copy->Insert(tuple);
+    DART_CHECK_MSG(inserted.ok(), inserted.status().ToString());
+  }
+}
+
+/// The cash-budget constraint program with every relation, aggregation
+/// function and constraint name suffixed — so several documents' programs
+/// can coexist in one ConstraintSet without colliding.
+inline std::string SuffixedBudgetProgram(const std::string& suffix) {
+  std::string program = ocr::CashBudgetFixture::ConstraintProgram();
+  program = ReplaceAll(std::move(program), "CashBudget", "CashBudget" + suffix);
+  program = ReplaceAll(std::move(program), "chi1", "chi1" + suffix);
+  program = ReplaceAll(std::move(program), "chi2", "chi2" + suffix);
+  program = ReplaceAll(std::move(program), " c1:", " c1" + suffix + ":");
+  program = ReplaceAll(std::move(program), " c2:", " c2" + suffix + ":");
+  program = ReplaceAll(std::move(program), " c3:", " c3" + suffix + ":");
+  return program;
+}
+
+/// Merges `docs` independently generated cash budgets into one database
+/// (relations CashBudget_1 … CashBudget_<docs>) with per-document copies of
+/// the constraint program. Documents never share a ground constraint, so
+/// the repair MILP of the merged instance has at least `docs` connected
+/// components — the E16 fixture.
+inline Scenario MakeMultiDocScenario(uint64_t seed, int docs, int years,
+                                     size_t errors_per_doc) {
+  Scenario scenario;
+  std::string program;
+  for (int d = 1; d <= docs; ++d) {
+    Rng rng(seed + static_cast<uint64_t>(d) * 7919);
+    ocr::CashBudgetOptions options;
+    options.num_years = years;
+    auto truth = ocr::CashBudgetFixture::Random(options, &rng);
+    DART_CHECK_MSG(truth.ok(), truth.status().ToString());
+    rel::Database acquired = truth.value().Clone();
+    auto injected =
+        ocr::InjectMeasureErrors(&acquired, errors_per_doc, &rng);
+    DART_CHECK_MSG(injected.ok(), injected.status().ToString());
+
+    const std::string name = "CashBudget_" + std::to_string(d);
+    AppendRelationRenamed(*truth.value().FindRelation("CashBudget"), name,
+                          &scenario.truth);
+    AppendRelationRenamed(*acquired.FindRelation("CashBudget"), name,
+                          &scenario.acquired);
+    for (ocr::InjectedError error : std::move(injected).value()) {
+      error.cell.relation = name;
+      scenario.errors.push_back(std::move(error));
+    }
+    program += SuffixedBudgetProgram("_" + std::to_string(d));
+  }
+  Status parsed = cons::ParseConstraintProgram(scenario.acquired.Schema(),
+                                               program,
+                                               &scenario.constraints);
+  DART_CHECK_MSG(parsed.ok(), parsed.ToString());
+  return scenario;
+}
+
 }  // namespace dart::bench

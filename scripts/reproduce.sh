@@ -23,7 +23,7 @@ done
 # checked-in BENCH_bench_repair_scaling.seed.json baseline).
 GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
 bench_end_to_end bench_presolve_ablation bench_thread_scaling \
-bench_warmstart_ablation"
+bench_warmstart_ablation bench_decomposition"
 for name in $GBENCHES; do
   b="build/bench/$name"
   [ -x "$b" ] || continue
@@ -35,6 +35,13 @@ done
 # seed baseline (wall time per benchmark).
 python3 scripts/check_bench_regression.py \
   BENCH_bench_repair_scaling.json BENCH_bench_repair_scaling.seed.json \
+  --max-ratio 1.3 || exit 1
+
+# E16 gate: the decomposition sweep must stay within 1.3x of its seed — in
+# particular the decomposed solves must not creep back toward the monolithic
+# times.
+python3 scripts/check_bench_regression.py \
+  BENCH_bench_decomposition.json BENCH_bench_decomposition.seed.json \
   --max-ratio 1.3 || exit 1
 
 echo "Done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -97,6 +97,15 @@ struct MilpResult {
   std::vector<int64_t> per_thread_nodes;
   /// Work-stealing transfers between workers (0 for the serial path).
   int64_t steals = 0;
+  /// Connected components the model split into (1 unless the solve went
+  /// through SolveMilpDecomposed / SolveDecomposition, see decompose.h).
+  int num_components = 1;
+  /// Variable count of the largest component (0 when not decomposed).
+  int largest_component_vars = 0;
+  /// Presolve reductions (0 unless the solve went through
+  /// SolveMilpWithPresolve, see presolve.h).
+  int presolve_variables_eliminated = 0;
+  int presolve_rows_removed = 0;
 };
 
 const char* MilpStatusName(MilpResult::SolveStatus status);

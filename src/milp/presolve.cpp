@@ -63,6 +63,17 @@ std::vector<double> PresolveResult::RestorePoint(
   return out;
 }
 
+std::vector<double> PresolveResult::ProjectPoint(
+    const std::vector<double>& full_point) const {
+  std::vector<double> out(static_cast<size_t>(reduced.num_variables()), 0.0);
+  for (size_t i = 0; i < variable_map.size(); ++i) {
+    if (variable_map[i] >= 0) {
+      out[static_cast<size_t>(variable_map[i])] = full_point[i];
+    }
+  }
+  return out;
+}
+
 PresolveResult Presolve(const Model& model, const PresolveOptions& options) {
   const double tol = options.tol;
   PresolveResult result;
@@ -194,6 +205,8 @@ MilpResult SolveMilpWithPresolve(const Model& model,
   if (presolved.infeasible) {
     MilpResult result;
     result.status = MilpResult::SolveStatus::kInfeasible;
+    result.presolve_variables_eliminated = presolved.variables_eliminated;
+    result.presolve_rows_removed = presolved.rows_removed;
     return result;
   }
   MilpOptions reduced_options = milp_options;
@@ -202,15 +215,8 @@ MilpResult SolveMilpWithPresolve(const Model& model,
   // variables' fixed values contradict it).
   if (milp_options.initial_point.size() ==
       static_cast<size_t>(model.num_variables())) {
-    reduced_options.initial_point.assign(
-        static_cast<size_t>(presolved.reduced.num_variables()), 0.0);
-    for (size_t i = 0; i < presolved.variable_map.size(); ++i) {
-      if (presolved.variable_map[i] >= 0) {
-        reduced_options
-            .initial_point[static_cast<size_t>(presolved.variable_map[i])] =
-            milp_options.initial_point[i];
-      }
-    }
+    reduced_options.initial_point =
+        presolved.ProjectPoint(milp_options.initial_point);
   } else {
     reduced_options.initial_point.clear();
   }
@@ -218,6 +224,8 @@ MilpResult SolveMilpWithPresolve(const Model& model,
   if (reduced.has_incumbent) {
     reduced.point = presolved.RestorePoint(reduced.point);
   }
+  reduced.presolve_variables_eliminated = presolved.variables_eliminated;
+  reduced.presolve_rows_removed = presolved.rows_removed;
   return reduced;
 }
 

@@ -41,6 +41,11 @@ struct PresolveResult {
 
   /// Lifts a reduced-space point back to the original variable space.
   std::vector<double> RestorePoint(const std::vector<double>& reduced_point) const;
+
+  /// Projects an original-space point into the reduced variable space (the
+  /// inverse of RestorePoint, dropping eliminated variables). Used to carry
+  /// warm-start incumbents across presolve.
+  std::vector<double> ProjectPoint(const std::vector<double>& full_point) const;
 };
 
 /// Runs presolve on `model`.

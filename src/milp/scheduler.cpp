@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -22,6 +21,9 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct Node {
+  /// Index into the batch's InstanceState array. All bookkeeping of this
+  /// node (LP form, incumbent, counters) goes through that instance.
+  int instance = 0;
   std::vector<double> lower;
   std::vector<double> upper;
   double parent_bound = -kInf;
@@ -65,35 +67,54 @@ class WorkerDeque {
   std::deque<Node> deque_;
 };
 
-/// State shared by all workers.
-struct SharedState {
+/// Per-root-model shared state. Workers touch instances through const
+/// pointers to this array; every mutable member is an atomic or guarded by
+/// the incumbent mutex.
+struct InstanceState {
+  explicit InstanceState(const Model& m) : model(&m), form(m) {}
+
+  const Model* model;
+  StandardForm form;
+
   // Incumbent. `incumbent_key` (minimize-space) is the lock-free mirror read
   // by the prune test; the mutex guards the full update.
   std::atomic<double> incumbent_key{kInf};
   std::mutex incumbent_mu;
-  double incumbent_objective = 0;        // guarded by incumbent_mu
-  std::vector<double> incumbent_point;   // guarded by incumbent_mu
-  bool has_incumbent = false;            // guarded by incumbent_mu
+  double incumbent_objective = 0;       // guarded by incumbent_mu
+  std::vector<double> incumbent_point;  // guarded by incumbent_mu
+  bool has_incumbent = false;           // guarded by incumbent_mu
 
-  /// Nodes that exist anywhere: queued in a deque or being expanded. A
-  /// worker holding a node keeps the count positive until the node (and its
-  /// pushed children) are accounted, so count == 0 means the tree is done.
+  /// This instance's open nodes (queued + in flight); the scheduler also
+  /// keeps a batch-wide count for termination. Nonzero after an abort means
+  /// the instance was cut off before proving its status.
   std::atomic<int64_t> open_nodes{0};
-  std::atomic<int64_t> nodes_explored{0};
   std::atomic<int64_t> lp_iterations{0};
   std::atomic<int64_t> lp_warm_solves{0};
   std::atomic<int64_t> steals{0};
-  std::atomic<bool> abort{false};
   std::atomic<bool> unbounded{false};
-  std::atomic<bool> hit_node_limit{false};
   std::atomic<bool> any_feasible_lp{false};
+  /// An LP hit its iteration cap — same conservative "early stop" treatment
+  /// as the serial solver.
+  std::atomic<bool> iteration_limited{false};
+};
+
+/// State shared by all workers across the whole batch.
+struct SharedState {
+  /// Nodes that exist anywhere in the batch: queued in a deque or being
+  /// expanded. A worker holding a node keeps the count positive until the
+  /// node (and its pushed children) are accounted, so count == 0 means
+  /// every tree is done.
+  std::atomic<int64_t> open_nodes{0};
+  std::atomic<int64_t> nodes_explored{0};
+  std::atomic<bool> abort{false};
+  std::atomic<bool> hit_node_limit{false};
 };
 
 /// Snap-and-verify incumbent candidate; returns true iff the snapped point
 /// is feasible. Improving candidates are installed under the mutex.
-bool TryIncumbent(const Model& model, double sense_factor,
-                  const std::vector<double>& candidate, SharedState* shared,
+bool TryIncumbent(InstanceState* inst, const std::vector<double>& candidate,
                   std::vector<double>* snapped_buf) {
+  const Model& model = *inst->model;
   *snapped_buf = candidate;
   std::vector<double>& snapped = *snapped_buf;
   const int n = model.num_variables();
@@ -105,49 +126,43 @@ bool TryIncumbent(const Model& model, double sense_factor,
   if (!IsFeasiblePoint(model, snapped, 1e-6)) return false;
   const double objective =
       model.objective_constant() + EvalTerms(model.objective_terms(), snapped);
-  const double key = sense_factor * objective;
-  if (key < shared->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
-    std::lock_guard<std::mutex> lock(shared->incumbent_mu);
+  const double key = inst->form.sense_factor * objective;
+  if (key < inst->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
+    std::lock_guard<std::mutex> lock(inst->incumbent_mu);
     // Re-check under the lock: another worker may have improved it first.
-    if (key < shared->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
-      shared->incumbent_objective = objective;
-      shared->incumbent_point = snapped;
-      shared->has_incumbent = true;
-      shared->incumbent_key.store(key, std::memory_order_relaxed);
+    if (key < inst->incumbent_key.load(std::memory_order_relaxed) - 1e-9) {
+      inst->incumbent_objective = objective;
+      inst->incumbent_point = snapped;
+      inst->has_incumbent = true;
+      inst->incumbent_key.store(key, std::memory_order_relaxed);
     }
   }
   return true;
 }
 
 struct WorkerContext {
-  const Model* model = nullptr;
-  const StandardForm* form = nullptr;
   const MilpOptions* options = nullptr;
   SharedState* shared = nullptr;
+  std::vector<std::unique_ptr<InstanceState>>* instances = nullptr;
   std::vector<WorkerDeque>* deques = nullptr;
   int id = 0;
-  int64_t nodes = 0;  // written by this worker only, read after join
+  /// Nodes explored by this worker per instance; written by this worker
+  /// only, read after join.
+  std::vector<int64_t> nodes_per_instance;
 };
 
 void WorkerMain(WorkerContext* ctx) {
-  const Model& model = *ctx->model;
   const MilpOptions& options = *ctx->options;
   SharedState* shared = ctx->shared;
+  std::vector<std::unique_ptr<InstanceState>>& instances = *ctx->instances;
   std::vector<WorkerDeque>& deques = *ctx->deques;
   const int num_workers = static_cast<int>(deques.size());
-  const double sense_factor = ctx->form->sense_factor;
 
   LpScratch scratch;
   LpResult lp;
   LpBasis node_basis;  // reused; moved into a shared snapshot on branch
   std::vector<double> snapped;
   int idle_spins = 0;
-
-  auto prunable = [&](double bound_key) {
-    return internal::BoundPrunable(
-        bound_key, shared->incumbent_key.load(std::memory_order_relaxed),
-        options.objective_is_integral);
-  };
 
   Node node;
   while (!shared->abort.load(std::memory_order_relaxed)) {
@@ -156,7 +171,10 @@ void WorkerMain(WorkerContext* ctx) {
       for (int k = 1; k < num_workers && !got; ++k) {
         got = deques[(ctx->id + k) % num_workers].StealTop(&node);
       }
-      if (got) shared->steals.fetch_add(1, std::memory_order_relaxed);
+      if (got) {
+        instances[node.instance]->steals.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
     }
     if (!got) {
       if (shared->open_nodes.load(std::memory_order_acquire) == 0) break;
@@ -169,8 +187,21 @@ void WorkerMain(WorkerContext* ctx) {
     }
     idle_spins = 0;
 
-    if (prunable(node.parent_bound)) {
+    InstanceState* inst = instances[node.instance].get();
+    const Model& model = *inst->model;
+    const double sense_factor = inst->form.sense_factor;
+    auto prunable = [&](double bound_key) {
+      return internal::BoundPrunable(
+          bound_key, inst->incumbent_key.load(std::memory_order_relaxed),
+          options.objective_is_integral);
+    };
+    auto retire = [&] {
+      inst->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
       shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+    };
+
+    if (prunable(node.parent_bound)) {
+      retire();
       continue;
     }
 
@@ -178,49 +209,49 @@ void WorkerMain(WorkerContext* ctx) {
         shared->nodes_explored.load(std::memory_order_relaxed) >=
             options.max_nodes) {
       // Push the node back so its bound still counts in the gap report, then
-      // stop the whole search.
+      // stop the whole batch.
       deques[ctx->id].PushBottom(std::move(node));
       shared->hit_node_limit.store(true, std::memory_order_relaxed);
       shared->abort.store(true, std::memory_order_relaxed);
       break;
     }
 
-    ++ctx->nodes;
+    ++ctx->nodes_per_instance[node.instance];
     shared->nodes_explored.fetch_add(1, std::memory_order_relaxed);
     if (options.use_warm_start) {
-      SolveLpWarm(*ctx->form, options.lp, node.lower, node.upper,
+      SolveLpWarm(inst->form, options.lp, node.lower, node.upper,
                   node.warm.get(), &scratch, &lp, &node_basis);
     } else {
-      SolveLpCached(*ctx->form, options.lp, node.lower, node.upper, &scratch,
+      SolveLpCached(inst->form, options.lp, node.lower, node.upper, &scratch,
                     &lp);
     }
-    shared->lp_iterations.fetch_add(lp.iterations,
-                                    std::memory_order_relaxed);
+    inst->lp_iterations.fetch_add(lp.iterations, std::memory_order_relaxed);
     if (lp.warm_started) {
-      shared->lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
+      inst->lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (lp.status == LpResult::SolveStatus::kInfeasible) {
-      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      retire();
       continue;
     }
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
-      shared->unbounded.store(true, std::memory_order_relaxed);
+      inst->unbounded.store(true, std::memory_order_relaxed);
       shared->abort.store(true, std::memory_order_relaxed);
-      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      retire();
       break;
     }
     if (lp.status == LpResult::SolveStatus::kIterationLimit) {
       // Same conservative treatment as the serial solver: record an early
       // stop, skip the node.
+      inst->iteration_limited.store(true, std::memory_order_relaxed);
       shared->hit_node_limit.store(true, std::memory_order_relaxed);
-      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      retire();
       continue;
     }
-    shared->any_feasible_lp.store(true, std::memory_order_relaxed);
+    inst->any_feasible_lp.store(true, std::memory_order_relaxed);
     const double bound_key = sense_factor * lp.objective;
     if (prunable(bound_key)) {
-      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      retire();
       continue;
     }
 
@@ -228,8 +259,8 @@ void WorkerMain(WorkerContext* ctx) {
                                                   options.int_tol,
                                                   options.branch_rule);
     if (branch_var < 0) {
-      if (TryIncumbent(model, sense_factor, lp.point, shared, &snapped)) {
-        shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      if (TryIncumbent(inst, lp.point, &snapped)) {
+        retire();
         continue;  // LP optimum is integral
       }
       // Near-integral but unsnappable (see the serial solver): branch on the
@@ -237,11 +268,11 @@ void WorkerMain(WorkerContext* ctx) {
       branch_var = internal::PickBranchVariable(model, lp.point, 0.0,
                                                 options.branch_rule);
       if (branch_var < 0) {
-        shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+        retire();
         continue;
       }
     } else if (options.rounding_heuristic) {
-      TryIncumbent(model, sense_factor, lp.point, shared, &snapped);
+      TryIncumbent(inst, lp.point, &snapped);
     }
 
     const double value = lp.point[branch_var];
@@ -256,6 +287,7 @@ void WorkerMain(WorkerContext* ctx) {
     // workers steal the shallower sibling from the top.
     {
       Node child;
+      child.instance = node.instance;
       child.lower = node.lower;
       child.upper = node.upper;
       child.upper[branch_var] = std::floor(value);
@@ -263,12 +295,14 @@ void WorkerMain(WorkerContext* ctx) {
       child.depth = node.depth + 1;
       child.warm = snapshot;
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
+        inst->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         deques[ctx->id].PushBottom(std::move(child));
       }
     }
     {
       Node child;
+      child.instance = node.instance;
       child.lower = std::move(node.lower);
       child.upper = std::move(node.upper);
       child.lower[branch_var] = std::ceil(value);
@@ -276,44 +310,49 @@ void WorkerMain(WorkerContext* ctx) {
       child.depth = node.depth + 1;
       child.warm = std::move(snapshot);
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
+        inst->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
         deques[ctx->id].PushBottom(std::move(child));
       }
     }
-    shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+    retire();
   }
 }
 
-}  // namespace
-
-MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
-  if (options.num_threads <= 1) {
-    MilpOptions serial = options;
-    serial.num_threads = 1;
-    return SolveMilp(model, serial);
-  }
+std::vector<MilpResult> SolveBatchParallel(
+    const std::vector<BatchModel>& models, const MilpOptions& options) {
   const auto t_begin = std::chrono::steady_clock::now();
   const int num_threads = options.num_threads;
-  const int n = model.num_variables();
-  MilpResult result;
+  const int num_instances = static_cast<int>(models.size());
 
-  StandardForm form(model);
   SharedState shared;
-
-  // Warm start before the workers exist (no synchronization needed).
-  if (options.initial_point.size() == static_cast<size_t>(n)) {
-    std::vector<double> snapped;
-    TryIncumbent(model, form.sense_factor, options.initial_point, &shared,
-                 &snapped);
+  std::vector<std::unique_ptr<InstanceState>> instances;
+  instances.reserve(models.size());
+  for (const BatchModel& bm : models) {
+    instances.push_back(std::make_unique<InstanceState>(*bm.model));
   }
 
+  // Warm starts before the workers exist (no synchronization needed).
+  std::vector<double> snapped;
+  for (int i = 0; i < num_instances; ++i) {
+    if (models[i].initial_point.size() ==
+        static_cast<size_t>(models[i].model->num_variables())) {
+      TryIncumbent(instances[i].get(), models[i].initial_point, &snapped);
+    }
+  }
+
+  // Deal one root per instance round-robin across the worker deques, in
+  // batch order — callers submit the largest component first, so the big
+  // trees start immediately and the small ones pack in around them.
   std::vector<WorkerDeque> deques(num_threads);
-  {
+  for (int i = 0; i < num_instances; ++i) {
     Node root;
-    root.lower = form.var_lower;
-    root.upper = form.var_upper;
-    shared.open_nodes.store(1, std::memory_order_relaxed);
-    deques[0].PushBottom(std::move(root));
+    root.instance = i;
+    root.lower = instances[i]->form.var_lower;
+    root.upper = instances[i]->form.var_upper;
+    instances[i]->open_nodes.store(1, std::memory_order_relaxed);
+    shared.open_nodes.fetch_add(1, std::memory_order_relaxed);
+    deques[i % num_threads].PushBottom(std::move(root));
   }
 
   std::vector<WorkerContext> contexts(num_threads);
@@ -321,69 +360,113 @@ MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
   threads.reserve(num_threads);
   for (int id = 0; id < num_threads; ++id) {
     WorkerContext& ctx = contexts[id];
-    ctx.model = &model;
-    ctx.form = &form;
     ctx.options = &options;
     ctx.shared = &shared;
+    ctx.instances = &instances;
     ctx.deques = &deques;
     ctx.id = id;
+    ctx.nodes_per_instance.assign(num_instances, 0);
     threads.emplace_back(WorkerMain, &ctx);
   }
   for (std::thread& thread : threads) thread.join();
 
-  // Gather statistics and the incumbent (exclusive access after join).
-  result.per_thread_nodes.resize(num_threads);
-  for (int id = 0; id < num_threads; ++id) {
-    result.per_thread_nodes[id] = contexts[id].nodes;
-    result.nodes += contexts[id].nodes;
-  }
-  result.lp_iterations = shared.lp_iterations.load();
-  result.lp_warm_solves = shared.lp_warm_solves.load();
-  result.steals = shared.steals.load();
-
-  if (shared.unbounded.load()) {
-    result.status = MilpResult::SolveStatus::kUnbounded;
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_begin)
-            .count();
-    return result;
-  }
-
-  const double incumbent_key = shared.incumbent_key.load();
-  if (shared.has_incumbent) {
-    result.objective = shared.incumbent_objective;
-    result.point = std::move(shared.incumbent_point);
-    result.has_incumbent = true;
-  }
-
-  const bool hit_node_limit = shared.hit_node_limit.load();
-  double best_open_bound = incumbent_key;
-  if (hit_node_limit) {
-    double open = kInf;
-    for (const WorkerDeque& deque : deques) {
-      for (const Node& node : deque.Drain()) {
-        open = std::min(open, node.parent_bound);
-      }
-    }
-    best_open_bound = std::min(incumbent_key, open);
-  }
-  result.best_bound = form.sense_factor * best_open_bound;
-
-  if (hit_node_limit) {
-    result.status = MilpResult::SolveStatus::kNodeLimit;
-  } else if (result.has_incumbent) {
-    result.status = MilpResult::SolveStatus::kOptimal;
-    result.best_bound = result.objective;
-  } else {
-    result.status = shared.any_feasible_lp.load()
-                        ? MilpResult::SolveStatus::kInfeasible
-                        : MilpResult::SolveStatus::kLpRelaxationInfeasible;
-  }
-  result.wall_seconds =
+  const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
           .count();
-  return result;
+  const bool hit_node_limit = shared.hit_node_limit.load();
+
+  // Best open bound per instance among drained (unexplored) nodes, for gap
+  // reporting after an early stop.
+  std::vector<double> open_bound(num_instances, kInf);
+  if (hit_node_limit || shared.abort.load()) {
+    for (const WorkerDeque& deque : deques) {
+      for (const Node& node : deque.Drain()) {
+        open_bound[node.instance] =
+            std::min(open_bound[node.instance], node.parent_bound);
+      }
+    }
+  }
+
+  // Gather per-instance results (exclusive access after join).
+  std::vector<MilpResult> results(num_instances);
+  for (int i = 0; i < num_instances; ++i) {
+    InstanceState& inst = *instances[i];
+    MilpResult& result = results[i];
+    result.per_thread_nodes.resize(num_threads);
+    for (int id = 0; id < num_threads; ++id) {
+      result.per_thread_nodes[id] = contexts[id].nodes_per_instance[i];
+      result.nodes += contexts[id].nodes_per_instance[i];
+    }
+    result.lp_iterations = inst.lp_iterations.load();
+    result.lp_warm_solves = inst.lp_warm_solves.load();
+    result.steals = inst.steals.load();
+    result.wall_seconds = wall_seconds;
+
+    if (inst.unbounded.load()) {
+      result.status = MilpResult::SolveStatus::kUnbounded;
+      continue;
+    }
+
+    const double incumbent_key = inst.incumbent_key.load();
+    if (inst.has_incumbent) {
+      result.objective = inst.incumbent_objective;
+      result.point = std::move(inst.incumbent_point);
+      result.has_incumbent = true;
+    }
+
+    // An instance was cut off when the batch stopped early while it still
+    // had open nodes, or one of its LPs hit the iteration cap.
+    const bool cut_off = inst.iteration_limited.load() ||
+                         (shared.abort.load() &&
+                          inst.open_nodes.load(std::memory_order_relaxed) > 0);
+    if (cut_off) {
+      result.status = MilpResult::SolveStatus::kNodeLimit;
+      result.best_bound = inst.form.sense_factor *
+                          std::min(incumbent_key, open_bound[i]);
+      continue;
+    }
+    if (result.has_incumbent) {
+      result.status = MilpResult::SolveStatus::kOptimal;
+      result.best_bound = result.objective;
+    } else {
+      result.status = inst.any_feasible_lp.load()
+                          ? MilpResult::SolveStatus::kInfeasible
+                          : MilpResult::SolveStatus::kLpRelaxationInfeasible;
+      result.best_bound = inst.form.sense_factor * incumbent_key;
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
+                                       const MilpOptions& options) {
+  if (models.empty()) return {};
+  if (options.num_threads <= 1) {
+    std::vector<MilpResult> results;
+    results.reserve(models.size());
+    for (const BatchModel& bm : models) {
+      MilpOptions serial = options;
+      serial.num_threads = 1;
+      serial.initial_point = bm.initial_point;
+      results.push_back(SolveMilp(*bm.model, serial));
+    }
+    return results;
+  }
+  return SolveBatchParallel(models, options);
+}
+
+MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
+  if (options.num_threads <= 1) {
+    MilpOptions serial = options;
+    serial.num_threads = 1;
+    return SolveMilp(model, serial);
+  }
+  std::vector<BatchModel> batch(1);
+  batch[0].model = &model;
+  batch[0].initial_point = options.initial_point;
+  return std::move(SolveMilpBatch(batch, options)[0]);
 }
 
 }  // namespace dart::milp

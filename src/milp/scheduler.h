@@ -1,21 +1,33 @@
 #pragma once
 
+#include <vector>
+
 #include "milp/branch_and_bound.h"
 
 /// \file scheduler.h
-/// Work-stealing parallel branch-and-bound (MilpOptions::num_threads > 1).
+/// Work-stealing parallel branch-and-bound (MilpOptions::num_threads > 1),
+/// generalized to solve a *batch* of independent root models on one pool.
 ///
 /// Architecture (see DESIGN.md, "Parallel solver architecture"):
 ///   - one worker thread per requested thread, each with a mutex-protected
 ///     node deque: the owner pushes/pops at the bottom (LIFO dive, which
 ///     keeps the subtree hot in its own LpScratch), thieves steal from the
 ///     top (the oldest, closest-to-root node — the largest stolen subtree);
-///   - a shared incumbent guarded by a mutex for writes, mirrored into an
-///     atomic `incumbent_key` so the per-node prune test is a lock-free load;
-///   - termination via an atomic count of open nodes (queued + in flight):
-///     a worker that finds no work anywhere exits once the count is zero;
-///   - each worker owns an LpScratch, so node LP solves share the read-only
-///     StandardForm but never a mutable buffer.
+///   - every node carries the index of the instance (root model) it belongs
+///     to; per-instance state (StandardForm, incumbent, counters) lives in
+///     an InstanceState array shared by all workers. Root nodes are dealt
+///     round-robin across the worker deques, so a batch of components
+///     spreads over the pool immediately instead of serializing behind the
+///     first model;
+///   - each instance's incumbent is guarded by a mutex for writes, mirrored
+///     into an atomic `incumbent_key` so the per-node prune test is a
+///     lock-free load;
+///   - termination via one atomic count of open nodes (queued + in flight)
+///     across the whole batch: a worker that finds no work anywhere exits
+///     once the count is zero;
+///   - each worker owns an LpScratch; the simplex re-binds it when a popped
+///     node belongs to a different instance than the previous one (the
+///     scratch caches which StandardForm its tableau was factorized for).
 ///
 /// The parallel search proves the same optimum as the serial one (pruning
 /// only ever uses feasibility-verified incumbents), but node counts vary
@@ -23,8 +35,36 @@
 
 namespace dart::milp {
 
-/// Solves `model` with `options.num_threads` workers. Callers normally go
-/// through SolveMilp, which dispatches here when num_threads > 1.
+/// One root model of a batch plus its (optional) warm-start incumbent seed.
+/// `initial_point` is used instead of MilpOptions::initial_point, which is
+/// ignored by the batch entry points (a single point cannot fit several
+/// models).
+struct BatchModel {
+  const Model* model = nullptr;
+  std::vector<double> initial_point;
+};
+
+/// Solves every model of `models` and returns one MilpResult per model, in
+/// order. With options.num_threads <= 1 the models are solved one after the
+/// other with the serial algorithm; otherwise all of them share one
+/// work-stealing pool of options.num_threads workers, so small instances
+/// fill the idle capacity left by large ones instead of waiting for them.
+///
+/// Batch semantics of the shared options:
+///   - max_nodes caps the *total* nodes across the batch (same budget a
+///     monolithic solve of the union would get); when it trips, every
+///     instance not already solved reports kNodeLimit;
+///   - an unbounded instance aborts the whole batch (the union model would
+///     be unbounded);
+///   - wall_seconds of every result is the batch wall time (the pool is
+///     shared, so per-instance attribution is not meaningful);
+///   - steals are attributed to the instance whose node was stolen.
+std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
+                                       const MilpOptions& options);
+
+/// Solves `model` with `options.num_threads` workers (a batch of one).
+/// Callers normally go through SolveMilp, which dispatches here when
+/// num_threads > 1.
 MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options);
 
 }  // namespace dart::milp

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "constraints/eval.h"
+#include "milp/decompose.h"
 #include "milp/exhaustive.h"
 #include "milp/presolve.h"
 
@@ -52,6 +54,72 @@ Result<Repair> ExtractRepair(const rel::Database& db,
   return Repair(std::move(updates));
 }
 
+/// Snaps a solved z value the same way ExtractRepair renders it into the
+/// database, so a pin of an accepted value reproduces the repair exactly.
+double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
+                     double z) {
+  const rel::Relation* relation = db.FindRelation(cell.relation);
+  const rel::Domain domain =
+      relation->schema().attribute(cell.attribute).domain;
+  if (domain == rel::Domain::kInt) {
+    return static_cast<double>(std::llround(z));
+  }
+  return std::round(z * 1e6) / 1e6;
+}
+
+/// Presolve + decomposition bookkeeping of one solve attempt, kept around so
+/// the big-M retry can tell accepted components from saturated ones.
+struct SolveContext {
+  milp::PresolveResult presolved;
+  bool used_presolve = false;
+  milp::Decomposition decomposition;
+  std::vector<milp::MilpResult> component_results;
+  bool decomposed = false;
+};
+
+/// Presolve (optional), decompose, and solve `model` on one shared pool;
+/// lifts the solution back to the full variable space and carries the
+/// presolve statistics onto the result.
+milp::MilpResult SolveDecomposed(const milp::Model& model,
+                                 const milp::MilpOptions& options,
+                                 bool use_presolve,
+                                 const milp::PresolveOptions& presolve_options,
+                                 SolveContext* ctx) {
+  const milp::Model* target = &model;
+  milp::MilpOptions opts = options;
+  if (use_presolve) {
+    ctx->presolved = milp::Presolve(model, presolve_options);
+    ctx->used_presolve = true;
+    if (ctx->presolved.infeasible) {
+      milp::MilpResult result;
+      result.status = milp::MilpResult::SolveStatus::kInfeasible;
+      result.presolve_variables_eliminated =
+          ctx->presolved.variables_eliminated;
+      result.presolve_rows_removed = ctx->presolved.rows_removed;
+      return result;
+    }
+    target = &ctx->presolved.reduced;
+    if (opts.initial_point.size() ==
+        static_cast<size_t>(model.num_variables())) {
+      opts.initial_point = ctx->presolved.ProjectPoint(opts.initial_point);
+    } else {
+      opts.initial_point.clear();
+    }
+  }
+  ctx->decomposition = milp::DecomposeModel(*target);
+  ctx->decomposed = true;
+  milp::MilpResult result = milp::SolveDecomposition(
+      ctx->decomposition, *target, opts, &ctx->component_results);
+  if (ctx->used_presolve) {
+    if (result.has_incumbent) {
+      result.point = ctx->presolved.RestorePoint(result.point);
+    }
+    result.presolve_variables_eliminated = ctx->presolved.variables_eliminated;
+    result.presolve_rows_removed = ctx->presolved.rows_removed;
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<RepairOutcome> RepairEngine::ComputeRepair(
@@ -81,11 +149,21 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
   }
   milp_options.objective_is_integral = integral_objective;
 
+  // Pins added by per-component big-M retries: cells of components accepted
+  // as optimal-and-unsaturated get pinned to their solved values, so a
+  // retry re-solves only the saturated / infeasible blocks (presolve
+  // eliminates the pinned ones).
+  std::vector<FixedValue> retry_pins;
+  std::set<rel::CellRef> pinned_cells;
+  for (const FixedValue& pin : fixed_values) pinned_cells.insert(pin.cell);
+
   for (int attempt = 0; attempt <= options_.max_bigm_retries; ++attempt) {
     const auto t0 = std::chrono::steady_clock::now();
+    std::vector<FixedValue> pins = fixed_values;
+    pins.insert(pins.end(), retry_pins.begin(), retry_pins.end());
     DART_ASSIGN_OR_RETURN(
         Translation translation,
-        TranslateToMilp(db, constraints, translator_options, fixed_values));
+        TranslateToMilp(db, constraints, translator_options, pins));
     const auto t1 = std::chrono::steady_clock::now();
 
     // Seed the incumbent from a previous iteration's repair, if any: the
@@ -114,14 +192,27 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
       milp_options.initial_point = std::move(point);
     }
 
-    milp::MilpResult solved =
-        options_.use_exhaustive_solver
-            ? milp::SolveByBinaryEnumeration(
-                  translation.model,
-                  milp::ExhaustiveOptions{22, milp_options})
-        : options_.use_presolve
-            ? milp::SolveMilpWithPresolve(translation.model, milp_options)
-            : milp::SolveMilp(translation.model, milp_options);
+    // Retry pins hold 6-decimal snapped continuous values (SnapCellValue);
+    // folding them through presolve can leave constant-row residuals up to
+    // the consistency tolerance (1e-6, SatisfiesCompare) — far above the
+    // default presolve tolerance. Relax it to match once pins exist.
+    milp::PresolveOptions presolve_options;
+    if (!retry_pins.empty()) presolve_options.tol = 1e-6;
+
+    SolveContext ctx;
+    milp::MilpResult solved;
+    if (options_.use_exhaustive_solver) {
+      solved = milp::SolveByBinaryEnumeration(
+          translation.model, milp::ExhaustiveOptions{22, milp_options});
+    } else if (options_.use_decomposition) {
+      solved = SolveDecomposed(translation.model, milp_options,
+                               options_.use_presolve, presolve_options, &ctx);
+    } else if (options_.use_presolve) {
+      solved = milp::SolveMilpWithPresolve(translation.model, milp_options,
+                                           presolve_options);
+    } else {
+      solved = milp::SolveMilp(translation.model, milp_options);
+    }
     const auto t2 = std::chrono::steady_clock::now();
 
     outcome.stats.num_cells = translation.cells.size();
@@ -136,26 +227,112 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     outcome.stats.solve_seconds += Seconds(t1, t2);
     outcome.stats.milp_wall_seconds += solved.wall_seconds;
     outcome.stats.milp_steals += solved.steals;
-    outcome.stats.per_thread_nodes = solved.per_thread_nodes;
+    if (outcome.stats.per_thread_nodes.size() < solved.per_thread_nodes.size()) {
+      outcome.stats.per_thread_nodes.resize(solved.per_thread_nodes.size(), 0);
+    }
+    for (size_t t = 0; t < solved.per_thread_nodes.size(); ++t) {
+      outcome.stats.per_thread_nodes[t] += solved.per_thread_nodes[t];
+    }
+    outcome.stats.num_components = solved.num_components;
+    outcome.stats.largest_component_vars = solved.largest_component_vars;
+    outcome.stats.presolve_variables_eliminated =
+        solved.presolve_variables_eliminated;
+    outcome.stats.presolve_rows_removed = solved.presolve_rows_removed;
 
-    const bool grow_m_and_retry = [&] {
-      if (milp::IsInfeasibleStatus(solved.status)) {
-        // Possibly a too-tight z box rather than true non-existence.
-        return true;
+    // Decide whether (and where) M must grow. Infeasibility may be a
+    // too-tight z box rather than true non-existence, and an optimal y
+    // pressing against its Mᵢ box suggests the unboxed optimum might lie
+    // outside. With decomposition metadata the blame lands on individual
+    // components ("dirty"); the rest were accepted by the engine's own
+    // criterion — optimal and unsaturated — and blocks are independent, so
+    // their repaired values can be pinned on the retry.
+    bool grow_m_and_retry = false;
+    bool pin_clean_components = false;
+    std::vector<char> component_dirty;
+    if (ctx.decomposed) {
+      const milp::Decomposition& dec = ctx.decomposition;
+      component_dirty.assign(dec.components.size(), 0);
+      bool whole_dirty =
+          dec.constant_row_infeasible || dec.rowless_infeasible;
+      for (size_t c = 0; c < ctx.component_results.size(); ++c) {
+        if (milp::IsInfeasibleStatus(ctx.component_results[c].status)) {
+          component_dirty[c] = 1;
+          grow_m_and_retry = true;
+        }
       }
-      if (solved.status != milp::MilpResult::SolveStatus::kOptimal) {
-        return false;
-      }
-      // An optimal y pressing against its Mᵢ box suggests the unboxed
-      // optimum might lie outside; enlarge and re-solve to be safe.
       for (size_t i = 0; i < translation.cells.size(); ++i) {
-        const double y = solved.point[translation.y_vars[i]];
-        if (std::fabs(y) >= 0.999 * translation.big_m[i]) return true;
+        int y_var = translation.y_vars[i];
+        int comp = -2;  // -2: eliminated by presolve
+        double y = 0;
+        if (ctx.used_presolve) {
+          const int reduced = ctx.presolved.variable_map[y_var];
+          if (reduced < 0) {
+            y = ctx.presolved.fixed_values[y_var];
+          } else {
+            y_var = reduced;
+            comp = dec.component_of_var[y_var];
+          }
+        } else {
+          comp = dec.component_of_var[y_var];
+        }
+        if (comp >= 0) {
+          const milp::MilpResult& cr = ctx.component_results[comp];
+          if (!cr.has_incumbent) continue;
+          y = cr.point[dec.local_of_var[y_var]];
+        } else if (comp == -1) {
+          y = dec.rowless_values[dec.local_of_var[y_var]];
+        }
+        if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
+          grow_m_and_retry = true;
+          if (comp >= 0) {
+            component_dirty[comp] = 1;
+          } else if (comp == -1) {
+            whole_dirty = true;
+          }
+          // comp == -2: a pin forces this y exactly; retrying with a larger
+          // Mᵢ merely re-verifies it, no component needs to re-solve.
+        }
       }
-      return false;
-    }();
+      if (whole_dirty) grow_m_and_retry = true;
+      if (solved.status == milp::MilpResult::SolveStatus::kNodeLimit ||
+          solved.status == milp::MilpResult::SolveStatus::kUnbounded) {
+        grow_m_and_retry = false;  // not big-M symptoms; report them below
+      }
+      pin_clean_components = grow_m_and_retry && !whole_dirty;
+    } else {
+      if (milp::IsInfeasibleStatus(solved.status)) {
+        grow_m_and_retry = true;
+      } else if (solved.status == milp::MilpResult::SolveStatus::kOptimal) {
+        for (size_t i = 0; i < translation.cells.size(); ++i) {
+          const double y = solved.point[translation.y_vars[i]];
+          if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
+            grow_m_and_retry = true;
+            break;
+          }
+        }
+      }
+    }
 
     if (grow_m_and_retry && attempt < options_.max_bigm_retries) {
+      if (pin_clean_components) {
+        for (size_t i = 0; i < translation.cells.size(); ++i) {
+          if (pinned_cells.count(translation.cells[i]) > 0) continue;
+          int z_var = translation.z_vars[i];
+          if (ctx.used_presolve) {
+            z_var = ctx.presolved.variable_map[z_var];
+            if (z_var < 0) continue;  // already fixed through existing pins
+          }
+          const int comp = ctx.decomposition.component_of_var[z_var];
+          if (comp < 0 || component_dirty[comp]) continue;
+          const milp::MilpResult& cr = ctx.component_results[comp];
+          if (!cr.has_incumbent) continue;
+          const double z = SnapCellValue(
+              db, translation.cells[i],
+              cr.point[ctx.decomposition.local_of_var[z_var]]);
+          retry_pins.push_back(FixedValue{translation.cells[i], z});
+          pinned_cells.insert(translation.cells[i]);
+        }
+      }
       const double base = translator_options.big_m.fixed_value > 0
                               ? translator_options.big_m.fixed_value
                               : translation.practical_m;

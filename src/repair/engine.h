@@ -33,6 +33,14 @@ struct RepairEngineOptions {
   /// singleton rows that presolve chases through the y-definition and big-M
   /// rows, shrinking heavily-validated instances dramatically.
   bool use_presolve = true;
+  /// Split the (presolved) model into connected components of the
+  /// variable–constraint incidence graph and solve them concurrently on one
+  /// work-stealing pool (decompose.h). Cells from different acquired
+  /// documents never share a ground row, and presolve-chased pins cut
+  /// chains, so validation-loop instances are usually block-structured. Also
+  /// enables per-component big-M retries: components accepted as optimal and
+  /// unsaturated are pinned on a retry instead of being re-solved.
+  bool use_decomposition = true;
 };
 
 struct RepairStats {
@@ -52,9 +60,17 @@ struct RepairStats {
   double milp_wall_seconds = 0;
   /// Work-stealing transfers between solver workers (0 when serial).
   int64_t milp_steals = 0;
-  /// Nodes explored by each solver worker in the final MILP solve (size 1
-  /// when serial).
+  /// Nodes explored by each solver worker, accumulated elementwise across
+  /// big-M retries (size 1 when serial).
   std::vector<int64_t> per_thread_nodes;
+  /// Shape of the *final* solve attempt (not summed across big-M retries):
+  /// connected components the model split into (1 when decomposition is off
+  /// or the model is connected) and the variable count of the largest one.
+  int num_components = 1;
+  int largest_component_vars = 0;
+  /// Presolve reductions of the final solve attempt (0 when presolve off).
+  int presolve_variables_eliminated = 0;
+  int presolve_rows_removed = 0;
 };
 
 struct RepairOutcome {

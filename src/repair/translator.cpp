@@ -276,6 +276,44 @@ Result<Translation> TranslateToMilp(const rel::Database& db,
     model.AddRow(row.name, std::move(terms), ToRowSense(row.op), row.rhs);
   }
 
+  // Connected components of the cell–ground-row incidence graph (union-find
+  // with path halving): the document structure of the instance. Cells in no
+  // ground row stay singletons.
+  {
+    std::vector<int> parent(n_cells);
+    for (size_t i = 0; i < n_cells; ++i) parent[i] = static_cast<int>(i);
+    auto find = [&](int x) {
+      while (parent[static_cast<size_t>(x)] != x) {
+        parent[static_cast<size_t>(x)] =
+            parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+        x = parent[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    for (const PendingRow& row : pending) {
+      int first = -1;
+      for (const auto& [cell, coeff] : row.coefficients) {
+        const int index = static_cast<int>(cell_index.at(cell));
+        if (first < 0) {
+          first = find(index);
+        } else {
+          const int root = find(index);
+          if (root != first) parent[static_cast<size_t>(root)] = first;
+        }
+      }
+    }
+    out.cell_component.assign(n_cells, -1);
+    std::vector<int> component_of_root(n_cells, -1);
+    for (size_t i = 0; i < n_cells; ++i) {
+      const int root = find(static_cast<int>(i));
+      if (component_of_root[static_cast<size_t>(root)] < 0) {
+        component_of_root[static_cast<size_t>(root)] =
+            out.num_cell_components++;
+      }
+      out.cell_component[i] = component_of_root[static_cast<size_t>(root)];
+    }
+  }
+
   // Operator value pins (Sec. 6.3): zᵢ = v.
   for (const FixedValue& fixed : fixed_values) {
     auto it = cell_index.find(fixed.cell);

@@ -87,6 +87,15 @@ struct Translation {
   /// Interface's display-ordering key (Sec. 6.3).
   std::vector<int> occurrence_counts;
 
+  /// Connected component of each cell in the cell–ground-row incidence
+  /// graph (cells from different acquired documents never share a ground
+  /// row, so this is a document-structure fingerprint of the instance).
+  /// Cells outside every ground row form singleton components. This is the
+  /// pre-pin, pre-presolve view; the solver recomputes components on the
+  /// presolved model, where pins usually split these further.
+  std::vector<int> cell_component;
+  int num_cell_components = 0;
+
   /// Ground constraint rows of S(AC) in human-readable form, for debugging
   /// and the paper-artifact bench (Fig. 4).
   std::vector<std::string> ground_rows;
