@@ -50,7 +50,7 @@ void BM_MilpMonolithic(benchmark::State& state) {
   DART_CHECK_MSG(translation.ok(), translation.status().ToString());
   dart::milp::MilpOptions options;
   options.objective_is_integral = true;
-  options.num_threads = 4;
+  options.search.num_threads = 4;
   int64_t nodes = 0;
   for (auto _ : state) {
     dart::milp::MilpResult solved =
@@ -73,7 +73,7 @@ void BM_MilpDecomposed(benchmark::State& state) {
   DART_CHECK_MSG(translation.ok(), translation.status().ToString());
   dart::milp::MilpOptions options;
   options.objective_is_integral = true;
-  options.num_threads = 4;
+  options.search.num_threads = 4;
   // The monolithic optimum, for the identical-objective assertion.
   const dart::milp::MilpResult whole =
       dart::milp::SolveMilp(translation->model, options);
@@ -120,8 +120,8 @@ void BM_EngineVsPins(benchmark::State& state) {
   }
 
   dart::repair::RepairEngineOptions options;
-  options.use_decomposition = decompose;
-  options.milp.num_threads = 4;
+  options.milp.decomposition.use_components = decompose;
+  options.milp.search.num_threads = 4;
   dart::repair::RepairEngine engine(options);
   dart::repair::RepairStats stats;
   size_t cardinality = 0;
@@ -172,4 +172,14 @@ BENCHMARK(BM_EngineVsPins)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Trace the 4-document decomposed engine run: milp.components and the
+  // batch/worker span tree are the interesting artifacts here.
+  dart::repair::RepairEngineOptions options;
+  options.milp.search.num_threads = 4;
+  dart::bench::EmitRepairTrace(MultiDoc(4), "bench_decomposition", options);
+  return 0;
+}

@@ -37,7 +37,7 @@ void RunPinned(benchmark::State& state, bool presolve) {
                                          /*num_errors=*/3);
   const auto pins = MakePins(scenario, pins_count);
   dart::repair::RepairEngineOptions options;
-  options.use_presolve = presolve;
+  options.milp.decomposition.use_presolve = presolve;
   dart::repair::RepairEngine engine(options);
   int64_t lp_iterations = 0;
   for (auto _ : state) {
@@ -103,4 +103,14 @@ BENCHMARK(BM_PresolveReduction)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Trace the bench's own workload: the 30-pin validation-session shape.
+  Scenario scenario = MakeBudgetScenario(/*seed=*/77, /*years=*/6,
+                                         /*num_errors=*/3);
+  const auto pins = MakePins(scenario, 30);
+  dart::bench::EmitRepairTrace(scenario, "bench_presolve_ablation", {}, pins);
+  return 0;
+}

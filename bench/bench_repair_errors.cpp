@@ -64,4 +64,13 @@ BENCHMARK(BM_ConsistencyCheck)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dart::bench::EmitRepairTrace(
+      dart::bench::MakeBudgetScenario(/*seed=*/123, /*years=*/4,
+                                      /*num_errors=*/4),
+      "bench_repair_errors");
+  return 0;
+}

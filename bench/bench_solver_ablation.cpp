@@ -24,9 +24,9 @@ void RunConfig(benchmark::State& state, dart::milp::BranchRule rule,
   Scenario scenario = MakeBudgetScenario(/*seed=*/321, /*years=*/3,
                                          /*num_errors=*/3);
   dart::repair::RepairEngineOptions options;
-  options.milp.branch_rule = rule;
-  options.milp.node_order = order;
-  options.milp.rounding_heuristic = rounding;
+  options.milp.search.branch_rule = rule;
+  options.milp.search.node_order = order;
+  options.milp.search.rounding_heuristic = rounding;
   dart::repair::RepairEngine engine(options);
   int64_t nodes = 0;
   for (auto _ : state) {
@@ -89,8 +89,8 @@ int CheckAgreement() {
       for (auto order : {dart::milp::NodeOrder::kBestFirst,
                          dart::milp::NodeOrder::kDepthFirst}) {
         dart::repair::RepairEngineOptions options;
-        options.milp.branch_rule = rule;
-        options.milp.node_order = order;
+        options.milp.search.branch_rule = rule;
+        options.milp.search.node_order = order;
         dart::repair::RepairEngine engine(options);
         auto outcome =
             engine.ComputeRepair(scenario.acquired, scenario.constraints);
@@ -118,5 +118,8 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  dart::bench::EmitRepairTrace(
+      MakeBudgetScenario(/*seed=*/321, /*years=*/3, /*num_errors=*/3),
+      "bench_solver_ablation");
   return failures == 0 ? 0 : 1;
 }

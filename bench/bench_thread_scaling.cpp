@@ -23,7 +23,7 @@ void BM_RepairVsThreads(benchmark::State& state) {
       dart::bench::MakeBudgetScenario(/*seed=*/42, /*years=*/12,
                                       /*num_errors=*/2);
   dart::repair::RepairEngineOptions options;
-  options.milp.num_threads = threads;
+  options.milp.search.num_threads = threads;
   dart::repair::RepairEngine engine(options);
   int64_t nodes = 0, steals = 0;
   double milp_wall = 0;
@@ -64,7 +64,7 @@ void BM_MilpSolveVsThreads(benchmark::State& state) {
   DART_CHECK_MSG(translation.ok(), translation.status().ToString());
   dart::milp::MilpOptions options;
   options.objective_is_integral = true;
-  options.num_threads = threads;
+  options.search.num_threads = threads;
   int64_t nodes = 0, steals = 0;
   for (auto _ : state) {
     dart::milp::MilpResult solved =
@@ -89,4 +89,17 @@ BENCHMARK(BM_MilpSolveVsThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Trace a 4-thread engine run so milp.worker spans and the per-thread node
+  // counters show up in the report.
+  dart::repair::RepairEngineOptions options;
+  options.milp.search.num_threads = 4;
+  dart::bench::EmitRepairTrace(
+      dart::bench::MakeBudgetScenario(/*seed=*/42, /*years=*/12,
+                                      /*num_errors=*/2),
+      "bench_thread_scaling", options);
+  return 0;
+}

@@ -4,15 +4,21 @@
 
 #include "constraints/ast.h"
 #include "constraints/parser.h"
+#include "obs/context.h"
+#include "obs/report.h"
 #include "ocr/cash_budget.h"
 #include "ocr/noise.h"
 #include "relational/database.h"
+#include "repair/engine.h"
 #include "util/random.h"
 #include "util/status.h"
 
 /// \file bench_util.h
 /// Shared fixture plumbing for the benchmark harness (see EXPERIMENTS.md for
-/// the experiment ↔ binary index).
+/// the experiment ↔ binary index), plus the observability trace emission
+/// every benchmark binary performs after its timed runs
+/// (OBS_<bench>.trace.json, validated by scripts/trace_report.py from
+/// scripts/reproduce.sh).
 
 namespace dart::bench {
 
@@ -125,6 +131,33 @@ inline Scenario MakeMultiDocScenario(uint64_t seed, int docs, int years,
                                                &scenario.constraints);
   DART_CHECK_MSG(parsed.ok(), parsed.ToString());
   return scenario;
+}
+
+/// Writes `run`'s JSON run report to OBS_<bench_name>.trace.json in the
+/// working directory. Aborts on I/O failure so scripts/reproduce.sh can
+/// never silently lose a trace.
+inline void WriteBenchTrace(const obs::RunContext& run,
+                            const std::string& bench_name) {
+  const Status written =
+      obs::WriteRunReport(run, "OBS_" + bench_name + ".trace.json");
+  DART_CHECK_MSG(written.ok(), written.ToString());
+}
+
+/// Runs one instrumented ComputeRepair over `scenario` and writes the
+/// resulting trace. Called from each solver bench's main() *after* the timed
+/// google-benchmark runs, so the trace reflects the bench's workload without
+/// the timed loops paying for instrumentation.
+inline void EmitRepairTrace(const Scenario& scenario,
+                            const std::string& bench_name,
+                            repair::RepairEngineOptions options = {},
+                            const std::vector<repair::FixedValue>& pins = {}) {
+  obs::RunContext run;
+  options.run = &run;
+  repair::RepairEngine engine(options);
+  auto outcome =
+      engine.ComputeRepair(scenario.acquired, scenario.constraints, pins);
+  DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+  WriteBenchTrace(run, bench_name);
 }
 
 }  // namespace dart::bench

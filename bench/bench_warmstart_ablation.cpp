@@ -18,7 +18,7 @@ void BM_RepairWarmVsCold(benchmark::State& state) {
   dart::bench::Scenario scenario =
       dart::bench::MakeBudgetScenario(/*seed=*/42, years, /*num_errors=*/2);
   dart::repair::RepairEngineOptions options;
-  options.milp.use_warm_start = warm;
+  options.milp.search.use_warm_start = warm;
   dart::repair::RepairEngine engine(options);
   int64_t nodes = 0, lp_iterations = 0, warm_solves = 0;
   double milp_wall = 0;
@@ -49,4 +49,13 @@ BENCHMARK(BM_RepairWarmVsCold)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dart::bench::EmitRepairTrace(
+      dart::bench::MakeBudgetScenario(/*seed=*/42, /*years=*/8,
+                                      /*num_errors=*/2),
+      "bench_warmstart_ablation");
+  return 0;
+}

@@ -44,4 +44,14 @@ python3 scripts/check_bench_regression.py \
   BENCH_bench_decomposition.json BENCH_bench_decomposition.seed.json \
   --max-ratio 1.3 || exit 1
 
-echo "Done: test_output.txt, bench_output.txt, BENCH_*.json"
+# Observability gates (E17, docs/observability.md): every benchmark binary
+# leaves an OBS_<name>.trace.json run report behind. Each must be
+# schema-valid; the end-to-end report is rendered as the canonical per-stage
+# breakdown; and the instrumented repair benchmark must cost < 2% over its
+# uninstrumented twin.
+python3 scripts/trace_report.py validate OBS_*.trace.json || exit 1
+python3 scripts/trace_report.py report OBS_bench_end_to_end.trace.json
+python3 scripts/trace_report.py overhead BENCH_bench_repair_scaling.json \
+  --max-overhead 0.02 || exit 1
+
+echo "Done: test_output.txt, bench_output.txt, BENCH_*.json, OBS_*.trace.json"

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Validate and render dart.obs run reports (OBS_*.trace.json).
+
+The C++ side (src/obs/report.h) writes one JSON document per RunContext with
+schema `dart.obs.run_report` version 1. This tool is the Python half of that
+contract — scripts/reproduce.sh runs it over every benchmark's trace:
+
+  trace_report.py validate FILE...
+      Schema-check each report. Exit 1 on the first violation.
+
+  trace_report.py report FILE
+      Per-stage time breakdown: the span tree aggregated by span name, with
+      total (inclusive) and self (exclusive of child spans) wall time, plus
+      the counter/gauge tables.
+
+  trace_report.py overhead BENCH_JSON [--max-overhead 0.02]
+      Registry-overhead gate: compares the instrumented benchmark
+      (BM_RepairVsYearsObserved/12 by default) against its uninstrumented
+      twin (BM_RepairVsYears/12) in a google-benchmark JSON file and fails
+      when the observed run is more than --max-overhead slower.
+
+Exit status: 0 = ok, 1 = validation/gate failure, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "dart.obs.run_report"
+SCHEMA_VERSION = 1
+HISTOGRAM_BUCKETS = 40  # kHistogramBuckets in src/obs/registry.h
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {path}: {err}")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_report(path, doc):
+    """Returns a list of violation strings (empty = valid)."""
+    errors = []
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(f"{path}: {msg}")
+
+    check(isinstance(doc, dict), "top level is not an object")
+    if not isinstance(doc, dict):
+        return errors
+    check(doc.get("schema") == SCHEMA,
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check(doc.get("schema_version") == SCHEMA_VERSION,
+          f"schema_version is {doc.get('schema_version')!r}, "
+          f"want {SCHEMA_VERSION}")
+    for section in ("counters", "gauges", "histograms"):
+        check(isinstance(doc.get(section), dict),
+              f"{section} is not an object")
+    check(isinstance(doc.get("spans"), list), "spans is not an array")
+    if errors:
+        return errors
+
+    for name, value in doc["counters"].items():
+        check(isinstance(value, int) and not isinstance(value, bool),
+              f"counter {name} is not an integer")
+        if isinstance(value, int):
+            check(value >= 0, f"counter {name} is negative ({value})")
+    for name, value in doc["gauges"].items():
+        check(value is None or is_number(value),
+              f"gauge {name} is not a number or null")
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            check(False, f"histogram {name} is not an object")
+            continue
+        for field in ("count", "sum", "min", "max", "buckets"):
+            check(field in hist, f"histogram {name} lacks {field}")
+        if not all(f in hist for f in ("count", "sum", "buckets")):
+            continue
+        check(isinstance(hist["count"], int) and hist["count"] >= 0,
+              f"histogram {name}.count is not a non-negative integer")
+        buckets = hist["buckets"]
+        check(isinstance(buckets, list), f"histogram {name}.buckets")
+        total = 0
+        for pair in buckets if isinstance(buckets, list) else []:
+            ok = (isinstance(pair, list) and len(pair) == 2
+                  and isinstance(pair[0], int) and isinstance(pair[1], int)
+                  and 0 <= pair[0] < HISTOGRAM_BUCKETS and pair[1] > 0)
+            check(ok, f"histogram {name} has malformed bucket {pair!r}")
+            if ok:
+                total += pair[1]
+        if isinstance(hist["count"], int):
+            check(total == hist["count"],
+                  f"histogram {name} buckets sum to {total}, "
+                  f"count is {hist['count']}")
+
+    seen_ids = set()
+    for i, span in enumerate(doc["spans"]):
+        if not isinstance(span, dict):
+            check(False, f"span #{i} is not an object")
+            continue
+        missing = [f for f in ("id", "parent", "name", "start_ns",
+                               "duration_ns", "thread") if f not in span]
+        if missing:
+            check(False, f"span #{i} lacks {missing}")
+            continue
+        sid, parent = span["id"], span["parent"]
+        check(isinstance(sid, int) and sid > 0, f"span #{i} id {sid!r}")
+        check(sid not in seen_ids, f"span id {sid} duplicated")
+        check(isinstance(parent, int) and 0 <= parent < sid,
+              f"span {sid} parent {parent!r} does not precede it")
+        check(parent == 0 or parent in seen_ids,
+              f"span {sid} parent {parent} missing from the report")
+        check(isinstance(span["name"], str) and span["name"],
+              f"span {sid} has an empty name")
+        check(isinstance(span["start_ns"], int) and span["start_ns"] >= 0,
+              f"span {sid} start_ns {span['start_ns']!r}")
+        check(isinstance(span["duration_ns"], int)
+              and span["duration_ns"] >= -1,
+              f"span {sid} duration_ns {span['duration_ns']!r}")
+        check(isinstance(span["thread"], int) and span["thread"] >= 0,
+              f"span {sid} thread {span['thread']!r}")
+        if isinstance(sid, int):
+            seen_ids.add(sid)
+    return errors
+
+
+def cmd_validate(args):
+    failures = []
+    for path in args.files:
+        failures.extend(validate_report(path, load_json(path)))
+    for msg in failures:
+        print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"trace_report: {len(args.files)} report(s) schema-valid "
+          f"({SCHEMA} v{SCHEMA_VERSION})")
+    return 0
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns} ns"
+
+
+def cmd_report(args):
+    doc = load_json(args.file)
+    errors = validate_report(args.file, doc)
+    if errors:
+        for msg in errors:
+            print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
+        return 1
+
+    spans = doc["spans"]
+    closed = [s for s in spans if s["duration_ns"] >= 0]
+    children_ns = {}  # span id -> sum of direct children durations
+    for span in closed:
+        children_ns.setdefault(span["parent"], 0)
+        children_ns[span["parent"]] = (children_ns.get(span["parent"], 0)
+                                       + span["duration_ns"])
+
+    # Aggregate by span name: count, inclusive total, exclusive self time.
+    by_name = {}
+    for span in closed:
+        row = by_name.setdefault(span["name"], {"count": 0, "total": 0,
+                                                "self": 0})
+        row["count"] += 1
+        row["total"] += span["duration_ns"]
+        row["self"] += span["duration_ns"] - children_ns.get(span["id"], 0)
+
+    root_ns = sum(s["duration_ns"] for s in closed if s["parent"] == 0)
+    print(f"== per-stage breakdown: {args.file} ==")
+    print(f"{'span':<28} {'count':>6} {'total':>12} {'self':>12} {'%root':>6}")
+    for name, row in sorted(by_name.items(), key=lambda kv: -kv[1]["total"]):
+        pct = 100.0 * row["total"] / root_ns if root_ns else 0.0
+        print(f"{name:<28} {row['count']:>6} {format_ns(row['total']):>12} "
+              f"{format_ns(row['self']):>12} {pct:>5.1f}%")
+    open_spans = len(spans) - len(closed)
+    if open_spans:
+        print(f"({open_spans} span(s) still open, excluded)")
+
+    if doc["counters"]:
+        print("\n== counters ==")
+        for name, value in sorted(doc["counters"].items()):
+            print(f"{name:<40} {value:>12}")
+    if doc["gauges"]:
+        print("\n== gauges ==")
+        for name, value in sorted(doc["gauges"].items()):
+            print(f"{name:<40} {value:>12g}")
+    for name, hist in sorted(doc["histograms"].items()):
+        print(f"\n== histogram {name} ==")
+        print(f"count={hist['count']} sum={hist['sum']:g} "
+              f"min={hist['min']:g} max={hist['max']:g}")
+    return 0
+
+
+def cmd_overhead(args):
+    doc = load_json(args.bench_json)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name, time = entry.get("name"), entry.get("real_time")
+        if name is not None and time is not None:
+            times[name] = time
+    if args.baseline not in times or args.observed not in times:
+        fail(f"{args.bench_json} lacks {args.baseline!r} or "
+             f"{args.observed!r}; have {sorted(times)}")
+    base, observed = times[args.baseline], times[args.observed]
+    overhead = observed / base - 1.0
+    verdict = "OK" if overhead <= args.max_overhead else "FAIL"
+    print(f"registry overhead: {args.observed} vs {args.baseline}: "
+          f"{overhead * 100:+.2f}% (max {args.max_overhead * 100:.1f}%) "
+          f"{verdict}")
+    return 0 if overhead <= args.max_overhead else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="schema-check reports")
+    p_validate.add_argument("files", nargs="+")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_report = sub.add_parser("report", help="per-stage time breakdown")
+    p_report.add_argument("file")
+    p_report.set_defaults(func=cmd_report)
+
+    p_overhead = sub.add_parser("overhead", help="instrumentation cost gate")
+    p_overhead.add_argument("bench_json")
+    p_overhead.add_argument("--baseline", default="BM_RepairVsYears/12")
+    p_overhead.add_argument("--observed", default="BM_RepairVsYearsObserved/12")
+    p_overhead.add_argument("--max-overhead", type=float, default=0.02)
+    p_overhead.set_defaults(func=cmd_overhead)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

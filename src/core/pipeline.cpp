@@ -17,6 +17,11 @@ DartPipeline::DartPipeline(std::unique_ptr<AcquisitionMetadata> metadata,
 
 Result<DartPipeline> DartPipeline::Create(AcquisitionMetadata metadata,
                                           PipelineOptions options) {
+  // One RunContext serves every layer: thread the pipeline's sink into the
+  // matcher unless the caller already aimed it somewhere else.
+  if (options.run != nullptr && metadata.matcher.run == nullptr) {
+    metadata.matcher.run = options.run;
+  }
   // Scheme declared by the mappings.
   rel::DatabaseSchema schema;
   if (metadata.mappings.empty()) {
@@ -46,10 +51,16 @@ Result<DartPipeline> DartPipeline::Create(AcquisitionMetadata metadata,
 
 Result<AcquisitionOutcome> DartPipeline::Acquire(
     const std::string& html) const {
+  obs::Span acquire_span(options_.run, "pipeline.acquire");
+  obs::Span wrap_span(options_.run, "acquire.wrap");
   DART_ASSIGN_OR_RETURN(wrap::ExtractionResult extraction,
                         wrapper_.ExtractFromHtml(html));
+  wrap_span.End();
+  obs::Span generate_span(options_.run, "acquire.generate");
   DART_ASSIGN_OR_RETURN(dbgen::GenerationReport report,
                         generator_.Generate(extraction.MatchedInstances()));
+  generate_span.End();
+  obs::Count(options_.run, "pipeline.documents_acquired");
   AcquisitionOutcome outcome;
   outcome.database = std::move(report.database);
   outcome.extraction = extraction.stats;
@@ -62,6 +73,9 @@ Result<AcquisitionOutcome> DartPipeline::Acquire(
 repair::RepairEngineOptions DartPipeline::EngineOptionsFor(
     const std::vector<dbgen::CellConfidence>& confidences) const {
   repair::RepairEngineOptions engine_options = options_.engine;
+  if (options_.run != nullptr && engine_options.run == nullptr) {
+    engine_options.run = options_.run;
+  }
   if (options_.use_confidence_weights) {
     for (const dbgen::CellConfidence& confidence : confidences) {
       if (confidence.score >= 1.0) continue;  // default weight 1
@@ -86,18 +100,27 @@ Result<ProcessOutcome> DartPipeline::ProcessPositional(
 }
 
 Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
+  obs::Span process_span(options_.run, "pipeline.process");
   ProcessOutcome outcome;
   DART_ASSIGN_OR_RETURN(outcome.acquisition, Acquire(html));
 
+  obs::Span detect_span(options_.run, "pipeline.detect");
   cons::ConsistencyChecker checker(&constraints_);
   DART_ASSIGN_OR_RETURN(outcome.violations,
                         checker.Check(outcome.acquisition.database));
+  detect_span.End();
+  obs::SetGauge(options_.run, "pipeline.violations",
+                static_cast<double>(outcome.violations.size()));
 
+  obs::Span repair_span(options_.run, "pipeline.repair");
   repair::RepairEngine engine(
       EngineOptionsFor(outcome.acquisition.confidences));
   DART_ASSIGN_OR_RETURN(
       outcome.repair,
       engine.ComputeRepair(outcome.acquisition.database, constraints_));
+  repair_span.End();
+
+  obs::Span apply_span(options_.run, "pipeline.apply");
   DART_ASSIGN_OR_RETURN(
       outcome.repaired,
       outcome.repair.repair.Applied(outcome.acquisition.database));
@@ -107,15 +130,20 @@ Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
 Result<repair::RepairOutcome> DartPipeline::Repair(
     const rel::Database& db,
     const std::vector<repair::FixedValue>& pins) const {
-  repair::RepairEngine engine(options_.engine);
+  obs::Span repair_span(options_.run, "pipeline.repair");
+  repair::RepairEngine engine(EngineOptionsFor({}));
   return engine.ComputeRepair(db, constraints_, pins);
 }
 
 Result<validation::SessionResult> DartPipeline::ProcessSupervised(
     const std::string& html, const validation::SimulatedOperator& op,
     validation::SessionOptions session_options) const {
+  obs::Span supervised_span(options_.run, "pipeline.supervised");
   DART_ASSIGN_OR_RETURN(AcquisitionOutcome acquisition, Acquire(html));
   session_options.engine = EngineOptionsFor(acquisition.confidences);
+  if (options_.run != nullptr && session_options.run == nullptr) {
+    session_options.run = options_.run;
+  }
   return validation::RunValidationSession(acquisition.database, constraints_,
                                           op, session_options);
 }

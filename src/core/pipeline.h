@@ -10,6 +10,7 @@
 #include "constraints/ast.h"
 #include "constraints/eval.h"
 #include "dbgen/generator.h"
+#include "obs/context.h"
 #include "relational/database.h"
 #include "repair/engine.h"
 #include "validation/session.h"
@@ -45,6 +46,13 @@ struct AcquisitionMetadata {
 
 struct PipelineOptions {
   repair::RepairEngineOptions engine;
+  /// Observability sink for the whole pipeline (nullptr = no-op). One
+  /// RunContext threads through every layer: the wrapper's matcher, the
+  /// repair engine (and through it the MILP solver), and the validation
+  /// session all publish into it, and pipeline.* spans frame the stages.
+  /// Render with obs/report.h or scripts/trace_report.py. See
+  /// docs/observability.md.
+  obs::RunContext* run = nullptr;
   /// Weight-minimal extension: use the wrapper's cell matching scores as
   /// per-cell change weights in the repair objective (min Σ wᵢδᵢ), so that
   /// low-confidence extractions are the preferred cells to change. Off by

@@ -29,6 +29,24 @@ bool IsInfeasibleStatus(MilpResult::SolveStatus status) {
          status == MilpResult::SolveStatus::kLpRelaxationInfeasible;
 }
 
+namespace internal {
+
+void PublishMilpCounters(obs::RunContext* run, const MilpResult& result) {
+  if (run == nullptr) return;
+  obs::Count(run, "milp.solves");
+  obs::Count(run, "milp.nodes", result.nodes);
+  obs::Count(run, "milp.lp_iterations", result.lp_iterations);
+  obs::Count(run, "milp.lp_warm_solves", result.lp_warm_solves);
+  obs::Count(run, "milp.scheduler.steals", result.steals);
+  for (size_t t = 0; t < result.per_thread_nodes.size(); ++t) {
+    obs::Count(run,
+               "milp.scheduler.thread." + std::to_string(t) + ".nodes",
+               result.per_thread_nodes[t]);
+  }
+}
+
+}  // namespace internal
+
 namespace {
 
 struct Node {
@@ -50,6 +68,7 @@ struct NodeCompare {
 
 MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   const auto t_begin = std::chrono::steady_clock::now();
+  obs::Span search_span(options.run, "milp.search");
   MilpResult result;
   auto finish = [&]() -> MilpResult& {
     result.wall_seconds =
@@ -57,6 +76,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
                                       t_begin)
             .count();
     result.per_thread_nodes = {result.nodes};
+    internal::PublishMilpCounters(options.run, result);
     return result;
   };
 
@@ -115,7 +135,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   std::deque<Node> depth_first;
   const NodeCompare compare;
   auto push = [&](Node node) {
-    if (options.node_order == NodeOrder::kBestFirst) {
+    if (options.search.node_order == NodeOrder::kBestFirst) {
       best_first.push_back(std::move(node));
       std::push_heap(best_first.begin(), best_first.end(), compare);
     } else {
@@ -123,12 +143,13 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     }
   };
   auto empty = [&] {
-    return options.node_order == NodeOrder::kBestFirst ? best_first.empty()
-                                                       : depth_first.empty();
+    return options.search.node_order == NodeOrder::kBestFirst
+               ? best_first.empty()
+               : depth_first.empty();
   };
   auto pop = [&] {
     Node node;
-    if (options.node_order == NodeOrder::kBestFirst) {
+    if (options.search.node_order == NodeOrder::kBestFirst) {
       std::pop_heap(best_first.begin(), best_first.end(), compare);
       node = std::move(best_first.back());
       best_first.pop_back();
@@ -150,7 +171,8 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   };
 
   while (!empty()) {
-    if (options.max_nodes > 0 && result.nodes >= options.max_nodes) {
+    if (options.search.max_nodes > 0 &&
+        result.nodes >= options.search.max_nodes) {
       hit_node_limit = true;
       break;
     }
@@ -158,7 +180,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     if (prunable(node.parent_bound)) continue;
 
     ++result.nodes;
-    if (options.use_warm_start) {
+    if (options.search.use_warm_start) {
       SolveLpWarm(form, options.lp, node.lower, node.upper, node.warm.get(),
                   &scratch, &lp, &node_basis);
     } else {
@@ -185,7 +207,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
 
     int branch_var = internal::PickBranchVariable(model, lp.point,
                                                   options.int_tol,
-                                                  options.branch_rule);
+                                                  options.search.branch_rule);
     if (branch_var < 0) {
       if (try_incumbent(lp.point)) continue;  // LP optimum is integral
       // Near-integral but unsnappable: big-M rows make a δ of ~|y|/M pass
@@ -193,9 +215,9 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
       // Branch on the least-integral variable anyway (tolerance 0); only a
       // genuinely all-integral infeasible point may be abandoned.
       branch_var = internal::PickBranchVariable(model, lp.point, 0.0,
-                                                options.branch_rule);
+                                                options.search.branch_rule);
       if (branch_var < 0) continue;
-    } else if (options.rounding_heuristic) {
+    } else if (options.search.rounding_heuristic) {
       try_incumbent(lp.point);
     }
 
@@ -204,7 +226,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     // snapshot; node_basis is a moved-from husk afterwards and is refilled by
     // the next optimal solve).
     std::shared_ptr<const LpBasis> snapshot;
-    if (options.use_warm_start) {
+    if (options.search.use_warm_start) {
       snapshot = std::make_shared<const LpBasis>(std::move(node_basis));
     }
     // Down child: x <= floor(value). Copies the parent's bounds; the up
@@ -270,7 +292,7 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
 }  // namespace
 
 MilpResult SolveMilp(const Model& model, const MilpOptions& options) {
-  if (options.num_threads > 1) {
+  if (options.search.num_threads > 1) {
     return SolveMilpParallel(model, options);
   }
   return SolveMilpSerial(model, options);

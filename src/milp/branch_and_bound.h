@@ -5,6 +5,7 @@
 
 #include "milp/model.h"
 #include "milp/simplex.h"
+#include "obs/context.h"
 
 /// \file branch_and_bound.h
 /// Branch-and-bound MILP solver on top of the simplex LP relaxation. This is
@@ -12,9 +13,10 @@
 /// any exact solver returns the same optimal objective, which is what the
 /// card-minimal repair semantics needs.
 ///
-/// The search runs serially by default; MilpOptions::num_threads > 1 switches
-/// to the work-stealing parallel scheduler (scheduler.h). num_threads == 1
-/// reproduces the serial algorithm exactly (same pivots, same node count).
+/// The search runs serially by default; MilpOptions::search.num_threads > 1
+/// switches to the work-stealing parallel scheduler (scheduler.h).
+/// num_threads == 1 reproduces the serial algorithm exactly (same pivots,
+/// same node count).
 
 namespace dart::milp {
 
@@ -30,20 +32,11 @@ enum class NodeOrder {
   kDepthFirst,  ///< LIFO dive.
 };
 
-struct MilpOptions {
-  LpOptions lp;
-  /// Hard cap on explored nodes (0 = unlimited).
-  int64_t max_nodes = 0;
-  /// Integrality tolerance.
-  double int_tol = 1e-6;
-  /// When the objective provably takes integer values on integral points
-  /// (true for S*(AC): it is a sum of binaries), bounds are rounded up,
-  /// which substantially tightens pruning.
-  bool objective_is_integral = false;
-  /// Attempt a cheap round-to-nearest incumbent at every node.
-  bool rounding_heuristic = true;
-  BranchRule branch_rule = BranchRule::kMostFractional;
-  NodeOrder node_order = NodeOrder::kBestFirst;
+/// Knobs of the branch-and-bound search itself (MilpOptions::search). These
+/// used to be loose fields on MilpOptions; they are grouped so call sites
+/// configure the search in one place instead of re-plumbing individual
+/// flags.
+struct SearchOptions {
   /// Worker threads for the branch-and-bound search (values < 1 are treated
   /// as 1). 1 runs the serial algorithm; > 1 runs the work-stealing parallel
   /// scheduler, which explores per-worker depth-first with steal-from-top
@@ -57,11 +50,58 @@ struct MilpOptions {
   /// and the child typically re-solves in a handful of pivots. Ablation
   /// switch (bench_warmstart_ablation); off forces cold solves at every node.
   bool use_warm_start = true;
+  /// Hard cap on explored nodes (0 = unlimited).
+  int64_t max_nodes = 0;
+  /// Attempt a cheap round-to-nearest incumbent at every node.
+  bool rounding_heuristic = true;
+  BranchRule branch_rule = BranchRule::kMostFractional;
+  NodeOrder node_order = NodeOrder::kBestFirst;
+};
+
+/// Knobs of the model-shrinking stages that run before the search
+/// (MilpOptions::decomposition). Consumed by the repair engine's solve
+/// dispatch (repair/engine.cpp) — SolveMilp itself never decomposes; callers
+/// go through SolveMilpDecomposed / SolveMilpWithPresolve (decompose.h,
+/// presolve.h) which these flags select between.
+struct DecompositionOptions {
+  /// Run MILP presolve before branch-and-bound. Operator value pins are
+  /// singleton rows that presolve chases through the y-definition and big-M
+  /// rows, shrinking heavily-validated instances dramatically.
+  bool use_presolve = true;
+  /// Split the (presolved) model into connected components of the
+  /// variable–constraint incidence graph and solve them concurrently on one
+  /// work-stealing pool (decompose.h). Cells from different acquired
+  /// documents never share a ground row, and presolve-chased pins cut
+  /// chains, so validation-loop instances are usually block-structured. Also
+  /// enables per-component big-M retries in the repair engine: components
+  /// accepted as optimal and unsaturated are pinned on a retry instead of
+  /// being re-solved.
+  bool use_components = true;
+};
+
+struct MilpOptions {
+  LpOptions lp;
+  /// Search knobs (threads, warm starts, node limit, branching).
+  SearchOptions search;
+  /// Pre-search model shrinking (presolve, connected components).
+  DecompositionOptions decomposition;
+  /// Integrality tolerance.
+  double int_tol = 1e-6;
+  /// When the objective provably takes integer values on integral points
+  /// (true for S*(AC): it is a sum of binaries), bounds are rounded up,
+  /// which substantially tightens pruning.
+  bool objective_is_integral = false;
   /// Optional warm start: a point to try as the initial incumbent (snapped
   /// and feasibility-checked; silently ignored when the size is wrong or the
   /// point infeasible). Typical source: the previous validation-loop
   /// iteration's accepted solution.
   std::vector<double> initial_point;
+  /// Observability sink (nullptr = no-op). Every solve publishes its
+  /// counters (milp.nodes, milp.lp_iterations, milp.lp_warm_solves,
+  /// milp.scheduler.steals, milp.scheduler.thread.<i>.nodes) into the
+  /// registry and opens search/batch/worker spans in the trace. See
+  /// docs/observability.md for the full metric reference.
+  obs::RunContext* run = nullptr;
 };
 
 struct MilpResult {
@@ -85,10 +125,17 @@ struct MilpResult {
   double best_bound = 0;
 
   // Statistics.
+  //
+  // DEPRECATED as the primary stats surface: when MilpOptions::run is set,
+  // the same values are published to the obs registry (docs/observability.md)
+  // and downstream consumers (RepairStats, benches, scripts) source them
+  // from the registry snapshot. The fields remain populated as convenience
+  // views for callers solving without a RunContext; new counters should be
+  // added to the registry, not here.
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
   /// Node LPs that completed on the warm-start path (parent basis plus dual
-  /// pivots; excludes cold fallbacks). 0 when use_warm_start is false.
+  /// pivots; excludes cold fallbacks). 0 when search.use_warm_start is false.
   int64_t lp_warm_solves = 0;
   /// Wall-clock seconds spent inside the solve (search only, not model
   /// construction).
@@ -116,5 +163,17 @@ bool IsInfeasibleStatus(MilpResult::SolveStatus status);
 
 /// Solves `model` to proven optimality (or until the node limit).
 MilpResult SolveMilp(const Model& model, const MilpOptions& options = {});
+
+namespace internal {
+
+/// Publishes one solve's counters into the run's registry (no-op when run is
+/// null): milp.nodes / milp.lp_iterations / milp.lp_warm_solves /
+/// milp.scheduler.steals plus milp.scheduler.thread.<i>.nodes per worker.
+/// Called exactly once per MilpResult produced by a search (the serial
+/// solver, or the batch scheduler's per-instance gather), so registry totals
+/// equal the summed legacy fields.
+void PublishMilpCounters(obs::RunContext* run, const MilpResult& result);
+
+}  // namespace internal
 
 }  // namespace dart::milp

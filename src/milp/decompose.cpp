@@ -205,6 +205,8 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
     MilpResult result = SolveMilp(model, options);
     result.num_components = 1;
     result.largest_component_vars = n;
+    obs::SetGauge(options.run, "milp.components", 1);
+    obs::SetGauge(options.run, "milp.largest_component_vars", n);
     if (component_results) component_results->push_back(result);
     return result;
   }
@@ -212,6 +214,11 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
   MilpResult result;
   result.num_components = decomposition.num_components();
   result.largest_component_vars = decomposition.largest_component_vars;
+  // Gauges, not counters: a re-solve of the same instance overwrites rather
+  // than accumulates, matching the legacy MilpResult field semantics.
+  obs::SetGauge(options.run, "milp.components", result.num_components);
+  obs::SetGauge(options.run, "milp.largest_component_vars",
+                result.largest_component_vars);
 
   auto finish = [&](MilpResult& r) -> MilpResult& {
     r.wall_seconds = std::chrono::duration<double>(

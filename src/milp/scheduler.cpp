@@ -146,6 +146,9 @@ struct WorkerContext {
   std::vector<std::unique_ptr<InstanceState>>* instances = nullptr;
   std::vector<WorkerDeque>* deques = nullptr;
   int id = 0;
+  /// Trace parent for this worker's span (the batch span, captured on the
+  /// submitting thread — worker threads have no span stack of their own).
+  int64_t parent_span = 0;
   /// Nodes explored by this worker per instance; written by this worker
   /// only, read after join.
   std::vector<int64_t> nodes_per_instance;
@@ -153,6 +156,7 @@ struct WorkerContext {
 
 void WorkerMain(WorkerContext* ctx) {
   const MilpOptions& options = *ctx->options;
+  obs::Span worker_span(options.run, "milp.worker", ctx->parent_span);
   SharedState* shared = ctx->shared;
   std::vector<std::unique_ptr<InstanceState>>& instances = *ctx->instances;
   std::vector<WorkerDeque>& deques = *ctx->deques;
@@ -205,9 +209,9 @@ void WorkerMain(WorkerContext* ctx) {
       continue;
     }
 
-    if (options.max_nodes > 0 &&
+    if (options.search.max_nodes > 0 &&
         shared->nodes_explored.load(std::memory_order_relaxed) >=
-            options.max_nodes) {
+            options.search.max_nodes) {
       // Push the node back so its bound still counts in the gap report, then
       // stop the whole batch.
       deques[ctx->id].PushBottom(std::move(node));
@@ -218,7 +222,7 @@ void WorkerMain(WorkerContext* ctx) {
 
     ++ctx->nodes_per_instance[node.instance];
     shared->nodes_explored.fetch_add(1, std::memory_order_relaxed);
-    if (options.use_warm_start) {
+    if (options.search.use_warm_start) {
       SolveLpWarm(inst->form, options.lp, node.lower, node.upper,
                   node.warm.get(), &scratch, &lp, &node_basis);
     } else {
@@ -257,7 +261,7 @@ void WorkerMain(WorkerContext* ctx) {
 
     int branch_var = internal::PickBranchVariable(model, lp.point,
                                                   options.int_tol,
-                                                  options.branch_rule);
+                                                  options.search.branch_rule);
     if (branch_var < 0) {
       if (TryIncumbent(inst, lp.point, &snapped)) {
         retire();
@@ -266,12 +270,12 @@ void WorkerMain(WorkerContext* ctx) {
       // Near-integral but unsnappable (see the serial solver): branch on the
       // least-integral variable with tolerance 0.
       branch_var = internal::PickBranchVariable(model, lp.point, 0.0,
-                                                options.branch_rule);
+                                                options.search.branch_rule);
       if (branch_var < 0) {
         retire();
         continue;
       }
-    } else if (options.rounding_heuristic) {
+    } else if (options.search.rounding_heuristic) {
       TryIncumbent(inst, lp.point, &snapped);
     }
 
@@ -279,7 +283,7 @@ void WorkerMain(WorkerContext* ctx) {
     // Both children share one immutable snapshot of this node's optimal
     // basis for their warm starts.
     std::shared_ptr<const LpBasis> snapshot;
-    if (options.use_warm_start) {
+    if (options.search.use_warm_start) {
       snapshot = std::make_shared<const LpBasis>(std::move(node_basis));
     }
     // Down child copies the parent's bounds, up child steals them. Children
@@ -322,7 +326,8 @@ void WorkerMain(WorkerContext* ctx) {
 std::vector<MilpResult> SolveBatchParallel(
     const std::vector<BatchModel>& models, const MilpOptions& options) {
   const auto t_begin = std::chrono::steady_clock::now();
-  const int num_threads = options.num_threads;
+  obs::Span batch_span(options.run, "milp.batch");
+  const int num_threads = options.search.num_threads;
   const int num_instances = static_cast<int>(models.size());
 
   SharedState shared;
@@ -365,6 +370,7 @@ std::vector<MilpResult> SolveBatchParallel(
     ctx.instances = &instances;
     ctx.deques = &deques;
     ctx.id = id;
+    ctx.parent_span = batch_span.id();
     ctx.nodes_per_instance.assign(num_instances, 0);
     threads.emplace_back(WorkerMain, &ctx);
   }
@@ -435,6 +441,9 @@ std::vector<MilpResult> SolveBatchParallel(
       result.best_bound = inst.form.sense_factor * incumbent_key;
     }
   }
+  for (const MilpResult& result : results) {
+    internal::PublishMilpCounters(options.run, result);
+  }
   return results;
 }
 
@@ -443,13 +452,14 @@ std::vector<MilpResult> SolveBatchParallel(
 std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
                                        const MilpOptions& options) {
   if (models.empty()) return {};
-  if (options.num_threads <= 1) {
+  if (options.search.num_threads <= 1) {
     std::vector<MilpResult> results;
     results.reserve(models.size());
     for (const BatchModel& bm : models) {
       MilpOptions serial = options;
-      serial.num_threads = 1;
+      serial.search.num_threads = 1;
       serial.initial_point = bm.initial_point;
+      obs::Span instance_span(options.run, "milp.instance");
       results.push_back(SolveMilp(*bm.model, serial));
     }
     return results;
@@ -458,9 +468,9 @@ std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
 }
 
 MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options) {
-  if (options.num_threads <= 1) {
+  if (options.search.num_threads <= 1) {
     MilpOptions serial = options;
-    serial.num_threads = 1;
+    serial.search.num_threads = 1;
     return SolveMilp(model, serial);
   }
   std::vector<BatchModel> batch(1);

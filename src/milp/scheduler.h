@@ -5,7 +5,7 @@
 #include "milp/branch_and_bound.h"
 
 /// \file scheduler.h
-/// Work-stealing parallel branch-and-bound (MilpOptions::num_threads > 1),
+/// Work-stealing parallel branch-and-bound (MilpOptions::search.num_threads > 1),
 /// generalized to solve a *batch* of independent root models on one pool.
 ///
 /// Architecture (see DESIGN.md, "Parallel solver architecture"):
@@ -45,10 +45,10 @@ struct BatchModel {
 };
 
 /// Solves every model of `models` and returns one MilpResult per model, in
-/// order. With options.num_threads <= 1 the models are solved one after the
-/// other with the serial algorithm; otherwise all of them share one
-/// work-stealing pool of options.num_threads workers, so small instances
-/// fill the idle capacity left by large ones instead of waiting for them.
+/// order. With options.search.num_threads <= 1 the models are solved one
+/// after the other with the serial algorithm; otherwise all of them share one
+/// work-stealing pool of options.search.num_threads workers, so small
+/// instances fill the idle capacity left by large ones instead of waiting.
 ///
 /// Batch semantics of the shared options:
 ///   - max_nodes caps the *total* nodes across the batch (same budget a
@@ -62,7 +62,7 @@ struct BatchModel {
 std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
                                        const MilpOptions& options);
 
-/// Solves `model` with `options.num_threads` workers (a batch of one).
+/// Solves `model` with `options.search.num_threads` workers (a batch of one).
 /// Callers normally go through SolveMilp, which dispatches here when
 /// num_threads > 1.
 MilpResult SolveMilpParallel(const Model& model, const MilpOptions& options);

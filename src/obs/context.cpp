@@ -1,0 +1,48 @@
+#include "obs/context.h"
+
+namespace dart::obs {
+
+namespace {
+
+/// Innermost open span of this thread: the context it belongs to plus its
+/// id. A single slot (not a stack) suffices because Span itself restores
+/// the previous value on End() — the stack lives in the Span objects on the
+/// C++ call stack.
+thread_local const RunContext* t_current_ctx = nullptr;
+thread_local int64_t t_current_span = 0;
+
+}  // namespace
+
+int64_t CurrentSpanId(const RunContext* run) {
+  return (run != nullptr && t_current_ctx == run) ? t_current_span : 0;
+}
+
+Span::Span(const RunContext* run, std::string_view name) : run_(run) {
+  if (run_ == nullptr) return;
+  Push(name, CurrentSpanId(run_));
+}
+
+Span::Span(const RunContext* run, std::string_view name, int64_t parent)
+    : run_(run) {
+  if (run_ == nullptr) return;
+  Push(name, parent);
+}
+
+void Span::Push(std::string_view name, int64_t parent) {
+  id_ = run_->trace().Begin(name, parent);
+  prev_ctx_ = t_current_ctx;
+  prev_id_ = t_current_span;
+  t_current_ctx = run_;
+  t_current_span = id_;
+  open_ = true;
+}
+
+void Span::End() {
+  if (!open_) return;
+  open_ = false;
+  run_->trace().End(id_);
+  t_current_ctx = prev_ctx_;
+  t_current_span = prev_id_;
+}
+
+}  // namespace dart::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+/// \file context.h
+/// RunContext — the single handle the whole pipeline shares for one run's
+/// observability (ISSUE 4 / docs/observability.md). One pointer is threaded
+/// through PipelineOptions → RepairEngineOptions → MilpOptions (and
+/// MatcherOptions / SessionOptions); every instrumentation site takes it and
+/// treats nullptr as the no-op sink: a null context makes Count / SetGauge /
+/// Observe a single branch and Span construction a few stores, so the
+/// uninstrumented path stays at hardware speed (the zero-overhead test in
+/// tests/obs_test.cpp and the 2% gate in scripts/reproduce.sh both pin this
+/// down).
+
+namespace dart::obs {
+
+/// Owns the metrics registry and the trace collector of one run. Create one
+/// per pipeline run (or per benchmark), pass its address through the option
+/// structs, then render it with report.h.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  MetricsRegistry& metrics() const { return metrics_; }
+  TraceCollector& trace() const { return trace_; }
+
+ private:
+  /// Mutable so that instrumentation can run behind const pipeline/engine
+  /// entry points holding a RunContext* in their (const) options.
+  mutable MetricsRegistry metrics_;
+  mutable TraceCollector trace_;
+};
+
+/// Null-safe counter increment.
+inline void Count(const RunContext* run, std::string_view name,
+                  int64_t delta = 1) {
+  if (run != nullptr) run->metrics().AddCounter(name, delta);
+}
+
+/// Null-safe gauge write.
+inline void SetGauge(const RunContext* run, std::string_view name,
+                     double value) {
+  if (run != nullptr) run->metrics().SetGauge(name, value);
+}
+
+/// Null-safe histogram observation.
+inline void Observe(const RunContext* run, std::string_view name,
+                    double value) {
+  if (run != nullptr) run->metrics().Observe(name, value);
+}
+
+/// The calling thread's innermost open Span id on `run` (0 when none, or
+/// when the thread's current span belongs to a different context). Use this
+/// to hand a parent id to spans opened on other threads.
+int64_t CurrentSpanId(const RunContext* run);
+
+/// RAII scoped span. With a null context every operation is a no-op. The
+/// single-argument form parents under the calling thread's current span;
+/// the explicit-parent form is for crossing threads (pass CurrentSpanId()
+/// captured on the spawning thread).
+class Span {
+ public:
+  Span(const RunContext* run, std::string_view name);
+  Span(const RunContext* run, std::string_view name, int64_t parent);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Closes the span early (idempotent; the destructor is then a no-op) and
+  /// pops it off the thread's span stack.
+  void End();
+
+  int64_t id() const { return id_; }
+
+ private:
+  void Push(std::string_view name, int64_t parent);
+
+  const RunContext* run_ = nullptr;
+  int64_t id_ = 0;
+  const RunContext* prev_ctx_ = nullptr;
+  int64_t prev_id_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace dart::obs

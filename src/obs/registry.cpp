@@ -1,0 +1,143 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace dart::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_registry_serial{1};
+
+}  // namespace
+
+/// One thread's private counter store. Only the owning thread inserts; both
+/// the owner (lock-free find) and Snapshot (under `mu`) read. unordered_map
+/// guarantees reference stability of mapped values across rehash, so the
+/// owner may keep incrementing an atomic found before a later insert
+/// rehashed the table.
+struct MetricsRegistry::Shard {
+  std::thread::id owner;
+  std::mutex mu;  ///< guards the map *structure* (inserts vs snapshot reads).
+  std::unordered_map<std::string, std::atomic<int64_t>> counters;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::ShardForThisThread() const {
+  // Single-entry cache: the common case is one registry active per thread
+  // for the duration of a solve. The serial key (never reused) makes a
+  // stale entry from a destroyed registry harmless — it simply mismatches.
+  struct Cache {
+    uint64_t serial = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.serial == serial_) return cache.shard;
+
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->owner == self) {
+      cache = {serial_, shard.get()};
+      return shard.get();
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  shards_.back()->owner = self;
+  cache = {serial_, shards_.back().get()};
+  return cache.shard;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, int64_t delta) {
+  Shard* shard = ShardForThisThread();
+  // Lock-free fast path: only the owner inserts into this shard, so a find
+  // cannot race a rehash.
+  auto it = shard->counters.find(std::string(name));
+  if (it == shard->counters.end()) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    it = shard->counters.try_emplace(std::string(name), 0).first;
+  }
+  it->second.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[std::string(name)];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  // Bucket by power-of-two multiples of 1e-6 (µs for duration-in-seconds
+  // observations); bucket 0 catches non-positive and sub-unit values.
+  int bucket = 0;
+  if (value > 0) {
+    const double units = value / 1e-6;
+    if (units >= 1.0) {
+      bucket = 1 + static_cast<int>(std::floor(std::log2(units)));
+      if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+    }
+  }
+  ++h.buckets[bucket];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      snapshot.counters[name] += value.load(std::memory_order_relaxed);
+    }
+  }
+  snapshot.gauges = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot out;
+    out.count = h.count;
+    out.sum = h.sum;
+    out.min = h.min;
+    out.max = h.max;
+    out.buckets = h.buckets;
+    snapshot.histograms[name] = out;
+  }
+  return snapshot;
+}
+
+int64_t MetricsSnapshot::Counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::GaugeOr(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    value -= base.Counter(name);
+  }
+  for (auto& [name, h] : delta.histograms) {
+    const auto it = base.histograms.find(name);
+    if (it != base.histograms.end()) {
+      h.count -= it->second.count;
+      h.sum -= it->second.sum;
+    }
+  }
+  return delta;
+}
+
+}  // namespace dart::obs

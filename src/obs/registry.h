@@ -1,0 +1,118 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+/// \file registry.h
+/// Named-metric registry for the pipeline-wide observability layer
+/// (docs/observability.md): monotone counters, last-write-wins gauges, and
+/// fixed-bucket histograms.
+///
+/// Counters are the hot-path primitive. Each thread owns a private shard
+/// (created lazily on first use), so the steady-state increment is a
+/// lock-free hash lookup plus a relaxed atomic add — no cross-thread
+/// contention. Snapshot() merges the shards under the registration mutex;
+/// it may run concurrently with increments and observes each counter
+/// atomically (the merged total is exact once the writing threads quiesce).
+///
+/// Gauges and histograms are mutex-protected: they record per-solve shapes
+/// and span durations, which are orders of magnitude rarer than counter
+/// increments.
+
+namespace dart::obs {
+
+/// Number of histogram buckets: bucket 0 holds values <= 0 or < 1 µs-unit;
+/// bucket i (i >= 1) holds values in [2^(i-1), 2^i) µs-units, with the last
+/// bucket open-ended. "µs-unit" is by convention: Observe() takes seconds
+/// for durations, and the bucket boundary unit is 1e-6 of the observed
+/// value's natural scale.
+inline constexpr int kHistogramBuckets = 40;
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< meaningless when count == 0.
+  double max = 0;  ///< meaningless when count == 0.
+  std::array<int64_t, kHistogramBuckets> buckets{};
+};
+
+/// Point-in-time merged view of a registry. Plain data: copyable, and the
+/// maps make JSON rendering and test assertions deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, 0 when the name was never incremented.
+  int64_t Counter(std::string_view name) const;
+  /// Gauge value, `fallback` when the name was never set.
+  double GaugeOr(std::string_view name, double fallback) const;
+
+  /// Difference of two snapshots of the *same* registry: counters and
+  /// histogram count/sum are subtracted (every name present in *this* is
+  /// kept, including zero deltas — counters are monotone, so a name in
+  /// `base` is always in *this*); gauges, histogram min/max and buckets are
+  /// taken from *this*. This is how a caller sharing one RunContext across
+  /// several solves attributes totals to one of them.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+};
+
+/// See file comment. Thread-safe; not copyable or movable (threads cache
+/// pointers to their shards).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (creating it at 0). Lock-free after
+  /// the calling thread's first touch of the name.
+  void AddCounter(std::string_view name, int64_t delta = 1);
+
+  /// Sets the named gauge (last write wins).
+  void SetGauge(std::string_view name, double value);
+
+  /// Records one observation into the named histogram. Durations are
+  /// observed in seconds by convention.
+  void Observe(std::string_view name, double value);
+
+  /// Merges every shard into one consistent view. May run concurrently with
+  /// writers.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Shard;
+
+  /// The calling thread's shard, registered on first use.
+  Shard* ShardForThisThread() const;
+
+  /// Unique id used by the thread-local shard cache; never reused across
+  /// registry instances, so a stale cache entry can never match a new
+  /// registry that happens to live at the same address.
+  const uint64_t serial_;
+
+  mutable std::mutex mu_;  ///< guards shards_, gauges_, histograms_.
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, double> gauges_;
+
+  struct Histogram {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::array<int64_t, kHistogramBuckets> buckets{};
+  };
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dart::obs

@@ -1,0 +1,133 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace dart::obs {
+
+namespace {
+
+void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RunReportJson(const RunContext& run) {
+  const MetricsSnapshot snapshot = run.metrics().Snapshot();
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"";
+  out += kRunReportSchema;
+  out += "\",\n  \"schema_version\": ";
+  out += std::to_string(kRunReportSchemaVersion);
+
+  out += ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": ";
+    AppendJsonDouble(value, &out);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    AppendJsonDouble(h.sum, &out);
+    out += ", \"min\": ";
+    AppendJsonDouble(h.count > 0 ? h.min : 0.0, &out);
+    out += ", \"max\": ";
+    AppendJsonDouble(h.count > 0 ? h.max : 0.0, &out);
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[static_cast<size_t>(b)] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(b) + ", " +
+             std::to_string(h.buckets[static_cast<size_t>(b)]) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : spans) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"id\": " + std::to_string(span.id) +
+           ", \"parent\": " + std::to_string(span.parent) + ", \"name\": ";
+    AppendJsonString(span.name, &out);
+    out += ", \"start_ns\": " + std::to_string(span.start_ns) +
+           ", \"duration_ns\": " + std::to_string(span.duration_ns) +
+           ", \"thread\": " + std::to_string(span.thread) + "}";
+  }
+  out += first ? "]" : "\n  ]";
+
+  out += "\n}\n";
+  return out;
+}
+
+Status WriteRunReport(const RunContext& run, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open run-report file: " + path);
+  }
+  file << RunReportJson(run);
+  file.close();
+  if (!file) {
+    return Status::Internal("failed writing run-report file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dart::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "obs/context.h"
+#include "util/status.h"
+
+/// \file report.h
+/// Machine-readable run reports: one JSON document per RunContext, schema
+/// `dart.obs.run_report` version 1 (docs/observability.md has the full
+/// field reference). scripts/trace_report.py validates and renders these;
+/// the bench harness writes one OBS_<bench>.trace.json per benchmark binary
+/// (scripts/reproduce.sh gates on them).
+
+namespace dart::obs {
+
+inline constexpr char kRunReportSchema[] = "dart.obs.run_report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Serializes the context's current metrics snapshot and trace:
+///
+/// {
+///   "schema": "dart.obs.run_report",
+///   "schema_version": 1,
+///   "counters":   {"milp.nodes": 15, ...},
+///   "gauges":     {"milp.components": 2, ...},
+///   "histograms": {"repair.solve_seconds":
+///                    {"count":1,"sum":..,"min":..,"max":..,
+///                     "buckets":[[idx,count],...]}, ...},
+///   "spans": [{"id":1,"parent":0,"name":"pipeline.process",
+///              "start_ns":..,"duration_ns":..,"thread":0}, ...]
+/// }
+///
+/// Non-finite gauge/histogram values are emitted as null (the validator
+/// accepts them but our instrumentation never produces any). Spans still
+/// open are reported with their duration measured up to now.
+std::string RunReportJson(const RunContext& run);
+
+/// Writes RunReportJson to `path` (overwriting).
+Status WriteRunReport(const RunContext& run, const std::string& path);
+
+}  // namespace dart::obs

@@ -1,0 +1,53 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace dart::obs {
+
+int ThisThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceCollector::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int64_t TraceCollector::Begin(std::string_view name, int64_t parent) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord record;
+  record.id = static_cast<int64_t>(spans_.size()) + 1;
+  record.parent = parent;
+  record.name = std::string(name);
+  record.start_ns = now;
+  record.thread = ThisThreadIndex();
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void TraceCollector::End(int64_t id) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id <= 0 || id > static_cast<int64_t>(spans_.size())) return;
+  SpanRecord& record = spans_[static_cast<size_t>(id - 1)];
+  if (record.duration_ns >= 0) return;  // already closed
+  record.duration_ns = now - record.start_ns;
+}
+
+std::vector<SpanRecord> TraceCollector::Snapshot() const {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = spans_;
+  for (SpanRecord& record : out) {
+    if (record.duration_ns < 0) record.duration_ns = now - record.start_ns;
+  }
+  return out;
+}
+
+}  // namespace dart::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file trace.h
+/// Span collection for the observability layer: every Span (context.h) that
+/// runs against a RunContext appends one SpanRecord here, forming the trace
+/// tree rendered by scripts/trace_report.py. Spans are coarse (pipeline
+/// stage, repair attempt, solver batch/worker) — begin/end take a mutex, so
+/// they must not sit on per-node hot paths.
+
+namespace dart::obs {
+
+/// One (possibly still open) span. Ids are 1-based in Begin() order; parent
+/// 0 means "root". A parent is always begun before its children, so
+/// `parent < id` for every record.
+struct SpanRecord {
+  int64_t id = 0;
+  int64_t parent = 0;
+  std::string name;
+  int64_t start_ns = 0;      ///< relative to the collector's epoch.
+  int64_t duration_ns = -1;  ///< -1 while the span is open.
+  int thread = 0;            ///< dense process-wide thread index.
+};
+
+/// Thread-safe append-only span store.
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /// Opens a span; returns its id (always > 0).
+  int64_t Begin(std::string_view name, int64_t parent);
+
+  /// Closes a span (idempotent: a second End on the same id is ignored).
+  void End(int64_t id);
+
+  /// Copies the records out. Spans still open are reported with their
+  /// duration measured up to now (but remain open in the collector).
+  std::vector<SpanRecord> Snapshot() const;
+
+ private:
+  int64_t NowNs() const;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Dense index of the calling thread (0 for the first thread that asks, 1
+/// for the second, ...). Process-wide, stable for the thread's lifetime.
+int ThisThreadIndex();
+
+}  // namespace dart::obs

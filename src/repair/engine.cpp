@@ -5,11 +5,13 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 
 #include "constraints/eval.h"
 #include "milp/decompose.h"
 #include "milp/exhaustive.h"
 #include "milp/presolve.h"
+#include "obs/context.h"
 
 namespace dart::repair {
 
@@ -120,6 +122,26 @@ milp::MilpResult SolveDecomposed(const milp::Model& model,
   return result;
 }
 
+/// Fills the solver-counter fields of `stats` from the registry delta since
+/// `base`. The delta covers exactly this computation (including every big-M
+/// retry and all components), so the legacy fields match the milp.* counters
+/// a caller-provided RunContext sees.
+void FillSolverStats(const obs::RunContext& run,
+                     const obs::MetricsSnapshot& base, RepairStats* stats) {
+  const obs::MetricsSnapshot delta = run.metrics().Snapshot().DeltaSince(base);
+  stats->nodes = delta.Counter("milp.nodes");
+  stats->lp_iterations = delta.Counter("milp.lp_iterations");
+  stats->lp_warm_solves = delta.Counter("milp.lp_warm_solves");
+  stats->milp_steals = delta.Counter("milp.scheduler.steals");
+  stats->per_thread_nodes.clear();
+  for (int t = 0;; ++t) {
+    const auto it = delta.counters.find("milp.scheduler.thread." +
+                                        std::to_string(t) + ".nodes");
+    if (it == delta.counters.end()) break;
+    stats->per_thread_nodes.push_back(it->second);
+  }
+}
+
 }  // namespace
 
 Result<RepairOutcome> RepairEngine::ComputeRepair(
@@ -127,6 +149,20 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     const std::vector<FixedValue>& fixed_values,
     const Repair* warm_start) const {
   RepairOutcome outcome;
+
+  // Observability: everything routes through a registry even when the caller
+  // did not provide a RunContext — an ephemeral private one keeps the
+  // RepairStats counter fields registry-sourced in all configurations. The
+  // base snapshot scopes the delta to this computation, so several
+  // ComputeRepair calls can share one caller context without their totals
+  // bleeding into each other's stats.
+  obs::RunContext local_run;
+  obs::RunContext* const run =
+      options_.run != nullptr
+          ? options_.run
+          : options_.milp.run != nullptr ? options_.milp.run : &local_run;
+  obs::Span compute_span(run, "repair.compute");
+  const obs::MetricsSnapshot base = run->metrics().Snapshot();
 
   // Fast path: already consistent and nothing pinned.
   if (fixed_values.empty()) {
@@ -140,6 +176,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
 
   TranslatorOptions translator_options = options_.translator;
   milp::MilpOptions milp_options = options_.milp;
+  milp_options.run = run;
   // The card-minimal objective Σδᵢ is integral on every integral point; let
   // the solver round its bounds for pruning. Confidence weights break that
   // property unless they all happen to be integers.
@@ -158,12 +195,16 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
   for (const FixedValue& pin : fixed_values) pinned_cells.insert(pin.cell);
 
   for (int attempt = 0; attempt <= options_.max_bigm_retries; ++attempt) {
+    obs::Span attempt_span(run, "repair.attempt");
+    obs::Count(run, "repair.attempts");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<FixedValue> pins = fixed_values;
     pins.insert(pins.end(), retry_pins.begin(), retry_pins.end());
+    obs::Span translate_span(run, "repair.translate");
     DART_ASSIGN_OR_RETURN(
         Translation translation,
         TranslateToMilp(db, constraints, translator_options, pins));
+    translate_span.End();
     const auto t1 = std::chrono::steady_clock::now();
 
     // Seed the incumbent from a previous iteration's repair, if any: the
@@ -199,19 +240,23 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     milp::PresolveOptions presolve_options;
     if (!retry_pins.empty()) presolve_options.tol = 1e-6;
 
+    const milp::DecompositionOptions& stages = milp_options.decomposition;
     SolveContext ctx;
     milp::MilpResult solved;
-    if (options_.use_exhaustive_solver) {
-      solved = milp::SolveByBinaryEnumeration(
-          translation.model, milp::ExhaustiveOptions{22, milp_options});
-    } else if (options_.use_decomposition) {
-      solved = SolveDecomposed(translation.model, milp_options,
-                               options_.use_presolve, presolve_options, &ctx);
-    } else if (options_.use_presolve) {
-      solved = milp::SolveMilpWithPresolve(translation.model, milp_options,
-                                           presolve_options);
-    } else {
-      solved = milp::SolveMilp(translation.model, milp_options);
+    {
+      obs::Span solve_span(run, "repair.solve");
+      if (options_.use_exhaustive_solver) {
+        solved = milp::SolveByBinaryEnumeration(
+            translation.model, milp::ExhaustiveOptions{22, milp_options});
+      } else if (stages.use_components) {
+        solved = SolveDecomposed(translation.model, milp_options,
+                                 stages.use_presolve, presolve_options, &ctx);
+      } else if (stages.use_presolve) {
+        solved = milp::SolveMilpWithPresolve(translation.model, milp_options,
+                                             presolve_options);
+      } else {
+        solved = milp::SolveMilp(translation.model, milp_options);
+      }
     }
     const auto t2 = std::chrono::steady_clock::now();
 
@@ -219,25 +264,28 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     outcome.stats.num_ground_rows = translation.ground_rows.size();
     outcome.stats.practical_m = translation.practical_m;
     outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
-    outcome.stats.nodes += solved.nodes;
-    outcome.stats.lp_iterations += solved.lp_iterations;
-    outcome.stats.lp_warm_solves += solved.lp_warm_solves;
+    // Solver counters (nodes, LP iterations, warm solves, steals, per-thread
+    // nodes) are NOT accumulated here: they are filled from the registry
+    // delta just before returning, see FillSolverStats below.
     outcome.stats.bigm_retries = attempt;
     outcome.stats.translate_seconds += Seconds(t0, t1);
     outcome.stats.solve_seconds += Seconds(t1, t2);
     outcome.stats.milp_wall_seconds += solved.wall_seconds;
-    outcome.stats.milp_steals += solved.steals;
-    if (outcome.stats.per_thread_nodes.size() < solved.per_thread_nodes.size()) {
-      outcome.stats.per_thread_nodes.resize(solved.per_thread_nodes.size(), 0);
-    }
-    for (size_t t = 0; t < solved.per_thread_nodes.size(); ++t) {
-      outcome.stats.per_thread_nodes[t] += solved.per_thread_nodes[t];
-    }
     outcome.stats.num_components = solved.num_components;
     outcome.stats.largest_component_vars = solved.largest_component_vars;
     outcome.stats.presolve_variables_eliminated =
         solved.presolve_variables_eliminated;
     outcome.stats.presolve_rows_removed = solved.presolve_rows_removed;
+    obs::Observe(run, "repair.translate_seconds", Seconds(t0, t1));
+    obs::Observe(run, "repair.solve_seconds", Seconds(t1, t2));
+    obs::SetGauge(run, "repair.num_cells",
+                  static_cast<double>(translation.cells.size()));
+    obs::SetGauge(run, "repair.num_ground_rows",
+                  static_cast<double>(translation.ground_rows.size()));
+    obs::SetGauge(run, "repair.presolve_variables_eliminated",
+                  solved.presolve_variables_eliminated);
+    obs::SetGauge(run, "repair.presolve_rows_removed",
+                  solved.presolve_rows_removed);
 
     // Decide whether (and where) M must grow. Infeasibility may be a
     // too-tight z box rather than true non-existence, and an optimal y
@@ -314,6 +362,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     }
 
     if (grow_m_and_retry && attempt < options_.max_bigm_retries) {
+      obs::Count(run, "repair.bigm_retries");
       if (pin_clean_components) {
         for (size_t i = 0; i < translation.cells.size(); ++i) {
           if (pinned_cells.count(translation.cells[i]) > 0) continue;
@@ -366,6 +415,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
           "extracted repair cardinality exceeds the MILP optimum");
     }
     if (options_.verify_result) {
+      obs::Span verify_span(run, "repair.verify");
       DART_ASSIGN_OR_RETURN(rel::Database repaired, repair.Applied(db));
       cons::ConsistencyChecker checker(&constraints);
       DART_ASSIGN_OR_RETURN(bool consistent, checker.IsConsistent(repaired));
@@ -383,6 +433,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     }
     OrderUpdatesForDisplay(translation, &repair);
     outcome.repair = std::move(repair);
+    FillSolverStats(*run, base, &outcome.stats);
     return outcome;
   }
   return Status::Internal("unreachable: big-M retry loop exhausted");

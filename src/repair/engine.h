@@ -19,6 +19,9 @@ namespace dart::repair {
 
 struct RepairEngineOptions {
   TranslatorOptions translator;
+  /// Solver configuration. The presolve/decomposition stages that the engine
+  /// dispatches between live in milp.decomposition (DecompositionOptions) —
+  /// they used to be loose `use_presolve` / `use_decomposition` bools here.
   milp::MilpOptions milp;
   /// How many times the engine may enlarge M (×100 each time) when the model
   /// is infeasible or the optimum presses against the M box — both are
@@ -29,18 +32,11 @@ struct RepairEngineOptions {
   /// Use the exhaustive binary-enumeration baseline instead of
   /// branch-and-bound (tests / solver ablation only; exponential!).
   bool use_exhaustive_solver = false;
-  /// Run MILP presolve before branch-and-bound. Operator value pins are
-  /// singleton rows that presolve chases through the y-definition and big-M
-  /// rows, shrinking heavily-validated instances dramatically.
-  bool use_presolve = true;
-  /// Split the (presolved) model into connected components of the
-  /// variable–constraint incidence graph and solve them concurrently on one
-  /// work-stealing pool (decompose.h). Cells from different acquired
-  /// documents never share a ground row, and presolve-chased pins cut
-  /// chains, so validation-loop instances are usually block-structured. Also
-  /// enables per-component big-M retries: components accepted as optimal and
-  /// unsaturated are pinned on a retry instead of being re-solved.
-  bool use_decomposition = true;
+  /// Observability sink for the whole computation (nullptr = no-op).
+  /// Propagated into milp.run for the solves. When neither this nor milp.run
+  /// is set the engine still routes its statistics through an ephemeral
+  /// private registry, so RepairStats is identical either way.
+  obs::RunContext* run = nullptr;
 };
 
 struct RepairStats {
@@ -48,6 +44,11 @@ struct RepairStats {
   size_t num_ground_rows = 0; ///< rows of A (ground constraint instances).
   double practical_m = 0;
   double theoretical_m_log10 = 0;
+  // Solver counters below are thin views over the obs registry
+  // (docs/observability.md): the engine snapshots the run's registry before
+  // the first attempt and fills these from the delta, so they equal the
+  // milp.* counters published during this computation. DEPRECATED as the
+  // primary stats surface — new counters go into the registry, not here.
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
   /// Node LPs solved on the warm-start path (parent basis + dual pivots).

@@ -7,7 +7,12 @@ namespace dart::validation {
 Result<SessionResult> RunValidationSession(
     const rel::Database& acquired, const cons::ConstraintSet& constraints,
     const SimulatedOperator& op, const SessionOptions& options) {
-  repair::RepairEngine engine(options.engine);
+  obs::Span session_span(options.run, "validation.session");
+  repair::RepairEngineOptions engine_options = options.engine;
+  if (options.run != nullptr && engine_options.run == nullptr) {
+    engine_options.run = options.run;
+  }
+  repair::RepairEngine engine(engine_options);
   SessionResult result;
   // Cell → validated value. Covers both accepted suggestions and the actual
   // source values supplied on rejection; the operator is never asked about
@@ -20,7 +25,9 @@ Result<SessionResult> RunValidationSession(
   repair::Repair previous_repair;
 
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
+    obs::Span iteration_span(options.run, "validation.iteration");
     ++result.iterations;
+    obs::Count(options.run, "validation.iterations");
     std::vector<repair::FixedValue> pins;
     pins.reserve(validated.size());
     for (const auto& [cell, value] : validated) {
@@ -53,12 +60,15 @@ Result<SessionResult> RunValidationSession(
       DART_ASSIGN_OR_RETURN(Verdict verdict, op.Examine(update));
       ++result.examined_updates;
       ++examined_this_round;
+      obs::Count(options.run, "validation.examined");
       if (verdict.accepted) {
         ++result.accepted_updates;
+        obs::Count(options.run, "validation.accepted");
         validated[update.cell] = update.new_value.AsReal();
       } else {
         ++result.rejected_updates;
         rejection_seen = true;
+        obs::Count(options.run, "validation.rejected");
         validated[update.cell] = verdict.actual_value;
       }
     }

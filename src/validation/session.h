@@ -31,6 +31,11 @@ struct SessionOptions {
   size_t examine_batch = 0;
   /// Safety valve on loop length.
   size_t max_iterations = 1000;
+  /// Observability sink (nullptr = no-op): validation.iterations /
+  /// validation.examined / validation.accepted / validation.rejected
+  /// counters, one validation.iteration span per loop pass, and the engine's
+  /// repair.* instrumentation underneath. See docs/observability.md.
+  obs::RunContext* run = nullptr;
 };
 
 struct SessionResult {

@@ -134,27 +134,34 @@ std::optional<RowPatternInstance> RowMatcher::MatchRow(
   // "A row pattern r matches a row r_t if r and r_t have the same number of
   // cells" (Sec. 6.2).
   if (row_texts.size() != pattern.cells.size()) return std::nullopt;
+  obs::Count(options_.run, "wrapper.match_attempts");
   RowPatternInstance instance;
   instance.pattern_name = pattern.name;
   std::vector<double> scores;
   scores.reserve(pattern.cells.size());
   for (size_t i = 0; i < pattern.cells.size(); ++i) {
     CellMatch match;
-    if (!MatchCell(pattern.cells[i], row_texts[i], instance, &match)) {
+    if (!MatchCell(pattern.cells[i], row_texts[i], instance, &match) ||
+        match.score < options_.min_cell_score) {
+      // Backtrack: the partial instance built so far is abandoned.
+      obs::Count(options_.run, "wrapper.cell_rejections");
       return std::nullopt;
     }
-    if (match.score < options_.min_cell_score) return std::nullopt;
     scores.push_back(match.score);
     instance.cells.push_back(std::move(match));
   }
   instance.score = CombineScores(options_.tnorm, scores);
-  if (instance.score < options_.min_row_score) return std::nullopt;
+  if (instance.score < options_.min_row_score) {
+    obs::Count(options_.run, "wrapper.row_rejections");
+    return std::nullopt;
+  }
   return instance;
 }
 
 Result<std::vector<std::optional<RowPatternInstance>>> RowMatcher::MatchGrid(
     const TableGrid& grid) const {
   DART_RETURN_IF_ERROR(status_);
+  obs::Span grid_span(options_.run, "wrapper.match_grid");
   std::vector<std::optional<RowPatternInstance>> out;
   out.reserve(grid.num_rows());
   for (size_t r = 0; r < grid.num_rows(); ++r) {
@@ -167,6 +174,16 @@ Result<std::vector<std::optional<RowPatternInstance>>> RowMatcher::MatchGrid(
       if (candidate && (!best || candidate->score > best->score)) {
         best = std::move(candidate);
       }
+    }
+    if (best) {
+      obs::Count(options_.run, "wrapper.rows_matched");
+      for (const CellMatch& cell : best->cells) {
+        if (cell.repaired) {
+          obs::Count(options_.run, "wrapper.string_repairs");
+        }
+      }
+    } else {
+      obs::Count(options_.run, "wrapper.rows_unmatched");
     }
     out.push_back(std::move(best));
   }

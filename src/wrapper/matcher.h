@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.h"
 #include "wrapper/domains.h"
 #include "wrapper/row_pattern.h"
 #include "wrapper/table_grid.h"
@@ -56,6 +57,11 @@ struct MatcherOptions {
   double min_cell_score = 0.3;
   /// ...and the combined score reaches this one.
   double min_row_score = 0.5;
+  /// Observability sink (nullptr = no-op): wrapper.match_attempts,
+  /// wrapper.cell_rejections, wrapper.row_rejections, wrapper.rows_matched,
+  /// wrapper.rows_unmatched, wrapper.string_repairs, plus a
+  /// wrapper.match_grid span per grid. See docs/observability.md.
+  obs::RunContext* run = nullptr;
 };
 
 /// Matches document rows against a set of row patterns.

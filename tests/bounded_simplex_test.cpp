@@ -301,7 +301,7 @@ TEST_P(WarmStartAgreementTest, WarmBranchAndBoundMatchesExhaustive) {
   MilpResult exhaustive = SolveByBinaryEnumeration(model);
   for (const bool warm : {true, false}) {
     MilpOptions options;
-    options.use_warm_start = warm;
+    options.search.use_warm_start = warm;
     options.objective_is_integral = true;
     MilpResult solved = SolveMilp(model, options);
     ASSERT_EQ(solved.status == MilpResult::SolveStatus::kOptimal,

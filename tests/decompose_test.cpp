@@ -199,7 +199,7 @@ TEST(DecomposeModelTest, AllFixedModelReducesToEmptyDecomposition) {
 
 TEST(SolveMilpBatchTest, EmptyBatchReturnsNothing) {
   MilpOptions options;
-  options.num_threads = 4;
+  options.search.num_threads = 4;
   EXPECT_TRUE(SolveMilpBatch({}, options).empty());
 }
 
@@ -238,7 +238,7 @@ TEST(SolveMilpBatchTest, MatchesIndividualSolves) {
   batch[2].model = &cover;
   for (int threads : {1, 4}) {
     MilpOptions options;
-    options.num_threads = threads;
+    options.search.num_threads = threads;
     const std::vector<MilpResult> results = SolveMilpBatch(batch, options);
     ASSERT_EQ(results.size(), 3u) << "threads=" << threads;
     ASSERT_EQ(results[0].status, MilpResult::SolveStatus::kOptimal);
@@ -265,7 +265,7 @@ TEST(SolveMilpBatchTest, PerModelInitialPointSeedsEachIncumbent) {
   batch[1].model = &b;
   batch[1].initial_point = {4.0};
   MilpOptions options;
-  options.num_threads = 2;
+  options.search.num_threads = 2;
   const std::vector<MilpResult> results = SolveMilpBatch(batch, options);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_NEAR(results[0].objective, 1.0, kTol);
@@ -329,7 +329,7 @@ TEST_P(DecomposedAgreementTest, MatchesWholeModelSolve) {
   const MilpResult whole = SolveMilp(model);
   for (int threads : {1, 4}) {
     MilpOptions options;
-    options.num_threads = threads;
+    options.search.num_threads = threads;
     const MilpResult split = SolveMilpDecomposed(model, options);
     ASSERT_EQ(split.status, whole.status)
         << "seed=" << GetParam() << " threads=" << threads;
@@ -383,14 +383,14 @@ TEST(DecomposeEngineTest, MultiDocRepairMatchesMonolithicEngine) {
       /*seed=*/42, /*docs=*/4, /*years=*/2, /*errors_per_doc=*/1);
 
   RepairEngineOptions mono_options;
-  mono_options.use_decomposition = false;
+  mono_options.milp.decomposition.use_components = false;
   RepairEngine mono(mono_options);
   auto mono_outcome =
       mono.ComputeRepair(scenario.acquired, scenario.constraints);
   ASSERT_TRUE(mono_outcome.ok()) << mono_outcome.status().ToString();
 
   RepairEngineOptions split_options;
-  split_options.milp.num_threads = 4;
+  split_options.milp.search.num_threads = 4;
   RepairEngine split(split_options);
   auto split_outcome =
       split.ComputeRepair(scenario.acquired, scenario.constraints);
@@ -414,7 +414,7 @@ TEST(DecomposeEngineTest, TranslatedMultiDocObjectiveIsErrorCount) {
   ASSERT_TRUE(translation.ok()) << translation.status().ToString();
   for (int threads : {1, 4}) {
     milp::MilpOptions options;
-    options.num_threads = threads;
+    options.search.num_threads = threads;
     options.objective_is_integral = true;
     const milp::MilpResult whole = milp::SolveMilp(translation->model, options);
     ASSERT_EQ(whole.status, milp::MilpResult::SolveStatus::kOptimal);
@@ -500,9 +500,9 @@ constraint target: Ledger(y, _) => bal(y) = 1000;
 
   for (bool decompose : {false, true}) {
     RepairEngineOptions options;
-    options.use_decomposition = decompose;
+    options.milp.decomposition.use_components = decompose;
     options.translator.big_m.fixed_value = 50;
-    options.milp.num_threads = 2;
+    options.milp.search.num_threads = 2;
     RepairEngine engine(options);
     auto outcome = engine.ComputeRepair(db, constraints);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();

@@ -272,7 +272,7 @@ TEST(BranchAndBoundTest, DepthFirstMatchesBestFirst) {
   model.AddRow("r2", {{x, 4.0}, {y, 2.0}}, RowSense::kLe, 19);
   model.SetObjective({{x, 5.0}, {y, 4.0}}, 0, ObjectiveSense::kMaximize);
   MilpOptions depth;
-  depth.node_order = NodeOrder::kDepthFirst;
+  depth.search.node_order = NodeOrder::kDepthFirst;
   MilpResult best_first = SolveMilp(model);
   MilpResult depth_first = SolveMilp(model, depth);
   ASSERT_EQ(best_first.status, MilpResult::SolveStatus::kOptimal);
@@ -294,8 +294,8 @@ TEST(BranchAndBoundTest, NodeLimitReported) {
   model.AddRow("pack", row, RowSense::kEq, 41);
   model.SetObjective(obj, 0, ObjectiveSense::kMinimize);
   MilpOptions options;
-  options.max_nodes = 1;
-  options.rounding_heuristic = false;
+  options.search.max_nodes = 1;
+  options.search.rounding_heuristic = false;
   MilpResult result = SolveMilp(model, options);
   EXPECT_EQ(result.status, MilpResult::SolveStatus::kNodeLimit);
 }

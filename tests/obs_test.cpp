@@ -1,0 +1,583 @@
+// Tests for the dart::obs observability layer (ISSUE 4): the sharded
+// metrics registry under write contention, snapshot deltas, the span tree
+// produced by a decomposed batch solve across scheduler threads, the no-op
+// null-context path, the JSON run report (round-tripped through a minimal
+// in-test parser), and the engine's registry-sourced RepairStats parity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "milp/branch_and_bound.h"
+#include "milp/decompose.h"
+#include "milp/model.h"
+#include "obs/context.h"
+#include "obs/registry.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "repair/engine.h"
+
+namespace dart::obs {
+namespace {
+
+// --- Registry --------------------------------------------------------------
+
+TEST(RegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.AddCounter("a");
+  registry.AddCounter("a", 4);
+  registry.AddCounter("b", 0);  // registered, still zero
+  registry.SetGauge("g", 2.5);
+  registry.SetGauge("g", 7.0);  // last write wins
+  registry.Observe("h", 0.25);
+  registry.Observe("h", 0.75);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("a"), 5);
+  EXPECT_EQ(snap.Counter("b"), 0);
+  EXPECT_EQ(snap.Counter("never"), 0);
+  EXPECT_EQ(snap.GaugeOr("g", -1), 7.0);
+  EXPECT_EQ(snap.GaugeOr("never", -1), -1);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  const HistogramSnapshot& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 2);
+  EXPECT_DOUBLE_EQ(h.sum, 1.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.25);
+  EXPECT_DOUBLE_EQ(h.max, 0.75);
+  int64_t bucket_total = 0;
+  for (int64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST(RegistryTest, MergesThreadShardsUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  MetricsRegistry registry;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const std::string mine = "thread." + std::to_string(t);
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.AddCounter("shared");
+        registry.AddCounter(mine);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent snapshots must be safe and never overshoot the final total.
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot mid = registry.Snapshot();
+    EXPECT_LE(mid.Counter("shared"),
+              static_cast<int64_t>(kThreads) * kIncrements);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("shared"),
+            static_cast<int64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.Counter("thread." + std::to_string(t)), kIncrements);
+  }
+}
+
+TEST(RegistryTest, DeltaSinceAttributesOnlyNewActivity) {
+  MetricsRegistry registry;
+  registry.AddCounter("c", 10);
+  registry.AddCounter("only_before", 3);
+  registry.SetGauge("g", 1.0);
+  registry.Observe("h", 2.0);
+  const MetricsSnapshot base = registry.Snapshot();
+
+  registry.AddCounter("c", 5);
+  registry.AddCounter("only_after", 2);
+  registry.SetGauge("g", 9.0);
+  registry.Observe("h", 4.0);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(base);
+
+  EXPECT_EQ(delta.Counter("c"), 5);
+  EXPECT_EQ(delta.Counter("only_after"), 2);
+  // Zero-delta names stay present (counters are monotone), so callers can
+  // distinguish "untouched" from "unknown".
+  ASSERT_EQ(delta.counters.count("only_before"), 1u);
+  EXPECT_EQ(delta.counters.at("only_before"), 0);
+  // Gauges are last-write-wins: the delta carries the current value.
+  EXPECT_EQ(delta.GaugeOr("g", -1), 9.0);
+  ASSERT_EQ(delta.histograms.count("h"), 1u);
+  EXPECT_EQ(delta.histograms.at("h").count, 1);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("h").sum, 4.0);
+}
+
+// --- Spans & null context --------------------------------------------------
+
+TEST(SpanTest, NestsOnThreadAndSupportsExplicitParents) {
+  RunContext run;
+  EXPECT_EQ(CurrentSpanId(&run), 0);
+  int64_t outer_id = 0, inner_id = 0;
+  {
+    Span outer(&run, "outer");
+    outer_id = outer.id();
+    EXPECT_EQ(CurrentSpanId(&run), outer_id);
+    {
+      Span inner(&run, "inner");
+      inner_id = inner.id();
+      EXPECT_EQ(CurrentSpanId(&run), inner_id);
+    }
+    EXPECT_EQ(CurrentSpanId(&run), outer_id);
+
+    // Explicit parent, as used across threads: parent under `outer` from a
+    // thread that has no current span of its own.
+    std::thread worker([&run, outer_id] {
+      EXPECT_EQ(CurrentSpanId(&run), 0);
+      Span cross(&run, "cross", outer_id);
+      EXPECT_EQ(CurrentSpanId(&run), cross.id());
+    });
+    worker.join();
+  }
+  EXPECT_EQ(CurrentSpanId(&run), 0);
+
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : spans) {
+    EXPECT_LT(span.parent, span.id);  // parents begin before children
+    EXPECT_GE(span.duration_ns, 0);   // all closed
+    by_name[span.name] = span;
+  }
+  EXPECT_EQ(by_name.at("outer").parent, 0);
+  EXPECT_EQ(by_name.at("inner").parent, outer_id);
+  EXPECT_EQ(by_name.at("cross").parent, outer_id);
+  EXPECT_EQ(by_name.at("inner").id, inner_id);
+}
+
+TEST(SpanTest, EndIsIdempotentAndPopsEarly) {
+  RunContext run;
+  Span outer(&run, "outer");
+  Span inner(&run, "inner");
+  inner.End();
+  EXPECT_EQ(CurrentSpanId(&run), outer.id());
+  inner.End();  // second End is a no-op
+  EXPECT_EQ(CurrentSpanId(&run), outer.id());
+}
+
+TEST(NullContextTest, SinkIsSafeAndCheap) {
+  // The entire instrumentation surface must be callable with run == nullptr
+  // — this is the default for every options struct, so the uninstrumented
+  // pipeline pays one branch per site and nothing else.
+  EXPECT_EQ(CurrentSpanId(nullptr), 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000000; ++i) {
+    Count(nullptr, "c");
+    SetGauge(nullptr, "g", 1.0);
+    Observe(nullptr, "h", 1.0);
+    Span span(nullptr, "s");
+    EXPECT_EQ(span.id(), 0);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(CurrentSpanId(nullptr), 0);
+  // 4M no-op calls in generous time: catches an accidental allocation or
+  // lock on the null path without being load-sensitive.
+  EXPECT_LT(seconds, 2.0);
+}
+
+// --- Span tree across the decomposed batch solver --------------------------
+
+// Two independent blocks, so the decomposed solve runs a 2-instance batch on
+// the work-stealing scheduler.
+milp::Model TwoBlockModel() {
+  milp::Model model;
+  const int a0 = model.AddVariable("a0", milp::VarType::kBinary, 0, 1);
+  const int a1 = model.AddVariable("a1", milp::VarType::kBinary, 0, 1);
+  const int b0 = model.AddVariable("b0", milp::VarType::kBinary, 0, 1);
+  const int b1 = model.AddVariable("b1", milp::VarType::kBinary, 0, 1);
+  model.AddRow("ra", {{a0, 1.0}, {a1, 1.0}}, milp::RowSense::kGe, 1);
+  model.AddRow("rb", {{b0, 1.0}, {b1, 1.0}}, milp::RowSense::kGe, 1);
+  model.SetObjective({{a0, 1.0}, {a1, 1.0}, {b0, 1.0}, {b1, 1.0}}, 0,
+                     milp::ObjectiveSense::kMinimize);
+  return model;
+}
+
+TEST(TraceTest, DecomposedBatchSolveFormsWellNestedSpanTree) {
+  RunContext run;
+  milp::MilpOptions options;
+  options.objective_is_integral = true;
+  options.search.num_threads = 4;
+  options.decomposition.use_presolve = false;  // keep both components alive
+  options.run = &run;
+  const milp::Model model = TwoBlockModel();
+  const milp::MilpResult result = milp::SolveMilpDecomposed(model, options);
+  ASSERT_EQ(result.status, milp::MilpResult::SolveStatus::kOptimal);
+  ASSERT_EQ(result.num_components, 2);
+
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  int64_t batch_id = 0;
+  std::set<int64_t> worker_ids;
+  for (const SpanRecord& span : spans) {
+    EXPECT_LT(span.parent, span.id);
+    EXPECT_GE(span.duration_ns, 0);
+    if (span.name == "milp.batch") {
+      EXPECT_EQ(batch_id, 0) << "exactly one batch span expected";
+      batch_id = span.id;
+    }
+  }
+  ASSERT_NE(batch_id, 0);
+  for (const SpanRecord& span : spans) {
+    if (span.name == "milp.worker") {
+      // Worker threads have no span stack; they parent to the batch span
+      // through the explicit-parent Span constructor.
+      EXPECT_EQ(span.parent, batch_id);
+      worker_ids.insert(span.id);
+    }
+  }
+  EXPECT_FALSE(worker_ids.empty());
+
+  // Single-publish invariant: each component's result is published exactly
+  // once, so the registry totals equal the merged MilpResult counters.
+  const MetricsSnapshot snap = run.metrics().Snapshot();
+  EXPECT_EQ(snap.Counter("milp.solves"), 2);
+  EXPECT_EQ(snap.Counter("milp.nodes"), result.nodes);
+  EXPECT_EQ(snap.Counter("milp.lp_iterations"), result.lp_iterations);
+  EXPECT_EQ(snap.GaugeOr("milp.components", -1), 2.0);
+  EXPECT_EQ(snap.GaugeOr("milp.largest_component_vars", -1), 2.0);
+}
+
+TEST(TraceTest, SerialBatchNestsSearchUnderInstanceSpans) {
+  // The serial batch path (num_threads == 1) solves the components one after
+  // another: a milp.instance span per component, each with the component's
+  // milp.search span as a child.
+  RunContext run;
+  milp::MilpOptions options;
+  options.objective_is_integral = true;
+  options.search.num_threads = 1;
+  options.decomposition.use_presolve = false;
+  options.run = &run;
+  const milp::Model model = TwoBlockModel();
+  const milp::MilpResult result = milp::SolveMilpDecomposed(model, options);
+  ASSERT_EQ(result.status, milp::MilpResult::SolveStatus::kOptimal);
+  ASSERT_EQ(result.num_components, 2);
+
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  std::set<int64_t> instance_ids;
+  for (const SpanRecord& span : spans) {
+    EXPECT_LT(span.parent, span.id);
+    if (span.name == "milp.instance") instance_ids.insert(span.id);
+  }
+  EXPECT_EQ(instance_ids.size(), 2u);
+  int search_spans = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "milp.search") continue;
+    ++search_spans;
+    EXPECT_EQ(instance_ids.count(span.parent), 1u)
+        << "search span not nested under its instance span";
+  }
+  EXPECT_EQ(search_spans, 2);
+  EXPECT_EQ(run.metrics().Snapshot().Counter("milp.solves"), 2);
+}
+
+// --- JSON run report -------------------------------------------------------
+
+// Minimal JSON parser — just enough for the run-report schema (objects,
+// arrays, strings without exotic escapes, numbers, booleans, null).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipWs();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at byte " << pos_;
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = ParseString();
+      Expect(':');
+      value.object[key.str] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    Expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        if (esc == 'n') {
+          c = '\n';
+        } else if (esc == 't') {
+          c = '\t';
+        } else {
+          c = esc;  // \" \\ \/ — metric names never need \u escapes
+        }
+      }
+      value.str.push_back(c);
+    }
+    Expect('"');
+    return value;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else {
+      EXPECT_EQ(text_.compare(pos_, 5, "false"), 0);
+      pos_ += 5;
+    }
+    return value;
+  }
+
+  JsonValue ParseNull() {
+    EXPECT_EQ(text_.compare(pos_, 4, "null"), 0);
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    EXPECT_GT(pos_, start) << "expected a number at byte " << start;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(ReportTest, JsonRoundTripMatchesSnapshotAndTrace) {
+  RunContext run;
+  run.metrics().AddCounter("milp.nodes", 42);
+  run.metrics().AddCounter("repair.attempts", 2);
+  run.metrics().SetGauge("milp.components", 3.0);
+  run.metrics().Observe("repair.solve_seconds", 0.125);
+  {
+    Span outer(&run, "pipeline.process");
+    Span inner(&run, "pipeline.repair");
+  }
+
+  const std::string json = RunReportJson(run);
+  JsonValue doc = JsonParser(json).Parse();
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+  EXPECT_EQ(doc.at("schema").str, std::string(kRunReportSchema));
+  EXPECT_EQ(doc.at("schema_version").number, kRunReportSchemaVersion);
+
+  const MetricsSnapshot snap = run.metrics().Snapshot();
+  const JsonValue& counters = doc.at("counters");
+  ASSERT_EQ(counters.type, JsonValue::Type::kObject);
+  EXPECT_EQ(counters.object.size(), snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    ASSERT_EQ(counters.object.count(name), 1u) << name;
+    EXPECT_EQ(counters.at(name).number, static_cast<double>(value)) << name;
+  }
+  EXPECT_EQ(doc.at("gauges").at("milp.components").number, 3.0);
+
+  const JsonValue& hist = doc.at("histograms").at("repair.solve_seconds");
+  EXPECT_EQ(hist.at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 0.125);
+  ASSERT_EQ(hist.at("buckets").type, JsonValue::Type::kArray);
+  double bucket_total = 0;
+  for (const JsonValue& pair : hist.at("buckets").array) {
+    ASSERT_EQ(pair.array.size(), 2u);
+    EXPECT_GE(pair.array[0].number, 0.0);
+    EXPECT_LT(pair.array[0].number, kHistogramBuckets);
+    bucket_total += pair.array[1].number;
+  }
+  EXPECT_EQ(bucket_total, 1.0);
+
+  const JsonValue& spans = doc.at("spans");
+  ASSERT_EQ(spans.type, JsonValue::Type::kArray);
+  ASSERT_EQ(spans.array.size(), 2u);
+  EXPECT_EQ(spans.array[0].at("name").str, "pipeline.process");
+  EXPECT_EQ(spans.array[1].at("name").str, "pipeline.repair");
+  EXPECT_EQ(spans.array[1].at("parent").number,
+            spans.array[0].at("id").number);
+  for (const JsonValue& span : spans.array) {
+    EXPECT_LT(span.at("parent").number, span.at("id").number);
+    EXPECT_GE(span.at("duration_ns").number, 0.0);
+  }
+
+  // WriteRunReport writes byte-identical content (all spans are closed, so
+  // nothing in the report depends on "now").
+  const std::string path = "obs_test_report.json";
+  ASSERT_TRUE(WriteRunReport(run, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), json);
+  std::remove(path.c_str());
+}
+
+// --- Engine RepairStats parity ---------------------------------------------
+
+TEST(EngineStatsTest, RegistryBackedStatsMatchUninstrumentedRun) {
+  const bench::Scenario scenario =
+      bench::MakeBudgetScenario(/*seed=*/5, /*years=*/2, /*num_errors=*/2);
+
+  repair::RepairEngineOptions plain_options;
+  plain_options.milp.search.num_threads = 1;  // deterministic search tree
+  repair::RepairEngine plain(plain_options);
+  auto baseline =
+      plain.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  RunContext run;
+  repair::RepairEngineOptions obs_options;
+  obs_options.milp.search.num_threads = 1;
+  obs_options.run = &run;
+  repair::RepairEngine observed(obs_options);
+  auto outcome =
+      observed.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // Identical solves — the registry-sourced stats must equal the ones the
+  // uninstrumented engine derives through its ephemeral local context.
+  const repair::RepairStats& a = baseline->stats;
+  const repair::RepairStats& b = outcome->stats;
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.lp_iterations, b.lp_iterations);
+  EXPECT_EQ(a.lp_warm_solves, b.lp_warm_solves);
+  EXPECT_EQ(a.milp_steals, b.milp_steals);
+  EXPECT_EQ(a.per_thread_nodes, b.per_thread_nodes);
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_GT(b.nodes, 0);
+
+  // And the caller's registry holds exactly what the accessors report.
+  const MetricsSnapshot snap = run.metrics().Snapshot();
+  EXPECT_EQ(snap.Counter("milp.nodes"), b.nodes);
+  EXPECT_EQ(snap.Counter("milp.lp_iterations"), b.lp_iterations);
+  EXPECT_EQ(snap.Counter("milp.lp_warm_solves"), b.lp_warm_solves);
+  EXPECT_EQ(snap.Counter("milp.scheduler.steals"), b.milp_steals);
+  EXPECT_EQ(snap.Counter("repair.attempts"), 1);
+}
+
+TEST(EngineStatsTest, SharedContextAttributesEachSolveByDelta) {
+  const bench::Scenario scenario =
+      bench::MakeBudgetScenario(/*seed=*/6, /*years=*/2, /*num_errors=*/2);
+  RunContext run;
+  repair::RepairEngineOptions options;
+  options.milp.search.num_threads = 1;
+  options.run = &run;
+  repair::RepairEngine engine(options);
+
+  auto first = engine.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // Each outcome reports only its own solve (snapshot delta), even though
+  // both share one registry...
+  EXPECT_EQ(first->stats.nodes, second->stats.nodes);
+  EXPECT_EQ(first->stats.lp_iterations, second->stats.lp_iterations);
+  EXPECT_GT(first->stats.nodes, 0);
+  // ...while the registry accumulates across the run.
+  const MetricsSnapshot snap = run.metrics().Snapshot();
+  EXPECT_EQ(snap.Counter("milp.nodes"),
+            first->stats.nodes + second->stats.nodes);
+  EXPECT_EQ(snap.Counter("repair.attempts"), 2);
+}
+
+}  // namespace
+}  // namespace dart::obs

@@ -64,7 +64,7 @@ TEST(InfeasibleStatusTest, ParallelAgreesOnBothFlavours) {
   int_infeasible.SetObjective({{y, 1.0}}, 0, ObjectiveSense::kMinimize);
 
   MilpOptions options;
-  options.num_threads = 4;
+  options.search.num_threads = 4;
   EXPECT_EQ(SolveMilp(lp_infeasible, options).status,
             MilpResult::SolveStatus::kLpRelaxationInfeasible);
   EXPECT_EQ(SolveMilp(int_infeasible, options).status,
@@ -151,7 +151,7 @@ TEST_F(PaperInstanceTest, SerialSolveBeatsSeedIterationCount) {
   // iterations than the seed's explicit-upper-bound-row tableau did.
   MilpOptions options;
   options.objective_is_integral = true;
-  options.num_threads = 1;
+  options.search.num_threads = 1;
   MilpResult solved = SolveMilp(model_, options);
   ASSERT_EQ(solved.status, MilpResult::SolveStatus::kOptimal);
   EXPECT_NEAR(solved.objective, 1.0, kTol);
@@ -170,7 +170,7 @@ TEST_F(PaperInstanceTest, WarmAndColdAgreeOnObjective) {
   // (only the work done to reach it).
   MilpOptions warm, cold;
   warm.objective_is_integral = cold.objective_is_integral = true;
-  cold.use_warm_start = false;
+  cold.search.use_warm_start = false;
   MilpResult with_warm = SolveMilp(model_, warm);
   MilpResult with_cold = SolveMilp(model_, cold);
   ASSERT_EQ(with_warm.status, MilpResult::SolveStatus::kOptimal);
@@ -184,7 +184,7 @@ TEST_F(PaperInstanceTest, ThreadCountsAgreeOnObjective) {
   for (int threads : {1, 2, 8}) {
     MilpOptions options;
     options.objective_is_integral = true;
-    options.num_threads = threads;
+    options.search.num_threads = threads;
     MilpResult solved = SolveMilp(model_, options);
     ASSERT_EQ(solved.status, MilpResult::SolveStatus::kOptimal)
         << "threads=" << threads;
@@ -236,7 +236,7 @@ TEST_P(ParallelAgreementTest, AllThreadCountsMatchExhaustive) {
   MilpResult exhaustive = SolveByBinaryEnumeration(model);
   for (int threads : {1, 2, 8}) {
     MilpOptions options;
-    options.num_threads = threads;
+    options.search.num_threads = threads;
     MilpResult solved = SolveMilp(model, options);
     ASSERT_EQ(solved.status == MilpResult::SolveStatus::kOptimal,
               exhaustive.status == MilpResult::SolveStatus::kOptimal)
@@ -267,9 +267,9 @@ TEST(ParallelSolverTest, NodeLimitReported) {
   model.AddRow("pack", row, RowSense::kEq, 41);
   model.SetObjective(obj, 0, ObjectiveSense::kMinimize);
   MilpOptions options;
-  options.max_nodes = 1;
-  options.rounding_heuristic = false;
-  options.num_threads = 4;
+  options.search.max_nodes = 1;
+  options.search.rounding_heuristic = false;
+  options.search.num_threads = 4;
   MilpResult result = SolveMilp(model, options);
   EXPECT_EQ(result.status, MilpResult::SolveStatus::kNodeLimit);
 }
@@ -286,7 +286,7 @@ TEST(ParallelSolverTest, WarmStartSeedsIncumbent) {
   model.SetObjective({{a, 8.0}, {b, 11.0}, {c, 6.0}, {d, 4.0}}, 0,
                      ObjectiveSense::kMaximize);
   MilpOptions options;
-  options.num_threads = 2;
+  options.search.num_threads = 2;
   options.initial_point = {0, 1, 1, 1};  // the optimum itself
   MilpResult result = SolveMilp(model, options);
   ASSERT_EQ(result.status, MilpResult::SolveStatus::kOptimal);
@@ -304,7 +304,7 @@ TEST(ParallelSolverTest, EngineProducesSameRepairCardinality) {
   ASSERT_TRUE(parsed.ok());
   for (int threads : {1, 2}) {
     repair::RepairEngineOptions options;
-    options.milp.num_threads = threads;
+    options.milp.search.num_threads = threads;
     repair::RepairEngine engine(options);
     auto outcome = engine.ComputeRepair(*db, constraints);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();

@@ -175,8 +175,8 @@ TEST(PresolveRepairTest, PinnedRepairInstancesAgree) {
   std::vector<repair::FixedValue> pins = {{{"CashBudget", 3, 4}, 250.0},
                                           {{"CashBudget", 1, 4}, 100.0}};
   repair::RepairEngineOptions with, without;
-  with.use_presolve = true;
-  without.use_presolve = false;
+  with.milp.decomposition.use_presolve = true;
+  without.milp.decomposition.use_presolve = false;
   repair::RepairEngine a(with), b(without);
   auto ra = a.ComputeRepair(*db, constraints, pins);
   auto rb = b.ComputeRepair(*db, constraints, pins);
