@@ -51,17 +51,16 @@ void BM_MilpMonolithic(benchmark::State& state) {
   dart::milp::MilpOptions options;
   options.objective_is_integral = true;
   options.search.num_threads = 4;
-  int64_t nodes = 0;
   for (auto _ : state) {
     dart::milp::MilpResult solved =
         dart::milp::SolveMilp(translation->model, options);
     DART_CHECK_MSG(solved.status == dart::milp::MilpResult::SolveStatus::kOptimal,
                    "E16 monolithic instance must solve to optimality");
     benchmark::DoNotOptimize(solved.objective);
-    nodes = solved.nodes;
   }
   state.counters["docs"] = static_cast<double>(docs);
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["bb_nodes"] = static_cast<double>(
+      dart::bench::CollectMilpCounters(translation->model, options).nodes);
 }
 
 // The same translated model through DecomposeModel + the batch scheduler.
@@ -79,7 +78,6 @@ void BM_MilpDecomposed(benchmark::State& state) {
       dart::milp::SolveMilp(translation->model, options);
   DART_CHECK_MSG(whole.status == dart::milp::MilpResult::SolveStatus::kOptimal,
                  "E16 instance must solve to optimality");
-  int64_t nodes = 0;
   int components = 0, largest = 0;
   for (auto _ : state) {
     dart::milp::MilpResult solved =
@@ -89,12 +87,19 @@ void BM_MilpDecomposed(benchmark::State& state) {
     DART_CHECK_MSG(std::fabs(solved.objective - whole.objective) < 1e-6,
                    "decomposed objective must equal the monolithic optimum");
     benchmark::DoNotOptimize(solved.objective);
-    nodes = solved.nodes;
     components = solved.num_components;
     largest = solved.largest_component_vars;
   }
+  // Node count of one instrumented decomposed solve, from the registry.
+  dart::obs::RunContext run;
+  dart::milp::MilpOptions counted = options;
+  counted.run = &run;
+  const dart::obs::MetricsSnapshot base = run.metrics().Snapshot();
+  benchmark::DoNotOptimize(
+      dart::milp::SolveMilpDecomposed(translation->model, counted).objective);
   state.counters["docs"] = static_cast<double>(docs);
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["bb_nodes"] =
+      static_cast<double>(dart::bench::CountersSince(run, base).nodes);
   state.counters["components"] = static_cast<double>(components);
   state.counters["largest_comp_vars"] = static_cast<double>(largest);
 }
@@ -144,7 +149,8 @@ void BM_EngineVsPins(benchmark::State& state) {
       static_cast<double>(stats.presolve_variables_eliminated);
   state.counters["presolve_rows_rm"] =
       static_cast<double>(stats.presolve_rows_removed);
-  state.counters["bb_nodes"] = static_cast<double>(stats.nodes);
+  state.counters["bb_nodes"] = static_cast<double>(
+      dart::bench::CollectRepairCounters(scenario, options, pins).nodes);
 }
 
 BENCHMARK(BM_MilpMonolithic)

@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "core/dart.h"
 #include "obs/context.h"
+#include "obs/exporter.h"
 #include "util/table_printer.h"
 
 using namespace dart;
@@ -124,10 +125,15 @@ void HumanEffortTable() {
   table.Print();
 }
 
-// One instrumented noisy-document Process() run, checked against the two
-// obs acceptance bars before its trace is written for trace_report.py:
-//   (a) the legacy RepairStats accessors and the registry agree exactly, and
-//   (b) the pipeline.process stage children (acquire/detect/repair/apply)
+// One instrumented noisy-document Process() run with a live 250 ms
+// PeriodicExporter attached, checked against the obs acceptance bars before
+// its trace is written for trace_report.py:
+//   (a) the exporter stream (OBS_bench_end_to_end.metrics.jsonl) is
+//       well-formed and its summed deltas equal the run report's counters —
+//       validated by `trace_report.py stream --against-report` from
+//       scripts/reproduce.sh;
+//   (b) no spans were dropped at the default trace capacity; and
+//   (c) the pipeline.process stage children (acquire/detect/repair/apply)
 //       account for the process span's wall time to within 5%.
 void InstrumentedTraceRun() {
   Rng rng(2);
@@ -141,24 +147,23 @@ void InstrumentedTraceRun() {
   core::DartPipeline pipeline = MakePipeline(*truth, pipeline_options);
   ocr::NoiseModel noise({0.08, 0.10, 1, 1}, &rng);
   const std::string html = ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
+
+  obs::ExporterOptions exporter_options;
+  exporter_options.interval = std::chrono::milliseconds(250);
+  exporter_options.jsonl_path = "OBS_bench_end_to_end.metrics.jsonl";
+  obs::PeriodicExporter exporter(&run, exporter_options);
+  DART_CHECK_MSG(exporter.Start().ok(), "exporter failed to start");
   auto outcome = pipeline.Process(html);
   DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+  DART_CHECK_MSG(exporter.Stop().ok(), "exporter failed to stop");
+  DART_CHECK_MSG(exporter.records_written() >= 1,
+                 "exporter wrote no metrics-delta records");
 
   const obs::MetricsSnapshot snap = run.metrics().Snapshot();
-  const repair::RepairStats& stats = outcome->repair.stats;
-  DART_CHECK_MSG(snap.Counter("milp.nodes") == stats.nodes,
-                 "registry milp.nodes != RepairStats::nodes");
-  DART_CHECK_MSG(snap.Counter("milp.lp_iterations") == stats.lp_iterations,
-                 "registry milp.lp_iterations != RepairStats::lp_iterations");
-  DART_CHECK_MSG(snap.Counter("milp.lp_warm_solves") == stats.lp_warm_solves,
-                 "registry milp.lp_warm_solves != RepairStats::lp_warm_solves");
-  DART_CHECK_MSG(snap.Counter("milp.scheduler.steals") == stats.milp_steals,
-                 "registry milp.scheduler.steals != RepairStats::milp_steals");
-  DART_CHECK_MSG(
-      static_cast<int>(snap.GaugeOr(
-          "milp.components", static_cast<double>(stats.num_components))) ==
-          stats.num_components,
-      "registry milp.components != RepairStats::num_components");
+  DART_CHECK_MSG(snap.Counter("obs.spans_dropped") == 0,
+                 "spans dropped at the default trace capacity");
+  DART_CHECK_MSG(run.trace().spans_dropped() == 0,
+                 "collector drop count disagrees with the registry");
 
   const std::vector<obs::SpanRecord> spans = run.trace().Snapshot();
   int64_t process_id = 0, process_ns = 0, children_ns = 0;
@@ -180,9 +185,11 @@ void InstrumentedTraceRun() {
   dart::bench::WriteBenchTrace(run, "bench_end_to_end");
   std::printf(
       "\nobs acceptance: stage spans cover %.1f%% of pipeline.process "
-      "(>= 95%% required); solver counters match RepairStats exactly\n",
+      "(>= 95%% required); %lld metrics-delta records streamed, 0 spans "
+      "dropped\n",
       100.0 * static_cast<double>(children_ns) /
-          static_cast<double>(process_ns));
+          static_cast<double>(process_ns),
+      static_cast<long long>(exporter.records_written()));
 }
 
 }  // namespace

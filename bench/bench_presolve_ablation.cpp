@@ -39,15 +39,15 @@ void RunPinned(benchmark::State& state, bool presolve) {
   dart::repair::RepairEngineOptions options;
   options.milp.decomposition.use_presolve = presolve;
   dart::repair::RepairEngine engine(options);
-  int64_t lp_iterations = 0;
   for (auto _ : state) {
     auto outcome =
         engine.ComputeRepair(scenario.acquired, scenario.constraints, pins);
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.cardinality());
-    lp_iterations = outcome->stats.lp_iterations;
   }
-  state.counters["lp_iters"] = static_cast<double>(lp_iterations);
+  state.counters["lp_iters"] = static_cast<double>(
+      dart::bench::CollectRepairCounters(scenario, options, pins)
+          .lp_iterations);
 }
 
 void BM_PinnedRepair_Presolve(benchmark::State& state) {

@@ -16,17 +16,16 @@ void BM_RepairVsErrors(benchmark::State& state) {
   dart::bench::Scenario scenario =
       dart::bench::MakeBudgetScenario(/*seed=*/123, /*years=*/4, errors);
   dart::repair::RepairEngine engine;
-  int64_t nodes = 0;
   size_t cardinality = 0;
   for (auto _ : state) {
     auto outcome =
         engine.ComputeRepair(scenario.acquired, scenario.constraints);
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.cardinality());
-    nodes = outcome->stats.nodes;
     cardinality = outcome->repair.cardinality();
   }
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["bb_nodes"] = static_cast<double>(
+      dart::bench::CollectRepairCounters(scenario).nodes);
   state.counters["repair_card"] = static_cast<double>(cardinality);
   state.counters["injected"] = static_cast<double>(errors);
 }

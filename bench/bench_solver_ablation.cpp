@@ -28,15 +28,14 @@ void RunConfig(benchmark::State& state, dart::milp::BranchRule rule,
   options.milp.search.node_order = order;
   options.milp.search.rounding_heuristic = rounding;
   dart::repair::RepairEngine engine(options);
-  int64_t nodes = 0;
   for (auto _ : state) {
     auto outcome =
         engine.ComputeRepair(scenario.acquired, scenario.constraints);
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.cardinality());
-    nodes = outcome->stats.nodes;
   }
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
+  state.counters["bb_nodes"] = static_cast<double>(
+      dart::bench::CollectRepairCounters(scenario, options).nodes);
 }
 
 void BM_MostFractional_BestFirst(benchmark::State& state) {

@@ -25,7 +25,6 @@ void BM_RepairVsThreads(benchmark::State& state) {
   dart::repair::RepairEngineOptions options;
   options.milp.search.num_threads = threads;
   dart::repair::RepairEngine engine(options);
-  int64_t nodes = 0, steals = 0;
   double milp_wall = 0;
   size_t cardinality = 0;
   for (auto _ : state) {
@@ -33,14 +32,16 @@ void BM_RepairVsThreads(benchmark::State& state) {
         engine.ComputeRepair(scenario.acquired, scenario.constraints);
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.cardinality());
-    nodes = outcome->stats.nodes;
-    steals = outcome->stats.milp_steals;
     milp_wall = outcome->stats.milp_wall_seconds;
     cardinality = outcome->repair.cardinality();
   }
+  // One instrumented solve outside the timed loop supplies the scheduler
+  // counters (node totals at >1 thread vary run to run; this is one sample).
+  const dart::bench::SolveCounters counters =
+      dart::bench::CollectRepairCounters(scenario, options);
   state.counters["threads"] = static_cast<double>(threads);
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
-  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["bb_nodes"] = static_cast<double>(counters.nodes);
+  state.counters["steals"] = static_cast<double>(counters.steals);
   state.counters["milp_wall_s"] = milp_wall;
   state.counters["repair_card"] = static_cast<double>(cardinality);
 }
@@ -65,19 +66,18 @@ void BM_MilpSolveVsThreads(benchmark::State& state) {
   dart::milp::MilpOptions options;
   options.objective_is_integral = true;
   options.search.num_threads = threads;
-  int64_t nodes = 0, steals = 0;
   for (auto _ : state) {
     dart::milp::MilpResult solved =
         dart::milp::SolveMilp(translation->model, options);
     DART_CHECK_MSG(solved.status == dart::milp::MilpResult::SolveStatus::kOptimal,
                    "thread-scaling bench instance must solve to optimality");
     benchmark::DoNotOptimize(solved.objective);
-    nodes = solved.nodes;
-    steals = solved.steals;
   }
+  const dart::bench::SolveCounters counters =
+      dart::bench::CollectMilpCounters(translation->model, options);
   state.counters["threads"] = static_cast<double>(threads);
-  state.counters["bb_nodes"] = static_cast<double>(nodes);
-  state.counters["steals"] = static_cast<double>(steals);
+  state.counters["bb_nodes"] = static_cast<double>(counters.nodes);
+  state.counters["steals"] = static_cast<double>(counters.steals);
 }
 
 BENCHMARK(BM_MilpSolveVsThreads)

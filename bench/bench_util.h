@@ -133,6 +133,56 @@ inline Scenario MakeMultiDocScenario(uint64_t seed, int docs, int years,
   return scenario;
 }
 
+/// Search counters of one instrumented computation, read back from the obs
+/// registry (the retired RepairStats / MilpResult counter fields' bench-side
+/// replacement).
+struct SolveCounters {
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+  int64_t lp_warm_solves = 0;
+  int64_t steals = 0;
+};
+
+/// Reads the milp.* counter delta of `run` since `base`.
+inline SolveCounters CountersSince(const obs::RunContext& run,
+                                   const obs::MetricsSnapshot& base) {
+  const obs::MetricsSnapshot delta = run.metrics().Snapshot().DeltaSince(base);
+  SolveCounters counters;
+  counters.nodes = delta.Counter("milp.nodes");
+  counters.lp_iterations = delta.Counter("milp.lp_iterations");
+  counters.lp_warm_solves = delta.Counter("milp.lp_warm_solves");
+  counters.steals = delta.Counter("milp.scheduler.steals");
+  return counters;
+}
+
+/// Runs one instrumented ComputeRepair over `scenario` and returns its
+/// registry counters. Benches call this once, outside their timed loops, so
+/// the timed runs stay uninstrumented (the <2% overhead gate).
+inline SolveCounters CollectRepairCounters(
+    const Scenario& scenario, repair::RepairEngineOptions options = {},
+    const std::vector<repair::FixedValue>& pins = {}) {
+  obs::RunContext run;
+  options.run = &run;
+  const obs::MetricsSnapshot base = run.metrics().Snapshot();
+  repair::RepairEngine engine(options);
+  auto outcome =
+      engine.ComputeRepair(scenario.acquired, scenario.constraints, pins);
+  DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
+  return CountersSince(run, base);
+}
+
+/// Like CollectRepairCounters but for a single direct MILP solve.
+inline SolveCounters CollectMilpCounters(const milp::Model& model,
+                                         milp::MilpOptions options = {}) {
+  obs::RunContext run;
+  options.run = &run;
+  const obs::MetricsSnapshot base = run.metrics().Snapshot();
+  const milp::MilpResult solved = milp::SolveMilp(model, options);
+  DART_CHECK_MSG(solved.status != milp::MilpResult::SolveStatus::kUnbounded,
+                 "bench MILP solve reported unbounded");
+  return CountersSince(run, base);
+}
+
 /// Writes `run`'s JSON run report to OBS_<bench_name>.trace.json in the
 /// working directory. Aborts on I/O failure so scripts/reproduce.sh can
 /// never silently lose a trace.

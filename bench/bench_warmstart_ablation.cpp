@@ -20,24 +20,23 @@ void BM_RepairWarmVsCold(benchmark::State& state) {
   dart::repair::RepairEngineOptions options;
   options.milp.search.use_warm_start = warm;
   dart::repair::RepairEngine engine(options);
-  int64_t nodes = 0, lp_iterations = 0, warm_solves = 0;
   double milp_wall = 0;
   for (auto _ : state) {
     auto outcome =
         engine.ComputeRepair(scenario.acquired, scenario.constraints);
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.cardinality());
-    nodes = outcome->stats.nodes;
-    lp_iterations = outcome->stats.lp_iterations;
-    warm_solves = outcome->stats.lp_warm_solves;
     milp_wall = outcome->stats.milp_wall_seconds;
   }
+  const dart::bench::SolveCounters counters =
+      dart::bench::CollectRepairCounters(scenario, options);
+  const int64_t nodes = counters.nodes;
   state.counters["bb_nodes"] = static_cast<double>(nodes);
-  state.counters["lp_iters"] = static_cast<double>(lp_iterations);
+  state.counters["lp_iters"] = static_cast<double>(counters.lp_iterations);
   state.counters["iters_per_node"] =
-      nodes > 0 ? static_cast<double>(lp_iterations) / nodes : 0.0;
+      nodes > 0 ? static_cast<double>(counters.lp_iterations) / nodes : 0.0;
   state.counters["warm_frac"] =
-      nodes > 0 ? static_cast<double>(warm_solves) / nodes : 0.0;
+      nodes > 0 ? static_cast<double>(counters.lp_warm_solves) / nodes : 0.0;
   state.counters["milp_wall_s"] = milp_wall;
 }
 

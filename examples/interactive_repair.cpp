@@ -19,11 +19,11 @@ namespace {
 
 /// Renders a proposal exactly as the Validation Interface would show it.
 void PrintProposal(int round, const rel::Database& db,
-                   const repair::RepairOutcome& outcome) {
+                   const repair::RepairOutcome& outcome, int64_t nodes) {
   std::printf("--- Proposal %d (%zu update%s, %lld B&B nodes) ---\n", round,
               outcome.repair.cardinality(),
               outcome.repair.cardinality() == 1 ? "" : "s",
-              static_cast<long long>(outcome.stats.nodes));
+              static_cast<long long>(nodes));
   auto rendered = validation::RenderRepairForOperator(db, outcome.repair);
   if (rendered.ok()) {
     std::printf("%s", rendered->c_str());
@@ -50,27 +50,37 @@ int main() {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     return 1;
   }
-  repair::RepairEngine engine;
+  // Solver effort per round is read back from the obs registry: snapshot
+  // before each solve, diff after.
+  obs::RunContext run;
+  repair::RepairEngineOptions engine_options;
+  engine_options.run = &run;
+  repair::RepairEngine engine(engine_options);
+  auto nodes_since = [&run](const obs::MetricsSnapshot& base) {
+    return run.metrics().Snapshot().DeltaSince(base).Counter("milp.nodes");
+  };
 
   // Round 1: no operator knowledge yet.
+  obs::MetricsSnapshot base = run.metrics().Snapshot();
   auto first = engine.ComputeRepair(*acquired, constraints);
   if (!first.ok()) {
     std::fprintf(stderr, "%s\n", first.status().ToString().c_str());
     return 1;
   }
-  PrintProposal(1, *acquired, *first);
+  PrintProposal(1, *acquired, *first, nodes_since(base));
   std::printf(
       "\nOperator: \"No — the document really says 250 there.\"\n"
       "The rejection pins CashBudget[3].Value to 250 and re-solves.\n\n");
 
   // Round 2: the pin forces an alternative explanation.
   std::vector<repair::FixedValue> pins = {{{"CashBudget", 3, 4}, 250.0}};
+  base = run.metrics().Snapshot();
   auto second = engine.ComputeRepair(*acquired, constraints, pins);
   if (!second.ok()) {
     std::fprintf(stderr, "%s\n", second.status().ToString().c_str());
     return 1;
   }
-  PrintProposal(2, *acquired, *second);
+  PrintProposal(2, *acquired, *second, nodes_since(base));
   std::printf(
       "\nNote the ordering: updates whose cells occur in more ground\n"
       "constraints are shown first (Sec. 6.3's heuristic), so an early\n"
@@ -82,12 +92,13 @@ int main() {
   for (const repair::AtomicUpdate& update : second->repair.updates()) {
     pins.push_back({update.cell, update.new_value.AsReal()});
   }
+  base = run.metrics().Snapshot();
   auto final_outcome = engine.ComputeRepair(*acquired, constraints, pins);
   if (!final_outcome.ok()) {
     std::fprintf(stderr, "%s\n", final_outcome.status().ToString().c_str());
     return 1;
   }
-  PrintProposal(3, *acquired, *final_outcome);
+  PrintProposal(3, *acquired, *final_outcome, nodes_since(base));
   auto repaired = final_outcome->repair.Applied(*acquired);
   if (!repaired.ok()) {
     std::fprintf(stderr, "%s\n", repaired.status().ToString().c_str());

@@ -52,7 +52,10 @@ int main() {
 
   // --- 4. Compute the card-minimal repair (Sec. 5: translation to the MILP
   // instance S*(AC) + branch-and-bound).
-  repair::RepairEngine engine;
+  obs::RunContext run;
+  repair::RepairEngineOptions engine_options;
+  engine_options.run = &run;
+  repair::RepairEngine engine(engine_options);
   auto outcome = engine.ComputeRepair(*acquired, constraints);
   if (!outcome.ok()) {
     std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
@@ -66,8 +69,9 @@ int main() {
       "\nMILP stats: N=%zu cells, %zu ground rows, %lld B&B nodes, "
       "practical M=%g (theoretical M ~ 10^%.0f)\n",
       outcome->stats.num_cells, outcome->stats.num_ground_rows,
-      static_cast<long long>(outcome->stats.nodes), outcome->stats.practical_m,
-      outcome->stats.theoretical_m_log10);
+      static_cast<long long>(
+          run.metrics().Snapshot().Counter("milp.nodes")),
+      outcome->stats.practical_m, outcome->stats.theoretical_m_log10);
 
   // --- 5. Apply and re-check.
   auto repaired = outcome->repair.Applied(*acquired);

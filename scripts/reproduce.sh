@@ -46,12 +46,18 @@ python3 scripts/check_bench_regression.py \
 
 # Observability gates (E17, docs/observability.md): every benchmark binary
 # leaves an OBS_<name>.trace.json run report behind. Each must be
-# schema-valid; the end-to-end report is rendered as the canonical per-stage
-# breakdown; and the instrumented repair benchmark must cost < 2% over its
-# uninstrumented twin.
-python3 scripts/trace_report.py validate OBS_*.trace.json || exit 1
+# schema-valid with zero dropped spans (the default trace capacity has to
+# hold a full benchmark run); the end-to-end report is rendered as the
+# canonical per-stage breakdown; the instrumented repair benchmark must cost
+# < 2% over its uninstrumented twin; and the 250 ms exporter stream from the
+# end-to-end run must telescope exactly to its run report's counters.
+python3 scripts/trace_report.py validate --max-spans-dropped 0 \
+  OBS_*.trace.json || exit 1
 python3 scripts/trace_report.py report OBS_bench_end_to_end.trace.json
 python3 scripts/trace_report.py overhead BENCH_bench_repair_scaling.json \
   --max-overhead 0.02 || exit 1
+python3 scripts/trace_report.py stream OBS_bench_end_to_end.metrics.jsonl \
+  --against-report OBS_bench_end_to_end.trace.json || exit 1
 
-echo "Done: test_output.txt, bench_output.txt, BENCH_*.json, OBS_*.trace.json"
+echo "Done: test_output.txt, bench_output.txt, BENCH_*.json," \
+  "OBS_*.trace.json, OBS_bench_end_to_end.metrics.jsonl"

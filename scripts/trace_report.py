@@ -5,13 +5,23 @@ The C++ side (src/obs/report.h) writes one JSON document per RunContext with
 schema `dart.obs.run_report` version 1. This tool is the Python half of that
 contract — scripts/reproduce.sh runs it over every benchmark's trace:
 
-  trace_report.py validate FILE...
-      Schema-check each report. Exit 1 on the first violation.
+  trace_report.py validate [--max-spans-dropped N] FILE...
+      Schema-check each report. Exit 1 on the first violation. With
+      --max-spans-dropped, additionally gate the obs.spans_dropped counter
+      (reproduce.sh passes 0: a default-capacity run must keep every span).
 
   trace_report.py report FILE
       Per-stage time breakdown: the span tree aggregated by span name, with
       total (inclusive) and self (exclusive of child spans) wall time, plus
       the counter/gauge tables.
+
+  trace_report.py stream FILE [--against-report REPORT]
+      Validate a metrics-delta JSONL stream (schema `dart.obs.metrics_delta`
+      v1, written by obs::PeriodicExporter): contiguous seq from 0,
+      non-negative counter deltas, non-decreasing uptime, and exactly one
+      `"final": true` record as the last line. Prints the telescoped counter
+      sums; with --against-report, asserts they equal the run report's
+      counters exactly (the deltas lose nothing).
 
   trace_report.py overhead BENCH_JSON [--max-overhead 0.02]
       Registry-overhead gate: compares the instrumented benchmark
@@ -28,6 +38,8 @@ import sys
 
 SCHEMA = "dart.obs.run_report"
 SCHEMA_VERSION = 1
+STREAM_SCHEMA = "dart.obs.metrics_delta"
+STREAM_SCHEMA_VERSION = 1
 HISTOGRAM_BUCKETS = 40  # kHistogramBuckets in src/obs/registry.h
 
 
@@ -138,13 +150,108 @@ def validate_report(path, doc):
 def cmd_validate(args):
     failures = []
     for path in args.files:
-        failures.extend(validate_report(path, load_json(path)))
+        doc = load_json(path)
+        failures.extend(validate_report(path, doc))
+        if args.max_spans_dropped is not None and isinstance(doc, dict):
+            dropped = doc.get("counters", {}).get("obs.spans_dropped", 0)
+            if not isinstance(dropped, int) or dropped > args.max_spans_dropped:
+                failures.append(
+                    f"{path}: obs.spans_dropped is {dropped!r}, "
+                    f"gate allows at most {args.max_spans_dropped}")
     for msg in failures:
         print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
     if failures:
         return 1
+    gate = ("" if args.max_spans_dropped is None
+            else f", spans-dropped gate <= {args.max_spans_dropped}")
     print(f"trace_report: {len(args.files)} report(s) schema-valid "
-          f"({SCHEMA} v{SCHEMA_VERSION})")
+          f"({SCHEMA} v{SCHEMA_VERSION}{gate})")
+    return 0
+
+
+def validate_stream(path):
+    """Returns (violations, telescoped counter sums) for a JSONL stream."""
+    errors = []
+    sums = {}
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line]
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    check(lines, "stream is empty")
+
+    last_uptime = -1
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            check(False, f"record #{i} is not valid JSON: {err}")
+            continue
+        if not isinstance(record, dict):
+            check(False, f"record #{i} is not an object")
+            continue
+        check(record.get("schema") == STREAM_SCHEMA,
+              f"record #{i} schema is {record.get('schema')!r}, "
+              f"want {STREAM_SCHEMA!r}")
+        check(record.get("schema_version") == STREAM_SCHEMA_VERSION,
+              f"record #{i} schema_version is "
+              f"{record.get('schema_version')!r}, "
+              f"want {STREAM_SCHEMA_VERSION}")
+        check(record.get("seq") == i,
+              f"record #{i} seq is {record.get('seq')!r} (must be "
+              f"contiguous from 0)")
+        uptime = record.get("uptime_ms")
+        check(isinstance(uptime, int) and uptime >= last_uptime,
+              f"record #{i} uptime_ms {uptime!r} went backwards")
+        if isinstance(uptime, int):
+            last_uptime = uptime
+        is_last = i + 1 == len(lines)
+        check(record.get("final") is is_last,
+              f"record #{i} final is {record.get('final')!r}; exactly the "
+              f"last record must carry final=true")
+        counters = record.get("counters")
+        check(isinstance(counters, dict), f"record #{i} lacks counters")
+        for name, value in (counters or {}).items():
+            ok = isinstance(value, int) and not isinstance(value, bool)
+            check(ok, f"record #{i} counter {name} is not an integer")
+            if ok:
+                check(value >= 0,
+                      f"record #{i} counter {name} delta is negative "
+                      f"({value})")
+                sums[name] = sums.get(name, 0) + value
+        for section in ("gauges", "histograms"):
+            check(isinstance(record.get(section), dict),
+                  f"record #{i} lacks {section}")
+    return errors, sums
+
+
+def cmd_stream(args):
+    errors, sums = validate_stream(args.file)
+    if not errors and args.against_report:
+        report = load_json(args.against_report)
+        reported = report.get("counters", {}) if isinstance(report, dict) \
+            else {}
+        for name in sorted(set(sums) | set(reported)):
+            if sums.get(name, 0) != reported.get(name, 0):
+                errors.append(
+                    f"{args.file}: counter {name} telescopes to "
+                    f"{sums.get(name, 0)}, report "
+                    f"{args.against_report} has {reported.get(name, 0)}")
+    for msg in errors:
+        print(f"STREAM VIOLATION: {msg}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"trace_report: {args.file} stream-valid "
+          f"({STREAM_SCHEMA} v{STREAM_SCHEMA_VERSION})")
+    for name, value in sorted(sums.items()):
+        print(f"{name:<40} {value:>12}")
+    if args.against_report:
+        print(f"telescoped sums match {args.against_report} exactly")
     return 0
 
 
@@ -236,7 +343,17 @@ def main():
 
     p_validate = sub.add_parser("validate", help="schema-check reports")
     p_validate.add_argument("files", nargs="+")
+    p_validate.add_argument("--max-spans-dropped", type=int, default=None,
+                            help="fail when obs.spans_dropped exceeds this")
     p_validate.set_defaults(func=cmd_validate)
+
+    p_stream = sub.add_parser("stream", help="validate a metrics-delta JSONL "
+                                             "stream")
+    p_stream.add_argument("file")
+    p_stream.add_argument("--against-report", default=None,
+                          help="run report whose counters the stream's "
+                               "telescoped sums must equal")
+    p_stream.set_defaults(func=cmd_stream)
 
     p_report = sub.add_parser("report", help="per-stage time breakdown")
     p_report.add_argument("file")

@@ -144,6 +144,9 @@ Result<validation::SessionResult> DartPipeline::ProcessSupervised(
   if (options_.run != nullptr && session_options.run == nullptr) {
     session_options.run = options_.run;
   }
+  if (options_.progress != nullptr && session_options.progress == nullptr) {
+    session_options.progress = options_.progress;
+  }
   return validation::RunValidationSession(acquisition.database, constraints_,
                                           op, session_options);
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <set>
 #include <string>
@@ -53,6 +54,9 @@ struct PipelineOptions {
   /// Render with obs/report.h or scripts/trace_report.py. See
   /// docs/observability.md.
   obs::RunContext* run = nullptr;
+  /// Live operator progress for ProcessSupervised: forwarded into
+  /// SessionOptions::progress, one line per validation iteration.
+  std::ostream* progress = nullptr;
   /// Weight-minimal extension: use the wrapper's cell matching scores as
   /// per-cell change weights in the repair objective (min Σ wᵢδᵢ), so that
   /// low-confidence extractions are the preferred cells to change. Off by

@@ -31,17 +31,18 @@ bool IsInfeasibleStatus(MilpResult::SolveStatus status) {
 
 namespace internal {
 
-void PublishMilpCounters(obs::RunContext* run, const MilpResult& result) {
+void PublishMilpCounters(obs::RunContext* run,
+                         const SearchCounters& counters) {
   if (run == nullptr) return;
   obs::Count(run, "milp.solves");
-  obs::Count(run, "milp.nodes", result.nodes);
-  obs::Count(run, "milp.lp_iterations", result.lp_iterations);
-  obs::Count(run, "milp.lp_warm_solves", result.lp_warm_solves);
-  obs::Count(run, "milp.scheduler.steals", result.steals);
-  for (size_t t = 0; t < result.per_thread_nodes.size(); ++t) {
+  obs::Count(run, "milp.nodes", counters.nodes);
+  obs::Count(run, "milp.lp_iterations", counters.lp_iterations);
+  obs::Count(run, "milp.lp_warm_solves", counters.lp_warm_solves);
+  obs::Count(run, "milp.scheduler.steals", counters.steals);
+  for (size_t t = 0; t < counters.per_thread_nodes.size(); ++t) {
     obs::Count(run,
                "milp.scheduler.thread." + std::to_string(t) + ".nodes",
-               result.per_thread_nodes[t]);
+               counters.per_thread_nodes[t]);
   }
 }
 
@@ -70,13 +71,14 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   const auto t_begin = std::chrono::steady_clock::now();
   obs::Span search_span(options.run, "milp.search");
   MilpResult result;
+  internal::SearchCounters counters;
   auto finish = [&]() -> MilpResult& {
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_begin)
             .count();
-    result.per_thread_nodes = {result.nodes};
-    internal::PublishMilpCounters(options.run, result);
+    counters.per_thread_nodes = {counters.nodes};
+    internal::PublishMilpCounters(options.run, counters);
     return result;
   };
 
@@ -172,22 +174,22 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
 
   while (!empty()) {
     if (options.search.max_nodes > 0 &&
-        result.nodes >= options.search.max_nodes) {
+        counters.nodes >= options.search.max_nodes) {
       hit_node_limit = true;
       break;
     }
     Node node = pop();
     if (prunable(node.parent_bound)) continue;
 
-    ++result.nodes;
+    ++counters.nodes;
     if (options.search.use_warm_start) {
       SolveLpWarm(form, options.lp, node.lower, node.upper, node.warm.get(),
                   &scratch, &lp, &node_basis);
     } else {
       SolveLpCached(form, options.lp, node.lower, node.upper, &scratch, &lp);
     }
-    result.lp_iterations += lp.iterations;
-    if (lp.warm_started) ++result.lp_warm_solves;
+    counters.lp_iterations += lp.iterations;
+    if (lp.warm_started) ++counters.lp_warm_solves;
     if (lp.status == LpResult::SolveStatus::kInfeasible) continue;
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
       result.status = MilpResult::SolveStatus::kUnbounded;

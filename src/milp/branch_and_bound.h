@@ -96,11 +96,15 @@ struct MilpOptions {
   /// point infeasible). Typical source: the previous validation-loop
   /// iteration's accepted solution.
   std::vector<double> initial_point;
-  /// Observability sink (nullptr = no-op). Every solve publishes its
-  /// counters (milp.nodes, milp.lp_iterations, milp.lp_warm_solves,
-  /// milp.scheduler.steals, milp.scheduler.thread.<i>.nodes) into the
-  /// registry and opens search/batch/worker spans in the trace. See
-  /// docs/observability.md for the full metric reference.
+  /// Observability sink (nullptr = no-op). This is the ONLY place solver
+  /// search counters surface: every solve publishes milp.nodes,
+  /// milp.lp_iterations, milp.lp_warm_solves, milp.scheduler.steals and
+  /// milp.scheduler.thread.<i>.nodes into the registry (the parallel batch
+  /// additionally publishes live milp.instance.<k>.nodes / .lp_iterations
+  /// per-component attribution) and opens search/batch/worker spans in the
+  /// trace. Callers wanting per-solve counts attach a RunContext and diff
+  /// MetricsSnapshot::DeltaSince around the call. See docs/observability.md
+  /// for the full metric reference.
   obs::RunContext* run = nullptr;
 };
 
@@ -124,26 +128,14 @@ struct MilpResult {
   /// Best proven bound on the optimum (equal to `objective` when optimal).
   double best_bound = 0;
 
-  // Statistics.
+  // Statistics. Search counters (node counts, LP iterations, warm solves,
+  // steals, per-worker splits) live exclusively in the obs registry now —
+  // attach MilpOptions::run and read the milp.* counters; the legacy
+  // convenience fields were retired once every caller migrated.
   //
-  // DEPRECATED as the primary stats surface: when MilpOptions::run is set,
-  // the same values are published to the obs registry (docs/observability.md)
-  // and downstream consumers (RepairStats, benches, scripts) source them
-  // from the registry snapshot. The fields remain populated as convenience
-  // views for callers solving without a RunContext; new counters should be
-  // added to the registry, not here.
-  int64_t nodes = 0;
-  int64_t lp_iterations = 0;
-  /// Node LPs that completed on the warm-start path (parent basis plus dual
-  /// pivots; excludes cold fallbacks). 0 when search.use_warm_start is false.
-  int64_t lp_warm_solves = 0;
   /// Wall-clock seconds spent inside the solve (search only, not model
   /// construction).
   double wall_seconds = 0;
-  /// Nodes explored by each worker (size 1 for the serial path).
-  std::vector<int64_t> per_thread_nodes;
-  /// Work-stealing transfers between workers (0 for the serial path).
-  int64_t steals = 0;
   /// Connected components the model split into (1 unless the solve went
   /// through SolveMilpDecomposed / SolveDecomposition, see decompose.h).
   int num_components = 1;
@@ -166,13 +158,27 @@ MilpResult SolveMilp(const Model& model, const MilpOptions& options = {});
 
 namespace internal {
 
+/// One search's locally tracked counters, handed to PublishMilpCounters when
+/// the search retires. MilpResult no longer carries these (the registry is
+/// the stats surface); the struct exists so the serial solver and the batch
+/// scheduler's gather publish through one code path.
+struct SearchCounters {
+  int64_t nodes = 0;
+  int64_t lp_iterations = 0;
+  int64_t lp_warm_solves = 0;
+  int64_t steals = 0;
+  /// Nodes explored by each worker ({nodes} for the serial path).
+  std::vector<int64_t> per_thread_nodes;
+};
+
 /// Publishes one solve's counters into the run's registry (no-op when run is
-/// null): milp.nodes / milp.lp_iterations / milp.lp_warm_solves /
-/// milp.scheduler.steals plus milp.scheduler.thread.<i>.nodes per worker.
-/// Called exactly once per MilpResult produced by a search (the serial
-/// solver, or the batch scheduler's per-instance gather), so registry totals
-/// equal the summed legacy fields.
-void PublishMilpCounters(obs::RunContext* run, const MilpResult& result);
+/// null): milp.solves / milp.nodes / milp.lp_iterations /
+/// milp.lp_warm_solves / milp.scheduler.steals plus
+/// milp.scheduler.thread.<i>.nodes per worker. Called exactly once per
+/// MilpResult produced by a search (the serial solver, or the batch
+/// scheduler's per-instance gather).
+void PublishMilpCounters(obs::RunContext* run,
+                         const SearchCounters& counters);
 
 }  // namespace internal
 

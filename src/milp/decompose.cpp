@@ -252,8 +252,9 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
   batch_options.initial_point.clear();
   std::vector<MilpResult> solved = SolveMilpBatch(batch, batch_options);
 
-  // Stitch: statistics sum, statuses combine with the monolithic solver's
-  // precedence, objectives add (disjoint variable sets).
+  // Stitch: statuses combine with the monolithic solver's precedence,
+  // objectives add (disjoint variable sets). Search counters already reached
+  // the registry via each component's publish — nothing to sum here.
   bool any_unbounded = false;
   bool any_lp_infeasible = false;
   bool any_int_infeasible = decomposition.rowless_infeasible;
@@ -262,16 +263,6 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
   double objective_sum = decomposition.rowless_objective;
   double bound_sum = decomposition.rowless_objective;
   for (const MilpResult& r : solved) {
-    result.nodes += r.nodes;
-    result.lp_iterations += r.lp_iterations;
-    result.lp_warm_solves += r.lp_warm_solves;
-    result.steals += r.steals;
-    if (r.per_thread_nodes.size() > result.per_thread_nodes.size()) {
-      result.per_thread_nodes.resize(r.per_thread_nodes.size(), 0);
-    }
-    for (size_t t = 0; t < r.per_thread_nodes.size(); ++t) {
-      result.per_thread_nodes[t] += r.per_thread_nodes[t];
-    }
     switch (r.status) {
       case MilpResult::SolveStatus::kOptimal: break;
       case MilpResult::SolveStatus::kUnbounded: any_unbounded = true; break;

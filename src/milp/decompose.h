@@ -86,9 +86,10 @@ Decomposition DecomposeModel(const Model& model);
 /// same model): submits the components concurrently to one work-stealing
 /// pool (SolveMilpBatch), then stitches the per-component optima back into
 /// one MilpResult in the input variable space — objective = Σ component
-/// optima + rowless contribution + objective constant; statistics summed
-/// (per_thread_nodes elementwise); `num_components` /
-/// `largest_component_vars` filled in.
+/// optima + rowless contribution + objective constant; `num_components` /
+/// `largest_component_vars` filled in. Search counters are not stitched:
+/// each component solve publishes its own milp.* registry counters (plus
+/// milp.instance.<k>.* attribution on the parallel batch path).
 ///
 /// Status combination mirrors what a monolithic solve would report: any
 /// component unbounded → kUnbounded; any component (or constant row) with an

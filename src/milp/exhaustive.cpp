@@ -46,17 +46,9 @@ MilpResult SolveByBinaryEnumeration(const Model& model,
     rebuilt.SetObjective(model.objective_terms(), model.objective_constant(),
                          model.objective_sense());
 
+    // Each sub-solve publishes its own search counters into
+    // options.residual.run; nothing to accumulate on `best`.
     MilpResult sub = SolveMilp(rebuilt, options.residual);
-    best.nodes += sub.nodes;
-    best.lp_iterations += sub.lp_iterations;
-    best.lp_warm_solves += sub.lp_warm_solves;
-    best.steals += sub.steals;
-    if (sub.per_thread_nodes.size() > best.per_thread_nodes.size()) {
-      best.per_thread_nodes.resize(sub.per_thread_nodes.size(), 0);
-    }
-    for (size_t t = 0; t < sub.per_thread_nodes.size(); ++t) {
-      best.per_thread_nodes[t] += sub.per_thread_nodes[t];
-    }
     if (sub.status != MilpResult::SolveStatus::kOptimal) continue;
     const double key = sense_factor * sub.objective;
     if (key < best_key - 1e-9) {

@@ -140,11 +140,23 @@ bool TryIncumbent(InstanceState* inst, const std::vector<double>& candidate,
   return true;
 }
 
+/// Pre-built registry counter names for one instance's live attribution
+/// (milp.instance.<k>.nodes / .lp_iterations). Workers interleave nodes from
+/// all instances, so no per-component milp.search span exists on the
+/// parallel path — these counters are how E16-style analysis attributes the
+/// work instead. Built once per batch so the worker loop publishes without
+/// allocating.
+struct InstanceCounterNames {
+  std::string nodes;
+  std::string lp_iterations;
+};
+
 struct WorkerContext {
   const MilpOptions* options = nullptr;
   SharedState* shared = nullptr;
   std::vector<std::unique_ptr<InstanceState>>* instances = nullptr;
   std::vector<WorkerDeque>* deques = nullptr;
+  const std::vector<InstanceCounterNames>* counter_names = nullptr;
   int id = 0;
   /// Trace parent for this worker's span (the batch span, captured on the
   /// submitting thread — worker threads have no span stack of their own).
@@ -222,6 +234,11 @@ void WorkerMain(WorkerContext* ctx) {
 
     ++ctx->nodes_per_instance[node.instance];
     shared->nodes_explored.fetch_add(1, std::memory_order_relaxed);
+    if (options.run != nullptr) {
+      const InstanceCounterNames& names =
+          (*ctx->counter_names)[static_cast<size_t>(node.instance)];
+      obs::Count(options.run, names.nodes);
+    }
     if (options.search.use_warm_start) {
       SolveLpWarm(inst->form, options.lp, node.lower, node.upper,
                   node.warm.get(), &scratch, &lp, &node_basis);
@@ -230,6 +247,11 @@ void WorkerMain(WorkerContext* ctx) {
                     &lp);
     }
     inst->lp_iterations.fetch_add(lp.iterations, std::memory_order_relaxed);
+    if (options.run != nullptr && lp.iterations > 0) {
+      const InstanceCounterNames& names =
+          (*ctx->counter_names)[static_cast<size_t>(node.instance)];
+      obs::Count(options.run, names.lp_iterations, lp.iterations);
+    }
     if (lp.warm_started) {
       inst->lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
     }
@@ -360,6 +382,18 @@ std::vector<MilpResult> SolveBatchParallel(
     deques[i % num_threads].PushBottom(std::move(root));
   }
 
+  // Per-instance attribution counter names, built once so the worker loop's
+  // publishes are allocation-free.
+  std::vector<InstanceCounterNames> counter_names(num_instances);
+  if (options.run != nullptr) {
+    for (int i = 0; i < num_instances; ++i) {
+      const std::string prefix = "milp.instance." + std::to_string(i) + ".";
+      counter_names[static_cast<size_t>(i)].nodes = prefix + "nodes";
+      counter_names[static_cast<size_t>(i)].lp_iterations =
+          prefix + "lp_iterations";
+    }
+  }
+
   std::vector<WorkerContext> contexts(num_threads);
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
@@ -369,6 +403,7 @@ std::vector<MilpResult> SolveBatchParallel(
     ctx.shared = &shared;
     ctx.instances = &instances;
     ctx.deques = &deques;
+    ctx.counter_names = &counter_names;
     ctx.id = id;
     ctx.parent_span = batch_span.id();
     ctx.nodes_per_instance.assign(num_instances, 0);
@@ -398,14 +433,16 @@ std::vector<MilpResult> SolveBatchParallel(
   for (int i = 0; i < num_instances; ++i) {
     InstanceState& inst = *instances[i];
     MilpResult& result = results[i];
-    result.per_thread_nodes.resize(num_threads);
+    internal::SearchCounters counters;
+    counters.per_thread_nodes.resize(num_threads);
     for (int id = 0; id < num_threads; ++id) {
-      result.per_thread_nodes[id] = contexts[id].nodes_per_instance[i];
-      result.nodes += contexts[id].nodes_per_instance[i];
+      counters.per_thread_nodes[id] = contexts[id].nodes_per_instance[i];
+      counters.nodes += contexts[id].nodes_per_instance[i];
     }
-    result.lp_iterations = inst.lp_iterations.load();
-    result.lp_warm_solves = inst.lp_warm_solves.load();
-    result.steals = inst.steals.load();
+    counters.lp_iterations = inst.lp_iterations.load();
+    counters.lp_warm_solves = inst.lp_warm_solves.load();
+    counters.steals = inst.steals.load();
+    internal::PublishMilpCounters(options.run, counters);
     result.wall_seconds = wall_seconds;
 
     if (inst.unbounded.load()) {
@@ -440,9 +477,6 @@ std::vector<MilpResult> SolveBatchParallel(
                           : MilpResult::SolveStatus::kLpRelaxationInfeasible;
       result.best_bound = inst.form.sense_factor * incumbent_key;
     }
-  }
-  for (const MilpResult& result : results) {
-    internal::PublishMilpCounters(options.run, result);
   }
   return results;
 }

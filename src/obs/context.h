@@ -21,10 +21,16 @@ namespace dart::obs {
 
 /// Owns the metrics registry and the trace collector of one run. Create one
 /// per pipeline run (or per benchmark), pass its address through the option
-/// structs, then render it with report.h.
+/// structs, then render it with report.h (or stream it with exporter.h).
 class RunContext {
  public:
-  RunContext() = default;
+  RunContext() : RunContext(TraceOptions{}) {}
+  /// Configures the trace store's capacity/sampling policy (trace.h); the
+  /// metrics registry is unaffected.
+  explicit RunContext(const TraceOptions& trace_options)
+      : trace_(trace_options) {
+    trace_.BindDropCounter(&metrics_);
+  }
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
 

@@ -1,0 +1,84 @@
+#include "obs/exporter.h"
+
+#include "obs/report.h"
+
+namespace dart::obs {
+
+PeriodicExporter::PeriodicExporter(const RunContext* run,
+                                   ExporterOptions options)
+    : run_(run), options_(std::move(options)) {}
+
+PeriodicExporter::~PeriodicExporter() { (void)Stop(); }
+
+Status PeriodicExporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("exporter already started");
+  }
+  started_ = true;
+  if (run_ == nullptr) return Status::Ok();  // inert null sink
+  jsonl_.open(options_.jsonl_path, std::ios::out | std::ios::trunc);
+  if (!jsonl_) {
+    return Status::InvalidArgument("cannot open metrics-delta sink: " +
+                                   options_.jsonl_path);
+  }
+  // Baseline is the *empty* snapshot, not the registry's current state: the
+  // first delta then carries any pre-Start activity and the stream's sum
+  // equals the final snapshot unconditionally.
+  prev_ = MetricsSnapshot{};
+  seq_ = 0;
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread(&PeriodicExporter::Loop, this);
+  return Status::Ok();
+}
+
+void PeriodicExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    EmitLocked(/*final_record=*/false);
+  }
+}
+
+Status PeriodicExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) return Status::Ok();
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (run_ == nullptr) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  EmitLocked(/*final_record=*/true);
+  jsonl_.close();
+  if (!jsonl_) {
+    return Status::Internal("failed writing metrics-delta sink: " +
+                            options_.jsonl_path);
+  }
+  return Status::Ok();
+}
+
+void PeriodicExporter::EmitLocked(bool final_record) {
+  MetricsSnapshot snapshot = run_->metrics().Snapshot();
+  const MetricsSnapshot delta = snapshot.DeltaSince(prev_);
+  const int64_t uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  jsonl_ << MetricsDeltaJson(delta, seq_++, uptime_ms, final_record) << '\n';
+  jsonl_.flush();
+  prev_ = std::move(snapshot);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.prometheus_path.empty()) {
+    std::ofstream prom(options_.prometheus_path,
+                       std::ios::out | std::ios::trunc);
+    if (prom) prom << PrometheusText(prev_);
+  }
+}
+
+}  // namespace dart::obs

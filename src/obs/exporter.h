@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/context.h"
+#include "obs/registry.h"
+#include "util/status.h"
+
+/// \file exporter.h
+/// The streaming half of the observability layer: a PeriodicExporter owns a
+/// background thread that snapshots a RunContext's metrics on a fixed
+/// interval and appends the delta since the previous tick as one JSONL
+/// record (schema `dart.obs.metrics_delta` v1, see report.h), optionally
+/// mirroring the full snapshot as Prometheus text exposition for scrapers.
+///
+/// Deltas telescope: the first tick's baseline is the empty snapshot, so
+/// summing every record of a stream — `trace_report.py stream` does — equals
+/// the registry's final state exactly. Stop() (or destruction) joins the
+/// thread and flushes one last record with `"final": true`, so no activity
+/// between the last tick and shutdown is lost.
+///
+/// Exporting is read-only and lock-free against the hot path: a tick costs
+/// one MetricsSnapshot (shard merge under the registry mutex) plus file IO
+/// on the exporter's own thread.
+
+namespace dart::obs {
+
+struct ExporterOptions {
+  /// Time between ticks. The final flush on Stop() happens regardless.
+  std::chrono::milliseconds interval{1000};
+  /// JSONL sink path (truncated on Start). Required.
+  std::string jsonl_path;
+  /// Prometheus text exposition path, rewritten atomically-ish (truncate +
+  /// write) with the full snapshot on every tick. Empty = disabled.
+  std::string prometheus_path;
+};
+
+/// See the file comment. Not copyable or movable (owns a thread).
+class PeriodicExporter {
+ public:
+  /// `run` may be null: the exporter is then inert (Start/Stop succeed and
+  /// write nothing), matching the null-sink convention of the obs layer.
+  PeriodicExporter(const RunContext* run, ExporterOptions options);
+  ~PeriodicExporter();
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+
+  /// Opens the sink(s) and launches the tick thread. Fails when the JSONL
+  /// path cannot be opened or the exporter already started.
+  Status Start();
+
+  /// Signals the thread, joins it, emits the final record, and closes the
+  /// sinks. Idempotent; called by the destructor.
+  Status Stop();
+
+  /// Records written so far (including the final one).
+  int64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  /// Snapshot → delta → one JSONL record (+ Prometheus rewrite). Caller
+  /// holds mu_.
+  void EmitLocked(bool final_record);
+
+  const RunContext* const run_;
+  const ExporterOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mu_
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+
+  // Tick state; touched only under mu_ (the loop and the final flush).
+  std::ofstream jsonl_;
+  MetricsSnapshot prev_;
+  int64_t seq_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<int64_t> records_{0};
+};
+
+}  // namespace dart::obs

@@ -117,6 +117,85 @@ std::string RunReportJson(const RunContext& run) {
   return out;
 }
 
+std::string MetricsDeltaJson(const MetricsSnapshot& delta, int64_t seq,
+                             int64_t uptime_ms, bool final_record) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema\": \"";
+  out += kMetricsDeltaSchema;
+  out += "\", \"schema_version\": ";
+  out += std::to_string(kMetricsDeltaSchemaVersion);
+  out += ", \"seq\": " + std::to_string(seq);
+  out += ", \"uptime_ms\": " + std::to_string(uptime_ms);
+  out += ", \"final\": ";
+  out += final_record ? "true" : "false";
+
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : delta.counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : delta.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": ";
+    AppendJsonDouble(value, &out);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : delta.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    AppendJsonDouble(h.sum, &out);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  auto sanitize = [](const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return out;
+  };
+  std::string out;
+  out.reserve(2048);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " ";
+    AppendJsonDouble(value, &out);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " summary\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+    out += metric + "_sum ";
+    AppendJsonDouble(h.sum, &out);
+    out += "\n";
+  }
+  return out;
+}
+
 Status WriteRunReport(const RunContext& run, const std::string& path) {
   std::ofstream file(path, std::ios::out | std::ios::trunc);
   if (!file) {

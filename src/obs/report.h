@@ -11,11 +11,19 @@
 /// field reference). scripts/trace_report.py validates and renders these;
 /// the bench harness writes one OBS_<bench>.trace.json per benchmark binary
 /// (scripts/reproduce.sh gates on them).
+///
+/// The streaming half (exporter.h) serializes interval deltas with
+/// MetricsDeltaJson — one JSONL line per tick, schema `dart.obs.metrics_delta`
+/// version 1, validated by `trace_report.py stream` — and full snapshots as
+/// Prometheus text exposition with PrometheusText.
 
 namespace dart::obs {
 
 inline constexpr char kRunReportSchema[] = "dart.obs.run_report";
 inline constexpr int kRunReportSchemaVersion = 1;
+
+inline constexpr char kMetricsDeltaSchema[] = "dart.obs.metrics_delta";
+inline constexpr int kMetricsDeltaSchemaVersion = 1;
 
 /// Serializes the context's current metrics snapshot and trace:
 ///
@@ -33,10 +41,34 @@ inline constexpr int kRunReportSchemaVersion = 1;
 ///
 /// Non-finite gauge/histogram values are emitted as null (the validator
 /// accepts them but our instrumentation never produces any). Spans still
-/// open are reported with their duration measured up to now.
+/// open are serialized with `duration_ns: -1` — the one open-span convention
+/// shared by the collector, this report, and scripts/trace_report.py.
 std::string RunReportJson(const RunContext& run);
 
 /// Writes RunReportJson to `path` (overwriting).
 Status WriteRunReport(const RunContext& run, const std::string& path);
+
+/// Serializes one exporter tick as a single JSONL line (no trailing
+/// newline), schema `dart.obs.metrics_delta` version 1:
+///
+///   {"schema":"dart.obs.metrics_delta","schema_version":1,"seq":0,
+///    "uptime_ms":250,"final":false,
+///    "counters":{"milp.nodes":7,...},          // deltas since the last tick
+///    "gauges":{"milp.components":2,...},       // point-in-time values
+///    "histograms":{"repair.solve_seconds":{"count":1,"sum":6.2e-4},...}}
+///
+/// `delta` is a MetricsSnapshot::DeltaSince of consecutive snapshots:
+/// counters and histogram count/sum are interval deltas (they telescope —
+/// summing every record of a stream reproduces the final snapshot exactly),
+/// gauges are the value at the tick. Exactly one record per stream carries
+/// `"final": true`, written on Stop().
+std::string MetricsDeltaJson(const MetricsSnapshot& delta, int64_t seq,
+                             int64_t uptime_ms, bool final_record);
+
+/// Renders a full snapshot as Prometheus text exposition (one `# TYPE` line
+/// plus a sample per metric; histograms contribute `<name>_count` and
+/// `<name>_sum`). Metric names are sanitized to [a-zA-Z0-9_:] (dots become
+/// underscores).
+std::string PrometheusText(const MetricsSnapshot& snapshot);
 
 }  // namespace dart::obs

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
-#include <atomic>
+#include <algorithm>
+#include <unordered_set>
+
+#include "obs/registry.h"
 
 namespace dart::obs {
 
@@ -10,7 +13,13 @@ int ThisThreadIndex() {
   return index;
 }
 
-TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+TraceCollector::TraceCollector(const TraceOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::BindDropCounter(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+}
 
 int64_t TraceCollector::NowNs() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -22,30 +31,78 @@ int64_t TraceCollector::Begin(std::string_view name, int64_t parent) {
   const int64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   SpanRecord record;
-  record.id = static_cast<int64_t>(spans_.size()) + 1;
+  record.id = ++next_id_;
   record.parent = parent;
   record.name = std::string(name);
   record.start_ns = now;
   record.thread = ThisThreadIndex();
-  spans_.push_back(std::move(record));
-  return spans_.back().id;
+  int64_t& head_count = head_counts_[record.name];
+  if (head_count < options_.head_samples_per_name) {
+    ++head_count;
+    pinned_.push_back(std::move(record));
+    return pinned_.back().id;
+  }
+  open_.push_back(std::move(record));
+  return open_.back().id;
 }
 
 void TraceCollector::End(int64_t id) {
   const int64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
-  if (id <= 0 || id > static_cast<int64_t>(spans_.size())) return;
-  SpanRecord& record = spans_[static_cast<size_t>(id - 1)];
-  if (record.duration_ns >= 0) return;  // already closed
-  record.duration_ns = now - record.start_ns;
+  if (id <= 0 || id > next_id_) return;
+  // Non-pinned open spans move into the ring on close (and may evict).
+  for (size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].id != id) continue;
+    SpanRecord record = std::move(open_[i]);
+    open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
+    record.duration_ns = now - record.start_ns;
+    ring_.push_back(std::move(record));
+    while (ring_.size() > options_.capacity) EvictOldestLocked();
+    return;
+  }
+  // Pinned spans close in place and never move.
+  for (SpanRecord& record : pinned_) {
+    if (record.id != id) continue;
+    if (record.duration_ns < 0) record.duration_ns = now - record.start_ns;
+    return;
+  }
+  // Already closed (ring or evicted): End is idempotent, ignore.
+}
+
+void TraceCollector::EvictOldestLocked() {
+  SpanRecord evicted = std::move(ring_.front());
+  ring_.pop_front();
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (registry_ != nullptr) registry_->AddCounter("obs.spans_dropped");
+  // Splice the evicted span out of the tree: its children hang off its own
+  // parent instead. `evicted.parent < evicted.id < child.id`, so the
+  // parent-precedes-child invariant survives.
+  auto reparent = [&](SpanRecord& record) {
+    if (record.parent == evicted.id) record.parent = evicted.parent;
+  };
+  for (SpanRecord& record : pinned_) reparent(record);
+  for (SpanRecord& record : open_) reparent(record);
+  for (SpanRecord& record : ring_) reparent(record);
 }
 
 std::vector<SpanRecord> TraceCollector::Snapshot() const {
-  const int64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<SpanRecord> out = spans_;
+  std::vector<SpanRecord> out;
+  out.reserve(pinned_.size() + open_.size() + ring_.size());
+  out.insert(out.end(), pinned_.begin(), pinned_.end());
+  out.insert(out.end(), open_.begin(), open_.end());
+  out.insert(out.end(), ring_.begin(), ring_.end());
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  // A child begun *after* its parent's eviction (explicit-parent spans) can
+  // still reference a dropped id; re-root it so the snapshot is a tree.
+  std::unordered_set<int64_t> ids;
+  ids.reserve(out.size());
+  for (const SpanRecord& record : out) ids.insert(record.id);
   for (SpanRecord& record : out) {
-    if (record.duration_ns < 0) record.duration_ns = now - record.start_ns;
+    if (record.parent != 0 && ids.count(record.parent) == 0) {
+      record.parent = 0;
+    }
   }
   return out;
 }

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 /// \file trace.h
@@ -13,8 +16,21 @@
 /// tree rendered by scripts/trace_report.py. Spans are coarse (pipeline
 /// stage, repair attempt, solver batch/worker) — begin/end take a mutex, so
 /// they must not sit on per-node hot paths.
+///
+/// The store is bounded (TraceOptions): long-lived contexts — a supervised
+/// loop running thousands of iterations, a serving deployment streaming
+/// deltas — cannot grow it without limit. Closed spans live in a
+/// fixed-capacity ring that evicts oldest-first, except that the first
+/// `head_samples_per_name` spans of every distinct name are pinned (head
+/// sampling): the representative early iterations of each stage survive even
+/// when the ring has churned many times over. Open spans are never evicted.
+/// Every eviction increments the `obs.spans_dropped` registry counter (when
+/// a registry is bound) and reparents the evicted span's children to its
+/// parent so the surviving records still form a valid tree.
 
 namespace dart::obs {
+
+class MetricsRegistry;
 
 /// One (possibly still open) span. Ids are 1-based in Begin() order; parent
 /// 0 means "root". A parent is always begun before its children, so
@@ -28,10 +44,24 @@ struct SpanRecord {
   int thread = 0;            ///< dense process-wide thread index.
 };
 
-/// Thread-safe append-only span store.
+/// Capacity policy of one TraceCollector (see the file comment).
+struct TraceOptions {
+  /// Closed, non-pinned spans retained; the oldest is evicted beyond this.
+  size_t capacity = 4096;
+  /// First N spans of each distinct name are pinned (exempt from eviction).
+  /// 0 disables head sampling entirely.
+  int head_samples_per_name = 64;
+};
+
+/// Thread-safe bounded span store.
 class TraceCollector {
  public:
-  TraceCollector();
+  TraceCollector() : TraceCollector(TraceOptions{}) {}
+  explicit TraceCollector(const TraceOptions& options);
+
+  /// Binds the registry that receives the `obs.spans_dropped` counter on
+  /// eviction (RunContext wires its own registry in; nullptr unbinds).
+  void BindDropCounter(MetricsRegistry* registry);
 
   /// Opens a span; returns its id (always > 0).
   int64_t Begin(std::string_view name, int64_t parent);
@@ -39,15 +69,38 @@ class TraceCollector {
   /// Closes a span (idempotent: a second End on the same id is ignored).
   void End(int64_t id);
 
-  /// Copies the records out. Spans still open are reported with their
-  /// duration measured up to now (but remain open in the collector).
+  /// Copies the surviving records out, sorted by id. Spans still open keep
+  /// `duration_ns == -1` (compute elapsed time as `NowNs() - start_ns`).
+  /// A record whose parent was evicted is re-rooted (parent 0), so the
+  /// result is always a valid tree.
   std::vector<SpanRecord> Snapshot() const;
 
- private:
+  /// Spans evicted from the ring so far (mirrors `obs.spans_dropped`).
+  int64_t spans_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the collector's epoch — the clock `start_ns` is
+  /// measured on. Public so progress views can compute elapsed time of
+  /// still-open spans.
   int64_t NowNs() const;
 
+ private:
+  /// Evicts the oldest ring entry; caller holds mu_.
+  void EvictOldestLocked();
+
+  const TraceOptions options_;
   mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  /// Head-sampled spans (first N per name, open or closed); never evicted.
+  std::vector<SpanRecord> pinned_;
+  /// Non-pinned spans that are still open; never evicted.
+  std::vector<SpanRecord> open_;
+  /// Closed non-pinned spans, oldest first; bounded by options_.capacity.
+  std::deque<SpanRecord> ring_;
+  std::unordered_map<std::string, int64_t> head_counts_;
+  int64_t next_id_ = 0;
+  std::atomic<int64_t> dropped_{0};
+  MetricsRegistry* registry_ = nullptr;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -26,15 +26,16 @@ milp::Model ProbeModel(const milp::Model& base,
   return model;
 }
 
-/// Solves S*(AC) for the optimal cardinality k*.
+/// Solves S*(AC) for the optimal cardinality k*. Node counts are not
+/// threaded through here: callers wanting them diff the run's milp.nodes
+/// counter around the whole computation.
 Result<size_t> OptimalCardinality(const milp::Model& model,
                                   const milp::MilpOptions& options,
-                                  int64_t* solves, int64_t* nodes) {
+                                  int64_t* solves) {
   milp::MilpOptions base_options = options;
   base_options.objective_is_integral = true;
   milp::MilpResult base = milp::SolveMilp(model, base_options);
   ++*solves;
-  *nodes += base.nodes;
   if (milp::IsInfeasibleStatus(base.status)) {
     return Status::Infeasible("no repair exists; CQA is undefined");
   }
@@ -57,19 +58,28 @@ Result<CqaResult> ComputeConsistentIntervals(
   DART_ASSIGN_OR_RETURN(Translation translation,
                         TranslateToMilp(db, constraints, translator_options));
 
-  milp::MilpOptions milp_options = options.milp;
+  // CqaResult::total_nodes is sourced from the registry: when the caller did
+  // not attach a RunContext, an ephemeral one scoops up the milp.nodes
+  // published by every solve of this computation (k* plus all probes).
+  obs::RunContext local_run;
+  milp::MilpOptions base_milp = options.milp;
+  if (base_milp.run == nullptr) base_milp.run = &local_run;
+  const obs::MetricsSnapshot nodes_base =
+      base_milp.run->metrics().Snapshot();
+
+  milp::MilpOptions milp_options = base_milp;
   milp_options.objective_is_integral = true;
 
   CqaResult result;
   // Step 1: the optimal cardinality k*.
   DART_ASSIGN_OR_RETURN(
       result.min_repair_cardinality,
-      OptimalCardinality(translation.model, milp_options, &result.milp_solves,
-                         &result.total_nodes));
+      OptimalCardinality(translation.model, milp_options,
+                         &result.milp_solves));
 
   // Step 2: per-cell min/max probes under the Σδ ≤ k* cap. The probe
   // objective z is integral for Z-domain cells, so bound rounding stays off.
-  milp::MilpOptions probe_options = options.milp;
+  milp::MilpOptions probe_options = base_milp;
   probe_options.objective_is_integral = false;
   for (size_t i = 0; i < translation.cells.size(); ++i) {
     CellInterval interval;
@@ -83,7 +93,6 @@ Result<CqaResult> ComputeConsistentIntervals(
                    milp::ObjectiveSense::kMinimize);
     milp::MilpResult lo = milp::SolveMilp(min_model, probe_options);
     ++result.milp_solves;
-    result.total_nodes += lo.nodes;
     if (lo.status != milp::MilpResult::SolveStatus::kOptimal) {
       return Status::Internal("CQA min-probe failed for cell " +
                               interval.cell.ToString());
@@ -95,7 +104,6 @@ Result<CqaResult> ComputeConsistentIntervals(
                    milp::ObjectiveSense::kMaximize);
     milp::MilpResult hi = milp::SolveMilp(max_model, probe_options);
     ++result.milp_solves;
-    result.total_nodes += hi.nodes;
     if (hi.status != milp::MilpResult::SolveStatus::kOptimal) {
       return Status::Internal("CQA max-probe failed for cell " +
                               interval.cell.ToString());
@@ -104,6 +112,9 @@ Result<CqaResult> ComputeConsistentIntervals(
     interval.max_value = hi.objective;
     result.intervals.push_back(interval);
   }
+  result.total_nodes =
+      base_milp.run->metrics().Snapshot().DeltaSince(nodes_base).Counter(
+          "milp.nodes");
   return result;
 }
 
@@ -162,10 +173,10 @@ Result<QueryInterval> ConsistentAggregateAnswer(
   QueryInterval interval;
   interval.value_on_acquired = acquired_value;
   milp::MilpOptions milp_options = options.milp;
-  int64_t solves = 0, nodes = 0;
+  int64_t solves = 0;
   DART_ASSIGN_OR_RETURN(
       interval.min_repair_cardinality,
-      OptimalCardinality(translation.model, milp_options, &solves, &nodes));
+      OptimalCardinality(translation.model, milp_options, &solves));
 
   milp::MilpOptions probe_options = options.milp;
   probe_options.objective_is_integral = false;

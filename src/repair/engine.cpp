@@ -122,26 +122,6 @@ milp::MilpResult SolveDecomposed(const milp::Model& model,
   return result;
 }
 
-/// Fills the solver-counter fields of `stats` from the registry delta since
-/// `base`. The delta covers exactly this computation (including every big-M
-/// retry and all components), so the legacy fields match the milp.* counters
-/// a caller-provided RunContext sees.
-void FillSolverStats(const obs::RunContext& run,
-                     const obs::MetricsSnapshot& base, RepairStats* stats) {
-  const obs::MetricsSnapshot delta = run.metrics().Snapshot().DeltaSince(base);
-  stats->nodes = delta.Counter("milp.nodes");
-  stats->lp_iterations = delta.Counter("milp.lp_iterations");
-  stats->lp_warm_solves = delta.Counter("milp.lp_warm_solves");
-  stats->milp_steals = delta.Counter("milp.scheduler.steals");
-  stats->per_thread_nodes.clear();
-  for (int t = 0;; ++t) {
-    const auto it = delta.counters.find("milp.scheduler.thread." +
-                                        std::to_string(t) + ".nodes");
-    if (it == delta.counters.end()) break;
-    stats->per_thread_nodes.push_back(it->second);
-  }
-}
-
 }  // namespace
 
 Result<RepairOutcome> RepairEngine::ComputeRepair(
@@ -150,19 +130,13 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     const Repair* warm_start) const {
   RepairOutcome outcome;
 
-  // Observability: everything routes through a registry even when the caller
-  // did not provide a RunContext — an ephemeral private one keeps the
-  // RepairStats counter fields registry-sourced in all configurations. The
-  // base snapshot scopes the delta to this computation, so several
-  // ComputeRepair calls can share one caller context without their totals
-  // bleeding into each other's stats.
-  obs::RunContext local_run;
+  // Observability: search counters are published only into the caller's
+  // RunContext (every obs:: call below is null-safe, so no context means no
+  // bookkeeping at all). Callers wanting per-computation totals snapshot the
+  // registry around this call and read the delta's milp.* counters.
   obs::RunContext* const run =
-      options_.run != nullptr
-          ? options_.run
-          : options_.milp.run != nullptr ? options_.milp.run : &local_run;
+      options_.run != nullptr ? options_.run : options_.milp.run;
   obs::Span compute_span(run, "repair.compute");
-  const obs::MetricsSnapshot base = run->metrics().Snapshot();
 
   // Fast path: already consistent and nothing pinned.
   if (fixed_values.empty()) {
@@ -264,9 +238,6 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     outcome.stats.num_ground_rows = translation.ground_rows.size();
     outcome.stats.practical_m = translation.practical_m;
     outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
-    // Solver counters (nodes, LP iterations, warm solves, steals, per-thread
-    // nodes) are NOT accumulated here: they are filled from the registry
-    // delta just before returning, see FillSolverStats below.
     outcome.stats.bigm_retries = attempt;
     outcome.stats.translate_seconds += Seconds(t0, t1);
     outcome.stats.solve_seconds += Seconds(t1, t2);
@@ -433,7 +404,6 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     }
     OrderUpdatesForDisplay(translation, &repair);
     outcome.repair = std::move(repair);
-    FillSolverStats(*run, base, &outcome.stats);
     return outcome;
   }
   return Status::Internal("unreachable: big-M retry loop exhausted");

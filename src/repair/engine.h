@@ -33,9 +33,9 @@ struct RepairEngineOptions {
   /// branch-and-bound (tests / solver ablation only; exponential!).
   bool use_exhaustive_solver = false;
   /// Observability sink for the whole computation (nullptr = no-op).
-  /// Propagated into milp.run for the solves. When neither this nor milp.run
-  /// is set the engine still routes its statistics through an ephemeral
-  /// private registry, so RepairStats is identical either way.
+  /// Propagated into milp.run for the solves. Search counters (milp.nodes,
+  /// milp.lp_iterations, ...) are published only here — attach a RunContext
+  /// and diff its registry snapshots to observe them.
   obs::RunContext* run = nullptr;
 };
 
@@ -44,26 +44,16 @@ struct RepairStats {
   size_t num_ground_rows = 0; ///< rows of A (ground constraint instances).
   double practical_m = 0;
   double theoretical_m_log10 = 0;
-  // Solver counters below are thin views over the obs registry
-  // (docs/observability.md): the engine snapshots the run's registry before
-  // the first attempt and fills these from the delta, so they equal the
-  // milp.* counters published during this computation. DEPRECATED as the
-  // primary stats surface — new counters go into the registry, not here.
-  int64_t nodes = 0;
-  int64_t lp_iterations = 0;
-  /// Node LPs solved on the warm-start path (parent basis + dual pivots).
-  int64_t lp_warm_solves = 0;
+  // Search counters (nodes, LP iterations, warm solves, steals, per-thread
+  // node counts) live exclusively in the obs registry now
+  // (docs/observability.md): attach RepairEngineOptions::run and diff
+  // registry snapshots around ComputeRepair to read them.
   int bigm_retries = 0;
   double translate_seconds = 0;
   double solve_seconds = 0;
   /// Wall-clock seconds inside the MILP search itself (excludes translation
   /// and presolve; accumulated over big-M retries).
   double milp_wall_seconds = 0;
-  /// Work-stealing transfers between solver workers (0 when serial).
-  int64_t milp_steals = 0;
-  /// Nodes explored by each solver worker, accumulated elementwise across
-  /// big-M retries (size 1 when serial).
-  std::vector<int64_t> per_thread_nodes;
   /// Shape of the *final* solve attempt (not summed across big-M retries):
   /// connected components the model split into (1 when decomposition is off
   /// or the model is connected) and the variable count of the largest one.

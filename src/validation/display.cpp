@@ -1,5 +1,6 @@
 #include "validation/display.h"
 
+#include <cstdio>
 #include <map>
 
 #include "util/table_printer.h"
@@ -81,6 +82,20 @@ Result<std::string> RenderRelationWithRepair(const rel::Database& db,
     printer.AddRow(std::move(cells));
   }
   return printer.ToString();
+}
+
+std::string RenderSessionProgress(const SessionProgressView& view) {
+  char timings[96];
+  std::snprintf(timings, sizeof(timings), "attempt %.1f ms | iter %.1f ms",
+                view.attempt_seconds * 1e3, view.iteration_seconds * 1e3);
+  std::string out = "[validation] iter " + std::to_string(view.iteration);
+  out += " | suggested " + std::to_string(view.suggested_updates);
+  out += " | examined " + std::to_string(view.examined);
+  out += " (accepted " + std::to_string(view.accepted) + ", rejected " +
+         std::to_string(view.rejected) + ") | ";
+  out += timings;
+  out += "\n";
+  return out;
 }
 
 }  // namespace dart::validation

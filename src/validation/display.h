@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "relational/database.h"
@@ -45,5 +46,26 @@ Result<std::string> RenderRepairForOperator(
 Result<std::string> RenderRelationWithRepair(const rel::Database& db,
                                              const std::string& relation_name,
                                              const repair::Repair& repair);
+
+/// One line of live progress for the supervised loop, shown after each
+/// iteration's examination pass. Counts are per-iteration (the session reads
+/// them as registry deltas); timings come from the trace — the elapsed time
+/// of the still-open validation.iteration span and the duration of the
+/// latest closed repair.attempt.
+struct SessionProgressView {
+  size_t iteration = 0;          ///< 1-based loop iteration.
+  size_t suggested_updates = 0;  ///< updates in this iteration's repair.
+  int64_t examined = 0;          ///< updates examined this iteration.
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  double iteration_seconds = 0;  ///< elapsed time of the open iteration span.
+  double attempt_seconds = 0;    ///< latest repair.attempt duration.
+};
+
+/// Renders `view` as one newline-terminated progress line:
+///
+///   [validation] iter 3 | suggested 7 | examined 5 (accepted 4, rejected 1)
+///   | attempt 1.2 ms | iter 3.4 ms
+std::string RenderSessionProgress(const SessionProgressView& view);
 
 }  // namespace dart::validation

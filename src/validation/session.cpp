@@ -1,19 +1,58 @@
 #include "validation/session.h"
 
 #include <map>
+#include <ostream>
+
+#include "validation/display.h"
 
 namespace dart::validation {
+
+namespace {
+
+/// Fills the progress timings from the trace: the elapsed time of the open
+/// `validation.iteration` span and the duration of the latest closed
+/// `repair.attempt`. Snapshot() is sorted by id, so the last match of each
+/// name is the most recent one.
+void FillProgressTimings(const obs::TraceCollector& trace,
+                         SessionProgressView* view) {
+  const int64_t now_ns = trace.NowNs();
+  for (const obs::SpanRecord& span : trace.Snapshot()) {
+    if (span.name == "validation.iteration" && span.duration_ns < 0) {
+      view->iteration_seconds =
+          static_cast<double>(now_ns - span.start_ns) * 1e-9;
+    } else if (span.name == "repair.attempt" && span.duration_ns >= 0) {
+      view->attempt_seconds = static_cast<double>(span.duration_ns) * 1e-9;
+    }
+  }
+}
+
+}  // namespace
 
 Result<SessionResult> RunValidationSession(
     const rel::Database& acquired, const cons::ConstraintSet& constraints,
     const SimulatedOperator& op, const SessionOptions& options) {
-  obs::Span session_span(options.run, "validation.session");
+  // Solver totals (and the progress view's timings) are read back from a
+  // RunContext, so the session always has one: the caller's when given,
+  // otherwise a private context scoped to this call.
+  obs::RunContext local_run;
+  obs::RunContext* const run = options.run != nullptr ? options.run
+                               : options.engine.run != nullptr
+                                   ? options.engine.run
+                                   : &local_run;
+  obs::Span session_span(run, "validation.session");
   repair::RepairEngineOptions engine_options = options.engine;
-  if (options.run != nullptr && engine_options.run == nullptr) {
-    engine_options.run = options.run;
-  }
+  if (engine_options.run == nullptr) engine_options.run = run;
   repair::RepairEngine engine(engine_options);
   SessionResult result;
+  const obs::MetricsSnapshot session_base = run->metrics().Snapshot();
+  // SessionResult's aggregate solver effort is the registry delta over the
+  // whole session (every iteration, every big-M retry).
+  auto fill_totals = [&result, run, &session_base] {
+    const obs::MetricsSnapshot delta =
+        run->metrics().Snapshot().DeltaSince(session_base);
+    result.total_nodes = delta.Counter("milp.nodes");
+    result.total_lp_iterations = delta.Counter("milp.lp_iterations");
+  };
   // Cell → validated value. Covers both accepted suggestions and the actual
   // source values supplied on rejection; the operator is never asked about
   // these cells again ("the operator is not requested to validate values
@@ -25,9 +64,10 @@ Result<SessionResult> RunValidationSession(
   repair::Repair previous_repair;
 
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
-    obs::Span iteration_span(options.run, "validation.iteration");
+    obs::Span iteration_span(run, "validation.iteration");
     ++result.iterations;
-    obs::Count(options.run, "validation.iterations");
+    obs::Count(run, "validation.iterations");
+    const obs::MetricsSnapshot iteration_base = run->metrics().Snapshot();
     std::vector<repair::FixedValue> pins;
     pins.reserve(validated.size());
     for (const auto& [cell, value] : validated) {
@@ -37,12 +77,11 @@ Result<SessionResult> RunValidationSession(
         repair::RepairOutcome outcome,
         engine.ComputeRepair(acquired, constraints, pins,
                              iteration == 0 ? nullptr : &previous_repair));
-    result.total_nodes += outcome.stats.nodes;
-    result.total_lp_iterations += outcome.stats.lp_iterations;
 
     if (outcome.already_consistent || outcome.repair.empty()) {
       result.repaired = acquired.Clone();
       result.converged = true;
+      fill_totals();
       return result;
     }
     previous_repair = outcome.repair;
@@ -60,17 +99,30 @@ Result<SessionResult> RunValidationSession(
       DART_ASSIGN_OR_RETURN(Verdict verdict, op.Examine(update));
       ++result.examined_updates;
       ++examined_this_round;
-      obs::Count(options.run, "validation.examined");
+      obs::Count(run, "validation.examined");
       if (verdict.accepted) {
         ++result.accepted_updates;
-        obs::Count(options.run, "validation.accepted");
+        obs::Count(run, "validation.accepted");
         validated[update.cell] = update.new_value.AsReal();
       } else {
         ++result.rejected_updates;
         rejection_seen = true;
-        obs::Count(options.run, "validation.rejected");
+        obs::Count(run, "validation.rejected");
         validated[update.cell] = verdict.actual_value;
       }
+    }
+
+    if (options.progress != nullptr) {
+      const obs::MetricsSnapshot delta =
+          run->metrics().Snapshot().DeltaSince(iteration_base);
+      SessionProgressView view;
+      view.iteration = result.iterations;
+      view.suggested_updates = outcome.repair.updates().size();
+      view.examined = delta.Counter("validation.examined");
+      view.accepted = delta.Counter("validation.accepted");
+      view.rejected = delta.Counter("validation.rejected");
+      FillProgressTimings(run->trace(), &view);
+      *options.progress << RenderSessionProgress(view);
     }
 
     if (!rejection_seen && !ran_out_of_batch) {
@@ -79,6 +131,7 @@ Result<SessionResult> RunValidationSession(
                             outcome.repair.Applied(acquired));
       result.repaired = std::move(repaired);
       result.converged = true;
+      fill_totals();
       return result;
     }
   }

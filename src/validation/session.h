@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "constraints/ast.h"
 #include "relational/database.h"
@@ -31,11 +32,18 @@ struct SessionOptions {
   size_t examine_batch = 0;
   /// Safety valve on loop length.
   size_t max_iterations = 1000;
-  /// Observability sink (nullptr = no-op): validation.iterations /
-  /// validation.examined / validation.accepted / validation.rejected
-  /// counters, one validation.iteration span per loop pass, and the engine's
-  /// repair.* instrumentation underneath. See docs/observability.md.
+  /// Observability sink: validation.iterations / validation.examined /
+  /// validation.accepted / validation.rejected counters, one
+  /// validation.iteration span per loop pass, and the engine's repair.*
+  /// instrumentation underneath. When nullptr the session runs against a
+  /// private RunContext of its own, so SessionResult's solver totals (and
+  /// the `progress` view) work either way. See docs/observability.md.
   obs::RunContext* run = nullptr;
+  /// Live operator progress: when set, one line per iteration (display.h
+  /// RenderSessionProgress) is written here after the examination pass —
+  /// examined/accepted/rejected counts from the registry delta plus the
+  /// current iteration / latest repair-attempt span timings from the trace.
+  std::ostream* progress = nullptr;
 };
 
 struct SessionResult {
@@ -49,7 +57,8 @@ struct SessionResult {
   size_t accepted_updates = 0;
   size_t rejected_updates = 0;
 
-  // Aggregate solver statistics across iterations.
+  // Aggregate solver effort across iterations, read from the obs registry
+  // (delta of the milp.nodes / milp.lp_iterations counters over the session).
   int64_t total_nodes = 0;
   int64_t total_lp_iterations = 0;
 };

@@ -163,11 +163,19 @@ TEST(DecomposeModelTest, SingleComponentPassesThroughToSolveMilp) {
 
   const Decomposition dec = DecomposeModel(model);
   ASSERT_EQ(dec.num_components(), 1);
-  const MilpResult whole = SolveMilp(model);
-  const MilpResult split = SolveMilpDecomposed(model);
+  obs::RunContext whole_run, split_run;
+  MilpOptions whole_options;
+  whole_options.run = &whole_run;
+  const MilpResult whole = SolveMilp(model, whole_options);
+  MilpOptions split_options;
+  split_options.run = &split_run;
+  const MilpResult split = SolveMilpDecomposed(model, split_options);
   EXPECT_EQ(split.status, whole.status);
-  EXPECT_EQ(split.nodes, whole.nodes);
-  EXPECT_EQ(split.lp_iterations, whole.lp_iterations);
+  const obs::MetricsSnapshot whole_snap = whole_run.metrics().Snapshot();
+  const obs::MetricsSnapshot split_snap = split_run.metrics().Snapshot();
+  EXPECT_EQ(split_snap.Counter("milp.nodes"), whole_snap.Counter("milp.nodes"));
+  EXPECT_EQ(split_snap.Counter("milp.lp_iterations"),
+            whole_snap.Counter("milp.lp_iterations"));
   EXPECT_NEAR(split.objective, whole.objective, kTol);
   EXPECT_EQ(split.num_components, 1);
   EXPECT_EQ(split.largest_component_vars, model.num_variables());
@@ -499,7 +507,9 @@ constraint target: Ledger(y, _) => bal(y) = 1000;
   ASSERT_TRUE(parsed.ok()) << parsed.ToString();
 
   for (bool decompose : {false, true}) {
+    obs::RunContext run;
     RepairEngineOptions options;
+    options.run = &run;
     options.milp.decomposition.use_components = decompose;
     options.translator.big_m.fixed_value = 50;
     options.milp.search.num_threads = 2;
@@ -508,12 +518,22 @@ constraint target: Ledger(y, _) => bal(y) = 1000;
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_GE(outcome->stats.bigm_retries, 1) << "decompose=" << decompose;
     EXPECT_EQ(outcome->repair.cardinality(), 2u);
+    // The per-thread attribution counters must account for every node, big-M
+    // retries included.
+    const obs::MetricsSnapshot snap = run.metrics().Snapshot();
     int64_t per_thread_total = 0;
-    for (int64_t n : outcome->stats.per_thread_nodes) per_thread_total += n;
-    EXPECT_EQ(per_thread_total, outcome->stats.nodes)
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("milp.scheduler.thread.", 0) == 0 &&
+          name.size() > 6 && name.compare(name.size() - 6, 6, ".nodes") == 0) {
+        per_thread_total += value;
+      }
+    }
+    EXPECT_EQ(per_thread_total, snap.Counter("milp.nodes"))
         << "decompose=" << decompose
         << " retries=" << outcome->stats.bigm_retries;
-    if (decompose) EXPECT_EQ(outcome->stats.num_components, 2);
+    if (decompose) {
+      EXPECT_EQ(outcome->stats.num_components, 2);
+    }
   }
 }
 

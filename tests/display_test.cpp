@@ -93,5 +93,20 @@ TEST_F(DisplayTest, MultiUpdateOrderPreserved) {
   EXPECT_LT(first, second);  // repair order == display order
 }
 
+TEST(SessionProgressTest, RendersCountsAndTimings) {
+  SessionProgressView view;
+  view.iteration = 3;
+  view.suggested_updates = 2;
+  view.examined = 2;
+  view.accepted = 1;
+  view.rejected = 1;
+  view.attempt_seconds = 0.0124;
+  view.iteration_seconds = 0.0131;
+  const std::string line = RenderSessionProgress(view);
+  EXPECT_EQ(line,
+            "[validation] iter 3 | suggested 2 | examined 2 (accepted 1, "
+            "rejected 1) | attempt 12.4 ms | iter 13.1 ms\n");
+}
+
 }  // namespace
 }  // namespace dart::validation

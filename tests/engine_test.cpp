@@ -115,12 +115,16 @@ TEST_F(RunningExampleEngineTest, Example7RepairIsValidButNotMinimal) {
 TEST_F(RunningExampleEngineTest, ConsistentInputShortCircuits) {
   auto clean = CashBudgetFixture::PaperExample(false);
   ASSERT_TRUE(clean.ok());
-  RepairEngine engine;
+  obs::RunContext run;
+  RepairEngineOptions engine_options;
+  engine_options.run = &run;
+  RepairEngine engine(engine_options);
   auto outcome = engine.ComputeRepair(*clean, constraints_);
   ASSERT_TRUE(outcome.ok());
   EXPECT_TRUE(outcome->already_consistent);
   EXPECT_TRUE(outcome->repair.empty());
-  EXPECT_EQ(outcome->stats.nodes, 0);
+  // The fast path never reaches the solver: no milp.nodes published.
+  EXPECT_EQ(run.metrics().Snapshot().Counter("milp.nodes"), 0);
 }
 
 TEST_F(RunningExampleEngineTest, OperatorPinForcesAlternativeRepair) {

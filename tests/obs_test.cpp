@@ -1,14 +1,16 @@
-// Tests for the dart::obs observability layer (ISSUE 4): the sharded
-// metrics registry under write contention, snapshot deltas, the span tree
-// produced by a decomposed batch solve across scheduler threads, the no-op
-// null-context path, the JSON run report (round-tripped through a minimal
-// in-test parser), and the engine's registry-sourced RepairStats parity.
+// Tests for the dart::obs observability layer: the sharded metrics registry
+// under write contention, snapshot deltas, the span tree produced by a
+// decomposed batch solve across scheduler threads, the no-op null-context
+// path, the JSON run report (round-tripped through a minimal in-test
+// parser), the engine's registry-published search counters, the bounded
+// trace ring under overflow, and the streaming PeriodicExporter lifecycle.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -24,6 +26,7 @@
 #include "milp/decompose.h"
 #include "milp/model.h"
 #include "obs/context.h"
+#include "obs/exporter.h"
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -249,11 +252,18 @@ TEST(TraceTest, DecomposedBatchSolveFormsWellNestedSpanTree) {
   EXPECT_FALSE(worker_ids.empty());
 
   // Single-publish invariant: each component's result is published exactly
-  // once, so the registry totals equal the merged MilpResult counters.
+  // once, and the live per-instance counters the workers emit add up to the
+  // batch totals.
   const MetricsSnapshot snap = run.metrics().Snapshot();
   EXPECT_EQ(snap.Counter("milp.solves"), 2);
-  EXPECT_EQ(snap.Counter("milp.nodes"), result.nodes);
-  EXPECT_EQ(snap.Counter("milp.lp_iterations"), result.lp_iterations);
+  EXPECT_GT(snap.Counter("milp.nodes"), 0);
+  EXPECT_GT(snap.Counter("milp.lp_iterations"), 0);
+  EXPECT_EQ(snap.Counter("milp.instance.0.nodes") +
+                snap.Counter("milp.instance.1.nodes"),
+            snap.Counter("milp.nodes"));
+  EXPECT_EQ(snap.Counter("milp.instance.0.lp_iterations") +
+                snap.Counter("milp.instance.1.lp_iterations"),
+            snap.Counter("milp.lp_iterations"));
   EXPECT_EQ(snap.GaugeOr("milp.components", -1), 2.0);
   EXPECT_EQ(snap.GaugeOr("milp.largest_component_vars", -1), 2.0);
 }
@@ -510,47 +520,46 @@ TEST(ReportTest, JsonRoundTripMatchesSnapshotAndTrace) {
   std::remove(path.c_str());
 }
 
-// --- Engine RepairStats parity ---------------------------------------------
+// --- Engine search counters via the registry --------------------------------
 
-TEST(EngineStatsTest, RegistryBackedStatsMatchUninstrumentedRun) {
+TEST(EngineStatsTest, RegistryDeltaIsDeterministicAcrossIdenticalRuns) {
   const bench::Scenario scenario =
       bench::MakeBudgetScenario(/*seed=*/5, /*years=*/2, /*num_errors=*/2);
 
-  repair::RepairEngineOptions plain_options;
-  plain_options.milp.search.num_threads = 1;  // deterministic search tree
-  repair::RepairEngine plain(plain_options);
-  auto baseline =
-      plain.ComputeRepair(scenario.acquired, scenario.constraints);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  // Two independent contexts around two identical single-threaded solves:
+  // the published search counters must agree exactly — this is the contract
+  // benches rely on when they read counters from one instrumented replay
+  // instead of the timed loop.
+  RunContext first_run;
+  repair::RepairEngineOptions first_options;
+  first_options.milp.search.num_threads = 1;  // deterministic search tree
+  first_options.run = &first_run;
+  repair::RepairEngine first_engine(first_options);
+  auto first =
+      first_engine.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
 
-  RunContext run;
-  repair::RepairEngineOptions obs_options;
-  obs_options.milp.search.num_threads = 1;
-  obs_options.run = &run;
-  repair::RepairEngine observed(obs_options);
-  auto outcome =
-      observed.ComputeRepair(scenario.acquired, scenario.constraints);
-  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  RunContext second_run;
+  repair::RepairEngineOptions second_options;
+  second_options.milp.search.num_threads = 1;
+  second_options.run = &second_run;
+  repair::RepairEngine second_engine(second_options);
+  auto second =
+      second_engine.ComputeRepair(scenario.acquired, scenario.constraints);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
 
-  // Identical solves — the registry-sourced stats must equal the ones the
-  // uninstrumented engine derives through its ephemeral local context.
-  const repair::RepairStats& a = baseline->stats;
-  const repair::RepairStats& b = outcome->stats;
-  EXPECT_EQ(a.nodes, b.nodes);
-  EXPECT_EQ(a.lp_iterations, b.lp_iterations);
-  EXPECT_EQ(a.lp_warm_solves, b.lp_warm_solves);
-  EXPECT_EQ(a.milp_steals, b.milp_steals);
-  EXPECT_EQ(a.per_thread_nodes, b.per_thread_nodes);
-  EXPECT_EQ(a.num_components, b.num_components);
-  EXPECT_GT(b.nodes, 0);
-
-  // And the caller's registry holds exactly what the accessors report.
-  const MetricsSnapshot snap = run.metrics().Snapshot();
-  EXPECT_EQ(snap.Counter("milp.nodes"), b.nodes);
-  EXPECT_EQ(snap.Counter("milp.lp_iterations"), b.lp_iterations);
-  EXPECT_EQ(snap.Counter("milp.lp_warm_solves"), b.lp_warm_solves);
-  EXPECT_EQ(snap.Counter("milp.scheduler.steals"), b.milp_steals);
-  EXPECT_EQ(snap.Counter("repair.attempts"), 1);
+  const MetricsSnapshot a = first_run.metrics().Snapshot();
+  const MetricsSnapshot b = second_run.metrics().Snapshot();
+  EXPECT_GT(a.Counter("milp.nodes"), 0);
+  EXPECT_EQ(a.Counter("milp.nodes"), b.Counter("milp.nodes"));
+  EXPECT_EQ(a.Counter("milp.lp_iterations"), b.Counter("milp.lp_iterations"));
+  EXPECT_EQ(a.Counter("milp.lp_warm_solves"),
+            b.Counter("milp.lp_warm_solves"));
+  // Single-threaded search: no steals, and all nodes attributed to thread 0.
+  EXPECT_EQ(a.Counter("milp.scheduler.steals"), 0);
+  EXPECT_EQ(a.Counter("milp.scheduler.thread.0.nodes"),
+            a.Counter("milp.nodes"));
+  EXPECT_EQ(a.Counter("repair.attempts"), 1);
 }
 
 TEST(EngineStatsTest, SharedContextAttributesEachSolveByDelta) {
@@ -562,21 +571,246 @@ TEST(EngineStatsTest, SharedContextAttributesEachSolveByDelta) {
   options.run = &run;
   repair::RepairEngine engine(options);
 
+  const MetricsSnapshot base = run.metrics().Snapshot();
   auto first = engine.ComputeRepair(scenario.acquired, scenario.constraints);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const MetricsSnapshot mid = run.metrics().Snapshot();
   auto second = engine.ComputeRepair(scenario.acquired, scenario.constraints);
   ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const MetricsSnapshot end = run.metrics().Snapshot();
 
-  // Each outcome reports only its own solve (snapshot delta), even though
-  // both share one registry...
-  EXPECT_EQ(first->stats.nodes, second->stats.nodes);
-  EXPECT_EQ(first->stats.lp_iterations, second->stats.lp_iterations);
-  EXPECT_GT(first->stats.nodes, 0);
+  // Snapshot deltas isolate each solve even though both share one registry:
+  // identical inputs produce identical per-solve deltas...
+  const int64_t first_nodes = mid.DeltaSince(base).Counter("milp.nodes");
+  const int64_t second_nodes = end.DeltaSince(mid).Counter("milp.nodes");
+  EXPECT_GT(first_nodes, 0);
+  EXPECT_EQ(first_nodes, second_nodes);
+  EXPECT_EQ(mid.DeltaSince(base).Counter("milp.lp_iterations"),
+            end.DeltaSince(mid).Counter("milp.lp_iterations"));
   // ...while the registry accumulates across the run.
-  const MetricsSnapshot snap = run.metrics().Snapshot();
-  EXPECT_EQ(snap.Counter("milp.nodes"),
-            first->stats.nodes + second->stats.nodes);
-  EXPECT_EQ(snap.Counter("repair.attempts"), 2);
+  EXPECT_EQ(end.Counter("milp.nodes"), first_nodes + second_nodes);
+  EXPECT_EQ(end.Counter("repair.attempts"), 2);
+}
+
+// --- Bounded trace ring under overflow --------------------------------------
+
+TEST(TraceRingTest, OverflowDropsExactlyAndKeepsValidTree) {
+  TraceOptions tiny;
+  tiny.capacity = 4;
+  tiny.head_samples_per_name = 1;
+  RunContext run(tiny);
+  constexpr int kIterations = 100;
+  for (int i = 0; i < kIterations; ++i) {
+    Span iter(&run, "loop.iter");
+    Span child(&run, "loop.child");
+  }
+
+  // 200 spans total; one of each name is pinned by head sampling, the ring
+  // keeps 4 closed spans, everything else is evicted — exactly.
+  const int64_t expected_drops = 2 * kIterations - 2 - 4;
+  EXPECT_EQ(run.trace().spans_dropped(), expected_drops);
+  EXPECT_EQ(run.metrics().Snapshot().Counter("obs.spans_dropped"),
+            expected_drops);
+
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  ASSERT_EQ(spans.size(), 6u);
+  // The pinned head samples are the very first iteration's pair.
+  EXPECT_EQ(spans[0].id, 1);
+  EXPECT_EQ(spans[0].name, "loop.iter");
+  EXPECT_EQ(spans[1].id, 2);
+  EXPECT_EQ(spans[1].name, "loop.child");
+  // Survivors form a valid tree: sorted by id, parent < id, and every
+  // non-zero parent resolves to a surviving record (evictions re-root).
+  std::set<int64_t> ids;
+  int64_t previous_id = 0;
+  for (const SpanRecord& span : spans) {
+    EXPECT_GT(span.id, previous_id);
+    previous_id = span.id;
+    ids.insert(span.id);
+  }
+  for (const SpanRecord& span : spans) {
+    EXPECT_LT(span.parent, span.id);
+    if (span.parent != 0) {
+      EXPECT_EQ(ids.count(span.parent), 1u) << span.id;
+    }
+    EXPECT_GE(span.duration_ns, 0);
+  }
+}
+
+TEST(TraceRingTest, OpenSpansSurviveZeroCapacity) {
+  TraceOptions none;
+  none.capacity = 0;
+  none.head_samples_per_name = 0;
+  RunContext run(none);
+  Span open(&run, "still.open");
+  {
+    Span closed(&run, "already.closed");
+  }
+  // The closed span had nowhere to go; the open one is never evicted.
+  EXPECT_EQ(run.trace().spans_dropped(), 1);
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "still.open");
+  EXPECT_EQ(spans[0].duration_ns, -1);
+  EXPECT_LE(spans[0].start_ns, run.trace().NowNs());
+}
+
+// --- Streaming exporter -----------------------------------------------------
+
+std::vector<JsonValue> ReadMetricsDeltaStream(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<JsonValue> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(JsonParser(line).Parse());
+  }
+  return records;
+}
+
+/// Shared checks for any metrics-delta stream: schema on every record,
+/// contiguous seq from 0, non-negative counter deltas, `"final": true` on
+/// exactly the last record, and counters telescoping to `final_snapshot`.
+void ExpectValidStream(const std::vector<JsonValue>& records,
+                       const MetricsSnapshot& final_snapshot) {
+  ASSERT_FALSE(records.empty());
+  std::map<std::string, int64_t> summed;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonValue& record = records[i];
+    ASSERT_EQ(record.type, JsonValue::Type::kObject);
+    EXPECT_EQ(record.at("schema").str, std::string(kMetricsDeltaSchema));
+    EXPECT_EQ(record.at("schema_version").number, kMetricsDeltaSchemaVersion);
+    EXPECT_EQ(record.at("seq").number, static_cast<double>(i));
+    EXPECT_GE(record.at("uptime_ms").number, 0.0);
+    EXPECT_EQ(record.at("final").boolean, i + 1 == records.size());
+    for (const auto& [name, value] : record.at("counters").object) {
+      EXPECT_GE(value.number, 0.0) << name;
+      summed[name] += static_cast<int64_t>(value.number);
+    }
+  }
+  EXPECT_EQ(summed.size(), final_snapshot.counters.size());
+  for (const auto& [name, value] : final_snapshot.counters) {
+    EXPECT_EQ(summed[name], value) << name;
+  }
+}
+
+TEST(ExporterTest, DeltasTelescopeToFinalSnapshot) {
+  const std::string jsonl_path = "obs_test_stream.jsonl";
+  const std::string prom_path = "obs_test_stream.prom";
+  RunContext run;
+  run.metrics().AddCounter("pre.start.activity", 3);  // before Start()
+
+  ExporterOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  options.jsonl_path = jsonl_path;
+  options.prometheus_path = prom_path;
+  PeriodicExporter exporter(&run, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_FALSE(exporter.Start().ok());  // double Start refused
+
+  for (int i = 0; i < 5; ++i) {
+    run.metrics().AddCounter("tick.activity", 7);
+    run.metrics().SetGauge("tick.gauge", static_cast<double>(i));
+    run.metrics().Observe("tick.seconds", 0.001);
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  }
+  ASSERT_TRUE(exporter.Stop().ok());
+  ASSERT_TRUE(exporter.Stop().ok());  // idempotent
+
+  const std::vector<JsonValue> records = ReadMetricsDeltaStream(jsonl_path);
+  EXPECT_EQ(static_cast<int64_t>(records.size()),
+            exporter.records_written());
+  ExpectValidStream(records, run.metrics().Snapshot());
+  // The final record also telescopes the histogram count.
+  int64_t observations = 0;
+  for (const JsonValue& record : records) {
+    const auto& histograms = record.at("histograms").object;
+    auto it = histograms.find("tick.seconds");
+    if (it != histograms.end()) {
+      observations += static_cast<int64_t>(it->second.at("count").number);
+    }
+  }
+  EXPECT_EQ(observations, 5);
+
+  // Prometheus mirror holds the full final snapshot with sanitized names.
+  std::ifstream prom(prom_path);
+  ASSERT_TRUE(prom.is_open());
+  std::ostringstream prom_text;
+  prom_text << prom.rdbuf();
+  EXPECT_NE(prom_text.str().find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom_text.str().find("tick_activity 35"), std::string::npos);
+  std::remove(jsonl_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(ExporterTest, StopWithoutTicksStillFlushesOneFinalRecord) {
+  const std::string jsonl_path = "obs_test_stream_final.jsonl";
+  RunContext run;
+  run.metrics().AddCounter("only.activity", 11);
+  ExporterOptions options;
+  options.interval = std::chrono::hours(1);  // no periodic tick fires
+  options.jsonl_path = jsonl_path;
+  {
+    PeriodicExporter exporter(&run, options);
+    ASSERT_TRUE(exporter.Start().ok());
+    // Destructor-driven Stop() must flush the final record.
+  }
+  const std::vector<JsonValue> records = ReadMetricsDeltaStream(jsonl_path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].at("final").boolean);
+  EXPECT_EQ(records[0].at("counters").at("only.activity").number, 11.0);
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(ExporterTest, NullRunIsInert) {
+  ExporterOptions options;
+  options.jsonl_path = "obs_test_never_written.jsonl";
+  PeriodicExporter exporter(nullptr, options);
+  EXPECT_TRUE(exporter.Start().ok());
+  EXPECT_TRUE(exporter.Stop().ok());
+  EXPECT_EQ(exporter.records_written(), 0);
+  std::ifstream in(options.jsonl_path);
+  EXPECT_FALSE(in.is_open());
+}
+
+TEST(ExporterTest, ConcurrentTrafficStreamsConsistently) {
+  // Eight writer threads race the exporter's 1 ms ticks; run under the
+  // tsan_smoke target this doubles as the data-race check for the streaming
+  // path. Whatever interleaving happens, the stream must stay well-formed
+  // and telescope to the final registry state.
+  const std::string jsonl_path = "obs_test_stream_race.jsonl";
+  RunContext run;
+  ExporterOptions options;
+  options.interval = std::chrono::milliseconds(1);
+  options.jsonl_path = jsonl_path;
+  PeriodicExporter exporter(&run, options);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&run, t] {
+      const std::string mine = "race.thread." + std::to_string(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        run.metrics().AddCounter("race.shared");
+        run.metrics().AddCounter(mine);
+        if (i % 64 == 0) {
+          Span span(&run, "race.span");
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  ASSERT_TRUE(exporter.Stop().ok());
+
+  const MetricsSnapshot final_snapshot = run.metrics().Snapshot();
+  EXPECT_EQ(final_snapshot.Counter("race.shared"),
+            static_cast<int64_t>(kThreads) * kOpsPerThread);
+  ExpectValidStream(ReadMetricsDeltaStream(jsonl_path), final_snapshot);
+  std::remove(jsonl_path.c_str());
 }
 
 }  // namespace

@@ -149,26 +149,32 @@ TEST_F(PaperInstanceTest, SerialSolveBeatsSeedIterationCount) {
   // on the optimal objective (1 — exactly one cell repaired), and the
   // bounded-variable core with dual warm starts must use strictly fewer LP
   // iterations than the seed's explicit-upper-bound-row tableau did.
+  obs::RunContext run;
   MilpOptions options;
+  options.run = &run;
   options.objective_is_integral = true;
   options.search.num_threads = 1;
   MilpResult solved = SolveMilp(model_, options);
   ASSERT_EQ(solved.status, MilpResult::SolveStatus::kOptimal);
   EXPECT_NEAR(solved.objective, 1.0, kTol);
-  EXPECT_GE(solved.nodes, 1);
-  EXPECT_GT(solved.lp_iterations, 0);
-  EXPECT_LT(solved.lp_iterations, 282);
+  const obs::MetricsSnapshot snap = run.metrics().Snapshot();
+  const int64_t nodes = snap.Counter("milp.nodes");
+  EXPECT_GE(nodes, 1);
+  EXPECT_GT(snap.Counter("milp.lp_iterations"), 0);
+  EXPECT_LT(snap.Counter("milp.lp_iterations"), 282);
   // Every non-root node LP must complete on the warm path here.
-  EXPECT_EQ(solved.lp_warm_solves, solved.nodes - 1);
-  ASSERT_EQ(solved.per_thread_nodes.size(), 1u);
-  EXPECT_EQ(solved.per_thread_nodes[0], solved.nodes);
-  EXPECT_EQ(solved.steals, 0);
+  EXPECT_EQ(snap.Counter("milp.lp_warm_solves"), nodes - 1);
+  EXPECT_EQ(snap.Counter("milp.scheduler.thread.0.nodes"), nodes);
+  EXPECT_EQ(snap.Counter("milp.scheduler.steals"), 0);
 }
 
 TEST_F(PaperInstanceTest, WarmAndColdAgreeOnObjective) {
   // Ablation invariance: disabling warm starts must not change the optimum
   // (only the work done to reach it).
+  obs::RunContext warm_run, cold_run;
   MilpOptions warm, cold;
+  warm.run = &warm_run;
+  cold.run = &cold_run;
   warm.objective_is_integral = cold.objective_is_integral = true;
   cold.search.use_warm_start = false;
   MilpResult with_warm = SolveMilp(model_, warm);
@@ -176,23 +182,38 @@ TEST_F(PaperInstanceTest, WarmAndColdAgreeOnObjective) {
   ASSERT_EQ(with_warm.status, MilpResult::SolveStatus::kOptimal);
   ASSERT_EQ(with_cold.status, MilpResult::SolveStatus::kOptimal);
   EXPECT_NEAR(with_warm.objective, with_cold.objective, kTol);
-  EXPECT_EQ(with_cold.lp_warm_solves, 0);
-  EXPECT_LE(with_warm.lp_iterations, with_cold.lp_iterations);
+  const obs::MetricsSnapshot warm_snap = warm_run.metrics().Snapshot();
+  const obs::MetricsSnapshot cold_snap = cold_run.metrics().Snapshot();
+  EXPECT_EQ(cold_snap.Counter("milp.lp_warm_solves"), 0);
+  EXPECT_LE(warm_snap.Counter("milp.lp_iterations"),
+            cold_snap.Counter("milp.lp_iterations"));
 }
 
 TEST_F(PaperInstanceTest, ThreadCountsAgreeOnObjective) {
   for (int threads : {1, 2, 8}) {
+    obs::RunContext run;
     MilpOptions options;
+    options.run = &run;
     options.objective_is_integral = true;
     options.search.num_threads = threads;
     MilpResult solved = SolveMilp(model_, options);
     ASSERT_EQ(solved.status, MilpResult::SolveStatus::kOptimal)
         << "threads=" << threads;
     EXPECT_NEAR(solved.objective, 1.0, kTol) << "threads=" << threads;
-    EXPECT_EQ(solved.per_thread_nodes.size(), static_cast<size_t>(threads));
+    // One attribution counter per worker (zeros included), summing to the
+    // node total.
+    const obs::MetricsSnapshot snap = run.metrics().Snapshot();
     int64_t total = 0;
-    for (int64_t n : solved.per_thread_nodes) total += n;
-    EXPECT_EQ(total, solved.nodes);
+    int observed_threads = 0;
+    for (int t = 0;; ++t) {
+      const auto it = snap.counters.find("milp.scheduler.thread." +
+                                         std::to_string(t) + ".nodes");
+      if (it == snap.counters.end()) break;
+      ++observed_threads;
+      total += it->second;
+    }
+    EXPECT_EQ(observed_threads, threads) << "threads=" << threads;
+    EXPECT_EQ(total, snap.Counter("milp.nodes")) << "threads=" << threads;
   }
 }
 

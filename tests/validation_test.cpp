@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "constraints/eval.h"
 #include "constraints/parser.h"
 #include "ocr/cash_budget.h"
@@ -96,6 +99,32 @@ TEST(ValidationSessionTest, CompensatingErrorsNeedRejectionRound) {
   EXPECT_EQ(*result->repaired.CountDifferences(*truth), 0u);
   EXPECT_EQ(result->examined_updates,
             result->accepted_updates + result->rejected_updates);
+}
+
+TEST(ValidationSessionTest, ProgressStreamGetsOneLinePerIteration) {
+  auto truth = CashBudgetFixture::PaperExample(false);
+  auto acquired = CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(truth.ok() && acquired.ok());
+  cons::ConstraintSet constraints = ParseProgram(*acquired);
+  SimulatedOperator op(&*truth);
+  std::ostringstream progress;
+  SessionOptions options;
+  options.progress = &progress;
+  auto result = RunValidationSession(*acquired, constraints, op, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->converged);
+
+  const std::string text = progress.str();
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, result->iterations);
+  // The running example converges in one iteration with one accepted
+  // suggestion; the rendered counts mirror the session result.
+  EXPECT_NE(text.find("[validation] iter 1 | suggested 1 | examined 1 "
+                      "(accepted 1, rejected 0)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("| attempt "), std::string::npos);
 }
 
 class BatchSweepTest : public ::testing::TestWithParam<size_t> {};

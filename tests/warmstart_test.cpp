@@ -87,16 +87,24 @@ TEST(WarmStartTest, EngineHintAcceleratesRepeatSolve) {
                   db->Schema(), ocr::CashBudgetFixture::ConstraintProgram(),
                   &constraints)
                   .ok());
-  repair::RepairEngine engine;
-  auto cold = engine.ComputeRepair(*db, constraints);
+  obs::RunContext cold_run;
+  repair::RepairEngineOptions cold_options;
+  cold_options.run = &cold_run;
+  repair::RepairEngine cold_engine(cold_options);
+  auto cold = cold_engine.ComputeRepair(*db, constraints);
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
   // Re-solve with the previous repair as hint: identical result, and the
   // warm incumbent lets bound-pruning close the root immediately (node
-  // count no larger than the cold run).
-  auto warm = engine.ComputeRepair(*db, constraints, {}, &cold->repair);
+  // count no larger than the cold run, per the runs' registries).
+  obs::RunContext warm_run;
+  repair::RepairEngineOptions warm_options;
+  warm_options.run = &warm_run;
+  repair::RepairEngine warm_engine(warm_options);
+  auto warm = warm_engine.ComputeRepair(*db, constraints, {}, &cold->repair);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
   EXPECT_EQ(warm->repair.cardinality(), cold->repair.cardinality());
-  EXPECT_LE(warm->stats.nodes, cold->stats.nodes);
+  EXPECT_LE(warm_run.metrics().Snapshot().Counter("milp.nodes"),
+            cold_run.metrics().Snapshot().Counter("milp.nodes"));
 }
 
 TEST(WarmStartTest, HintContradictedByPinIsDropped) {
