@@ -19,6 +19,7 @@ void BM_RepairVsYears(benchmark::State& state) {
   dart::repair::RepairEngine engine;
   size_t cells = 0, rows = 0, cardinality = 0;
   double milp_wall = 0;
+  dart::repair::RepairStats stats;
   for (auto _ : state) {
     auto outcome =
         engine.ComputeRepair(scenario.acquired, scenario.constraints);
@@ -28,6 +29,7 @@ void BM_RepairVsYears(benchmark::State& state) {
     rows = outcome->stats.num_ground_rows;
     cardinality = outcome->repair.cardinality();
     milp_wall = outcome->stats.milp_wall_seconds;
+    stats = outcome->stats;
   }
   // Search counters come from one instrumented solve after the timed loop
   // (deterministic at the engine's default single-thread setting), keeping
@@ -40,6 +42,10 @@ void BM_RepairVsYears(benchmark::State& state) {
   state.counters["lp_iters"] = static_cast<double>(counters.lp_iterations);
   state.counters["repair_card"] = static_cast<double>(cardinality);
   state.counters["milp_wall_s"] = milp_wall;
+  state.counters["matrix_rows"] = static_cast<double>(stats.matrix_rows);
+  state.counters["matrix_cols"] = static_cast<double>(stats.matrix_cols);
+  state.counters["matrix_nnz"] = static_cast<double>(stats.matrix_nnz);
+  state.counters["matrix_density"] = stats.matrix_density;
 }
 
 BENCHMARK(BM_RepairVsYears)

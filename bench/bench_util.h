@@ -141,6 +141,11 @@ struct SolveCounters {
   int64_t lp_iterations = 0;
   int64_t lp_warm_solves = 0;
   int64_t steals = 0;
+  // Sparse-LP-kernel internals (all zero under the dense oracle kernel).
+  int64_t lp_refactorizations = 0;
+  int64_t lp_eta_updates = 0;
+  int64_t lp_ftran = 0;
+  int64_t lp_btran = 0;
 };
 
 /// Reads the milp.* counter delta of `run` since `base`.
@@ -152,6 +157,10 @@ inline SolveCounters CountersSince(const obs::RunContext& run,
   counters.lp_iterations = delta.Counter("milp.lp_iterations");
   counters.lp_warm_solves = delta.Counter("milp.lp_warm_solves");
   counters.steals = delta.Counter("milp.scheduler.steals");
+  counters.lp_refactorizations = delta.Counter("milp.lp.refactorizations");
+  counters.lp_eta_updates = delta.Counter("milp.lp.eta_updates");
+  counters.lp_ftran = delta.Counter("milp.lp.ftran");
+  counters.lp_btran = delta.Counter("milp.lp.btran");
   return counters;
 }
 

@@ -305,6 +305,29 @@ def cmd_report(args):
         print("\n== counters ==")
         for name, value in sorted(doc["counters"].items()):
             print(f"{name:<40} {value:>12}")
+
+    # LP-kernel digest: derived ratios for the sparse revised simplex
+    # (milp.lp.* counters are all zero when the dense oracle kernel ran).
+    counters = doc["counters"]
+    refactors = counters.get("milp.lp.refactorizations", 0)
+    etas = counters.get("milp.lp.eta_updates", 0)
+    if refactors or etas:
+        ftran = counters.get("milp.lp.ftran", 0)
+        btran = counters.get("milp.lp.btran", 0)
+        iters = counters.get("milp.lp_iterations", 0)
+        fill = doc["gauges"].get("milp.lp.basis_fill_nnz", 0)
+        print("\n== lp kernel (sparse revised simplex) ==")
+        print(f"{'refactorizations':<40} {refactors:>12}")
+        print(f"{'eta updates':<40} {etas:>12}")
+        if refactors:
+            print(f"{'eta updates / refactorization':<40} "
+                  f"{etas / refactors:>12.1f}")
+        print(f"{'ftran solves':<40} {ftran:>12}")
+        print(f"{'btran solves':<40} {btran:>12}")
+        if iters:
+            print(f"{'(ftran+btran) / lp iteration':<40} "
+                  f"{(ftran + btran) / iters:>12.2f}")
+        print(f"{'peak basis fill-in (nnz)':<40} {fill:>12g}")
     if doc["gauges"]:
         print("\n== gauges ==")
         for name, value in sorted(doc["gauges"].items()):

@@ -39,6 +39,14 @@ void PublishMilpCounters(obs::RunContext* run,
   obs::Count(run, "milp.lp_iterations", counters.lp_iterations);
   obs::Count(run, "milp.lp_warm_solves", counters.lp_warm_solves);
   obs::Count(run, "milp.scheduler.steals", counters.steals);
+  obs::Count(run, "milp.lp.refactorizations", counters.lp_refactorizations);
+  obs::Count(run, "milp.lp.eta_updates", counters.lp_eta_updates);
+  obs::Count(run, "milp.lp.ftran", counters.lp_ftran);
+  obs::Count(run, "milp.lp.btran", counters.lp_btran);
+  if (counters.lp_basis_fill_nnz > 0) {
+    obs::SetGauge(run, "milp.lp.basis_fill_nnz",
+                  static_cast<double>(counters.lp_basis_fill_nnz));
+  }
   for (size_t t = 0; t < counters.per_thread_nodes.size(); ++t) {
     obs::Count(run,
                "milp.scheduler.thread." + std::to_string(t) + ".nodes",
@@ -190,6 +198,12 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
     }
     counters.lp_iterations += lp.iterations;
     if (lp.warm_started) ++counters.lp_warm_solves;
+    counters.lp_refactorizations += lp.refactorizations;
+    counters.lp_eta_updates += lp.eta_updates;
+    counters.lp_ftran += lp.ftran;
+    counters.lp_btran += lp.btran;
+    counters.lp_basis_fill_nnz =
+        std::max<int64_t>(counters.lp_basis_fill_nnz, lp.basis_fill_nnz);
     if (lp.status == LpResult::SolveStatus::kInfeasible) continue;
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
       result.status = MilpResult::SolveStatus::kUnbounded;

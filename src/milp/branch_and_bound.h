@@ -167,16 +167,25 @@ struct SearchCounters {
   int64_t lp_iterations = 0;
   int64_t lp_warm_solves = 0;
   int64_t steals = 0;
+  // Sparse-LP-kernel internals, summed over the search's LP solves (all
+  // zero when the dense oracle kernel ran); published as milp.lp.*.
+  int64_t lp_refactorizations = 0;
+  int64_t lp_eta_updates = 0;
+  int64_t lp_ftran = 0;
+  int64_t lp_btran = 0;
+  /// Peak eta-file fill-in (nonzeros) over the search's LP solves.
+  int64_t lp_basis_fill_nnz = 0;
   /// Nodes explored by each worker ({nodes} for the serial path).
   std::vector<int64_t> per_thread_nodes;
 };
 
 /// Publishes one solve's counters into the run's registry (no-op when run is
 /// null): milp.solves / milp.nodes / milp.lp_iterations /
-/// milp.lp_warm_solves / milp.scheduler.steals plus
-/// milp.scheduler.thread.<i>.nodes per worker. Called exactly once per
-/// MilpResult produced by a search (the serial solver, or the batch
-/// scheduler's per-instance gather).
+/// milp.lp_warm_solves / milp.scheduler.steals, the LP-kernel internals
+/// milp.lp.refactorizations / .eta_updates / .ftran / .btran plus the
+/// milp.lp.basis_fill_nnz gauge, and milp.scheduler.thread.<i>.nodes per
+/// worker. Called exactly once per MilpResult produced by a search (the
+/// serial solver, or the batch scheduler's per-instance gather).
 void PublishMilpCounters(obs::RunContext* run,
                          const SearchCounters& counters);
 

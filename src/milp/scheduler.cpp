@@ -20,6 +20,15 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Lock-free max-accumulate (fetch_max is C++26; CAS loop until then).
+void AtomicMax(std::atomic<int64_t>* target, int64_t value) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 struct Node {
   /// Index into the batch's InstanceState array. All bookkeeping of this
   /// node (LP form, incumbent, counters) goes through that instance.
@@ -91,6 +100,13 @@ struct InstanceState {
   std::atomic<int64_t> lp_iterations{0};
   std::atomic<int64_t> lp_warm_solves{0};
   std::atomic<int64_t> steals{0};
+  // Sparse-LP-kernel internals (all zero under the dense oracle kernel).
+  std::atomic<int64_t> lp_refactorizations{0};
+  std::atomic<int64_t> lp_eta_updates{0};
+  std::atomic<int64_t> lp_ftran{0};
+  std::atomic<int64_t> lp_btran{0};
+  /// Peak eta-file fill-in across the instance's LP solves (max, not sum).
+  std::atomic<int64_t> lp_basis_fill_nnz{0};
   std::atomic<bool> unbounded{false};
   std::atomic<bool> any_feasible_lp{false};
   /// An LP hit its iteration cap — same conservative "early stop" treatment
@@ -255,6 +271,21 @@ void WorkerMain(WorkerContext* ctx) {
     if (lp.warm_started) {
       inst->lp_warm_solves.fetch_add(1, std::memory_order_relaxed);
     }
+    if (lp.refactorizations > 0) {
+      inst->lp_refactorizations.fetch_add(lp.refactorizations,
+                                          std::memory_order_relaxed);
+    }
+    if (lp.eta_updates > 0) {
+      inst->lp_eta_updates.fetch_add(lp.eta_updates,
+                                     std::memory_order_relaxed);
+    }
+    if (lp.ftran > 0) {
+      inst->lp_ftran.fetch_add(lp.ftran, std::memory_order_relaxed);
+    }
+    if (lp.btran > 0) {
+      inst->lp_btran.fetch_add(lp.btran, std::memory_order_relaxed);
+    }
+    AtomicMax(&inst->lp_basis_fill_nnz, lp.basis_fill_nnz);
 
     if (lp.status == LpResult::SolveStatus::kInfeasible) {
       retire();
@@ -442,6 +473,11 @@ std::vector<MilpResult> SolveBatchParallel(
     counters.lp_iterations = inst.lp_iterations.load();
     counters.lp_warm_solves = inst.lp_warm_solves.load();
     counters.steals = inst.steals.load();
+    counters.lp_refactorizations = inst.lp_refactorizations.load();
+    counters.lp_eta_updates = inst.lp_eta_updates.load();
+    counters.lp_ftran = inst.lp_ftran.load();
+    counters.lp_btran = inst.lp_btran.load();
+    counters.lp_basis_fill_nnz = inst.lp_basis_fill_nnz.load();
     internal::PublishMilpCounters(options.run, counters);
     result.wall_seconds = wall_seconds;
 

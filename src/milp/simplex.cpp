@@ -4,8 +4,19 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <numeric>
+
+#include "milp/simplex_internal.h"
 
 namespace dart::milp {
+
+const char* LpKernelName(LpKernel kernel) {
+  switch (kernel) {
+    case LpKernel::kSparse: return "sparse";
+    case LpKernel::kDense: return "dense";
+  }
+  return "unknown";
+}
 
 const char* LpStatusName(LpResult::SolveStatus status) {
   switch (status) {
@@ -47,6 +58,25 @@ StandardForm::StandardForm(const Model& model)
   for (int i = 0; i < n; ++i) {
     var_lower[i] = model.variable(i).lower;
     var_upper[i] = model.variable(i).upper;
+  }
+
+  // CSC of the structural columns with ≥ rows sign-flipped to ≤ (both
+  // kernels' working convention). Rows are visited in order, so entries
+  // within each column come out in ascending row order.
+  nnz = static_cast<int>(term_var.size());
+  col_ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (int k = 0; k < nnz; ++k) ++col_ptr[term_var[k] + 1];
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+  col_row.resize(nnz);
+  col_coef.resize(nnz);
+  std::vector<int> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  for (int r = 0; r < m_model; ++r) {
+    const double flip = row_sense[r] == RowSense::kGe ? -1.0 : 1.0;
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const int at = cursor[term_var[k]]++;
+      col_row[at] = r;
+      col_coef[at] = flip * term_coef[k];
+    }
   }
 }
 
@@ -523,10 +553,12 @@ void ExtractPoint(const StandardForm& form, const std::vector<double>& lower,
 
 }  // namespace
 
-void SolveLpWarm(const StandardForm& form, const LpOptions& options,
-                 const std::vector<double>& lower,
-                 const std::vector<double>& upper, const LpBasis* warm,
-                 LpScratch* scratch, LpResult* result, LpBasis* final_basis) {
+void internal::SolveLpWarmDense(const StandardForm& form,
+                                const LpOptions& options,
+                                const std::vector<double>& lower,
+                                const std::vector<double>& upper,
+                                const LpBasis* warm, LpScratch* scratch,
+                                LpResult* result, LpBasis* final_basis) {
   const double tol = options.tol;
   const int n = form.n;
   const int m = form.m_model;
@@ -536,6 +568,11 @@ void SolveLpWarm(const StandardForm& form, const LpOptions& options,
   result->iterations = 0;
   result->warm_started = false;
   result->point.clear();
+  result->refactorizations = 0;
+  result->eta_updates = 0;
+  result->ftran = 0;
+  result->btran = 0;
+  result->basis_fill_nnz = 0;
 
   for (int i = 0; i < n; ++i) {
     if (lower[i] > upper[i] + 1e-9) {
@@ -545,6 +582,10 @@ void SolveLpWarm(const StandardForm& form, const LpOptions& options,
   }
 
   EnsureSizes(scratch, m, cols);
+  // This kernel is about to overwrite the shared basis/status buffers; the
+  // eta-file factorization the sparse kernel may have left behind no longer
+  // describes them.
+  scratch->factor_valid = false;
   Work w = MakeWork(form, scratch);
   const int max_iterations = options.max_iterations > 0
                                  ? options.max_iterations
@@ -622,6 +663,19 @@ void SolveLpWarm(const StandardForm& form, const LpOptions& options,
     final_basis->basis.assign(scratch->basis.begin(), scratch->basis.end());
     final_basis->status.assign(scratch->status.begin(),
                                scratch->status.end());
+  }
+}
+
+void SolveLpWarm(const StandardForm& form, const LpOptions& options,
+                 const std::vector<double>& lower,
+                 const std::vector<double>& upper, const LpBasis* warm,
+                 LpScratch* scratch, LpResult* result, LpBasis* final_basis) {
+  if (options.kernel == LpKernel::kDense) {
+    internal::SolveLpWarmDense(form, options, lower, upper, warm, scratch,
+                               result, final_basis);
+  } else {
+    internal::SolveLpWarmSparse(form, options, lower, upper, warm, scratch,
+                                result, final_basis);
   }
 }
 

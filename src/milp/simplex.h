@@ -1,48 +1,75 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "milp/model.h"
+#include "milp/sparse_lu.h"
 
 /// \file simplex.h
-/// A dense bounded-variable simplex solver for the LP relaxations of DART's
-/// repair MILPs, with a dual simplex phase for warm-started re-solves inside
-/// branch-and-bound.
+/// Bounded-variable simplex solvers for the LP relaxations of DART's repair
+/// MILPs, with a dual simplex phase for warm-started re-solves inside
+/// branch-and-bound. Two interchangeable kernels sit behind one API,
+/// selected by LpOptions::kernel:
+///
+///   - kSparse (default): a sparse *revised* simplex. The standard-form
+///     constraint matrix is kept in compressed-sparse-column form (built once
+///     per StandardForm; slack columns are an implicit identity), the basis
+///     inverse is a product-form eta file (sparse_lu.h) refreshed by periodic
+///     refactorization on fill-in/stability triggers, and every iteration
+///     works through FTRAN/BTRAN solves against the factors: one BTRAN for
+///     the pivot row, one FTRAN for the entering column, and CSC dot products
+///     for the pricing row. Iteration cost scales with the matrix nonzeros,
+///     not rows×columns. Pricing is devex (dual devex on rows, primal devex
+///     on columns) with the permanent Bland's-rule anti-cycling switch.
+///   - kDense: the former dense-tableau kernel (T = B⁻¹A updated by
+///     Gauss-Jordan pivots, Dantzig pricing). Kept compiled in as the
+///     cross-check oracle for equivalence tests and as a fallback switch.
 ///
 /// Scope: every structural variable must carry finite bounds (guaranteed by
-/// Model). Bounds are handled *implicitly*: a nonbasic variable sits at its
-/// lower or its upper bound, the ratio tests include bound-flip steps, and no
-/// upper-bound rows are ever materialized. The working tableau therefore has
-/// only m rows (one per model row) and n + m columns (structural + one slack
-/// per row) — for DART's S*(AC) instances n ≫ m, so this is both a large
-/// constant-factor and an asymptotic improvement over the former standard-form
-/// core, which carried n explicit upper-bound rows.
+/// Model). Bounds are handled *implicitly* in both kernels: a nonbasic
+/// variable sits at its lower or its upper bound, the ratio tests include
+/// bound-flip steps, and no upper-bound rows are ever materialized. The
+/// working system has only m rows (one per model row) and n + m columns
+/// (structural + one slack per row).
 ///
-/// Every solve runs two phases over the same m-row tableau:
+/// Every solve runs two phases over the same basis representation:
 ///   - phase D (dual simplex): starting from a dual-feasible basis — the
 ///     all-slack basis with nonbasic variables placed on their cost-sign
 ///     bound for a cold solve, or a parent node's optimal basis for a warm
 ///     one — pivot until the basic values respect their bounds. Primal
 ///     infeasibility is detected here (a violated row with no eligible
-///     entering column is a Farkas certificate).
+///     entering column is a Farkas certificate; the sparse kernel only
+///     certifies it against a freshly recomputed factorization).
 ///   - phase P (primal bounded simplex): certify optimality; normally zero
 ///     iterations because phase D preserves dual feasibility, but it mops up
 ///     any tolerance-level dual infeasibility left by roundoff.
-/// Both phases use Dantzig-style selection with a permanent switch to
-/// Bland's rule when progress stalls, which guarantees termination on
-/// degenerate instances.
+/// Both phases switch permanently to Bland's rule when progress stalls,
+/// which guarantees termination on degenerate instances.
 ///
 /// Warm starts (the branch-and-bound hot path): a child node differs from its
 /// parent in exactly one variable bound, which leaves the parent's optimal
 /// basis dual-feasible for the child. SolveLpWarm re-solves from a compact
 /// LpBasis snapshot (basis column per row + a status byte per column) in a
 /// handful of dual pivots instead of a cold restart. When the caller's
-/// LpScratch still holds the parent's factorized tableau (the common case for
-/// a depth-first dive), even the refactorization is skipped. Any breakdown on
-/// the warm path — a singular snapshot, an iteration limit, or a bogus
-/// unbounded ray — falls back to a cold solve rather than mis-reporting.
+/// LpScratch still holds the parent's factorization — eta file (sparse) or
+/// factorized tableau (dense) — for the same basis, even the refactorization
+/// is skipped. Any breakdown on the warm path — a singular snapshot, an
+/// iteration limit, or a bogus unbounded ray — falls back to a cold solve
+/// rather than mis-reporting.
 
 namespace dart::milp {
+
+/// Which LP kernel executes the solve. Both honour the same contracts
+/// (results, LpBasis snapshots, warm-start semantics); the sparse kernel is
+/// asymptotically faster on DART's >95%-sparse repair matrices, the dense
+/// kernel is the equivalence oracle.
+enum class LpKernel {
+  kSparse,
+  kDense,
+};
+
+const char* LpKernelName(LpKernel kernel);
 
 /// Outcome of an LP solve.
 struct LpResult {
@@ -62,6 +89,14 @@ struct LpResult {
   /// True iff the solve completed on the warm-start path (parent basis plus
   /// dual pivots, no cold fallback). Always false for SolveLpCached.
   bool warm_started = false;
+
+  // Sparse-kernel instrumentation, all zero under the dense kernel. Feeds
+  // the milp.lp.* counters in dart::obs via branch-and-bound.
+  int refactorizations = 0;    ///< from-scratch basis factorizations.
+  int eta_updates = 0;         ///< Forrest–Tomlin-style pivot updates.
+  std::int64_t ftran = 0;      ///< forward solves against the eta file.
+  std::int64_t btran = 0;      ///< transpose solves against the eta file.
+  int basis_fill_nnz = 0;      ///< peak eta-file fill-in (nonzeros).
 };
 
 const char* LpStatusName(LpResult::SolveStatus status);
@@ -71,6 +106,8 @@ struct LpOptions {
   int max_iterations = 0;
   /// Pivot tolerance.
   double tol = 1e-9;
+  /// Kernel selection; the dense tableau stays available as an oracle.
+  LpKernel kernel = LpKernel::kSparse;
 };
 
 /// Bound-independent standard-form skeleton of a Model. Built once (at the
@@ -80,7 +117,7 @@ struct StandardForm {
   explicit StandardForm(const Model& model);
 
   int n = 0;        ///< number of model variables.
-  int m_model = 0;  ///< number of model rows (== tableau rows).
+  int m_model = 0;  ///< number of model rows (== working rows).
 
   // Model rows in CSR layout, preserving row and term order exactly.
   std::vector<int> row_ptr;  ///< size m_model + 1.
@@ -88,6 +125,16 @@ struct StandardForm {
   std::vector<double> term_coef;
   std::vector<RowSense> row_sense;
   std::vector<double> row_rhs;
+
+  // Structural columns of the working matrix in CSC layout with ≥ rows
+  // already sign-flipped to ≤ (the kernels' internal convention; slack
+  // columns are an implicit identity and are not stored). Entries within a
+  // column are in ascending row order. Built once; this is what makes the
+  // sparse kernel's per-iteration cost O(nnz).
+  std::vector<int> col_ptr;  ///< size n + 1.
+  std::vector<int> col_row;
+  std::vector<double> col_coef;
+  int nnz = 0;  ///< structural nonzeros (== col_ptr[n]).
 
   // Objective (term order preserved) and default bounds.
   std::vector<LinearTerm> objective_terms;
@@ -108,10 +155,12 @@ enum : signed char {
 };
 
 /// Compact basis snapshot for warm-started re-solves: O(m + n) ints/bytes,
-/// cheap enough to ride in a branch-and-bound node payload. The tableau
-/// itself is *not* stored — B⁻¹A depends only on the basis, so a child either
-/// reuses the scratch tableau it inherited (same thread, same basis) or
-/// refactorizes in m pivots.
+/// cheap enough to ride in a branch-and-bound node payload. The factorization
+/// itself is *not* stored — B⁻¹ depends only on the basis, so a child either
+/// reuses the scratch factors it inherited (same thread, same basis) or
+/// refactorizes. Row assignments within the same basic column set are
+/// interchangeable: either kernel may permute which row a basic column is
+/// pinned to for pivot stability.
 struct LpBasis {
   std::vector<int> basis;           ///< size m: basic column per row.
   std::vector<signed char> status;  ///< size n + m: kAtLower/kAtUpper/kBasic.
@@ -119,12 +168,14 @@ struct LpBasis {
 
 /// Reusable per-thread working memory for SolveLpCached / SolveLpWarm.
 /// Default-constructed empty; every buffer grows on first use and is then
-/// reused allocation-free. Between solves the scratch retains the final
-/// factorized tableau; SolveLpWarm reuses it without refactorizing when the
-/// requested warm basis matches (`tableau_valid` + basis equality).
+/// reused allocation-free. Between solves the scratch retains the final basis
+/// representation of whichever kernel ran — the eta file (sparse) or the
+/// factorized tableau (dense) — and SolveLpWarm reuses it without
+/// refactorizing when the requested warm basis matches. Each kernel
+/// invalidates the other kernel's cached representation, so one scratch can
+/// serve alternating kernels safely.
 struct LpScratch {
-  std::vector<double> tableau;      ///< m × (n + m) row-major: T = B⁻¹A.
-  std::vector<double> rhs0;         ///< B⁻¹b (bound-independent).
+  // Shared by both kernels.
   std::vector<double> xb;           ///< value of the basic variable per row.
   std::vector<int> basis;           ///< basic column per row.
   std::vector<signed char> status;  ///< per-column kAtLower/kAtUpper/kBasic.
@@ -132,10 +183,29 @@ struct LpScratch {
   std::vector<double> cost;         ///< minimize-space cost per column.
   std::vector<double> col_lower;    ///< per-column bounds (structural+slack).
   std::vector<double> col_upper;
+
+  // Dense kernel: the factorized tableau.
+  std::vector<double> tableau;  ///< m × (n + m) row-major: T = B⁻¹A.
+  std::vector<double> rhs0;     ///< B⁻¹b (bound-independent).
   /// True when tableau/rhs0/reduced are consistent with `basis` for
-  /// `cached_form`; set after a successful solve, cleared on failure.
+  /// `cached_form`; set after a successful dense solve, cleared on failure
+  /// and by any sparse solve.
   bool tableau_valid = false;
   const StandardForm* cached_form = nullptr;
+
+  // Sparse kernel: eta-file factor workspace (replaces the dense tableau).
+  EtaFile eta;                   ///< B⁻¹ as a product of eta matrices.
+  FactorWorkspace factor_ws;     ///< refactorization buffers.
+  std::vector<double> ftran_v;   ///< dense FTRAN vehicle, length m.
+  std::vector<double> btran_v;   ///< dense BTRAN vehicle, length m.
+  std::vector<double> alpha_row; ///< pivot row over all columns.
+  std::vector<double> devex_row; ///< dual devex reference weights per row.
+  std::vector<double> devex_col; ///< primal devex weights per column.
+  /// True when eta/basis/status/reduced are consistent for
+  /// `sparse_cached_form`; set after a successful sparse solve, cleared on
+  /// failure and by any dense solve.
+  bool factor_valid = false;
+  const StandardForm* sparse_cached_form = nullptr;
 };
 
 /// Solves the LP relaxation described by `form` under the given variable
@@ -147,8 +217,8 @@ void SolveLpCached(const StandardForm& form, const LpOptions& options,
                    LpResult* result);
 
 /// Like SolveLpCached, but warm-starts from `warm` (a parent node's optimal
-/// basis) when non-null: restores the basis (reusing the scratch tableau when
-/// it still matches, refactorizing otherwise) and runs dual pivots to restore
+/// basis) when non-null: restores the basis (reusing the scratch factors when
+/// they still match, refactorizing otherwise) and runs dual pivots to restore
 /// feasibility under the new bounds. Any warm-path breakdown — singular
 /// snapshot, iteration limit, spurious unbounded ray — falls back to a cold
 /// solve, so the result status is always trustworthy.

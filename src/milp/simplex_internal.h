@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "milp/simplex.h"
+
+/// \file simplex_internal.h
+/// Kernel entry points behind the public SolveLpWarm dispatcher, shared
+/// between simplex.cpp (dense tableau oracle), simplex_sparse.cpp (sparse
+/// revised simplex) and sparse_lu.cpp (basis factorization). Not part of the
+/// public API.
+
+namespace dart::milp::internal {
+
+/// The former dense-tableau kernel, kept verbatim as the cross-check oracle.
+void SolveLpWarmDense(const StandardForm& form, const LpOptions& options,
+                      const std::vector<double>& lower,
+                      const std::vector<double>& upper, const LpBasis* warm,
+                      LpScratch* scratch, LpResult* result,
+                      LpBasis* final_basis);
+
+/// The sparse revised-simplex kernel (eta-file factors, FTRAN/BTRAN solves,
+/// devex pricing).
+void SolveLpWarmSparse(const StandardForm& form, const LpOptions& options,
+                       const std::vector<double>& lower,
+                       const std::vector<double>& upper, const LpBasis* warm,
+                       LpScratch* scratch, LpResult* result,
+                       LpBasis* final_basis);
+
+/// Rebuilds `eta` as a product-form factorization of the basis columns in
+/// `basis` (size m). Slack columns pin their rows first (no fill), then
+/// structural columns are eliminated in ascending nonzero-count order with
+/// partial pivoting over the not-yet-pinned rows; `basis` entries may be
+/// reassigned to different rows — any row assignment of the same column set
+/// is an equally valid factorization. Returns false when the basis is
+/// numerically singular (the caller must then fall back to a cold start).
+bool FactorizeBasis(const StandardForm& form, int* basis, EtaFile* eta,
+                    FactorWorkspace* ws);
+
+}  // namespace dart::milp::internal

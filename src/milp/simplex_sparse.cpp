@@ -1,0 +1,786 @@
+// The sparse revised-simplex kernel behind SolveLpWarm (LpKernel::kSparse).
+//
+// Same two-phase bounded-variable algorithm and warm-start contract as the
+// dense tableau oracle in simplex.cpp, but the basis inverse is an eta file
+// (sparse_lu.h) instead of an explicit B⁻¹A: each iteration does one BTRAN
+// for the pivot row, one FTRAN for the entering column, and CSC dot products
+// for pricing — O(nnz) work instead of O(m·(n+m)) tableau updates. Incremental
+// state (basic values, reduced costs) is recomputed from the factors at every
+// refactorization and re-verified once at convergence, so drift stays bounded
+// by the refactorization interval rather than the whole pivot history.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "milp/simplex_internal.h"
+
+namespace dart::milp::internal {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Feasibility tolerance on basic-variable bound violations (matches the
+/// dense kernel).
+constexpr double kFeasTol = 1e-7;
+/// Non-improving iterations before the permanent switch to Bland's rule.
+constexpr int kStallLimit = 64;
+/// Eta updates since the last factorization that force a refactorization.
+constexpr int kMaxUpdates = 64;
+/// Relative FTRAN/BTRAN pivot disagreement that forces a refactorization.
+constexpr double kPivotAgreeTol = 1e-6;
+/// Devex reference weight ceiling before a framework reset.
+constexpr double kDevexReset = 1e12;
+
+/// Sparse revised-simplex working set over LpScratch buffers. The simplex
+/// state (basis, statuses, bounds, costs, reduced costs, basic values) lives
+/// in the same scratch vectors the dense kernel uses; the factorization state
+/// (eta file, solve vehicles, devex weights) is sparse-only.
+struct SWork {
+  const StandardForm* form = nullptr;
+  double* xb = nullptr;
+  int* basis = nullptr;
+  signed char* status = nullptr;
+  double* reduced = nullptr;
+  double* cost = nullptr;
+  double* lo = nullptr;
+  double* up = nullptr;
+  double* fv = nullptr;       // dense FTRAN vehicle (length m)
+  double* bv = nullptr;       // dense BTRAN vehicle (length m)
+  double* alpha = nullptr;    // pivot row over all columns (length cols)
+  double* dvx_row = nullptr;  // dual devex reference weights per row
+  double* dvx_col = nullptr;  // primal devex reference weights per column
+  EtaFile* eta = nullptr;
+  FactorWorkspace* factor_ws = nullptr;
+  int m = 0;
+  int n = 0;
+  int cols = 0;
+
+  // Kernel instrumentation (exported into LpResult).
+  int refactorizations = 0;
+  int eta_updates = 0;
+  std::int64_t ftran = 0;
+  std::int64_t btran = 0;
+  int basis_fill_nnz = 0;
+
+  // Anti-cycling state, permanent across phases and confirmation rounds of
+  // one start (reset by cold start / warm restore).
+  bool bland = false;
+  int stall = 0;
+  // Pivots/flips applied to xb and reduced since their last recompute from
+  // the factors; the convergence check re-verifies whenever this is nonzero.
+  int dirty = 0;
+
+  double NonbasicValue(int c) const {
+    return status[c] == kAtLower ? lo[c] : up[c];
+  }
+  double Room(int c) const { return up[c] - lo[c]; }
+};
+
+void EnsureSparseSizes(LpScratch* scratch, int m, int cols) {
+  scratch->xb.resize(m);
+  scratch->basis.resize(m);
+  scratch->status.resize(cols);
+  scratch->reduced.resize(cols);
+  scratch->cost.resize(cols);
+  scratch->col_lower.resize(cols);
+  scratch->col_upper.resize(cols);
+  scratch->ftran_v.resize(m);
+  scratch->btran_v.resize(m);
+  scratch->alpha_row.resize(cols);
+  scratch->devex_row.resize(m);
+  scratch->devex_col.resize(cols);
+}
+
+SWork MakeSWork(const StandardForm& form, LpScratch* scratch) {
+  SWork w;
+  w.form = &form;
+  w.m = form.m_model;
+  w.n = form.n;
+  w.cols = form.n + form.m_model;
+  w.xb = scratch->xb.data();
+  w.basis = scratch->basis.data();
+  w.status = scratch->status.data();
+  w.reduced = scratch->reduced.data();
+  w.cost = scratch->cost.data();
+  w.lo = scratch->col_lower.data();
+  w.up = scratch->col_upper.data();
+  w.fv = scratch->ftran_v.data();
+  w.bv = scratch->btran_v.data();
+  w.alpha = scratch->alpha_row.data();
+  w.dvx_row = scratch->devex_row.data();
+  w.dvx_col = scratch->devex_col.data();
+  w.eta = &scratch->eta;
+  w.factor_ws = &scratch->factor_ws;
+  return w;
+}
+
+/// Per-column bounds and minimize-space costs (identical to the dense
+/// kernel): structural columns take the node's bounds; slack columns are
+/// [0, ∞) for inequality rows (≥ rows are sign-flipped into ≤ in the CSC)
+/// and fixed [0, 0] for equalities. Nonbasic slack values are therefore
+/// always 0, which RecomputeBasicValues exploits.
+void SetBoundsAndCosts(const std::vector<double>& lower,
+                       const std::vector<double>& upper, SWork* w) {
+  const StandardForm& form = *w->form;
+  for (int j = 0; j < w->n; ++j) {
+    w->lo[j] = lower[j];
+    w->up[j] = upper[j];
+    w->cost[j] = form.var_cost[j];
+  }
+  for (int r = 0; r < w->m; ++r) {
+    const int j = w->n + r;
+    w->lo[j] = 0.0;
+    w->up[j] = form.row_sense[r] == RowSense::kEq ? 0.0 : kInf;
+    w->cost[j] = 0.0;
+  }
+}
+
+/// fv ← B⁻¹ ā_c (the transformed column of `c`), one FTRAN.
+void FtranColumn(SWork* w, int c) {
+  std::fill(w->fv, w->fv + w->m, 0.0);
+  const StandardForm& form = *w->form;
+  if (c >= w->n) {
+    w->fv[c - w->n] = 1.0;
+  } else {
+    for (int t = form.col_ptr[c]; t < form.col_ptr[c + 1]; ++t) {
+      w->fv[form.col_row[t]] += form.col_coef[t];
+    }
+  }
+  w->eta->ApplyForward(w->fv);
+  ++w->ftran;
+}
+
+/// alpha ← row `leaving_row` of B⁻¹[Ā | I]: one BTRAN for ρ = B⁻ᵀe_r, then
+/// one CSC dot product per structural column (slack entries are ρ itself).
+void ComputePivotRow(SWork* w, int leaving_row) {
+  std::fill(w->bv, w->bv + w->m, 0.0);
+  w->bv[leaving_row] = 1.0;
+  w->eta->ApplyTranspose(w->bv);
+  ++w->btran;
+  const StandardForm& form = *w->form;
+  for (int j = 0; j < w->n; ++j) {
+    double acc = 0.0;
+    for (int t = form.col_ptr[j]; t < form.col_ptr[j + 1]; ++t) {
+      acc += form.col_coef[t] * w->bv[form.col_row[t]];
+    }
+    w->alpha[j] = acc;
+  }
+  for (int r = 0; r < w->m; ++r) w->alpha[w->n + r] = w->bv[r];
+}
+
+/// Basic values from the factors, bounds and statuses:
+/// x_B = B⁻¹(b̄ − Σ_{j nonbasic} ā_j · x_j(bound)); nonbasic slacks
+/// contribute nothing (their value is always 0).
+void RecomputeBasicValues(SWork* w) {
+  const StandardForm& form = *w->form;
+  for (int r = 0; r < w->m; ++r) {
+    const double flip = form.row_sense[r] == RowSense::kGe ? -1.0 : 1.0;
+    w->fv[r] = flip * form.row_rhs[r];
+  }
+  for (int j = 0; j < w->n; ++j) {
+    if (w->status[j] == kBasic) continue;
+    const double value = w->NonbasicValue(j);
+    if (value == 0.0) continue;
+    for (int t = form.col_ptr[j]; t < form.col_ptr[j + 1]; ++t) {
+      w->fv[form.col_row[t]] -= form.col_coef[t] * value;
+    }
+  }
+  w->eta->ApplyForward(w->fv);
+  ++w->ftran;
+  std::copy(w->fv, w->fv + w->m, w->xb);
+}
+
+/// Reduced costs from the factors: d = c − Āᵀ(B⁻ᵀ c_B).
+void RecomputeReduced(SWork* w) {
+  const StandardForm& form = *w->form;
+  for (int r = 0; r < w->m; ++r) w->bv[r] = w->cost[w->basis[r]];
+  w->eta->ApplyTranspose(w->bv);
+  ++w->btran;
+  for (int j = 0; j < w->n; ++j) {
+    double acc = 0.0;
+    for (int t = form.col_ptr[j]; t < form.col_ptr[j + 1]; ++t) {
+      acc += form.col_coef[t] * w->bv[form.col_row[t]];
+    }
+    w->reduced[j] = w->cost[j] - acc;
+  }
+  for (int r = 0; r < w->m; ++r) w->reduced[w->n + r] = -w->bv[r];
+  for (int r = 0; r < w->m; ++r) w->reduced[w->basis[r]] = 0.0;
+}
+
+/// Refreshes xb and reduced from the current factors (bounds the drift of
+/// the incremental per-pivot updates).
+void RecomputeAll(SWork* w) {
+  RecomputeReduced(w);
+  RecomputeBasicValues(w);
+  w->dirty = 0;
+}
+
+/// From-scratch factorization of the current basis plus a full state
+/// recompute and a devex framework reset (row identities may be permuted).
+bool Refactorize(SWork* w) {
+  if (!FactorizeBasis(*w->form, w->basis, w->eta, w->factor_ws)) return false;
+  ++w->refactorizations;
+  w->basis_fill_nnz = std::max(w->basis_fill_nnz, w->eta->Nnz());
+  std::fill(w->dvx_row, w->dvx_row + w->m, 1.0);
+  std::fill(w->dvx_col, w->dvx_col + w->cols, 1.0);
+  RecomputeAll(w);
+  return true;
+}
+
+/// Fill-in / update-count refactorization trigger.
+bool NeedsRefactor(const SWork* w) {
+  return w->eta->Updates() >= kMaxUpdates ||
+         w->eta->Nnz() > w->eta->FactorNnz() + 8 * w->m + 1024;
+}
+
+enum class SPhase { kDone, kInfeasible, kUnbounded, kIterationLimit,
+                    kNeedsRefresh };
+
+/// Shared post-pivot bookkeeping for both phases. `fv` holds the FTRANed
+/// entering column, `alpha` the pivot row; `wr` is the agreed pivot element.
+/// Updates xb (done by the callers up to here), reduced costs, statuses,
+/// basis, devex weights, and appends the update eta.
+void ApplyPivot(SWork* w, int leaving_row, int entering, double wr,
+                double delta, signed char leaving_status) {
+  const int leaving = w->basis[leaving_row];
+  for (int r = 0; r < w->m; ++r) {
+    if (r == leaving_row) continue;
+    w->xb[r] -= w->fv[r] * delta;
+  }
+  w->xb[leaving_row] = w->NonbasicValue(entering) + delta;
+  w->status[leaving] = leaving_status;
+  w->status[entering] = kBasic;
+
+  // Reduced costs: d ← d − (d_q/w_r)·α. The leaving column's α is 1 (it was
+  // basic in this row), so its new reduced cost −d_q/w_r falls out of the
+  // same loop; basic columns have α ≈ 0 and stay put.
+  const double dq = w->reduced[entering];
+  if (dq != 0.0) {
+    const double f = dq / wr;
+    for (int c = 0; c < w->cols; ++c) w->reduced[c] -= f * w->alpha[c];
+  }
+  w->reduced[entering] = 0.0;
+
+  // Devex reference-weight updates (dual on rows, primal on columns), with a
+  // framework reset when the weights explode.
+  const double inv_wr2 = 1.0 / (wr * wr);
+  const double beta_r = w->dvx_row[leaving_row];
+  double max_row_weight = 0.0;
+  for (int r = 0; r < w->m; ++r) {
+    if (r != leaving_row && w->fv[r] != 0.0) {
+      const double cand = w->fv[r] * w->fv[r] * inv_wr2 * beta_r;
+      if (cand > w->dvx_row[r]) w->dvx_row[r] = cand;
+    }
+    if (w->dvx_row[r] > max_row_weight) max_row_weight = w->dvx_row[r];
+  }
+  w->dvx_row[leaving_row] = std::max(beta_r * inv_wr2, 1.0);
+  if (max_row_weight > kDevexReset) {
+    std::fill(w->dvx_row, w->dvx_row + w->m, 1.0);
+  }
+  const double gamma_q = w->dvx_col[entering];
+  double max_col_weight = 0.0;
+  for (int c = 0; c < w->cols; ++c) {
+    if (w->status[c] != kBasic && w->alpha[c] != 0.0) {
+      const double cand = w->alpha[c] * w->alpha[c] * inv_wr2 * gamma_q;
+      if (cand > w->dvx_col[c]) w->dvx_col[c] = cand;
+    }
+    if (w->dvx_col[c] > max_col_weight) max_col_weight = w->dvx_col[c];
+  }
+  w->dvx_col[leaving] = std::max(gamma_q * inv_wr2, 1.0);
+  if (max_col_weight > kDevexReset) {
+    std::fill(w->dvx_col, w->dvx_col + w->cols, 1.0);
+  }
+
+  w->basis[leaving_row] = entering;
+  w->eta->Append(leaving_row, w->fv, w->m, /*drop_tol=*/0.0);
+  ++w->eta_updates;
+  if (w->eta->Nnz() > w->basis_fill_nnz) w->basis_fill_nnz = w->eta->Nnz();
+  ++w->dirty;
+}
+
+/// Dual simplex over the factors: dual devex row selection, the same dual
+/// ratio test as the dense kernel, pivot stability cross-checked between the
+/// BTRAN row and the FTRAN column. An infeasibility certificate is only
+/// trusted when the factors are fresh and xb is exact — otherwise the caller
+/// refactorizes and re-enters.
+SPhase DualPhase(SWork* w, double tol, int budget, int* iterations_used) {
+  for (int iter = 0;; ++iter) {
+    if (iter >= budget) {
+      *iterations_used += iter;
+      return SPhase::kIterationLimit;
+    }
+    if (NeedsRefactor(w)) {
+      *iterations_used += iter;
+      return SPhase::kNeedsRefresh;
+    }
+
+    // --- Leaving row: worst squared violation over the devex weight;
+    // lowest row index under Bland.
+    int leaving_row = -1;
+    bool below = false;
+    double best_score = 0.0;
+    for (int r = 0; r < w->m; ++r) {
+      const int bc = w->basis[r];
+      const double under = w->lo[bc] - w->xb[r];
+      const double over = w->xb[r] - w->up[bc];
+      const double viol = under > over ? under : over;
+      if (viol <= kFeasTol) continue;
+      if (w->bland) {
+        leaving_row = r;
+        below = under > over;
+        break;
+      }
+      const double score = viol * viol / w->dvx_row[r];
+      if (score > best_score) {
+        best_score = score;
+        leaving_row = r;
+        below = under > over;
+      }
+    }
+    if (leaving_row < 0) {
+      *iterations_used += iter;
+      return SPhase::kDone;
+    }
+
+    const int leaving = w->basis[leaving_row];
+    const double target = below ? w->lo[leaving] : w->up[leaving];
+    const double sigma = below ? 1.0 : -1.0;
+    ComputePivotRow(w, leaving_row);
+
+    // --- Entering column: dual ratio test over columns that can move the
+    // basic value toward its bound (same eligibility and tie-breaks as the
+    // dense kernel). Fixed columns cannot absorb anything and are excluded
+    // (required for the infeasibility certificate).
+    int entering = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0;
+    for (int c = 0; c < w->cols; ++c) {
+      if (w->status[c] == kBasic) continue;
+      if (w->Room(c) <= tol) continue;
+      const double alpha = w->alpha[c];
+      if (std::fabs(alpha) <= tol) continue;
+      const bool eligible = w->status[c] == kAtLower ? sigma * alpha < 0
+                                                     : sigma * alpha > 0;
+      if (!eligible) continue;
+      if (w->bland) {
+        entering = c;  // lowest column index
+        break;
+      }
+      const double ratio = std::fabs(w->reduced[c]) / std::fabs(alpha);
+      if (ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol &&
+           std::fabs(alpha) > std::fabs(best_alpha))) {
+        best_ratio = ratio;
+        best_alpha = alpha;
+        entering = c;
+      }
+    }
+    if (entering < 0) {
+      *iterations_used += iter;
+      // Only certify infeasibility against exact state; with update etas or
+      // incremental xb in play this could be drift.
+      return (w->eta->Updates() == 0 && w->dirty == 0) ? SPhase::kInfeasible
+                                                       : SPhase::kNeedsRefresh;
+    }
+
+    // --- Pivot: FTRAN the entering column and cross-check the pivot element
+    // against the BTRAN row before committing.
+    FtranColumn(w, entering);
+    const double wr = w->fv[leaving_row];
+    if (!(std::fabs(wr) > tol) ||
+        std::fabs(wr - w->alpha[entering]) >
+            kPivotAgreeTol * (1.0 + std::fabs(w->alpha[entering]))) {
+      *iterations_used += iter;
+      return SPhase::kNeedsRefresh;
+    }
+    const double delta = (target - w->xb[leaving_row]) / (-wr);
+    const double progress = std::fabs(w->reduced[entering] * delta);
+    ApplyPivot(w, leaving_row, entering, wr, delta,
+               below ? kAtLower : kAtUpper);
+
+    if (progress > tol) {
+      w->stall = 0;
+    } else if (!w->bland && ++w->stall >= kStallLimit) {
+      w->bland = true;
+    }
+  }
+}
+
+/// Primal bounded-variable simplex over the factors: devex column pricing,
+/// the same flip-capped ratio test as the dense kernel.
+SPhase PrimalPhase(SWork* w, double tol, int budget, int* iterations_used) {
+  for (int iter = 0;; ++iter) {
+    if (iter >= budget) {
+      *iterations_used += iter;
+      return SPhase::kIterationLimit;
+    }
+    if (NeedsRefactor(w)) {
+      *iterations_used += iter;
+      return SPhase::kNeedsRefresh;
+    }
+
+    // --- Entering column: best squared reduced cost over the devex weight;
+    // lowest improving column index under Bland.
+    int entering = -1;
+    double best_score = 0.0;
+    for (int c = 0; c < w->cols; ++c) {
+      if (w->status[c] == kBasic) continue;
+      if (w->Room(c) <= tol) continue;
+      const double d =
+          w->status[c] == kAtLower ? -w->reduced[c] : w->reduced[c];
+      if (d <= tol) continue;
+      if (w->bland) {
+        entering = c;
+        break;
+      }
+      const double score = d * d / w->dvx_col[c];
+      if (score > best_score) {
+        best_score = score;
+        entering = c;
+      }
+    }
+    if (entering < 0) {
+      *iterations_used += iter;
+      return SPhase::kDone;
+    }
+    const double dir = w->status[entering] == kAtLower ? 1.0 : -1.0;
+
+    // --- Ratio test against the FTRANed column: first basic variable to hit
+    // a bound, or the entering column's own bound flip. Bland tie-break on
+    // basis index among rows.
+    FtranColumn(w, entering);
+    const double room = w->Room(entering);
+    double best_t = room;  // may be +inf for a slack column
+    int leaving_row = -1;
+    bool leaving_to_lower = false;
+    for (int r = 0; r < w->m; ++r) {
+      const double a = w->fv[r] * dir;
+      const int bc = w->basis[r];
+      double t;
+      bool to_lower;
+      if (a > tol) {
+        if (w->lo[bc] == -kInf) continue;
+        t = (w->xb[r] - w->lo[bc]) / a;
+        to_lower = true;
+      } else if (a < -tol) {
+        if (w->up[bc] == kInf) continue;
+        t = (w->up[bc] - w->xb[r]) / (-a);
+        to_lower = false;
+      } else {
+        continue;
+      }
+      if (t < best_t - tol ||
+          (t < best_t + tol &&
+           (leaving_row < 0 || w->basis[r] < w->basis[leaving_row]))) {
+        best_t = t;
+        leaving_row = r;
+        leaving_to_lower = to_lower;
+      }
+    }
+
+    if (leaving_row < 0) {
+      if (best_t == kInf) {
+        *iterations_used += iter;
+        // A ray is only trustworthy on exact state, like the Farkas row.
+        return (w->eta->Updates() == 0 && w->dirty == 0)
+                   ? SPhase::kUnbounded
+                   : SPhase::kNeedsRefresh;
+      }
+      // --- Bound flip: the entering column crosses its whole range with no
+      // basis change; strictly improving because d > tol and room > tol.
+      for (int r = 0; r < w->m; ++r) w->xb[r] -= w->fv[r] * dir * room;
+      w->status[entering] =
+          w->status[entering] == kAtLower ? kAtUpper : kAtLower;
+      ++w->dirty;
+      w->stall = 0;
+      continue;
+    }
+
+    // --- Pivot: the reduced-cost update needs the pivot row, so BTRAN it
+    // and cross-check the pivot element between the two solves.
+    ComputePivotRow(w, leaving_row);
+    const double wr = w->fv[leaving_row];
+    if (!(std::fabs(wr) > tol) ||
+        std::fabs(wr - w->alpha[entering]) >
+            kPivotAgreeTol * (1.0 + std::fabs(w->alpha[entering]))) {
+      *iterations_used += iter;
+      return SPhase::kNeedsRefresh;
+    }
+    const double delta = dir * best_t;
+    const double progress = std::fabs(w->reduced[entering] * delta);
+    ApplyPivot(w, leaving_row, entering, wr, delta,
+               leaving_to_lower ? kAtLower : kAtUpper);
+
+    if (progress > tol) {
+      w->stall = 0;
+    } else if (!w->bland && ++w->stall >= kStallLimit) {
+      w->bland = true;
+    }
+  }
+}
+
+enum class SOutcome { kOptimal, kInfeasible, kUnbounded, kIterationLimit,
+                      kBreakdown };
+
+/// Drives the two phases to a verified fixed point: refactorizes on demand
+/// (fill/update triggers, stability breakdowns, unverified certificates) and
+/// re-verifies convergence against freshly recomputed basic values and
+/// reduced costs whenever incremental updates were applied since the last
+/// recompute.
+SOutcome RunSimplex(SWork* w, double tol, int max_iterations,
+                    int* iterations) {
+  int used_at_last_refresh = -1;
+  int stuck_refreshes = 0;
+  for (;;) {
+    const int remaining = max_iterations - *iterations;
+    if (remaining <= 0) return SOutcome::kIterationLimit;
+
+    const SPhase dual = DualPhase(w, tol, remaining, iterations);
+    SPhase outcome = dual;
+    if (dual == SPhase::kDone) {
+      outcome = PrimalPhase(w, tol, max_iterations - *iterations, iterations);
+    }
+    switch (outcome) {
+      case SPhase::kInfeasible:
+        return SOutcome::kInfeasible;
+      case SPhase::kUnbounded:
+        return SOutcome::kUnbounded;
+      case SPhase::kIterationLimit:
+        return SOutcome::kIterationLimit;
+      case SPhase::kNeedsRefresh: {
+        // Guard against a livelock of refreshes that make no progress.
+        if (*iterations == used_at_last_refresh) {
+          if (++stuck_refreshes > 5) return SOutcome::kBreakdown;
+        } else {
+          stuck_refreshes = 0;
+        }
+        used_at_last_refresh = *iterations;
+        if (!Refactorize(w)) return SOutcome::kBreakdown;
+        continue;
+      }
+      case SPhase::kDone:
+        break;
+    }
+    // Both phases report done. Accept only when xb/reduced carry no
+    // incremental drift; otherwise recompute them from the factors and let
+    // the phases confirm (usually in zero further pivots).
+    if (w->dirty == 0) return SOutcome::kOptimal;
+    RecomputeAll(w);
+  }
+}
+
+/// Cold start: all-slack basis (an identity factorization — the eta file is
+/// simply empty), nonbasic structural columns on their cost-sign bound,
+/// which is dual-feasible by construction.
+void ColdStart(const std::vector<double>& lower,
+               const std::vector<double>& upper, SWork* w) {
+  SetBoundsAndCosts(lower, upper, w);
+  for (int j = 0; j < w->n; ++j) {
+    if (w->cost[j] > 0) {
+      w->status[j] = kAtLower;
+    } else if (w->cost[j] < 0) {
+      w->status[j] = kAtUpper;
+    } else {
+      w->status[j] =
+          std::fabs(w->lo[j]) <= std::fabs(w->up[j]) ? kAtLower : kAtUpper;
+    }
+  }
+  for (int r = 0; r < w->m; ++r) {
+    w->basis[r] = w->n + r;
+    w->status[w->n + r] = kBasic;
+  }
+  w->eta->Clear();
+  w->eta->MarkFactored();
+  std::copy(w->cost, w->cost + w->cols, w->reduced);  // c_B = 0 for slacks
+  std::fill(w->dvx_row, w->dvx_row + w->m, 1.0);
+  std::fill(w->dvx_col, w->dvx_col + w->cols, 1.0);
+  RecomputeBasicValues(w);
+  w->dirty = 0;
+  w->bland = false;
+  w->stall = 0;
+}
+
+/// Restores a warm basis: reuses the scratch eta file when it still holds
+/// this exact basis' factors, otherwise refactorizes from the CSC. Returns
+/// false when the snapshot is unusable (wrong shape, out-of-range columns,
+/// numerically singular) — the caller then goes cold.
+bool RestoreWarmBasis(const LpBasis& warm, const std::vector<double>& lower,
+                      const std::vector<double>& upper,
+                      const StandardForm& form, LpScratch* scratch,
+                      SWork* w) {
+  if (static_cast<int>(warm.basis.size()) != w->m ||
+      static_cast<int>(warm.status.size()) != w->cols) {
+    return false;
+  }
+  SetBoundsAndCosts(lower, upper, w);
+  for (int c = 0; c < w->cols; ++c) {
+    const signed char s = warm.status[c];
+    if (s != kAtLower && s != kAtUpper && s != kBasic) return false;
+    if (s == kAtUpper && w->up[c] == kInf) return false;
+  }
+  for (int r = 0; r < w->m; ++r) {
+    const int j = warm.basis[r];
+    if (j < 0 || j >= w->cols) return false;
+  }
+
+  const bool hot = scratch->factor_valid &&
+                   scratch->sparse_cached_form == &form &&
+                   std::equal(warm.basis.begin(), warm.basis.end(),
+                              scratch->basis.begin());
+  std::copy(warm.status.begin(), warm.status.end(), w->status);
+  if (hot) {
+    // The eta file and reduced costs in the scratch still describe exactly
+    // this basis (costs are bound-independent); only the basic values depend
+    // on the node's bounds.
+    for (int r = 0; r < w->m; ++r) w->status[w->basis[r]] = kBasic;
+    RecomputeBasicValues(w);
+    w->dirty = 0;
+  } else {
+    std::copy(warm.basis.begin(), warm.basis.end(), w->basis);
+    for (int r = 0; r < w->m; ++r) w->status[w->basis[r]] = kBasic;
+    if (!Refactorize(w)) return false;
+  }
+  w->bland = false;
+  w->stall = 0;
+  return true;
+}
+
+void ExtractPoint(const StandardForm& form, const std::vector<double>& lower,
+                  const std::vector<double>& upper, const SWork& w,
+                  LpResult* result) {
+  const int n = form.n;
+  result->point.assign(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    if (w.status[j] != kBasic) result->point[j] = w.NonbasicValue(j);
+  }
+  for (int r = 0; r < w.m; ++r) {
+    const int bc = w.basis[r];
+    if (bc < n) result->point[bc] = w.xb[r];
+  }
+  for (int i = 0; i < n; ++i) {
+    // Clamp roundoff into the box.
+    result->point[i] = std::clamp(result->point[i], lower[i], upper[i]);
+  }
+  result->objective =
+      form.objective_constant + EvalTerms(form.objective_terms, result->point);
+  result->status = LpResult::SolveStatus::kOptimal;
+}
+
+void ExportCounters(const SWork& w, LpResult* result) {
+  result->refactorizations = w.refactorizations;
+  result->eta_updates = w.eta_updates;
+  result->ftran = w.ftran;
+  result->btran = w.btran;
+  result->basis_fill_nnz = std::max(w.basis_fill_nnz, w.eta->Nnz());
+}
+
+}  // namespace
+
+void SolveLpWarmSparse(const StandardForm& form, const LpOptions& options,
+                       const std::vector<double>& lower,
+                       const std::vector<double>& upper, const LpBasis* warm,
+                       LpScratch* scratch, LpResult* result,
+                       LpBasis* final_basis) {
+  const double tol = options.tol;
+  const int n = form.n;
+  const int m = form.m_model;
+  const int cols = n + m;
+  result->status = LpResult::SolveStatus::kIterationLimit;
+  result->objective = 0;
+  result->iterations = 0;
+  result->warm_started = false;
+  result->point.clear();
+  result->refactorizations = 0;
+  result->eta_updates = 0;
+  result->ftran = 0;
+  result->btran = 0;
+  result->basis_fill_nnz = 0;
+
+  for (int i = 0; i < n; ++i) {
+    if (lower[i] > upper[i] + 1e-9) {
+      result->status = LpResult::SolveStatus::kInfeasible;
+      return;
+    }
+  }
+
+  EnsureSparseSizes(scratch, m, cols);
+  // This kernel is about to overwrite the shared basis/status buffers; the
+  // factorized tableau the dense kernel may have left behind no longer
+  // describes them.
+  scratch->tableau_valid = false;
+  SWork w = MakeSWork(form, scratch);
+  const int max_iterations = options.max_iterations > 0
+                                 ? options.max_iterations
+                                 : 200 * (m + cols) + 20000;
+  int iterations = 0;
+  int carried = 0;  // iterations spent in a failed warm attempt
+
+  const auto finish_optimal = [&](bool warm_started) {
+    result->iterations = carried + iterations;
+    result->warm_started = warm_started;
+    ExtractPoint(form, lower, upper, w, result);
+    ExportCounters(w, result);
+    scratch->factor_valid = true;
+    scratch->sparse_cached_form = &form;
+    if (final_basis != nullptr) {
+      final_basis->basis.assign(scratch->basis.begin(), scratch->basis.end());
+      final_basis->status.assign(scratch->status.begin(),
+                                 scratch->status.end());
+    }
+  };
+
+  // --- Warm attempt: parent basis + dual pivots. Any breakdown (singular
+  // snapshot, iteration limit, spurious unbounded ray) falls through to the
+  // cold path below instead of mis-reporting.
+  if (warm != nullptr &&
+      RestoreWarmBasis(*warm, lower, upper, form, scratch, &w)) {
+    const SOutcome out = RunSimplex(&w, tol, max_iterations, &iterations);
+    if (out == SOutcome::kInfeasible) {
+      // Trustworthy: certified against a fresh factorization, same as the
+      // cold path would produce.
+      result->status = LpResult::SolveStatus::kInfeasible;
+      result->iterations = iterations;
+      result->warm_started = true;
+      ExportCounters(w, result);
+      scratch->factor_valid = true;
+      scratch->sparse_cached_form = &form;
+      return;
+    }
+    if (out == SOutcome::kOptimal) {
+      finish_optimal(/*warm_started=*/true);
+      return;
+    }
+    // Breakdown: restart cold with a fresh full iteration budget (the warm
+    // attempt's work stays in the reported iteration count).
+    carried = iterations;
+    iterations = 0;
+  }
+
+  // --- Cold solve: all-slack basis on cost-sign bounds (dual feasible), then
+  // dual phase to primal feasibility, then primal phase to optimality.
+  ColdStart(lower, upper, &w);
+  const SOutcome out = RunSimplex(&w, tol, max_iterations, &iterations);
+  result->iterations = carried + iterations;
+  ExportCounters(w, result);
+  switch (out) {
+    case SOutcome::kInfeasible:
+      result->status = LpResult::SolveStatus::kInfeasible;
+      scratch->factor_valid = true;
+      scratch->sparse_cached_form = &form;
+      return;
+    case SOutcome::kUnbounded:
+      result->status = LpResult::SolveStatus::kUnbounded;
+      scratch->factor_valid = false;
+      return;
+    case SOutcome::kIterationLimit:
+    case SOutcome::kBreakdown:
+      result->status = LpResult::SolveStatus::kIterationLimit;
+      scratch->factor_valid = false;
+      return;
+    case SOutcome::kOptimal:
+      finish_optimal(/*warm_started=*/false);
+      return;
+  }
+}
+
+}  // namespace dart::milp::internal

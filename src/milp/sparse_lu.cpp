@@ -1,0 +1,73 @@
+#include "milp/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "milp/simplex_internal.h"
+
+namespace dart::milp::internal {
+
+namespace {
+/// Largest not-yet-pinned magnitude below which a basis column is declared
+/// dependent on the already-eliminated ones (singular basis).
+constexpr double kSingularTol = 1e-8;
+}  // namespace
+
+bool FactorizeBasis(const StandardForm& form, int* basis, EtaFile* eta,
+                    FactorWorkspace* ws) {
+  const int m = form.m_model;
+  const int n = form.n;
+  eta->Clear();
+  ws->column.assign(m, 0.0);
+  ws->row_pivoted.assign(m, 0);
+  std::vector<int>& order = ws->order;
+  order.clear();
+  // Slack columns first: each is a unit column, so it pins its row with no
+  // fill (an identity eta, which Append skips). Structural columns follow in
+  // ascending nonzero-count order (Markowitz-style) to keep eta fill low;
+  // the index tie-break makes the elimination order deterministic.
+  for (int r = 0; r < m; ++r) {
+    if (basis[r] >= n) order.push_back(basis[r]);
+  }
+  const size_t slack_count = order.size();
+  for (int r = 0; r < m; ++r) {
+    if (basis[r] < n) order.push_back(basis[r]);
+  }
+  std::sort(order.begin() + slack_count, order.end(), [&form](int a, int b) {
+    const int na = form.col_ptr[a + 1] - form.col_ptr[a];
+    const int nb = form.col_ptr[b + 1] - form.col_ptr[b];
+    return na != nb ? na < nb : a < b;
+  });
+
+  double* v = ws->column.data();
+  for (size_t k = 0; k < order.size(); ++k) {
+    const int c = order[k];
+    std::fill(v, v + m, 0.0);
+    if (c >= n) {
+      v[c - n] = 1.0;
+    } else {
+      for (int t = form.col_ptr[c]; t < form.col_ptr[c + 1]; ++t) {
+        v[form.col_row[t]] += form.col_coef[t];
+      }
+    }
+    eta->ApplyForward(v);
+    int best = -1;
+    double best_mag = kSingularTol;
+    for (int r = 0; r < m; ++r) {
+      if (ws->row_pivoted[r]) continue;
+      const double mag = std::fabs(v[r]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    if (best < 0) return false;  // dependent (or duplicated) basis column
+    if (!eta->Append(best, v, m, /*drop_tol=*/0.0)) return false;
+    ws->row_pivoted[best] = 1;
+    basis[best] = c;
+  }
+  eta->MarkFactored();
+  return true;
+}
+
+}  // namespace dart::milp::internal

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+/// \file sparse_lu.h
+/// Product-form basis factorization for the sparse revised simplex kernel.
+///
+/// The basis inverse is never formed: it is represented as an eta file
+/// B⁻¹ = E_k ⋯ E_2 E_1, a product of elementary (eta) matrices. Each eta
+/// differs from the identity in a single column r — its pivot row — with
+/// E[r][r] = 1/w_r and E[i][r] = −w_i/w_r, where w is the entering column
+/// after the transformations accumulated so far. The first `factor` etas come
+/// from a from-scratch triangular factorization of the basis (slack columns
+/// pin their rows for free, structural columns are eliminated in ascending
+/// nonzero-count order); the rest are Forrest–Tomlin-style pivot updates, one
+/// appended per basis change, until a fill-in or stability trigger forces a
+/// refactorization. FTRAN applies the etas forward, BTRAN applies their
+/// transposes in reverse — both cost O(nnz of the file), which is what makes
+/// a revised-simplex iteration scale with matrix sparsity instead of m×n.
+
+namespace dart::milp {
+
+/// The eta file: B⁻¹ as a product of eta matrices, appended left to right.
+class EtaFile {
+ public:
+  void Clear() {
+    ptr_.assign(1, 0);
+    row_.clear();
+    val_.clear();
+    pivot_.clear();
+    factor_etas_ = 0;
+  }
+
+  int NumEtas() const { return static_cast<int>(pivot_.size()); }
+  int Nnz() const { return static_cast<int>(row_.size()); }
+  /// Number of update etas appended since the last MarkFactored().
+  int Updates() const { return NumEtas() - factor_etas_; }
+  /// Nonzeros belonging to the factorization itself (excludes updates).
+  int FactorNnz() const { return factor_etas_ == 0 ? 0 : ptr_[factor_etas_]; }
+  /// Declares the current file to be a from-scratch factorization baseline.
+  void MarkFactored() { factor_etas_ = NumEtas(); }
+
+  /// Appends the eta matrix that pivots the (already transformed) dense
+  /// column `w` of length `m` on row `pivot_row`. Entries of magnitude at
+  /// most `drop_tol` are dropped (never the pivot). An exact identity eta is
+  /// skipped. Returns false when the pivot element is zero or non-finite.
+  bool Append(int pivot_row, const double* w, int m, double drop_tol) {
+    const double wr = w[pivot_row];
+    if (!(std::fabs(wr) > 0.0)) return false;  // zero or NaN pivot
+    const double inv = 1.0 / wr;
+    const size_t start = row_.size();
+    for (int i = 0; i < m; ++i) {
+      if (i == pivot_row) continue;
+      const double x = w[i];
+      if (x == 0.0 || std::fabs(x) <= drop_tol) continue;
+      row_.push_back(i);
+      val_.push_back(-x * inv);
+    }
+    if (row_.size() == start && inv == 1.0) return true;  // identity eta
+    row_.push_back(pivot_row);
+    val_.push_back(inv);
+    pivot_.push_back(pivot_row);
+    ptr_.push_back(static_cast<int>(row_.size()));
+    return true;
+  }
+
+  /// FTRAN: v ← E_k ⋯ E_1 v in place (`v` dense, length m).
+  void ApplyForward(double* v) const {
+    const int k = NumEtas();
+    for (int e = 0; e < k; ++e) {
+      const double t = v[pivot_[e]];
+      if (t == 0.0) continue;
+      v[pivot_[e]] = 0.0;
+      for (int i = ptr_[e]; i < ptr_[e + 1]; ++i) v[row_[i]] += t * val_[i];
+    }
+  }
+
+  /// BTRAN: v ← E_1ᵀ ⋯ E_kᵀ v in place. Only the pivot component of v
+  /// changes per eta: (Eᵀv)_r = Σ_i η_i v_i.
+  void ApplyTranspose(double* v) const {
+    for (int e = NumEtas() - 1; e >= 0; --e) {
+      double s = 0.0;
+      for (int i = ptr_[e]; i < ptr_[e + 1]; ++i) s += val_[i] * v[row_[i]];
+      v[pivot_[e]] = s;
+    }
+  }
+
+ private:
+  std::vector<int> ptr_{0};  ///< eta e spans [ptr_[e], ptr_[e+1]) of row_/val_.
+  std::vector<int> row_;
+  std::vector<double> val_;
+  std::vector<int> pivot_;  ///< pivot row per eta.
+  int factor_etas_ = 0;
+};
+
+/// Reusable buffers for FactorizeBasis (lives in LpScratch).
+struct FactorWorkspace {
+  std::vector<double> column;            ///< dense scatter vehicle, length m.
+  std::vector<signed char> row_pivoted;  ///< per-row "already pinned" flags.
+  std::vector<int> order;                ///< column elimination order.
+};
+
+}  // namespace dart::milp

@@ -236,6 +236,10 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
 
     outcome.stats.num_cells = translation.cells.size();
     outcome.stats.num_ground_rows = translation.ground_rows.size();
+    outcome.stats.matrix_rows = translation.matrix_rows;
+    outcome.stats.matrix_cols = translation.matrix_cols;
+    outcome.stats.matrix_nnz = translation.matrix_nnz;
+    outcome.stats.matrix_density = translation.matrix_density;
     outcome.stats.practical_m = translation.practical_m;
     outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
     outcome.stats.bigm_retries = attempt;
@@ -253,6 +257,13 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
                   static_cast<double>(translation.cells.size()));
     obs::SetGauge(run, "repair.num_ground_rows",
                   static_cast<double>(translation.ground_rows.size()));
+    obs::SetGauge(run, "repair.matrix_rows",
+                  static_cast<double>(translation.matrix_rows));
+    obs::SetGauge(run, "repair.matrix_cols",
+                  static_cast<double>(translation.matrix_cols));
+    obs::SetGauge(run, "repair.matrix_nnz",
+                  static_cast<double>(translation.matrix_nnz));
+    obs::SetGauge(run, "repair.matrix_density", translation.matrix_density);
     obs::SetGauge(run, "repair.presolve_variables_eliminated",
                   solved.presolve_variables_eliminated);
     obs::SetGauge(run, "repair.presolve_rows_removed",

@@ -42,6 +42,13 @@ struct RepairEngineOptions {
 struct RepairStats {
   size_t num_cells = 0;       ///< N — number of z/y/δ triples.
   size_t num_ground_rows = 0; ///< rows of A (ground constraint instances).
+  /// Constraint-matrix sparsity of the translated MILP (see
+  /// Translation::matrix_*): rows × cols, structural nonzeros, and density.
+  /// Also published as repair.matrix_* gauges.
+  int matrix_rows = 0;
+  int matrix_cols = 0;
+  long long matrix_nnz = 0;
+  double matrix_density = 0;
   double practical_m = 0;
   double theoretical_m_log10 = 0;
   // Search counters (nodes, LP iterations, warm solves, steals, per-thread

@@ -350,6 +350,16 @@ Result<Translation> TranslateToMilp(const rel::Database& db,
   model.SetObjective(std::move(objective), 0, milp::ObjectiveSense::kMinimize);
 
   DART_RETURN_IF_ERROR(model.Validate());
+
+  out.matrix_rows = model.num_rows();
+  out.matrix_cols = model.num_variables();
+  for (const milp::Row& row : model.rows()) {
+    out.matrix_nnz += static_cast<long long>(row.terms.size());
+  }
+  const double area = static_cast<double>(out.matrix_rows) *
+                      static_cast<double>(out.matrix_cols);
+  out.matrix_density = area > 0 ? static_cast<double>(out.matrix_nnz) / area
+                                : 0.0;
   return out;
 }
 

@@ -100,6 +100,16 @@ struct Translation {
   /// and the paper-artifact bench (Fig. 4).
   std::vector<std::string> ground_rows;
 
+  /// Constraint-matrix sparsity of the built model (rows × cols of A in
+  /// S*(AC), structural nonzeros, and nnz / (rows·cols)). The matrix is
+  /// extremely sparse — ground rows touch only their document's cells and
+  /// the S'/S'' rows are 2–3-term stencils — which is what the solver's
+  /// sparse revised simplex kernel exploits (see simplex.h).
+  int matrix_rows = 0;
+  int matrix_cols = 0;
+  long long matrix_nnz = 0;
+  double matrix_density = 0;
+
   /// The practical M the model was built with.
   double practical_m = 0;
   /// log10 of the theoretical bound n·(ma)^(2m+1) of [22] (the bound itself

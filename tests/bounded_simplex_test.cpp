@@ -62,8 +62,10 @@ TEST(BoundedSimplexTest, BoundFlipAgainstBindingRow) {
 // --- Degenerate instances / Bland switch -----------------------------------
 
 TEST(BoundedSimplexTest, DegenerateLpTerminatesWithinBudget) {
-  // Beale's classic cycling example (scaled): Dantzig selection alone can
-  // cycle; the stall-triggered permanent Bland switch must terminate it.
+  // Beale's classic cycling example (scaled): Dantzig/devex selection alone
+  // can cycle; the stall-triggered permanent Bland switch must terminate it.
+  // Run under both kernels — the sparse kernel's devex pricing has its own
+  // anti-cycling path that this instance must exercise.
   Model model;
   int x1 = model.AddVariable("x1", VarType::kContinuous, 0, 1000);
   int x2 = model.AddVariable("x2", VarType::kContinuous, 0, 1000);
@@ -76,10 +78,15 @@ TEST(BoundedSimplexTest, DegenerateLpTerminatesWithinBudget) {
   model.AddRow("r3", {{x3, 1.0}}, RowSense::kLe, 1);
   model.SetObjective({{x1, -0.75}, {x2, 150.0}, {x3, -0.02}, {x4, 6.0}}, 0,
                      ObjectiveSense::kMinimize);
-  LpResult result = SolveLpRelaxation(model);
-  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
-  // Optimum -0.05 at x1 = 0.04, x3 = 1 (r2 and r3 binding).
-  EXPECT_NEAR(result.objective, -0.05, 1e-4);
+  for (const LpKernel kernel : {LpKernel::kSparse, LpKernel::kDense}) {
+    LpOptions options;
+    options.kernel = kernel;
+    LpResult result = SolveLpRelaxation(model, options);
+    ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal)
+        << LpKernelName(kernel);
+    // Optimum -0.05 at x1 = 0.04, x3 = 1 (r2 and r3 binding).
+    EXPECT_NEAR(result.objective, -0.05, 1e-4) << LpKernelName(kernel);
+  }
 }
 
 // --- Warm starts -----------------------------------------------------------
@@ -208,14 +215,23 @@ TEST(BoundedSimplexTest, CorruptWarmBasisFallsBackToColdSolve) {
   corrupt.status.assign(cols, kAtLower);
   corrupt.status[0] = kBasic;
 
-  LpScratch scratch;
-  LpResult result;
-  SolveLpWarm(form, {}, form.var_lower, form.var_upper, &corrupt, &scratch,
-              &result, nullptr);
-  ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal);
-  EXPECT_FALSE(result.warm_started);
-  LpResult reference = SolveLpRelaxation(model);
-  EXPECT_NEAR(result.objective, reference.objective, kTol);
+  // Both kernels must survive the singular snapshot: the sparse kernel's
+  // FactorizeBasis detects singularity, the dense kernel's refactorization
+  // pivot search does; each falls back to a cold solve.
+  for (const LpKernel kernel : {LpKernel::kSparse, LpKernel::kDense}) {
+    LpOptions options;
+    options.kernel = kernel;
+    LpScratch scratch;
+    LpResult result;
+    SolveLpWarm(form, options, form.var_lower, form.var_upper, &corrupt,
+                &scratch, &result, nullptr);
+    ASSERT_EQ(result.status, LpResult::SolveStatus::kOptimal)
+        << LpKernelName(kernel);
+    EXPECT_FALSE(result.warm_started) << LpKernelName(kernel);
+    LpResult reference = SolveLpRelaxation(model, options);
+    EXPECT_NEAR(result.objective, reference.objective, kTol)
+        << LpKernelName(kernel);
+  }
 }
 
 TEST(BoundedSimplexTest, WarmBasisWithWrongShapeFallsBackToColdSolve) {
@@ -323,6 +339,98 @@ TEST_P(WarmStartAgreementTest, WarmBranchAndBoundMatchesExhaustive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomModels, WarmStartAgreementTest,
+                         ::testing::Range(0, 30));
+
+// --- Sparse vs dense kernel equivalence (randomized property test) ---------
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelEquivalenceTest, SparseMatchesDenseOnRandomBoundedLps) {
+  // Random boxed continuous LPs (never unbounded by construction): the
+  // sparse revised simplex and the dense tableau oracle must agree on the
+  // status and, when optimal, on the objective to 1e-6 — on the cold solve
+  // AND on a warm dual re-solve after a branch-style bound tightening.
+  Rng rng(77000 + GetParam());
+  Model model;
+  const int n = 5 + GetParam() % 4;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(rng.UniformInt(-4, 0));
+    const double hi = lo + static_cast<double>(rng.UniformInt(1, 9));
+    vars.push_back(model.AddVariable("x" + std::to_string(i),
+                                     VarType::kContinuous, lo, hi));
+  }
+  const int rows = 3 + GetParam() % 3;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<LinearTerm> terms;
+    for (int v : vars) {
+      if (rng.Bernoulli(0.5)) {
+        terms.push_back({v, static_cast<double>(rng.UniformInt(-4, 4))});
+      }
+    }
+    if (terms.empty()) continue;
+    RowSense sense = rng.Bernoulli(0.3)
+                         ? RowSense::kGe
+                         : (rng.Bernoulli(0.15) ? RowSense::kEq
+                                                : RowSense::kLe);
+    model.AddRow("r" + std::to_string(r), terms, sense,
+                 static_cast<double>(rng.UniformInt(-8, 12)));
+  }
+  std::vector<LinearTerm> objective;
+  for (int v : vars) {
+    objective.push_back({v, static_cast<double>(rng.UniformInt(-5, 5))});
+  }
+  model.SetObjective(objective, 0,
+                     rng.Bernoulli(0.5) ? ObjectiveSense::kMinimize
+                                        : ObjectiveSense::kMaximize);
+
+  LpOptions sparse_opts, dense_opts;
+  sparse_opts.kernel = LpKernel::kSparse;
+  dense_opts.kernel = LpKernel::kDense;
+
+  LpResult dense = SolveLpRelaxation(model, dense_opts);
+  LpResult sparse = SolveLpRelaxation(model, sparse_opts);
+  ASSERT_EQ(sparse.status, dense.status) << "seed=" << GetParam();
+  // The dense oracle never touches the sparse counters.
+  EXPECT_EQ(dense.refactorizations, 0);
+  EXPECT_EQ(dense.eta_updates, 0);
+  EXPECT_EQ(dense.ftran, 0);
+  EXPECT_EQ(dense.btran, 0);
+  if (dense.status != LpResult::SolveStatus::kOptimal) return;
+  EXPECT_NEAR(sparse.objective, dense.objective, kTol)
+      << "seed=" << GetParam();
+
+  // Warm re-solve after tightening one variable, mirroring a down-branch.
+  StandardForm form(model);
+  std::vector<double> child_upper = form.var_upper;
+  const int cut = GetParam() % n;
+  child_upper[cut] =
+      form.var_lower[cut] + 0.5 * (form.var_upper[cut] - form.var_lower[cut]);
+  LpResult warm_by_kernel[2];
+  int i = 0;
+  for (const LpKernel kernel : {LpKernel::kSparse, LpKernel::kDense}) {
+    LpOptions options;
+    options.kernel = kernel;
+    LpScratch scratch;
+    LpResult parent;
+    LpBasis basis;
+    SolveLpWarm(form, options, form.var_lower, form.var_upper, nullptr,
+                &scratch, &parent, &basis);
+    ASSERT_EQ(parent.status, LpResult::SolveStatus::kOptimal)
+        << LpKernelName(kernel) << " seed=" << GetParam();
+    SolveLpWarm(form, options, form.var_lower, child_upper, &basis, &scratch,
+                &warm_by_kernel[i++], nullptr);
+  }
+  ASSERT_EQ(warm_by_kernel[0].status, warm_by_kernel[1].status)
+      << "seed=" << GetParam();
+  if (warm_by_kernel[0].status == LpResult::SolveStatus::kOptimal) {
+    EXPECT_NEAR(warm_by_kernel[0].objective, warm_by_kernel[1].objective,
+                kTol)
+        << "seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, KernelEquivalenceTest,
                          ::testing::Range(0, 30));
 
 }  // namespace

@@ -335,6 +335,20 @@ TEST_P(DecomposedAgreementTest, MatchesWholeModelSolve) {
   model.SetObjective(objective, 0, ObjectiveSense::kMinimize);
 
   const MilpResult whole = SolveMilp(model);
+
+  // Dense-oracle cross-check: the whole-model solve must agree between the
+  // default sparse LP kernel and the dense tableau oracle to 1e-6.
+  {
+    MilpOptions dense_options;
+    dense_options.lp.kernel = LpKernel::kDense;
+    const MilpResult dense = SolveMilp(model, dense_options);
+    ASSERT_EQ(dense.status, whole.status) << "seed=" << GetParam();
+    if (whole.status == MilpResult::SolveStatus::kOptimal) {
+      EXPECT_NEAR(dense.objective, whole.objective, 1e-6)
+          << "seed=" << GetParam();
+    }
+  }
+
   for (int threads : {1, 4}) {
     MilpOptions options;
     options.search.num_threads = threads;

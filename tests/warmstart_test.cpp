@@ -10,6 +10,7 @@
 #include "milp/presolve.h"
 #include "ocr/cash_budget.h"
 #include "repair/engine.h"
+#include "util/random.h"
 
 namespace dart::milp {
 namespace {
@@ -105,6 +106,115 @@ TEST(WarmStartTest, EngineHintAcceleratesRepeatSolve) {
   EXPECT_EQ(warm->repair.cardinality(), cold->repair.cardinality());
   EXPECT_LE(warm_run.metrics().Snapshot().Counter("milp.nodes"),
             cold_run.metrics().Snapshot().Counter("milp.nodes"));
+}
+
+// --- Sparse vs dense kernel warm-start parity -------------------------------
+
+class KernelWarmStartParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelWarmStartParityTest, SparseWarmFractionIsNoWorseThanDense) {
+  // Random pure-binary models (the WarmStartAgreementTest recipe, different
+  // seed stream): branch-and-bound with warm starts under the sparse kernel
+  // must find the same optimum as under the dense oracle, and its warm-start
+  // fraction must be no worse — every non-root node re-solves on the warm
+  // path; a kernel that silently falls back to cold solves fails here.
+  Rng rng(81000 + GetParam());
+  Model model;
+  std::vector<int> vars;
+  for (int i = 0; i < 8; ++i) {
+    vars.push_back(
+        model.AddVariable("b" + std::to_string(i), VarType::kBinary, 0, 1));
+  }
+  for (int r = 0; r < 5; ++r) {
+    std::vector<LinearTerm> terms;
+    for (int v : vars) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({v, static_cast<double>(rng.UniformInt(-4, 4))});
+      }
+    }
+    if (terms.empty()) continue;
+    RowSense sense = rng.Bernoulli(0.3)
+                         ? RowSense::kGe
+                         : (rng.Bernoulli(0.15) ? RowSense::kEq
+                                                : RowSense::kLe);
+    model.AddRow("r" + std::to_string(r), terms, sense,
+                 static_cast<double>(rng.UniformInt(-6, 10)));
+  }
+  std::vector<LinearTerm> objective;
+  for (int v : vars) {
+    objective.push_back({v, static_cast<double>(rng.UniformInt(-5, 5))});
+  }
+  model.SetObjective(objective, 0, ObjectiveSense::kMinimize);
+
+  double warm_frac[2] = {1.0, 1.0};
+  bool optimal[2] = {false, false};
+  double value[2] = {0.0, 0.0};
+  int k = 0;
+  for (const LpKernel kernel : {LpKernel::kSparse, LpKernel::kDense}) {
+    obs::RunContext run;
+    MilpOptions options;
+    options.run = &run;
+    options.lp.kernel = kernel;
+    options.objective_is_integral = true;
+    MilpResult solved = SolveMilp(model, options);
+    optimal[k] = solved.status == MilpResult::SolveStatus::kOptimal;
+    value[k] = solved.objective;
+    const auto snapshot = run.metrics().Snapshot();
+    const auto nodes = snapshot.Counter("milp.nodes");
+    const auto warm = snapshot.Counter("milp.lp_warm_solves");
+    if (nodes > 1) {
+      EXPECT_EQ(warm, nodes - 1)
+          << LpKernelName(kernel) << " seed=" << GetParam();
+      warm_frac[k] = static_cast<double>(warm) /
+                     static_cast<double>(nodes - 1);
+    }
+    ++k;
+  }
+  ASSERT_EQ(optimal[0], optimal[1]) << "seed=" << GetParam();
+  if (optimal[0]) {
+    EXPECT_NEAR(value[0], value[1], 1e-6);
+  }
+  EXPECT_GE(warm_frac[0] + 1e-12, warm_frac[1]) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, KernelWarmStartParityTest,
+                         ::testing::Range(0, 30));
+
+TEST(WarmStartTest, KernelsAgreeOnPaperInstanceRepair) {
+  // End-to-end engine parity on the paper's cash-budget instance: identical
+  // repair cardinality and a sparse warm fraction no worse than dense.
+  auto db = ocr::CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(db.ok());
+  cons::ConstraintSet constraints;
+  ASSERT_TRUE(cons::ParseConstraintProgram(
+                  db->Schema(), ocr::CashBudgetFixture::ConstraintProgram(),
+                  &constraints)
+                  .ok());
+  size_t cardinality[2] = {0, 0};
+  double warm_frac[2] = {1.0, 1.0};
+  int k = 0;
+  for (const LpKernel kernel : {LpKernel::kSparse, LpKernel::kDense}) {
+    obs::RunContext run;
+    repair::RepairEngineOptions options;
+    options.run = &run;
+    options.milp.lp.kernel = kernel;
+    repair::RepairEngine engine(options);
+    auto outcome = engine.ComputeRepair(*db, constraints);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    cardinality[k] = outcome->repair.cardinality();
+    const auto snapshot = run.metrics().Snapshot();
+    const auto nodes = snapshot.Counter("milp.nodes");
+    const auto solves = snapshot.Counter("milp.solves");
+    const auto warm = snapshot.Counter("milp.lp_warm_solves");
+    // Warm-eligible nodes: every node except each component solve's root.
+    if (nodes > solves) {
+      warm_frac[k] = static_cast<double>(warm) /
+                     static_cast<double>(nodes - solves);
+    }
+    ++k;
+  }
+  EXPECT_EQ(cardinality[0], cardinality[1]);
+  EXPECT_GE(warm_frac[0] + 1e-12, warm_frac[1]);
 }
 
 TEST(WarmStartTest, HintContradictedByPinIsDropped) {
