@@ -1,0 +1,127 @@
+// Experiment E19 (EXPERIMENTS.md): incremental cross-iteration re-solve.
+// The same supervised validation sessions run twice — from-scratch (every
+// iteration re-translates S*(AC) and re-solves every component) vs
+// incremental (SessionOptions::use_incremental: translate + decompose once,
+// re-solve only the components the newest operator pins touched, stitch
+// cached optima for the rest). A batch size of 1 maximizes iteration count,
+// which is the regime the incremental state exists for: per-iteration wall
+// time must drop by the component reuse factor (≥ 5× on a 4+-document
+// corpus). main() additionally asserts, per seed, that both modes land on
+// the *identical* final database — the incremental path is a pure perf
+// change, not a semantics change.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "validation/operator.h"
+#include "validation/session.h"
+
+namespace {
+
+dart::validation::SessionOptions SessionOptionsFor(bool incremental) {
+  dart::validation::SessionOptions options;
+  options.use_incremental = incremental;
+  options.examine_batch = 1;
+  return options;
+}
+
+void BM_ValidationSession(benchmark::State& state) {
+  const int docs = static_cast<int>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  const dart::bench::Scenario scenario = dart::bench::MakeMultiDocScenario(
+      /*seed=*/19, docs, /*years=*/2, /*errors_per_doc=*/2);
+  const dart::validation::SimulatedOperator op(&scenario.truth);
+  const dart::validation::SessionOptions options =
+      SessionOptionsFor(incremental);
+  size_t loop_iterations = 0;
+  for (auto _ : state) {
+    auto result = dart::validation::RunValidationSession(
+        scenario.acquired, scenario.constraints, op, options);
+    DART_CHECK_MSG(result.ok(), result.status().ToString());
+    DART_CHECK_MSG(result->converged, "E19 session did not converge");
+    loop_iterations = result->iterations;
+    benchmark::DoNotOptimize(result->repaired);
+  }
+  // One explicitly timed session outside the benchmark loop gives the
+  // headline per-iteration figure without depending on the harness's
+  // averaging.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto timed = dart::validation::RunValidationSession(
+      scenario.acquired, scenario.constraints, op, options);
+  DART_CHECK_MSG(timed.ok(), timed.status().ToString());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.counters["loop_iters"] = static_cast<double>(loop_iterations);
+  state.counters["per_iter_ms"] =
+      seconds * 1e3 / static_cast<double>(timed->iterations);
+
+  // Component-reuse accounting for the incremental rows (all zero on the
+  // from-scratch rows — the counters only exist on the incremental path).
+  dart::obs::RunContext run;
+  dart::validation::SessionOptions instrumented =
+      SessionOptionsFor(incremental);
+  instrumented.run = &run;
+  auto traced = dart::validation::RunValidationSession(
+      scenario.acquired, scenario.constraints, op, instrumented);
+  DART_CHECK_MSG(traced.ok(), traced.status().ToString());
+  const dart::obs::MetricsSnapshot snap = run.metrics().Snapshot();
+  state.counters["dirty_comps"] =
+      static_cast<double>(snap.Counter("repair.incremental.dirty_components"));
+  state.counters["clean_reused"] =
+      static_cast<double>(snap.Counter("repair.incremental.clean_reused"));
+  state.counters["translate_skipped"] = static_cast<double>(
+      snap.Counter("repair.incremental.translate_skipped"));
+}
+
+// range(1): 0 = from-scratch engine per iteration, 1 = incremental session.
+BENCHMARK(BM_ValidationSession)
+    ->ArgsProduct({{4, 8}, {0, 1}})
+    ->ArgNames({"docs", "incremental"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Exactness sweep: per seed, the incremental and from-scratch loops must
+  // produce the identical final database. This runs on every invocation so
+  // reproduce.sh cannot record an E19 table for a divergent implementation.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const dart::bench::Scenario scenario = dart::bench::MakeMultiDocScenario(
+        seed, /*docs=*/4, /*years=*/2, /*errors_per_doc=*/2);
+    const dart::validation::SimulatedOperator op(&scenario.truth);
+    auto oracle = dart::validation::RunValidationSession(
+        scenario.acquired, scenario.constraints, op, SessionOptionsFor(false));
+    auto incremental = dart::validation::RunValidationSession(
+        scenario.acquired, scenario.constraints, op, SessionOptionsFor(true));
+    DART_CHECK_MSG(oracle.ok(), oracle.status().ToString());
+    DART_CHECK_MSG(incremental.ok(), incremental.status().ToString());
+    auto differences =
+        oracle->repaired.CountDifferences(incremental->repaired);
+    DART_CHECK_MSG(differences.ok(), differences.status().ToString());
+    DART_CHECK_MSG(*differences == 0,
+                   "E19 incremental/from-scratch final databases diverge");
+  }
+
+  // E17 contract: every bench binary leaves a schema-valid OBS trace. One
+  // instrumented incremental session is representative of the workload.
+  {
+    const dart::bench::Scenario scenario = dart::bench::MakeMultiDocScenario(
+        /*seed=*/19, /*docs=*/4, /*years=*/2, /*errors_per_doc=*/2);
+    const dart::validation::SimulatedOperator op(&scenario.truth);
+    dart::obs::RunContext run;
+    dart::validation::SessionOptions options = SessionOptionsFor(true);
+    options.run = &run;
+    auto result = dart::validation::RunValidationSession(
+        scenario.acquired, scenario.constraints, op, options);
+    DART_CHECK_MSG(result.ok(), result.status().ToString());
+    dart::bench::WriteBenchTrace(run, "bench_incremental");
+  }
+  return 0;
+}

@@ -23,7 +23,8 @@ done
 # checked-in BENCH_bench_repair_scaling.seed.json baseline).
 GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
 bench_end_to_end bench_presolve_ablation bench_thread_scaling \
-bench_warmstart_ablation bench_decomposition bench_sparse_kernel"
+bench_warmstart_ablation bench_decomposition bench_sparse_kernel \
+bench_incremental"
 for name in $GBENCHES; do
   b="build/bench/$name"
   [ -x "$b" ] || continue
@@ -49,6 +50,13 @@ python3 scripts/check_bench_regression.py \
 # margin over the dense oracle rows recorded in the baseline.
 python3 scripts/check_bench_regression.py \
   BENCH_bench_sparse_kernel.json BENCH_bench_sparse_kernel.seed.json \
+  --max-ratio 1.3 || exit 1
+
+# E19 gate: the incremental-session sweep must stay within 1.3x of its seed
+# — in particular the incremental rows must not creep back toward the
+# from-scratch per-iteration times.
+python3 scripts/check_bench_regression.py \
+  BENCH_bench_incremental.json BENCH_bench_incremental.seed.json \
   --max-ratio 1.3 || exit 1
 
 # Observability gates (E17, docs/observability.md): every benchmark binary

@@ -138,6 +138,17 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
   Node root;
   root.lower = form.var_lower;
   root.upper = form.var_upper;
+  // A caller-provided root basis (a previous solve's optimum) warm-starts
+  // the root exactly like a parent basis warm-starts a child. Shape-check it
+  // here rather than trusting the caller: a stale snapshot from a different
+  // model must not reach the kernel.
+  if (options.search.use_warm_start && options.search.root_basis != nullptr &&
+      options.search.root_basis->basis.size() ==
+          static_cast<size_t>(form.m_model) &&
+      options.search.root_basis->status.size() ==
+          static_cast<size_t>(n + form.m_model)) {
+    root.warm = options.search.root_basis;
+  }
 
   // Best-first: a binary heap over a plain vector (same algorithm as
   // std::priority_queue, but pop can move the node out instead of copying).
@@ -218,6 +229,11 @@ MilpResult SolveMilpSerial(const Model& model, const MilpOptions& options) {
       continue;
     }
     any_feasible_lp = true;
+    if (node.depth == 0 && options.search.use_warm_start) {
+      // Copy (not move): node_basis is moved into the branch snapshot below,
+      // and the root's optimum is what the next re-solve warm-starts from.
+      result.root_basis = std::make_shared<const LpBasis>(node_basis);
+    }
     const double bound_key = sense_factor * lp.objective;
     if (prunable(bound_key)) continue;
 

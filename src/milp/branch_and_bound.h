@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "milp/model.h"
@@ -56,6 +57,14 @@ struct SearchOptions {
   bool rounding_heuristic = true;
   BranchRule branch_rule = BranchRule::kMostFractional;
   NodeOrder node_order = NodeOrder::kBestFirst;
+  /// Optional warm basis for the *root* LP (a previous solve's optimal root
+  /// basis, see MilpResult::root_basis). The root re-solves from it with
+  /// dual pivots exactly like a child node warm-starts from its parent;
+  /// shape mismatches and stale snapshots are ignored / fall back to a cold
+  /// solve, so a caller can always pass whatever it captured last. Consumed
+  /// by SolveMilp only — the batch entry points take a per-model basis via
+  /// BatchModel::root_basis instead.
+  std::shared_ptr<const LpBasis> root_basis;
 };
 
 /// Knobs of the model-shrinking stages that run before the search
@@ -145,6 +154,13 @@ struct MilpResult {
   /// SolveMilpWithPresolve, see presolve.h).
   int presolve_variables_eliminated = 0;
   int presolve_rows_removed = 0;
+  /// Optimal basis of the root LP relaxation, captured when warm starts are
+  /// on and the root LP solved to optimality (null otherwise). Feeding it
+  /// back through SearchOptions::root_basis / BatchModel::root_basis lets a
+  /// re-solve of the same (or slightly perturbed) model skip the cold root
+  /// factorization — the incremental repair session's cross-iteration warm
+  /// start.
+  std::shared_ptr<const LpBasis> root_basis;
 };
 
 const char* MilpStatusName(MilpResult::SolveStatus status);

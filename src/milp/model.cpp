@@ -73,6 +73,31 @@ void Model::SetObjective(std::vector<LinearTerm> terms, double constant,
   objective_sense_ = sense;
 }
 
+void Model::SetVariableBounds(int index, double lower, double upper) {
+  DART_CHECK(index >= 0 && index < num_variables());
+  Variable& v = variables_[static_cast<size_t>(index)];
+  if (v.type == VarType::kBinary) {
+    lower = std::max(lower, 0.0);
+    upper = std::min(upper, 1.0);
+  }
+  DART_CHECK_MSG(std::isfinite(lower) && std::isfinite(upper),
+                 "DART MILP models require finite variable bounds");
+  DART_CHECK_MSG(lower <= upper, "variable bounds must satisfy lower <= upper");
+  v.lower = lower;
+  v.upper = upper;
+}
+
+void Model::ScaleVarRowCoefficients(int variable, double factor) {
+  DART_CHECK(variable >= 0 && variable < num_variables());
+  DART_CHECK_MSG(std::isfinite(factor) && factor != 0,
+                 "coefficient scale factor must be finite and nonzero");
+  for (Row& row : rows_) {
+    for (LinearTerm& term : row.terms) {
+      if (term.variable == variable) term.coefficient *= factor;
+    }
+  }
+}
+
 const Variable& Model::variable(int index) const {
   DART_CHECK(index >= 0 && index < num_variables());
   return variables_[index];

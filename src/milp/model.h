@@ -68,6 +68,19 @@ class Model {
   void SetObjective(std::vector<LinearTerm> terms, double constant,
                     ObjectiveSense sense);
 
+  /// Replaces the bounds of an existing variable (finite, lower <= upper;
+  /// binary variables stay within [0, 1]). This is how persistent models are
+  /// re-used across solves: an operator pin is the bound change [v, v] on z,
+  /// and a big-M enlargement widens the y box — no rebuild required.
+  void SetVariableBounds(int index, double lower, double upper);
+
+  /// Multiplies `variable`'s coefficient in every row it occurs in by
+  /// `factor` (the objective and rhs are untouched). The incremental repair
+  /// session uses this to enlarge a component's big-M in place: a δ variable
+  /// occurs exactly in its two big-M rows with coefficient −Mᵢ, so scaling by
+  /// 100 is the same model the translator would rebuild with M ×100.
+  void ScaleVarRowCoefficients(int variable, double factor);
+
   int num_variables() const { return static_cast<int>(variables_.size()); }
   int num_rows() const { return static_cast<int>(rows_.size()); }
   const Variable& variable(int index) const;

@@ -107,6 +107,10 @@ struct InstanceState {
   std::atomic<int64_t> lp_btran{0};
   /// Peak eta-file fill-in across the instance's LP solves (max, not sum).
   std::atomic<int64_t> lp_basis_fill_nnz{0};
+  /// Optimal basis of this instance's root LP. Written by the single worker
+  /// that pops the depth-0 node, read after join — the thread join is the
+  /// synchronization point, so a plain member suffices.
+  std::shared_ptr<const LpBasis> root_basis;
   std::atomic<bool> unbounded{false};
   std::atomic<bool> any_feasible_lp{false};
   /// An LP hit its iteration cap — same conservative "early stop" treatment
@@ -306,6 +310,11 @@ void WorkerMain(WorkerContext* ctx) {
       continue;
     }
     inst->any_feasible_lp.store(true, std::memory_order_relaxed);
+    if (node.depth == 0 && options.search.use_warm_start) {
+      // Copy before node_basis is moved into the branch snapshot. Only this
+      // worker ever holds the instance's depth-0 node.
+      inst->root_basis = std::make_shared<const LpBasis>(node_basis);
+    }
     const double bound_key = sense_factor * lp.objective;
     if (prunable(bound_key)) {
       retire();
@@ -408,6 +417,14 @@ std::vector<MilpResult> SolveBatchParallel(
     root.instance = i;
     root.lower = instances[i]->form.var_lower;
     root.upper = instances[i]->form.var_upper;
+    if (options.search.use_warm_start && models[i].root_basis != nullptr &&
+        models[i].root_basis->basis.size() ==
+            static_cast<size_t>(instances[i]->form.m_model) &&
+        models[i].root_basis->status.size() ==
+            static_cast<size_t>(instances[i]->form.n +
+                                instances[i]->form.m_model)) {
+      root.warm = models[i].root_basis;
+    }
     instances[i]->open_nodes.store(1, std::memory_order_relaxed);
     shared.open_nodes.fetch_add(1, std::memory_order_relaxed);
     deques[i % num_threads].PushBottom(std::move(root));
@@ -480,6 +497,7 @@ std::vector<MilpResult> SolveBatchParallel(
     counters.lp_basis_fill_nnz = inst.lp_basis_fill_nnz.load();
     internal::PublishMilpCounters(options.run, counters);
     result.wall_seconds = wall_seconds;
+    result.root_basis = std::move(inst.root_basis);
 
     if (inst.unbounded.load()) {
       result.status = MilpResult::SolveStatus::kUnbounded;
@@ -529,6 +547,7 @@ std::vector<MilpResult> SolveMilpBatch(const std::vector<BatchModel>& models,
       MilpOptions serial = options;
       serial.search.num_threads = 1;
       serial.initial_point = bm.initial_point;
+      serial.search.root_basis = bm.root_basis;
       obs::Span instance_span(options.run, "milp.instance");
       results.push_back(SolveMilp(*bm.model, serial));
     }

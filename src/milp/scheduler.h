@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "milp/branch_and_bound.h"
@@ -42,6 +43,11 @@ namespace dart::milp {
 struct BatchModel {
   const Model* model = nullptr;
   std::vector<double> initial_point;
+  /// Optional warm basis for this model's root LP (a previous solve's
+  /// MilpResult::root_basis). Shape-checked against the model; mismatches
+  /// are ignored. Per-model analogue of SearchOptions::root_basis, which the
+  /// batch entry points do not consult.
+  std::shared_ptr<const LpBasis> root_basis;
 };
 
 /// Solves every model of `models` and returns one MilpResult per model, in

@@ -22,9 +22,10 @@ double Seconds(std::chrono::steady_clock::time_point begin,
   return std::chrono::duration<double>(end - begin).count();
 }
 
-/// Extracts the repair encoded by a MILP solution: every zᵢ whose value
-/// differs from vᵢ becomes an atomic update. Integer-domain values are
-/// snapped to the nearest integer.
+}  // namespace
+
+namespace internal {
+
 Result<Repair> ExtractRepair(const rel::Database& db,
                              const Translation& translation,
                              const std::vector<double>& point) {
@@ -56,8 +57,6 @@ Result<Repair> ExtractRepair(const rel::Database& db,
   return Repair(std::move(updates));
 }
 
-/// Snaps a solved z value the same way ExtractRepair renders it into the
-/// database, so a pin of an accepted value reproduces the repair exactly.
 double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
                      double z) {
   const rel::Relation* relation = db.FindRelation(cell.relation);
@@ -68,6 +67,10 @@ double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
   }
   return std::round(z * 1e6) / 1e6;
 }
+
+}  // namespace internal
+
+namespace {
 
 /// Presolve + decomposition bookkeeping of one solve attempt, kept around so
 /// the big-M retry can tell accepted components from saturated ones.
@@ -357,7 +360,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
           if (comp < 0 || component_dirty[comp]) continue;
           const milp::MilpResult& cr = ctx.component_results[comp];
           if (!cr.has_incumbent) continue;
-          const double z = SnapCellValue(
+          const double z = internal::SnapCellValue(
               db, translation.cells[i],
               cr.point[ctx.decomposition.local_of_var[z_var]]);
           retry_pins.push_back(FixedValue{translation.cells[i], z});
@@ -386,8 +389,8 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
         break;
     }
 
-    DART_ASSIGN_OR_RETURN(Repair repair,
-                          ExtractRepair(db, translation, solved.point));
+    DART_ASSIGN_OR_RETURN(
+        Repair repair, internal::ExtractRepair(db, translation, solved.point));
     // Under the card-minimal objective (no weights), the cardinality must
     // equal the MILP optimum (Sec. 5: the objective value is the number of
     // atomic updates of a card-minimal repair).

@@ -110,4 +110,22 @@ class RepairEngine {
 /// ties broken by cell order for determinism.
 void OrderUpdatesForDisplay(const Translation& translation, Repair* repair);
 
+namespace internal {
+
+/// Extracts the repair encoded by a MILP solution: every zᵢ whose value
+/// differs from vᵢ (beyond a relative 1e-6 tolerance) becomes an atomic
+/// update; integer-domain values snap to the nearest integer, continuous
+/// ones to a 6-decimal grid. Shared by the from-scratch engine and the
+/// incremental session so both render solutions identically.
+Result<Repair> ExtractRepair(const rel::Database& db,
+                             const Translation& translation,
+                             const std::vector<double>& point);
+
+/// Snaps a solved z value the same way ExtractRepair renders it into the
+/// database, so a pin of an accepted value reproduces the repair exactly.
+double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
+                     double z);
+
+}  // namespace internal
+
 }  // namespace dart::repair

@@ -1,8 +1,11 @@
 #include "validation/session.h"
 
+#include <cmath>
 #include <map>
+#include <optional>
 #include <ostream>
 
+#include "repair/incremental.h"
 #include "validation/display.h"
 
 namespace dart::validation {
@@ -11,19 +14,59 @@ namespace {
 
 /// Fills the progress timings from the trace: the elapsed time of the open
 /// `validation.iteration` span and the duration of the latest closed
-/// `repair.attempt`. Snapshot() is sorted by id, so the last match of each
-/// name is the most recent one.
+/// `repair.attempt`. Snapshot() is sorted by id, so the most recent match of
+/// each name is found first when scanning from the back — the scan stops as
+/// soon as both are resolved instead of walking every span of the session so
+/// far (long sessions accumulate thousands).
 void FillProgressTimings(const obs::TraceCollector& trace,
                          SessionProgressView* view) {
   const int64_t now_ns = trace.NowNs();
-  for (const obs::SpanRecord& span : trace.Snapshot()) {
-    if (span.name == "validation.iteration" && span.duration_ns < 0) {
+  const std::vector<obs::SpanRecord> spans = trace.Snapshot();
+  bool have_iteration = false;
+  bool have_attempt = false;
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (!have_iteration && it->name == "validation.iteration" &&
+        it->duration_ns < 0) {
       view->iteration_seconds =
-          static_cast<double>(now_ns - span.start_ns) * 1e-9;
-    } else if (span.name == "repair.attempt" && span.duration_ns >= 0) {
-      view->attempt_seconds = static_cast<double>(span.duration_ns) * 1e-9;
+          static_cast<double>(now_ns - it->start_ns) * 1e-9;
+      have_iteration = true;
+    } else if (!have_attempt && it->name == "repair.attempt" &&
+               it->duration_ns >= 0) {
+      view->attempt_seconds = static_cast<double>(it->duration_ns) * 1e-9;
+      have_attempt = true;
+    }
+    if (have_iteration && have_attempt) break;
+  }
+}
+
+/// Writes every operator-validated value into `db`. The repair the loop
+/// converged on can silently omit a validated cell: ExtractRepair drops
+/// |z − v| below a *relative* 1e-6 tolerance, so a rejection whose actual
+/// source value differs from the acquired value by less than 1e-6·|v| (a few
+/// units at millions-scale magnitudes) yields an empty update for that cell
+/// — and the `already_consistent` / empty-repair convergence path used to
+/// return the acquired database verbatim. The operator's word is ground
+/// truth regardless of solver tolerances; overlay it on every exit path.
+Status OverlayValidatedValues(const std::map<rel::CellRef, double>& validated,
+                              rel::Database* db) {
+  for (const auto& [cell, value] : validated) {
+    const rel::Relation* relation = db->FindRelation(cell.relation);
+    if (relation == nullptr) {
+      return Status::Internal("validated cell references unknown relation " +
+                              cell.relation);
+    }
+    const rel::Domain domain =
+        relation->schema().attribute(cell.attribute).domain;
+    const rel::Value next =
+        domain == rel::Domain::kInt
+            ? rel::Value(static_cast<int64_t>(std::llround(value)))
+            : rel::Value(value);
+    DART_ASSIGN_OR_RETURN(rel::Value current, db->ValueAt(cell));
+    if (current != next) {
+      DART_RETURN_IF_ERROR(db->UpdateCell(cell, next));
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -43,6 +86,18 @@ Result<SessionResult> RunValidationSession(
   repair::RepairEngineOptions engine_options = options.engine;
   if (engine_options.run == nullptr) engine_options.run = run;
   repair::RepairEngine engine(engine_options);
+  // The incremental session persists the translation, the component
+  // decomposition and per-component optima/bases across iterations, so each
+  // re-solve costs only the components the newest pins touched. The
+  // exhaustive baseline has no incremental counterpart — it exists to
+  // cross-check the branch-and-bound solver, so it keeps the from-scratch
+  // path.
+  const bool use_incremental =
+      options.use_incremental && !engine_options.use_exhaustive_solver;
+  std::optional<repair::IncrementalRepairSession> incremental;
+  if (use_incremental) {
+    incremental.emplace(acquired, constraints, engine_options);
+  }
   SessionResult result;
   const obs::MetricsSnapshot session_base = run->metrics().Snapshot();
   // SessionResult's aggregate solver effort is the registry delta over the
@@ -73,13 +128,18 @@ Result<SessionResult> RunValidationSession(
     for (const auto& [cell, value] : validated) {
       pins.push_back(repair::FixedValue{cell, value});
     }
+    const repair::Repair* warm =
+        iteration == 0 ? nullptr : &previous_repair;
     DART_ASSIGN_OR_RETURN(
         repair::RepairOutcome outcome,
-        engine.ComputeRepair(acquired, constraints, pins,
-                             iteration == 0 ? nullptr : &previous_repair));
+        use_incremental
+            ? incremental->ComputeRepair(pins, warm)
+            : engine.ComputeRepair(acquired, constraints, pins, warm));
 
     if (outcome.already_consistent || outcome.repair.empty()) {
-      result.repaired = acquired.Clone();
+      rel::Database repaired = acquired.Clone();
+      DART_RETURN_IF_ERROR(OverlayValidatedValues(validated, &repaired));
+      result.repaired = std::move(repaired);
       result.converged = true;
       fill_totals();
       return result;
@@ -129,6 +189,7 @@ Result<SessionResult> RunValidationSession(
       // Every update is validated (now or earlier): the repair is accepted.
       DART_ASSIGN_OR_RETURN(rel::Database repaired,
                             outcome.repair.Applied(acquired));
+      DART_RETURN_IF_ERROR(OverlayValidatedValues(validated, &repaired));
       result.repaired = std::move(repaired);
       result.converged = true;
       fill_totals();

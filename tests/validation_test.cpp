@@ -153,6 +153,77 @@ TEST_P(BatchSweepTest, ConvergesToTruthUnderAnyBatchSize) {
 INSTANTIATE_TEST_SUITE_P(Batches, BatchSweepTest,
                          ::testing::Values(0, 1, 2, 5));
 
+TEST(ValidationSessionTest, RejectionActualValueSurvivesEmptyRepairPath) {
+  // Regression for a silent-corruption path in the convergence handling:
+  // ExtractRepair drops updates below a *relative* 1e-6 tolerance, so at
+  // millions-scale magnitudes a repair that moves a cell by a few units
+  // extracts as empty — and the `already_consistent || repair.empty()` exit
+  // used to return the acquired database verbatim, discarding actual source
+  // values the operator had supplied on rejection. The final database must
+  // always reflect the operator's word.
+  //
+  // Scenario: two cells of 3,000,000 whose true values are 2,999,998 each,
+  // under sum = 5,999,996. Iteration 1 suggests a single-cell change by 4
+  // (extractable: 4 > 1e-6·3e6 = 3) which the operator rejects, pinning that
+  // cell to 2,999,998. Iteration 2's optimal repair then moves both cells by
+  // 2 — below the relative tolerance — so the extracted repair is empty and
+  // the loop converges. verify_result must be off for this to be silent
+  // (the engine's own post-check would reject the empty repair first).
+  rel::Database truth;
+  {
+    auto schema = rel::RelationSchema::Create(
+        "Books", {{"Grp", rel::Domain::kInt, false},
+                  {"Val", rel::Domain::kInt, true}});
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(truth.AddRelation(*schema).ok());
+    rel::Relation* books = truth.FindRelation("Books");
+    ASSERT_TRUE(books
+                    ->Insert({rel::Value(int64_t{1}),
+                              rel::Value(int64_t{2999998})})
+                    .ok());
+    ASSERT_TRUE(books
+                    ->Insert({rel::Value(int64_t{1}),
+                              rel::Value(int64_t{2999998})})
+                    .ok());
+  }
+  rel::Database acquired = truth.Clone();
+  ASSERT_TRUE(
+      acquired.UpdateCell({"Books", 0, 1}, rel::Value(int64_t{3000000})).ok());
+  ASSERT_TRUE(
+      acquired.UpdateCell({"Books", 1, 1}, rel::Value(int64_t{3000000})).ok());
+  const char* program = R"(
+agg tot(x) := sum(Val) from Books where Grp = x;
+constraint balance: Books(x, _) => tot(x) = 5999996;
+)";
+  cons::ConstraintSet constraints;
+  Status parsed =
+      cons::ParseConstraintProgram(acquired.Schema(), program, &constraints);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
+  SimulatedOperator op(&truth);
+
+  for (bool incremental : {false, true}) {
+    SessionOptions options;
+    options.use_incremental = incremental;
+    options.engine.verify_result = false;
+    auto result = RunValidationSession(acquired, constraints, op, options);
+    ASSERT_TRUE(result.ok()) << "incremental=" << incremental << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->converged);
+    ASSERT_GE(result->rejected_updates, 1u) << "incremental=" << incremental;
+    // The rejected cell's actual source value (2,999,998) must be in the
+    // final database even though the converging repair extracted as empty.
+    EXPECT_GE(*result->repaired.CountDifferences(acquired), 1u)
+        << "incremental=" << incremental;
+    bool actual_value_present = false;
+    for (size_t row = 0; row < 2; ++row) {
+      auto value = result->repaired.ValueAt({"Books", row, 1});
+      ASSERT_TRUE(value.ok());
+      if (*value == rel::Value(int64_t{2999998})) actual_value_present = true;
+    }
+    EXPECT_TRUE(actual_value_present) << "incremental=" << incremental;
+  }
+}
+
 TEST(ValidationSessionTest, EffortIsBoundedByMeasureCells) {
   Rng rng(777);
   ocr::CashBudgetOptions options;
