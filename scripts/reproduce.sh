@@ -24,7 +24,7 @@ done
 GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
 bench_end_to_end bench_presolve_ablation bench_thread_scaling \
 bench_warmstart_ablation bench_decomposition bench_sparse_kernel \
-bench_incremental"
+bench_incremental bench_batch_throughput"
 for name in $GBENCHES; do
   b="build/bench/$name"
   [ -x "$b" ] || continue
@@ -59,6 +59,14 @@ python3 scripts/check_bench_regression.py \
   BENCH_bench_incremental.json BENCH_bench_incremental.seed.json \
   --max-ratio 1.3 || exit 1
 
+# E20 gate: the batch-ingestion sweep must stay within 1.3x of its seed — in
+# particular ProcessBatch must not creep back toward the serial-loop times
+# (the bench binary itself enforces the >= 3x / >= 0.70-utilization gates on
+# hosts with enough hardware threads).
+python3 scripts/check_bench_regression.py \
+  BENCH_bench_batch_throughput.json BENCH_bench_batch_throughput.seed.json \
+  --max-ratio 1.3 || exit 1
+
 # Observability gates (E17, docs/observability.md): every benchmark binary
 # leaves an OBS_<name>.trace.json run report behind. Each must be
 # schema-valid with zero dropped spans (the default trace capacity has to
@@ -73,6 +81,11 @@ python3 scripts/trace_report.py overhead BENCH_bench_repair_scaling.json \
   --max-overhead 0.02 || exit 1
 python3 scripts/trace_report.py stream OBS_bench_end_to_end.metrics.jsonl \
   --against-report OBS_bench_end_to_end.trace.json || exit 1
+# E20: the per-document pipeline.acquire spans inside pipeline.batch must
+# genuinely overlap in time — proof the acquisition fan-out is concurrent,
+# not a serialized loop wearing batch spans.
+python3 scripts/trace_report.py overlap \
+  OBS_bench_batch_throughput.trace.json || exit 1
 
 echo "Done: test_output.txt, bench_output.txt, BENCH_*.json," \
   "OBS_*.trace.json, OBS_bench_end_to_end.metrics.jsonl"

@@ -29,6 +29,14 @@ contract — scripts/reproduce.sh runs it over every benchmark's trace:
       twin (BM_RepairVsYears/12) in a google-benchmark JSON file and fails
       when the observed run is more than --max-overhead slower.
 
+  trace_report.py overlap FILE [--parent pipeline.batch --child
+                                pipeline.acquire --min-overlapping 2]
+      Parallelism regression gate: inside each `--parent` span, the
+      descendant `--child` spans must actually run concurrently — at least
+      --min-overlapping of them pairwise overlapping in time. A batch run
+      whose per-document acquire spans are disjoint has silently
+      re-serialized.
+
 Exit status: 0 = ok, 1 = validation/gate failure, 2 = bad input.
 """
 
@@ -360,6 +368,54 @@ def cmd_overhead(args):
     return 0 if overhead <= args.max_overhead else 1
 
 
+def cmd_overlap(args):
+    doc = load_json(args.file)
+    errors = validate_report(args.file, doc)
+    if errors:
+        for msg in errors:
+            print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
+        return 1
+
+    by_id = {s["id"]: s for s in doc["spans"]}
+    parents = [s for s in doc["spans"] if s["name"] == args.parent]
+    if not parents:
+        print(f"OVERLAP VIOLATION: {args.file}: no {args.parent!r} span "
+              f"found", file=sys.stderr)
+        return 1
+
+    def ancestor_ids(span):
+        seen = set()
+        cur = span["parent"]
+        while cur != 0 and cur in by_id and cur not in seen:
+            seen.add(cur)
+            cur = by_id[cur]["parent"]
+        return seen
+
+    failures = 0
+    for parent in parents:
+        children = [s for s in doc["spans"]
+                    if s["name"] == args.child and s["duration_ns"] >= 0
+                    and parent["id"] in ancestor_ids(s)]
+        # Peak concurrency by event sweep: +1 at each start, -1 at each end
+        # (ends sorted first at a tie, so touching intervals don't count).
+        events = []
+        for span in children:
+            events.append((span["start_ns"], 1))
+            events.append((span["start_ns"] + span["duration_ns"], -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        live = peak = 0
+        for _, delta in events:
+            live += delta
+            peak = max(peak, live)
+        verdict = "OK" if peak >= args.min_overlapping else "FAIL"
+        print(f"overlap: {args.parent} span {parent['id']}: "
+              f"{len(children)} {args.child} span(s), peak concurrency "
+              f"{peak} (need >= {args.min_overlapping}) {verdict}")
+        if peak < args.min_overlapping:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -388,6 +444,13 @@ def main():
     p_overhead.add_argument("--observed", default="BM_RepairVsYearsObserved/12")
     p_overhead.add_argument("--max-overhead", type=float, default=0.02)
     p_overhead.set_defaults(func=cmd_overhead)
+
+    p_overlap = sub.add_parser("overlap", help="span-concurrency gate")
+    p_overlap.add_argument("file")
+    p_overlap.add_argument("--parent", default="pipeline.batch")
+    p_overlap.add_argument("--child", default="pipeline.acquire")
+    p_overlap.add_argument("--min-overlapping", type=int, default=2)
+    p_overlap.set_defaults(func=cmd_overlap)
 
     args = parser.parse_args()
     sys.exit(args.func(args))

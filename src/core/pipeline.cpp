@@ -1,7 +1,15 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <optional>
+
+#include "constraints/ground.h"
 #include "constraints/parser.h"
 #include "constraints/steady.h"
+#include "repair/batch.h"
+#include "util/task_pool.h"
 
 namespace dart::core {
 
@@ -76,15 +84,25 @@ repair::RepairEngineOptions DartPipeline::EngineOptionsFor(
   if (options_.run != nullptr && engine_options.run == nullptr) {
     engine_options.run = options_.run;
   }
-  if (options_.use_confidence_weights) {
-    for (const dbgen::CellConfidence& confidence : confidences) {
-      if (confidence.score >= 1.0) continue;  // default weight 1
-      engine_options.translator.weights.push_back(repair::CellWeight{
-          confidence.cell,
-          std::max(options_.min_confidence_weight, confidence.score)});
-    }
-  }
+  std::vector<repair::CellWeight> weights = ConfidenceWeights(confidences);
+  engine_options.translator.weights.insert(
+      engine_options.translator.weights.end(),
+      std::make_move_iterator(weights.begin()),
+      std::make_move_iterator(weights.end()));
   return engine_options;
+}
+
+std::vector<repair::CellWeight> DartPipeline::ConfidenceWeights(
+    const std::vector<dbgen::CellConfidence>& confidences) const {
+  std::vector<repair::CellWeight> weights;
+  if (!options_.use_confidence_weights) return weights;
+  for (const dbgen::CellConfidence& confidence : confidences) {
+    if (confidence.score >= 1.0) continue;  // default weight 1
+    weights.push_back(repair::CellWeight{
+        confidence.cell,
+        std::max(options_.min_confidence_weight, confidence.score)});
+  }
+  return weights;
 }
 
 Result<AcquisitionOutcome> DartPipeline::AcquirePositional(
@@ -104,10 +122,17 @@ Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
   ProcessOutcome outcome;
   DART_ASSIGN_OR_RETURN(outcome.acquisition, Acquire(html));
 
+  // Ground once; the grounding serves detection here and every translate /
+  // verify inside the engine (it is repair-invariant by steadiness, Def. 6).
   obs::Span detect_span(options_.run, "pipeline.detect");
-  cons::ConsistencyChecker checker(&constraints_);
+  DART_ASSIGN_OR_RETURN(
+      cons::GroundProgram ground,
+      cons::GroundConstraintProgram(outcome.acquisition.database,
+                                    constraints_));
+  obs::Count(options_.run, "repair.groundings");
   DART_ASSIGN_OR_RETURN(outcome.violations,
-                        checker.Check(outcome.acquisition.database));
+                        cons::EvaluateGroundProgram(
+                            outcome.acquisition.database, ground));
   detect_span.End();
   obs::SetGauge(options_.run, "pipeline.violations",
                 static_cast<double>(outcome.violations.size()));
@@ -117,7 +142,8 @@ Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
       EngineOptionsFor(outcome.acquisition.confidences));
   DART_ASSIGN_OR_RETURN(
       outcome.repair,
-      engine.ComputeRepair(outcome.acquisition.database, constraints_));
+      engine.ComputeRepair(outcome.acquisition.database, constraints_, {},
+                           nullptr, &ground));
   repair_span.End();
 
   obs::Span apply_span(options_.run, "pipeline.apply");
@@ -125,6 +151,167 @@ Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
       outcome.repaired,
       outcome.repair.repair.Applied(outcome.acquisition.database));
   return outcome;
+}
+
+Result<BatchOutcome> DartPipeline::ProcessBatch(
+    std::span<const std::string> htmls) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span batch_span(options_.run, "pipeline.batch");
+  const int64_t batch_span_id = batch_span.id();
+
+  BatchOutcome batch;
+  obs::SetGauge(options_.run, "pipeline.batch.documents",
+                static_cast<double>(htmls.size()));
+  if (htmls.empty()) return batch;
+
+  struct DocSlot {
+    /// Terminal per-document error, if any stage failed.
+    std::optional<Result<ProcessOutcome>> result;
+    std::optional<ProcessOutcome> partial;
+    std::optional<cons::GroundProgram> ground;
+  };
+  std::vector<DocSlot> slots(htmls.size());
+
+  // Largest-document-first dealing: the biggest acquisitions start first so
+  // a giant document picked up late cannot leave the other workers idle
+  // behind it.
+  std::vector<size_t> order(htmls.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return htmls[a].size() > htmls[b].size();
+  });
+  const int num_threads =
+      std::max(1, options_.engine.milp.search.num_threads);
+
+  // Phase 1 — per-document acquisition + grounding + detection, fanned out
+  // over the shared work-stealing pool. All shared state (compiled patterns,
+  // catalog, parsed constraints) is immutable and used via const access.
+  const util::TaskPoolStats pool_stats = util::ParallelFor(
+      num_threads, order, [&](size_t i) {
+        // Workers carry no thread-local span stack from the caller, so nest
+        // this document under the batch span by explicit parent id; Acquire's
+        // own pipeline.acquire span then parents here automatically.
+        obs::Span doc_span(options_.run, "pipeline.batch.document",
+                           batch_span_id);
+        DocSlot& slot = slots[i];
+        Result<AcquisitionOutcome> acquired = Acquire(htmls[i]);
+        if (!acquired.ok()) {
+          slot.result = acquired.status();
+          return;
+        }
+        ProcessOutcome partial;
+        partial.acquisition = std::move(acquired).value();
+
+        obs::Span detect_span(options_.run, "pipeline.detect");
+        Result<cons::GroundProgram> ground = cons::GroundConstraintProgram(
+            partial.acquisition.database, constraints_);
+        if (!ground.ok()) {
+          slot.result = ground.status();
+          return;
+        }
+        obs::Count(options_.run, "repair.groundings");
+        Result<std::vector<cons::Violation>> violations =
+            cons::EvaluateGroundProgram(partial.acquisition.database,
+                                        ground.value());
+        if (!violations.ok()) {
+          slot.result = violations.status();
+          return;
+        }
+        partial.violations = std::move(violations).value();
+        detect_span.End();
+        obs::SetGauge(options_.run, "pipeline.violations",
+                      static_cast<double>(partial.violations.size()));
+        slot.ground = std::move(ground).value();
+        slot.partial = std::move(partial);
+      });
+
+  // Phase 2 — one fused repair over every acquired document (consistent
+  // ones included: the batch fast path marks them already_consistent
+  // without solving, matching Process()'s engine fast path).
+  std::vector<size_t> to_repair;
+  std::vector<repair::BatchRepairRequest> requests;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].result.has_value()) continue;
+    repair::BatchRepairRequest request;
+    request.db = &slots[i].partial->acquisition.database;
+    request.ground = &*slots[i].ground;
+    request.weights =
+        ConfidenceWeights(slots[i].partial->acquisition.confidences);
+    to_repair.push_back(i);
+    requests.push_back(std::move(request));
+  }
+  if (!requests.empty()) {
+    std::vector<Result<repair::RepairOutcome>> repaired =
+        repair::ComputeRepairBatch(requests, constraints_,
+                                   EngineOptionsFor({}));
+    for (size_t k = 0; k < to_repair.size(); ++k) {
+      DocSlot& slot = slots[to_repair[k]];
+      if (!repaired[k].ok()) {
+        slot.result = repaired[k].status();
+        continue;
+      }
+      slot.partial->repair = std::move(repaired[k]).value();
+    }
+  }
+
+  // Phase 3 — apply repairs and assemble outcomes in input order.
+  batch.documents.reserve(slots.size());
+  for (DocSlot& slot : slots) {
+    if (slot.result.has_value()) {
+      batch.documents.push_back(*std::move(slot.result));
+      continue;
+    }
+    ProcessOutcome outcome = *std::move(slot.partial);
+    Result<rel::Database> applied =
+        outcome.repair.repair.Applied(outcome.acquisition.database);
+    if (!applied.ok()) {
+      batch.documents.push_back(applied.status());
+      continue;
+    }
+    outcome.repaired = std::move(applied).value();
+    batch.documents.push_back(std::move(outcome));
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  batch.stats.wall_seconds = wall;
+  batch.stats.docs_per_second =
+      wall > 0 ? static_cast<double>(htmls.size()) / wall : 0;
+  batch.stats.acquire_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads), htmls.size()));
+  batch.stats.acquire_utilization = pool_stats.utilization();
+  obs::SetGauge(options_.run, "pipeline.batch.docs_per_second",
+                batch.stats.docs_per_second);
+  obs::SetGauge(options_.run, "pipeline.batch.acquire_parallelism",
+                static_cast<double>(batch.stats.acquire_threads));
+  obs::SetGauge(options_.run, "pipeline.batch.acquire_utilization",
+                batch.stats.acquire_utilization);
+  return batch;
+}
+
+Result<BatchOutcome> DartPipeline::ProcessBatchPositional(
+    std::span<const acquire::PositionalDocument> documents) const {
+  std::vector<std::string> htmls(documents.size());
+  std::vector<std::optional<Status>> conversion_errors(documents.size());
+  for (size_t i = 0; i < documents.size(); ++i) {
+    Result<std::string> html = acquire::ConvertToHtml(documents[i]);
+    if (html.ok()) {
+      htmls[i] = std::move(html).value();
+    } else {
+      conversion_errors[i] = html.status();
+    }
+  }
+  DART_ASSIGN_OR_RETURN(BatchOutcome batch,
+                        ProcessBatch(std::span<const std::string>(htmls)));
+  // A failed geometric reconstruction occupies its slot with that error
+  // (the placeholder empty document's acquisition error is less specific).
+  for (size_t i = 0; i < documents.size(); ++i) {
+    if (conversion_errors[i].has_value()) {
+      batch.documents[i] = Result<ProcessOutcome>(*conversion_errors[i]);
+    }
+  }
+  return batch;
 }
 
 Result<repair::RepairOutcome> DartPipeline::Repair(

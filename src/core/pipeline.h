@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,26 @@ struct ProcessOutcome {
   rel::Database repaired;
 };
 
+/// Aggregate accounting of one ProcessBatch call (also published as the
+/// pipeline.batch.* gauges).
+struct BatchStats {
+  double wall_seconds = 0;
+  /// Aggregate throughput: documents / wall_seconds.
+  double docs_per_second = 0;
+  /// Worker threads the acquisition fan-out used (min(num_threads, docs)).
+  int acquire_threads = 1;
+  /// Busy fraction of the acquisition pool (1.0 = no worker ever idle).
+  double acquire_utilization = 0;
+};
+
+/// Output of one ProcessBatch call: per-document results in input order —
+/// a document that fails (malformed HTML, infeasible repair, ...) fails
+/// only its own slot, never its siblings.
+struct BatchOutcome {
+  std::vector<Result<ProcessOutcome>> documents;
+  BatchStats stats;
+};
+
 /// The assembled DART system.
 class DartPipeline {
  public:
@@ -112,6 +133,23 @@ class DartPipeline {
   Result<ProcessOutcome> ProcessPositional(
       const acquire::PositionalDocument& document) const;
 
+  /// N documents as one fused unit of work (DESIGN.md "Batch ingestion"):
+  /// acquisition + grounding + detection fan out largest-document-first
+  /// across one work-stealing pool of `engine.milp.search.num_threads`
+  /// workers over the pipeline's shared immutable state, then every
+  /// inconsistent document's MILP components are solved together in shared
+  /// SolveMilpBatch calls (repair::ComputeRepairBatch). Per-document
+  /// outcomes match N× Process() — bit-identically at num_threads <= 1 —
+  /// and are returned in input order. One `pipeline.batch` span frames the
+  /// call and the pipeline.batch.* gauges mirror `BatchOutcome::stats`.
+  Result<BatchOutcome> ProcessBatch(
+      std::span<const std::string> htmls) const;
+
+  /// ProcessBatch() for positional (scanned) input; a document whose
+  /// geometric reconstruction fails occupies its slot with that error.
+  Result<BatchOutcome> ProcessBatchPositional(
+      std::span<const acquire::PositionalDocument> documents) const;
+
   /// Repair an already-acquired database (module 2 alone).
   Result<repair::RepairOutcome> Repair(
       const rel::Database& db,
@@ -132,6 +170,12 @@ class DartPipeline {
 
   /// Engine options with confidence weights folded in (when enabled).
   repair::RepairEngineOptions EngineOptionsFor(
+      const std::vector<dbgen::CellConfidence>& confidences) const;
+
+  /// The per-cell repair weights implied by extraction confidences (empty
+  /// unless `use_confidence_weights`); EngineOptionsFor appends these, the
+  /// batch path passes them per document via BatchRepairRequest::weights.
+  std::vector<repair::CellWeight> ConfidenceWeights(
       const std::vector<dbgen::CellConfidence>& confidences) const;
 
   /// Heap-held so the wrapper's pointer into the catalog stays valid when

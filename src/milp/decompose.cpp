@@ -190,71 +190,40 @@ Decomposition DecomposeModel(const Model& model) {
   return out;
 }
 
-MilpResult SolveDecomposition(const Decomposition& decomposition,
-                              const Model& model, const MilpOptions& options,
-                              std::vector<MilpResult>* component_results) {
-  const auto t_begin = std::chrono::steady_clock::now();
-  if (component_results) component_results->clear();
-  const int n = model.num_variables();
-
-  // Single component covering every variable: the sub-model would be a
-  // reindexed copy of the input — solve the input directly.
-  if (decomposition.components.size() == 1 &&
-      static_cast<int>(decomposition.components[0].vars.size()) == n &&
-      !decomposition.constant_row_infeasible) {
-    MilpResult result = SolveMilp(model, options);
-    result.num_components = 1;
-    result.largest_component_vars = n;
-    obs::SetGauge(options.run, "milp.components", 1);
-    obs::SetGauge(options.run, "milp.largest_component_vars", n);
-    if (component_results) component_results->push_back(result);
-    return result;
-  }
-
-  MilpResult result;
-  result.num_components = decomposition.num_components();
-  result.largest_component_vars = decomposition.largest_component_vars;
-  // Gauges, not counters: a re-solve of the same instance overwrites rather
-  // than accumulates, matching the legacy MilpResult field semantics.
-  obs::SetGauge(options.run, "milp.components", result.num_components);
-  obs::SetGauge(options.run, "milp.largest_component_vars",
-                result.largest_component_vars);
-
-  auto finish = [&](MilpResult& r) -> MilpResult& {
-    r.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t_begin)
-                         .count();
-    return r;
-  };
-
-  if (decomposition.constant_row_infeasible) {
-    result.status = MilpResult::SolveStatus::kLpRelaxationInfeasible;
-    return finish(result);
-  }
-
-  // Submit all components to one shared work-stealing pool (serial loop for
-  // num_threads <= 1), largest first per the decomposition order.
+std::vector<BatchModel> ComponentBatch(
+    const Decomposition& decomposition,
+    const std::vector<double>& initial_point) {
   std::vector<BatchModel> batch(decomposition.components.size());
   const bool have_initial =
-      options.initial_point.size() == static_cast<size_t>(n);
+      !initial_point.empty() &&
+      initial_point.size() == decomposition.component_of_var.size();
   for (size_t c = 0; c < batch.size(); ++c) {
     const Component& comp = decomposition.components[c];
     batch[c].model = &comp.model;
     if (have_initial) {
       batch[c].initial_point.reserve(comp.vars.size());
       for (int v : comp.vars) {
-        batch[c].initial_point.push_back(
-            options.initial_point[static_cast<size_t>(v)]);
+        batch[c].initial_point.push_back(initial_point[static_cast<size_t>(v)]);
       }
     }
   }
-  MilpOptions batch_options = options;
-  batch_options.initial_point.clear();
-  std::vector<MilpResult> solved = SolveMilpBatch(batch, batch_options);
+  return batch;
+}
 
-  // Stitch: statuses combine with the monolithic solver's precedence,
-  // objectives add (disjoint variable sets). Search counters already reached
-  // the registry via each component's publish — nothing to sum here.
+MilpResult StitchDecomposition(const Decomposition& decomposition,
+                               const Model& model,
+                               const std::vector<MilpResult>& solved) {
+  MilpResult result;
+  result.num_components = decomposition.num_components();
+  result.largest_component_vars = decomposition.largest_component_vars;
+  if (decomposition.constant_row_infeasible) {
+    result.status = MilpResult::SolveStatus::kLpRelaxationInfeasible;
+    return result;
+  }
+
+  // Statuses combine with the monolithic solver's precedence, objectives add
+  // (disjoint variable sets). Search counters already reached the registry
+  // via each component's publish — nothing to sum here.
   bool any_unbounded = false;
   bool any_lp_infeasible = false;
   bool any_int_infeasible = decomposition.rowless_infeasible;
@@ -297,7 +266,7 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
   if (all_incumbent) {
     result.has_incumbent = true;
     result.objective = model.objective_constant() + objective_sum;
-    result.point.assign(static_cast<size_t>(n), 0.0);
+    result.point.assign(static_cast<size_t>(model.num_variables()), 0.0);
     for (size_t k = 0; k < decomposition.rowless_vars.size(); ++k) {
       result.point[static_cast<size_t>(decomposition.rowless_vars[k])] =
           decomposition.rowless_values[k];
@@ -316,9 +285,54 @@ MilpResult SolveDecomposition(const Decomposition& decomposition,
     // and the blocks are disjoint.
     result.best_bound = model.objective_constant() + bound_sum;
   }
+  return result;
+}
 
+MilpResult SolveDecomposition(const Decomposition& decomposition,
+                              const Model& model, const MilpOptions& options,
+                              std::vector<MilpResult>* component_results) {
+  const auto t_begin = std::chrono::steady_clock::now();
+  if (component_results) component_results->clear();
+  const int n = model.num_variables();
+
+  // Single component covering every variable: the sub-model would be a
+  // reindexed copy of the input — solve the input directly.
+  if (decomposition.components.size() == 1 &&
+      static_cast<int>(decomposition.components[0].vars.size()) == n &&
+      !decomposition.constant_row_infeasible) {
+    MilpResult result = SolveMilp(model, options);
+    result.num_components = 1;
+    result.largest_component_vars = n;
+    obs::SetGauge(options.run, "milp.components", 1);
+    obs::SetGauge(options.run, "milp.largest_component_vars", n);
+    if (component_results) component_results->push_back(result);
+    return result;
+  }
+
+  // Gauges, not counters: a re-solve of the same instance overwrites rather
+  // than accumulates, matching the legacy MilpResult field semantics.
+  obs::SetGauge(options.run, "milp.components",
+                decomposition.num_components());
+  obs::SetGauge(options.run, "milp.largest_component_vars",
+                decomposition.largest_component_vars);
+
+  // Submit all components to one shared work-stealing pool (serial loop for
+  // num_threads <= 1), largest first per the decomposition order, then
+  // stitch. A violated constant row skips the solve outright.
+  std::vector<MilpResult> solved;
+  if (!decomposition.constant_row_infeasible) {
+    const std::vector<BatchModel> batch =
+        ComponentBatch(decomposition, options.initial_point);
+    MilpOptions batch_options = options;
+    batch_options.initial_point.clear();
+    solved = SolveMilpBatch(batch, batch_options);
+  }
+  MilpResult result = StitchDecomposition(decomposition, model, solved);
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_begin)
+                            .count();
   if (component_results) *component_results = std::move(solved);
-  return finish(result);
+  return result;
 }
 
 MilpResult SolveMilpDecomposed(const Model& model, const MilpOptions& options) {

@@ -4,6 +4,7 @@
 
 #include "milp/branch_and_bound.h"
 #include "milp/model.h"
+#include "milp/scheduler.h"
 
 /// \file decompose.h
 /// Constraint-graph decomposition of a MILP into independent subproblems.
@@ -81,6 +82,29 @@ struct Decomposition {
 
 /// Builds the variable–constraint incidence decomposition of `model`.
 Decomposition DecomposeModel(const Model& model);
+
+/// Materializes the decomposition's components as a SolveMilpBatch input, in
+/// decomposition (largest-first) order. `initial_point`, when sized to the
+/// input model's variable space, is split per component into the batch
+/// entries' warm-start seeds; pass {} for cold starts. The returned
+/// BatchModels point into `decomposition` — it must outlive them.
+///
+/// Factored out of SolveDecomposition so a *multi-document* caller
+/// (repair/batch.h) can pool the components of several decompositions into
+/// one fused SolveMilpBatch call.
+std::vector<BatchModel> ComponentBatch(const Decomposition& decomposition,
+                                       const std::vector<double>& initial_point);
+
+/// Pure stitch of per-component results (in decomposition order, points in
+/// component-local space) back into one MilpResult in the input variable
+/// space: status precedence, objective/bound sums, rowless + component point
+/// assembly, num_components / largest_component_vars. A decomposition with a
+/// violated constant row short-circuits to kLpRelaxationInfeasible (`solved`
+/// may then be empty). No gauges are published and wall_seconds is left 0 —
+/// SolveDecomposition (and the batch repair path) layer those on top.
+MilpResult StitchDecomposition(const Decomposition& decomposition,
+                               const Model& model,
+                               const std::vector<MilpResult>& solved);
 
 /// Solves a decomposition of `model` (as returned by DecomposeModel on that
 /// same model): submits the components concurrently to one work-stealing

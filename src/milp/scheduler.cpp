@@ -4,15 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "milp/branching.h"
 #include "milp/simplex.h"
+#include "util/task_pool.h"
 
 namespace dart::milp {
 
@@ -42,40 +41,6 @@ struct Node {
   std::shared_ptr<const LpBasis> warm;
 };
 
-/// One worker's node store. The owner treats it as a LIFO stack (bottom);
-/// thieves take from the top. A plain mutex is enough: nodes are coarse
-/// (each one is a full LP solve), so the lock is uncontended in practice.
-class WorkerDeque {
- public:
-  void PushBottom(Node&& node) {
-    std::lock_guard<std::mutex> lock(mu_);
-    deque_.push_back(std::move(node));
-  }
-
-  bool PopBottom(Node* out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (deque_.empty()) return false;
-    *out = std::move(deque_.back());
-    deque_.pop_back();
-    return true;
-  }
-
-  bool StealTop(Node* out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (deque_.empty()) return false;
-    *out = std::move(deque_.front());
-    deque_.pop_front();
-    return true;
-  }
-
-  /// Post-join inspection (no concurrent access remains).
-  const std::deque<Node>& Drain() const { return deque_; }
-
- private:
-  std::mutex mu_;
-  std::deque<Node> deque_;
-};
-
 /// Per-root-model shared state. Workers touch instances through const
 /// pointers to this array; every mutable member is an atomic or guarded by
 /// the incumbent mutex.
@@ -93,9 +58,9 @@ struct InstanceState {
   std::vector<double> incumbent_point;  // guarded by incumbent_mu
   bool has_incumbent = false;           // guarded by incumbent_mu
 
-  /// This instance's open nodes (queued + in flight); the scheduler also
-  /// keeps a batch-wide count for termination. Nonzero after an abort means
-  /// the instance was cut off before proving its status.
+  /// This instance's open nodes (queued + in flight); the task pool keeps
+  /// the batch-wide count for termination. Nonzero after an abort means the
+  /// instance was cut off before proving its status.
   std::atomic<int64_t> open_nodes{0};
   std::atomic<int64_t> lp_iterations{0};
   std::atomic<int64_t> lp_warm_solves{0};
@@ -118,15 +83,10 @@ struct InstanceState {
   std::atomic<bool> iteration_limited{false};
 };
 
-/// State shared by all workers across the whole batch.
+/// State shared by all workers across the whole batch, beyond what the task
+/// pool itself tracks (open count, abort flag).
 struct SharedState {
-  /// Nodes that exist anywhere in the batch: queued in a deque or being
-  /// expanded. A worker holding a node keeps the count positive until the
-  /// node (and its pushed children) are accounted, so count == 0 means
-  /// every tree is done.
-  std::atomic<int64_t> open_nodes{0};
   std::atomic<int64_t> nodes_explored{0};
-  std::atomic<bool> abort{false};
   std::atomic<bool> hit_node_limit{false};
 };
 
@@ -171,13 +131,13 @@ struct InstanceCounterNames {
   std::string lp_iterations;
 };
 
+using NodePool = util::TaskPool<Node>;
+
 struct WorkerContext {
   const MilpOptions* options = nullptr;
   SharedState* shared = nullptr;
   std::vector<std::unique_ptr<InstanceState>>* instances = nullptr;
-  std::vector<WorkerDeque>* deques = nullptr;
   const std::vector<InstanceCounterNames>* counter_names = nullptr;
-  int id = 0;
   /// Trace parent for this worker's span (the batch span, captured on the
   /// submitting thread — worker threads have no span stack of their own).
   int64_t parent_span = 0;
@@ -186,44 +146,24 @@ struct WorkerContext {
   std::vector<int64_t> nodes_per_instance;
 };
 
-void WorkerMain(WorkerContext* ctx) {
+void WorkerMain(WorkerContext* ctx, NodePool::Worker& worker) {
   const MilpOptions& options = *ctx->options;
   obs::Span worker_span(options.run, "milp.worker", ctx->parent_span);
   SharedState* shared = ctx->shared;
   std::vector<std::unique_ptr<InstanceState>>& instances = *ctx->instances;
-  std::vector<WorkerDeque>& deques = *ctx->deques;
-  const int num_workers = static_cast<int>(deques.size());
 
   LpScratch scratch;
   LpResult lp;
   LpBasis node_basis;  // reused; moved into a shared snapshot on branch
   std::vector<double> snapped;
-  int idle_spins = 0;
 
   Node node;
-  while (!shared->abort.load(std::memory_order_relaxed)) {
-    bool got = deques[ctx->id].PopBottom(&node);
-    if (!got) {
-      for (int k = 1; k < num_workers && !got; ++k) {
-        got = deques[(ctx->id + k) % num_workers].StealTop(&node);
-      }
-      if (got) {
-        instances[node.instance]->steals.fetch_add(1,
-                                                   std::memory_order_relaxed);
-      }
-    }
-    if (!got) {
-      if (shared->open_nodes.load(std::memory_order_acquire) == 0) break;
-      if (++idle_spins > 64) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      } else {
-        std::this_thread::yield();
-      }
-      continue;
-    }
-    idle_spins = 0;
-
+  bool stolen = false;
+  while (worker.Next(&node, &stolen)) {
     InstanceState* inst = instances[node.instance].get();
+    if (stolen) {
+      inst->steals.fetch_add(1, std::memory_order_relaxed);
+    }
     const Model& model = *inst->model;
     const double sense_factor = inst->form.sense_factor;
     auto prunable = [&](double bound_key) {
@@ -233,7 +173,7 @@ void WorkerMain(WorkerContext* ctx) {
     };
     auto retire = [&] {
       inst->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
-      shared->open_nodes.fetch_sub(1, std::memory_order_acq_rel);
+      worker.Retire();
     };
 
     if (prunable(node.parent_bound)) {
@@ -245,10 +185,11 @@ void WorkerMain(WorkerContext* ctx) {
         shared->nodes_explored.load(std::memory_order_relaxed) >=
             options.search.max_nodes) {
       // Push the node back so its bound still counts in the gap report, then
-      // stop the whole batch.
-      deques[ctx->id].PushBottom(std::move(node));
+      // stop the whole batch. Requeue (not Push) keeps the pool's open count
+      // honest about the Retire() this worker is skipping.
+      worker.Requeue(std::move(node));
       shared->hit_node_limit.store(true, std::memory_order_relaxed);
-      shared->abort.store(true, std::memory_order_relaxed);
+      worker.Abort();
       break;
     }
 
@@ -297,7 +238,7 @@ void WorkerMain(WorkerContext* ctx) {
     }
     if (lp.status == LpResult::SolveStatus::kUnbounded) {
       inst->unbounded.store(true, std::memory_order_relaxed);
-      shared->abort.store(true, std::memory_order_relaxed);
+      worker.Abort();
       retire();
       break;
     }
@@ -362,8 +303,7 @@ void WorkerMain(WorkerContext* ctx) {
       child.warm = snapshot;
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         inst->open_nodes.fetch_add(1, std::memory_order_acq_rel);
-        shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
-        deques[ctx->id].PushBottom(std::move(child));
+        worker.Push(std::move(child));
       }
     }
     {
@@ -377,8 +317,7 @@ void WorkerMain(WorkerContext* ctx) {
       child.warm = std::move(snapshot);
       if (child.lower[branch_var] <= child.upper[branch_var] + 1e-9) {
         inst->open_nodes.fetch_add(1, std::memory_order_acq_rel);
-        shared->open_nodes.fetch_add(1, std::memory_order_acq_rel);
-        deques[ctx->id].PushBottom(std::move(child));
+        worker.Push(std::move(child));
       }
     }
     retire();
@@ -408,10 +347,11 @@ std::vector<MilpResult> SolveBatchParallel(
     }
   }
 
-  // Deal one root per instance round-robin across the worker deques, in
-  // batch order — callers submit the largest component first, so the big
-  // trees start immediately and the small ones pack in around them.
-  std::vector<WorkerDeque> deques(num_threads);
+  // Seed one root per instance in batch order; the pool deals them
+  // round-robin across its worker deques — callers submit the largest
+  // component first, so the big trees start immediately and the small ones
+  // pack in around them.
+  NodePool pool(num_threads);
   for (int i = 0; i < num_instances; ++i) {
     Node root;
     root.instance = i;
@@ -426,8 +366,7 @@ std::vector<MilpResult> SolveBatchParallel(
       root.warm = models[i].root_basis;
     }
     instances[i]->open_nodes.store(1, std::memory_order_relaxed);
-    shared.open_nodes.fetch_add(1, std::memory_order_relaxed);
-    deques[i % num_threads].PushBottom(std::move(root));
+    pool.Seed(std::move(root));
   }
 
   // Per-instance attribution counter names, built once so the worker loop's
@@ -443,36 +382,36 @@ std::vector<MilpResult> SolveBatchParallel(
   }
 
   std::vector<WorkerContext> contexts(num_threads);
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
   for (int id = 0; id < num_threads; ++id) {
     WorkerContext& ctx = contexts[id];
     ctx.options = &options;
     ctx.shared = &shared;
     ctx.instances = &instances;
-    ctx.deques = &deques;
     ctx.counter_names = &counter_names;
-    ctx.id = id;
     ctx.parent_span = batch_span.id();
     ctx.nodes_per_instance.assign(num_instances, 0);
-    threads.emplace_back(WorkerMain, &ctx);
   }
-  for (std::thread& thread : threads) thread.join();
+  pool.Run([&contexts](NodePool::Worker& worker) {
+    WorkerMain(&contexts[static_cast<size_t>(worker.id())], worker);
+  });
 
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
           .count();
   const bool hit_node_limit = shared.hit_node_limit.load();
+  const bool aborted = pool.aborted();
+  if (options.run != nullptr) {
+    obs::SetGauge(options.run, "milp.batch.utilization",
+                  pool.stats().utilization());
+  }
 
   // Best open bound per instance among drained (unexplored) nodes, for gap
   // reporting after an early stop.
   std::vector<double> open_bound(num_instances, kInf);
-  if (hit_node_limit || shared.abort.load()) {
-    for (const WorkerDeque& deque : deques) {
-      for (const Node& node : deque.Drain()) {
-        open_bound[node.instance] =
-            std::min(open_bound[node.instance], node.parent_bound);
-      }
+  if (hit_node_limit || aborted) {
+    for (const Node& node : pool.Drain()) {
+      open_bound[node.instance] =
+          std::min(open_bound[node.instance], node.parent_bound);
     }
   }
 
@@ -514,7 +453,7 @@ std::vector<MilpResult> SolveBatchParallel(
     // An instance was cut off when the batch stopped early while it still
     // had open nodes, or one of its LPs hit the iteration cap.
     const bool cut_off = inst.iteration_limited.load() ||
-                         (shared.abort.load() &&
+                         (aborted &&
                           inst.open_nodes.load(std::memory_order_relaxed) > 0);
     if (cut_off) {
       result.status = MilpResult::SolveStatus::kNodeLimit;

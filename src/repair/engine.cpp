@@ -8,6 +8,7 @@
 #include <string>
 
 #include "constraints/eval.h"
+#include "constraints/ground.h"
 #include "milp/decompose.h"
 #include "milp/exhaustive.h"
 #include "milp/presolve.h"
@@ -68,19 +69,198 @@ double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
   return std::round(z * 1e6) / 1e6;
 }
 
+RetryDecision DecideBigMRetry(const Translation& translation,
+                              const AttemptContext& ctx,
+                              const milp::MilpResult& solved) {
+  RetryDecision out;
+  if (ctx.decomposed) {
+    const milp::Decomposition& dec = ctx.decomposition;
+    out.component_dirty.assign(dec.components.size(), 0);
+    bool whole_dirty = dec.constant_row_infeasible || dec.rowless_infeasible;
+    for (size_t c = 0; c < ctx.component_results.size(); ++c) {
+      if (milp::IsInfeasibleStatus(ctx.component_results[c].status)) {
+        out.component_dirty[c] = 1;
+        out.grow_m_and_retry = true;
+      }
+    }
+    for (size_t i = 0; i < translation.cells.size(); ++i) {
+      int y_var = translation.y_vars[i];
+      int comp = -2;  // -2: eliminated by presolve
+      double y = 0;
+      if (ctx.used_presolve) {
+        const int reduced = ctx.presolved.variable_map[y_var];
+        if (reduced < 0) {
+          y = ctx.presolved.fixed_values[y_var];
+        } else {
+          y_var = reduced;
+          comp = dec.component_of_var[y_var];
+        }
+      } else {
+        comp = dec.component_of_var[y_var];
+      }
+      if (comp >= 0) {
+        const milp::MilpResult& cr = ctx.component_results[comp];
+        if (!cr.has_incumbent) continue;
+        y = cr.point[dec.local_of_var[y_var]];
+      } else if (comp == -1) {
+        y = dec.rowless_values[dec.local_of_var[y_var]];
+      }
+      if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
+        out.grow_m_and_retry = true;
+        if (comp >= 0) {
+          out.component_dirty[comp] = 1;
+        } else if (comp == -1) {
+          whole_dirty = true;
+        }
+        // comp == -2: a pin forces this y exactly; retrying with a larger
+        // Mᵢ merely re-verifies it, no component needs to re-solve.
+      }
+    }
+    if (whole_dirty) out.grow_m_and_retry = true;
+    if (solved.status == milp::MilpResult::SolveStatus::kNodeLimit ||
+        solved.status == milp::MilpResult::SolveStatus::kUnbounded) {
+      out.grow_m_and_retry = false;  // not big-M symptoms; reported as-is
+    }
+    out.pin_clean_components = out.grow_m_and_retry && !whole_dirty;
+  } else {
+    if (milp::IsInfeasibleStatus(solved.status)) {
+      out.grow_m_and_retry = true;
+    } else if (solved.status == milp::MilpResult::SolveStatus::kOptimal) {
+      for (size_t i = 0; i < translation.cells.size(); ++i) {
+        const double y = solved.point[translation.y_vars[i]];
+        if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
+          out.grow_m_and_retry = true;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void AppendCleanComponentPins(const rel::Database& db,
+                              const Translation& translation,
+                              const AttemptContext& ctx,
+                              const std::vector<char>& component_dirty,
+                              std::set<rel::CellRef>* pinned_cells,
+                              std::vector<FixedValue>* retry_pins) {
+  for (size_t i = 0; i < translation.cells.size(); ++i) {
+    if (pinned_cells->count(translation.cells[i]) > 0) continue;
+    int z_var = translation.z_vars[i];
+    if (ctx.used_presolve) {
+      z_var = ctx.presolved.variable_map[z_var];
+      if (z_var < 0) continue;  // already fixed through existing pins
+    }
+    const int comp = ctx.decomposition.component_of_var[z_var];
+    if (comp < 0 || component_dirty[comp]) continue;
+    const milp::MilpResult& cr = ctx.component_results[comp];
+    if (!cr.has_incumbent) continue;
+    const double z = SnapCellValue(
+        db, translation.cells[i],
+        cr.point[ctx.decomposition.local_of_var[z_var]]);
+    retry_pins->push_back(FixedValue{translation.cells[i], z});
+    pinned_cells->insert(translation.cells[i]);
+  }
+}
+
+void RecordAttemptStats(const Translation& translation,
+                        const milp::MilpResult& solved,
+                        double translate_seconds, double solve_seconds,
+                        int attempt, RepairStats* stats,
+                        obs::RunContext* run) {
+  stats->num_cells = translation.cells.size();
+  stats->num_ground_rows = translation.ground_rows.size();
+  stats->matrix_rows = translation.matrix_rows;
+  stats->matrix_cols = translation.matrix_cols;
+  stats->matrix_nnz = translation.matrix_nnz;
+  stats->matrix_density = translation.matrix_density;
+  stats->practical_m = translation.practical_m;
+  stats->theoretical_m_log10 = translation.theoretical_m_log10;
+  stats->bigm_retries = attempt;
+  stats->translate_seconds += translate_seconds;
+  stats->solve_seconds += solve_seconds;
+  stats->milp_wall_seconds += solved.wall_seconds;
+  stats->num_components = solved.num_components;
+  stats->largest_component_vars = solved.largest_component_vars;
+  stats->presolve_variables_eliminated = solved.presolve_variables_eliminated;
+  stats->presolve_rows_removed = solved.presolve_rows_removed;
+  obs::Observe(run, "repair.translate_seconds", translate_seconds);
+  obs::Observe(run, "repair.solve_seconds", solve_seconds);
+  obs::SetGauge(run, "repair.num_cells",
+                static_cast<double>(translation.cells.size()));
+  obs::SetGauge(run, "repair.num_ground_rows",
+                static_cast<double>(translation.ground_rows.size()));
+  obs::SetGauge(run, "repair.matrix_rows",
+                static_cast<double>(translation.matrix_rows));
+  obs::SetGauge(run, "repair.matrix_cols",
+                static_cast<double>(translation.matrix_cols));
+  obs::SetGauge(run, "repair.matrix_nnz",
+                static_cast<double>(translation.matrix_nnz));
+  obs::SetGauge(run, "repair.matrix_density", translation.matrix_density);
+  obs::SetGauge(run, "repair.presolve_variables_eliminated",
+                solved.presolve_variables_eliminated);
+  obs::SetGauge(run, "repair.presolve_rows_removed",
+                solved.presolve_rows_removed);
+}
+
+Result<Repair> FinalizeAttempt(const rel::Database& db,
+                               const cons::GroundProgram& ground,
+                               const Translation& translation,
+                               const milp::MilpResult& solved,
+                               bool weights_empty, bool verify_result,
+                               const std::vector<FixedValue>& fixed_values,
+                               obs::RunContext* run) {
+  switch (solved.status) {
+    case milp::MilpResult::SolveStatus::kInfeasible:
+    case milp::MilpResult::SolveStatus::kLpRelaxationInfeasible:
+      return Status::Infeasible(
+          "no repair exists for the database w.r.t. the given constraints" +
+          std::string(fixed_values.empty() ? "" : " and operator pins"));
+    case milp::MilpResult::SolveStatus::kNodeLimit:
+      return Status::FailedPrecondition(
+          "MILP node limit reached before proving optimality");
+    case milp::MilpResult::SolveStatus::kUnbounded:
+      return Status::Internal("repair MILP reported unbounded");
+    case milp::MilpResult::SolveStatus::kOptimal:
+      break;
+  }
+
+  DART_ASSIGN_OR_RETURN(Repair repair,
+                        ExtractRepair(db, translation, solved.point));
+  // Under the card-minimal objective (no weights), the cardinality must
+  // equal the MILP optimum (Sec. 5: the objective value is the number of
+  // atomic updates of a card-minimal repair).
+  if (weights_empty &&
+      static_cast<double>(repair.cardinality()) > solved.objective + 0.5) {
+    return Status::Internal(
+        "extracted repair cardinality exceeds the MILP optimum");
+  }
+  if (verify_result) {
+    obs::Span verify_span(run, "repair.verify");
+    DART_ASSIGN_OR_RETURN(rel::Database repaired, repair.Applied(db));
+    // The ground program is repair-invariant (steadiness), so re-evaluating
+    // it on ρ(D) is the full consistency check without re-grounding.
+    DART_ASSIGN_OR_RETURN(std::vector<cons::Violation> violations,
+                          cons::EvaluateGroundProgram(repaired, ground));
+    if (!violations.empty()) {
+      return Status::Internal(
+          "solver returned a repair that does not satisfy AC — numerical "
+          "failure in the MILP layer");
+    }
+    for (const FixedValue& pin : fixed_values) {
+      DART_ASSIGN_OR_RETURN(rel::Value v, repaired.ValueAt(pin.cell));
+      if (std::fabs(v.AsReal() - pin.value) > 1e-6) {
+        return Status::Internal("operator pin not honored by the repair");
+      }
+    }
+  }
+  OrderUpdatesForDisplay(translation, &repair);
+  return repair;
+}
+
 }  // namespace internal
 
 namespace {
-
-/// Presolve + decomposition bookkeeping of one solve attempt, kept around so
-/// the big-M retry can tell accepted components from saturated ones.
-struct SolveContext {
-  milp::PresolveResult presolved;
-  bool used_presolve = false;
-  milp::Decomposition decomposition;
-  std::vector<milp::MilpResult> component_results;
-  bool decomposed = false;
-};
 
 /// Presolve (optional), decompose, and solve `model` on one shared pool;
 /// lifts the solution back to the full variable space and carries the
@@ -89,7 +269,7 @@ milp::MilpResult SolveDecomposed(const milp::Model& model,
                                  const milp::MilpOptions& options,
                                  bool use_presolve,
                                  const milp::PresolveOptions& presolve_options,
-                                 SolveContext* ctx) {
+                                 internal::AttemptContext* ctx) {
   const milp::Model* target = &model;
   milp::MilpOptions opts = options;
   if (use_presolve) {
@@ -129,8 +309,8 @@ milp::MilpResult SolveDecomposed(const milp::Model& model,
 
 Result<RepairOutcome> RepairEngine::ComputeRepair(
     const rel::Database& db, const cons::ConstraintSet& constraints,
-    const std::vector<FixedValue>& fixed_values,
-    const Repair* warm_start) const {
+    const std::vector<FixedValue>& fixed_values, const Repair* warm_start,
+    const cons::GroundProgram* ground) const {
   RepairOutcome outcome;
 
   // Observability: search counters are published only into the caller's
@@ -141,11 +321,22 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
       options_.run != nullptr ? options_.run : options_.milp.run;
   obs::Span compute_span(run, "repair.compute");
 
+  // Ground once per call (or zero times, when the caller shares one): the
+  // consistency fast path, every big-M translation attempt, and the final
+  // verification all evaluate the same ground program.
+  cons::GroundProgram own_ground;
+  if (ground == nullptr) {
+    DART_ASSIGN_OR_RETURN(own_ground,
+                          cons::GroundConstraintProgram(db, constraints));
+    obs::Count(run, "repair.groundings");
+    ground = &own_ground;
+  }
+
   // Fast path: already consistent and nothing pinned.
   if (fixed_values.empty()) {
-    cons::ConsistencyChecker checker(&constraints);
-    DART_ASSIGN_OR_RETURN(bool consistent, checker.IsConsistent(db));
-    if (consistent) {
+    DART_ASSIGN_OR_RETURN(std::vector<cons::Violation> violations,
+                          cons::EvaluateGroundProgram(db, *ground));
+    if (violations.empty()) {
       outcome.already_consistent = true;
       return outcome;
     }
@@ -180,7 +371,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     obs::Span translate_span(run, "repair.translate");
     DART_ASSIGN_OR_RETURN(
         Translation translation,
-        TranslateToMilp(db, constraints, translator_options, pins));
+        TranslateGrounded(db, *ground, translator_options, pins));
     translate_span.End();
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -218,7 +409,7 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     if (!retry_pins.empty()) presolve_options.tol = 1e-6;
 
     const milp::DecompositionOptions& stages = milp_options.decomposition;
-    SolveContext ctx;
+    internal::AttemptContext ctx;
     milp::MilpResult solved;
     {
       obs::Span solve_span(run, "repair.solve");
@@ -237,135 +428,21 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
     }
     const auto t2 = std::chrono::steady_clock::now();
 
-    outcome.stats.num_cells = translation.cells.size();
-    outcome.stats.num_ground_rows = translation.ground_rows.size();
-    outcome.stats.matrix_rows = translation.matrix_rows;
-    outcome.stats.matrix_cols = translation.matrix_cols;
-    outcome.stats.matrix_nnz = translation.matrix_nnz;
-    outcome.stats.matrix_density = translation.matrix_density;
-    outcome.stats.practical_m = translation.practical_m;
-    outcome.stats.theoretical_m_log10 = translation.theoretical_m_log10;
-    outcome.stats.bigm_retries = attempt;
-    outcome.stats.translate_seconds += Seconds(t0, t1);
-    outcome.stats.solve_seconds += Seconds(t1, t2);
-    outcome.stats.milp_wall_seconds += solved.wall_seconds;
-    outcome.stats.num_components = solved.num_components;
-    outcome.stats.largest_component_vars = solved.largest_component_vars;
-    outcome.stats.presolve_variables_eliminated =
-        solved.presolve_variables_eliminated;
-    outcome.stats.presolve_rows_removed = solved.presolve_rows_removed;
-    obs::Observe(run, "repair.translate_seconds", Seconds(t0, t1));
-    obs::Observe(run, "repair.solve_seconds", Seconds(t1, t2));
-    obs::SetGauge(run, "repair.num_cells",
-                  static_cast<double>(translation.cells.size()));
-    obs::SetGauge(run, "repair.num_ground_rows",
-                  static_cast<double>(translation.ground_rows.size()));
-    obs::SetGauge(run, "repair.matrix_rows",
-                  static_cast<double>(translation.matrix_rows));
-    obs::SetGauge(run, "repair.matrix_cols",
-                  static_cast<double>(translation.matrix_cols));
-    obs::SetGauge(run, "repair.matrix_nnz",
-                  static_cast<double>(translation.matrix_nnz));
-    obs::SetGauge(run, "repair.matrix_density", translation.matrix_density);
-    obs::SetGauge(run, "repair.presolve_variables_eliminated",
-                  solved.presolve_variables_eliminated);
-    obs::SetGauge(run, "repair.presolve_rows_removed",
-                  solved.presolve_rows_removed);
+    internal::RecordAttemptStats(translation, solved, Seconds(t0, t1),
+                                 Seconds(t1, t2), attempt, &outcome.stats,
+                                 run);
 
-    // Decide whether (and where) M must grow. Infeasibility may be a
-    // too-tight z box rather than true non-existence, and an optimal y
-    // pressing against its Mᵢ box suggests the unboxed optimum might lie
-    // outside. With decomposition metadata the blame lands on individual
-    // components ("dirty"); the rest were accepted by the engine's own
-    // criterion — optimal and unsaturated — and blocks are independent, so
-    // their repaired values can be pinned on the retry.
-    bool grow_m_and_retry = false;
-    bool pin_clean_components = false;
-    std::vector<char> component_dirty;
-    if (ctx.decomposed) {
-      const milp::Decomposition& dec = ctx.decomposition;
-      component_dirty.assign(dec.components.size(), 0);
-      bool whole_dirty =
-          dec.constant_row_infeasible || dec.rowless_infeasible;
-      for (size_t c = 0; c < ctx.component_results.size(); ++c) {
-        if (milp::IsInfeasibleStatus(ctx.component_results[c].status)) {
-          component_dirty[c] = 1;
-          grow_m_and_retry = true;
-        }
-      }
-      for (size_t i = 0; i < translation.cells.size(); ++i) {
-        int y_var = translation.y_vars[i];
-        int comp = -2;  // -2: eliminated by presolve
-        double y = 0;
-        if (ctx.used_presolve) {
-          const int reduced = ctx.presolved.variable_map[y_var];
-          if (reduced < 0) {
-            y = ctx.presolved.fixed_values[y_var];
-          } else {
-            y_var = reduced;
-            comp = dec.component_of_var[y_var];
-          }
-        } else {
-          comp = dec.component_of_var[y_var];
-        }
-        if (comp >= 0) {
-          const milp::MilpResult& cr = ctx.component_results[comp];
-          if (!cr.has_incumbent) continue;
-          y = cr.point[dec.local_of_var[y_var]];
-        } else if (comp == -1) {
-          y = dec.rowless_values[dec.local_of_var[y_var]];
-        }
-        if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
-          grow_m_and_retry = true;
-          if (comp >= 0) {
-            component_dirty[comp] = 1;
-          } else if (comp == -1) {
-            whole_dirty = true;
-          }
-          // comp == -2: a pin forces this y exactly; retrying with a larger
-          // Mᵢ merely re-verifies it, no component needs to re-solve.
-        }
-      }
-      if (whole_dirty) grow_m_and_retry = true;
-      if (solved.status == milp::MilpResult::SolveStatus::kNodeLimit ||
-          solved.status == milp::MilpResult::SolveStatus::kUnbounded) {
-        grow_m_and_retry = false;  // not big-M symptoms; report them below
-      }
-      pin_clean_components = grow_m_and_retry && !whole_dirty;
-    } else {
-      if (milp::IsInfeasibleStatus(solved.status)) {
-        grow_m_and_retry = true;
-      } else if (solved.status == milp::MilpResult::SolveStatus::kOptimal) {
-        for (size_t i = 0; i < translation.cells.size(); ++i) {
-          const double y = solved.point[translation.y_vars[i]];
-          if (std::fabs(y) >= 0.999 * translation.big_m[i]) {
-            grow_m_and_retry = true;
-            break;
-          }
-        }
-      }
-    }
+    // Decide whether (and where) M must grow; accepted components'
+    // repaired values can be pinned on the retry (blocks are independent).
+    const internal::RetryDecision decision =
+        internal::DecideBigMRetry(translation, ctx, solved);
 
-    if (grow_m_and_retry && attempt < options_.max_bigm_retries) {
+    if (decision.grow_m_and_retry && attempt < options_.max_bigm_retries) {
       obs::Count(run, "repair.bigm_retries");
-      if (pin_clean_components) {
-        for (size_t i = 0; i < translation.cells.size(); ++i) {
-          if (pinned_cells.count(translation.cells[i]) > 0) continue;
-          int z_var = translation.z_vars[i];
-          if (ctx.used_presolve) {
-            z_var = ctx.presolved.variable_map[z_var];
-            if (z_var < 0) continue;  // already fixed through existing pins
-          }
-          const int comp = ctx.decomposition.component_of_var[z_var];
-          if (comp < 0 || component_dirty[comp]) continue;
-          const milp::MilpResult& cr = ctx.component_results[comp];
-          if (!cr.has_incumbent) continue;
-          const double z = internal::SnapCellValue(
-              db, translation.cells[i],
-              cr.point[ctx.decomposition.local_of_var[z_var]]);
-          retry_pins.push_back(FixedValue{translation.cells[i], z});
-          pinned_cells.insert(translation.cells[i]);
-        }
+      if (decision.pin_clean_components) {
+        internal::AppendCleanComponentPins(db, translation, ctx,
+                                           decision.component_dirty,
+                                           &pinned_cells, &retry_pins);
       }
       const double base = translator_options.big_m.fixed_value > 0
                               ? translator_options.big_m.fixed_value
@@ -374,49 +451,11 @@ Result<RepairOutcome> RepairEngine::ComputeRepair(
       continue;
     }
 
-    switch (solved.status) {
-      case milp::MilpResult::SolveStatus::kInfeasible:
-      case milp::MilpResult::SolveStatus::kLpRelaxationInfeasible:
-        return Status::Infeasible(
-            "no repair exists for the database w.r.t. the given constraints" +
-            std::string(fixed_values.empty() ? "" : " and operator pins"));
-      case milp::MilpResult::SolveStatus::kNodeLimit:
-        return Status::FailedPrecondition(
-            "MILP node limit reached before proving optimality");
-      case milp::MilpResult::SolveStatus::kUnbounded:
-        return Status::Internal("repair MILP reported unbounded");
-      case milp::MilpResult::SolveStatus::kOptimal:
-        break;
-    }
-
     DART_ASSIGN_OR_RETURN(
-        Repair repair, internal::ExtractRepair(db, translation, solved.point));
-    // Under the card-minimal objective (no weights), the cardinality must
-    // equal the MILP optimum (Sec. 5: the objective value is the number of
-    // atomic updates of a card-minimal repair).
-    if (translator_options.weights.empty() &&
-        static_cast<double>(repair.cardinality()) > solved.objective + 0.5) {
-      return Status::Internal(
-          "extracted repair cardinality exceeds the MILP optimum");
-    }
-    if (options_.verify_result) {
-      obs::Span verify_span(run, "repair.verify");
-      DART_ASSIGN_OR_RETURN(rel::Database repaired, repair.Applied(db));
-      cons::ConsistencyChecker checker(&constraints);
-      DART_ASSIGN_OR_RETURN(bool consistent, checker.IsConsistent(repaired));
-      if (!consistent) {
-        return Status::Internal(
-            "solver returned a repair that does not satisfy AC — numerical "
-            "failure in the MILP layer");
-      }
-      for (const FixedValue& pin : fixed_values) {
-        DART_ASSIGN_OR_RETURN(rel::Value v, repaired.ValueAt(pin.cell));
-        if (std::fabs(v.AsReal() - pin.value) > 1e-6) {
-          return Status::Internal("operator pin not honored by the repair");
-        }
-      }
-    }
-    OrderUpdatesForDisplay(translation, &repair);
+        Repair repair,
+        internal::FinalizeAttempt(db, *ground, translation, solved,
+                                  translator_options.weights.empty(),
+                                  options_.verify_result, fixed_values, run));
     outcome.repair = std::move(repair);
     return outcome;
   }

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "constraints/ast.h"
 #include "milp/branch_and_bound.h"
+#include "milp/decompose.h"
+#include "milp/presolve.h"
 #include "repair/repair.h"
 #include "repair/translator.h"
 #include "util/status.h"
@@ -94,10 +97,18 @@ class RepairEngine {
   /// `warm_start`, when given, seeds the branch-and-bound incumbent with
   /// that repair's assignment (useful across validation-loop iterations; it
   /// is verified and silently dropped if the new pins contradict it).
+  ///
+  /// `ground`, when given, must be `GroundConstraintProgram(db, constraints)`
+  /// for this same database — the engine then grounds nothing itself: the
+  /// consistency fast path, every translation attempt, and the final
+  /// verification all reuse it (valid across repairs by steadiness). When
+  /// null the engine grounds once per call, which is still one grounding
+  /// for the whole big-M retry loop (counter `repair.groundings`).
   Result<RepairOutcome> ComputeRepair(
       const rel::Database& db, const cons::ConstraintSet& constraints,
       const std::vector<FixedValue>& fixed_values = {},
-      const Repair* warm_start = nullptr) const;
+      const Repair* warm_start = nullptr,
+      const cons::GroundProgram* ground = nullptr) const;
 
   const RepairEngineOptions& options() const { return options_; }
 
@@ -125,6 +136,70 @@ Result<Repair> ExtractRepair(const rel::Database& db,
 /// database, so a pin of an accepted value reproduces the repair exactly.
 double SnapCellValue(const rel::Database& db, const rel::CellRef& cell,
                      double z);
+
+/// Presolve + decomposition bookkeeping of one solve attempt, kept around so
+/// the big-M retry can tell accepted components from saturated ones. Shared
+/// by the per-document engine loop and the fused batch path (batch.h).
+struct AttemptContext {
+  milp::PresolveResult presolved;
+  bool used_presolve = false;
+  milp::Decomposition decomposition;
+  std::vector<milp::MilpResult> component_results;
+  bool decomposed = false;
+};
+
+/// The engine's verdict on one solve attempt: whether M must grow, and if
+/// so which components carry the blame ("dirty": infeasible, or an optimal
+/// |y| pressing against its Mᵢ box) versus which were accepted and may be
+/// pinned on the retry.
+struct RetryDecision {
+  bool grow_m_and_retry = false;
+  /// Grow verdict is component-local (nothing outside components is dirty):
+  /// the accepted components' values can be pinned so only dirty blocks
+  /// re-solve.
+  bool pin_clean_components = false;
+  std::vector<char> component_dirty;  ///< per decomposition component.
+};
+
+/// Inspects a solve attempt for big-M symptoms. Infeasibility may be a
+/// too-tight z box rather than true non-existence, and an optimal y at
+/// 0.999·Mᵢ suggests the unboxed optimum lies outside; kNodeLimit and
+/// kUnbounded are never big-M symptoms and suppress the retry.
+RetryDecision DecideBigMRetry(const Translation& translation,
+                              const AttemptContext& ctx,
+                              const milp::MilpResult& solved);
+
+/// Pins every not-yet-pinned cell of the clean (accepted) components to its
+/// solved value, snapped as ExtractRepair would render it. Appends to
+/// `retry_pins` / `pinned_cells`.
+void AppendCleanComponentPins(const rel::Database& db,
+                              const Translation& translation,
+                              const AttemptContext& ctx,
+                              const std::vector<char>& component_dirty,
+                              std::set<rel::CellRef>* pinned_cells,
+                              std::vector<FixedValue>* retry_pins);
+
+/// Copies one attempt's instance-shape numbers and timings into `stats` and
+/// the matching repair.* gauges/histograms (translate/solve seconds
+/// accumulate across attempts; shape fields reflect the latest attempt).
+void RecordAttemptStats(const Translation& translation,
+                        const milp::MilpResult& solved,
+                        double translate_seconds, double solve_seconds,
+                        int attempt, RepairStats* stats,
+                        obs::RunContext* run);
+
+/// Turns a final (no-retry) solve attempt into the engine's result: maps
+/// non-optimal statuses to the engine's error contract, extracts the
+/// repair, enforces the card-minimality invariant when `weights_empty`,
+/// verifies ρ(D) ⊨ AC against the ground program when `verify_result`, and
+/// orders the updates for display.
+Result<Repair> FinalizeAttempt(const rel::Database& db,
+                               const cons::GroundProgram& ground,
+                               const Translation& translation,
+                               const milp::MilpResult& solved,
+                               bool weights_empty, bool verify_result,
+                               const std::vector<FixedValue>& fixed_values,
+                               obs::RunContext* run);
 
 }  // namespace internal
 

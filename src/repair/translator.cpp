@@ -44,82 +44,40 @@ Result<Translation> TranslateToMilp(const rel::Database& db,
                                     const cons::ConstraintSet& constraints,
                                     const TranslatorOptions& options,
                                     const std::vector<FixedValue>& fixed_values) {
-  const rel::DatabaseSchema schema = db.Schema();
-  DART_RETURN_IF_ERROR(cons::RequireAllSteady(schema, constraints));
+  DART_ASSIGN_OR_RETURN(cons::GroundProgram program,
+                        cons::GroundConstraintProgram(db, constraints));
+  return TranslateGrounded(db, program, options, fixed_values);
+}
 
+Result<Translation> TranslateGrounded(const rel::Database& db,
+                                      const cons::GroundProgram& program,
+                                      const TranslatorOptions& options,
+                                      const std::vector<FixedValue>& fixed_values) {
   // ---------------------------------------------------------------------
-  // Step 1 — S(AC): one linear row per ground constraint instance.
+  // Step 1 — S(AC): one linear row per ground constraint instance. The
+  // grounding itself (substitution enumeration, steady-attribute folding)
+  // already happened in GroundConstraintProgram; here the ground rows are
+  // vetted for constant (coefficient-free) instances.
   // ---------------------------------------------------------------------
   std::vector<PendingRow> pending;
-  double max_abs_coeff = 1;  // `a` of the theoretical bound
-  for (const cons::AggregateConstraint& constraint : constraints.constraints()) {
-    const std::vector<std::string> project = cons::TermVariables(constraint);
-    DART_ASSIGN_OR_RETURN(
-        std::vector<cons::Binding> bindings,
-        cons::GroundSubstitutions(db, constraint.premise, project));
-    int instance = 0;
-    for (const cons::Binding& binding : bindings) {
-      PendingRow row;
-      row.name = constraint.name + "#" + std::to_string(instance++);
-      row.op = constraint.op;
-      row.rhs = constraint.rhs;
-      for (const cons::AggregateTerm& term : constraint.terms) {
-        const cons::AggregationFunction* fn =
-            constraints.FindFunction(term.function);
-        if (fn == nullptr) {
-          return Status::Internal("dangling aggregation function '" +
-                                  term.function + "'");
-        }
-        const rel::Relation* relation = db.FindRelation(fn->relation);
-        if (relation == nullptr) {
-          return Status::NotFound("relation '" + fn->relation +
-                                  "' missing from instance");
-        }
-        cons::LinearForm form;
-        DART_RETURN_IF_ERROR(
-            fn->expr->Linearize(relation->schema(), &form, 1.0));
-        DART_ASSIGN_OR_RETURN(std::vector<rel::Value> params,
-                              cons::ResolveCallArgs(term, binding));
-        DART_ASSIGN_OR_RETURN(std::vector<size_t> tuple_set,
-                              cons::AggregationTupleSet(db, *fn, params));
-        // P(χ): per tuple t of T_χ, measure attributes stay symbolic (z),
-        // everything else is a constant under any repair (steadiness).
-        for (size_t t : tuple_set) {
-          row.rhs -= term.coefficient * form.constant;
-          for (const auto& [attr, coeff] : form.coefficients) {
-            const double factor = term.coefficient * coeff;
-            if (relation->schema().attribute(attr).is_measure) {
-              row.coefficients[rel::CellRef{fn->relation, t, attr}] += factor;
-              max_abs_coeff = std::max(max_abs_coeff, std::fabs(factor));
-            } else {
-              const rel::Value& v = relation->At(t, attr);
-              if (!v.is_numeric()) {
-                return Status::InvalidArgument(
-                    "non-numeric value in summed attribute of '" + fn->name +
-                    "'");
-              }
-              row.rhs -= factor * v.AsReal();
-            }
-          }
-        }
+  double max_abs_coeff = program.max_abs_factor;  // `a` of the theoretical bound
+  for (const cons::GroundRow& ground : program.rows) {
+    if (ground.coefficients.empty()) {
+      // Constant row: either trivially true (drop) or impossible to repair.
+      if (!cons::SatisfiesCompare(0, ground.op, ground.rhs)) {
+        return Status::Infeasible(
+            "ground constraint " + ground.name +
+            " involves no measure value and is violated; no repair exists");
       }
-      // Drop zero coefficients produced by cancellation.
-      for (auto it = row.coefficients.begin(); it != row.coefficients.end();) {
-        if (it->second == 0) it = row.coefficients.erase(it);
-        else ++it;
-      }
-      if (row.coefficients.empty()) {
-        // Constant row: either trivially true (drop) or impossible to repair.
-        if (!cons::SatisfiesCompare(0, row.op, row.rhs)) {
-          return Status::Infeasible(
-              "ground constraint " + row.name +
-              " involves no measure value and is violated; no repair exists");
-        }
-        continue;
-      }
-      max_abs_coeff = std::max(max_abs_coeff, std::fabs(row.rhs));
-      pending.push_back(std::move(row));
+      continue;
     }
+    PendingRow row;
+    row.name = ground.name;
+    row.op = ground.op;
+    row.rhs = ground.rhs;
+    row.coefficients = ground.coefficients;
+    max_abs_coeff = std::max(max_abs_coeff, std::fabs(row.rhs));
+    pending.push_back(std::move(row));
   }
 
   // ---------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "constraints/ast.h"
+#include "constraints/ground.h"
 #include "milp/model.h"
 #include "relational/database.h"
 #include "util/status.h"
@@ -127,6 +128,19 @@ struct Translation {
 /// violated (no update can ever fix a constant row).
 Result<Translation> TranslateToMilp(
     const rel::Database& db, const cons::ConstraintSet& constraints,
+    const TranslatorOptions& options = {},
+    const std::vector<FixedValue>& fixed_values = {});
+
+/// Builds S*(AC) from an already-ground program — grounding once per
+/// database and translating per big-M attempt (the repair engine's retry
+/// loop grows M without re-grounding; the batch path shares one grounding
+/// between violation detection and translation). `program` must have been
+/// produced by `GroundConstraintProgram(db, ...)` for this same `db`.
+///
+/// Same failure modes as TranslateToMilp minus the grounding ones: still
+/// Infeasible on a violated constant ground row.
+Result<Translation> TranslateGrounded(
+    const rel::Database& db, const cons::GroundProgram& program,
     const TranslatorOptions& options = {},
     const std::vector<FixedValue>& fixed_values = {});
 

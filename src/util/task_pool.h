@@ -1,0 +1,277 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// \file task_pool.h
+/// A reusable work-stealing task pool, factored out of the parallel MILP
+/// scheduler (milp/scheduler.cpp) so other fan-out stages — batch document
+/// acquisition, per-attempt translation — share one pool implementation
+/// instead of growing their own (DESIGN.md, "Batch ingestion").
+///
+/// Shape and invariants are exactly the scheduler's:
+///   - one deque per worker; the owner pushes/pops at the bottom (LIFO
+///     dive), thieves steal from the top (the oldest task — the largest
+///     stolen subtree when tasks form a tree);
+///   - tasks are coarse (an LP solve, an HTML document), so a plain mutex
+///     per deque is uncontended in practice and far simpler than a
+///     lock-free Chase–Lev deque;
+///   - termination via one atomic count of *open* tasks (queued + in
+///     flight). A worker holding a task keeps the count positive until it
+///     calls Retire(), after any children have been pushed — so count == 0
+///     means no task exists anywhere and no task can ever appear again;
+///   - an idle worker spins (yield ×64, then 50 µs sleeps) rather than
+///     blocking: pools live for one solve/batch call, not for a process.
+///
+/// Per-worker busy time is recorded between successful Next() calls, giving
+/// the utilization figure the batch-ingestion benchmark gates on.
+
+namespace dart::util {
+
+/// Wall/busy accounting of one Run(): utilization() is the busy fraction of
+/// the pool, 1.0 = every worker processed tasks for the whole run.
+struct TaskPoolStats {
+  double wall_seconds = 0;
+  std::vector<double> busy_seconds;  ///< per worker.
+
+  double utilization() const {
+    if (wall_seconds <= 0 || busy_seconds.empty()) return 0;
+    double busy = 0;
+    for (double b : busy_seconds) busy += b;
+    return busy / (wall_seconds * static_cast<double>(busy_seconds.size()));
+  }
+};
+
+template <typename Task>
+class TaskPool {
+ public:
+  explicit TaskPool(int num_threads)
+      : deques_(static_cast<size_t>(num_threads < 1 ? 1 : num_threads)) {}
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+  /// Enqueues a root task before Run(). Tasks are dealt round-robin across
+  /// the worker deques in call order — seed largest-first and the big tasks
+  /// start immediately on distinct workers while the small ones pack in
+  /// around them.
+  void Seed(Task task) {
+    open_.fetch_add(1, std::memory_order_relaxed);
+    deques_[seeded_ % deques_.size()].PushBottom(std::move(task));
+    ++seeded_;
+  }
+
+  /// One worker's handle into the pool; the Run() body receives one and owns
+  /// it for the duration. The protocol mirrors the MILP scheduler's loop:
+  ///
+  ///   Task t;
+  ///   while (worker.Next(&t)) {
+  ///     ... process t, possibly worker.Push(child) ...
+  ///     worker.Retire();          // after children are pushed
+  ///   }
+  ///
+  /// Retire() after Push() preserves the termination invariant: the open
+  /// count never touches zero while a task that may still spawn work exists.
+  class Worker {
+   public:
+    int id() const { return id_; }
+
+    /// Acquires the next task: own deque's bottom first, then steals from
+    /// the other deques' tops (`stolen` reports which). Blocks through the
+    /// idle backoff until a task arrives, every open task is retired, or the
+    /// pool is aborted; returns false on the latter two. Does NOT retire the
+    /// previously returned task — that is Retire()'s job.
+    bool Next(Task* out, bool* stolen = nullptr) {
+      AccumulateBusy();
+      const int n = static_cast<int>(pool_->deques_.size());
+      int idle_spins = 0;
+      while (!pool_->abort_.load(std::memory_order_relaxed)) {
+        bool got = pool_->deques_[static_cast<size_t>(id_)].PopBottom(out);
+        bool was_steal = false;
+        for (int k = 1; k < n && !got; ++k) {
+          got = pool_->deques_[static_cast<size_t>((id_ + k) % n)].StealTop(
+              out);
+          was_steal = got;
+        }
+        if (got) {
+          if (stolen != nullptr) *stolen = was_steal;
+          busy_since_ = std::chrono::steady_clock::now();
+          running_ = true;
+          return true;
+        }
+        if (pool_->open_.load(std::memory_order_acquire) == 0) break;
+        if (++idle_spins > 64) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      return false;
+    }
+
+    /// Pushes a new task onto this worker's bottom (open count +1).
+    void Push(Task task) {
+      pool_->open_.fetch_add(1, std::memory_order_acq_rel);
+      pool_->deques_[static_cast<size_t>(id_)].PushBottom(std::move(task));
+    }
+
+    /// Re-queues a task withOUT touching the open count — for handing back a
+    /// task the worker will not process (e.g. the scheduler's node-limit
+    /// path, which wants the task inspectable by Drain() afterwards). The
+    /// caller still owes the Retire() it skipped, so only use this on a path
+    /// that also aborts the pool.
+    void Requeue(Task task) {
+      pool_->deques_[static_cast<size_t>(id_)].PushBottom(std::move(task));
+    }
+
+    /// Retires the task most recently returned by Next() (open count −1).
+    void Retire() {
+      pool_->open_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /// Stops the whole pool: every worker's next Next() returns false.
+    void Abort() { pool_->abort_.store(true, std::memory_order_relaxed); }
+
+    double busy_seconds() const { return busy_seconds_; }
+
+   private:
+    friend class TaskPool;
+    Worker(TaskPool* pool, int id) : pool_(pool), id_(id) {}
+
+    void AccumulateBusy() {
+      if (!running_) return;
+      running_ = false;
+      busy_seconds_ += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - busy_since_)
+                           .count();
+    }
+
+    TaskPool* pool_;
+    int id_;
+    bool running_ = false;
+    std::chrono::steady_clock::time_point busy_since_;
+    double busy_seconds_ = 0;
+  };
+
+  /// Runs `body(worker)` on num_workers() threads and joins them. The same
+  /// callable is invoked concurrently from every worker thread; anything it
+  /// captures must tolerate that (per-worker state belongs inside the body,
+  /// keyed by worker.id()).
+  template <typename Body>
+  void Run(Body&& body) {
+    const auto t_begin = std::chrono::steady_clock::now();
+    const int n = num_workers();
+    std::vector<Worker> workers;
+    workers.reserve(static_cast<size_t>(n));
+    for (int id = 0; id < n; ++id) workers.push_back(Worker(this, id));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n));
+    for (int id = 0; id < n; ++id) {
+      threads.emplace_back(
+          [&body, &workers, id] { body(workers[static_cast<size_t>(id)]); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    stats_.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t_begin)
+                              .count();
+    stats_.busy_seconds.resize(static_cast<size_t>(n));
+    for (int id = 0; id < n; ++id) {
+      workers[static_cast<size_t>(id)].AccumulateBusy();
+      stats_.busy_seconds[static_cast<size_t>(id)] =
+          workers[static_cast<size_t>(id)].busy_seconds();
+    }
+  }
+
+  /// Tasks left in the deques after Run() — nonempty only after an abort.
+  /// Exclusive access (no workers remain), hence non-const drain.
+  std::vector<Task> Drain() {
+    std::vector<Task> out;
+    for (WorkerDeque& deque : deques_) deque.DrainInto(&out);
+    return out;
+  }
+
+  bool aborted() const { return abort_.load(std::memory_order_relaxed); }
+
+  /// Valid after Run() returns.
+  const TaskPoolStats& stats() const { return stats_; }
+
+ private:
+  /// One worker's task store. Owner uses the bottom, thieves the top.
+  class WorkerDeque {
+   public:
+    void PushBottom(Task&& task) {
+      std::lock_guard<std::mutex> lock(mu_);
+      deque_.push_back(std::move(task));
+    }
+
+    bool PopBottom(Task* out) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deque_.empty()) return false;
+      *out = std::move(deque_.back());
+      deque_.pop_back();
+      return true;
+    }
+
+    bool StealTop(Task* out) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deque_.empty()) return false;
+      *out = std::move(deque_.front());
+      deque_.pop_front();
+      return true;
+    }
+
+    void DrainInto(std::vector<Task>* out) {
+      for (Task& task : deque_) out->push_back(std::move(task));
+      deque_.clear();
+    }
+
+   private:
+    std::mutex mu_;
+    std::deque<Task> deque_;
+  };
+
+  std::vector<WorkerDeque> deques_;
+  std::atomic<int64_t> open_{0};
+  std::atomic<bool> abort_{false};
+  size_t seeded_ = 0;
+  TaskPoolStats stats_;
+};
+
+/// Convenience fan-out over the pool: runs `fn(index)` for every index of
+/// `order` (a permutation or subset of work items, dealt to the pool in the
+/// given order — put the biggest items first) on min(num_threads, |order|)
+/// workers. `fn` is invoked concurrently and must be thread-safe. With one
+/// worker or one item everything runs inline on the calling thread.
+template <typename Fn>
+TaskPoolStats ParallelFor(int num_threads, const std::vector<size_t>& order,
+                          Fn&& fn) {
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads < 1 ? 1 : num_threads),
+                       order.size()));
+  if (workers <= 1) {
+    const auto t_begin = std::chrono::steady_clock::now();
+    for (size_t index : order) fn(index);
+    TaskPoolStats stats;
+    stats.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t_begin)
+                             .count();
+    stats.busy_seconds.assign(1, stats.wall_seconds);
+    return stats;
+  }
+  TaskPool<size_t> pool(workers);
+  for (size_t index : order) pool.Seed(index);
+  pool.Run([&fn](typename TaskPool<size_t>::Worker& worker) {
+    size_t index = 0;
+    while (worker.Next(&index)) {
+      fn(index);
+      worker.Retire();
+    }
+  });
+  return pool.stats();
+}
+
+}  // namespace dart::util
