@@ -2,7 +2,7 @@
 // rendered cash-budget documents are processed twice at an equal thread
 // count — N sequential Process() calls (each MILP solve may still use all
 // threads, but acquisition/extraction/grounding run one document at a time
-// and every call pays its own scheduler entry) vs one ProcessBatch() call
+// and every call pays its own scheduler entry) vs one SubmitBatch() call
 // (acquisition fans out largest-document-first across the shared
 // work-stealing pool and every document's MILP components feed one fused
 // SolveMilpBatch per big-M round). main() gates the aggregate throughput
@@ -27,7 +27,9 @@ using dart::core::AcquisitionMetadata;
 using dart::core::BatchOutcome;
 using dart::core::DartPipeline;
 using dart::core::PipelineOptions;
+using dart::core::BatchRequest;
 using dart::core::ProcessOutcome;
+using dart::core::ProcessRequest;
 using dart::ocr::CashBudgetFixture;
 
 constexpr int kDocs = 8;
@@ -79,7 +81,7 @@ void BM_ProcessSerialLoop(benchmark::State& state) {
   const std::vector<std::string> htmls = MakeDocHtmls(20, docs);
   for (auto _ : state) {
     for (const std::string& html : htmls) {
-      auto outcome = pipeline.Process(html);
+      auto outcome = pipeline.Submit(ProcessRequest::FromHtml(html));
       DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
       benchmark::DoNotOptimize(outcome->repaired);
     }
@@ -94,13 +96,12 @@ void BM_ProcessBatch(benchmark::State& state) {
   const std::vector<std::string> htmls = MakeDocHtmls(20, docs);
   double utilization = 0;
   for (auto _ : state) {
-    auto batch = pipeline.ProcessBatch(htmls);
-    DART_CHECK_MSG(batch.ok(), batch.status().ToString());
-    for (const auto& doc : batch->documents) {
-      DART_CHECK_MSG(doc.ok(), doc.status().ToString());
+    BatchOutcome batch = pipeline.SubmitBatch(BatchRequest::FromHtmls(htmls));
+    for (const auto& slot : batch.documents) {
+      DART_CHECK_MSG(slot.result.ok(), slot.result.status().ToString());
     }
-    utilization = batch->stats.acquire_utilization;
-    benchmark::DoNotOptimize(batch->stats);
+    utilization = batch.stats.acquire_utilization;
+    benchmark::DoNotOptimize(batch.stats);
   }
   state.counters["docs_per_sec"] = benchmark::Counter(
       static_cast<double>(docs), benchmark::Counter::kIsIterationInvariantRate);
@@ -133,19 +134,19 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   // Parity sweep: on the serial path (1 thread) every per-document outcome
-  // of ProcessBatch must be identical to N independent Process() calls.
+  // of SubmitBatch must be identical to N independent Submit() calls.
   // Runs on every invocation so reproduce.sh cannot record an E20 table for
   // a divergent batch implementation.
   {
     const DartPipeline pipeline = MakeBatchPipeline(1);
     for (uint64_t seed = 1; seed <= 5; ++seed) {
       const std::vector<std::string> htmls = MakeDocHtmls(seed, kDocs);
-      auto batch = pipeline.ProcessBatch(htmls);
-      DART_CHECK_MSG(batch.ok(), batch.status().ToString());
+      BatchOutcome batch =
+          pipeline.SubmitBatch(BatchRequest::FromHtmls(htmls));
       for (size_t i = 0; i < htmls.size(); ++i) {
-        auto serial = pipeline.Process(htmls[i]);
+        auto serial = pipeline.Submit(ProcessRequest::FromHtml(htmls[i]));
         DART_CHECK_MSG(serial.ok(), serial.status().ToString());
-        const auto& doc = batch->documents[i];
+        const auto& doc = batch.documents[i].result;
         DART_CHECK_MSG(doc.ok(), doc.status().ToString());
         DART_CHECK_MSG(doc->violations.size() == serial->violations.size(),
                        "E20 batch/serial violation counts diverge");
@@ -176,16 +177,15 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < 3; ++rep) {
       serial_best = std::min(serial_best, SecondsFor([&] {
         for (const std::string& html : htmls) {
-          auto outcome = pipeline.Process(html);
+          auto outcome = pipeline.Submit(ProcessRequest::FromHtml(html));
           DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
         }
       }));
-      dart::Result<BatchOutcome> batch = dart::Status::Internal("unset");
+      BatchOutcome batch;
       batch_best = std::min(batch_best, SecondsFor([&] {
-        batch = pipeline.ProcessBatch(htmls);
+        batch = pipeline.SubmitBatch(BatchRequest::FromHtmls(htmls));
       }));
-      DART_CHECK_MSG(batch.ok(), batch.status().ToString());
-      utilization = std::max(utilization, batch->stats.acquire_utilization);
+      utilization = std::max(utilization, batch.stats.acquire_utilization);
     }
     const double ratio = serial_best / batch_best;
     const unsigned hardware_threads = std::thread::hardware_concurrency();
@@ -222,8 +222,8 @@ int main(int argc, char** argv) {
     dart::obs::RunContext run;
     const DartPipeline pipeline = MakeBatchPipeline(kThreads, &run);
     const std::vector<std::string> htmls = MakeDocHtmls(20, kDocs);
-    auto batch = pipeline.ProcessBatch(htmls);
-    DART_CHECK_MSG(batch.ok(), batch.status().ToString());
+    BatchOutcome batch = pipeline.SubmitBatch(BatchRequest::FromHtmls(htmls));
+    DART_CHECK_MSG(!batch.documents.empty(), "empty batch outcome");
     dart::bench::WriteBenchTrace(run, "bench_batch_throughput");
   }
   return 0;

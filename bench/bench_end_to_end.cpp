@@ -46,7 +46,7 @@ void BM_ProcessCleanDocument(benchmark::State& state) {
   core::DartPipeline pipeline = MakePipeline(*truth);
   const std::string html = ocr::CashBudgetFixture::RenderHtml(*truth);
   for (auto _ : state) {
-    auto outcome = pipeline.Process(html);
+    auto outcome = pipeline.Submit(core::ProcessRequest::FromHtml(html));
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->violations.size());
   }
@@ -70,7 +70,7 @@ void BM_ProcessNoisyDocument(benchmark::State& state) {
   ocr::NoiseModel noise({0.08, 0.10, 1, 1}, &rng);
   const std::string html = ocr::CashBudgetFixture::RenderHtml(*truth, &noise);
   for (auto _ : state) {
-    auto outcome = pipeline.Process(html);
+    auto outcome = pipeline.Submit(core::ProcessRequest::FromHtml(html));
     DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
     benchmark::DoNotOptimize(outcome->repair.repair.cardinality());
   }
@@ -153,7 +153,7 @@ void InstrumentedTraceRun() {
   exporter_options.jsonl_path = "OBS_bench_end_to_end.metrics.jsonl";
   obs::PeriodicExporter exporter(&run, exporter_options);
   DART_CHECK_MSG(exporter.Start().ok(), "exporter failed to start");
-  auto outcome = pipeline.Process(html);
+  auto outcome = pipeline.Submit(core::ProcessRequest::FromHtml(html));
   DART_CHECK_MSG(outcome.ok(), outcome.status().ToString());
   DART_CHECK_MSG(exporter.Stop().ok(), "exporter failed to stop");
   DART_CHECK_MSG(exporter.records_written() >= 1,

@@ -59,8 +59,8 @@ int main() {
 
       core::DartPipeline uniform = MakePipeline(*truth, false);
       core::DartPipeline weighted = MakePipeline(*truth, true);
-      auto uniform_outcome = uniform.Process(html);
-      auto weighted_outcome = weighted.Process(html);
+      auto uniform_outcome = uniform.Submit(core::ProcessRequest::FromHtml(html));
+      auto weighted_outcome = weighted.Submit(core::ProcessRequest::FromHtml(html));
       DART_CHECK_MSG(uniform_outcome.ok(),
                      uniform_outcome.status().ToString());
       DART_CHECK_MSG(weighted_outcome.ok(),

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   std::printf("(plus %zu corrupted lexical items in the rendered HTML)\n\n",
               string_noise.strings_corrupted());
 
-  auto outcome = pipeline->Process(html);
+  auto outcome = pipeline->Submit(core::ProcessRequest::FromHtml(html));
   if (!outcome.ok()) {
     std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
     return 1;

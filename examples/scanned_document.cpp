@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
-  auto outcome = pipeline->ProcessPositional(*reparsed);
+  auto outcome =
+      pipeline->Submit(core::ProcessRequest::FromPositional(*reparsed));
   if (!outcome.ok()) {
     std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
     return 1;

@@ -24,7 +24,7 @@ done
 GBENCHES="bench_repair_scaling bench_repair_errors bench_solver_ablation \
 bench_end_to_end bench_presolve_ablation bench_thread_scaling \
 bench_warmstart_ablation bench_decomposition bench_sparse_kernel \
-bench_incremental bench_batch_throughput"
+bench_incremental bench_batch_throughput bench_server"
 for name in $GBENCHES; do
   b="build/bench/$name"
   [ -x "$b" ] || continue
@@ -67,6 +67,14 @@ python3 scripts/check_bench_regression.py \
   BENCH_bench_batch_throughput.json BENCH_bench_batch_throughput.seed.json \
   --max-ratio 1.3 || exit 1
 
+# E21 gate: the multi-tenant serving sweep must stay within 1.3x of its seed
+# — the shared-pool dispatch and admission path must not grow per-request
+# overhead (the bench binary itself enforces the admission and parity gates
+# on every invocation).
+python3 scripts/check_bench_regression.py \
+  BENCH_bench_server.json BENCH_bench_server.seed.json \
+  --max-ratio 1.3 || exit 1
+
 # Observability gates (E17, docs/observability.md): every benchmark binary
 # leaves an OBS_<name>.trace.json run report behind. Each must be
 # schema-valid with zero dropped spans (the default trace capacity has to
@@ -86,6 +94,11 @@ python3 scripts/trace_report.py stream OBS_bench_end_to_end.metrics.jsonl \
 # not a serialized loop wearing batch spans.
 python3 scripts/trace_report.py overlap \
   OBS_bench_batch_throughput.trace.json || exit 1
+# E21: bench_server's second trace uses a deliberately tiny churned ring
+# (hence the TAIL_ prefix, exempting it from the zero-drop glob above); the
+# slow early requests must survive the churn via tail sampling.
+python3 scripts/trace_report.py tails TAIL_bench_server.trace.json \
+  --name serve.request.t0 --min-count 4 --require-drops || exit 1
 
 echo "Done: test_output.txt, bench_output.txt, BENCH_*.json," \
   "OBS_*.trace.json, OBS_bench_end_to_end.metrics.jsonl"

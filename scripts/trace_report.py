@@ -37,6 +37,15 @@ contract — scripts/reproduce.sh runs it over every benchmark's trace:
       whose per-document acquire spans are disjoint has silently
       re-serialized.
 
+  trace_report.py tails FILE --name NAME [--histogram serve.request_seconds
+                                          --min-count K --require-drops]
+      Tail-sampling regression gate: at least --min-count closed spans named
+      NAME must survive with a duration at or above the mean of the
+      --histogram latency histogram in the same report. With --require-drops
+      the report must also show ring churn (obs.spans_dropped > 0) — proof
+      the slow spans outlived evictions that would have claimed them under
+      head/ring retention alone (trace.h tail sampling).
+
 Exit status: 0 = ok, 1 = validation/gate failure, 2 = bad input.
 """
 
@@ -416,6 +425,38 @@ def cmd_overlap(args):
     return 1 if failures else 0
 
 
+def cmd_tails(args):
+    doc = load_json(args.file)
+    errors = validate_report(args.file, doc)
+    if errors:
+        for msg in errors:
+            print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
+        return 1
+
+    if args.require_drops:
+        dropped = doc["counters"].get("obs.spans_dropped", 0)
+        if dropped <= 0:
+            print(f"TAILS VIOLATION: {args.file}: no ring churn "
+                  f"(obs.spans_dropped is {dropped}); the gate is vacuous "
+                  f"without evictions", file=sys.stderr)
+            return 1
+
+    hist = doc["histograms"].get(args.histogram)
+    if not hist or hist["count"] <= 0:
+        print(f"TAILS VIOLATION: {args.file}: histogram "
+              f"{args.histogram!r} is missing or empty", file=sys.stderr)
+        return 1
+    mean_ns = hist["sum"] / hist["count"] * 1e9
+
+    survivors = [s for s in doc["spans"]
+                 if s["name"] == args.name and s["duration_ns"] >= mean_ns]
+    verdict = "OK" if len(survivors) >= args.min_count else "FAIL"
+    print(f"tails: {args.file}: {len(survivors)} {args.name!r} span(s) at or "
+          f"above the {args.histogram} mean of {mean_ns / 1e6:.2f} ms "
+          f"(need >= {args.min_count}) {verdict}")
+    return 0 if len(survivors) >= args.min_count else 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -451,6 +492,18 @@ def main():
     p_overlap.add_argument("--child", default="pipeline.acquire")
     p_overlap.add_argument("--min-overlapping", type=int, default=2)
     p_overlap.set_defaults(func=cmd_overlap)
+
+    p_tails = sub.add_parser("tails", help="tail-sampling survival gate")
+    p_tails.add_argument("file")
+    p_tails.add_argument("--name", required=True,
+                         help="span name whose slow instances must survive")
+    p_tails.add_argument("--histogram", default="serve.request_seconds",
+                         help="latency histogram whose mean sets the "
+                              "slow-span threshold")
+    p_tails.add_argument("--min-count", type=int, default=1)
+    p_tails.add_argument("--require-drops", action="store_true",
+                         help="also require obs.spans_dropped > 0")
+    p_tails.set_defaults(func=cmd_tails)
 
     args = parser.parse_args()
     sys.exit(args.func(args))

@@ -25,10 +25,16 @@ DartPipeline::DartPipeline(std::unique_ptr<AcquisitionMetadata> metadata,
 
 Result<DartPipeline> DartPipeline::Create(AcquisitionMetadata metadata,
                                           PipelineOptions options) {
-  // One RunContext serves every layer: thread the pipeline's sink into the
-  // matcher unless the caller already aimed it somewhere else.
+  // One RunContext serves every layer: thread the pipeline's sink into every
+  // nested option struct here, once — the matcher's and the repair engine's
+  // (the validation session falls back to engine.run, so pipeline.run set
+  // only at this top level still reaches the milp.* counters). Per-call
+  // copies elsewhere would drift; this is the single propagation point.
   if (options.run != nullptr && metadata.matcher.run == nullptr) {
     metadata.matcher.run = options.run;
+  }
+  if (options.run != nullptr && options.engine.run == nullptr) {
+    options.engine.run = options.run;
   }
   // Scheme declared by the mappings.
   rel::DatabaseSchema schema;
@@ -80,10 +86,9 @@ Result<AcquisitionOutcome> DartPipeline::Acquire(
 
 repair::RepairEngineOptions DartPipeline::EngineOptionsFor(
     const std::vector<dbgen::CellConfidence>& confidences) const {
+  // options_.engine.run was already aimed at the pipeline's context by
+  // Create — the single propagation point — so only the weights vary here.
   repair::RepairEngineOptions engine_options = options_.engine;
-  if (options_.run != nullptr && engine_options.run == nullptr) {
-    engine_options.run = options_.run;
-  }
   std::vector<repair::CellWeight> weights = ConfidenceWeights(confidences);
   engine_options.translator.weights.insert(
       engine_options.translator.weights.end(),
@@ -113,11 +118,21 @@ Result<AcquisitionOutcome> DartPipeline::AcquirePositional(
 
 Result<ProcessOutcome> DartPipeline::ProcessPositional(
     const acquire::PositionalDocument& document) const {
-  DART_ASSIGN_OR_RETURN(std::string html, acquire::ConvertToHtml(document));
-  return Process(html);
+  return Submit(ProcessRequest::FromPositional(document));
 }
 
 Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
+  return Submit(ProcessRequest::FromHtml(html));
+}
+
+Result<ProcessOutcome> DartPipeline::Submit(
+    const ProcessRequest& request) const {
+  if (request.positional.has_value()) {
+    DART_ASSIGN_OR_RETURN(std::string html,
+                          acquire::ConvertToHtml(*request.positional));
+    return Submit(ProcessRequest::FromHtml(std::move(html), request.id));
+  }
+  const std::string& html = request.html;
   obs::Span process_span(options_.run, "pipeline.process");
   ProcessOutcome outcome;
   DART_ASSIGN_OR_RETURN(outcome.acquisition, Acquire(html));
@@ -153,16 +168,15 @@ Result<ProcessOutcome> DartPipeline::Process(const std::string& html) const {
   return outcome;
 }
 
-Result<BatchOutcome> DartPipeline::ProcessBatch(
-    std::span<const std::string> htmls) const {
+BatchOutcome DartPipeline::SubmitBatch(const BatchRequest& request) const {
   const auto t0 = std::chrono::steady_clock::now();
   obs::Span batch_span(options_.run, "pipeline.batch");
   const int64_t batch_span_id = batch_span.id();
 
   BatchOutcome batch;
   obs::SetGauge(options_.run, "pipeline.batch.documents",
-                static_cast<double>(htmls.size()));
-  if (htmls.empty()) return batch;
+                static_cast<double>(request.documents.size()));
+  if (request.documents.empty()) return batch;
 
   struct DocSlot {
     /// Terminal per-document error, if any stage failed.
@@ -170,13 +184,36 @@ Result<BatchOutcome> DartPipeline::ProcessBatch(
     std::optional<ProcessOutcome> partial;
     std::optional<cons::GroundProgram> ground;
   };
-  std::vector<DocSlot> slots(htmls.size());
+  std::vector<DocSlot> slots(request.documents.size());
+
+  // Phase 0 — per-slot geometric reconstruction of positional documents (a
+  // failed reconstruction occupies its slot with that specific error) and id
+  // assignment: empty request ids become the slot index.
+  std::vector<std::string> ids(request.documents.size());
+  std::vector<std::string> htmls(request.documents.size());
+  for (size_t i = 0; i < request.documents.size(); ++i) {
+    const ProcessRequest& doc = request.documents[i];
+    ids[i] = doc.id.empty() ? "#" + std::to_string(i) : doc.id;
+    if (doc.positional.has_value()) {
+      Result<std::string> html = acquire::ConvertToHtml(*doc.positional);
+      if (html.ok()) {
+        htmls[i] = std::move(html).value();
+      } else {
+        slots[i].result = html.status();
+      }
+    } else {
+      htmls[i] = doc.html;
+    }
+  }
 
   // Largest-document-first dealing: the biggest acquisitions start first so
   // a giant document picked up late cannot leave the other workers idle
-  // behind it.
-  std::vector<size_t> order(htmls.size());
-  std::iota(order.begin(), order.end(), size_t{0});
+  // behind it. Slots already failed by reconstruction are skipped.
+  std::vector<size_t> order;
+  order.reserve(htmls.size());
+  for (size_t i = 0; i < htmls.size(); ++i) {
+    if (!slots[i].result.has_value()) order.push_back(i);
+  }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return htmls[a].size() > htmls[b].size();
   });
@@ -254,22 +291,23 @@ Result<BatchOutcome> DartPipeline::ProcessBatch(
     }
   }
 
-  // Phase 3 — apply repairs and assemble outcomes in input order.
+  // Phase 3 — apply repairs and assemble id-tagged slots in input order.
   batch.documents.reserve(slots.size());
-  for (DocSlot& slot : slots) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    DocSlot& slot = slots[i];
     if (slot.result.has_value()) {
-      batch.documents.push_back(*std::move(slot.result));
+      batch.documents.push_back(BatchSlot{ids[i], *std::move(slot.result)});
       continue;
     }
     ProcessOutcome outcome = *std::move(slot.partial);
     Result<rel::Database> applied =
         outcome.repair.repair.Applied(outcome.acquisition.database);
     if (!applied.ok()) {
-      batch.documents.push_back(applied.status());
+      batch.documents.push_back(BatchSlot{ids[i], applied.status()});
       continue;
     }
     outcome.repaired = std::move(applied).value();
-    batch.documents.push_back(std::move(outcome));
+    batch.documents.push_back(BatchSlot{ids[i], std::move(outcome)});
   }
 
   const double wall =
@@ -290,28 +328,19 @@ Result<BatchOutcome> DartPipeline::ProcessBatch(
   return batch;
 }
 
+Result<BatchOutcome> DartPipeline::ProcessBatch(
+    std::span<const std::string> htmls) const {
+  return SubmitBatch(BatchRequest::FromHtmls(htmls));
+}
+
 Result<BatchOutcome> DartPipeline::ProcessBatchPositional(
     std::span<const acquire::PositionalDocument> documents) const {
-  std::vector<std::string> htmls(documents.size());
-  std::vector<std::optional<Status>> conversion_errors(documents.size());
-  for (size_t i = 0; i < documents.size(); ++i) {
-    Result<std::string> html = acquire::ConvertToHtml(documents[i]);
-    if (html.ok()) {
-      htmls[i] = std::move(html).value();
-    } else {
-      conversion_errors[i] = html.status();
-    }
+  BatchRequest request;
+  request.documents.reserve(documents.size());
+  for (const acquire::PositionalDocument& document : documents) {
+    request.documents.push_back(ProcessRequest::FromPositional(document));
   }
-  DART_ASSIGN_OR_RETURN(BatchOutcome batch,
-                        ProcessBatch(std::span<const std::string>(htmls)));
-  // A failed geometric reconstruction occupies its slot with that error
-  // (the placeholder empty document's acquisition error is less specific).
-  for (size_t i = 0; i < documents.size(); ++i) {
-    if (conversion_errors[i].has_value()) {
-      batch.documents[i] = Result<ProcessOutcome>(*conversion_errors[i]);
-    }
-  }
-  return batch;
+  return SubmitBatch(request);
 }
 
 Result<repair::RepairOutcome> DartPipeline::Repair(
@@ -327,10 +356,10 @@ Result<validation::SessionResult> DartPipeline::ProcessSupervised(
     validation::SessionOptions session_options) const {
   obs::Span supervised_span(options_.run, "pipeline.supervised");
   DART_ASSIGN_OR_RETURN(AcquisitionOutcome acquisition, Acquire(html));
+  // engine.run already points at the pipeline's context (set in Create);
+  // the session falls back to it, so no run copy is needed here. progress
+  // is per-call session state, forwarded from the pipeline default.
   session_options.engine = EngineOptionsFor(acquisition.confidences);
-  if (options_.run != nullptr && session_options.run == nullptr) {
-    session_options.run = options_.run;
-  }
   if (options_.progress != nullptr && session_options.progress == nullptr) {
     session_options.progress = options_.progress;
   }

@@ -1,10 +1,11 @@
 #pragma once
 
-#include <iosfwd>
 #include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "acquire/layout.h"
@@ -28,6 +29,12 @@
 ///                 (steadiness check + MILP translation + solver)
 ///
 /// plus the supervised validation loop of Sec. 6.3 on top.
+///
+/// The unified entry points are Submit / SubmitBatch: one ProcessRequest per
+/// document (HTML or positional scanner output, plus a caller-chosen id that
+/// is carried through to the outcome), one BatchRequest for a fused batch.
+/// The historical Process / ProcessPositional / ProcessBatch /
+/// ProcessBatchPositional entry points survive as thin wrappers over them.
 
 namespace dart::core {
 
@@ -56,8 +63,10 @@ struct PipelineOptions {
   /// docs/observability.md.
   obs::RunContext* run = nullptr;
   /// Live operator progress for ProcessSupervised: forwarded into
-  /// SessionOptions::progress, one line per validation iteration.
-  std::ostream* progress = nullptr;
+  /// SessionOptions::progress, one SessionProgressView per validation
+  /// iteration (wrap an ostream in validation::OstreamProgressSink for the
+  /// classic text line).
+  validation::ProgressSink* progress = nullptr;
   /// Weight-minimal extension: use the wrapper's cell matching scores as
   /// per-cell change weights in the repair objective (min Σ wᵢδᵢ), so that
   /// low-confidence extractions are the preferred cells to change. Off by
@@ -89,6 +98,48 @@ struct ProcessOutcome {
   rel::Database repaired;
 };
 
+/// One document as submitted to the unified entry points. Exactly one of
+/// `html` / `positional` carries the payload: when `positional` is set the
+/// document is scanner/PDF output and geometric table reconstruction
+/// (acquire::ConvertToHtml) runs first, `html` being ignored.
+struct ProcessRequest {
+  /// Caller-chosen identifier carried through verbatim to the outcome slot,
+  /// so multiplexed callers (the serving layer) can route results without
+  /// positional bookkeeping. May be empty: SubmitBatch then fills it with
+  /// the slot index ("#3").
+  std::string id;
+  std::string html;
+  std::optional<acquire::PositionalDocument> positional;
+
+  static ProcessRequest FromHtml(std::string html, std::string id = "") {
+    ProcessRequest request;
+    request.id = std::move(id);
+    request.html = std::move(html);
+    return request;
+  }
+  static ProcessRequest FromPositional(acquire::PositionalDocument document,
+                                       std::string id = "") {
+    ProcessRequest request;
+    request.id = std::move(id);
+    request.positional = std::move(document);
+    return request;
+  }
+};
+
+/// N documents as one fused unit of work.
+struct BatchRequest {
+  std::vector<ProcessRequest> documents;
+
+  static BatchRequest FromHtmls(std::span<const std::string> htmls) {
+    BatchRequest request;
+    request.documents.reserve(htmls.size());
+    for (const std::string& html : htmls) {
+      request.documents.push_back(ProcessRequest::FromHtml(html));
+    }
+    return request;
+  }
+};
+
 /// Aggregate accounting of one ProcessBatch call (also published as the
 /// pipeline.batch.* gauges).
 struct BatchStats {
@@ -101,12 +152,27 @@ struct BatchStats {
   double acquire_utilization = 0;
 };
 
-/// Output of one ProcessBatch call: per-document results in input order —
-/// a document that fails (malformed HTML, infeasible repair, ...) fails
-/// only its own slot, never its siblings.
+/// One document's result inside a BatchOutcome, tagged with the request id
+/// it answers.
+struct BatchSlot {
+  std::string id;
+  Result<ProcessOutcome> result;
+};
+
+/// Output of one SubmitBatch call: per-document slots in input order — a
+/// document that fails (malformed HTML, infeasible repair, ...) fails only
+/// its own slot, never its siblings.
 struct BatchOutcome {
-  std::vector<Result<ProcessOutcome>> documents;
+  std::vector<BatchSlot> documents;
   BatchStats stats;
+
+  /// The first slot whose id matches, nullptr when absent.
+  const BatchSlot* Find(std::string_view id) const {
+    for (const BatchSlot& slot : documents) {
+      if (slot.id == id) return &slot;
+    }
+    return nullptr;
+  }
 };
 
 /// The assembled DART system.
@@ -126,12 +192,10 @@ class DartPipeline {
   Result<AcquisitionOutcome> AcquirePositional(
       const acquire::PositionalDocument& document) const;
 
-  /// Module 2 applied after module 1: document in, suggested repair out.
-  Result<ProcessOutcome> Process(const std::string& html) const;
-
-  /// Process() for positional (scanned) input.
-  Result<ProcessOutcome> ProcessPositional(
-      const acquire::PositionalDocument& document) const;
+  /// Module 2 applied after module 1: one document in (HTML or positional,
+  /// per the request), suggested repair out. The unified single-document
+  /// entry point.
+  Result<ProcessOutcome> Submit(const ProcessRequest& request) const;
 
   /// N documents as one fused unit of work (DESIGN.md "Batch ingestion"):
   /// acquisition + grounding + detection fan out largest-document-first
@@ -139,14 +203,26 @@ class DartPipeline {
   /// workers over the pipeline's shared immutable state, then every
   /// inconsistent document's MILP components are solved together in shared
   /// SolveMilpBatch calls (repair::ComputeRepairBatch). Per-document
-  /// outcomes match N× Process() — bit-identically at num_threads <= 1 —
-  /// and are returned in input order. One `pipeline.batch` span frames the
-  /// call and the pipeline.batch.* gauges mirror `BatchOutcome::stats`.
+  /// outcomes match N× Submit() — bit-identically at num_threads <= 1 —
+  /// and are returned in input order, each slot tagged with its request id
+  /// (empty ids become the slot index). A document that fails any stage
+  /// (reconstruction, acquisition, repair) fails only its own slot. One
+  /// `pipeline.batch` span frames the call and the pipeline.batch.* gauges
+  /// mirror `BatchOutcome::stats`.
+  BatchOutcome SubmitBatch(const BatchRequest& request) const;
+
+  /// \deprecated Thin wrapper over Submit(ProcessRequest::FromHtml(html)).
+  Result<ProcessOutcome> Process(const std::string& html) const;
+
+  /// \deprecated Thin wrapper over Submit(ProcessRequest::FromPositional()).
+  Result<ProcessOutcome> ProcessPositional(
+      const acquire::PositionalDocument& document) const;
+
+  /// \deprecated Thin wrapper over SubmitBatch(BatchRequest::FromHtmls()).
   Result<BatchOutcome> ProcessBatch(
       std::span<const std::string> htmls) const;
 
-  /// ProcessBatch() for positional (scanned) input; a document whose
-  /// geometric reconstruction fails occupies its slot with that error.
+  /// \deprecated Thin wrapper over SubmitBatch() with positional requests.
   Result<BatchOutcome> ProcessBatchPositional(
       std::span<const acquire::PositionalDocument> documents) const;
 

@@ -17,10 +17,16 @@ Status PeriodicExporter::Start() {
   }
   started_ = true;
   if (run_ == nullptr) return Status::Ok();  // inert null sink
-  jsonl_.open(options_.jsonl_path, std::ios::out | std::ios::trunc);
-  if (!jsonl_) {
-    return Status::InvalidArgument("cannot open metrics-delta sink: " +
-                                   options_.jsonl_path);
+  if (!options_.jsonl_path.empty()) {
+    jsonl_.open(options_.jsonl_path, std::ios::out | std::ios::trunc);
+    if (!jsonl_) {
+      return Status::InvalidArgument("cannot open metrics-delta sink: " +
+                                     options_.jsonl_path);
+    }
+  }
+  for (ExporterSink* sink : options_.sinks) {
+    if (sink == nullptr) continue;
+    DART_RETURN_IF_ERROR(sink->Open());
   }
   // Baseline is the *empty* snapshot, not the registry's current state: the
   // first delta then carries any pre-Start activity and the stream's sum
@@ -55,29 +61,51 @@ Status PeriodicExporter::Stop() {
   if (run_ == nullptr) return Status::Ok();
   std::lock_guard<std::mutex> lock(mu_);
   EmitLocked(/*final_record=*/true);
-  jsonl_.close();
-  if (!jsonl_) {
-    return Status::Internal("failed writing metrics-delta sink: " +
-                            options_.jsonl_path);
+  Status status = Status::Ok();
+  for (ExporterSink* sink : options_.sinks) {
+    if (sink == nullptr) continue;
+    Status closed = sink->Close();
+    if (status.ok()) status = std::move(closed);
   }
-  return Status::Ok();
+  if (!options_.jsonl_path.empty()) {
+    jsonl_.close();
+    if (!jsonl_) {
+      return Status::Internal("failed writing metrics-delta sink: " +
+                              options_.jsonl_path);
+    }
+  }
+  return status;
 }
 
 void PeriodicExporter::EmitLocked(bool final_record) {
   MetricsSnapshot snapshot = run_->metrics().Snapshot();
-  const MetricsSnapshot delta = snapshot.DeltaSince(prev_);
+  MetricsSnapshot delta = snapshot.DeltaSince(prev_);
   const int64_t uptime_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start_time_)
           .count();
-  jsonl_ << MetricsDeltaJson(delta, seq_++, uptime_ms, final_record) << '\n';
-  jsonl_.flush();
+  const int64_t seq = seq_++;
+  if (jsonl_.is_open()) {
+    jsonl_ << MetricsDeltaJson(delta, seq, uptime_ms, final_record) << '\n';
+    jsonl_.flush();
+  }
   prev_ = std::move(snapshot);
   records_.fetch_add(1, std::memory_order_relaxed);
   if (!options_.prometheus_path.empty()) {
     std::ofstream prom(options_.prometheus_path,
                        std::ios::out | std::ios::trunc);
     if (prom) prom << PrometheusText(prev_);
+  }
+  if (!options_.sinks.empty()) {
+    ExportTick tick;
+    tick.seq = seq;
+    tick.uptime_ms = uptime_ms;
+    tick.final_record = final_record;
+    tick.delta = std::move(delta);
+    tick.full = &prev_;
+    for (ExporterSink* sink : options_.sinks) {
+      if (sink != nullptr) sink->Emit(tick);
+    }
   }
 }
 

@@ -9,8 +9,11 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
 #include "obs/context.h"
 #include "obs/registry.h"
+#include "obs/sink.h"
 #include "util/status.h"
 
 /// \file exporter.h
@@ -26,6 +29,12 @@
 /// thread and flushes one last record with `"final": true`, so no activity
 /// between the last tick and shutdown is lost.
 ///
+/// Besides the built-in file sinks, every tick fans out to the pluggable
+/// ExporterSinks in ExporterOptions::sinks (sink.h) — the in-memory /
+/// push-based integration points the serving layer uses instead of
+/// filesystem round-trips. File paths may both be empty when sinks carry
+/// the stream.
+///
 /// Exporting is read-only and lock-free against the hot path: a tick costs
 /// one MetricsSnapshot (shard merge under the registry mutex) plus file IO
 /// on the exporter's own thread.
@@ -35,11 +44,15 @@ namespace dart::obs {
 struct ExporterOptions {
   /// Time between ticks. The final flush on Stop() happens regardless.
   std::chrono::milliseconds interval{1000};
-  /// JSONL sink path (truncated on Start). Required.
+  /// JSONL sink path (truncated on Start). Empty = no JSONL file (the tick
+  /// stream then only reaches `sinks`).
   std::string jsonl_path;
   /// Prometheus text exposition path, rewritten atomically-ish (truncate +
   /// write) with the full snapshot on every tick. Empty = disabled.
   std::string prometheus_path;
+  /// Pluggable destinations receiving every tick (see sink.h). Not owned;
+  /// each must outlive the exporter. Open()ed on Start, Close()d on Stop.
+  std::vector<ExporterSink*> sinks;
 };
 
 /// See the file comment. Not copyable or movable (owns a thread).

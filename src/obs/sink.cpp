@@ -1,0 +1,78 @@
+#include "obs/sink.h"
+
+#include <utility>
+
+#include "obs/report.h"
+
+namespace dart::obs {
+
+namespace {
+
+/// Accumulates `delta` into `total` (counters add; gauges take the newer
+/// value; histograms merge count/sum/min/max).
+void FoldDelta(const MetricsSnapshot& delta, MetricsSnapshot* total) {
+  for (const auto& [name, value] : delta.counters) {
+    total->counters[name] += value;
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    total->gauges[name] = value;
+  }
+  for (const auto& [name, h] : delta.histograms) {
+    HistogramSnapshot& out = total->histograms[name];
+    if (out.count == 0) {
+      out = h;
+      continue;
+    }
+    if (h.count == 0) continue;
+    out.count += h.count;
+    out.sum += h.sum;
+    if (h.min < out.min) out.min = h.min;
+    if (h.max > out.max) out.max = h.max;
+  }
+}
+
+}  // namespace
+
+void InMemoryRingSink::Emit(const ExportTick& tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Record record;
+  record.seq = tick.seq;
+  record.uptime_ms = tick.uptime_ms;
+  record.final_record = tick.final_record;
+  record.delta = tick.delta;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) {
+    FoldDelta(ring_.front().delta, &evicted_total_);
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<InMemoryRingSink::Record> InMemoryRingSink::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Record>(ring_.begin(), ring_.end());
+}
+
+int64_t InMemoryRingSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+MetricsSnapshot InMemoryRingSink::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_total_;
+}
+
+void PrometheusTextSink::Emit(const ExportTick& tick) {
+  if (tick.full == nullptr) return;
+  std::string text = PrometheusText(*tick.full);
+  std::lock_guard<std::mutex> lock(mu_);
+  text_ = std::move(text);
+}
+
+std::string PrometheusTextSink::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return text_;
+}
+
+}  // namespace dart::obs

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/status.h"
+
+/// \file sink.h
+/// Pluggable destinations for the PeriodicExporter's tick stream. The
+/// exporter historically wrote JSONL + Prometheus *files* only; a serving
+/// deployment wants the same stream without filesystem round-trips — pushed
+/// to a callback, scraped from memory, or ring-buffered for tests. Each tick
+/// the exporter builds one ExportTick and fans it out to every registered
+/// ExporterSink; the file paths in ExporterOptions remain as built-in sinks.
+///
+/// Contract: Open() is called once before the first Emit, Close() once after
+/// the last. Emit() runs on the exporter's tick thread (never concurrently
+/// with itself) and must not block for long — it sits between metric
+/// snapshots. The tick's `delta` telescopes exactly like the JSONL stream:
+/// summing every delta a sink ever receives (including the final one) equals
+/// the registry's final state.
+
+namespace dart::obs {
+
+/// One exporter tick, as handed to every sink.
+struct ExportTick {
+  int64_t seq = 0;        ///< 0-based tick index.
+  int64_t uptime_ms = 0;  ///< Milliseconds since exporter Start().
+  bool final_record = false;  ///< True for the flush tick emitted by Stop().
+  MetricsSnapshot delta;      ///< Change since the previous tick.
+  /// The full registry snapshot this tick; owned by the exporter and valid
+  /// only for the duration of the Emit() call — copy what outlives it.
+  const MetricsSnapshot* full = nullptr;
+};
+
+/// Interface all exporter destinations implement (see the file comment).
+class ExporterSink {
+ public:
+  virtual ~ExporterSink() = default;
+
+  /// Called once when the exporter starts. A non-OK status aborts Start().
+  virtual Status Open() { return Status::Ok(); }
+
+  /// Called once per tick, on the exporter's thread, ticks in seq order.
+  virtual void Emit(const ExportTick& tick) = 0;
+
+  /// Called once when the exporter stops, after the final Emit.
+  virtual Status Close() { return Status::Ok(); }
+};
+
+/// Keeps the last `capacity` ticks in memory — the test/debug sink. Deltas
+/// of evicted ticks are folded into `evicted_total()` so telescoping still
+/// holds: evicted_total + sum(Records() deltas) == final registry state.
+class InMemoryRingSink : public ExporterSink {
+ public:
+  /// A retained tick; `delta` is an owned copy (sinks outlive the Emit).
+  struct Record {
+    int64_t seq = 0;
+    int64_t uptime_ms = 0;
+    bool final_record = false;
+    MetricsSnapshot delta;
+  };
+
+  explicit InMemoryRingSink(size_t capacity) : capacity_(capacity) {}
+
+  void Emit(const ExportTick& tick) override;
+
+  /// Retained ticks, oldest first. Thread-safe (copies out).
+  std::vector<Record> Records() const;
+
+  /// Ticks pushed out of the ring so far.
+  int64_t dropped() const;
+
+  /// Sum of the deltas of every evicted tick (empty when dropped() == 0).
+  MetricsSnapshot evicted_total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Record> ring_;
+  int64_t dropped_ = 0;
+  MetricsSnapshot evicted_total_;
+};
+
+/// Invokes a user callback per tick — the push-based integration point
+/// (forward deltas to a dashboard, a log aggregator, a test probe). The
+/// callback runs on the exporter thread; keep it fast.
+class CallbackSink : public ExporterSink {
+ public:
+  explicit CallbackSink(std::function<void(const ExportTick&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Emit(const ExportTick& tick) override {
+    if (fn_) fn_(tick);
+  }
+
+ private:
+  std::function<void(const ExportTick&)> fn_;
+};
+
+/// Holds the latest full snapshot as Prometheus text exposition, replacing
+/// the file-based scrape target: an HTTP handler (or test) calls Scrape()
+/// instead of reading a path.
+class PrometheusTextSink : public ExporterSink {
+ public:
+  void Emit(const ExportTick& tick) override;
+
+  /// The exposition text of the most recent tick ("" before the first).
+  std::string Scrape() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string text_;
+};
+
+}  // namespace dart::obs

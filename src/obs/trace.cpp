@@ -50,14 +50,14 @@ void TraceCollector::End(int64_t id) {
   const int64_t now = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
   if (id <= 0 || id > next_id_) return;
-  // Non-pinned open spans move into the ring on close (and may evict).
+  // Non-pinned open spans move into the tail set or the ring on close (the
+  // latter may evict).
   for (size_t i = 0; i < open_.size(); ++i) {
     if (open_[i].id != id) continue;
     SpanRecord record = std::move(open_[i]);
     open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
     record.duration_ns = now - record.start_ns;
-    ring_.push_back(std::move(record));
-    while (ring_.size() > options_.capacity) EvictOldestLocked();
+    AdmitClosedLocked(std::move(record));
     return;
   }
   // Pinned spans close in place and never move.
@@ -67,6 +67,31 @@ void TraceCollector::End(int64_t id) {
     return;
   }
   // Already closed (ring or evicted): End is idempotent, ignore.
+}
+
+void TraceCollector::AdmitClosedLocked(SpanRecord record) {
+  // Latency-biased tail sampling: a closed span slower than its name's
+  // current K-th slowest joins the tail set; the displaced (now (K+1)-th
+  // slowest) span falls through to the ring and ages out normally.
+  if (options_.tail_samples_per_name > 0) {
+    const auto slower = [](const SpanRecord& a, const SpanRecord& b) {
+      return a.duration_ns > b.duration_ns;  // min-heap on duration.
+    };
+    std::vector<SpanRecord>& tail = tails_[record.name];
+    if (tail.size() <
+        static_cast<size_t>(options_.tail_samples_per_name)) {
+      tail.push_back(std::move(record));
+      std::push_heap(tail.begin(), tail.end(), slower);
+      return;
+    }
+    if (record.duration_ns > tail.front().duration_ns) {
+      std::pop_heap(tail.begin(), tail.end(), slower);
+      std::swap(tail.back(), record);
+      std::push_heap(tail.begin(), tail.end(), slower);
+    }
+  }
+  ring_.push_back(std::move(record));
+  while (ring_.size() > options_.capacity) EvictOldestLocked();
 }
 
 void TraceCollector::EvictOldestLocked() {
@@ -83,15 +108,21 @@ void TraceCollector::EvictOldestLocked() {
   for (SpanRecord& record : pinned_) reparent(record);
   for (SpanRecord& record : open_) reparent(record);
   for (SpanRecord& record : ring_) reparent(record);
+  for (auto& [name, tail] : tails_) {
+    for (SpanRecord& record : tail) reparent(record);
+  }
 }
 
 std::vector<SpanRecord> TraceCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SpanRecord> out;
-  out.reserve(pinned_.size() + open_.size() + ring_.size());
+  out.reserve(pinned_.size() + open_.size() + ring_.size() + tails_.size());
   out.insert(out.end(), pinned_.begin(), pinned_.end());
   out.insert(out.end(), open_.begin(), open_.end());
   out.insert(out.end(), ring_.begin(), ring_.end());
+  for (const auto& [name, tail] : tails_) {
+    out.insert(out.end(), tail.begin(), tail.end());
+  }
   std::sort(out.begin(), out.end(),
             [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
   // A child begun *after* its parent's eviction (explicit-parent spans) can

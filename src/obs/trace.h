@@ -27,6 +27,15 @@
 /// Every eviction increments the `obs.spans_dropped` registry counter (when
 /// a registry is bound) and reparents the evicted span's children to its
 /// parent so the surviving records still form a valid tree.
+///
+/// Head sampling alone goes blind exactly where an always-on server needs
+/// eyes: the pinned early spans are warm-up, and by the time a tail-latency
+/// incident happens the ring has churned the evidence away. Tail sampling
+/// (`tail_samples_per_name`) keeps the K *slowest* closed spans of every
+/// name in addition: on close, a span slower than its name's current K-th
+/// slowest displaces it (the displaced span falls back into the ring and
+/// ages out normally — demotion is not a drop). The slowest requests a
+/// server ever served survive any amount of ring churn.
 
 namespace dart::obs {
 
@@ -51,6 +60,10 @@ struct TraceOptions {
   /// First N spans of each distinct name are pinned (exempt from eviction).
   /// 0 disables head sampling entirely.
   int head_samples_per_name = 64;
+  /// The K slowest closed spans of each distinct name are retained besides
+  /// the head samples (latency-biased tail sampling; see the file comment).
+  /// 0 disables tail sampling (the pre-serving default).
+  int tail_samples_per_name = 0;
 };
 
 /// Thread-safe bounded span store.
@@ -86,6 +99,10 @@ class TraceCollector {
   int64_t NowNs() const;
 
  private:
+  /// Routes a freshly closed non-pinned span into the tail set or the ring
+  /// (evicting past capacity); caller holds mu_.
+  void AdmitClosedLocked(SpanRecord record);
+
   /// Evicts the oldest ring entry; caller holds mu_.
   void EvictOldestLocked();
 
@@ -97,6 +114,9 @@ class TraceCollector {
   std::vector<SpanRecord> open_;
   /// Closed non-pinned spans, oldest first; bounded by options_.capacity.
   std::deque<SpanRecord> ring_;
+  /// Tail samples: per name, a min-heap on duration_ns of the K slowest
+  /// closed spans (heap root = fastest retained = next displaced).
+  std::unordered_map<std::string, std::vector<SpanRecord>> tails_;
   std::unordered_map<std::string, int64_t> head_counts_;
   int64_t next_id_ = 0;
   std::atomic<int64_t> dropped_{0};

@@ -1,0 +1,333 @@
+#include "serve/server.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dart::serve {
+
+namespace {
+
+/// Wall-clock origin for queue-wait accounting.
+using Clock = std::chrono::steady_clock;
+
+constexpr char kRetryAfterKey[] = "retry-after-ms=";
+
+}  // namespace
+
+/// One admitted unit of work. Exactly one promise (matching `kind`) is ever
+/// touched.
+struct RepairServer::WorkItem {
+  enum class Kind { kProcess, kBatch, kSupervised };
+  Kind kind = Kind::kProcess;
+  TenantId tenant = 0;
+  size_t cost = 1;
+  Clock::time_point submitted_at;
+
+  core::ProcessRequest process;
+  core::BatchRequest batch;
+  std::string html;
+  const validation::SimulatedOperator* op = nullptr;
+  validation::SessionOptions session;
+
+  std::promise<Result<core::ProcessOutcome>> process_promise;
+  std::promise<Result<core::BatchOutcome>> batch_promise;
+  std::promise<Result<validation::SessionResult>> supervised_promise;
+};
+
+struct RepairServer::Tenant {
+  std::string name;
+  std::unique_ptr<core::DartPipeline> pipeline;
+  /// Root span name of this tenant's requests, precomputed once.
+  std::string span_name;
+  std::deque<std::unique_ptr<WorkItem>> queue;
+};
+
+RepairServer::RepairServer(ServerOptions options)
+    : options_(std::move(options)),
+      run_(options_.trace),
+      // The pool exists from birth so pre-Start() submissions can seed it;
+      // its worker threads only spin up inside Start()'s Run() call.
+      pool_(std::make_unique<util::TaskPool<Token>>(options_.num_workers)) {}
+
+RepairServer::~RepairServer() { (void)Stop(); }
+
+Result<TenantId> RepairServer::AddTenant(std::string name,
+                                         core::AcquisitionMetadata metadata,
+                                         TenantOptions options) {
+  if (options.pipeline.run == nullptr) options.pipeline.run = &run_;
+  DART_ASSIGN_OR_RETURN(
+      core::DartPipeline pipeline,
+      core::DartPipeline::Create(std::move(metadata), options.pipeline));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return Status::FailedPrecondition("server is stopped");
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = std::move(name);
+  tenant->span_name = "serve.request." + tenant->name;
+  tenant->pipeline =
+      std::make_unique<core::DartPipeline>(std::move(pipeline));
+  tenants_.push_back(std::move(tenant));
+  obs::SetGauge(&run_, "serve.tenants",
+                static_cast<double>(tenants_.size()));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+Status RepairServer::ValidateTenantLocked(TenantId tenant) const {
+  if (tenant < 0 || static_cast<size_t>(tenant) >= tenants_.size()) {
+    return Status::NotFound("unknown tenant id " + std::to_string(tenant));
+  }
+  return Status::Ok();
+}
+
+Status RepairServer::AdmitLocked(TenantId tenant, size_t cost,
+                                 std::unique_ptr<WorkItem> item) {
+  ++stats_.submitted;
+  obs::Count(&run_, "serve.submitted");
+  if (stopping_) {
+    ++stats_.rejected;
+    obs::Count(&run_, "serve.rejected");
+    return Status::FailedPrecondition("server is stopped");
+  }
+  if (queued_docs_ + cost > options_.queue_capacity) {
+    ++stats_.rejected;
+    obs::Count(&run_, "serve.rejected");
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(queued_docs_) + "/" +
+        std::to_string(options_.queue_capacity) + " documents queued, +" +
+        std::to_string(cost) + " requested); " + kRetryAfterKey +
+        std::to_string(options_.retry_after.count()));
+  }
+  item->tenant = tenant;
+  item->cost = cost;
+  item->submitted_at = Clock::now();
+  queued_docs_ += cost;
+  stats_.queue_depth = queued_docs_;
+  ++stats_.accepted;
+  obs::Count(&run_, "serve.accepted");
+  obs::SetGauge(&run_, "serve.queue_depth",
+                static_cast<double>(queued_docs_));
+  tenants_[static_cast<size_t>(tenant)]->queue.push_back(std::move(item));
+  // One anonymous token per item; before Start() the seeds simply wait in
+  // the (not-yet-running) pool's deques.
+  pool_->Seed(Token{});
+  return Status::Ok();
+}
+
+Result<std::future<Result<core::ProcessOutcome>>> RepairServer::Submit(
+    TenantId tenant, core::ProcessRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DART_RETURN_IF_ERROR(ValidateTenantLocked(tenant));
+  auto item = std::make_unique<WorkItem>();
+  item->kind = WorkItem::Kind::kProcess;
+  item->process = std::move(request);
+  std::future<Result<core::ProcessOutcome>> future =
+      item->process_promise.get_future();
+  DART_RETURN_IF_ERROR(AdmitLocked(tenant, 1, std::move(item)));
+  return future;
+}
+
+Result<std::future<Result<core::BatchOutcome>>> RepairServer::SubmitBatch(
+    TenantId tenant, core::BatchRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DART_RETURN_IF_ERROR(ValidateTenantLocked(tenant));
+  const size_t cost = request.documents.size();
+  if (cost == 0) {
+    return Status::InvalidArgument("batch request contains no documents");
+  }
+  if (cost > options_.queue_capacity) {
+    // Would never fit, even into an empty queue — a permanent condition, so
+    // not kUnavailable.
+    ++stats_.submitted;
+    ++stats_.rejected;
+    obs::Count(&run_, "serve.submitted");
+    obs::Count(&run_, "serve.rejected");
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(cost) +
+        " documents exceeds the admission capacity of " +
+        std::to_string(options_.queue_capacity));
+  }
+  auto item = std::make_unique<WorkItem>();
+  item->kind = WorkItem::Kind::kBatch;
+  item->batch = std::move(request);
+  std::future<Result<core::BatchOutcome>> future =
+      item->batch_promise.get_future();
+  DART_RETURN_IF_ERROR(AdmitLocked(tenant, cost, std::move(item)));
+  return future;
+}
+
+Result<std::future<Result<validation::SessionResult>>>
+RepairServer::SubmitSupervised(TenantId tenant, std::string html,
+                               const validation::SimulatedOperator* op,
+                               validation::SessionOptions session_options) {
+  if (op == nullptr) {
+    return Status::InvalidArgument("supervised submission requires an operator");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  DART_RETURN_IF_ERROR(ValidateTenantLocked(tenant));
+  auto item = std::make_unique<WorkItem>();
+  item->kind = WorkItem::Kind::kSupervised;
+  item->html = std::move(html);
+  item->op = op;
+  item->session = std::move(session_options);
+  std::future<Result<validation::SessionResult>> future =
+      item->supervised_promise.get_future();
+  DART_RETURN_IF_ERROR(AdmitLocked(tenant, 1, std::move(item)));
+  return future;
+}
+
+Status RepairServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (stopping_) return Status::FailedPrecondition("server is stopped");
+  started_ = true;
+  // The hold keeps Run() alive while every queue is empty: workers idle in
+  // the backoff loop instead of terminating, and Unhold() at Stop() lets the
+  // pool drain whatever was admitted and exit.
+  pool_->Hold();
+  pool_thread_ = std::thread([this] {
+    pool_->Run([this](util::TaskPool<Token>::Worker& worker) {
+      Token token;
+      while (worker.Next(&token)) {
+        std::unique_ptr<WorkItem> item = Dequeue();
+        if (item != nullptr) Execute(item.get());
+        worker.Retire();
+      }
+    });
+  });
+  if (!options_.sinks.empty()) {
+    obs::ExporterOptions exporter_options;
+    exporter_options.interval = options_.export_interval;
+    exporter_options.sinks = options_.sinks;
+    exporter_ =
+        std::make_unique<obs::PeriodicExporter>(&run_, exporter_options);
+    DART_RETURN_IF_ERROR(exporter_->Start());
+  }
+  return Status::Ok();
+}
+
+Status RepairServer::Stop() {
+  bool was_started = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Ok();
+    stopping_ = true;  // no further admissions
+    was_started = started_;
+  }
+  if (was_started) {
+    // Accepted work drains: every queued token is processed before Run()
+    // observes open == 0 and the workers exit.
+    pool_->Unhold();
+    if (pool_thread_.joinable()) pool_thread_.join();
+  } else {
+    // Never started: cancel everything still queued.
+    std::lock_guard<std::mutex> lock(mu_);
+    const Status cancelled =
+        Status::Unavailable("server stopped before starting");
+    for (std::unique_ptr<Tenant>& tenant : tenants_) {
+      for (std::unique_ptr<WorkItem>& item : tenant->queue) {
+        Cancel(item.get(), cancelled);
+      }
+      tenant->queue.clear();
+    }
+    queued_docs_ = 0;
+    stats_.queue_depth = 0;
+  }
+  obs::SetGauge(&run_, "serve.queue_depth", 0);
+  if (exporter_ != nullptr) {
+    Status stopped = exporter_->Stop();
+    exporter_.reset();
+    return stopped;
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<RepairServer::WorkItem> RepairServer::Dequeue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = tenants_.size();
+  if (n == 0) return nullptr;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t index = (cursor_ + k) % n;
+    Tenant& tenant = *tenants_[index];
+    if (tenant.queue.empty()) continue;
+    std::unique_ptr<WorkItem> item = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    cursor_ = index + 1;  // next scan starts after the tenant just served
+    queued_docs_ -= item->cost;
+    stats_.queue_depth = queued_docs_;
+    obs::SetGauge(&run_, "serve.queue_depth",
+                  static_cast<double>(queued_docs_));
+    return item;
+  }
+  return nullptr;
+}
+
+void RepairServer::Execute(WorkItem* item) {
+  Tenant* tenant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tenant = tenants_[static_cast<size_t>(item->tenant)].get();
+  }
+  obs::Observe(&run_, "serve.queue_seconds",
+               std::chrono::duration<double>(Clock::now() -
+                                             item->submitted_at)
+                   .count());
+  const auto t0 = Clock::now();
+  {
+    // Per-request root span (explicit parent 0: worker threads carry no
+    // span stack), named by tenant so fairness is visible in the trace.
+    obs::Span request_span(&run_, tenant->span_name, /*parent=*/0);
+    switch (item->kind) {
+      case WorkItem::Kind::kProcess:
+        item->process_promise.set_value(
+            tenant->pipeline->Submit(item->process));
+        break;
+      case WorkItem::Kind::kBatch:
+        item->batch_promise.set_value(
+            Result<core::BatchOutcome>(
+                tenant->pipeline->SubmitBatch(item->batch)));
+        break;
+      case WorkItem::Kind::kSupervised:
+        item->supervised_promise.set_value(tenant->pipeline->ProcessSupervised(
+            item->html, *item->op, item->session));
+        break;
+    }
+  }
+  obs::Observe(&run_, "serve.request_seconds",
+               std::chrono::duration<double>(Clock::now() - t0).count());
+  obs::Count(&run_, "serve.completed");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.completed;
+}
+
+void RepairServer::Cancel(WorkItem* item, const Status& status) {
+  switch (item->kind) {
+    case WorkItem::Kind::kProcess:
+      item->process_promise.set_value(status);
+      break;
+    case WorkItem::Kind::kBatch:
+      item->batch_promise.set_value(status);
+      break;
+    case WorkItem::Kind::kSupervised:
+      item->supervised_promise.set_value(status);
+      break;
+  }
+}
+
+ServerStats RepairServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RepairServer::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+int64_t RetryAfterMillis(const Status& status) {
+  if (status.code() != StatusCode::kUnavailable) return -1;
+  const std::string& message = status.message();
+  const size_t pos = message.find(kRetryAfterKey);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(message.c_str() + pos + sizeof(kRetryAfterKey) - 1);
+}
+
+}  // namespace dart::serve

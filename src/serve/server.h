@@ -1,0 +1,183 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "obs/context.h"
+#include "obs/exporter.h"
+#include "obs/sink.h"
+#include "util/status.h"
+#include "util/task_pool.h"
+#include "validation/operator.h"
+#include "validation/session.h"
+
+/// \file server.h
+/// DART as a service: one RepairServer multiplexes N tenants — each an
+/// isolated (metadata, constraint program, pipeline options) triple — over
+/// one shared work-stealing TaskPool, so a deployment serves many
+/// acquisition schemas from one process without over-provisioning a pool
+/// per tenant.
+///
+/// The request path is asynchronous: Submit / SubmitBatch / SubmitSupervised
+/// enqueue one work item and return a future. Admission is bounded
+/// (`queue_capacity`, counted in documents — an 8-document batch costs 8):
+/// when the queue is full the submission FAILS FAST with kUnavailable and a
+/// machine-readable retry-after hint (RetryAfterMillis); it never blocks the
+/// caller and never crashes. Dispatch is fair round-robin across tenants:
+/// each worker takes the next nonempty tenant queue after the one served
+/// last, so one tenant's deep backlog cannot starve its neighbours' single
+/// documents.
+///
+/// Work admitted before Start() is dispatched when Start() runs (this makes
+/// dispatch order deterministic for tests); Stop() — idempotent, also run by
+/// the destructor — stops admission, drains every accepted item, fulfills
+/// its future, and joins the workers, so an accepted future is always
+/// eventually ready. Results are computed by ordinary DartPipeline calls
+/// with per-tenant options; at `milp.search.num_threads == 1` they are
+/// bit-identical to serial per-tenant execution (tests/serve_test.cpp).
+///
+/// Observability: the server owns one RunContext (tail sampling on by
+/// default — trace.h) shared by every tenant pipeline unless a tenant
+/// brings its own. Per-request root spans `serve.request.<tenant>` frame
+/// execution; serve.* counters/gauges/histograms are documented in
+/// docs/observability.md. When ServerOptions::sinks is nonempty a
+/// PeriodicExporter streams metric deltas to them in-process — no
+/// filesystem round-trips (docs/serving.md).
+
+namespace dart::serve {
+
+/// Dense tenant handle returned by AddTenant (index order).
+using TenantId = int;
+
+struct ServerOptions {
+  /// Worker threads of the shared pool.
+  int num_workers = 4;
+  /// Admission bound, in documents: a queued batch of N documents holds N
+  /// units until dispatched. Submissions that would exceed it are rejected
+  /// with kUnavailable.
+  size_t queue_capacity = 64;
+  /// Retry hint attached to kUnavailable rejections (RetryAfterMillis).
+  std::chrono::milliseconds retry_after{50};
+  /// Trace policy of the server's RunContext. Defaults to a large ring with
+  /// head AND tail sampling: the slowest requests per span name survive any
+  /// amount of churn (trace.h).
+  obs::TraceOptions trace{/*capacity=*/65536, /*head_samples_per_name=*/64,
+                          /*tail_samples_per_name=*/16};
+  /// Pluggable metric-delta destinations (obs/sink.h). When nonempty, a
+  /// PeriodicExporter streams to them between Start() and Stop(). Not
+  /// owned; each must outlive the server.
+  std::vector<obs::ExporterSink*> sinks;
+  /// Tick interval of that exporter.
+  std::chrono::milliseconds export_interval{1000};
+};
+
+/// Per-tenant configuration. The pipeline's RunContext defaults to the
+/// server's shared context when unset.
+struct TenantOptions {
+  core::PipelineOptions pipeline;
+};
+
+/// Point-in-time admission/completion accounting (also mirrored as serve.*
+/// registry metrics).
+struct ServerStats {
+  int64_t submitted = 0;  ///< admission attempts.
+  int64_t accepted = 0;
+  int64_t rejected = 0;   ///< failed admission (queue full).
+  int64_t completed = 0;  ///< items executed and futures fulfilled.
+  size_t queue_depth = 0;  ///< documents currently queued.
+};
+
+/// See the file comment. Not copyable or movable (owns threads).
+class RepairServer {
+ public:
+  explicit RepairServer(ServerOptions options = {});
+  ~RepairServer();
+  RepairServer(const RepairServer&) = delete;
+  RepairServer& operator=(const RepairServer&) = delete;
+
+  /// Registers a tenant (validates its metadata via DartPipeline::Create).
+  /// Callable before Start() or between requests; the id is the insertion
+  /// index.
+  Result<TenantId> AddTenant(std::string name,
+                             core::AcquisitionMetadata metadata,
+                             TenantOptions options = {});
+
+  /// Launches the worker pool (and the sink exporter, when configured),
+  /// dispatching anything already queued. Fails on a second call.
+  Status Start();
+
+  /// Stops admission, drains every accepted item (their futures become
+  /// ready), joins the workers. Idempotent; run by the destructor. On a
+  /// server that was never Start()ed, queued items are cancelled with
+  /// kUnavailable instead.
+  Status Stop();
+
+  /// One document. The future is fulfilled by a worker with exactly what a
+  /// direct `pipeline.Submit(request)` would return.
+  Result<std::future<Result<core::ProcessOutcome>>> Submit(
+      TenantId tenant, core::ProcessRequest request);
+
+  /// One fused batch (costs `request.documents.size()` admission units).
+  Result<std::future<Result<core::BatchOutcome>>> SubmitBatch(
+      TenantId tenant, core::BatchRequest request);
+
+  /// One supervised validation session (cost 1). `op` must outlive the
+  /// future's completion.
+  Result<std::future<Result<validation::SessionResult>>> SubmitSupervised(
+      TenantId tenant, std::string html,
+      const validation::SimulatedOperator* op,
+      validation::SessionOptions session_options = {});
+
+  /// The server's shared observability context.
+  const obs::RunContext& run() const { return run_; }
+
+  ServerStats stats() const;
+  size_t num_tenants() const;
+
+ private:
+  struct WorkItem;
+  struct Tenant;
+  /// Anonymous pool token: one per queued item; the item itself is found by
+  /// the round-robin tenant scan, not carried by the token.
+  struct Token {};
+
+  /// Admission under mu_: bounds check, enqueue, seed. `cost` in documents.
+  Status AdmitLocked(TenantId tenant, size_t cost,
+                     std::unique_ptr<WorkItem> item);
+  /// Round-robin dequeue under mu_; nullptr when every queue is empty.
+  std::unique_ptr<WorkItem> Dequeue();
+  void Execute(WorkItem* item);
+  /// Fulfills an item's promise with `status` (cancellation path).
+  static void Cancel(WorkItem* item, const Status& status);
+  Status ValidateTenantLocked(TenantId tenant) const;
+
+  const ServerOptions options_;
+  obs::RunContext run_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  size_t cursor_ = 0;       ///< next tenant the round-robin scan starts at.
+  size_t queued_docs_ = 0;  ///< admission units currently queued.
+  bool started_ = false;
+  bool stopping_ = false;
+  ServerStats stats_;
+
+  std::unique_ptr<util::TaskPool<Token>> pool_;
+  std::thread pool_thread_;
+  std::unique_ptr<obs::PeriodicExporter> exporter_;
+};
+
+/// Parses the machine-readable hint out of a kUnavailable rejection message
+/// ("... retry-after-ms=50"): the suggested backoff in milliseconds, or -1
+/// when the status carries none.
+int64_t RetryAfterMillis(const Status& status);
+
+}  // namespace dart::serve

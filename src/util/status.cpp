@@ -17,6 +17,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kInfeasible: return "Infeasible";
     case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

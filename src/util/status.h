@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside DART itself.
   kInfeasible,        ///< An optimization / repair instance has no solution.
   kParseError,        ///< Text (constraint DSL, HTML, CSV) failed to parse.
+  kUnavailable,       ///< Transient overload; retry later (serving layer).
 };
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

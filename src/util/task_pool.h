@@ -55,15 +55,29 @@ class TaskPool {
 
   int num_workers() const { return static_cast<int>(deques_.size()); }
 
-  /// Enqueues a root task before Run(). Tasks are dealt round-robin across
-  /// the worker deques in call order — seed largest-first and the big tasks
-  /// start immediately on distinct workers while the small ones pack in
-  /// around them.
+  /// Enqueues a root task. Tasks are dealt round-robin across the worker
+  /// deques in call order — seed largest-first and the big tasks start
+  /// immediately on distinct workers while the small ones pack in around
+  /// them. Safe to call concurrently with Run() from any producer thread
+  /// (the serving layer submits while workers drain), as long as the pool
+  /// is held open — without a Hold(), Run() may have already observed
+  /// open == 0 and returned.
   void Seed(Task task) {
-    open_.fetch_add(1, std::memory_order_relaxed);
-    deques_[seeded_ % deques_.size()].PushBottom(std::move(task));
-    ++seeded_;
+    open_.fetch_add(1, std::memory_order_acq_rel);
+    const size_t slot = seeded_.fetch_add(1, std::memory_order_relaxed);
+    deques_[slot % deques_.size()].PushBottom(std::move(task));
   }
+
+  /// Keeps Run() alive while no task is queued: each Hold() adds one
+  /// phantom entry to the open-task count, so workers idle (through the
+  /// spin/sleep backoff) instead of terminating, and external producers may
+  /// keep Seed()ing. Unhold() releases it; when the last hold is released
+  /// and no task remains, Run() drains and returns. This is how a
+  /// long-lived server runs one pool for its whole lifetime: Hold() before
+  /// Run(), Unhold() at shutdown — the pool then finishes every admitted
+  /// task before the worker threads exit.
+  void Hold() { open_.fetch_add(1, std::memory_order_acq_rel); }
+  void Unhold() { open_.fetch_sub(1, std::memory_order_acq_rel); }
 
   /// One worker's handle into the pool; the Run() body receives one and owns
   /// it for the duration. The protocol mirrors the MILP scheduler's loop:
@@ -237,7 +251,7 @@ class TaskPool {
   std::vector<WorkerDeque> deques_;
   std::atomic<int64_t> open_{0};
   std::atomic<bool> abort_{false};
-  size_t seeded_ = 0;
+  std::atomic<size_t> seeded_{0};
   TaskPoolStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <map>
+#include <ostream>
 
 #include "util/table_printer.h"
 
@@ -96,6 +97,11 @@ std::string RenderSessionProgress(const SessionProgressView& view) {
   out += timings;
   out += "\n";
   return out;
+}
+
+void OstreamProgressSink::OnSessionProgress(const SessionProgressView& view) {
+  if (out_ == nullptr) return;
+  *out_ << RenderSessionProgress(view);
 }
 
 }  // namespace dart::validation

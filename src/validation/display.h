@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "relational/database.h"
@@ -67,5 +68,29 @@ struct SessionProgressView {
 ///   [validation] iter 3 | suggested 7 | examined 5 (accepted 4, rejected 1)
 ///   | attempt 1.2 ms | iter 3.4 ms
 std::string RenderSessionProgress(const SessionProgressView& view);
+
+/// Destination for live session progress. The loop hands each iteration's
+/// structured view to the sink; rendering (or forwarding — a server pushes
+/// views to its tenant, a TUI redraws a row) is the sink's business. Calls
+/// arrive from whichever thread runs the session, one at a time per session;
+/// a sink shared across concurrent sessions must synchronize itself.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void OnSessionProgress(const SessionProgressView& view) = 0;
+};
+
+/// The classic behavior as a sink: renders each view with
+/// RenderSessionProgress and writes the line to an ostream.
+class OstreamProgressSink : public ProgressSink {
+ public:
+  /// `out` must outlive the sink; nullptr makes the sink inert.
+  explicit OstreamProgressSink(std::ostream* out) : out_(out) {}
+
+  void OnSessionProgress(const SessionProgressView& view) override;
+
+ private:
+  std::ostream* out_;
+};
 
 }  // namespace dart::validation

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <map>
 #include <optional>
-#include <ostream>
 
 #include "repair/incremental.h"
 #include "validation/display.h"
@@ -182,7 +181,7 @@ Result<SessionResult> RunValidationSession(
       view.accepted = delta.Counter("validation.accepted");
       view.rejected = delta.Counter("validation.rejected");
       FillProgressTimings(run->trace(), &view);
-      *options.progress << RenderSessionProgress(view);
+      options.progress->OnSessionProgress(view);
     }
 
     if (!rejection_seen && !ran_out_of_batch) {

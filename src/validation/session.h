@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 
 #include "constraints/ast.h"
 #include "relational/database.h"
 #include "repair/engine.h"
+#include "validation/display.h"
 #include "validation/operator.h"
 #include "util/status.h"
 
@@ -49,11 +49,13 @@ struct SessionOptions {
   /// private RunContext of its own, so SessionResult's solver totals (and
   /// the `progress` view) work either way. See docs/observability.md.
   obs::RunContext* run = nullptr;
-  /// Live operator progress: when set, one line per iteration (display.h
-  /// RenderSessionProgress) is written here after the examination pass —
+  /// Live operator progress: when set, one SessionProgressView per
+  /// iteration (display.h) is delivered after the examination pass —
   /// examined/accepted/rejected counts from the registry delta plus the
   /// current iteration / latest repair-attempt span timings from the trace.
-  std::ostream* progress = nullptr;
+  /// Wrap an ostream in OstreamProgressSink for the classic one-line-per-
+  /// iteration text rendering.
+  ProgressSink* progress = nullptr;
 };
 
 struct SessionResult {

@@ -142,7 +142,7 @@ TEST(LayoutTest, EndToEndPipelineFromScan) {
 
   PositionalDocument scan =
       ocr::CashBudgetFixture::RenderPositional(*acquired);
-  auto outcome = pipeline->ProcessPositional(scan);
+  auto outcome = pipeline->Submit(core::ProcessRequest::FromPositional(scan));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_EQ(*outcome->acquisition.database.CountDifferences(*acquired), 0u);
   ASSERT_EQ(outcome->repair.repair.cardinality(), 1u);

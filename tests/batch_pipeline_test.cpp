@@ -1,8 +1,10 @@
-// Tests for DartPipeline::ProcessBatch (DESIGN.md "Batch ingestion"): the
+// Tests for DartPipeline::SubmitBatch (DESIGN.md "Batch ingestion"): the
 // fused N-document path must be observably equivalent to N independent
-// Process() calls — identical acquisitions, violations, repairs, and
-// repaired instances on the serial path — while failures stay per-document
-// and the shared grounding happens exactly once per document.
+// Submit() calls — identical acquisitions, violations, repairs, and
+// repaired instances on the serial path — while failures stay per-document,
+// the shared grounding happens exactly once per document, slots carry their
+// request ids, and the deprecated Process*/ProcessBatch* wrappers stay
+// behaviorally identical to the unified entry points.
 
 #include <gtest/gtest.h>
 
@@ -103,14 +105,17 @@ TEST(BatchPipelineTest, MatchesSerialProcessAcrossSeeds) {
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     const std::vector<std::string> htmls =
         MakeBatchHtmls(seed, 3, {1, 2, 1});
-    auto batch = pipeline->ProcessBatch(htmls);
-    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-    ASSERT_EQ(batch->documents.size(), htmls.size());
-    EXPECT_GT(batch->stats.docs_per_second, 0);
+    BatchOutcome batch =
+        pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls));
+    ASSERT_EQ(batch.documents.size(), htmls.size());
+    EXPECT_GT(batch.stats.docs_per_second, 0);
     for (size_t i = 0; i < htmls.size(); ++i) {
       SCOPED_TRACE("seed " + std::to_string(seed) + " doc " +
                    std::to_string(i));
-      ExpectDocEqualsSerial(batch->documents[i], pipeline->Process(htmls[i]));
+      EXPECT_EQ(batch.documents[i].id, "#" + std::to_string(i));
+      ExpectDocEqualsSerial(
+          batch.documents[i].result,
+          pipeline->Submit(ProcessRequest::FromHtml(htmls[i])));
     }
   }
 }
@@ -132,15 +137,15 @@ TEST(BatchPipelineTest, ThreadedBatchMatchesCardinalityAndConsistency) {
   ASSERT_TRUE(threaded_pipeline.ok());
 
   const std::vector<std::string> htmls = MakeBatchHtmls(99, 8, {1, 2});
-  auto batch = threaded_pipeline->ProcessBatch(htmls);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_EQ(batch->documents.size(), htmls.size());
+  BatchOutcome batch =
+      threaded_pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls));
+  ASSERT_EQ(batch.documents.size(), htmls.size());
   cons::ConsistencyChecker checker(&threaded_pipeline->constraints());
   for (size_t i = 0; i < htmls.size(); ++i) {
     SCOPED_TRACE("doc " + std::to_string(i));
-    const auto& doc = batch->documents[i];
+    const auto& doc = batch.documents[i].result;
     ASSERT_TRUE(doc.ok()) << doc.status().ToString();
-    auto serial = serial_pipeline->Process(htmls[i]);
+    auto serial = serial_pipeline->Submit(ProcessRequest::FromHtml(htmls[i]));
     ASSERT_TRUE(serial.ok()) << serial.status().ToString();
     EXPECT_EQ(doc->repair.repair.cardinality(),
               serial->repair.repair.cardinality());
@@ -163,11 +168,10 @@ TEST(BatchPipelineTest, MixedConsistentAndInconsistentBatch) {
 
   // errors pattern {0, 2, 0, 1}: docs 0 and 2 are consistent.
   const std::vector<std::string> htmls = MakeBatchHtmls(5, 4, {0, 2, 0, 1});
-  auto batch = pipeline->ProcessBatch(htmls);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_EQ(batch->documents.size(), 4u);
+  BatchOutcome batch = pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls));
+  ASSERT_EQ(batch.documents.size(), 4u);
   for (size_t i : {size_t{0}, size_t{2}}) {
-    const auto& doc = batch->documents[i];
+    const auto& doc = batch.documents[i].result;
     ASSERT_TRUE(doc.ok()) << doc.status().ToString();
     EXPECT_TRUE(doc->violations.empty());
     EXPECT_TRUE(doc->repair.already_consistent);
@@ -175,11 +179,11 @@ TEST(BatchPipelineTest, MixedConsistentAndInconsistentBatch) {
     EXPECT_EQ(*doc->repaired.CountDifferences(doc->acquisition.database), 0u);
   }
   for (size_t i : {size_t{1}, size_t{3}}) {
-    const auto& doc = batch->documents[i];
+    const auto& doc = batch.documents[i].result;
     ASSERT_TRUE(doc.ok()) << doc.status().ToString();
     EXPECT_FALSE(doc->violations.empty());
     EXPECT_FALSE(doc->repair.repair.empty());
-    ExpectDocEqualsSerial(doc, pipeline->Process(htmls[i]));
+    ExpectDocEqualsSerial(doc, pipeline->Submit(ProcessRequest::FromHtml(htmls[i])));
   }
 }
 
@@ -209,18 +213,19 @@ TEST(BatchPipelineTest, FailingDocumentDoesNotPoisonSiblings) {
     rel::Database bad = CashBudgetFixture::Random(bad_options, &rng).value();
     htmls[1] = CashBudgetFixture::RenderHtml(bad);
   }
-  auto serial_bad = pipeline->Process(htmls[1]);
+  auto serial_bad = pipeline->Submit(ProcessRequest::FromHtml(htmls[1]));
   ASSERT_FALSE(serial_bad.ok());
   EXPECT_EQ(serial_bad.status().code(), StatusCode::kInfeasible);
 
-  auto batch = pipeline->ProcessBatch(htmls);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_EQ(batch->documents.size(), 3u);
-  ASSERT_FALSE(batch->documents[1].ok());
-  EXPECT_EQ(batch->documents[1].status(), serial_bad.status());
+  BatchOutcome batch = pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls));
+  ASSERT_EQ(batch.documents.size(), 3u);
+  ASSERT_FALSE(batch.documents[1].result.ok());
+  EXPECT_EQ(batch.documents[1].result.status(), serial_bad.status());
   for (size_t i : {size_t{0}, size_t{2}}) {
     SCOPED_TRACE("doc " + std::to_string(i));
-    ExpectDocEqualsSerial(batch->documents[i], pipeline->Process(htmls[i]));
+    ExpectDocEqualsSerial(
+        batch.documents[i].result,
+        pipeline->Submit(ProcessRequest::FromHtml(htmls[i])));
   }
 }
 
@@ -230,9 +235,8 @@ TEST(BatchPipelineTest, EmptyBatchIsEmptySuccess) {
       CashBudgetFixture::Random({}, &ref_rng).value();
   auto pipeline = MakePipeline(reference, {});
   ASSERT_TRUE(pipeline.ok());
-  auto batch = pipeline->ProcessBatch({});
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  EXPECT_TRUE(batch->documents.empty());
+  BatchOutcome batch = pipeline->SubmitBatch(BatchRequest{});
+  EXPECT_TRUE(batch.documents.empty());
 }
 
 // The shared grounding is built exactly once per document — detection and
@@ -250,13 +254,13 @@ TEST(BatchPipelineTest, GroundsOncePerDocument) {
 
   const std::vector<std::string> htmls = MakeBatchHtmls(3, 3, {1, 0, 2});
   const obs::MetricsSnapshot before = run.metrics().Snapshot();
-  ASSERT_TRUE(pipeline->ProcessBatch(htmls).ok());
+  ASSERT_TRUE(!pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls)).documents.empty());
   const obs::MetricsSnapshot mid = run.metrics().Snapshot();
   EXPECT_EQ(mid.DeltaSince(before).Counter("repair.groundings"), 3);
 
   // Process() also grounds exactly once for the whole call (detection +
   // every repair attempt + verification included).
-  ASSERT_TRUE(pipeline->Process(htmls[0]).ok());
+  ASSERT_TRUE(pipeline->Submit(ProcessRequest::FromHtml(htmls[0])).ok());
   const obs::MetricsSnapshot after = run.metrics().Snapshot();
   EXPECT_EQ(after.DeltaSince(mid).Counter("repair.groundings"), 1);
 }
@@ -281,13 +285,47 @@ TEST(BatchPipelineTest, PositionalBatchMatchesPositionalProcess) {
     ASSERT_TRUE(ocr::InjectMeasureErrors(&db, 1, &rng).ok());
     documents.push_back(CashBudgetFixture::RenderPositional(db));
   }
-  auto batch = pipeline->ProcessBatchPositional(documents);
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  ASSERT_EQ(batch->documents.size(), documents.size());
+  BatchRequest request;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    request.documents.push_back(ProcessRequest::FromPositional(
+        documents[i], "scan-" + std::to_string(i)));
+  }
+  BatchOutcome batch = pipeline->SubmitBatch(request);
+  ASSERT_EQ(batch.documents.size(), documents.size());
   for (size_t i = 0; i < documents.size(); ++i) {
     SCOPED_TRACE("doc " + std::to_string(i));
-    ExpectDocEqualsSerial(batch->documents[i],
-                          pipeline->ProcessPositional(documents[i]));
+    EXPECT_EQ(batch.documents[i].id, "scan-" + std::to_string(i));
+    EXPECT_EQ(batch.Find("scan-" + std::to_string(i)), &batch.documents[i]);
+    ExpectDocEqualsSerial(
+        batch.documents[i].result,
+        pipeline->Submit(ProcessRequest::FromPositional(documents[i])));
+  }
+}
+
+// The deprecated entry points are thin wrappers: Process / ProcessBatch /
+// ProcessBatchPositional must return exactly what the unified Submit /
+// SubmitBatch calls they forward to return.
+TEST(BatchPipelineTest, DeprecatedWrappersMatchUnifiedApi) {
+  Rng ref_rng(7);
+  rel::Database reference =
+      CashBudgetFixture::Random({}, &ref_rng).value();
+  PipelineOptions options;
+  options.engine.milp.search.num_threads = 1;
+  auto pipeline = MakePipeline(reference, options);
+  ASSERT_TRUE(pipeline.ok());
+
+  const std::vector<std::string> htmls = MakeBatchHtmls(13, 3, {1, 0, 2});
+  ExpectDocEqualsSerial(pipeline->Process(htmls[0]),
+                        pipeline->Submit(ProcessRequest::FromHtml(htmls[0])));
+  auto wrapped = pipeline->ProcessBatch(htmls);
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+  BatchOutcome unified = pipeline->SubmitBatch(BatchRequest::FromHtmls(htmls));
+  ASSERT_EQ(wrapped->documents.size(), unified.documents.size());
+  for (size_t i = 0; i < htmls.size(); ++i) {
+    SCOPED_TRACE("doc " + std::to_string(i));
+    EXPECT_EQ(wrapped->documents[i].id, unified.documents[i].id);
+    ExpectDocEqualsSerial(wrapped->documents[i].result,
+                          unified.documents[i].result);
   }
 }
 

@@ -128,7 +128,8 @@ TEST(ExpenseTest, EndToEndPipelineWithRealAmounts) {
   auto pipeline = core::DartPipeline::Create(std::move(metadata));
   ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
 
-  auto outcome = pipeline->Process(ExpenseFixture::RenderHtml(*truth));
+  auto outcome = pipeline->Submit(
+      core::ProcessRequest::FromHtml(ExpenseFixture::RenderHtml(*truth)));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_TRUE(outcome->violations.empty());
   EXPECT_EQ(*outcome->acquisition.database.CountDifferences(*truth), 0u);
@@ -138,7 +139,8 @@ TEST(ExpenseTest, EndToEndPipelineWithRealAmounts) {
   auto injected = InjectMeasureErrors(&corrupted, 1, &rng);
   ASSERT_TRUE(injected.ok());
   auto noisy_outcome =
-      pipeline->Process(ExpenseFixture::RenderHtml(corrupted));
+      pipeline->Submit(
+          core::ProcessRequest::FromHtml(ExpenseFixture::RenderHtml(corrupted)));
   ASSERT_TRUE(noisy_outcome.ok()) << noisy_outcome.status().ToString();
   EXPECT_FALSE(noisy_outcome->violations.empty());
   EXPECT_GE(noisy_outcome->repair.repair.cardinality(), 1u);

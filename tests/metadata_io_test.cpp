@@ -94,7 +94,8 @@ TEST(MetadataIoTest, ParsedMetadataDrivesTheFullPipeline) {
   auto acquired = ocr::CashBudgetFixture::PaperExample(true);
   ASSERT_TRUE(acquired.ok());
   auto outcome =
-      pipeline->Process(ocr::CashBudgetFixture::RenderHtml(*acquired));
+      pipeline->Submit(core::ProcessRequest::FromHtml(
+          ocr::CashBudgetFixture::RenderHtml(*acquired)));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   ASSERT_EQ(outcome->repair.repair.cardinality(), 1u);
   EXPECT_EQ(outcome->repair.repair.updates()[0].new_value, rel::Value(220));

@@ -3,7 +3,8 @@
 // decomposed batch solve across scheduler threads, the no-op null-context
 // path, the JSON run report (round-tripped through a minimal in-test
 // parser), the engine's registry-published search counters, the bounded
-// trace ring under overflow, and the streaming PeriodicExporter lifecycle.
+// trace ring under overflow (head + latency-biased tail sampling), and the
+// streaming PeriodicExporter lifecycle with its pluggable in-process sinks.
 
 #include <gtest/gtest.h>
 
@@ -29,6 +30,7 @@
 #include "obs/exporter.h"
 #include "obs/registry.h"
 #include "obs/report.h"
+#include "obs/sink.h"
 #include "obs/trace.h"
 #include "repair/engine.h"
 
@@ -811,6 +813,193 @@ TEST(ExporterTest, ConcurrentTrafficStreamsConsistently) {
             static_cast<int64_t>(kThreads) * kOpsPerThread);
   ExpectValidStream(ReadMetricsDeltaStream(jsonl_path), final_snapshot);
   std::remove(jsonl_path.c_str());
+}
+
+// --- Latency-biased tail sampling -------------------------------------------
+
+/// Closes one span of `name` that lasted at least `duration`.
+void RunSpan(RunContext* run, const char* name,
+             std::chrono::milliseconds duration =
+                 std::chrono::milliseconds(0)) {
+  Span span(run, name);
+  if (duration.count() > 0) std::this_thread::sleep_for(duration);
+}
+
+// With tail sampling on, the slowest spans of a name survive arbitrary ring
+// churn that would have evicted them under head sampling alone — and only
+// real ring evictions count as drops.
+TEST(TailSamplingTest, SlowestSpansSurviveRingChurn) {
+  TraceOptions options;
+  options.capacity = 4;
+  options.head_samples_per_name = 0;
+  options.tail_samples_per_name = 2;
+  RunContext run(options);
+
+  constexpr int kSpans = 50;
+  for (int i = 0; i < kSpans; ++i) {
+    // Spans 10 and 30 are orders of magnitude slower than the rest; by the
+    // end the ring has churned them out many times over.
+    const auto duration = i == 10   ? std::chrono::milliseconds(8)
+                          : i == 30 ? std::chrono::milliseconds(4)
+                                    : std::chrono::milliseconds(0);
+    RunSpan(&run, "tail.req", duration);
+  }
+
+  // 50 closed spans; 2 retained as tails, 4 in the ring, the rest dropped.
+  EXPECT_EQ(run.trace().spans_dropped(), kSpans - 2 - 4);
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  ASSERT_EQ(spans.size(), 6u);
+  std::set<int64_t> ids;
+  int64_t previous_id = 0;
+  for (const SpanRecord& span : spans) {
+    EXPECT_GT(span.id, previous_id);  // still sorted by id
+    previous_id = span.id;
+    ids.insert(span.id);
+  }
+  // Ids are 1-based in Begin() order: the slow spans are 11 and 31.
+  EXPECT_EQ(ids.count(11), 1u);
+  EXPECT_EQ(ids.count(31), 1u);
+}
+
+// Displacement from the tail set demotes the span into the ring — it ages
+// out normally instead of being dropped on the spot.
+TEST(TailSamplingTest, DisplacedTailSpanDemotesToRing) {
+  TraceOptions options;
+  options.capacity = 100;
+  options.head_samples_per_name = 0;
+  options.tail_samples_per_name = 1;
+  RunContext run(options);
+
+  RunSpan(&run, "demote.req", std::chrono::milliseconds(3));  // enters tail
+  RunSpan(&run, "demote.req");  // faster: straight to the ring
+  RunSpan(&run, "demote.req", std::chrono::milliseconds(8));  // displaces #1
+
+  EXPECT_EQ(run.trace().spans_dropped(), 0);  // demotion is not a drop
+  EXPECT_EQ(run.trace().Snapshot().size(), 3u);
+}
+
+// Tail samples coexist with head samples and only apply per name.
+TEST(TailSamplingTest, TailsArePerNameAndAdditiveToHeads) {
+  TraceOptions options;
+  options.capacity = 2;
+  options.head_samples_per_name = 1;
+  options.tail_samples_per_name = 1;
+  RunContext run(options);
+
+  for (int i = 0; i < 10; ++i) {
+    RunSpan(&run, "a.req", i == 7 ? std::chrono::milliseconds(5)
+                                  : std::chrono::milliseconds(0));
+    RunSpan(&run, "b.req");
+  }
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  // Per name: 1 pinned head + 1 tail; plus the 2-slot shared ring.
+  ASSERT_EQ(spans.size(), 6u);
+  int slow_a = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "a.req" && span.id == 15) ++slow_a;  // iteration 7
+  }
+  EXPECT_EQ(slow_a, 1);
+}
+
+// --- Exporter sinks ---------------------------------------------------------
+
+ExportTick MakeTick(int64_t seq, const char* counter, int64_t value,
+                    bool final_record = false) {
+  ExportTick tick;
+  tick.seq = seq;
+  tick.uptime_ms = seq * 10;
+  tick.final_record = final_record;
+  tick.delta.counters[counter] = value;
+  return tick;
+}
+
+TEST(SinkTest, InMemoryRingFoldsEvictedDeltas) {
+  InMemoryRingSink sink(2);
+  sink.Emit(MakeTick(0, "work", 3));
+  sink.Emit(MakeTick(1, "work", 5));
+  EXPECT_EQ(sink.dropped(), 0);
+  EXPECT_TRUE(sink.evicted_total().counters.empty());
+
+  sink.Emit(MakeTick(2, "work", 7, /*final_record=*/true));
+  const std::vector<InMemoryRingSink::Record> records = sink.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1);
+  EXPECT_EQ(records[1].seq, 2);
+  EXPECT_TRUE(records[1].final_record);
+  EXPECT_EQ(sink.dropped(), 1);
+  // Telescoping survives eviction: evicted_total + retained == 15.
+  EXPECT_EQ(sink.evicted_total().Counter("work") +
+                records[0].delta.Counter("work") +
+                records[1].delta.Counter("work"),
+            15);
+}
+
+// The exporter fans every tick out to all registered sinks — with no file
+// paths configured at all, the stream is purely in-process.
+TEST(SinkTest, ExporterFansOutToSinksWithoutFiles) {
+  RunContext run;
+  run.metrics().AddCounter("fan.pre", 2);
+
+  InMemoryRingSink ring(32);
+  PrometheusTextSink prometheus;
+  int callback_ticks = 0;
+  int64_t callback_sum = 0;
+  bool callback_saw_final = false;
+  bool full_matches_delta_sum = true;
+  int64_t running_sum = 2;  // tracks what `full` should show
+  CallbackSink callback([&](const ExportTick& tick) {
+    ++callback_ticks;
+    callback_sum += tick.delta.Counter("fan.pre") +
+                    tick.delta.Counter("fan.live");
+    callback_saw_final = tick.final_record;
+    // The transient full snapshot always reflects every delta so far.
+    ASSERT_NE(tick.full, nullptr);
+    running_sum = tick.full->Counter("fan.pre") + tick.full->Counter("fan.live");
+    if (running_sum != callback_sum) full_matches_delta_sum = false;
+  });
+
+  ExporterOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  options.sinks = {&ring, &prometheus, &callback};
+  PeriodicExporter exporter(&run, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  for (int i = 0; i < 4; ++i) {
+    run.metrics().AddCounter("fan.live", 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(7));
+  }
+  ASSERT_TRUE(exporter.Stop().ok());
+
+  const std::vector<InMemoryRingSink::Record> records = ring.Records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_TRUE(records.back().final_record);
+  int64_t ring_sum = 0;
+  for (const InMemoryRingSink::Record& record : records) {
+    ring_sum += record.delta.Counter("fan.pre") +
+                record.delta.Counter("fan.live");
+  }
+  EXPECT_EQ(ring_sum, 42);  // 2 pre-start + 4 * 10 live
+  EXPECT_EQ(callback_sum, 42);
+  EXPECT_TRUE(callback_saw_final);
+  EXPECT_TRUE(full_matches_delta_sum);
+  EXPECT_GE(callback_ticks, 1);
+  const std::string scrape = prometheus.Scrape();
+  EXPECT_NE(scrape.find("fan_pre 2"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("fan_live 40"), std::string::npos) << scrape;
+}
+
+TEST(SinkTest, FailingSinkOpenAbortsStart) {
+  struct FailingSink : ExporterSink {
+    Status Open() override { return Status::InvalidArgument("no backend"); }
+    void Emit(const ExportTick&) override {}
+  };
+  RunContext run;
+  FailingSink failing;
+  ExporterOptions options;
+  options.sinks = {&failing};
+  PeriodicExporter exporter(&run, options);
+  const Status started = exporter.Start();
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"
+#include "obs/context.h"
 #include "ocr/cash_budget.h"
 #include "ocr/catalog.h"
 #include "ocr/noise.h"
 #include "util/random.h"
+#include "validation/operator.h"
 
 namespace dart::core {
 namespace {
@@ -17,7 +19,8 @@ namespace {
 using ocr::CashBudgetFixture;
 using ocr::CatalogFixture;
 
-Result<DartPipeline> MakeCashBudgetPipeline(const rel::Database& reference) {
+Result<DartPipeline> MakeCashBudgetPipeline(const rel::Database& reference,
+                                            PipelineOptions options = {}) {
   AcquisitionMetadata metadata;
   DART_ASSIGN_OR_RETURN(metadata.catalog,
                         CashBudgetFixture::BuildCatalog(reference));
@@ -26,7 +29,7 @@ Result<DartPipeline> MakeCashBudgetPipeline(const rel::Database& reference) {
                         CashBudgetFixture::BuildMapping(reference));
   metadata.mappings = {std::move(mapping)};
   metadata.constraint_program = CashBudgetFixture::ConstraintProgram();
-  return DartPipeline::Create(std::move(metadata));
+  return DartPipeline::Create(std::move(metadata), options);
 }
 
 TEST(PipelineTest, Figure1DocumentReproducesFigure3Relation) {
@@ -57,7 +60,8 @@ TEST(PipelineTest, ProcessSuggestsExample6Repair) {
   auto acquired_db = CashBudgetFixture::PaperExample(true);
   ASSERT_TRUE(acquired_db.ok());
 
-  auto outcome = pipeline->Process(CashBudgetFixture::RenderHtml(*acquired_db));
+  auto outcome = pipeline->Submit(
+      ProcessRequest::FromHtml(CashBudgetFixture::RenderHtml(*acquired_db)));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   // Violations i and ii of Example 1.
   EXPECT_EQ(outcome->violations.size(), 2u);
@@ -83,7 +87,7 @@ TEST(PipelineTest, StringNoiseIsRepairedByWrapperAlone) {
   const std::string html = CashBudgetFixture::RenderHtml(*truth, &noise);
   ASSERT_GT(noise.strings_corrupted(), 0u);
 
-  auto outcome = pipeline->Process(html);
+  auto outcome = pipeline->Submit(ProcessRequest::FromHtml(html));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_EQ(*outcome->acquisition.database.CountDifferences(*truth), 0u);
   EXPECT_TRUE(outcome->violations.empty());
@@ -107,6 +111,39 @@ TEST(PipelineTest, SupervisedLoopRecoversNoisyDocument) {
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   EXPECT_TRUE(session->converged);
   EXPECT_EQ(*session->repaired.CountDifferences(*truth), 0u);
+}
+
+// Regression for the option-propagation seam: a RunContext set only at the
+// top level (PipelineOptions::run, nothing on the nested engine/search
+// structs) must reach the innermost solver — Create() is the single place
+// that fans `run` out, so milp.* counters land in the top-level registry for
+// both the one-shot and the supervised path.
+TEST(PipelineTest, TopLevelRunContextReachesSolverCounters) {
+  auto truth = CashBudgetFixture::PaperExample(false);
+  ASSERT_TRUE(truth.ok());
+  obs::RunContext run;
+  PipelineOptions options;
+  options.run = &run;  // top level only; options.engine.run stays null
+  auto pipeline = MakeCashBudgetPipeline(*truth, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  auto acquired_db = CashBudgetFixture::PaperExample(true);
+  ASSERT_TRUE(acquired_db.ok());
+  const std::string html = CashBudgetFixture::RenderHtml(*acquired_db);
+  ASSERT_TRUE(pipeline->Submit(ProcessRequest::FromHtml(html)).ok());
+  const obs::MetricsSnapshot after_submit = run.metrics().Snapshot();
+  EXPECT_GT(after_submit.Counter("milp.nodes"), 0);
+  EXPECT_GT(after_submit.Counter("repair.attempts"), 0);
+
+  // The supervised loop solves through the same engine: its solver effort
+  // must accumulate into the same registry (and be read back as deltas).
+  validation::SimulatedOperator op(&*truth);
+  auto session = pipeline->ProcessSupervised(html, op);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_GT(session->total_nodes, 0);
+  EXPECT_GT(run.metrics().Snapshot().DeltaSince(after_submit)
+                .Counter("milp.nodes"),
+            0);
 }
 
 TEST(PipelineTest, CatalogDomainEndToEnd) {
@@ -134,7 +171,8 @@ TEST(PipelineTest, CatalogDomainEndToEnd) {
   const int64_t grand = relation->At(grand_row, 3).AsInt();
   ASSERT_TRUE(corrupted.UpdateCell({"Catalog", grand_row, 3},
                                    rel::Value(grand + 50)).ok());
-  auto outcome = pipeline->Process(CatalogFixture::RenderHtml(corrupted));
+  auto outcome = pipeline->Submit(
+      ProcessRequest::FromHtml(CatalogFixture::RenderHtml(corrupted)));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   EXPECT_FALSE(outcome->violations.empty());
   EXPECT_EQ(outcome->repair.repair.cardinality(), 1u);

@@ -108,8 +108,9 @@ TEST(ValidationSessionTest, ProgressStreamGetsOneLinePerIteration) {
   cons::ConstraintSet constraints = ParseProgram(*acquired);
   SimulatedOperator op(&*truth);
   std::ostringstream progress;
+  OstreamProgressSink progress_sink(&progress);
   SessionOptions options;
-  options.progress = &progress;
+  options.progress = &progress_sink;
   auto result = RunValidationSession(*acquired, constraints, op, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->converged);

@@ -142,7 +142,7 @@ TEST(PipelineConfidenceTest, WrapperScoresReachTheRepairObjective) {
   auto pipeline = core::DartPipeline::Create(std::move(metadata), options);
   ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
 
-  auto outcome = pipeline->Process(html);
+  auto outcome = pipeline->Submit(core::ProcessRequest::FromHtml(html));
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   // The acquisition carries a sub-1.0 confidence for the corrupted cell.
   bool low_confidence_seen = false;
