@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/pipeline.h"
+#include "obs/report.h"
+#include "obs/slo.h"
 #include "serve/server.h"
 
 namespace {
@@ -361,6 +364,86 @@ int main(int argc, char** argv) {
     const dart::Status written = dart::obs::WriteRunReport(
         server.run(), "TAIL_bench_server.trace.json");
     DART_CHECK_MSG(written.ok(), written.ToString());
+  }
+
+  // Per-tenant SLO demo: 4 tenants with deliberately skewed load — t0/t1
+  // serve tiny clean documents, t2/t3 big noisy ones — so the labeled
+  // serve.request_seconds{tenant=...} p99s come out distinct. t0 declares a
+  // generous latency SLO (met), t3 an unattainable microsecond one
+  // (breached); AdminStatus() must show the breached-vs-met pair, and the
+  // written SERVE_bench_server.status.json is gated by `trace_report.py slo
+  // --require-breached 1 --require-met 1` in reproduce.sh. The Chrome
+  // trace-event export of the same run lands in
+  // CHROME_bench_server.trace.json (Perfetto-loadable).
+  {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 256;
+    options.export_interval = std::chrono::milliseconds(50);
+    RepairServer server(options);
+    for (int t = 0; t < 4; ++t) {
+      TenantOptions tenant_options;
+      if (t == 0) {
+        dart::obs::SloSpec slo;
+        slo.latency_objective_seconds = 300.0;  // generous: always met
+        slo.availability_objective = 0.5;
+        tenant_options.slo = slo;
+      } else if (t == 3) {
+        dart::obs::SloSpec slo;
+        slo.latency_objective_seconds = 1e-6;  // unattainable: breached
+        slo.availability_objective = 0.5;
+        tenant_options.slo = slo;
+      }
+      auto id = server.AddTenant("t" + std::to_string(t),
+                                 MakeMetadata(100 + t), tenant_options);
+      DART_CHECK_MSG(id.ok(), id.status().ToString());
+    }
+    DART_CHECK_MSG(server.Start().ok(), "server failed to start");
+    std::vector<std::future<dart::Result<ProcessOutcome>>> futures;
+    for (int i = 0; i < 24; ++i) {
+      const int t = i % 4;
+      const bool heavy = t >= 2;  // the skew: t2/t3 pay 10-year noisy docs
+      auto future = server.Submit(
+          t, ProcessRequest::FromHtml(
+                 MakeDoc(700 + i, heavy ? 10 : 2, heavy ? 2 : 0)));
+      DART_CHECK_MSG(future.ok(), future.status().ToString());
+      futures.push_back(std::move(*future));
+    }
+    for (auto& future : futures) {
+      DART_CHECK_MSG(future.get().ok(), "SLO-demo request failed");
+    }
+
+    const std::string status = server.AdminStatus();
+    std::ofstream status_file("SERVE_bench_server.status.json",
+                              std::ios::out | std::ios::trunc);
+    DART_CHECK_MSG(status_file.good(), "cannot write serve status file");
+    status_file << status;
+    status_file.close();
+    DART_CHECK_MSG(status_file.good(), "failed writing serve status file");
+
+    const auto metrics = server.run().metrics().Snapshot();
+    const auto p99 = [&](const std::string& tenant) {
+      const auto it = metrics.histograms.find(dart::obs::LabeledName(
+          "serve.request_seconds", {{"tenant", tenant}}));
+      DART_CHECK_MSG(it != metrics.histograms.end() && it->second.count == 6,
+                     "labeled request histogram missing for " + tenant);
+      return it->second.Quantile(0.99);
+    };
+    const double fast_p99 = p99("t0");
+    const double slow_p99 = p99("t3");
+    DART_CHECK_MSG(slow_p99 > fast_p99,
+                   "skewed load did not yield distinct per-tenant p99s");
+    DART_CHECK_MSG(status.find("\"compliant\": false") != std::string::npos &&
+                       status.find("\"compliant\": true") != std::string::npos,
+                   "AdminStatus lacks the breached-vs-met SLO pair");
+    const dart::Status chrome = dart::obs::WriteChromeTrace(
+        server.run(), "CHROME_bench_server.trace.json");
+    DART_CHECK_MSG(chrome.ok(), chrome.ToString());
+    DART_CHECK_MSG(server.Stop().ok(), "server failed to stop");
+    fprintf(stderr,
+            "E21 SLO gate: skewed p99s t0=%.3fms vs t3=%.3fms, "
+            "breached+met pair present in AdminStatus\n",
+            fast_p99 * 1e3, slow_p99 * 1e3);
   }
   return 0;
 }

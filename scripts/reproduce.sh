@@ -99,6 +99,17 @@ python3 scripts/trace_report.py overlap \
 # slow early requests must survive the churn via tail sampling.
 python3 scripts/trace_report.py tails TAIL_bench_server.trace.json \
   --name serve.request.t0 --min-count 4 --require-drops || exit 1
+# Per-tenant SLO gate: bench_server's 4-tenant skewed-load demo writes one
+# dart.serve.status document; it must be schema-valid with exact error-budget
+# arithmetic and show the deliberate breached-vs-met SLO pair.
+python3 scripts/trace_report.py slo SERVE_bench_server.status.json \
+  --require-breached 1 --require-met 1 || exit 1
+# Chrome trace-event conversion must stay loadable: bench_server also writes
+# CHROME_bench_server.trace.json natively, and the Python converter must
+# round-trip the end-to-end report.
+python3 scripts/trace_report.py chrome OBS_bench_end_to_end.trace.json \
+  --out CHROME_bench_end_to_end.trace.json || exit 1
 
 echo "Done: test_output.txt, bench_output.txt, BENCH_*.json," \
-  "OBS_*.trace.json, OBS_bench_end_to_end.metrics.jsonl"
+  "OBS_*.trace.json, SERVE_bench_server.status.json," \
+  "CHROME_*.trace.json, OBS_bench_end_to_end.metrics.jsonl"

@@ -46,6 +46,24 @@ contract — scripts/reproduce.sh runs it over every benchmark's trace:
       the slow spans outlived evictions that would have claimed them under
       head/ring retention alone (trace.h tail sampling).
 
+  trace_report.py chrome FILE [--out OUT.json]
+      Convert a run report's span tree to Chrome trace-event format
+      (Perfetto / chrome://tracing loadable), the same shape
+      obs::ChromeTraceJson emits from C++: one complete ("ph": "X") event
+      per closed span with microsecond ts/dur, pid 1, tid = span thread,
+      span/parent ids in args. Open spans become dur-0 events with
+      "open": true. Writes to --out, or stdout.
+
+  trace_report.py slo FILE [--require-breached N --require-met N]
+      Validate a `dart.serve.status` v1 document (RepairServer::
+      AdminStatus()): schema, admission arithmetic (accepted + rejected ==
+      submitted, completed <= accepted), p50 <= p99, and per-tenant SLO
+      budget arithmetic (burn recomputation, budget_remaining ==
+      1 - max(enabled burns), compliance flags consistent with
+      observed-vs-objective). --require-breached / --require-met demand at
+      least N tenants with a breached (resp. fully met) declared SLO — the
+      reproduce.sh gate uses both to pin the skewed-load demo.
+
 Exit status: 0 = ok, 1 = validation/gate failure, 2 = bad input.
 """
 
@@ -57,6 +75,8 @@ SCHEMA = "dart.obs.run_report"
 SCHEMA_VERSION = 1
 STREAM_SCHEMA = "dart.obs.metrics_delta"
 STREAM_SCHEMA_VERSION = 1
+SERVE_STATUS_SCHEMA = "dart.serve.status"
+SERVE_STATUS_SCHEMA_VERSION = 1
 HISTOGRAM_BUCKETS = 40  # kHistogramBuckets in src/obs/registry.h
 
 
@@ -132,6 +152,29 @@ def validate_report(path, doc):
             check(total == hist["count"],
                   f"histogram {name} buckets sum to {total}, "
                   f"count is {hist['count']}")
+        # bucket_bounds (when present) aligns with the sparse bucket list:
+        # entry i is the upper bound 2^idx µs of buckets[i][0], null for the
+        # open last bucket.
+        if "bucket_bounds" in hist and isinstance(buckets, list):
+            bounds = hist["bucket_bounds"]
+            if not isinstance(bounds, list) or len(bounds) != len(buckets):
+                check(False, f"histogram {name}.bucket_bounds does not align "
+                             f"with buckets")
+            else:
+                for pair, bound in zip(buckets, bounds):
+                    if not (isinstance(pair, list) and len(pair) == 2):
+                        continue
+                    idx = pair[0]
+                    if idx == HISTOGRAM_BUCKETS - 1:
+                        check(bound is None,
+                              f"histogram {name} open bucket bound must be "
+                              f"null, got {bound!r}")
+                    else:
+                        want = (2.0 ** idx) * 1e-6
+                        ok = is_number(bound) and abs(bound - want) <= \
+                            1e-9 * want
+                        check(ok, f"histogram {name} bucket {idx} bound "
+                                  f"{bound!r}, want {want:g}")
 
     seen_ids = set()
     for i, span in enumerate(doc["spans"]):
@@ -457,6 +500,191 @@ def cmd_tails(args):
     return 0 if len(survivors) >= args.min_count else 1
 
 
+def cmd_chrome(args):
+    doc = load_json(args.file)
+    errors = validate_report(args.file, doc)
+    if errors:
+        for msg in errors:
+            print(f"SCHEMA VIOLATION: {msg}", file=sys.stderr)
+        return 1
+
+    events = []
+    for span in doc["spans"]:
+        is_open = span["duration_ns"] < 0
+        event = {
+            "name": span["name"],
+            "ph": "X",
+            "ts": span["start_ns"] / 1000.0,
+            "dur": 0.0 if is_open else span["duration_ns"] / 1000.0,
+            "pid": 1,
+            "tid": span["thread"],
+            "args": {"id": span["id"], "parent": span["parent"]},
+        }
+        if is_open:
+            event["args"]["open"] = True
+        events.append(event)
+    trace = {"displayTimeUnit": "ns", "traceEvents": events}
+    text = json.dumps(trace, indent=1)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        except OSError as err:
+            fail(f"cannot write {args.out}: {err}")
+        print(f"trace_report: wrote {len(events)} event(s) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def validate_slo_status(path, doc):
+    """Returns (violations, breached tenant names, met tenant names)."""
+    errors = []
+    breached, met = [], []
+    eps = 1e-6
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(f"{path}: {msg}")
+
+    check(isinstance(doc, dict), "top level is not an object")
+    if not isinstance(doc, dict):
+        return errors, breached, met
+    check(doc.get("schema") == SERVE_STATUS_SCHEMA,
+          f"schema is {doc.get('schema')!r}, want {SERVE_STATUS_SCHEMA!r}")
+    check(doc.get("schema_version") == SERVE_STATUS_SCHEMA_VERSION,
+          f"schema_version is {doc.get('schema_version')!r}, "
+          f"want {SERVE_STATUS_SCHEMA_VERSION}")
+
+    def check_admission(label, admission, with_depth):
+        if not isinstance(admission, dict):
+            check(False, f"{label}: admission is not an object")
+            return
+        fields = ["submitted", "accepted", "rejected", "completed"]
+        if with_depth:
+            fields.append("queue_depth")
+        for field in fields:
+            value = admission.get(field)
+            check(isinstance(value, int) and not isinstance(value, bool)
+                  and value >= 0,
+                  f"{label}: admission.{field} is {value!r}")
+        if all(isinstance(admission.get(f), int) for f in
+               ("submitted", "accepted", "rejected", "completed")):
+            check(admission["accepted"] + admission["rejected"]
+                  == admission["submitted"],
+                  f"{label}: accepted {admission['accepted']} + rejected "
+                  f"{admission['rejected']} != submitted "
+                  f"{admission['submitted']}")
+            check(admission["completed"] <= admission["accepted"],
+                  f"{label}: completed {admission['completed']} exceeds "
+                  f"accepted {admission['accepted']}")
+
+    check_admission("global", doc.get("admission"), with_depth=True)
+    tenants = doc.get("tenants")
+    check(isinstance(tenants, list), "tenants is not an array")
+    if errors:
+        return errors, breached, met
+
+    def check_objective(label, objective):
+        """Returns the objective's burn when enabled, else None."""
+        if not isinstance(objective, dict):
+            check(False, f"{label} is not an object")
+            return None
+        if not objective.get("enabled"):
+            return None
+        total, bad = objective.get("events_total"), objective.get("events_bad")
+        burn = objective.get("burn")
+        check(isinstance(total, int) and total >= 0,
+              f"{label}.events_total is {total!r}")
+        check(isinstance(bad, int) and 0 <= bad <= (total or 0),
+              f"{label}.events_bad is {bad!r} (total {total!r})")
+        check(is_number(burn) and burn >= 0, f"{label}.burn is {burn!r}")
+        for field in ("objective", "observed"):
+            check(is_number(objective.get(field)),
+                  f"{label}.{field} is {objective.get(field)!r}")
+        check(isinstance(objective.get("compliant"), bool),
+              f"{label}.compliant is {objective.get('compliant')!r}")
+        return burn if is_number(burn) else None
+
+    for i, tenant in enumerate(tenants):
+        if not isinstance(tenant, dict):
+            check(False, f"tenant #{i} is not an object")
+            continue
+        name = tenant.get("tenant")
+        check(isinstance(name, str) and name, f"tenant #{i} lacks a name")
+        label = f"tenant {name!r}"
+        depth = tenant.get("queue_depth")
+        check(isinstance(depth, int) and depth >= 0,
+              f"{label}: queue_depth is {depth!r}")
+        check_admission(label, tenant.get("admission"), with_depth=False)
+
+        latency = tenant.get("latency")
+        if not isinstance(latency, dict):
+            check(False, f"{label}: latency is not an object")
+        else:
+            p50, p99 = latency.get("p50"), latency.get("p99")
+            check(is_number(p50) and p50 >= 0, f"{label}: p50 is {p50!r}")
+            check(is_number(p99) and p99 >= 0, f"{label}: p99 is {p99!r}")
+            if is_number(p50) and is_number(p99):
+                check(p50 <= p99 + eps,
+                      f"{label}: p50 {p50:g} exceeds p99 {p99:g}")
+
+        slo = tenant.get("slo")
+        if slo is None:
+            continue
+        if not isinstance(slo, dict):
+            check(False, f"{label}: slo is not an object")
+            continue
+        burns = []
+        any_enabled = False
+        any_breach = False
+        for objective_name in ("latency", "availability"):
+            objective = slo.get(objective_name)
+            burn = check_objective(f"{label}: slo.{objective_name}", objective)
+            if burn is not None:
+                burns.append(burn)
+            if isinstance(objective, dict) and objective.get("enabled"):
+                any_enabled = True
+                if objective.get("compliant") is False:
+                    any_breach = True
+        remaining = slo.get("budget_remaining")
+        check(is_number(remaining),
+              f"{label}: budget_remaining is {remaining!r}")
+        if burns and is_number(remaining):
+            want = 1.0 - max(burns)
+            check(abs(remaining - want) <= eps * max(1.0, abs(want)),
+                  f"{label}: budget_remaining {remaining:g} != "
+                  f"1 - max(burns) = {want:g}")
+        ticks = slo.get("window_ticks_used")
+        check(isinstance(ticks, int) and ticks >= 0,
+              f"{label}: window_ticks_used is {ticks!r}")
+        if any_enabled:
+            (breached if any_breach else met).append(name)
+    return errors, breached, met
+
+
+def cmd_slo(args):
+    doc = load_json(args.file)
+    errors, breached, met = validate_slo_status(args.file, doc)
+    if not errors:
+        if len(breached) < args.require_breached:
+            errors.append(
+                f"{args.file}: {len(breached)} tenant(s) with a breached "
+                f"SLO, gate requires >= {args.require_breached}")
+        if len(met) < args.require_met:
+            errors.append(
+                f"{args.file}: {len(met)} tenant(s) with a fully met SLO, "
+                f"gate requires >= {args.require_met}")
+    for msg in errors:
+        print(f"SLO VIOLATION: {msg}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"trace_report: {args.file} slo-valid ({SERVE_STATUS_SCHEMA} "
+          f"v{SERVE_STATUS_SCHEMA_VERSION}); breached={sorted(breached)} "
+          f"met={sorted(met)}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -504,6 +732,22 @@ def main():
     p_tails.add_argument("--require-drops", action="store_true",
                          help="also require obs.spans_dropped > 0")
     p_tails.set_defaults(func=cmd_tails)
+
+    p_chrome = sub.add_parser("chrome", help="convert a run report to Chrome "
+                                             "trace-event format")
+    p_chrome.add_argument("file")
+    p_chrome.add_argument("--out", default=None,
+                          help="output path (default: stdout)")
+    p_chrome.set_defaults(func=cmd_chrome)
+
+    p_slo = sub.add_parser("slo", help="validate a dart.serve.status "
+                                       "document")
+    p_slo.add_argument("file")
+    p_slo.add_argument("--require-breached", type=int, default=0,
+                       help="minimum tenants with a breached SLO")
+    p_slo.add_argument("--require-met", type=int, default=0,
+                       help="minimum tenants with a fully met SLO")
+    p_slo.set_defaults(func=cmd_slo)
 
     args = parser.parse_args()
     sys.exit(args.func(args))

@@ -62,6 +62,24 @@ inline void Observe(const RunContext* run, std::string_view name,
   if (run != nullptr) run->metrics().Observe(name, value);
 }
 
+/// Null-safe labeled counter increment (registry.h § labeled series).
+inline void Count(const RunContext* run, std::string_view name,
+                  std::initializer_list<Label> labels, int64_t delta = 1) {
+  if (run != nullptr) run->metrics().AddCounter(name, labels, delta);
+}
+
+/// Null-safe labeled gauge write.
+inline void SetGauge(const RunContext* run, std::string_view name,
+                     std::initializer_list<Label> labels, double value) {
+  if (run != nullptr) run->metrics().SetGauge(name, labels, value);
+}
+
+/// Null-safe labeled histogram observation.
+inline void Observe(const RunContext* run, std::string_view name,
+                    std::initializer_list<Label> labels, double value) {
+  if (run != nullptr) run->metrics().Observe(name, labels, value);
+}
+
 /// The calling thread's innermost open Span id on `run` (0 when none, or
 /// when the thread's current span belongs to a different context). Use this
 /// to hand a parent id to spans opened on other threads.

@@ -1,6 +1,8 @@
 #include "obs/registry.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 namespace dart::obs {
@@ -9,7 +11,95 @@ namespace {
 
 std::atomic<uint64_t> g_registry_serial{1};
 
+/// Appends `piece` with every character outside [A-Za-z0-9_.:-] replaced by
+/// '_' — the label alphabet that keeps the `name{k=v}` encoding parseable
+/// without escapes.
+void AppendSanitizedLabelPiece(std::string_view piece, std::string* out) {
+  for (const char c : piece) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '-';
+    out->push_back(ok ? c : '_');
+  }
+}
+
 }  // namespace
+
+double HistogramBucketUpperBound(int bucket) {
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (bucket < 0) bucket = 0;
+  return std::ldexp(1e-6, bucket);  // 2^bucket µs-units
+}
+
+double HistogramQuantileFromBuckets(
+    const std::array<int64_t, kHistogramBuckets>& buckets, int64_t count,
+    double q) {
+  if (count <= 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += buckets[static_cast<size_t>(b)];
+    if (static_cast<double>(cumulative) >= rank && cumulative > 0) {
+      if (b == kHistogramBuckets - 1) {
+        // Open-ended last bucket: report its lower bound doubled so the
+        // estimate stays finite (and still >= every lower bucket's bound).
+        return std::ldexp(1e-6, b);
+      }
+      return HistogramBucketUpperBound(b);
+    }
+  }
+  return std::ldexp(1e-6, kHistogramBuckets - 1);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0;
+  const double estimate = HistogramQuantileFromBuckets(buckets, count, q);
+  return std::min(std::max(estimate, min), max);
+}
+
+std::string LabeledName(std::string_view name,
+                        std::initializer_list<Label> labels) {
+  std::string out(name);
+  if (labels.size() == 0) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSanitizedLabelPiece(label.key, &out);
+    out.push_back('=');
+    AppendSanitizedLabelPiece(label.value, &out);
+  }
+  out.push_back('}');
+  return out;
+}
+
+SeriesName ParseSeriesName(std::string_view key) {
+  SeriesName out;
+  const size_t open = key.find('{');
+  if (open == std::string_view::npos || key.back() != '}') {
+    out.base = std::string(key);
+    return out;
+  }
+  out.base = std::string(key.substr(0, open));
+  std::string_view block = key.substr(open + 1, key.size() - open - 2);
+  while (!block.empty()) {
+    const size_t comma = block.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? block : block.substr(0, comma);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      out.labels.emplace_back(std::string(pair.substr(0, eq)),
+                              std::string(pair.substr(eq + 1)));
+    }
+    if (comma == std::string_view::npos) break;
+    block.remove_prefix(comma + 1);
+  }
+  return out;
+}
 
 /// One thread's private counter store. Only the owning thread inserts; both
 /// the owner (lock-free find) and Snapshot (under `mu`) read. unordered_map
@@ -93,6 +183,24 @@ void MetricsRegistry::Observe(std::string_view name, double value) {
   ++h.buckets[bucket];
 }
 
+void MetricsRegistry::AddCounter(std::string_view name,
+                                 std::initializer_list<Label> labels,
+                                 int64_t delta) {
+  AddCounter(LabeledName(name, labels), delta);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name,
+                               std::initializer_list<Label> labels,
+                               double value) {
+  SetGauge(LabeledName(name, labels), value);
+}
+
+void MetricsRegistry::Observe(std::string_view name,
+                              std::initializer_list<Label> labels,
+                              double value) {
+  Observe(LabeledName(name, labels), value);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   std::lock_guard<std::mutex> lock(mu_);
@@ -120,9 +228,20 @@ int64_t MetricsSnapshot::Counter(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+int64_t MetricsSnapshot::Counter(std::string_view name,
+                                 std::initializer_list<Label> labels) const {
+  return Counter(LabeledName(name, labels));
+}
+
 double MetricsSnapshot::GaugeOr(std::string_view name, double fallback) const {
   const auto it = gauges.find(std::string(name));
   return it == gauges.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::GaugeOr(std::string_view name,
+                                std::initializer_list<Label> labels,
+                                double fallback) const {
+  return GaugeOr(LabeledName(name, labels), fallback);
 }
 
 MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {

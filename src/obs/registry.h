@@ -26,6 +26,18 @@
 /// Gauges and histograms are mutex-protected: they record per-solve shapes
 /// and span durations, which are orders of magnitude rarer than counter
 /// increments.
+///
+/// Labeled series: a metric may carry a small set of key=value labels
+/// (e.g. the tenant of a serving request). A labeled series is an ordinary
+/// registry entry whose *name* is the canonical encoding
+/// `name{k1=v1,k2=v2}` produced by LabeledName() — so labeled counters ride
+/// the same thread-sharded lock-free path as unlabeled ones, snapshots /
+/// deltas / JSON reports / JSONL streams carry them unchanged, and
+/// PrometheusText() decodes the suffix back into real `{k="v"}` exposition
+/// labels. Labels are for LOW-cardinality dimensions only (tenants, not
+/// request ids): every distinct label value is a full series in every
+/// shard. Keys and values are sanitized to `[A-Za-z0-9_.:-]` on encoding,
+/// which keeps the encoding unambiguous without escape machinery.
 
 namespace dart::obs {
 
@@ -36,6 +48,45 @@ namespace dart::obs {
 /// value's natural scale.
 inline constexpr int kHistogramBuckets = 40;
 
+/// Inclusive upper bound of histogram bucket `bucket` in natural units
+/// (seconds for durations): 2^bucket µs-units for every bucket but the
+/// last, which is open-ended (+infinity). These are the `le` boundaries of
+/// the Prometheus exposition and the `bucket_bounds` of the JSON report.
+double HistogramBucketUpperBound(int bucket);
+
+/// Quantile estimate from raw bucket counts: the upper bound of the first
+/// bucket at which the cumulative count reaches q * count (q in [0, 1]).
+/// Monotone in q by construction. The open last bucket reports its lower
+/// bound doubled so the estimate stays finite. Returns 0 when count <= 0.
+double HistogramQuantileFromBuckets(
+    const std::array<int64_t, kHistogramBuckets>& buckets, int64_t count,
+    double q);
+
+/// One metric label. Low-cardinality by contract: every distinct value is a
+/// full series (docs/observability.md § Labels).
+struct Label {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Canonical encoded series key: `name{k1=v1,k2=v2}` with the labels in the
+/// given order (callers with more than one label pass keys sorted). Keys
+/// and values are sanitized to `[A-Za-z0-9_.:-]` (anything else becomes
+/// `_`), so the encoding needs no escaping and parses unambiguously. An
+/// empty label list returns the bare name.
+std::string LabeledName(std::string_view name,
+                        std::initializer_list<Label> labels);
+
+/// Decoded view of a series key produced by LabeledName (or any bare name).
+struct SeriesName {
+  std::string base;  ///< name without the label block.
+  std::vector<std::pair<std::string, std::string>> labels;  ///< in key order.
+};
+
+/// Splits `key` into base name and labels. A key without a well-formed
+/// `{...}` suffix comes back with the whole key as `base` and no labels.
+SeriesName ParseSeriesName(std::string_view key);
+
 /// Merged view of one histogram.
 struct HistogramSnapshot {
   int64_t count = 0;
@@ -43,6 +94,10 @@ struct HistogramSnapshot {
   double min = 0;  ///< meaningless when count == 0.
   double max = 0;  ///< meaningless when count == 0.
   std::array<int64_t, kHistogramBuckets> buckets{};
+
+  /// Bucket-derived quantile (HistogramQuantileFromBuckets), clamped into
+  /// [min, max] so the estimate never leaves the observed range.
+  double Quantile(double q) const;
 };
 
 /// Point-in-time merged view of a registry. Plain data: copyable, and the
@@ -54,8 +109,14 @@ struct MetricsSnapshot {
 
   /// Counter value, 0 when the name was never incremented.
   int64_t Counter(std::string_view name) const;
+  /// Labeled counter value (the `LabeledName(name, labels)` series).
+  int64_t Counter(std::string_view name,
+                  std::initializer_list<Label> labels) const;
   /// Gauge value, `fallback` when the name was never set.
   double GaugeOr(std::string_view name, double fallback) const;
+  /// Labeled gauge value.
+  double GaugeOr(std::string_view name, std::initializer_list<Label> labels,
+                 double fallback) const;
 
   /// Difference of two snapshots of the *same* registry: counters and
   /// histogram count/sum are subtracted (every name present in *this* is
@@ -79,12 +140,27 @@ class MetricsRegistry {
   /// the calling thread's first touch of the name.
   void AddCounter(std::string_view name, int64_t delta = 1);
 
+  /// Labeled counter: increments the series `LabeledName(name, labels)` —
+  /// the same sharded lock-free path, under the encoded key. Hot loops that
+  /// increment the same series repeatedly should precompute the encoded
+  /// name once and call the unlabeled overload.
+  void AddCounter(std::string_view name, std::initializer_list<Label> labels,
+                  int64_t delta = 1);
+
   /// Sets the named gauge (last write wins).
   void SetGauge(std::string_view name, double value);
+
+  /// Labeled gauge (see the labeled AddCounter overload).
+  void SetGauge(std::string_view name, std::initializer_list<Label> labels,
+                double value);
 
   /// Records one observation into the named histogram. Durations are
   /// observed in seconds by convention.
   void Observe(std::string_view name, double value);
+
+  /// Labeled histogram observation (see the labeled AddCounter overload).
+  void Observe(std::string_view name, std::initializer_list<Label> labels,
+               double value);
 
   /// Merges every shard into one consistent view. May run concurrently with
   /// writers.

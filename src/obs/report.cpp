@@ -6,8 +6,6 @@
 
 namespace dart::obs {
 
-namespace {
-
 void AppendJsonString(const std::string& value, std::string* out) {
   out->push_back('"');
   for (const char c : value) {
@@ -39,8 +37,6 @@ void AppendJsonDouble(double value, std::string* out) {
   std::snprintf(buf, sizeof(buf), "%.12g", value);
   *out += buf;
 }
-
-}  // namespace
 
 std::string RunReportJson(const RunContext& run) {
   const MetricsSnapshot snapshot = run.metrics().Snapshot();
@@ -94,6 +90,14 @@ std::string RunReportJson(const RunContext& run) {
       first_bucket = false;
       out += "[" + std::to_string(b) + ", " +
              std::to_string(h.buckets[static_cast<size_t>(b)]) + "]";
+    }
+    out += "], \"bucket_bounds\": [";
+    first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[static_cast<size_t>(b)] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      AppendJsonDouble(HistogramBucketUpperBound(b), &out);
     }
     out += "]}";
   }
@@ -161,39 +165,151 @@ std::string MetricsDeltaJson(const MetricsSnapshot& delta, int64_t seq,
   return out;
 }
 
-std::string PrometheusText(const MetricsSnapshot& snapshot) {
-  auto sanitize = [](const std::string& name) {
-    std::string out = name;
-    for (char& c : out) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '_' || c == ':';
-      if (!ok) c = '_';
-    }
-    return out;
-  };
-  std::string out;
-  out.reserve(2048);
-  for (const auto& [name, value] : snapshot.counters) {
-    const std::string metric = sanitize(name);
-    out += "# TYPE " + metric + " counter\n";
-    out += metric + " " + std::to_string(value) + "\n";
-  }
-  for (const auto& [name, value] : snapshot.gauges) {
-    const std::string metric = sanitize(name);
-    out += "# TYPE " + metric + " gauge\n";
-    out += metric + " ";
-    AppendJsonDouble(value, &out);
-    out += "\n";
-  }
-  for (const auto& [name, h] : snapshot.histograms) {
-    const std::string metric = sanitize(name);
-    out += "# TYPE " + metric + " summary\n";
-    out += metric + "_count " + std::to_string(h.count) + "\n";
-    out += metric + "_sum ";
-    AppendJsonDouble(h.sum, &out);
-    out += "\n";
+namespace {
+
+/// Prometheus metric-name alphabet: [a-zA-Z0-9_:], dots become underscores.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
   }
   return out;
+}
+
+/// Renders decoded series labels as `k="v",k2="v2"` (no surrounding
+/// braces, so histogram emission can append `le`). Values come from
+/// LabeledName's sanitized alphabet, which contains no quote or backslash,
+/// so no escaping is needed.
+std::string RenderLabelBlock(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ",";
+    out += SanitizeMetricName(key) + "=\"" + value + "\"";
+  }
+  return out;
+}
+
+/// Groups a snapshot section's encoded series keys into exposition
+/// families: sanitized base name -> (rendered label block, value) samples,
+/// in the section map's (deterministic) order.
+template <typename Value>
+std::map<std::string, std::vector<std::pair<std::string, Value>>>
+GroupFamilies(const std::map<std::string, Value>& section) {
+  std::map<std::string, std::vector<std::pair<std::string, Value>>> families;
+  for (const auto& [key, value] : section) {
+    const SeriesName series = ParseSeriesName(key);
+    families[SanitizeMetricName(series.base)].emplace_back(
+        RenderLabelBlock(series.labels), value);
+  }
+  return families;
+}
+
+void AppendPrometheusBound(int bucket, std::string* out) {
+  if (bucket >= kHistogramBuckets - 1) {
+    *out += "+Inf";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", HistogramBucketUpperBound(bucket));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [metric, samples] : GroupFamilies(snapshot.counters)) {
+    out += "# TYPE ";
+    out += metric;
+    out += " counter\n";
+    for (const auto& [labels, value] : samples) {
+      out += metric;
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += " " + std::to_string(value) + "\n";
+    }
+  }
+  for (const auto& [metric, samples] : GroupFamilies(snapshot.gauges)) {
+    out += "# TYPE ";
+    out += metric;
+    out += " gauge\n";
+    for (const auto& [labels, value] : samples) {
+      out += metric;
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += " ";
+      AppendJsonDouble(value, &out);
+      out += "\n";
+    }
+  }
+  for (const auto& [metric, samples] : GroupFamilies(snapshot.histograms)) {
+    out += "# TYPE ";
+    out += metric;
+    out += " histogram\n";
+    for (const auto& [labels, h] : samples) {
+      int64_t cumulative = 0;
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        cumulative += h.buckets[static_cast<size_t>(b)];
+        out += metric + "_bucket{";
+        if (!labels.empty()) out += labels + ",";
+        out += "le=\"";
+        AppendPrometheusBound(b, &out);
+        out += "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += metric + "_sum";
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += " ";
+      AppendJsonDouble(h.sum, &out);
+      out += "\n";
+      out += metric + "_count";
+      if (!labels.empty()) out += "{" + labels + "}";
+      out += " " + std::to_string(h.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const RunContext& run) {
+  const std::vector<SpanRecord> spans = run.trace().Snapshot();
+  std::string out;
+  out.reserve(4096);
+  out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    const bool open = span.duration_ns < 0;
+    out += "{\"name\": ";
+    AppendJsonString(span.name, &out);
+    out += ", \"ph\": \"X\", \"ts\": ";
+    AppendJsonDouble(static_cast<double>(span.start_ns) / 1000.0, &out);
+    out += ", \"dur\": ";
+    AppendJsonDouble(
+        open ? 0.0 : static_cast<double>(span.duration_ns) / 1000.0, &out);
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(span.thread);
+    out += ", \"args\": {\"id\": " + std::to_string(span.id) +
+           ", \"parent\": " + std::to_string(span.parent);
+    if (open) out += ", \"open\": true";
+    out += "}}";
+  }
+  out += first ? "]" : "\n]";
+  out += "}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const RunContext& run, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open chrome-trace file: " + path);
+  }
+  file << ChromeTraceJson(run);
+  file.close();
+  if (!file) {
+    return Status::Internal("failed writing chrome-trace file: " + path);
+  }
+  return Status::Ok();
 }
 
 Status WriteRunReport(const RunContext& run, const std::string& path) {

@@ -19,6 +19,13 @@
 
 namespace dart::obs {
 
+/// Appends `value` as a quoted, escaped JSON string. Shared by every JSON
+/// renderer in the obs/serve layers so escaping lives in one place.
+void AppendJsonString(const std::string& value, std::string* out);
+
+/// Appends `value` as a JSON number (`null` when non-finite).
+void AppendJsonDouble(double value, std::string* out);
+
 inline constexpr char kRunReportSchema[] = "dart.obs.run_report";
 inline constexpr int kRunReportSchemaVersion = 1;
 
@@ -34,7 +41,8 @@ inline constexpr int kMetricsDeltaSchemaVersion = 1;
 ///   "gauges":     {"milp.components": 2, ...},
 ///   "histograms": {"repair.solve_seconds":
 ///                    {"count":1,"sum":..,"min":..,"max":..,
-///                     "buckets":[[idx,count],...]}, ...},
+///                     "buckets":[[idx,count],...],
+///                     "bucket_bounds":[bound,...]}, ...},
 ///   "spans": [{"id":1,"parent":0,"name":"pipeline.process",
 ///              "start_ns":..,"duration_ns":..,"thread":0}, ...]
 /// }
@@ -43,6 +51,9 @@ inline constexpr int kMetricsDeltaSchemaVersion = 1;
 /// accepts them but our instrumentation never produces any). Spans still
 /// open are serialized with `duration_ns: -1` — the one open-span convention
 /// shared by the collector, this report, and scripts/trace_report.py.
+/// `bucket_bounds` is aligned with the sparse `buckets` list: entry i is
+/// HistogramBucketUpperBound of `buckets[i][0]` (null for the open last
+/// bucket, whose bound is +infinity).
 std::string RunReportJson(const RunContext& run);
 
 /// Writes RunReportJson to `path` (overwriting).
@@ -65,10 +76,27 @@ Status WriteRunReport(const RunContext& run, const std::string& path);
 std::string MetricsDeltaJson(const MetricsSnapshot& delta, int64_t seq,
                              int64_t uptime_ms, bool final_record);
 
-/// Renders a full snapshot as Prometheus text exposition (one `# TYPE` line
-/// plus a sample per metric; histograms contribute `<name>_count` and
-/// `<name>_sum`). Metric names are sanitized to [a-zA-Z0-9_:] (dots become
-/// underscores).
+/// Renders a full snapshot as Prometheus text exposition. Series whose key
+/// carries a `name{k=v}` label block (registry.h § labeled series) are
+/// decoded into real exposition labels (`name{k="v"} value`) and grouped
+/// with their unlabeled sibling under one `# TYPE` line per family.
+/// Histograms are exposed as true `histogram` type: cumulative
+/// `<name>_bucket{le="<bound>"}` samples over the 40 power-of-two bucket
+/// boundaries (HistogramBucketUpperBound; the last is `le="+Inf"`) followed
+/// by `<name>_sum` and `<name>_count`. Metric names are sanitized to
+/// [a-zA-Z0-9_:] (dots become underscores).
 std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Renders the collector's span snapshot in Chrome trace-event format (a
+/// JSON object with a `traceEvents` array), loadable in Perfetto /
+/// chrome://tracing. Every closed span becomes a complete (`"ph": "X"`)
+/// event with microsecond `ts`/`dur`, `pid` 1, `tid` = the span's
+/// normalized thread index, and `args` carrying the span/parent ids. Spans
+/// still open at snapshot time are emitted with `dur` 0 and
+/// `"open": true` in args.
+std::string ChromeTraceJson(const RunContext& run);
+
+/// Writes ChromeTraceJson to `path` (overwriting).
+Status WriteChromeTrace(const RunContext& run, const std::string& path);
 
 }  // namespace dart::obs

@@ -1,0 +1,147 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace dart::obs {
+
+namespace {
+
+/// Burn is bad_fraction / allowed_fraction, clamped so a zero-allowance
+/// objective (or a wildly breached one) still serializes as a finite
+/// number.
+constexpr double kMaxBurn = 1e6;
+
+double Burn(int64_t bad, int64_t total, double objective) {
+  if (total <= 0 || bad <= 0) return 0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  const double allowed = 1.0 - objective;
+  if (allowed <= bad_fraction / kMaxBurn) return kMaxBurn;
+  return std::min(bad_fraction / allowed, kMaxBurn);
+}
+
+}  // namespace
+
+void SloTracker::Declare(const std::string& tenant, const SloSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  const bool fresh = state.histogram_key.empty();
+  state.spec = spec;
+  if (state.spec.window_ticks < 1) state.spec.window_ticks = 1;
+  state.histogram_key =
+      LabeledName(spec.latency_metric, {{"tenant", tenant}});
+  state.good_key = LabeledName(spec.good_counter, {{"tenant", tenant}});
+  state.bad_key = LabeledName(spec.bad_counter, {{"tenant", tenant}});
+  // Re-declaring restarts the window under the new objectives but keeps
+  // the cumulative baseline, so the next ingest stays an interval delta.
+  if (!fresh) {
+    state.window.clear();
+    state.bucket_sum.fill(0);
+    state.count_sum = state.good_sum = state.bad_sum = 0;
+  }
+}
+
+void SloTracker::Ingest(const MetricsSnapshot& full) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [tenant, state] : tenants_) {
+    WindowEntry entry;
+    const auto hist_it = full.histograms.find(state.histogram_key);
+    if (hist_it != full.histograms.end()) {
+      const HistogramSnapshot& h = hist_it->second;
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        const size_t i = static_cast<size_t>(b);
+        entry.buckets[i] = h.buckets[i] - state.prev_buckets[i];
+        state.prev_buckets[i] = h.buckets[i];
+      }
+      entry.count = h.count - state.prev_count;
+      state.prev_count = h.count;
+    }
+    const int64_t good = full.Counter(state.good_key);
+    const int64_t bad = full.Counter(state.bad_key);
+    entry.good = good - state.prev_good;
+    entry.bad = bad - state.prev_bad;
+    state.prev_good = good;
+    state.prev_bad = bad;
+
+    state.window.push_back(entry);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      state.bucket_sum[static_cast<size_t>(b)] +=
+          entry.buckets[static_cast<size_t>(b)];
+    }
+    state.count_sum += entry.count;
+    state.good_sum += entry.good;
+    state.bad_sum += entry.bad;
+    while (static_cast<int>(state.window.size()) > state.spec.window_ticks) {
+      const WindowEntry& old = state.window.front();
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        state.bucket_sum[static_cast<size_t>(b)] -=
+            old.buckets[static_cast<size_t>(b)];
+      }
+      state.count_sum -= old.count;
+      state.good_sum -= old.good;
+      state.bad_sum -= old.bad;
+      state.window.pop_front();
+    }
+  }
+}
+
+std::vector<SloStatus> SloTracker::Status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloStatus> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    SloStatus status;
+    status.tenant = tenant;
+    status.latency_quantile = state.spec.latency_quantile;
+    status.window_ticks_used = static_cast<int>(state.window.size());
+
+    if (state.spec.latency_objective_seconds > 0) {
+      SloObjectiveStatus& lat = status.latency;
+      lat.enabled = true;
+      lat.objective = state.spec.latency_objective_seconds;
+      lat.events_total = state.count_sum;
+      lat.observed = HistogramQuantileFromBuckets(
+          state.bucket_sum, state.count_sum, state.spec.latency_quantile);
+      // An observation consumes budget when its whole bucket sits above
+      // the objective (bucket lower bound >= objective) — the
+      // bucket-resolved count of requests slower than the bound.
+      for (int b = 1; b < kHistogramBuckets; ++b) {
+        if (HistogramBucketUpperBound(b - 1) >=
+            state.spec.latency_objective_seconds) {
+          lat.events_bad += state.bucket_sum[static_cast<size_t>(b)];
+        }
+      }
+      // The allowed-bad fraction of a q-quantile objective is 1 - q.
+      lat.burn = Burn(lat.events_bad, lat.events_total,
+                      state.spec.latency_quantile);
+      lat.compliant = lat.events_total == 0 || lat.observed <= lat.objective;
+    }
+
+    if (state.spec.availability_objective > 0) {
+      SloObjectiveStatus& avail = status.availability;
+      avail.enabled = true;
+      avail.objective = state.spec.availability_objective;
+      avail.events_total = state.good_sum + state.bad_sum;
+      avail.events_bad = state.bad_sum;
+      avail.observed =
+          avail.events_total == 0
+              ? 1.0
+              : static_cast<double>(state.good_sum) /
+                    static_cast<double>(avail.events_total);
+      avail.burn = Burn(avail.events_bad, avail.events_total,
+                        state.spec.availability_objective);
+      avail.compliant = avail.observed >= avail.objective;
+    }
+
+    double max_burn = 0;
+    if (status.latency.enabled) max_burn = status.latency.burn;
+    if (status.availability.enabled) {
+      max_burn = std::max(max_burn, status.availability.burn);
+    }
+    status.budget_remaining = 1.0 - max_burn;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace dart::obs

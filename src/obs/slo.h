@@ -1,0 +1,138 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/sink.h"
+
+/// \file slo.h
+/// Per-tenant SLO tracking over the labeled metrics a serving deployment
+/// emits (docs/observability.md § SLOs). A tenant declares an SloSpec —
+/// a latency objective over a labeled histogram (e.g. p99 of
+/// `serve.request_seconds{tenant=...}` at or under X seconds) and/or an
+/// availability objective over a good/bad counter pair (accepted vs
+/// rejected) — and the SloTracker turns the raw series into rolling
+/// compliance and error-budget burn.
+///
+/// The tracker is an ExporterSink: registered on a PeriodicExporter it
+/// ingests every tick's full snapshot, diffs it against the previous one
+/// (bucket-wise for histograms — MetricsSnapshot::DeltaSince only diffs
+/// count/sum), and keeps the last `window_ticks` interval deltas per
+/// tenant. It can equally be fed directly with Ingest() from an
+/// on-demand snapshot (RepairServer::AdminStatus() does) — no exporter
+/// thread required.
+///
+/// Error-budget arithmetic, per objective: the budget is the allowed bad
+/// fraction `1 - objective` (e.g. 1% of requests may exceed the latency
+/// bound for a 0.99-quantile objective; 0.1% may be rejected for a 0.999
+/// availability objective). `burn = observed_bad_fraction /
+/// allowed_fraction`: 0 is an untouched budget, 1 is exactly spent,
+/// above 1 is a breach. `SloStatus::budget_remaining = 1 - max(burns)`
+/// across the tenant's enabled objectives — negative when breached.
+
+namespace dart::obs {
+
+/// One tenant's objectives. Metric names are *base* names; the tracker
+/// reads the `{tenant=...}` labeled series (LabeledName).
+struct SloSpec {
+  /// Labeled histogram holding per-request latency in seconds.
+  std::string latency_metric = "serve.request_seconds";
+  /// Quantile the latency objective constrains (in (0, 1)).
+  double latency_quantile = 0.99;
+  /// Objective: Quantile(latency_quantile) <= this many seconds. <= 0
+  /// disables the latency objective.
+  double latency_objective_seconds = 0;
+
+  /// Labeled counter pair for availability: good / (good + bad).
+  std::string good_counter = "serve.accepted";
+  std::string bad_counter = "serve.rejected";
+  /// Objective: good / (good + bad) >= this fraction. <= 0 disables the
+  /// availability objective.
+  double availability_objective = 0;
+
+  /// Rolling window length, in ingested ticks (>= 1).
+  int window_ticks = 120;
+};
+
+/// One objective's point-in-time evaluation over the rolling window.
+struct SloObjectiveStatus {
+  bool enabled = false;
+  double objective = 0;      ///< the spec's bound (seconds or fraction).
+  double observed = 0;       ///< observed quantile (s) / availability.
+  int64_t events_total = 0;  ///< events in the window.
+  int64_t events_bad = 0;    ///< budget-consuming events in the window.
+  double burn = 0;           ///< bad_fraction / allowed_fraction.
+  bool compliant = true;     ///< observed meets the objective.
+};
+
+/// One tenant's full SLO evaluation (see file comment for the budget
+/// arithmetic).
+struct SloStatus {
+  std::string tenant;
+  double latency_quantile = 0.99;  ///< echo of the spec, for reporting.
+  SloObjectiveStatus latency;
+  SloObjectiveStatus availability;
+  double budget_remaining = 1.0;  ///< 1 - max(enabled burns).
+  int window_ticks_used = 0;      ///< ingests currently in the window.
+};
+
+/// See file comment. Thread-safe; usable standalone (Ingest) or as an
+/// ExporterSink (Emit ingests each tick's full snapshot).
+class SloTracker : public ExporterSink {
+ public:
+  /// Declares (or replaces) `tenant`'s objectives. Replacing resets the
+  /// tenant's window but keeps its diff baseline.
+  void Declare(const std::string& tenant, const SloSpec& spec);
+
+  /// Diffs `full` (a cumulative registry snapshot) against the previous
+  /// ingest and appends one interval to every declared tenant's window.
+  void Ingest(const MetricsSnapshot& full);
+
+  /// ExporterSink: ingest the tick's full snapshot.
+  void Emit(const ExportTick& tick) override {
+    if (tick.full != nullptr) Ingest(*tick.full);
+  }
+
+  /// Point-in-time evaluation of every declared tenant, sorted by name.
+  std::vector<SloStatus> Status() const;
+
+ private:
+  /// One ingested interval's per-tenant deltas.
+  struct WindowEntry {
+    std::array<int64_t, kHistogramBuckets> buckets{};
+    int64_t count = 0;
+    int64_t good = 0;
+    int64_t bad = 0;
+  };
+
+  struct TenantState {
+    SloSpec spec;
+    std::string histogram_key;  ///< LabeledName(latency_metric, tenant).
+    std::string good_key;
+    std::string bad_key;
+
+    std::deque<WindowEntry> window;
+    /// Running sums over `window` (kept incrementally).
+    std::array<int64_t, kHistogramBuckets> bucket_sum{};
+    int64_t count_sum = 0;
+    int64_t good_sum = 0;
+    int64_t bad_sum = 0;
+
+    /// Cumulative values at the previous ingest (diff baseline).
+    std::array<int64_t, kHistogramBuckets> prev_buckets{};
+    int64_t prev_count = 0;
+    int64_t prev_good = 0;
+    int64_t prev_bad = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace dart::obs

@@ -1,7 +1,10 @@
 #include "serve/server.h"
 
 #include <cstdlib>
+#include <map>
 #include <utility>
+
+#include "obs/report.h"
 
 namespace dart::serve {
 
@@ -40,6 +43,21 @@ struct RepairServer::Tenant {
   /// Root span name of this tenant's requests, precomputed once.
   std::string span_name;
   std::deque<std::unique_ptr<WorkItem>> queue;
+  size_t queued_docs = 0;  ///< this tenant's share of the admission bound.
+
+  /// Encoded `{tenant=<name>}` series keys, precomputed once so the
+  /// request path pays a plain unlabeled-counter lookup per emission
+  /// (registry.h § labeled series).
+  std::string submitted_series;
+  std::string accepted_series;
+  std::string rejected_series;
+  std::string completed_series;
+  std::string queue_depth_series;
+  std::string queue_seconds_series;
+  std::string request_seconds_series;
+
+  /// Per-tenant admission accounting mirrored into AdminStatus().
+  ServerStats stats;
 };
 
 RepairServer::RepairServer(ServerOptions options)
@@ -63,8 +81,22 @@ Result<TenantId> RepairServer::AddTenant(std::string name,
   auto tenant = std::make_unique<Tenant>();
   tenant->name = std::move(name);
   tenant->span_name = "serve.request." + tenant->name;
+  const auto series = [&](std::string_view base) {
+    return obs::LabeledName(base, {{"tenant", tenant->name}});
+  };
+  tenant->submitted_series = series("serve.submitted");
+  tenant->accepted_series = series("serve.accepted");
+  tenant->rejected_series = series("serve.rejected");
+  tenant->completed_series = series("serve.completed");
+  tenant->queue_depth_series = series("serve.queue_depth");
+  tenant->queue_seconds_series = series("serve.queue_seconds");
+  tenant->request_seconds_series = series("serve.request_seconds");
   tenant->pipeline =
       std::make_unique<core::DartPipeline>(std::move(pipeline));
+  if (options.slo.has_value()) {
+    slo_.Declare(tenant->name, *options.slo);
+    has_slo_ = true;
+  }
   tenants_.push_back(std::move(tenant));
   obs::SetGauge(&run_, "serve.tenants",
                 static_cast<double>(tenants_.size()));
@@ -80,16 +112,23 @@ Status RepairServer::ValidateTenantLocked(TenantId tenant) const {
 
 Status RepairServer::AdmitLocked(TenantId tenant, size_t cost,
                                  std::unique_ptr<WorkItem> item) {
+  Tenant& owner = *tenants_[static_cast<size_t>(tenant)];
   ++stats_.submitted;
+  ++owner.stats.submitted;
   obs::Count(&run_, "serve.submitted");
+  obs::Count(&run_, owner.submitted_series);
   if (stopping_) {
     ++stats_.rejected;
+    ++owner.stats.rejected;
     obs::Count(&run_, "serve.rejected");
+    obs::Count(&run_, owner.rejected_series);
     return Status::FailedPrecondition("server is stopped");
   }
   if (queued_docs_ + cost > options_.queue_capacity) {
     ++stats_.rejected;
+    ++owner.stats.rejected;
     obs::Count(&run_, "serve.rejected");
+    obs::Count(&run_, owner.rejected_series);
     return Status::Unavailable(
         "admission queue full (" + std::to_string(queued_docs_) + "/" +
         std::to_string(options_.queue_capacity) + " documents queued, +" +
@@ -100,12 +139,18 @@ Status RepairServer::AdmitLocked(TenantId tenant, size_t cost,
   item->cost = cost;
   item->submitted_at = Clock::now();
   queued_docs_ += cost;
+  owner.queued_docs += cost;
   stats_.queue_depth = queued_docs_;
+  owner.stats.queue_depth = owner.queued_docs;
   ++stats_.accepted;
+  ++owner.stats.accepted;
   obs::Count(&run_, "serve.accepted");
+  obs::Count(&run_, owner.accepted_series);
   obs::SetGauge(&run_, "serve.queue_depth",
                 static_cast<double>(queued_docs_));
-  tenants_[static_cast<size_t>(tenant)]->queue.push_back(std::move(item));
+  obs::SetGauge(&run_, owner.queue_depth_series,
+                static_cast<double>(owner.queued_docs));
+  owner.queue.push_back(std::move(item));
   // One anonymous token per item; before Start() the seeds simply wait in
   // the (not-yet-running) pool's deques.
   pool_->Seed(Token{});
@@ -136,10 +181,15 @@ Result<std::future<Result<core::BatchOutcome>>> RepairServer::SubmitBatch(
   if (cost > options_.queue_capacity) {
     // Would never fit, even into an empty queue — a permanent condition, so
     // not kUnavailable.
+    Tenant& owner = *tenants_[static_cast<size_t>(tenant)];
     ++stats_.submitted;
     ++stats_.rejected;
+    ++owner.stats.submitted;
+    ++owner.stats.rejected;
     obs::Count(&run_, "serve.submitted");
     obs::Count(&run_, "serve.rejected");
+    obs::Count(&run_, owner.submitted_series);
+    obs::Count(&run_, owner.rejected_series);
     return Status::InvalidArgument(
         "batch of " + std::to_string(cost) +
         " documents exceeds the admission capacity of " +
@@ -193,10 +243,13 @@ Status RepairServer::Start() {
       }
     });
   });
-  if (!options_.sinks.empty()) {
+  if (!options_.sinks.empty() || has_slo_) {
     obs::ExporterOptions exporter_options;
     exporter_options.interval = options_.export_interval;
     exporter_options.sinks = options_.sinks;
+    // The SLO tracker rides the same tick stream as the user's sinks, so
+    // declared objectives accumulate rolling windows while serving.
+    if (has_slo_) exporter_options.sinks.push_back(&slo_);
     exporter_ =
         std::make_unique<obs::PeriodicExporter>(&run_, exporter_options);
     DART_RETURN_IF_ERROR(exporter_->Start());
@@ -252,9 +305,13 @@ std::unique_ptr<RepairServer::WorkItem> RepairServer::Dequeue() {
     tenant.queue.pop_front();
     cursor_ = index + 1;  // next scan starts after the tenant just served
     queued_docs_ -= item->cost;
+    tenant.queued_docs -= item->cost;
     stats_.queue_depth = queued_docs_;
+    tenant.stats.queue_depth = tenant.queued_docs;
     obs::SetGauge(&run_, "serve.queue_depth",
                   static_cast<double>(queued_docs_));
+    obs::SetGauge(&run_, tenant.queue_depth_series,
+                  static_cast<double>(tenant.queued_docs));
     return item;
   }
   return nullptr;
@@ -266,10 +323,11 @@ void RepairServer::Execute(WorkItem* item) {
     std::lock_guard<std::mutex> lock(mu_);
     tenant = tenants_[static_cast<size_t>(item->tenant)].get();
   }
-  obs::Observe(&run_, "serve.queue_seconds",
-               std::chrono::duration<double>(Clock::now() -
-                                             item->submitted_at)
-                   .count());
+  const double queue_seconds =
+      std::chrono::duration<double>(Clock::now() - item->submitted_at)
+          .count();
+  obs::Observe(&run_, "serve.queue_seconds", queue_seconds);
+  obs::Observe(&run_, tenant->queue_seconds_series, queue_seconds);
   const auto t0 = Clock::now();
   {
     // Per-request root span (explicit parent 0: worker threads carry no
@@ -291,11 +349,15 @@ void RepairServer::Execute(WorkItem* item) {
         break;
     }
   }
-  obs::Observe(&run_, "serve.request_seconds",
-               std::chrono::duration<double>(Clock::now() - t0).count());
+  const double request_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  obs::Observe(&run_, "serve.request_seconds", request_seconds);
+  obs::Observe(&run_, tenant->request_seconds_series, request_seconds);
   obs::Count(&run_, "serve.completed");
+  obs::Count(&run_, tenant->completed_series);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.completed;
+  ++tenant->stats.completed;
 }
 
 void RepairServer::Cancel(WorkItem* item, const Status& status) {
@@ -310,6 +372,127 @@ void RepairServer::Cancel(WorkItem* item, const Status& status) {
       item->supervised_promise.set_value(status);
       break;
   }
+}
+
+namespace {
+
+void AppendAdmissionJson(const ServerStats& stats, bool with_depth,
+                         std::string* out) {
+  *out += "{\"submitted\": " + std::to_string(stats.submitted) +
+          ", \"accepted\": " + std::to_string(stats.accepted) +
+          ", \"rejected\": " + std::to_string(stats.rejected) +
+          ", \"completed\": " + std::to_string(stats.completed);
+  if (with_depth) {
+    *out += ", \"queue_depth\": " + std::to_string(stats.queue_depth);
+  }
+  *out += "}";
+}
+
+void AppendObjectiveJson(const obs::SloObjectiveStatus& objective,
+                         std::string* out) {
+  *out += "{\"enabled\": ";
+  *out += objective.enabled ? "true" : "false";
+  *out += ", \"objective\": ";
+  obs::AppendJsonDouble(objective.objective, out);
+  *out += ", \"observed\": ";
+  obs::AppendJsonDouble(objective.observed, out);
+  *out += ", \"events_total\": " + std::to_string(objective.events_total) +
+          ", \"events_bad\": " + std::to_string(objective.events_bad) +
+          ", \"burn\": ";
+  obs::AppendJsonDouble(objective.burn, out);
+  *out += ", \"compliant\": ";
+  *out += objective.compliant ? "true" : "false";
+  *out += "}";
+}
+
+}  // namespace
+
+std::string RepairServer::AdminStatus() const {
+  struct TenantView {
+    std::string name;
+    ServerStats stats;
+    std::string request_seconds_series;
+  };
+  std::vector<TenantView> views;
+  ServerStats global;
+  bool started = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started = started_ && !stopping_;
+    global = stats_;
+    views.reserve(tenants_.size());
+    for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+      views.push_back(
+          {tenant->name, tenant->stats, tenant->request_seconds_series});
+    }
+  }
+
+  const obs::MetricsSnapshot snapshot = run_.metrics().Snapshot();
+  // Feed the SLO windows from this snapshot too, so status reflects the
+  // latest activity even when no exporter is ticking.
+  slo_.Ingest(snapshot);
+  std::map<std::string, obs::SloStatus> slo_by_tenant;
+  for (obs::SloStatus& status : slo_.Status()) {
+    std::string key = status.tenant;
+    slo_by_tenant.emplace(std::move(key), std::move(status));
+  }
+
+  std::string out;
+  out.reserve(2048);
+  out += "{\n  \"schema\": \"";
+  out += kServeStatusSchema;
+  out += "\",\n  \"schema_version\": ";
+  out += std::to_string(kServeStatusSchemaVersion);
+  out += ",\n  \"started\": ";
+  out += started ? "true" : "false";
+  out += ",\n  \"queue_capacity\": " + std::to_string(options_.queue_capacity);
+  out += ",\n  \"admission\": ";
+  AppendAdmissionJson(global, /*with_depth=*/true, &out);
+  out += ",\n  \"tenants\": [";
+  bool first = true;
+  for (const TenantView& view : views) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"tenant\": ";
+    obs::AppendJsonString(view.name, &out);
+    out += ", \"queue_depth\": " + std::to_string(view.stats.queue_depth);
+    out += ", \"admission\": ";
+    AppendAdmissionJson(view.stats, /*with_depth=*/false, &out);
+
+    out += ", \"latency\": {\"count\": ";
+    const auto hist_it = snapshot.histograms.find(view.request_seconds_series);
+    if (hist_it != snapshot.histograms.end()) {
+      const obs::HistogramSnapshot& h = hist_it->second;
+      out += std::to_string(h.count) + ", \"sum\": ";
+      obs::AppendJsonDouble(h.sum, &out);
+      out += ", \"p50\": ";
+      obs::AppendJsonDouble(h.Quantile(0.5), &out);
+      out += ", \"p99\": ";
+      obs::AppendJsonDouble(h.Quantile(0.99), &out);
+    } else {
+      out += "0, \"sum\": 0, \"p50\": 0, \"p99\": 0";
+    }
+    out += "}";
+
+    const auto slo_it = slo_by_tenant.find(view.name);
+    if (slo_it != slo_by_tenant.end()) {
+      const obs::SloStatus& slo = slo_it->second;
+      out += ", \"slo\": {\"latency_quantile\": ";
+      obs::AppendJsonDouble(slo.latency_quantile, &out);
+      out += ", \"latency\": ";
+      AppendObjectiveJson(slo.latency, &out);
+      out += ", \"availability\": ";
+      AppendObjectiveJson(slo.availability, &out);
+      out += ", \"budget_remaining\": ";
+      obs::AppendJsonDouble(slo.budget_remaining, &out);
+      out += ", \"window_ticks_used\": " +
+             std::to_string(slo.window_ticks_used) + "}";
+    }
+    out += "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
 }
 
 ServerStats RepairServer::stats() const {

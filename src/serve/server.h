@@ -6,6 +6,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "obs/context.h"
 #include "obs/exporter.h"
 #include "obs/sink.h"
+#include "obs/slo.h"
 #include "util/status.h"
 #include "util/task_pool.h"
 #include "validation/operator.h"
@@ -48,11 +50,26 @@
 /// default — trace.h) shared by every tenant pipeline unless a tenant
 /// brings its own. Per-request root spans `serve.request.<tenant>` frame
 /// execution; serve.* counters/gauges/histograms are documented in
-/// docs/observability.md. When ServerOptions::sinks is nonempty a
-/// PeriodicExporter streams metric deltas to them in-process — no
-/// filesystem round-trips (docs/serving.md).
+/// docs/observability.md. Every request-path metric is emitted twice: once
+/// globally and once as the `{tenant="<name>"}` labeled series
+/// (obs/registry.h § labeled series), so an operator can attribute load,
+/// rejections, and latency to a tenant. When ServerOptions::sinks is
+/// nonempty (or any tenant declares an SLO) a PeriodicExporter streams
+/// metric deltas to them in-process — no filesystem round-trips
+/// (docs/serving.md).
+///
+/// SLOs: a tenant may declare an obs::SloSpec (TenantOptions::slo); the
+/// server feeds a shared obs::SloTracker from exporter ticks and from
+/// AdminStatus() calls. AdminStatus() renders the whole serving surface —
+/// per-tenant queue depth, admission stats, histogram-derived p50/p99, SLO
+/// compliance and error-budget remaining — as one schema-versioned
+/// `dart.serve.status` v1 JSON document, validated by
+/// `trace_report.py slo`.
 
 namespace dart::serve {
+
+inline constexpr char kServeStatusSchema[] = "dart.serve.status";
+inline constexpr int kServeStatusSchemaVersion = 1;
 
 /// Dense tenant handle returned by AddTenant (index order).
 using TenantId = int;
@@ -83,6 +100,10 @@ struct ServerOptions {
 /// server's shared context when unset.
 struct TenantOptions {
   core::PipelineOptions pipeline;
+  /// Service-level objectives for this tenant (obs/slo.h). When set, the
+  /// server tracks rolling compliance/error-budget burn against the
+  /// tenant's labeled serve.* series and reports them in AdminStatus().
+  std::optional<obs::SloSpec> slo;
 };
 
 /// Point-in-time admission/completion accounting (also mirrored as serve.*
@@ -139,6 +160,15 @@ class RepairServer {
   /// The server's shared observability context.
   const obs::RunContext& run() const { return run_; }
 
+  /// Live admin status: one `dart.serve.status` v1 JSON document covering
+  /// global admission stats and, per tenant, queue depth, admission
+  /// counters, histogram-derived p50/p99 of `serve.request_seconds`, and —
+  /// when the tenant declared an SLO — compliance and error-budget
+  /// remaining. Each call ingests a fresh snapshot into the SLO tracker
+  /// (one rolling-window tick), so it works with or without a running
+  /// exporter. Callable at any point in the server's life.
+  std::string AdminStatus() const;
+
   ServerStats stats() const;
   size_t num_tenants() const;
 
@@ -173,6 +203,11 @@ class RepairServer {
   std::unique_ptr<util::TaskPool<Token>> pool_;
   std::thread pool_thread_;
   std::unique_ptr<obs::PeriodicExporter> exporter_;
+  /// Per-tenant SLO accounting; fed by the exporter (as a sink) and by
+  /// AdminStatus() snapshots. Mutable: AdminStatus() is observability, but
+  /// advances the tracker's rolling window. Internally synchronized.
+  mutable obs::SloTracker slo_;
+  bool has_slo_ = false;  ///< any tenant declared an SLO (guarded by mu_).
 };
 
 /// Parses the machine-readable hint out of a kUnavailable rejection message

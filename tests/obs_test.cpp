@@ -31,6 +31,7 @@
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "repair/engine.h"
 
@@ -128,6 +129,291 @@ TEST(RegistryTest, DeltaSinceAttributesOnlyNewActivity) {
   EXPECT_DOUBLE_EQ(delta.histograms.at("h").sum, 4.0);
 }
 
+// --- Labeled series --------------------------------------------------------
+
+TEST(RegistryTest, LabeledNameEncodingAndParsing) {
+  EXPECT_EQ(LabeledName("serve.requests", {}), "serve.requests");
+  EXPECT_EQ(LabeledName("serve.requests", {{"tenant", "alpha"}}),
+            "serve.requests{tenant=alpha}");
+  EXPECT_EQ(LabeledName("m", {{"a", "1"}, {"b", "2"}}), "m{a=1,b=2}");
+  // Characters outside [A-Za-z0-9_.:-] are sanitized to '_' on both sides
+  // of the '=', keeping the encoding parseable without escapes.
+  EXPECT_EQ(LabeledName("m", {{"te nant", "a=b,c{d}"}}),
+            "m{te_nant=a_b_c_d_}");
+
+  SeriesName bare = ParseSeriesName("serve.requests");
+  EXPECT_EQ(bare.base, "serve.requests");
+  EXPECT_TRUE(bare.labels.empty());
+
+  SeriesName labeled = ParseSeriesName("m{a=1,b=2}");
+  EXPECT_EQ(labeled.base, "m");
+  ASSERT_EQ(labeled.labels.size(), 2u);
+  EXPECT_EQ(labeled.labels[0].first, "a");
+  EXPECT_EQ(labeled.labels[0].second, "1");
+  EXPECT_EQ(labeled.labels[1].first, "b");
+  EXPECT_EQ(labeled.labels[1].second, "2");
+
+  // A malformed suffix comes back as the whole key, never a crash.
+  EXPECT_EQ(ParseSeriesName("m{a=1").base, "m{a=1");
+  EXPECT_TRUE(ParseSeriesName("m{a=1").labels.empty());
+  EXPECT_EQ(ParseSeriesName("m{}").base, "m");
+  EXPECT_TRUE(ParseSeriesName("m{}").labels.empty());
+}
+
+TEST(RegistryTest, LabeledCountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.AddCounter("req", {{"tenant", "a"}}, 3);
+  registry.AddCounter("req", {{"tenant", "b"}});
+  registry.AddCounter("req", 10);  // the unlabeled sibling is distinct
+  registry.SetGauge("depth", {{"tenant", "a"}}, 4.0);
+  registry.Observe("lat", {{"tenant", "a"}}, 0.5);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("req", {{"tenant", "a"}}), 3);
+  EXPECT_EQ(snap.Counter("req", {{"tenant", "b"}}), 1);
+  EXPECT_EQ(snap.Counter("req"), 10);
+  EXPECT_EQ(snap.Counter("req", {{"tenant", "never"}}), 0);
+  EXPECT_EQ(snap.GaugeOr("depth", {{"tenant", "a"}}, -1), 4.0);
+  EXPECT_EQ(snap.GaugeOr("depth", {{"tenant", "b"}}, -1), -1);
+  EXPECT_EQ(snap.histograms.count("lat{tenant=a}"), 1u);
+}
+
+// The ISSUE-10 contention contract: 8 threads hammer the SAME counter name
+// under 4 distinct tenant labels (2 threads per tenant), every increment
+// also counted globally — per-label totals must be exact and the global
+// series must equal the labeled sum (run under tsan_smoke/asan_smoke).
+TEST(RegistryTest, LabeledSeriesExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  const std::vector<std::string> kTenants = {"alpha", "bravo", "charlie",
+                                             "delta"};
+  MetricsRegistry registry;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &go, &kTenants, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const std::string& tenant = kTenants[static_cast<size_t>(t) % 4];
+      // The serving idiom: precompute the encoded key once, then pay only
+      // the unlabeled lock-free path per increment.
+      const std::string series =
+          LabeledName("serve.requests", {{"tenant", tenant}});
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.AddCounter(series);
+        registry.AddCounter("serve.requests");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  int64_t labeled_sum = 0;
+  for (const std::string& tenant : kTenants) {
+    const int64_t value = snap.Counter("serve.requests", {{"tenant", tenant}});
+    EXPECT_EQ(value, 2 * kIncrements) << tenant;
+    labeled_sum += value;
+  }
+  EXPECT_EQ(snap.Counter("serve.requests"),
+            static_cast<int64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(labeled_sum, snap.Counter("serve.requests"));
+}
+
+// --- Histogram buckets and quantiles ---------------------------------------
+
+TEST(RegistryTest, HistogramBucketBoundsAndQuantiles) {
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(10), 1024e-6);
+  EXPECT_TRUE(std::isinf(HistogramBucketUpperBound(kHistogramBuckets - 1)));
+
+  std::array<int64_t, kHistogramBuckets> buckets{};
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 0, 0.99), 0);
+  buckets[3] = 90;   // (4, 8] µs
+  buckets[10] = 10;  // (512, 1024] µs
+  const double p50 = HistogramQuantileFromBuckets(buckets, 100, 0.50);
+  const double p99 = HistogramQuantileFromBuckets(buckets, 100, 0.99);
+  EXPECT_DOUBLE_EQ(p50, HistogramBucketUpperBound(3));
+  EXPECT_DOUBLE_EQ(p99, HistogramBucketUpperBound(10));
+  EXPECT_LE(p50, p99);  // monotone by construction
+
+  // The open last bucket reports a finite estimate.
+  std::array<int64_t, kHistogramBuckets> open{};
+  open[kHistogramBuckets - 1] = 5;
+  EXPECT_TRUE(std::isfinite(HistogramQuantileFromBuckets(open, 5, 0.99)));
+
+  // HistogramSnapshot::Quantile clamps into the observed [min, max].
+  MetricsRegistry registry;
+  registry.Observe("h", 0.003);
+  registry.Observe("h", 0.005);
+  const HistogramSnapshot h = registry.Snapshot().histograms.at("h");
+  const double q99 = h.Quantile(0.99);
+  EXPECT_GE(q99, h.min);
+  EXPECT_LE(q99, h.max);
+  EXPECT_LE(h.Quantile(0.5), q99);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(ReportTest, PrometheusLabeledFamiliesAndHistogramBuckets) {
+  MetricsRegistry registry;
+  registry.AddCounter("serve.completed", 7);
+  registry.AddCounter("serve.completed", {{"tenant", "a"}}, 4);
+  registry.AddCounter("serve.completed", {{"tenant", "b"}}, 3);
+  registry.SetGauge("serve.queue_depth", {{"tenant", "a"}}, 2.0);
+  registry.Observe("serve.request_seconds", 3e-6);   // bucket 2: (2, 4] µs
+  registry.Observe("serve.request_seconds", 3e-6);
+  registry.Observe("serve.request_seconds", 100e-6);  // bucket 7: (64, 128] µs
+  registry.Observe("serve.request_seconds", {{"tenant", "a"}}, 3e-6);
+
+  const std::string text = PrometheusText(registry.Snapshot());
+
+  // One TYPE line per family; labeled and unlabeled samples share it.
+  EXPECT_EQ(text.find("# TYPE serve_completed counter"),
+            text.rfind("# TYPE serve_completed counter"));
+  EXPECT_NE(text.find("serve_completed 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_completed{tenant=\"a\"} 4\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_completed{tenant=\"b\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_depth{tenant=\"a\"} 2\n"),
+            std::string::npos);
+
+  // True histogram exposition: cumulative buckets at the power-of-two
+  // bounds, a +Inf bucket equal to the count, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE serve_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE serve_request_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"2e-06\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"0.000128\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_count 3\n"), std::string::npos);
+  // The labeled histogram's buckets merge the tenant label with le.
+  EXPECT_NE(text.find(
+                "serve_request_seconds_bucket{tenant=\"a\",le=\"4e-06\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_request_seconds_count{tenant=\"a\"} 1\n"),
+            std::string::npos);
+}
+
+// --- SLO tracker -----------------------------------------------------------
+
+TEST(SloTest, ComputesBurnComplianceAndBudget) {
+  MetricsRegistry registry;
+  SloTracker tracker;
+
+  SloSpec met;
+  met.latency_objective_seconds = 10.0;  // generous: everything under it
+  met.availability_objective = 0.5;
+  tracker.Declare("fast", met);
+
+  SloSpec breached;
+  breached.latency_objective_seconds = 1e-6;  // unattainable
+  breached.availability_objective = 0.999;
+  tracker.Declare("slow", breached);
+
+  for (int i = 0; i < 100; ++i) {
+    registry.Observe("serve.request_seconds", {{"tenant", "fast"}}, 1e-3);
+    registry.Observe("serve.request_seconds", {{"tenant", "slow"}}, 1e-3);
+    registry.AddCounter("serve.accepted", {{"tenant", "fast"}});
+    registry.AddCounter("serve.accepted", {{"tenant", "slow"}});
+  }
+  registry.AddCounter("serve.rejected", {{"tenant", "slow"}}, 25);
+  tracker.Ingest(registry.Snapshot());
+
+  const std::vector<SloStatus> statuses = tracker.Status();
+  ASSERT_EQ(statuses.size(), 2u);
+  const SloStatus& fast = statuses[0];  // sorted by tenant name
+  const SloStatus& slow = statuses[1];
+  ASSERT_EQ(fast.tenant, "fast");
+  ASSERT_EQ(slow.tenant, "slow");
+
+  EXPECT_TRUE(fast.latency.enabled);
+  EXPECT_TRUE(fast.latency.compliant);
+  EXPECT_EQ(fast.latency.events_total, 100);
+  EXPECT_EQ(fast.latency.events_bad, 0);
+  EXPECT_EQ(fast.latency.burn, 0);
+  EXPECT_TRUE(fast.availability.compliant);
+  EXPECT_DOUBLE_EQ(fast.budget_remaining, 1.0);
+
+  EXPECT_FALSE(slow.latency.compliant);
+  EXPECT_EQ(slow.latency.events_bad, 100);  // every request over 1 µs
+  // bad_fraction 1.0 against an allowed fraction of 1 - p99 = 0.01.
+  EXPECT_NEAR(slow.latency.burn, 100.0, 1e-9);
+  // availability: 100 good / 25 bad = 0.8 observed against 0.999 —
+  // bad_fraction 0.2 / allowed 0.001 = 200, the larger burn.
+  EXPECT_FALSE(slow.availability.compliant);
+  EXPECT_NEAR(slow.availability.observed, 0.8, 1e-12);
+  EXPECT_NEAR(slow.availability.burn, 200.0, 1e-6);
+  EXPECT_NEAR(slow.budget_remaining, 1.0 - 200.0, 1e-6);
+}
+
+TEST(SloTest, RollingWindowForgetsOldIntervals) {
+  MetricsRegistry registry;
+  SloTracker tracker;
+  SloSpec spec;
+  spec.latency_objective_seconds = 1.0;
+  spec.window_ticks = 2;
+  tracker.Declare("t", spec);
+
+  // Tick 1: 10 slow observations (over the 1 s objective).
+  for (int i = 0; i < 10; ++i) {
+    registry.Observe("serve.request_seconds", {{"tenant", "t"}}, 2.0);
+  }
+  tracker.Ingest(registry.Snapshot());
+  EXPECT_FALSE(tracker.Status()[0].latency.compliant);
+
+  // Ticks 2 and 3: fast traffic only. The window (2 ticks) forgets tick 1.
+  for (int tick = 0; tick < 2; ++tick) {
+    for (int i = 0; i < 10; ++i) {
+      registry.Observe("serve.request_seconds", {{"tenant", "t"}}, 1e-3);
+    }
+    tracker.Ingest(registry.Snapshot());
+  }
+  const SloStatus status = tracker.Status()[0];
+  EXPECT_EQ(status.window_ticks_used, 2);
+  EXPECT_EQ(status.latency.events_total, 20);
+  EXPECT_EQ(status.latency.events_bad, 0);
+  EXPECT_TRUE(status.latency.compliant);
+  EXPECT_DOUBLE_EQ(status.budget_remaining, 1.0);
+}
+
+TEST(SloTest, FeedsFromExporterTicks) {
+  RunContext run;
+  SloTracker tracker;
+  SloSpec spec;
+  spec.latency_objective_seconds = 10.0;
+  spec.availability_objective = 0.5;
+  tracker.Declare("t", spec);
+
+  ExporterOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  options.sinks = {&tracker};
+  PeriodicExporter exporter(&run, options);
+  ASSERT_TRUE(exporter.Start().ok());
+  for (int i = 0; i < 20; ++i) {
+    run.metrics().Observe("serve.request_seconds", {{"tenant", "t"}}, 1e-3);
+    run.metrics().AddCounter("serve.accepted", {{"tenant", "t"}});
+  }
+  ASSERT_TRUE(exporter.Stop().ok());  // final flush tick always ingests
+
+  const SloStatus status = tracker.Status()[0];
+  EXPECT_GE(status.window_ticks_used, 1);
+  EXPECT_EQ(status.latency.events_total, 20);
+  EXPECT_TRUE(status.latency.compliant);
+  EXPECT_TRUE(status.availability.compliant);
+  EXPECT_EQ(status.availability.events_total, 20);
+}
+
 // --- Spans & null context --------------------------------------------------
 
 TEST(SpanTest, NestsOnThreadAndSupportsExplicitParents) {
@@ -190,6 +476,9 @@ TEST(NullContextTest, SinkIsSafeAndCheap) {
     Count(nullptr, "c");
     SetGauge(nullptr, "g", 1.0);
     Observe(nullptr, "h", 1.0);
+    Count(nullptr, "c", {{"tenant", "t"}});
+    SetGauge(nullptr, "g", {{"tenant", "t"}}, 1.0);
+    Observe(nullptr, "h", {{"tenant", "t"}}, 1.0);
     Span span(nullptr, "s");
     EXPECT_EQ(span.id(), 0);
   }
@@ -519,6 +808,62 @@ TEST(ReportTest, JsonRoundTripMatchesSnapshotAndTrace) {
   std::ostringstream contents;
   contents << in.rdbuf();
   EXPECT_EQ(contents.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, RunReportCarriesBucketBounds) {
+  RunContext run;
+  run.metrics().Observe("lat", 3e-6);                      // bucket 2
+  run.metrics().Observe("lat", {{"tenant", "a"}}, 3e-6);   // labeled sibling
+  const std::string json = RunReportJson(run);
+  JsonValue doc = JsonParser(json).Parse();
+  for (const std::string& name : {std::string("lat"),
+                                  std::string("lat{tenant=a}")}) {
+    const JsonValue& hist = doc.at("histograms").at(name);
+    const auto& buckets = hist.at("buckets").array;
+    const auto& bounds = hist.at("bucket_bounds").array;
+    ASSERT_EQ(buckets.size(), 1u) << name;
+    ASSERT_EQ(bounds.size(), buckets.size()) << name;
+    EXPECT_EQ(buckets[0].array[0].number, 2) << name;
+    EXPECT_DOUBLE_EQ(bounds[0].number, 4e-6) << name;
+  }
+}
+
+TEST(ReportTest, ChromeTraceExportsSpansAsCompleteEvents) {
+  RunContext run;
+  {
+    Span outer(&run, "outer");
+    Span inner(&run, "inner");
+  }
+  Span open_span(&run, "still.open");
+  const std::string json = ChromeTraceJson(run);
+  JsonValue doc = JsonParser(json).Parse();
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_open = false;
+  for (const JsonValue& event : events) {
+    EXPECT_EQ(event.at("ph").str, "X");
+    EXPECT_EQ(event.at("pid").number, 1);
+    EXPECT_GE(event.at("ts").number, 0);
+    EXPECT_GE(event.at("dur").number, 0);
+    const auto& args = event.at("args").object;
+    EXPECT_GT(args.at("id").number, 0);
+    if (event.at("name").str == "still.open") {
+      saw_open = true;
+      EXPECT_EQ(event.at("dur").number, 0);
+      EXPECT_TRUE(args.at("open").boolean);
+    }
+  }
+  EXPECT_TRUE(saw_open);
+  open_span.End();
+
+  const std::string path = "obs_test_chrome.trace.json";
+  ASSERT_TRUE(WriteChromeTrace(run, path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream text;
+  text << file.rdbuf();
+  EXPECT_NE(text.str().find("\"traceEvents\""), std::string::npos);
   std::remove(path.c_str());
 }
 

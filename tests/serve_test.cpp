@@ -54,11 +54,13 @@ Result<core::AcquisitionMetadata> MakeMetadata(uint64_t seed,
   return metadata;
 }
 
-/// One rendered document with `errors` injected measure mistakes.
-std::string MakeHtml(uint64_t seed, size_t errors) {
+/// One rendered document with `errors` injected measure mistakes;
+/// `num_years > 0` overrides the seed-derived document size.
+std::string MakeHtml(uint64_t seed, size_t errors, int num_years = 0) {
   Rng rng(seed);
   ocr::CashBudgetOptions options;
-  options.num_years = 2 + static_cast<int>(seed % 2);
+  options.num_years =
+      num_years > 0 ? num_years : 2 + static_cast<int>(seed % 2);
   rel::Database db = CashBudgetFixture::Random(options, &rng).value();
   if (errors > 0) {
     EXPECT_TRUE(ocr::InjectMeasureErrors(&db, errors, &rng).ok());
@@ -549,6 +551,164 @@ TEST(RepairServerTest, SinksObserveTheMetricStream) {
     EXPECT_EQ(callback_seqs[i].final_record, i + 1 == callback_seqs.size());
   }
   EXPECT_EQ(callback_completed, 3);
+}
+
+// --- Per-tenant labeled metrics ---------------------------------------------
+
+// Every request-path counter is emitted twice — once globally, once labeled
+// {tenant="<name>"} — so the labeled series must partition the global ones
+// exactly, and the per-tenant queue-depth gauges must read zero after drain.
+TEST(RepairServerTest, LabeledTenantSeriesPartitionGlobalCounters) {
+  ServerOptions options;
+  options.num_workers = 2;
+  RepairServer server(options);
+  const std::vector<std::string> names = {"alpha", "bravo"};
+  std::vector<TenantId> tenants;
+  for (size_t t = 0; t < names.size(); ++t) {
+    auto metadata = MakeMetadata(120 + t, nullptr);
+    ASSERT_TRUE(metadata.ok());
+    auto id = server.AddTenant(names[t], *metadata);
+    ASSERT_TRUE(id.ok());
+    tenants.push_back(*id);
+  }
+
+  // Skewed submission counts: alpha 3 documents, bravo 1.
+  std::vector<std::future<Result<ProcessOutcome>>> futures;
+  const int kPerTenant[] = {3, 1};
+  for (size_t t = 0; t < names.size(); ++t) {
+    for (int i = 0; i < kPerTenant[t]; ++i) {
+      auto future = server.Submit(
+          tenants[t], ProcessRequest::FromHtml(MakeHtml(130 + 10 * t + i, 1)));
+      ASSERT_TRUE(future.ok());
+      futures.push_back(std::move(*future));
+    }
+  }
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.Stop().ok());
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+
+  const obs::MetricsSnapshot snapshot = server.run().metrics().Snapshot();
+  for (const char* metric :
+       {"serve.submitted", "serve.accepted", "serve.completed"}) {
+    SCOPED_TRACE(metric);
+    int64_t labeled_sum = 0;
+    for (size_t t = 0; t < names.size(); ++t) {
+      const int64_t labeled =
+          snapshot.Counter(metric, {{"tenant", names[t]}});
+      EXPECT_EQ(labeled, kPerTenant[t]) << names[t];
+      labeled_sum += labeled;
+    }
+    EXPECT_EQ(snapshot.Counter(metric), labeled_sum);
+  }
+  EXPECT_EQ(snapshot.Counter("serve.rejected"), 0);
+
+  // Latency histograms partition the same way.
+  int64_t labeled_observations = 0;
+  for (size_t t = 0; t < names.size(); ++t) {
+    const auto it = snapshot.histograms.find(
+        obs::LabeledName("serve.request_seconds", {{"tenant", names[t]}}));
+    ASSERT_NE(it, snapshot.histograms.end()) << names[t];
+    EXPECT_EQ(it->second.count, kPerTenant[t]) << names[t];
+    labeled_observations += it->second.count;
+  }
+  const auto global = snapshot.histograms.find("serve.request_seconds");
+  ASSERT_NE(global, snapshot.histograms.end());
+  EXPECT_EQ(global->second.count, labeled_observations);
+
+  // Drained server: all queue-depth gauges (global and labeled) read zero.
+  EXPECT_EQ(snapshot.GaugeOr("serve.queue_depth", -1.0), 0.0);
+  for (const std::string& name : names) {
+    EXPECT_EQ(snapshot.GaugeOr("serve.queue_depth", {{"tenant", name}}, -1.0),
+              0.0)
+        << name;
+  }
+}
+
+// --- Admin status & SLOs ----------------------------------------------------
+
+// The live status surface under deliberately skewed load: four tenants, two
+// fed cheap clean documents and two fed larger error-laden ones, with an
+// SLO pair chosen so one tenant must meet its objectives and another must
+// breach them regardless of host speed (300 s vs 1 µs latency objectives).
+// AdminStatus() must report the skew (distinct per-tenant p99s) and the
+// breached-vs-met pair, without any exporter attached.
+TEST(RepairServerTest, AdminStatusReportsTenantSkewAndSloPair) {
+  constexpr int kTenants = 4;
+  constexpr int kPerTenant = 4;
+  ServerOptions options;
+  options.num_workers = 2;
+  RepairServer server(options);
+  for (int t = 0; t < kTenants; ++t) {
+    auto metadata = MakeMetadata(140 + t, nullptr);
+    ASSERT_TRUE(metadata.ok());
+    TenantOptions tenant_options;
+    tenant_options.pipeline = SerialOptions();
+    if (t == 0) {
+      obs::SloSpec met;
+      met.latency_objective_seconds = 300.0;  // nothing takes 5 minutes
+      met.availability_objective = 0.5;
+      tenant_options.slo = met;
+    } else if (t == 3) {
+      obs::SloSpec breached;
+      breached.latency_objective_seconds = 1e-6;  // nothing beats 1 µs
+      breached.availability_objective = 0.5;
+      tenant_options.slo = breached;
+    }
+    auto id = server.AddTenant("t" + std::to_string(t), *metadata,
+                               tenant_options);
+    ASSERT_TRUE(id.ok());
+  }
+
+  // Tenants 0-1 submit clean 2-year documents, tenants 2-3 ten-year
+  // documents with injected errors — bigger acquisitions plus a MILP solve
+  // the clean path never runs, so their latencies land in visibly higher
+  // histogram buckets.
+  std::vector<std::future<Result<ProcessOutcome>>> futures;
+  for (int t = 0; t < kTenants; ++t) {
+    const bool heavy = t >= 2;
+    for (int i = 0; i < kPerTenant; ++i) {
+      const uint64_t seed = 200 + static_cast<uint64_t>(10 * t + i);
+      auto future = server.Submit(
+          t, ProcessRequest::FromHtml(
+                 MakeHtml(seed, heavy ? 2 : 0, heavy ? 10 : 2)));
+      ASSERT_TRUE(future.ok());
+      futures.push_back(std::move(*future));
+    }
+  }
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.Stop().ok());
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+
+  // The skew is visible in the per-tenant latency histograms.
+  const obs::MetricsSnapshot snapshot = server.run().metrics().Snapshot();
+  auto p99 = [&](const std::string& tenant) {
+    const auto it = snapshot.histograms.find(
+        obs::LabeledName("serve.request_seconds", {{"tenant", tenant}}));
+    EXPECT_NE(it, snapshot.histograms.end()) << tenant;
+    EXPECT_EQ(it->second.count, kPerTenant) << tenant;
+    return it->second.Quantile(0.99);
+  };
+  EXPECT_GT(p99("t3"), p99("t0"));
+
+  const std::string status = server.AdminStatus();
+  EXPECT_NE(status.find("\"schema\": \"dart.serve.status\""),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"schema_version\": 1"), std::string::npos);
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_NE(status.find("\"tenant\": \"t" + std::to_string(t) + "\""),
+              std::string::npos);
+  }
+  // The breached-vs-met pair: t3's 1 µs objective cannot be met, t0's 300 s
+  // objective cannot be missed.
+  EXPECT_NE(status.find("\"compliant\": false"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"compliant\": true"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"budget_remaining\""), std::string::npos);
+  EXPECT_NE(status.find("\"window_ticks_used\""), std::string::npos);
 }
 
 }  // namespace
